@@ -1,0 +1,208 @@
+// Shared harness for the table/figure benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation section: it builds the four axonDB configurations and the
+// three baseline engines over the same generated dataset, times the
+// workload queries (best of N runs, as in Sec. V.A), and prints the same
+// rows/series the paper reports, followed by the paper's published numbers
+// for shape comparison.
+//
+// Scale: datasets default to laptop-scale sizes so the whole harness runs
+// in minutes. Set AXON_BENCH_SCALE=<n> to multiply dataset sizes.
+
+#ifndef AXON_BENCH_BENCH_COMMON_H_
+#define AXON_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/partial_index_engine.h"
+#include "baselines/sixperm_engine.h"
+#include "baselines/vp_engine.h"
+#include "engine/database.h"
+#include "sparql/parser.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace bench {
+
+inline double ScaleFactor() {
+  const char* s = std::getenv("AXON_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint32_t Scaled(uint32_t base) {
+  return static_cast<uint32_t>(base * ScaleFactor());
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Times one engine on one parsed query: best of `reps` runs (the paper
+/// reports the best of 20; we default lower to keep the harness fast).
+/// Returns seconds, or a negative value on error.
+inline double TimeQuery(const QueryEngine& engine, const SelectQuery& query,
+                        int reps = 3) {
+  double best = -1.0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    auto r = engine.Execute(query);
+    double secs = t.Seconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "ERROR %s: %s\n", engine.name().c_str(),
+                   r.status().ToString().c_str());
+      return -1.0;
+    }
+    if (best < 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+/// Geometric mean of positive values (non-positive entries skipped).
+inline double GeometricMean(const std::vector<double>& values) {
+  double log_sum = 0;
+  int n = 0;
+  for (double v : values) {
+    if (v > 0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / n);
+}
+
+/// All engines over one dataset. The axonDB configurations rebuild their
+/// indexes per configuration (hierarchy changes the storage layout).
+struct EngineFleet {
+  Dataset data;
+  std::unique_ptr<Database> axon_base;   // axonDB   (both off)
+  std::unique_ptr<Database> axon_h;      // axonDB-h (hierarchy on)
+  std::unique_ptr<Database> axon_qp;     // axonDB-qp (planner on)
+  std::unique_ptr<Database> axon_plus;   // axonDB+  (both on)
+  std::unique_ptr<SixPermEngine> sixperm;
+  std::unique_ptr<PartialIndexEngine> partial;
+  std::unique_ptr<VpEngine> vp;
+  double axon_plus_build_seconds = 0;
+  double sixperm_build_seconds = 0;
+  double partial_build_seconds = 0;
+  double vp_build_seconds = 0;
+
+  explicit EngineFleet(Dataset d, bool all_axon_configs = false)
+      : data(std::move(d)) {
+    auto build_axon = [this](bool h, bool qp) {
+      EngineOptions opt;
+      opt.use_hierarchy = h;
+      opt.use_planner = qp;
+      auto db = Database::Build(data, opt);
+      if (!db.ok()) {
+        std::fprintf(stderr, "axonDB build failed: %s\n",
+                     db.status().ToString().c_str());
+        std::abort();
+      }
+      return std::make_unique<Database>(std::move(db).ValueOrDie());
+    };
+    if (all_axon_configs) {
+      axon_base = build_axon(false, false);
+      axon_h = build_axon(true, false);
+      axon_qp = build_axon(false, true);
+    }
+    {
+      Timer t;
+      axon_plus = build_axon(true, true);
+      axon_plus_build_seconds = t.Seconds();
+    }
+    {
+      Timer t;
+      sixperm = std::make_unique<SixPermEngine>(SixPermEngine::Build(data));
+      sixperm_build_seconds = t.Seconds();
+    }
+    {
+      Timer t;
+      partial = std::make_unique<PartialIndexEngine>(
+          PartialIndexEngine::Build(data));
+      partial_build_seconds = t.Seconds();
+    }
+    {
+      Timer t;
+      vp = std::make_unique<VpEngine>(VpEngine::Build(data));
+      vp_build_seconds = t.Seconds();
+    }
+  }
+
+  /// The cross-system comparison set (axonDB base + optimized + baselines),
+  /// mirroring the paper's figures which show axonDB and axonDB+.
+  std::vector<const QueryEngine*> ComparisonSet() const {
+    std::vector<const QueryEngine*> out;
+    if (axon_base != nullptr) out.push_back(axon_base.get());
+    out.push_back(axon_plus.get());
+    out.push_back(sixperm.get());
+    out.push_back(partial.get());
+    out.push_back(vp.get());
+    return out;
+  }
+};
+
+/// Prints a header + one row of seconds per query for each engine, then
+/// per-engine geometric means — the layout of Fig. 6 — followed by the
+/// simulated page-I/O geometric means (the cold-cache disk model of the
+/// paper's testbed: every query ran with dropped caches, so page reads,
+/// not CPU, dominated their absolute numbers).
+inline void RunComparisonTable(const EngineFleet& fleet,
+                               const Workload& workload, int reps = 3) {
+  std::vector<const QueryEngine*> engines = fleet.ComparisonSet();
+  std::printf("%-22s", "query");
+  for (const QueryEngine* e : engines) std::printf("%22s", e->name().c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> per_engine(engines.size());
+  std::vector<std::vector<double>> pages(engines.size());
+  for (const WorkloadQuery& wq : workload.queries) {
+    auto q = ParseSparql(wq.sparql);
+    if (!q.ok()) {
+      std::fprintf(stderr, "parse error in %s: %s\n", wq.name.c_str(),
+                   q.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-22s", wq.name.c_str());
+    for (size_t i = 0; i < engines.size(); ++i) {
+      double secs = TimeQuery(*engines[i], q.value(), reps);
+      per_engine[i].push_back(secs);
+      auto r = engines[i]->Execute(q.value());
+      pages[i].push_back(
+          r.ok() ? static_cast<double>(r.value().stats.pages_read) : 0.0);
+      std::printf("%22.6f", secs);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-22s", "GM");
+  for (size_t i = 0; i < engines.size(); ++i) {
+    std::printf("%22.6f", GeometricMean(per_engine[i]));
+  }
+  std::printf("\n%-22s", "GM pages (sim. I/O)");
+  for (size_t i = 0; i < engines.size(); ++i) {
+    std::printf("%22.1f", GeometricMean(pages[i]));
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace axon
+
+#endif  // AXON_BENCH_BENCH_COMMON_H_

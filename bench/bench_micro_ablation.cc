@@ -1,0 +1,160 @@
+// Ablation micro-benchmarks (google-benchmark) for the engineering choices
+// DESIGN.md calls out:
+//  * star merge scan vs the general hash-join star pipeline,
+//  * query planner on/off on a multi-chain query,
+//  * hierarchy (pre-order) layout on/off,
+//  * the provably-empty fast path vs a baseline actually probing the data.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/sixperm_engine.h"
+#include "datagen/lubm_generator.h"
+#include "engine/sharded_database.h"
+#include "engine/database.h"
+#include "sparql/parser.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+Dataset& SharedLubm() {
+  static Dataset data = [] {
+    LubmConfig cfg;
+    cfg.num_universities = 4;
+    return GenerateLubmDataset(cfg);
+  }();
+  return data;
+}
+
+const SelectQuery& StarHeavyQuery() {
+  static SelectQuery q = [] {
+    auto parsed = ParseSparql(
+        R"(PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+           SELECT ?x ?n ?e ?d WHERE {
+             ?x ub:advisor ?a .
+             ?x ub:name ?n .
+             ?x ub:emailAddress ?e .
+             ?a ub:worksFor ?d .
+             ?a ub:name ?an .
+             ?a ub:telephone ?t .
+             ?d ub:name ?dn })");
+    return std::move(parsed).ValueOrDie();
+  }();
+  return q;
+}
+
+void BM_StarRetrieval(benchmark::State& state) {
+  EngineOptions opt;
+  opt.use_star_merge_scan = state.range(0) != 0;
+  auto db = Database::Build(SharedLubm(), opt);
+  if (!db.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.value().Execute(StarHeavyQuery());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_StarRetrieval)
+    ->Arg(0)   // general hash pipeline
+    ->Arg(1);  // merge scan
+
+void BM_Planner(benchmark::State& state) {
+  EngineOptions opt;
+  opt.use_planner = state.range(0) != 0;
+  auto db = Database::Build(SharedLubm(), opt);
+  if (!db.ok()) std::abort();
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
+  if (!q.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.value().Execute(q.value());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_Planner)->Arg(0)->Arg(1);
+
+void BM_HierarchyLayout(benchmark::State& state) {
+  EngineOptions opt;
+  opt.use_hierarchy = state.range(0) != 0;
+  auto db = Database::Build(SharedLubm(), opt);
+  if (!db.ok()) std::abort();
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q7").sparql);
+  if (!q.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.value().Execute(q.value());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_HierarchyLayout)->Arg(0)->Arg(1);
+
+void BM_EmptyDetection_Axon(benchmark::State& state) {
+  auto db = Database::Build(SharedLubm());
+  if (!db.ok()) std::abort();
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q3").sparql);
+  if (!q.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.value().Execute(q.value());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_EmptyDetection_Axon);
+
+void BM_EmptyDetection_SixPerm(benchmark::State& state) {
+  SixPermEngine engine = SixPermEngine::Build(SharedLubm());
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q3").sparql);
+  if (!q.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = engine.Execute(q.value());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_EmptyDetection_SixPerm);
+
+// Scatter/gather overhead of the sharded (distributed-simulation) engine
+// vs the single-node engine on the same multi-chain query. Arg = shards
+// (0 = single node).
+void BM_ShardedExecution(benchmark::State& state) {
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q9").sparql);
+  if (!q.ok()) std::abort();
+  if (state.range(0) == 0) {
+    auto db = Database::Build(SharedLubm());
+    if (!db.ok()) std::abort();
+    for (auto _ : state) {
+      auto r = db.value().Execute(q.value());
+      benchmark::DoNotOptimize(r.ok());
+    }
+    return;
+  }
+  ShardedOptions opt;
+  opt.num_shards = static_cast<uint32_t>(state.range(0));
+  auto db = ShardedDatabase::Build(SharedLubm(), opt);
+  if (!db.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.value().Execute(q.value());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ShardedExecution)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_OpenCopying(benchmark::State& state) {
+  std::string path = "/tmp/axon_bench_open.axdb";
+  auto db = Database::Build(SharedLubm());
+  if (!db.ok() || !db.value().Save(path).ok()) std::abort();
+  for (auto _ : state) {
+    auto opened = Database::Open(path);
+    benchmark::DoNotOptimize(opened.ok());
+  }
+}
+BENCHMARK(BM_OpenCopying);
+
+void BM_OpenMapped(benchmark::State& state) {
+  std::string path = "/tmp/axon_bench_open.axdb";
+  auto db = Database::Build(SharedLubm());
+  if (!db.ok() || !db.value().Save(path).ok()) std::abort();
+  for (auto _ : state) {
+    auto opened = Database::OpenMapped(path);
+    benchmark::DoNotOptimize(opened.ok());
+  }
+}
+BENCHMARK(BM_OpenMapped);
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: bitmap
+// subset tests, dictionary interning/lookup, B+-tree operations, triple
+// table range probes and the relational operators. Not a paper artifact —
+// these quantify the primitives every macro number is built from.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "rdf/dictionary.h"
+#include "storage/btree.h"
+#include "storage/triple_table.h"
+#include "util/bitmap.h"
+#include "util/random.h"
+
+namespace axon {
+namespace {
+
+void BM_BitmapSubset(benchmark::State& state) {
+  uint32_t bits = static_cast<uint32_t>(state.range(0));
+  Random rng(1);
+  Bitmap small(bits);
+  Bitmap big(bits);
+  for (uint32_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      big.Set(i);
+      if (rng.Bernoulli(0.5)) small.Set(i);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.IsSubsetOf(big));
+  }
+}
+BENCHMARK(BM_BitmapSubset)->Arg(32)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  std::vector<Term> terms;
+  for (int i = 0; i < 10000; ++i) {
+    terms.push_back(Term::Iri("http://example.org/vocab#entity" +
+                              std::to_string(i)));
+  }
+  for (auto _ : state) {
+    Dictionary d;
+    for (const Term& t : terms) benchmark::DoNotOptimize(d.Intern(t));
+  }
+  state.SetItemsProcessed(state.iterations() * terms.size());
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  Dictionary d;
+  std::vector<Term> terms;
+  for (int i = 0; i < 10000; ++i) {
+    terms.push_back(Term::Iri("http://example.org/vocab#entity" +
+                              std::to_string(i)));
+    d.Intern(terms.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Lookup(terms[i++ % terms.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryLookup);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Random rng(3);
+  std::vector<uint32_t> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    keys.push_back(static_cast<uint32_t>(rng.Next()));
+  }
+  for (auto _ : state) {
+    BPlusTree<uint32_t, uint64_t> t;
+    for (uint32_t k : keys) t.Insert(k, k);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeBulkLoadAndFind(benchmark::State& state) {
+  std::vector<std::pair<uint32_t, uint64_t>> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    entries.emplace_back(static_cast<uint32_t>(i * 2), i);
+  }
+  auto tree = BPlusTree<uint32_t, uint64_t>::BulkLoad(entries);
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Find(static_cast<uint32_t>(rng.Uniform(entries.size()) * 2)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeBulkLoadAndFind)->Arg(10000)->Arg(100000);
+
+void BM_TripleTableEqualRange(benchmark::State& state) {
+  Random rng(5);
+  TripleTable t;
+  for (int i = 0; i < 200000; ++i) {
+    t.Append(static_cast<TermId>(1 + rng.Uniform(5000)),
+             static_cast<TermId>(1 + rng.Uniform(40)),
+             static_cast<TermId>(1 + rng.Uniform(5000)));
+  }
+  t.Sort(Permutation::kPso);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.EqualRange(
+        Permutation::kPso, static_cast<TermId>(1 + rng.Uniform(40))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleTableEqualRange);
+
+void BM_HashJoin(benchmark::State& state) {
+  Random rng(6);
+  int n = static_cast<int>(state.range(0));
+  BindingTable left({"x", "y"});
+  BindingTable right({"y", "z"});
+  for (int i = 0; i < n; ++i) {
+    left.AppendRow({static_cast<TermId>(i + 1),
+                    static_cast<TermId>(1 + rng.Uniform(n / 4 + 1))});
+    right.AppendRow({static_cast<TermId>(1 + rng.Uniform(n / 4 + 1)),
+                     static_cast<TermId>(i + 1)});
+  }
+  for (auto _ : state) {
+    ExecStats stats;
+    benchmark::DoNotOptimize(HashJoin(left, right, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_ScanPattern(benchmark::State& state) {
+  Random rng(7);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 100000; ++i) {
+    triples.push_back(Triple{static_cast<TermId>(1 + rng.Uniform(1000)),
+                             static_cast<TermId>(1 + rng.Uniform(20)),
+                             static_cast<TermId>(1 + rng.Uniform(1000))});
+  }
+  IdPattern p;
+  p.p = 7;
+  p.s_var = "s";
+  p.o_var = "o";
+  for (auto _ : state) {
+    ExecStats stats;
+    benchmark::DoNotOptimize(ScanPattern(triples, p, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() * triples.size());
+}
+BENCHMARK(BM_ScanPattern);
+
+}  // namespace
+}  // namespace axon

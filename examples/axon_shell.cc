@@ -1,0 +1,228 @@
+// axon_shell: a minimal interactive shell over the public API.
+//
+//   .help                      command list
+//   .load <file.nt>            bulk-load an N-Triples file
+//   .gen lubm|reactome|geonames <scale>   generate a synthetic dataset
+//   .insert <s> <p> <o> .      insert one N-Triples statement
+//   .delete <s> <p> <o> .      delete one N-Triples statement
+//   .stats                     schema census + storage numbers
+//   .estimate                  toggle printing estimates + query plans
+//   .save <file.axdb>          persist the database (single binary file)
+//   .export <file.nt>          dump the contents as N-Triples
+//   .quit
+//
+// Any other input is accumulated until a line ending in ';' and executed
+// as a SPARQL query. Works both interactively and piped:
+//   printf '.gen lubm 1\nSELECT ?x WHERE { ?x <...> ?y } ;\n' | axon_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datagen/geonames_generator.h"
+#include "datagen/lubm_generator.h"
+#include "datagen/reactome_generator.h"
+#include "engine/update_store.h"
+#include "sparql/results_io.h"
+#include "util/mmap_file.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace axon;
+
+void PrintHelp() {
+  std::printf(
+      ".help | .load <file.nt> | .gen lubm|reactome|geonames <scale> |\n"
+      ".insert <triple> . | .delete <triple> . | .stats | .estimate |\n"
+      ".save <file.axdb> | .export <file.nt> | .quit\n"
+      "anything else: SPARQL, terminated by a line ending in ';'\n");
+}
+
+void PrintStats(UpdatableDatabase& db) {
+  auto snap = db.Snapshot();
+  if (!snap.ok()) {
+    std::printf("error: %s\n", snap.status().ToString().c_str());
+    return;
+  }
+  const BuildInfo& info = snap.value()->build_info();
+  std::printf(
+      "triples %llu | terms %llu | properties %llu | CS %llu | ECS %llu | "
+      "ECS edges %llu | indexes %s\n",
+      static_cast<unsigned long long>(info.num_triples),
+      static_cast<unsigned long long>(info.num_terms),
+      static_cast<unsigned long long>(info.num_properties),
+      static_cast<unsigned long long>(info.num_cs),
+      static_cast<unsigned long long>(info.num_ecs),
+      static_cast<unsigned long long>(info.num_ecs_edges),
+      FormatBytes(snap.value()->StorageBytes()).c_str());
+}
+
+void RunQuery(UpdatableDatabase& db, const std::string& text,
+              bool print_estimates) {
+  auto q = ParseSparql(text);
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  if (print_estimates) {
+    auto snap = db.Snapshot();
+    if (snap.ok()) {
+      auto est = snap.value()->EstimateCardinality(q.value());
+      if (est.ok()) std::printf("estimated cardinality: %.1f\n", est.value());
+      auto plan = snap.value()->Explain(q.value());
+      if (plan.ok()) std::printf("%s", plan.value().c_str());
+    }
+  }
+  auto r = db.Execute(q.value());
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  auto rows = db.Render(r.value().table);
+  if (!rows.ok()) {
+    std::printf("render error: %s\n", rows.status().ToString().c_str());
+    return;
+  }
+  // Header.
+  for (const std::string& v : r.value().table.vars()) {
+    std::printf("?%s\t", v.c_str());
+  }
+  std::printf("\n");
+  size_t shown = 0;
+  for (const auto& row : rows.value()) {
+    for (const std::string& cell : row) std::printf("%s\t", cell.c_str());
+    std::printf("\n");
+    if (++shown >= 50) {
+      std::printf("... (%zu more rows)\n", rows.value().size() - shown);
+      break;
+    }
+  }
+  std::printf("%zu rows; scanned %llu, intermediates %llu, joins %llu, "
+              "pages %llu\n",
+              rows.value().size(),
+              static_cast<unsigned long long>(r.value().stats.rows_scanned),
+              static_cast<unsigned long long>(
+                  r.value().stats.intermediate_rows),
+              static_cast<unsigned long long>(r.value().stats.joins),
+              static_cast<unsigned long long>(r.value().stats.pages_read));
+}
+
+bool HandleCommand(UpdatableDatabase& db, const std::string& line,
+                   bool* print_estimates) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == ".quit" || cmd == ".exit") return false;
+  if (cmd == ".help") {
+    PrintHelp();
+  } else if (cmd == ".stats") {
+    PrintStats(db);
+  } else if (cmd == ".estimate") {
+    *print_estimates = !*print_estimates;
+    std::printf("cardinality estimates %s\n",
+                *print_estimates ? "on" : "off");
+  } else if (cmd == ".load") {
+    std::string path;
+    in >> path;
+    std::string text;
+    Status st = ReadFileToString(path, &text);
+    if (st.ok()) st = db.InsertNTriples(text);
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else if (cmd == ".gen") {
+    std::string kind;
+    uint32_t scale = 1;
+    in >> kind >> scale;
+    Dataset data;
+    if (kind == "lubm") {
+      LubmConfig cfg;
+      cfg.num_universities = scale;
+      data = GenerateLubmDataset(cfg);
+    } else if (kind == "reactome") {
+      ReactomeConfig cfg;
+      cfg.num_pathways = scale * 40;
+      data = GenerateReactomeDataset(cfg);
+    } else if (kind == "geonames") {
+      GeonamesConfig cfg;
+      cfg.num_features = scale * 2000;
+      data = GenerateGeonamesDataset(cfg);
+    } else {
+      std::printf("unknown generator '%s'\n", kind.c_str());
+      return true;
+    }
+    std::string nt;
+    for (const Triple& t : data.triples) {
+      nt += data.dict.GetCanonical(t.s) + " " + data.dict.GetCanonical(t.p) +
+            " " + data.dict.GetCanonical(t.o) + " .\n";
+    }
+    Status st = db.InsertNTriples(nt);
+    std::printf("%s (%zu triples added)\n",
+                st.ok() ? "ok" : st.ToString().c_str(), data.triples.size());
+  } else if (cmd == ".save" || cmd == ".export") {
+    std::string path;
+    in >> path;
+    auto snap = db.Snapshot();
+    if (!snap.ok()) {
+      std::printf("error: %s\n", snap.status().ToString().c_str());
+      return true;
+    }
+    Status st;
+    if (cmd == ".save") {
+      st = snap.value()->Save(path);
+    } else {
+      auto text = snap.value()->ExportNTriples();
+      st = text.ok() ? WriteStringToFile(path, text.value()) : text.status();
+    }
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else if (cmd == ".insert" || cmd == ".delete") {
+    std::string rest = line.substr(cmd.size());
+    auto t = ParseNTriplesLine(TrimView(rest));
+    if (!t.ok()) {
+      std::printf("parse error: %s\n", t.status().ToString().c_str());
+      return true;
+    }
+    Status st = cmd == ".insert" ? db.Insert(t.value()) : db.Delete(t.value());
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else {
+    std::printf("unknown command %s (try .help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  auto db_r = UpdatableDatabase::Create(Dataset{});
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "init failed: %s\n",
+                 db_r.status().ToString().c_str());
+    return 1;
+  }
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+  bool print_estimates = false;
+
+  std::printf("axon_shell — ECS-indexed RDF store. .help for commands.\n");
+  std::string line;
+  std::string query_buffer;
+  while (true) {
+    std::printf(query_buffer.empty() ? "axon> " : "  ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = axon::TrimView(line);
+    if (trimmed.empty()) continue;
+    if (query_buffer.empty() && trimmed.front() == '.') {
+      if (!HandleCommand(db, std::string(trimmed), &print_estimates)) break;
+      continue;
+    }
+    query_buffer += std::string(trimmed) + "\n";
+    if (trimmed.back() == ';') {
+      // Strip the terminator and run.
+      size_t pos = query_buffer.rfind(';');
+      query_buffer.erase(pos);
+      RunQuery(db, query_buffer, print_estimates);
+      query_buffer.clear();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Engine comparison: runs one multi-chain-star query on axonDB and the
+// three baseline index architectures over the same data, reporting
+// runtimes, intermediate-result sizes and storage footprints — a miniature
+// of the paper's evaluation you can play with interactively.
+//
+// Usage: engine_comparison [universities]   (default 4)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/partial_index_engine.h"
+#include "baselines/sixperm_engine.h"
+#include "baselines/vp_engine.h"
+#include "datagen/lubm_generator.h"
+#include "engine/database.h"
+#include "util/string_util.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace axon;
+
+  LubmConfig cfg;
+  cfg.num_universities = argc > 1 ? std::atoi(argv[1]) : 4;
+  Dataset data = GenerateLubmDataset(cfg);
+  std::printf("LUBM-like dataset: %u universities, %zu triples\n\n",
+              cfg.num_universities, data.triples.size());
+
+  auto axon_db = Database::Build(data);
+  if (!axon_db.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  SixPermEngine sixperm = SixPermEngine::Build(data);
+  PartialIndexEngine partial = PartialIndexEngine::Build(data);
+  VpEngine vp = VpEngine::Build(data);
+
+  const QueryEngine* engines[] = {&axon_db.value(), &sixperm, &partial, &vp};
+
+  std::printf("storage footprint (indexes, dictionary excluded):\n");
+  for (const QueryEngine* e : engines) {
+    std::printf("  %-22s %s\n", e->name().c_str(),
+                FormatBytes(e->StorageBytes()).c_str());
+  }
+
+  const WorkloadQuery& wq = LubmModifiedWorkload().Get("Q9");
+  auto q = ParseSparql(wq.sparql);
+  if (!q.ok()) {
+    std::fprintf(stderr, "parse failed\n");
+    return 1;
+  }
+  std::printf("\nquery %s (the Table I motivating query):\n%s\n\n",
+              wq.name.c_str(), wq.sparql.c_str());
+
+  std::printf("%-22s %12s %10s %16s %8s\n", "engine", "seconds", "rows",
+              "intermediates", "joins");
+  for (const QueryEngine* e : engines) {
+    auto start = std::chrono::steady_clock::now();
+    auto r = e->Execute(q.value());
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (!r.ok()) {
+      std::printf("%-22s ERROR: %s\n", e->name().c_str(),
+                  r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-22s %12.6f %10zu %16llu %8llu\n", e->name().c_str(), secs,
+                r.value().table.num_rows(),
+                static_cast<unsigned long long>(
+                    r.value().stats.intermediate_rows),
+                static_cast<unsigned long long>(r.value().stats.joins));
+  }
+
+  std::printf(
+      "\nthe intermediate-result column is the paper's story in one number:"
+      "\nECS matching feeds the joins only triples that participate in the"
+      "\nfull chain, while per-pattern index scans materialize everything"
+      "\nthat matches each pattern in isolation.\n");
+  return 0;
+}

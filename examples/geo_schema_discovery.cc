@@ -1,0 +1,107 @@
+// Schema discovery on a loosely structured dataset: the paper's Geonames
+// scenario. RDF data has no declared schema, but CS/ECS extraction reveals
+// the emergent one — this example prints the discovered characteristic
+// sets, their populations, the ECS hierarchy, and per-ECS statistics.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "datagen/geonames_generator.h"
+#include "engine/database.h"
+
+int main() {
+  using namespace axon;
+
+  GeonamesConfig cfg;
+  cfg.num_features = 3000;
+  Dataset data = GenerateGeonamesDataset(cfg);
+  auto db_r = Database::Build(data);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 db_r.status().ToString().c_str());
+    return 1;
+  }
+  const Database& db = db_r.value();
+  const CsIndex& cs = db.cs_index();
+  const EcsIndex& ecs = db.ecs_index();
+
+  std::printf("Geonames-like dataset: %zu triples\n", data.triples.size());
+  std::printf("emergent schema: %zu characteristic sets, %zu ECSs\n\n",
+              cs.num_sets(), ecs.num_sets());
+
+  // --- Top characteristic sets by population, with their property lists.
+  std::vector<CsId> by_population(cs.num_sets());
+  for (CsId i = 0; i < cs.num_sets(); ++i) by_population[i] = i;
+  std::sort(by_population.begin(), by_population.end(),
+            [&cs](CsId a, CsId b) {
+              return cs.RangeOf(a).size() > cs.RangeOf(b).size();
+            });
+  std::printf("top 5 node types (characteristic sets) by triple count:\n");
+  for (size_t i = 0; i < 5 && i < by_population.size(); ++i) {
+    CsId id = by_population[i];
+    std::printf("  CS%-5u %6llu triples, %4llu subjects, properties:", id,
+                static_cast<unsigned long long>(cs.RangeOf(id).size()),
+                static_cast<unsigned long long>(cs.DistinctSubjects(id)));
+    for (uint32_t ord : cs.set(id).properties.ToIndices()) {
+      std::string canonical =
+          db.dict().GetCanonical(cs.properties().PredicateOf(ord));
+      // Print only the local name for readability.
+      size_t pos = canonical.find_last_of("/#");
+      std::printf(" %s", canonical.substr(pos + 1, canonical.size() - pos - 2)
+                             .c_str());
+    }
+    std::printf("\n");
+  }
+
+  // --- Relationship types (ECSs) and their join statistics.
+  std::vector<EcsId> ecs_by_size(ecs.num_sets());
+  for (EcsId i = 0; i < ecs.num_sets(); ++i) ecs_by_size[i] = i;
+  std::sort(ecs_by_size.begin(), ecs_by_size.end(), [&ecs](EcsId a, EcsId b) {
+    return ecs.RangeOf(a).size() > ecs.RangeOf(b).size();
+  });
+  std::printf("\ntop 5 relationship types (ECSs) by triple count:\n");
+  for (size_t i = 0; i < 5 && i < ecs_by_size.size(); ++i) {
+    EcsId id = ecs_by_size[i];
+    const auto& e = ecs.set(id);
+    const EcsStats& st = db.statistics().Of(id);
+    std::printf(
+        "  ECS%-4u CS%u -> CS%u: %llu triples, %llu subjects, %llu objects,"
+        " m_f,os=%.2f\n",
+        id, e.subject_cs, e.object_cs,
+        static_cast<unsigned long long>(st.num_triples),
+        static_cast<unsigned long long>(st.distinct_subjects),
+        static_cast<unsigned long long>(st.distinct_objects),
+        db.statistics().MultiplicationFactorOs(id));
+  }
+
+  // --- The specialization hierarchy (Sec. III.D).
+  const EcsHierarchy& h = db.hierarchy();
+  size_t root_count = h.Roots().size();
+  size_t with_children = 0;
+  size_t max_children = 0;
+  for (EcsId i = 0; i < h.num_nodes(); ++i) {
+    if (!h.Children(i).empty()) {
+      ++with_children;
+      max_children = std::max(max_children, h.Children(i).size());
+    }
+  }
+  std::printf(
+      "\nECS hierarchy: %zu roots (most generic), %zu internal nodes, "
+      "widest family %zu children\n",
+      root_count, with_children, max_children);
+  std::printf(
+      "storage layout follows the hierarchy pre-order so related ECS "
+      "partitions are disk neighbours.\n");
+
+  // --- What schema diversity costs: fragmentation census.
+  uint64_t single_triple_ecs = 0;
+  for (EcsId i = 0; i < ecs.num_sets(); ++i) {
+    if (ecs.RangeOf(i).size() == 1) ++single_triple_ecs;
+  }
+  std::printf(
+      "\nfragmentation: %llu of %zu ECSs hold a single triple — the "
+      "paper's observed weak spot on Geonames (Sec. V.B).\n",
+      static_cast<unsigned long long>(single_triple_ecs), ecs.num_sets());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Pathway explorer: the paper's Reactome scenario — long biological
+// pathway chains with branching — explored through the public API.
+//
+// Demonstrates: dataset generation, chain-heavy SPARQL over the ECS index,
+// the provably-empty fast path, and using the ECS graph to enumerate the
+// schema-level paths that make chain queries answerable.
+
+#include <cstdio>
+
+#include "datagen/reactome_generator.h"
+#include "engine/database.h"
+
+int main() {
+  using namespace axon;
+
+  ReactomeConfig cfg;
+  cfg.num_pathways = 60;
+  Dataset data = GenerateReactomeDataset(cfg);
+  std::printf("generated Reactome-like pathway graph: %zu triples\n",
+              data.triples.size());
+
+  auto db = Database::Build(data);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const BuildInfo& info = db.value().build_info();
+  std::printf("%llu CS, %llu ECS, %llu ECS-graph edges\n\n",
+              static_cast<unsigned long long>(info.num_cs),
+              static_cast<unsigned long long>(info.num_ecs),
+              static_cast<unsigned long long>(info.num_ecs_edges));
+
+  // A three-hop chain with stars: pathway -> reaction -> entity ->
+  // reference. This is the query shape the paper's Sec. I motivates.
+  constexpr char kChainQuery[] = R"(
+    PREFIX bp: <http://www.biopax.org/release/biopax-level3.owl#>
+    SELECT ?pathway ?reaction ?entity ?ref WHERE {
+      ?pathway bp:pathwayComponent ?reaction .
+      ?pathway bp:displayName ?pn .
+      ?reaction bp:left ?entity .
+      ?reaction bp:displayName ?rn .
+      ?entity bp:entityReference ?ref .
+      ?entity bp:displayName ?en .
+      ?ref bp:displayName ?refn
+    } LIMIT 5)";
+  auto r = db.value().ExecuteSparql(kChainQuery);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pathway -> reaction -> entity -> reference chains (LIMIT 5):\n");
+  auto rendered = db.value().Render(r.value().table);
+  for (const auto& row : rendered.value()) {
+    std::printf("  %s | %s | %s | %s\n", row[0].c_str(), row[1].c_str(),
+                row[2].c_str(), row[3].c_str());
+  }
+
+  // The preprocessor proves structurally impossible queries empty without
+  // touching the triple tables: no node both precedes an event and carries
+  // a population (a Geonames property that does not even exist here).
+  constexpr char kImpossible[] = R"(
+    PREFIX bp: <http://www.biopax.org/release/biopax-level3.owl#>
+    SELECT ?x WHERE {
+      ?x bp:precedingEvent ?y .
+      ?x bp:organism ?o .
+      ?y bp:displayName ?n })";
+  auto empty = db.value().ExecuteSparql(kImpossible);
+  std::printf(
+      "\nstructurally impossible chain query: %zu rows, %llu rows scanned "
+      "(answered from the ECS graph alone)\n",
+      empty.value().table.num_rows(),
+      static_cast<unsigned long long>(empty.value().stats.rows_scanned));
+
+  // Schema-level exploration: longest chains in the ECS graph tell us how
+  // deep path queries can reach in this dataset.
+  const EcsGraph& graph = db.value().ecs_graph();
+  size_t longest = 0;
+  for (EcsId e = 0; e < graph.num_nodes(); ++e) {
+    for (size_t len = longest + 1; len <= 8; ++len) {
+      if (graph.PathsFrom(e, len, 1).empty()) break;
+      longest = len;
+    }
+  }
+  std::printf("\nlongest schema-level (ECS) chain: %zu hops\n", longest);
+  std::printf("=> conjunctive path queries up to %zu object-subject joins "
+              "can return results on this dataset\n",
+              longest);
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "baselines/generic_bgp.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace axon {
+
+namespace {
+
+// Variables named by a pattern.
+std::vector<std::string> PatternVars(const IdPattern& p) {
+  std::vector<std::string> out;
+  auto add = [&out](const std::string& v) {
+    if (!v.empty() && std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  };
+  add(p.s_var);
+  add(p.p_var);
+  add(p.o_var);
+  return out;
+}
+
+bool SharesVar(const std::vector<std::string>& bound_vars,
+               const IdPattern& p) {
+  for (const std::string& v : PatternVars(p)) {
+    if (std::find(bound_vars.begin(), bound_vars.end(), v) !=
+        bound_vars.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<IdPattern>> BindPatterns(const SelectQuery& query,
+                                            const Dictionary& dict,
+                                            bool* empty_result) {
+  *empty_result = false;
+  std::vector<IdPattern> out;
+  out.reserve(query.patterns.size());
+  for (const TriplePattern& tp : query.patterns) {
+    IdPattern ip;
+    auto bind = [&dict, empty_result](const PatternTerm& t, TermId* id,
+                                      std::string* var) {
+      if (t.is_variable) {
+        *var = t.var;
+        return;
+      }
+      auto found = dict.Lookup(t.term);
+      if (!found.has_value()) {
+        *empty_result = true;
+        return;
+      }
+      *id = *found;
+    };
+    bind(tp.s, &ip.s, &ip.s_var);
+    bind(tp.p, &ip.p, &ip.p_var);
+    bind(tp.o, &ip.o, &ip.o_var);
+    out.push_back(std::move(ip));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, TermId>>> BindFilters(
+    const SelectQuery& query, const Dictionary& dict, bool* empty_result) {
+  *empty_result = false;
+  std::vector<std::pair<std::string, TermId>> out;
+  for (const EqualityFilter& f : query.filters) {
+    auto found = dict.Lookup(f.value);
+    if (!found.has_value()) {
+      *empty_result = true;
+      return out;
+    }
+    out.emplace_back(f.var, *found);
+  }
+  return out;
+}
+
+Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
+                                      const Dictionary& dict,
+                                      const AccessPathFn& access_path,
+                                      uint64_t timeout_millis) {
+  QueryResult result;
+  auto start_time = std::chrono::steady_clock::now();
+  auto deadline_hit = [timeout_millis, start_time]() {
+    if (timeout_millis == 0) return false;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_time);
+    return static_cast<uint64_t>(elapsed.count()) >= timeout_millis;
+  };
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+
+  bool patterns_empty = false;
+  bool filters_empty = false;
+  auto patterns_r = BindPatterns(query, dict, &patterns_empty);
+  if (!patterns_r.ok()) return patterns_r.status();
+  auto filters_r = BindFilters(query, dict, &filters_empty);
+  if (!filters_r.ok()) return filters_r.status();
+  bool empty = patterns_empty || filters_empty;
+  std::vector<IdPattern> patterns = std::move(patterns_r).ValueOrDie();
+  auto filters = std::move(filters_r).ValueOrDie();
+
+  std::vector<std::string> proj = query.EffectiveProjection();
+  if (empty) {
+    result.table = BindingTable(proj);
+    return result;
+  }
+
+  // Choose an access path per pattern up front (first-level statistics).
+  std::vector<AccessPath> paths;
+  paths.reserve(patterns.size());
+  for (const IdPattern& p : patterns) paths.push_back(access_path(p));
+
+  // Greedy ordering: cheapest connected pattern next.
+  std::vector<bool> used(patterns.size(), false);
+  std::vector<std::string> bound_vars;
+  BindingTable current;
+  bool first = true;
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    size_t best = patterns.size();
+    bool best_connected = false;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = first || SharesVar(bound_vars, patterns[i]);
+      if (best == patterns.size() ||
+          (connected && !best_connected) ||
+          (connected == best_connected &&
+           paths[i].estimated_rows < paths[best].estimated_rows)) {
+        best = i;
+        best_connected = connected;
+      }
+    }
+    BindingTable next = paths[best].materialize(&result.stats);
+    used[best] = true;
+    for (const std::string& v : PatternVars(patterns[best])) {
+      if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
+          bound_vars.end()) {
+        bound_vars.push_back(v);
+      }
+    }
+    if (deadline_hit()) {
+      return Status::DeadlineExceeded("query exceeded " +
+                                      std::to_string(timeout_millis) + "ms");
+    }
+    if (first) {
+      current = std::move(next);
+      first = false;
+    } else {
+      current = HashJoin(current, next, &result.stats);
+    }
+    if (current.num_rows() == 0 && current.num_cols() > 0) break;
+  }
+
+  for (const auto& [var, id] : filters) {
+    current = FilterEquals(current, var, id, &result.stats);
+  }
+
+  // Patterns whose every position is bound and which were skipped by the
+  // early break must still hold: if we broke early with zero rows the
+  // result is empty anyway, so nothing further to check.
+  current = Project(current, proj);
+  if (query.distinct) current = Distinct(current);
+  if (query.limit.has_value()) current = Limit(current, *query.limit);
+  result.table = std::move(current);
+  return result;
+}
+
+}  // namespace axon

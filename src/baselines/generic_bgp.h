@@ -1,0 +1,69 @@
+// Generic BGP evaluation shared by the baseline engines.
+//
+// The baselines embody the "data independence assumption" the paper
+// critiques: each triple pattern is resolved to the best available index
+// range in isolation, per-pattern cardinalities are first-level statistics,
+// and join ordering is a greedy heuristic over those estimates. What
+// differs between the three baselines is only the set of access paths —
+// exactly the axis the paper varies (six permutations vs partial indexes vs
+// vertical partitioning).
+
+#ifndef AXON_BASELINES_GENERIC_BGP_H_
+#define AXON_BASELINES_GENERIC_BGP_H_
+
+#include <functional>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "exec/operators.h"
+#include "sparql/algebra.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+/// Resolves the pattern-level terms of `query` to ids via `dict`. If any
+/// bound term is absent from the dictionary, the query provably has no
+/// solutions and *empty_result is set.
+Result<std::vector<IdPattern>> BindPatterns(const SelectQuery& query,
+                                            const Dictionary& dict,
+                                            bool* empty_result);
+
+/// Resolves the equality filters of `query` to (var, id) pairs; a filter
+/// value missing from the dictionary sets *empty_result.
+Result<std::vector<std::pair<std::string, TermId>>> BindFilters(
+    const SelectQuery& query, const Dictionary& dict, bool* empty_result);
+
+/// Adds the simulated 4 KiB page count of one scanned range to
+/// stats->pages_read (the same disk model the axonDB executor accounts
+/// with, so simulated-I/O comparisons across engines are like for like).
+inline void AccountRangePages(const RowRange& range, ExecStats* stats) {
+  if (stats == nullptr || range.empty()) return;
+  constexpr uint64_t kPageRows = 4096 / sizeof(Triple);
+  stats->pages_read += (range.end - 1) / kPageRows - range.begin / kPageRows + 1;
+}
+
+/// One access path chosen for a pattern: an estimated cardinality and a
+/// thunk materializing the pattern's solutions.
+struct AccessPath {
+  uint64_t estimated_rows = 0;
+  std::function<BindingTable(ExecStats*)> materialize;
+};
+
+/// Engine-specific access-path selection.
+using AccessPathFn = std::function<AccessPath(const IdPattern&)>;
+
+/// Greedy BGP evaluation: repeatedly joins in the cheapest pattern that
+/// shares a variable with the current bindings (falling back to a cross
+/// product when the pattern graph is disconnected), then applies filters,
+/// DISTINCT/projection and LIMIT.
+/// `timeout_millis` = 0 means unlimited; otherwise the evaluation aborts
+/// with DeadlineExceeded when the budget is spent (checked between
+/// operators, mirroring the paper's per-query 30-minute cap).
+Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
+                                      const Dictionary& dict,
+                                      const AccessPathFn& access_path,
+                                      uint64_t timeout_millis = 0);
+
+}  // namespace axon
+
+#endif  // AXON_BASELINES_GENERIC_BGP_H_

@@ -1,0 +1,73 @@
+#include "baselines/partial_index_engine.h"
+
+namespace axon {
+
+PartialIndexEngine PartialIndexEngine::Build(const Dataset& dataset) {
+  PartialIndexEngine e;
+  e.dict_ = &dataset.dict;
+  for (TripleTable* t : {&e.pso_, &e.pos_, &e.sop_}) {
+    t->Reserve(dataset.triples.size());
+    for (const Triple& triple : dataset.triples) t->Append(triple);
+  }
+  e.pso_.Sort(Permutation::kPso);
+  e.pso_.Dedup();
+  e.pos_.Sort(Permutation::kPos);
+  e.pos_.Dedup();
+  e.sop_.Sort(Permutation::kSop);
+  e.sop_.Dedup();
+  return e;
+}
+
+AccessPath PartialIndexEngine::MakeAccessPath(const IdPattern& p) const {
+  const TripleTable* table = nullptr;
+  RowRange range;
+  if (p.p_bound()) {
+    if (p.o_bound()) {
+      // POS prefix covers (P, O [, S]).
+      table = &pos_;
+      range = pos_.EqualRange(Permutation::kPos, p.p, p.o,
+                              p.s_bound() ? p.s : kInvalidId);
+    } else {
+      // PSO prefix covers (P [, S]).
+      table = &pso_;
+      range = pso_.EqualRange(Permutation::kPso, p.p,
+                              p.s_bound() ? p.s : kInvalidId, kInvalidId);
+    }
+  } else if (p.s_bound()) {
+    // Partial SP index: subject-major probe; the O component is covered
+    // when bound, P never is (post-filtered by ScanPattern).
+    table = &sop_;
+    range = sop_.EqualRange(Permutation::kSop, p.s,
+                            p.o_bound() ? p.o : kInvalidId, kInvalidId);
+  } else if (p.o_bound()) {
+    // No object-major full index: fall back to a full scan of POS and
+    // post-filter — the cost the partial-index scheme pays on bound-object
+    // probes without a bound predicate.
+    table = &pos_;
+    range = RowRange{0, pos_.size()};
+  } else {
+    table = &pso_;
+    range = RowRange{0, pso_.size()};
+  }
+  AccessPath path;
+  path.estimated_rows = range.size();
+  path.materialize = [table, range, p](ExecStats* stats) {
+    AccountRangePages(range, stats);
+    return ScanPattern(table->slice(range), p, stats);
+  };
+  return path;
+}
+
+Result<QueryResult> PartialIndexEngine::Execute(
+    const SelectQuery& query) const {
+  return EvaluateBgpGreedy(
+      query, *dict_,
+      [this](const IdPattern& p) { return MakeAccessPath(p); },
+      timeout_millis_);
+}
+
+uint64_t PartialIndexEngine::StorageBytes() const {
+  return pso_.ByteSize() + pos_.ByteSize() + sop_.ByteSize();
+}
+
+}  // namespace axon

@@ -1,0 +1,43 @@
+// Partial-index baseline — the Virtuoso 7.2 architectural analogue.
+//
+// Open-source Virtuoso keeps a quad table with two *full* orderings (PSOG
+// and POGS — here PSO and POS) plus a small set of *partial* indexes; it
+// does not maintain subject- or object-major full permutations. We model
+// this as: full PSO and POS tables, plus a partial SP index (subject →
+// rows, resolved through a subject-major table that the engine must
+// post-filter). Patterns that a six-permutation store would answer with a
+// tight prefix scan (e.g. bound S+O) here scan wider ranges and filter —
+// the behaviour the paper's experiments expose on unbound-heavy chains.
+
+#ifndef AXON_BASELINES_PARTIAL_INDEX_ENGINE_H_
+#define AXON_BASELINES_PARTIAL_INDEX_ENGINE_H_
+
+#include "baselines/generic_bgp.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+class PartialIndexEngine : public QueryEngine {
+ public:
+  static PartialIndexEngine Build(const Dataset& dataset);
+
+  std::string name() const override { return "PartialIdx(Virtuoso)"; }
+  Result<QueryResult> Execute(const SelectQuery& query) const override;
+  uint64_t StorageBytes() const override;
+
+  /// Per-query wall-clock budget (ms); 0 = unlimited.
+  void set_timeout_millis(uint64_t ms) { timeout_millis_ = ms; }
+
+ private:
+  AccessPath MakeAccessPath(const IdPattern& p) const;
+
+  const Dictionary* dict_ = nullptr;
+  uint64_t timeout_millis_ = 0;
+  TripleTable pso_;  // full index
+  TripleTable pos_;  // full index
+  TripleTable sop_;  // partial: subject-major, used only for bound-S probes
+};
+
+}  // namespace axon
+
+#endif  // AXON_BASELINES_PARTIAL_INDEX_ENGINE_H_

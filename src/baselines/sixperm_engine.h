@@ -1,0 +1,46 @@
+// Six-permutation baseline — the RDF-3x architectural analogue.
+//
+// Stores the full triples table in all six (S,P,O) orderings and answers
+// each triple pattern with a binary-searched prefix range over the
+// permutation whose sort key starts with the pattern's bound components
+// (RDF-3x's "exhaustive permutation" scheme, paper Secs. I and VI). Join
+// ordering is greedy over first-level cardinality statistics — the data
+// independence assumption the paper critiques.
+
+#ifndef AXON_BASELINES_SIXPERM_ENGINE_H_
+#define AXON_BASELINES_SIXPERM_ENGINE_H_
+
+#include <array>
+
+#include "baselines/generic_bgp.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+class SixPermEngine : public QueryEngine {
+ public:
+  /// Builds all six permutation tables from the dataset.
+  static SixPermEngine Build(const Dataset& dataset);
+
+  std::string name() const override { return "SixPerm(RDF-3x)"; }
+  Result<QueryResult> Execute(const SelectQuery& query) const override;
+  uint64_t StorageBytes() const override;
+
+  /// Per-query wall-clock budget (ms); 0 = unlimited.
+  void set_timeout_millis(uint64_t ms) { timeout_millis_ = ms; }
+
+  /// The permutation whose key prefix covers the pattern's bound
+  /// components (exposed for tests).
+  static Permutation ChoosePermutation(const IdPattern& p);
+
+ private:
+  AccessPath MakeAccessPath(const IdPattern& p) const;
+
+  const Dictionary* dict_ = nullptr;
+  uint64_t timeout_millis_ = 0;
+  std::array<TripleTable, 6> tables_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_BASELINES_SIXPERM_ENGINE_H_

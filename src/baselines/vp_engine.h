@@ -1,0 +1,50 @@
+// Vertical-partitioning baseline — the TripleBit architectural analogue.
+//
+// Data is partitioned into one two-column (S, O) chunk per predicate
+// (Abadi-style vertical partitioning; TripleBit's chunks-per-predicate
+// layout, paper Sec. VI). Each chunk is kept in both subject order and
+// object order. Patterns with a bound predicate scan only that predicate's
+// chunk — excellent for selective bound-object probes — but patterns with
+// an unbound predicate must union every chunk, and multi-chain queries
+// suffer the large intermediate joins the paper reports for TripleBit.
+
+#ifndef AXON_BASELINES_VP_ENGINE_H_
+#define AXON_BASELINES_VP_ENGINE_H_
+
+#include <map>
+
+#include "baselines/generic_bgp.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+class VpEngine : public QueryEngine {
+ public:
+  static VpEngine Build(const Dataset& dataset);
+
+  std::string name() const override { return "VertPart(TripleBit)"; }
+  Result<QueryResult> Execute(const SelectQuery& query) const override;
+  uint64_t StorageBytes() const override;
+
+  /// Per-query wall-clock budget (ms); 0 = unlimited.
+  void set_timeout_millis(uint64_t ms) { timeout_millis_ = ms; }
+
+  size_t num_predicates() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    TripleTable by_subject;  // sorted (S, O)
+    TripleTable by_object;   // sorted (O, S)
+  };
+
+  AccessPath MakeAccessPath(const IdPattern& p) const;
+
+  const Dictionary* dict_ = nullptr;
+  uint64_t timeout_millis_ = 0;
+  std::map<TermId, Chunk> chunks_;
+  uint64_t total_triples_ = 0;
+};
+
+}  // namespace axon
+
+#endif  // AXON_BASELINES_VP_ENGINE_H_

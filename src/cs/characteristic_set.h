@@ -1,0 +1,95 @@
+// Characteristic Sets (Neumann & Moerkotte; paper Sec. II, Eq. 1-2).
+//
+// A characteristic set S_c(s) is the set of properties a subject node emits.
+// We represent it as a Bitmap over dense *property ordinals*: the paper keeps
+// "a bitmap of the properties that define it, where each bit corresponds to
+// the presence of a property in D", with properties "ordered as they appear
+// in the first iteration of the input triples" — PropertyRegistry implements
+// exactly that reference ordering.
+
+#ifndef AXON_CS_CHARACTERISTIC_SET_H_
+#define AXON_CS_CHARACTERISTIC_SET_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/bitmap.h"
+#include "util/status.h"
+#include "util/varint.h"
+
+namespace axon {
+
+/// Maps predicate term ids to dense ordinals in first-appearance order.
+/// This ordering is the shared reference for every property bitmap in the
+/// system (CS bitmaps, query CS bitmaps, ECS property sets).
+class PropertyRegistry {
+ public:
+  /// Registers `predicate` if unseen; returns its ordinal.
+  uint32_t Register(TermId predicate) {
+    auto it = ordinal_.find(predicate);
+    if (it != ordinal_.end()) return it->second;
+    uint32_t ord = static_cast<uint32_t>(predicates_.size());
+    predicates_.push_back(predicate);
+    ordinal_.emplace(predicate, ord);
+    return ord;
+  }
+
+  /// Ordinal of `predicate`, if registered.
+  std::optional<uint32_t> OrdinalOf(TermId predicate) const {
+    auto it = ordinal_.find(predicate);
+    if (it == ordinal_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  TermId PredicateOf(uint32_t ordinal) const { return predicates_[ordinal]; }
+
+  /// Number of distinct properties (the bitmap width; "#properties" row of
+  /// Table II).
+  uint32_t size() const { return static_cast<uint32_t>(predicates_.size()); }
+
+  void SerializeTo(std::string* out) const {
+    PutVarint64(out, predicates_.size());
+    for (TermId p : predicates_) PutVarint32(out, p);
+  }
+
+  static Result<PropertyRegistry> Deserialize(std::string_view data,
+                                              size_t* pos) {
+    const char* p = data.data() + *pos;
+    const char* limit = data.data() + data.size();
+    uint64_t n = 0;
+    p = GetVarint64(p, limit, &n);
+    if (p == nullptr) return Status::Corruption("property registry: count");
+    PropertyRegistry reg;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t id = 0;
+      p = GetVarint32(p, limit, &id);
+      if (p == nullptr) return Status::Corruption("property registry: entry");
+      reg.Register(id);
+    }
+    *pos = p - data.data();
+    return reg;
+  }
+
+ private:
+  std::vector<TermId> predicates_;
+  std::unordered_map<TermId, uint32_t> ordinal_;
+};
+
+/// One characteristic set: a unique id plus the defining property bitmap.
+struct CharacteristicSet {
+  CsId id = kNoCs;
+  Bitmap properties;  // over PropertyRegistry ordinals
+
+  uint32_t NumProperties() const { return properties.Count(); }
+};
+
+/// Serializes a bitmap (shared helper for CS/ECS metadata sections).
+void SerializeBitmap(const Bitmap& b, std::string* out);
+Result<Bitmap> DeserializeBitmap(std::string_view data, size_t* pos);
+
+}  // namespace axon
+
+#endif  // AXON_CS_CHARACTERISTIC_SET_H_

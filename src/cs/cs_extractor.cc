@@ -1,0 +1,91 @@
+#include "cs/cs_extractor.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace axon {
+
+void SerializeBitmap(const Bitmap& b, std::string* out) {
+  PutVarint32(out, b.num_bits());
+  const auto& words = b.words();
+  PutVarint64(out, words.size());
+  for (uint64_t w : words) PutFixed64(out, w);
+}
+
+Result<Bitmap> DeserializeBitmap(std::string_view data, size_t* pos) {
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint32_t num_bits = 0;
+  p = GetVarint32(p, limit, &num_bits);
+  if (p == nullptr) return Status::Corruption("bitmap: num_bits");
+  uint64_t num_words = 0;
+  p = GetVarint64(p, limit, &num_words);
+  if (p == nullptr || p + num_words * 8 > limit) {
+    return Status::Corruption("bitmap: words");
+  }
+  std::vector<uint64_t> words(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    words[i] = DecodeFixed64(p);
+    p += 8;
+  }
+  *pos = p - data.data();
+  return Bitmap::FromWords(std::move(words), num_bits);
+}
+
+CsExtraction ExtractCharacteristicSets(LoadTripleVec triples) {
+  CsExtraction out;
+
+  // Register properties in input order first — this fixes the reference
+  // bitmap ordering before any sorting rearranges the triples (paper
+  // footnote 5).
+  for (const LoadTriple& t : triples) out.properties.Register(t.p);
+
+  // Line 1: sort by subject (full key keeps the order deterministic).
+  std::sort(triples.begin(), triples.end(),
+            [](const LoadTriple& a, const LoadTriple& b) {
+              return std::tuple(a.s, a.p, a.o) < std::tuple(b.s, b.p, b.o);
+            });
+
+  // Lines 2-14: one pass over subject groups; dedupe property bitmaps by
+  // content hash to mint CS ids.
+  std::unordered_map<uint64_t, std::vector<CsId>> bitmap_to_cs;
+  auto intern_cs = [&](const Bitmap& bm) -> CsId {
+    auto& bucket = bitmap_to_cs[bm.Hash()];
+    for (CsId id : bucket) {
+      if (out.sets[id].properties == bm) return id;
+    }
+    CsId id = static_cast<CsId>(out.sets.size());
+    out.sets.push_back(CharacteristicSet{id, bm});
+    bucket.push_back(id);
+    return id;
+  };
+
+  size_t group_start = 0;
+  while (group_start < triples.size()) {
+    size_t group_end = group_start;
+    TermId subject = triples[group_start].s;
+    Bitmap bm(out.properties.size());
+    while (group_end < triples.size() && triples[group_end].s == subject) {
+      bm.Set(*out.properties.OrdinalOf(triples[group_end].p));
+      ++group_end;
+    }
+    CsId cs = intern_cs(bm);
+    for (size_t i = group_start; i < group_end; ++i) triples[i].cs = cs;
+    out.subject_cs.emplace(subject, cs);
+    group_start = group_end;
+  }
+
+  // Line 15: re-sort by CS with subject as the secondary key — the
+  // persistent SPO ordering ("sort the triples by their CS, maintaining the
+  // subject as the secondary sort key", Sec. III.B).
+  std::sort(triples.begin(), triples.end(),
+            [](const LoadTriple& a, const LoadTriple& b) {
+              return std::tuple(a.cs, a.s, a.p, a.o) <
+                     std::tuple(b.cs, b.s, b.p, b.o);
+            });
+
+  out.triples = std::move(triples);
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,44 @@
+// Characteristic-set extraction — Algorithm 1 of the paper.
+//
+// Input: the loader's N×4 table (S, P, O, CS) with the CS column unassigned.
+// The extractor sorts by subject, aggregates each subject's property bitmap,
+// dedupes bitmaps by hash to mint CS ids, writes the CS id into column 4 of
+// every triple, then re-sorts by (CS, S) to produce the partitioned SPO
+// ordering the CS index is built over.
+
+#ifndef AXON_CS_CS_EXTRACTOR_H_
+#define AXON_CS_CS_EXTRACTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cs/characteristic_set.h"
+#include "rdf/triple.h"
+
+namespace axon {
+
+/// Output of CS extraction.
+struct CsExtraction {
+  /// All distinct characteristic sets; index == CsId.
+  std::vector<CharacteristicSet> sets;
+
+  /// Subject node -> its CS id (needed later to resolve object CSs during
+  /// ECS extraction, and for bound-subject query lookups).
+  std::unordered_map<TermId, CsId> subject_cs;
+
+  /// The input triples with column 4 assigned, sorted by (CS, S, P, O) —
+  /// i.e. the exact row order of the persistent SPO table.
+  LoadTripleVec triples;
+
+  /// Dataset property ordering shared by all bitmaps.
+  PropertyRegistry properties;
+};
+
+/// Runs Algorithm 1. `triples` is consumed (moved into the result and
+/// re-sorted). The property registry is seeded in input order, matching the
+/// paper's reference ordering.
+CsExtraction ExtractCharacteristicSets(LoadTripleVec triples);
+
+}  // namespace axon
+
+#endif  // AXON_CS_CS_EXTRACTOR_H_

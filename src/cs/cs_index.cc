@@ -1,0 +1,186 @@
+#include "cs/cs_index.h"
+
+#include <algorithm>
+
+namespace axon {
+
+CsIndex CsIndex::Build(const CsExtraction& extraction) {
+  CsIndex idx;
+  idx.properties_ = extraction.properties;
+  idx.sets_ = extraction.sets;
+  idx.distinct_subjects_.assign(idx.sets_.size(), 0);
+
+  idx.predicate_counts_.assign(idx.sets_.size(), {});
+  idx.spo_.Reserve(extraction.triples.size());
+  std::vector<std::pair<CsId, RowRange>> ranges;
+  CsId current = kNoCs;
+  TermId last_subject = kInvalidId;
+  for (size_t i = 0; i < extraction.triples.size(); ++i) {
+    const LoadTriple& t = extraction.triples[i];
+    idx.spo_.Append(t.s, t.p, t.o);
+    if (t.cs != current) {
+      if (current != kNoCs) ranges.back().second.end = i;
+      ranges.emplace_back(t.cs, RowRange{i, i});
+      current = t.cs;
+      last_subject = kInvalidId;
+    }
+    if (t.s != last_subject) {
+      ++idx.distinct_subjects_[t.cs];
+      last_subject = t.s;
+    }
+    auto& counts = idx.predicate_counts_[t.cs];
+    auto it = std::lower_bound(
+        counts.begin(), counts.end(), t.p,
+        [](const auto& entry, TermId p) { return entry.first < p; });
+    if (it != counts.end() && it->first == t.p) {
+      ++it->second;
+    } else {
+      counts.insert(it, {t.p, 1});
+    }
+  }
+  if (!ranges.empty()) ranges.back().second.end = extraction.triples.size();
+
+  idx.ranges_ = BPlusTree<CsId, RowRange>::BulkLoad(ranges);
+
+  std::vector<std::pair<TermId, CsId>> subject_entries(
+      extraction.subject_cs.begin(), extraction.subject_cs.end());
+  std::sort(subject_entries.begin(), subject_entries.end());
+  idx.subject_cs_ = BPlusTree<TermId, CsId>::BulkLoad(subject_entries);
+  return idx;
+}
+
+uint64_t CsIndex::PredicateCount(CsId id, TermId p) const {
+  const auto& counts = predicate_counts_[id];
+  auto it = std::lower_bound(
+      counts.begin(), counts.end(), p,
+      [](const auto& entry, TermId pred) { return entry.first < pred; });
+  if (it != counts.end() && it->first == p) return it->second;
+  return 0;
+}
+
+RowRange CsIndex::RangeOf(CsId id) const {
+  const RowRange* r = ranges_.Find(id);
+  return r == nullptr ? RowRange{} : *r;
+}
+
+std::optional<CsId> CsIndex::CsOfSubject(TermId subject) const {
+  const CsId* cs = subject_cs_.Find(subject);
+  if (cs == nullptr) return std::nullopt;
+  return *cs;
+}
+
+std::vector<CsId> CsIndex::MatchSupersets(const Bitmap& query) const {
+  std::vector<CsId> out;
+  for (const CharacteristicSet& cs : sets_) {
+    if (query.IsSubsetOf(cs.properties)) out.push_back(cs.id);
+  }
+  return out;
+}
+
+RowRange CsIndex::SubjectRange(CsId cs, TermId subject) const {
+  RowRange range = RangeOf(cs);
+  if (range.empty()) return RowRange{};
+  std::span<const Triple> rows = spo_.slice(range);
+  auto lo = std::lower_bound(rows.begin(), rows.end(), subject,
+                             [](const Triple& t, TermId s) { return t.s < s; });
+  auto hi = std::upper_bound(rows.begin(), rows.end(), subject,
+                             [](TermId s, const Triple& t) { return s < t.s; });
+  uint64_t base = range.begin;
+  return RowRange{base + static_cast<uint64_t>(lo - rows.begin()),
+                  base + static_cast<uint64_t>(hi - rows.begin())};
+}
+
+void CsIndex::SerializeMetaTo(std::string* out) const {
+  properties_.SerializeTo(out);
+  PutVarint64(out, sets_.size());
+  for (const CharacteristicSet& cs : sets_) {
+    SerializeBitmap(cs.properties, out);
+  }
+  for (uint64_t d : distinct_subjects_) PutVarint64(out, d);
+  for (const auto& counts : predicate_counts_) {
+    PutVarint64(out, counts.size());
+    for (const auto& [p, c] : counts) {
+      PutVarint32(out, p);
+      PutVarint64(out, c);
+    }
+  }
+  ranges_.SerializeTo(out);
+  subject_cs_.SerializeTo(out);
+}
+
+void CsIndex::SerializeTo(std::string* out) const {
+  SerializeMetaTo(out);
+  spo_.SerializeTo(out);
+}
+
+Result<CsIndex> CsIndex::DeserializeMeta(std::string_view data,
+                                         size_t* pos) {
+  CsIndex idx;
+  auto props = PropertyRegistry::Deserialize(data, pos);
+  if (!props.ok()) return props.status();
+  idx.properties_ = std::move(props).ValueOrDie();
+
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint64_t num_sets = 0;
+  p = GetVarint64(p, limit, &num_sets);
+  if (p == nullptr) return Status::Corruption("cs index: set count");
+  *pos = p - data.data();
+  idx.sets_.reserve(num_sets);
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    auto bm = DeserializeBitmap(data, pos);
+    if (!bm.ok()) return bm.status();
+    idx.sets_.push_back(
+        CharacteristicSet{static_cast<CsId>(i), std::move(bm).ValueOrDie()});
+  }
+  idx.distinct_subjects_.resize(num_sets);
+  p = data.data() + *pos;
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    uint64_t d = 0;
+    p = GetVarint64(p, limit, &d);
+    if (p == nullptr) return Status::Corruption("cs index: distinct subjects");
+    idx.distinct_subjects_[i] = d;
+  }
+  idx.predicate_counts_.assign(num_sets, {});
+  for (uint64_t i = 0; i < num_sets; ++i) {
+    uint64_t m = 0;
+    p = GetVarint64(p, limit, &m);
+    if (p == nullptr) return Status::Corruption("cs index: predicate counts");
+    for (uint64_t j = 0; j < m; ++j) {
+      uint32_t pred = 0;
+      uint64_t count = 0;
+      if ((p = GetVarint32(p, limit, &pred)) == nullptr ||
+          (p = GetVarint64(p, limit, &count)) == nullptr) {
+        return Status::Corruption("cs index: predicate count entry");
+      }
+      idx.predicate_counts_[i].emplace_back(pred, count);
+    }
+  }
+  *pos = p - data.data();
+
+  auto ranges = BPlusTree<CsId, RowRange>::Deserialize(data, pos);
+  if (!ranges.ok()) return ranges.status();
+  idx.ranges_ = std::move(ranges).ValueOrDie();
+
+  auto subject_cs = BPlusTree<TermId, CsId>::Deserialize(data, pos);
+  if (!subject_cs.ok()) return subject_cs.status();
+  idx.subject_cs_ = std::move(subject_cs).ValueOrDie();
+  return idx;
+}
+
+Result<CsIndex> CsIndex::Deserialize(std::string_view data, size_t* pos) {
+  auto idx = DeserializeMeta(data, pos);
+  if (!idx.ok()) return idx.status();
+  auto spo = TripleTable::Deserialize(data, pos);
+  if (!spo.ok()) return spo.status();
+  idx.value().spo_ = std::move(spo).ValueOrDie();
+  return idx;
+}
+
+uint64_t CsIndex::ByteSize() const {
+  std::string buf;
+  SerializeTo(&buf);
+  return buf.size();
+}
+
+}  // namespace axon

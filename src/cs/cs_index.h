@@ -1,0 +1,95 @@
+// CS index (Sec. III.B): the persistent SPO table partitioned by the
+// subject's characteristic set, with a B+-tree from CS id to row range.
+//
+// "The CS Index partitions all triples based on their subject's CS and
+// allows us to easily evaluate properties in star patterns around a given
+// node or variable, with simple range scans."
+
+#ifndef AXON_CS_CS_INDEX_H_
+#define AXON_CS_CS_INDEX_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cs/cs_extractor.h"
+#include "storage/btree.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+class CsIndex {
+ public:
+  CsIndex() = default;
+
+  /// Builds the index from a finished CS extraction. The SPO table adopts
+  /// the extraction's (CS, S, P, O) row order.
+  static CsIndex Build(const CsExtraction& extraction);
+
+  /// The full SPO triples table (all triples of the dataset).
+  const TripleTable& spo() const { return spo_; }
+
+  const PropertyRegistry& properties() const { return properties_; }
+
+  size_t num_sets() const { return sets_.size(); }
+  const CharacteristicSet& set(CsId id) const { return sets_[id]; }
+  std::span<const CharacteristicSet> sets() const { return sets_; }
+
+  /// Row range of a CS in the SPO table (empty range if the id is unknown).
+  RowRange RangeOf(CsId id) const;
+
+  /// CS of a subject node, if the node emits any properties.
+  std::optional<CsId> CsOfSubject(TermId subject) const;
+
+  /// All CS ids whose property bitmap is a superset of `query`
+  /// (the star-pattern matching primitive: query CS ⊆ data CS).
+  std::vector<CsId> MatchSupersets(const Bitmap& query) const;
+
+  /// Rows of one subject inside its CS partition (empty if absent). Within a
+  /// CS range rows are sorted by (S, P, O), so this is a binary search.
+  RowRange SubjectRange(CsId cs, TermId subject) const;
+
+  /// Number of distinct subjects carrying CS `id`.
+  uint64_t DistinctSubjects(CsId id) const { return distinct_subjects_[id]; }
+
+  /// Occurrences of predicate `p` among the triples of CS `id` (0 when the
+  /// predicate is not in the CS). Together with DistinctSubjects this gives
+  /// the per-CS multiplicity statistics of Neumann & Moerkotte's
+  /// characteristic-set cardinality estimation, which Sec. IV.C's cost
+  /// model builds on.
+  uint64_t PredicateCount(CsId id, TermId p) const;
+
+  /// All (predicate, count) pairs of CS `id`, ascending by predicate id.
+  const std::vector<std::pair<TermId, uint64_t>>& PredicateCounts(
+      CsId id) const {
+    return predicate_counts_[id];
+  }
+
+  void SerializeTo(std::string* out) const;
+  static Result<CsIndex> Deserialize(std::string_view data, size_t* pos);
+
+  /// Metadata-only serialization (everything except the SPO table), used
+  /// by the mapped database layout where the table lives in its own
+  /// aligned section.
+  void SerializeMetaTo(std::string* out) const;
+  static Result<CsIndex> DeserializeMeta(std::string_view data, size_t* pos);
+  /// Attaches the SPO table to a DeserializeMeta()d index (owned copy or a
+  /// borrowed mapped view).
+  void AttachSpo(TripleTable spo) { spo_ = std::move(spo); }
+
+  /// On-disk footprint of the table + index payloads.
+  uint64_t ByteSize() const;
+
+ private:
+  PropertyRegistry properties_;
+  std::vector<CharacteristicSet> sets_;
+  std::vector<uint64_t> distinct_subjects_;  // per CS
+  std::vector<std::vector<std::pair<TermId, uint64_t>>> predicate_counts_;
+  TripleTable spo_;
+  BPlusTree<CsId, RowRange> ranges_;
+  BPlusTree<TermId, CsId> subject_cs_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_CS_CS_INDEX_H_

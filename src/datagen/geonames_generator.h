@@ -1,0 +1,33 @@
+// Geonames-like synthetic data generator.
+//
+// Substitute for the geonames.org RDF dump (~172 M triples). The paper
+// picks Geonames as the adversarial case for ECS indexing: "a diverse
+// schema of varying properties among the same types of entities", i.e. a
+// very large number of distinct CSs (851) and ECSs (12136), which
+// fragments the ECS partitioning and erodes axonDB's advantage (Fig. 6d).
+// This generator reproduces that property: every feature draws a random
+// subset of optional properties, and parentFeature/nearby edges create
+// chains between features of many different CSs.
+
+#ifndef AXON_DATAGEN_GEONAMES_GENERATOR_H_
+#define AXON_DATAGEN_GEONAMES_GENERATOR_H_
+
+#include "engine/query_engine.h"
+
+namespace axon {
+
+struct GeonamesConfig {
+  uint32_t num_features = 4000;
+  /// Administrative hierarchy depth (country -> admin1 -> ... -> place).
+  uint32_t hierarchy_depth = 5;
+  uint64_t seed = 13;
+};
+
+inline constexpr char kGeoNs[] = "http://www.geonames.org/ontology#";
+
+void GenerateGeonames(const GeonamesConfig& config, Dataset* dataset);
+Dataset GenerateGeonamesDataset(const GeonamesConfig& config);
+
+}  // namespace axon
+
+#endif  // AXON_DATAGEN_GEONAMES_GENERATOR_H_

@@ -1,0 +1,237 @@
+#include "datagen/lubm_generator.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace axon {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+std::string Ub(const std::string& local) { return std::string(kUbNs) + local; }
+
+// Emits rdf:type for the leaf class plus its full superclass closure
+// (the paper's extension replacing inference).
+const std::vector<std::string>& Closure(const std::string& leaf) {
+  static const std::map<std::string, std::vector<std::string>> kClosure = {
+      {"University", {"University", "Organization"}},
+      {"Department", {"Department", "Organization"}},
+      {"ResearchGroup", {"ResearchGroup", "Organization"}},
+      {"FullProfessor",
+       {"FullProfessor", "Professor", "Faculty", "Employee", "Person"}},
+      {"AssociateProfessor",
+       {"AssociateProfessor", "Professor", "Faculty", "Employee", "Person"}},
+      {"AssistantProfessor",
+       {"AssistantProfessor", "Professor", "Faculty", "Employee", "Person"}},
+      {"Lecturer", {"Lecturer", "Faculty", "Employee", "Person"}},
+      {"GraduateStudent", {"GraduateStudent", "Student", "Person"}},
+      {"UndergraduateStudent", {"UndergraduateStudent", "Student", "Person"}},
+      {"Course", {"Course", "Work"}},
+      {"GraduateCourse", {"GraduateCourse", "Course", "Work"}},
+      {"Publication", {"Publication", "Work"}},
+  };
+  return kClosure.at(leaf);
+}
+
+class LubmBuilder {
+ public:
+  LubmBuilder(const LubmConfig& config, Dataset* out)
+      : config_(config), out_(out), rng_(config.seed) {}
+
+  void Generate() {
+    for (uint32_t u = 0; u < config_.num_universities; ++u) {
+      GenerateUniversity(u);
+    }
+    // hasAlumnus: inverse of the degreeFrom edges, added by the paper's
+    // extended generator.
+    for (const auto& [univ, person] : alumni_) {
+      Emit(univ, Ub("hasAlumnus"), Term::Iri(person));
+    }
+  }
+
+ private:
+  std::string UnivIri(uint32_t u) const {
+    return "http://www.University" + std::to_string(u) + ".edu";
+  }
+  std::string DeptIri(uint32_t u, uint32_t d) const {
+    return "http://www.Department" + std::to_string(d) + ".University" +
+           std::to_string(u) + ".edu";
+  }
+  std::string Entity(const std::string& dept, const std::string& kind,
+                     uint32_t i) const {
+    return dept + "/" + kind + std::to_string(i);
+  }
+
+  void Emit(const std::string& s, const std::string& p, const Term& o) {
+    out_->Add(TermTriple{Term::Iri(s), Term::Iri(p), o});
+  }
+  void EmitTypes(const std::string& s, const std::string& leaf) {
+    for (const std::string& cls : Closure(leaf)) {
+      Emit(s, kRdfType, Term::Iri(Ub(cls)));
+    }
+  }
+  void EmitName(const std::string& s, const std::string& label) {
+    Emit(s, Ub("name"), Term::Literal(label));
+  }
+
+  uint32_t RandomUniversity() {
+    return static_cast<uint32_t>(rng_.Uniform(config_.num_universities));
+  }
+
+  void GenerateUniversity(uint32_t u) {
+    std::string univ = UnivIri(u);
+    EmitTypes(univ, "University");
+    EmitName(univ, "University" + std::to_string(u));
+    for (uint32_t d = 0; d < config_.depts_per_university; ++d) {
+      GenerateDepartment(u, d);
+    }
+  }
+
+  void GenerateDepartment(uint32_t u, uint32_t d) {
+    std::string univ = UnivIri(u);
+    std::string dept = DeptIri(u, d);
+    EmitTypes(dept, "Department");
+    EmitName(dept, "Department" + std::to_string(d));
+    Emit(dept, Ub("subOrganizationOf"), Term::Iri(univ));
+
+    // Courses first so teachers/students can reference them.
+    std::vector<std::string> courses;
+    std::vector<std::string> grad_courses;
+    for (uint32_t i = 0; i < config_.courses_per_dept; ++i) {
+      std::string c = Entity(dept, "Course", i);
+      EmitTypes(c, "Course");
+      EmitName(c, "Course" + std::to_string(i));
+      courses.push_back(c);
+    }
+    for (uint32_t i = 0; i < config_.grad_courses_per_dept; ++i) {
+      std::string c = Entity(dept, "GraduateCourse", i);
+      EmitTypes(c, "GraduateCourse");
+      EmitName(c, "GraduateCourse" + std::to_string(i));
+      grad_courses.push_back(c);
+    }
+
+    // Faculty, cycling through the professor ranks; index 0 heads the
+    // department.
+    static const char* kRanks[] = {"FullProfessor", "AssociateProfessor",
+                                   "AssistantProfessor", "Lecturer"};
+    std::vector<std::string> faculty;
+    for (uint32_t i = 0; i < config_.faculty_per_dept; ++i) {
+      const char* rank = kRanks[i % 4];
+      std::string f = Entity(dept, rank, i);
+      EmitTypes(f, rank);
+      EmitName(f, std::string(rank) + std::to_string(i));
+      Emit(f, Ub("emailAddress"),
+           Term::Literal(std::string(rank) + std::to_string(i) + "@" + dept));
+      Emit(f, Ub("telephone"), Term::Literal("xxx-xxx-xxxx"));
+      Emit(f, Ub("worksFor"), Term::Iri(dept));
+      Emit(f, Ub("memberOf"), Term::Iri(dept));  // paper's extension
+      Emit(f, Ub("researchInterest"),
+           Term::Literal("Research" + std::to_string(rng_.Uniform(30))));
+      // Degrees: from random universities; recorded for hasAlumnus.
+      std::string ug_univ = UnivIri(RandomUniversity());
+      std::string phd_univ = UnivIri(RandomUniversity());
+      Emit(f, Ub("undergraduateDegreeFrom"), Term::Iri(ug_univ));
+      Emit(f, Ub("doctoralDegreeFrom"), Term::Iri(phd_univ));
+      alumni_.emplace_back(ug_univ, f);
+      alumni_.emplace_back(phd_univ, f);
+      // Teaching: one undergraduate course and (professors) one graduate.
+      Emit(f, Ub("teacherOf"),
+           Term::Iri(courses[rng_.Uniform(courses.size())]));
+      if (i % 4 != 3 && !grad_courses.empty()) {
+        Emit(f, Ub("teacherOf"),
+             Term::Iri(grad_courses[rng_.Uniform(grad_courses.size())]));
+      }
+      faculty.push_back(f);
+    }
+    Emit(faculty[0], Ub("headOf"), Term::Iri(dept));
+
+    // Graduate students.
+    std::vector<std::string> grads;
+    for (uint32_t i = 0; i < config_.grads_per_dept; ++i) {
+      std::string s = Entity(dept, "GraduateStudent", i);
+      EmitTypes(s, "GraduateStudent");
+      EmitName(s, "GraduateStudent" + std::to_string(i));
+      Emit(s, Ub("emailAddress"),
+           Term::Literal("grad" + std::to_string(i) + "@" + dept));
+      Emit(s, Ub("memberOf"), Term::Iri(dept));
+      Emit(s, Ub("advisor"),
+           Term::Iri(faculty[rng_.Uniform(faculty.size())]));
+      std::string ug_univ = UnivIri(RandomUniversity());
+      Emit(s, Ub("undergraduateDegreeFrom"), Term::Iri(ug_univ));
+      alumni_.emplace_back(ug_univ, s);
+      uint32_t n_courses = 1 + static_cast<uint32_t>(rng_.Uniform(3));
+      for (uint32_t c = 0; c < n_courses && !grad_courses.empty(); ++c) {
+        Emit(s, Ub("takesCourse"),
+             Term::Iri(grad_courses[rng_.Uniform(grad_courses.size())]));
+      }
+      // Some grads assist a course.
+      if (rng_.Bernoulli(0.3)) {
+        Emit(s, Ub("teachingAssistantOf"),
+             Term::Iri(courses[rng_.Uniform(courses.size())]));
+      }
+      grads.push_back(s);
+    }
+
+    // Undergraduates.
+    for (uint32_t i = 0; i < config_.undergrads_per_dept; ++i) {
+      std::string s = Entity(dept, "UndergraduateStudent", i);
+      EmitTypes(s, "UndergraduateStudent");
+      EmitName(s, "UndergraduateStudent" + std::to_string(i));
+      Emit(s, Ub("emailAddress"),
+           Term::Literal("ug" + std::to_string(i) + "@" + dept));
+      Emit(s, Ub("memberOf"), Term::Iri(dept));
+      uint32_t n_courses = 1 + static_cast<uint32_t>(rng_.Uniform(3));
+      for (uint32_t c = 0; c < n_courses; ++c) {
+        Emit(s, Ub("takesCourse"),
+             Term::Iri(courses[rng_.Uniform(courses.size())]));
+      }
+      if (rng_.Bernoulli(0.2)) {
+        Emit(s, Ub("advisor"),
+             Term::Iri(faculty[rng_.Uniform(faculty.size())]));
+      }
+    }
+
+    // Publications authored by faculty (and grad co-authors).
+    for (uint32_t i = 0; i < config_.publications_per_dept; ++i) {
+      std::string p = Entity(dept, "Publication", i);
+      EmitTypes(p, "Publication");
+      EmitName(p, "Publication" + std::to_string(i));
+      Emit(p, Ub("publicationAuthor"),
+           Term::Iri(faculty[rng_.Uniform(faculty.size())]));
+      if (!grads.empty() && rng_.Bernoulli(0.6)) {
+        Emit(p, Ub("publicationAuthor"),
+             Term::Iri(grads[rng_.Uniform(grads.size())]));
+      }
+    }
+
+    // Research groups.
+    for (uint32_t i = 0; i < config_.research_groups_per_dept; ++i) {
+      std::string g = Entity(dept, "ResearchGroup", i);
+      EmitTypes(g, "ResearchGroup");
+      Emit(g, Ub("subOrganizationOf"), Term::Iri(dept));
+    }
+  }
+
+  const LubmConfig& config_;
+  Dataset* out_;
+  Random rng_;
+  std::vector<std::pair<std::string, std::string>> alumni_;
+};
+
+}  // namespace
+
+void GenerateLubm(const LubmConfig& config, Dataset* dataset) {
+  LubmBuilder(config, dataset).Generate();
+}
+
+Dataset GenerateLubmDataset(const LubmConfig& config) {
+  Dataset d;
+  GenerateLubm(config, &d);
+  return d;
+}
+
+}  // namespace axon

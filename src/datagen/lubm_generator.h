@@ -1,0 +1,49 @@
+// LUBM-like synthetic data generator.
+//
+// Stands in for the Lehigh University Benchmark generator used by the
+// paper's synthetic experiments. It emits the LUBM academic ontology
+// (universities, departments, faculty, students, courses, publications)
+// with the paper's extensions pre-materialized: the transitive closure of
+// subclass relationships as extra rdf:type triples, plus the memberOf and
+// hasAlumnus properties (Sec. V.A — the paper extends the generator this
+// way because axonDB does not do inferencing).
+//
+// Entity counts per department are configurable and default to a scaled-
+// down LUBM profile (~3-4 k triples per university) so that the benchmark
+// sweeps run at laptop scale; the schema — hence the CS/ECS structure —
+// matches full-size LUBM (Table II reports only 14 CS / 68 ECS regardless
+// of scale).
+
+#ifndef AXON_DATAGEN_LUBM_GENERATOR_H_
+#define AXON_DATAGEN_LUBM_GENERATOR_H_
+
+#include "engine/query_engine.h"
+
+namespace axon {
+
+struct LubmConfig {
+  uint32_t num_universities = 1;
+  uint32_t depts_per_university = 12;
+  uint32_t faculty_per_dept = 5;       // split across professor ranks
+  uint32_t courses_per_dept = 8;
+  uint32_t grad_courses_per_dept = 4;
+  uint32_t undergrads_per_dept = 20;
+  uint32_t grads_per_dept = 8;
+  uint32_t publications_per_dept = 10;
+  uint32_t research_groups_per_dept = 2;
+  uint64_t seed = 42;
+};
+
+/// The LUBM vocabulary namespace used by generator and workloads.
+inline constexpr char kUbNs[] =
+    "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+/// Appends the generated triples (dictionary-encoded) to `dataset`.
+void GenerateLubm(const LubmConfig& config, Dataset* dataset);
+
+/// Convenience: fresh dataset.
+Dataset GenerateLubmDataset(const LubmConfig& config);
+
+}  // namespace axon
+
+#endif  // AXON_DATAGEN_LUBM_GENERATOR_H_

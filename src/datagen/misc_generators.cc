@@ -1,0 +1,248 @@
+#include "datagen/misc_generators.h"
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace axon {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+void Emit(Dataset* out, const std::string& s, const std::string& p,
+          const Term& o) {
+  out->Add(TermTriple{Term::Iri(s), Term::Iri(p), o});
+}
+
+}  // namespace
+
+Dataset GenerateBsbmDataset(const BsbmConfig& config) {
+  // BSBM: products with vendors, offers and reviews — a regular e-commerce
+  // schema, so the CS count stays small (44 in Table II) relative to the
+  // property count (40).
+  Dataset d;
+  Random rng(config.seed);
+  const std::string ns = "http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/";
+  const std::string inst = "http://bsbm.example.org/";
+
+  std::vector<std::string> producers;
+  for (uint32_t i = 0; i < std::max(1u, config.num_products / 25); ++i) {
+    std::string p = inst + "producer/" + std::to_string(i);
+    Emit(&d, p, kRdfType, Term::Iri(ns + "Producer"));
+    Emit(&d, p, ns + "label", Term::Literal("Producer" + std::to_string(i)));
+    Emit(&d, p, ns + "country", Term::Literal("DE"));
+    producers.push_back(p);
+  }
+  std::vector<std::string> vendors;
+  for (uint32_t i = 0; i < std::max(1u, config.num_products / 40); ++i) {
+    std::string v = inst + "vendor/" + std::to_string(i);
+    Emit(&d, v, kRdfType, Term::Iri(ns + "Vendor"));
+    Emit(&d, v, ns + "label", Term::Literal("Vendor" + std::to_string(i)));
+    Emit(&d, v, ns + "homepage", Term::Literal("http://vendor" + std::to_string(i)));
+    vendors.push_back(v);
+  }
+  std::vector<std::string> reviewers;
+  for (uint32_t i = 0; i < std::max(1u, config.num_products / 10); ++i) {
+    std::string r = inst + "reviewer/" + std::to_string(i);
+    Emit(&d, r, kRdfType, Term::Iri(ns + "Person"));
+    Emit(&d, r, ns + "name", Term::Literal("Reviewer" + std::to_string(i)));
+    if (rng.Bernoulli(0.5)) {
+      Emit(&d, r, ns + "mbox", Term::Literal("r" + std::to_string(i) + "@x"));
+    }
+    reviewers.push_back(r);
+  }
+  for (uint32_t i = 0; i < config.num_products; ++i) {
+    std::string p = inst + "product/" + std::to_string(i);
+    Emit(&d, p, kRdfType, Term::Iri(ns + "Product"));
+    Emit(&d, p, ns + "label", Term::Literal("Product" + std::to_string(i)));
+    Emit(&d, p, ns + "producer",
+         Term::Iri(producers[rng.Uniform(producers.size())]));
+    for (uint32_t f = 0; f < 3; ++f) {
+      Emit(&d, p, ns + "productFeature" + std::to_string(1 + rng.Uniform(5)),
+           Term::Literal("feature"));
+    }
+    if (rng.Bernoulli(0.6)) {
+      Emit(&d, p, ns + "productPropertyNumeric1",
+           Term::Literal(std::to_string(rng.Uniform(1000))));
+    }
+    // Offers: vendor sells product.
+    uint32_t n_offers = static_cast<uint32_t>(rng.Uniform(3));
+    for (uint32_t o = 0; o < n_offers; ++o) {
+      std::string off = inst + "offer/" + std::to_string(i) + "_" + std::to_string(o);
+      Emit(&d, off, kRdfType, Term::Iri(ns + "Offer"));
+      Emit(&d, off, ns + "product", Term::Iri(p));
+      Emit(&d, off, ns + "vendor",
+           Term::Iri(vendors[rng.Uniform(vendors.size())]));
+      Emit(&d, off, ns + "price",
+           Term::Literal(std::to_string(rng.Uniform(500))));
+    }
+    // Reviews.
+    uint32_t n_reviews = static_cast<uint32_t>(rng.Uniform(3));
+    for (uint32_t r = 0; r < n_reviews; ++r) {
+      std::string rev = inst + "review/" + std::to_string(i) + "_" + std::to_string(r);
+      Emit(&d, rev, kRdfType, Term::Iri(ns + "Review"));
+      Emit(&d, rev, ns + "reviewFor", Term::Iri(p));
+      Emit(&d, rev, ns + "reviewer",
+           Term::Iri(reviewers[rng.Uniform(reviewers.size())]));
+      Emit(&d, rev, ns + "rating1",
+           Term::Literal(std::to_string(1 + rng.Uniform(10))));
+      if (rng.Bernoulli(0.4)) {
+        Emit(&d, rev, ns + "rating2",
+             Term::Literal(std::to_string(1 + rng.Uniform(10))));
+      }
+    }
+  }
+  return d;
+}
+
+Dataset GenerateWordnetDataset(const WordnetConfig& config) {
+  // WordNet: synsets with highly variable lexical relations — many CSs
+  // (779 in Table II) from a moderate property count (64). Variability
+  // comes from each synset drawing a random subset of semantic relations.
+  Dataset d;
+  Random rng(config.seed);
+  const std::string ns = "http://wordnet-rdf.princeton.edu/ontology#";
+  const std::string inst = "http://wordnet-rdf.princeton.edu/id/";
+
+  std::vector<std::string> synsets;
+  synsets.reserve(config.num_synsets);
+  for (uint32_t i = 0; i < config.num_synsets; ++i) {
+    synsets.push_back(inst + std::to_string(100000 + i));
+  }
+  static const char* kPos[] = {"NounSynset", "VerbSynset", "AdjectiveSynset",
+                               "AdverbSynset"};
+  static const char* kRelations[] = {
+      "hyponym",   "hypernym",   "meronym",      "holonym",
+      "antonym",   "entailment", "causes",       "attribute",
+      "similarTo", "seeAlso",    "derivation",   "pertainsTo",
+      "domain",    "memberOf",   "instanceOf",   "participleOf",
+  };
+  for (uint32_t i = 0; i < config.num_synsets; ++i) {
+    const std::string& s = synsets[i];
+    Emit(&d, s, kRdfType, Term::Iri(ns + kPos[rng.Uniform(4)]));
+    Emit(&d, s, ns + "label", Term::Literal("synset" + std::to_string(i)));
+    if (rng.Bernoulli(0.8)) {
+      Emit(&d, s, ns + "gloss", Term::Literal("definition " + std::to_string(i)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      Emit(&d, s, ns + "lexicalForm", Term::Literal("word" + std::to_string(i)));
+    }
+    // Random relation subset: 1-5 relations to random synsets.
+    uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(5));
+    for (uint32_t k = 0; k < n; ++k) {
+      const char* rel = kRelations[rng.Uniform(16)];
+      Emit(&d, s, ns + rel,
+           Term::Iri(synsets[rng.Uniform(synsets.size())]));
+    }
+  }
+  return d;
+}
+
+Dataset GenerateEfoDataset(const EfoConfig& config) {
+  // EFO (Experimental Factor Ontology): class records with optional
+  // annotation subsets (520 CS from 80 properties in Table II) and
+  // subClassOf chains.
+  Dataset d;
+  Random rng(config.seed);
+  const std::string ns = "http://www.ebi.ac.uk/efo/";
+  const std::string obo = "http://purl.obolibrary.org/obo/";
+  const std::string owl = "http://www.w3.org/2002/07/owl#";
+  const std::string rdfs = "http://www.w3.org/2000/01/rdf-schema#";
+
+  std::vector<std::string> classes;
+  classes.reserve(config.num_classes);
+  for (uint32_t i = 0; i < config.num_classes; ++i) {
+    classes.push_back(ns + "EFO_" + std::to_string(1000000 + i));
+  }
+  static const char* kAnnotations[] = {
+      "definition",         "alternative_term", "bioportal_provenance",
+      "database_cross_reference", "gwas_trait", "creator",
+      "definition_citation", "example_of_usage", "organizational_class",
+      "reason_for_obsolescence",
+  };
+  for (uint32_t i = 0; i < config.num_classes; ++i) {
+    const std::string& c = classes[i];
+    Emit(&d, c, kRdfType, Term::Iri(owl + "Class"));
+    Emit(&d, c, rdfs + "label", Term::Literal("term" + std::to_string(i)));
+    if (i > 0) {
+      // subClassOf to an earlier class: an acyclic ontology DAG with long
+      // root-ward chains.
+      Emit(&d, c, rdfs + "subClassOf",
+           Term::Iri(classes[rng.Skewed(i)]));
+      if (rng.Bernoulli(0.2)) {
+        Emit(&d, c, rdfs + "subClassOf", Term::Iri(classes[rng.Skewed(i)]));
+      }
+    }
+    for (const char* ann : kAnnotations) {
+      if (rng.Bernoulli(0.35)) {
+        Emit(&d, c, obo + ann,
+             Term::Literal(std::string(ann) + std::to_string(i)));
+      }
+    }
+  }
+  return d;
+}
+
+Dataset GenerateDblpDataset(const DblpConfig& config) {
+  // DBLP: bibliographic records — regular schema, modest CS count (95)
+  // from 26 properties; chains via cite and author edges.
+  Dataset d;
+  Random rng(config.seed);
+  const std::string dc = "http://purl.org/dc/elements/1.1/";
+  const std::string ns = "https://dblp.org/rdf/schema#";
+  const std::string inst = "https://dblp.org/rec/";
+
+  uint32_t num_authors = std::max(2u, config.num_papers / 2);
+  std::vector<std::string> authors;
+  for (uint32_t i = 0; i < num_authors; ++i) {
+    std::string a = "https://dblp.org/pid/" + std::to_string(i);
+    Emit(&d, a, kRdfType, Term::Iri(ns + "Person"));
+    Emit(&d, a, ns + "primaryCreatorName",
+         Term::Literal("Author " + std::to_string(i)));
+    if (rng.Bernoulli(0.4)) {
+      Emit(&d, a, ns + "orcid", Term::Literal("0000-" + std::to_string(i)));
+    }
+    authors.push_back(a);
+  }
+  std::vector<std::string> venues;
+  for (uint32_t i = 0; i < std::max(1u, config.num_papers / 50); ++i) {
+    std::string v = "https://dblp.org/venues/" + std::to_string(i);
+    Emit(&d, v, kRdfType, Term::Iri(ns + "Venue"));
+    Emit(&d, v, ns + "label", Term::Literal("Venue" + std::to_string(i)));
+    venues.push_back(v);
+  }
+  std::vector<std::string> papers;
+  papers.reserve(config.num_papers);
+  for (uint32_t i = 0; i < config.num_papers; ++i) {
+    std::string p = inst + std::to_string(i);
+    bool journal = rng.Bernoulli(0.4);
+    Emit(&d, p, kRdfType, Term::Iri(ns + (journal ? "Article" : "Inproceedings")));
+    Emit(&d, p, dc + "title", Term::Literal("Paper " + std::to_string(i)));
+    Emit(&d, p, ns + "yearOfPublication",
+         Term::Literal(std::to_string(1990 + rng.Uniform(35))));
+    Emit(&d, p, ns + "publishedIn",
+         Term::Iri(venues[rng.Uniform(venues.size())]));
+    uint32_t n_auth = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    for (uint32_t k = 0; k < n_auth; ++k) {
+      Emit(&d, p, dc + "creator",
+           Term::Iri(authors[rng.Uniform(authors.size())]));
+    }
+    if (rng.Bernoulli(0.5)) {
+      Emit(&d, p, ns + "pagination", Term::Literal("1-12"));
+    }
+    // Citations to earlier papers: chain structure.
+    if (!papers.empty()) {
+      uint32_t n_cites = static_cast<uint32_t>(rng.Uniform(4));
+      for (uint32_t k = 0; k < n_cites; ++k) {
+        Emit(&d, p, ns + "cite",
+             Term::Iri(papers[rng.Skewed(papers.size())]));
+      }
+    }
+    papers.push_back(p);
+  }
+  return d;
+}
+
+}  // namespace axon

@@ -1,0 +1,42 @@
+// Structure-only generators for the remaining Table II datasets: BSBM,
+// WordNet, EFO and DBLP. Table II reports only schema-census numbers
+// (#properties, #CS, #ECS), so these generators reproduce each dataset's
+// *schema regime* — BSBM's e-commerce star schema with few CSs, WordNet's
+// highly variable lexical records (hundreds of CSs), EFO's ontology-class
+// records with optional annotation subsets, DBLP's publication records —
+// at laptop scale.
+
+#ifndef AXON_DATAGEN_MISC_GENERATORS_H_
+#define AXON_DATAGEN_MISC_GENERATORS_H_
+
+#include "engine/query_engine.h"
+
+namespace axon {
+
+struct BsbmConfig {
+  uint32_t num_products = 500;
+  uint64_t seed = 21;
+};
+Dataset GenerateBsbmDataset(const BsbmConfig& config);
+
+struct WordnetConfig {
+  uint32_t num_synsets = 2000;
+  uint64_t seed = 22;
+};
+Dataset GenerateWordnetDataset(const WordnetConfig& config);
+
+struct EfoConfig {
+  uint32_t num_classes = 1500;
+  uint64_t seed = 23;
+};
+Dataset GenerateEfoDataset(const EfoConfig& config);
+
+struct DblpConfig {
+  uint32_t num_papers = 1000;
+  uint64_t seed = 24;
+};
+Dataset GenerateDblpDataset(const DblpConfig& config);
+
+}  // namespace axon
+
+#endif  // AXON_DATAGEN_MISC_GENERATORS_H_

@@ -1,0 +1,188 @@
+#include "datagen/reactome_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace axon {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+class ReactomeBuilder {
+ public:
+  ReactomeBuilder(const ReactomeConfig& config, Dataset* out)
+      : config_(config), out_(out), rng_(config.seed) {}
+
+  void Generate() {
+    MakeCompartments();
+    for (uint32_t p = 0; p < config_.num_pathways; ++p) GeneratePathway(p);
+  }
+
+ private:
+  std::string Bp(const std::string& local) {
+    return std::string(kBiopaxNs) + local;
+  }
+  std::string Node(const std::string& kind, uint64_t i) {
+    return std::string(kReactomeNs) + kind + "/" + std::to_string(i);
+  }
+  void Emit(const std::string& s, const std::string& p, const Term& o) {
+    out_->Add(TermTriple{Term::Iri(s), Term::Iri(p), o});
+  }
+  void Annotate(const std::string& s, const std::string& kind, uint64_t i) {
+    Emit(s, Bp("displayName"),
+         Term::Literal(kind + " " + std::to_string(i)));
+    Emit(s, Bp("stId"), Term::Literal("R-HSA-" + std::to_string(10000 + i)));
+    // Optional curation annotations. Real Reactome records cluster into a
+    // handful of curation *profiles* (which subset of annotations a record
+    // carries) rather than drawing properties independently — that keeps
+    // the CS census moderate (Table II: 112 CS from 65 properties) with
+    // partitions of useful size. Profile 0 (bare) is the most common.
+    static const char* kAnnotations[] = {"comment", "dataSource",
+                                         "evidenceCode", "availability"};
+    static const uint8_t kProfiles[] = {0b0000, 0b0001, 0b0011,
+                                        0b0111, 0b1111, 0b0101};
+    uint8_t mask = kProfiles[rng_.Skewed(6)];
+    for (int b = 0; b < 4; ++b) {
+      if (mask & (1 << b)) {
+        Emit(s, Bp(kAnnotations[b]),
+             Term::Literal(std::string(kAnnotations[b]) + std::to_string(i)));
+      }
+    }
+  }
+
+  void MakeCompartments() {
+    static const char* kNames[] = {"cytosol", "nucleus", "membrane",
+                                   "extracellular", "mitochondrion"};
+    for (uint32_t i = 0; i < 5; ++i) {
+      std::string c = Node("compartment", i);
+      Emit(c, kRdfType, Term::Iri(Bp("CellularLocation")));
+      Emit(c, Bp("displayName"), Term::Literal(kNames[i]));
+      compartments_.push_back(c);
+    }
+  }
+
+  // A physical entity with a reference chain; entities are pooled and
+  // reused across reactions so reaction chains interconnect.
+  std::string MakeEntity() {
+    if (!entities_.empty() && rng_.Bernoulli(0.4)) {
+      return entities_[rng_.Uniform(entities_.size())];
+    }
+    uint64_t i = next_entity_++;
+    static const char* kKinds[] = {"Protein", "Complex", "SmallMolecule"};
+    const char* kind = kKinds[rng_.Uniform(3)];
+    std::string e = Node("entity", i);
+    Emit(e, kRdfType, Term::Iri(Bp(kind)));
+    Annotate(e, kind, i);
+    if (rng_.Bernoulli(0.7)) {
+      Emit(e, Bp("cellularLocation"),
+           Term::Iri(compartments_[rng_.Uniform(compartments_.size())]));
+    }
+    // Reference chain: entity -> reference molecule -> cross reference.
+    if (std::string(kind) != "Complex") {
+      uint64_t r = next_ref_++;
+      std::string ref = Node("reference", r);
+      Emit(e, Bp("entityReference"), Term::Iri(ref));
+      Emit(ref, kRdfType, Term::Iri(Bp("EntityReference")));
+      Emit(ref, Bp("displayName"),
+           Term::Literal("UniProt:" + std::to_string(r)));
+      if (rng_.Bernoulli(0.5)) {
+        std::string xref = Node("xref", r);
+        Emit(ref, Bp("xref"), Term::Iri(xref));
+        Emit(xref, kRdfType, Term::Iri(Bp("UnificationXref")));
+        Emit(xref, Bp("db"), Term::Literal("UniProt"));
+        Emit(xref, Bp("id"), Term::Literal("P" + std::to_string(r)));
+      }
+    } else if (!entities_.empty()) {
+      // Complexes branch into components.
+      uint32_t n = 1 + static_cast<uint32_t>(rng_.Uniform(3));
+      for (uint32_t c = 0; c < n; ++c) {
+        Emit(e, Bp("component"),
+             Term::Iri(entities_[rng_.Uniform(entities_.size())]));
+      }
+    }
+    entities_.push_back(e);
+    return e;
+  }
+
+  std::string MakeReaction(uint64_t i) {
+    std::string r = Node("reaction", i);
+    Emit(r, kRdfType, Term::Iri(Bp("BiochemicalReaction")));
+    Annotate(r, "Reaction", i);
+    if (rng_.Bernoulli(0.3)) {
+      Emit(r, Bp("spontaneous"), Term::Literal("false"));
+    }
+    uint32_t n = std::max<uint32_t>(1, config_.entities_per_reaction);
+    for (uint32_t k = 0; k < n; ++k) {
+      Emit(r, k % 2 == 0 ? Bp("left") : Bp("right"),
+           Term::Iri(MakeEntity()));
+    }
+    // Catalyst branch.
+    if (rng_.Bernoulli(0.5)) {
+      uint64_t c = next_catalysis_++;
+      std::string cat = Node("catalysis", c);
+      Emit(cat, kRdfType, Term::Iri(Bp("Catalysis")));
+      Emit(cat, Bp("controller"), Term::Iri(MakeEntity()));
+      Emit(cat, Bp("controlled"), Term::Iri(r));
+      Emit(cat, Bp("controlType"), Term::Literal("ACTIVATION"));
+    }
+    return r;
+  }
+
+  void GeneratePathway(uint32_t p) {
+    // Containment chain: top pathway -> sub-pathway -> ... (long paths).
+    std::string parent;
+    for (uint32_t depth = 0; depth < std::max(1u, config_.sub_pathway_depth);
+         ++depth) {
+      uint64_t i = next_pathway_++;
+      std::string pw = Node("pathway", i);
+      Emit(pw, kRdfType, Term::Iri(Bp("Pathway")));
+      Annotate(pw, "Pathway", i);
+      Emit(pw, Bp("organism"), Term::Literal("Homo sapiens"));
+      if (!parent.empty()) {
+        Emit(parent, Bp("pathwayComponent"), Term::Iri(pw));
+      }
+      parent = pw;
+    }
+    // Reactions under the innermost sub-pathway with preceding-event
+    // chains between consecutive reactions.
+    std::string prev;
+    uint32_t n = std::max<uint32_t>(1, config_.reactions_per_pathway);
+    (void)p;
+    for (uint32_t k = 0; k < n; ++k) {
+      std::string r = MakeReaction(next_reaction_++);
+      Emit(parent, Bp("pathwayComponent"), Term::Iri(r));
+      if (!prev.empty()) {
+        Emit(r, Bp("precedingEvent"), Term::Iri(prev));
+      }
+      prev = r;
+    }
+  }
+
+  const ReactomeConfig& config_;
+  Dataset* out_;
+  Random rng_;
+  std::vector<std::string> compartments_;
+  std::vector<std::string> entities_;
+  uint64_t next_entity_ = 0;
+  uint64_t next_ref_ = 0;
+  uint64_t next_catalysis_ = 0;
+  uint64_t next_pathway_ = 0;
+  uint64_t next_reaction_ = 0;
+};
+
+}  // namespace
+
+void GenerateReactome(const ReactomeConfig& config, Dataset* dataset) {
+  ReactomeBuilder(config, dataset).Generate();
+}
+
+Dataset GenerateReactomeDataset(const ReactomeConfig& config) {
+  Dataset d;
+  GenerateReactome(config, &d);
+  return d;
+}
+
+}  // namespace axon

@@ -1,0 +1,148 @@
+#include "ecs/ecs_extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace axon {
+
+namespace {
+
+// Sorts tagged triples into the persistent (ECS, P, S, O) order and builds
+// ecsLinks; shared by both extraction paths.
+void FinalizeExtraction(EcsExtraction* out) {
+  std::sort(out->triples.begin(), out->triples.end(),
+            [](const EcsTriple& a, const EcsTriple& b) {
+              return std::tuple(a.ecs, a.p, a.s, a.o) <
+                     std::tuple(b.ecs, b.p, b.s, b.o);
+            });
+
+  // Algorithm 2 lines 9-18: subjectCSMap / objectCSMap then cross-link.
+  std::unordered_map<CsId, std::vector<EcsId>> subject_cs_map;
+  std::unordered_map<CsId, std::vector<EcsId>> object_cs_map;
+  for (const ExtendedCharacteristicSet& e : out->sets) {
+    subject_cs_map[e.subject_cs].push_back(e.id);
+    object_cs_map[e.object_cs].push_back(e.id);
+  }
+  out->links.assign(out->sets.size(), {});
+  for (const auto& [cs, lefts] : object_cs_map) {
+    auto it = subject_cs_map.find(cs);
+    if (it == subject_cs_map.end()) continue;
+    for (EcsId left : lefts) {
+      for (EcsId right : it->second) {
+        out->links[left].push_back(right);
+      }
+    }
+  }
+  for (auto& succ : out->links) {
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+}
+
+// Assigns ECS ids to (subjectCS, objectCS) pairs in ascending pair order —
+// the same order the literal Algorithm 2 encounters them when iterating
+// csMap twice — so both extraction paths are bit-identical.
+std::map<std::pair<CsId, CsId>, EcsId> AssignIds(
+    const std::vector<std::pair<CsId, CsId>>& pairs,
+    std::vector<ExtendedCharacteristicSet>* sets) {
+  std::map<std::pair<CsId, CsId>, EcsId> ids;
+  for (const auto& pr : pairs) ids.emplace(pr, kNoEcs);
+  EcsId next = 0;
+  for (auto& [pr, id] : ids) {
+    id = next++;
+    sets->push_back(ExtendedCharacteristicSet{id, pr.first, pr.second});
+  }
+  return ids;
+}
+
+}  // namespace
+
+EcsExtraction ExtractExtendedCharacteristicSets(const CsExtraction& cs) {
+  EcsExtraction out;
+
+  // Pass 1: discover the distinct (subjectCS, objectCS) pairs.
+  std::vector<std::pair<CsId, CsId>> pairs;
+  {
+    std::unordered_set<uint64_t> seen;
+    for (const LoadTriple& t : cs.triples) {
+      auto it = cs.subject_cs.find(t.o);
+      if (it == cs.subject_cs.end()) continue;  // object has empty CS
+      uint64_t key = HashIdPair(t.cs, it->second);
+      if (seen.insert(key).second) pairs.emplace_back(t.cs, it->second);
+    }
+  }
+  auto ids = AssignIds(pairs, &out.sets);
+
+  // Pass 2: tag the valid-ECS triples.
+  for (const LoadTriple& t : cs.triples) {
+    auto it = cs.subject_cs.find(t.o);
+    if (it == cs.subject_cs.end()) continue;
+    EcsId id = ids.find({t.cs, it->second})->second;
+    out.triples.push_back(EcsTriple{id, t.s, t.p, t.o});
+  }
+
+  FinalizeExtraction(&out);
+  return out;
+}
+
+EcsExtraction ExtractExtendedCharacteristicSetsPairwise(
+    const CsExtraction& cs) {
+  EcsExtraction out;
+
+  // csMap: CS id -> contiguous chunk of triples (input is sorted by CS).
+  struct Chunk {
+    size_t begin;
+    size_t end;
+  };
+  std::map<CsId, Chunk> cs_map;
+  for (size_t i = 0; i < cs.triples.size();) {
+    size_t j = i;
+    while (j < cs.triples.size() && cs.triples[j].cs == cs.triples[i].cs) ++j;
+    cs_map.emplace(cs.triples[i].cs, Chunk{i, j});
+    i = j;
+  }
+
+  // Lines 2-10: for every CS pair, object-subject hash-join their chunks.
+  std::vector<std::pair<CsId, CsId>> pairs;
+  std::vector<std::vector<EcsTriple>> pair_triples;
+  for (const auto& [si, chunk_i] : cs_map) {
+    for (const auto& [sj, chunk_j] : cs_map) {
+      // Build (hash side): subjects of S_j's chunk.
+      std::unordered_set<TermId> subjects_j;
+      for (size_t k = chunk_j.begin; k < chunk_j.end; ++k) {
+        subjects_j.insert(cs.triples[k].s);
+      }
+      // Probe side: triples of S_i whose object is a subject in S_j.
+      std::vector<EcsTriple> joined;
+      for (size_t k = chunk_i.begin; k < chunk_i.end; ++k) {
+        const LoadTriple& t = cs.triples[k];
+        if (subjects_j.count(t.o)) {
+          joined.push_back(EcsTriple{kNoEcs, t.s, t.p, t.o});
+        }
+      }
+      if (!joined.empty()) {
+        pairs.emplace_back(si, sj);
+        pair_triples.push_back(std::move(joined));
+      }
+    }
+  }
+
+  auto ids = AssignIds(pairs, &out.sets);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EcsId id = ids.find(pairs[i])->second;
+    for (EcsTriple& t : pair_triples[i]) {
+      t.ecs = id;
+      out.triples.push_back(t);
+    }
+  }
+
+  FinalizeExtraction(&out);
+  return out;
+}
+
+}  // namespace axon

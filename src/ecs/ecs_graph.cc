@@ -1,0 +1,107 @@
+#include "ecs/ecs_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/varint.h"
+
+namespace axon {
+
+bool EcsGraph::HasEdge(EcsId from, EcsId to) const {
+  if (from >= links_.size()) return false;
+  const auto& succ = links_[from];
+  return std::binary_search(succ.begin(), succ.end(), to);
+}
+
+bool EcsGraph::Reachable(EcsId from, EcsId to, size_t max_hops) const {
+  if (from >= links_.size()) return false;
+  std::vector<bool> visited(links_.size(), false);
+  std::deque<std::pair<EcsId, size_t>> queue;
+  queue.emplace_back(from, 0);
+  visited[from] = true;
+  while (!queue.empty()) {
+    auto [node, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= max_hops) continue;
+    for (EcsId next : links_[node]) {
+      if (next == to) return true;
+      if (!visited[next]) {
+        visited[next] = true;
+        queue.emplace_back(next, depth + 1);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<EcsId>> EcsGraph::PathsFrom(EcsId from, size_t length,
+                                                    size_t limit) const {
+  std::vector<std::vector<EcsId>> out;
+  if (from >= links_.size()) return out;
+  std::vector<EcsId> path = {from};
+  // Iterative DFS over partial paths.
+  struct Frame {
+    EcsId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack = {{from, 0}};
+  while (!stack.empty()) {
+    if (out.size() >= limit) break;
+    Frame& top = stack.back();
+    if (path.size() == length + 1) {
+      out.push_back(path);
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    const auto& succ = links_[top.node];
+    bool advanced = false;
+    while (top.next_child < succ.size()) {
+      EcsId child = succ[top.next_child++];
+      // Simple paths only: skip nodes already on the path.
+      if (std::find(path.begin(), path.end(), child) != path.end()) continue;
+      path.push_back(child);
+      stack.push_back({child, 0});
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      stack.pop_back();
+      path.pop_back();
+    }
+  }
+  return out;
+}
+
+void EcsGraph::SerializeTo(std::string* out) const {
+  PutVarint64(out, links_.size());
+  for (const auto& succ : links_) {
+    PutVarint64(out, succ.size());
+    for (EcsId id : succ) PutVarint32(out, id);
+  }
+}
+
+Result<EcsGraph> EcsGraph::Deserialize(std::string_view data, size_t* pos) {
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint64_t n = 0;
+  p = GetVarint64(p, limit, &n);
+  if (p == nullptr) return Status::Corruption("ecs graph: node count");
+  std::vector<std::vector<EcsId>> links(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t m = 0;
+    p = GetVarint64(p, limit, &m);
+    if (p == nullptr) return Status::Corruption("ecs graph: edge count");
+    links[i].reserve(m);
+    for (uint64_t j = 0; j < m; ++j) {
+      uint32_t id = 0;
+      p = GetVarint32(p, limit, &id);
+      if (p == nullptr) return Status::Corruption("ecs graph: edge");
+      links[i].push_back(id);
+    }
+  }
+  *pos = p - data.data();
+  return EcsGraph(std::move(links));
+}
+
+}  // namespace axon

@@ -1,0 +1,59 @@
+// The ECS graph (paper Sec. II): nodes are ECSs, a directed edge
+// E_{n1,n2} → E_{n2,n3} means triples of the first ECS object-subject-join
+// with triples of the second. Query chains are matched against paths in
+// this graph (Algorithms 3-4).
+
+#ifndef AXON_ECS_ECS_GRAPH_H_
+#define AXON_ECS_ECS_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "ecs/extended_characteristic_set.h"
+#include "util/status.h"
+
+namespace axon {
+
+class EcsGraph {
+ public:
+  EcsGraph() = default;
+  explicit EcsGraph(std::vector<std::vector<EcsId>> links)
+      : links_(std::move(links)) {}
+
+  size_t num_nodes() const { return links_.size(); }
+
+  size_t num_edges() const {
+    size_t n = 0;
+    for (const auto& s : links_) n += s.size();
+    return n;
+  }
+
+  /// Successors of `node` (ECSs object-subject-joinable after it), ascending.
+  const std::vector<EcsId>& Successors(EcsId node) const {
+    return links_[node];
+  }
+
+  bool HasEdge(EcsId from, EcsId to) const;
+
+  /// True if `to` is reachable from `from` via 1..max_hops edges.
+  bool Reachable(EcsId from, EcsId to, size_t max_hops) const;
+
+  /// All simple paths of exactly `length` edges starting at `from`
+  /// (bounded enumeration; used by tests and the path-exploration example).
+  std::vector<std::vector<EcsId>> PathsFrom(EcsId from, size_t length,
+                                            size_t limit = 1000) const;
+
+  void SerializeTo(std::string* out) const;
+  static Result<EcsGraph> Deserialize(std::string_view data, size_t* pos);
+
+  bool operator==(const EcsGraph& other) const {
+    return links_ == other.links_;
+  }
+
+ private:
+  std::vector<std::vector<EcsId>> links_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ECS_ECS_GRAPH_H_

@@ -1,0 +1,187 @@
+#include "ecs/ecs_hierarchy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace axon {
+
+EcsHierarchy EcsHierarchy::Build(
+    const std::vector<ExtendedCharacteristicSet>& sets,
+    const std::vector<CharacteristicSet>& cs_sets) {
+  EcsHierarchy h;
+  size_t n = sets.size();
+  h.children_.assign(n, {});
+  h.parents_.assign(n, {});
+  h.property_count_.assign(n, 0);
+  h.subject_bitmaps_.resize(n);
+  h.object_bitmaps_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    h.subject_bitmaps_[i] = cs_sets[sets[i].subject_cs].properties;
+    h.object_bitmaps_[i] = cs_sets[sets[i].object_cs].properties;
+    h.property_count_[i] =
+        h.subject_bitmaps_[i].Count() + h.object_bitmaps_[i].Count();
+  }
+
+  // Sort by ascending property count: generalizations always precede their
+  // specializations in this order (a strict generalization has strictly
+  // fewer properties... unless bitmaps are equal, in which case the ECSs
+  // would be the same pair — ids are unique per pair, so strictness holds
+  // except for equal-count incomparable pairs, which IsGeneralization
+  // rejects anyway).
+  std::vector<EcsId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&h](EcsId a, EcsId b) {
+    if (h.property_count_[a] != h.property_count_[b]) {
+      return h.property_count_[a] < h.property_count_[b];
+    }
+    return a < b;
+  });
+
+  // Immediate-parent computation: for each node e (in ascending-count
+  // order), its parents are the maximal strict generalizations — i.e.
+  // generalizations g of e with no other generalization g' of e such that
+  // g ⊑ g' (one level of ancestry only, per Sec. III.D).
+  for (size_t oi = 0; oi < n; ++oi) {
+    EcsId e = order[oi];
+    std::vector<EcsId> gens;
+    for (size_t oj = 0; oj < oi; ++oj) {
+      EcsId g = order[oj];
+      if (g != e && h.IsGeneralization(g, e)) gens.push_back(g);
+    }
+    for (EcsId g : gens) {
+      bool maximal = true;
+      for (EcsId g2 : gens) {
+        if (g2 != g && h.IsGeneralization(g, g2)) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) {
+        h.parents_[e].push_back(g);
+        h.children_[g].push_back(e);
+      }
+    }
+  }
+
+  for (EcsId e : order) {
+    if (h.parents_[e].empty()) h.roots_.push_back(e);
+  }
+  // Children in ascending-count order so the pre-order visits generic
+  // families before specialized ones deterministically.
+  for (auto& ch : h.children_) {
+    std::sort(ch.begin(), ch.end(), [&h](EcsId a, EcsId b) {
+      if (h.property_count_[a] != h.property_count_[b]) {
+        return h.property_count_[a] < h.property_count_[b];
+      }
+      return a < b;
+    });
+  }
+  h.ComputePreOrder();
+  return h;
+}
+
+bool EcsHierarchy::IsGeneralization(EcsId general, EcsId special) const {
+  return subject_bitmaps_[general].IsSubsetOf(subject_bitmaps_[special]) &&
+         object_bitmaps_[general].IsSubsetOf(object_bitmaps_[special]);
+}
+
+void EcsHierarchy::ComputePreOrder() {
+  preorder_.clear();
+  preorder_.reserve(children_.size());
+  std::vector<bool> visited(children_.size(), false);
+  // Depth-first from each root; a lattice node with several parents is
+  // emitted at its first visit.
+  std::vector<EcsId> stack;
+  for (EcsId root : roots_) {
+    if (visited[root]) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      EcsId node = stack.back();
+      stack.pop_back();
+      if (visited[node]) continue;
+      visited[node] = true;
+      preorder_.push_back(node);
+      // Push children in reverse so the smallest-count child pops first.
+      for (auto it = children_[node].rbegin(); it != children_[node].rend();
+           ++it) {
+        if (!visited[*it]) stack.push_back(*it);
+      }
+    }
+  }
+  // Defensive: any node unreachable from the roots (cannot happen in a
+  // well-formed lattice, but keeps PreOrder a permutation regardless).
+  for (EcsId i = 0; i < children_.size(); ++i) {
+    if (!visited[i]) preorder_.push_back(i);
+  }
+}
+
+std::vector<uint32_t> EcsHierarchy::StorageRank() const {
+  std::vector<uint32_t> rank(preorder_.size());
+  for (uint32_t i = 0; i < preorder_.size(); ++i) rank[preorder_[i]] = i;
+  return rank;
+}
+
+void EcsHierarchy::SerializeTo(std::string* out) const {
+  PutVarint64(out, children_.size());
+  for (size_t i = 0; i < children_.size(); ++i) {
+    SerializeBitmap(subject_bitmaps_[i], out);
+    SerializeBitmap(object_bitmaps_[i], out);
+    PutVarint64(out, children_[i].size());
+    for (EcsId c : children_[i]) PutVarint32(out, c);
+  }
+}
+
+Result<EcsHierarchy> EcsHierarchy::Deserialize(std::string_view data,
+                                               size_t* pos) {
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint64_t n = 0;
+  p = GetVarint64(p, limit, &n);
+  if (p == nullptr) return Status::Corruption("ecs hierarchy: node count");
+  *pos = p - data.data();
+
+  EcsHierarchy h;
+  h.children_.assign(n, {});
+  h.parents_.assign(n, {});
+  h.property_count_.assign(n, 0);
+  h.subject_bitmaps_.resize(n);
+  h.object_bitmaps_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    auto sb = DeserializeBitmap(data, pos);
+    if (!sb.ok()) return sb.status();
+    h.subject_bitmaps_[i] = std::move(sb).ValueOrDie();
+    auto ob = DeserializeBitmap(data, pos);
+    if (!ob.ok()) return ob.status();
+    h.object_bitmaps_[i] = std::move(ob).ValueOrDie();
+    h.property_count_[i] =
+        h.subject_bitmaps_[i].Count() + h.object_bitmaps_[i].Count();
+    p = data.data() + *pos;
+    uint64_t m = 0;
+    p = GetVarint64(p, limit, &m);
+    if (p == nullptr) return Status::Corruption("ecs hierarchy: child count");
+    for (uint64_t j = 0; j < m; ++j) {
+      uint32_t c = 0;
+      p = GetVarint32(p, limit, &c);
+      if (p == nullptr) return Status::Corruption("ecs hierarchy: child");
+      h.children_[i].push_back(c);
+      if (c >= n) return Status::Corruption("ecs hierarchy: child id range");
+    }
+    *pos = p - data.data();
+  }
+  for (EcsId parent = 0; parent < n; ++parent) {
+    for (EcsId c : h.children_[parent]) h.parents_[c].push_back(parent);
+  }
+  for (EcsId i = 0; i < n; ++i) {
+    if (h.parents_[i].empty()) h.roots_.push_back(i);
+  }
+  std::sort(h.roots_.begin(), h.roots_.end(), [&h](EcsId a, EcsId b) {
+    if (h.property_count_[a] != h.property_count_[b]) {
+      return h.property_count_[a] < h.property_count_[b];
+    }
+    return a < b;
+  });
+  h.ComputePreOrder();
+  return h;
+}
+
+}  // namespace axon

@@ -1,0 +1,78 @@
+// ECS specialization hierarchy (paper Sec. III.D).
+//
+// ECS E_b specializes E_a when E_b contains all properties of E_a — i.e.
+// E_a's subject-CS bitmap is a subset of E_b's and likewise for the object
+// CS. The hierarchy is a lattice whose roots are the most generic ECSs.
+// Its pre-order traversal defines the on-disk storage order of the PSO
+// partitions, so hierarchically related ECSs — which match the same query
+// ECSs — sit in adjacent ranges and one extended range scan covers a whole
+// matched family.
+
+#ifndef AXON_ECS_ECS_HIERARCHY_H_
+#define AXON_ECS_ECS_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "cs/characteristic_set.h"
+#include "ecs/extended_characteristic_set.h"
+
+namespace axon {
+
+class EcsHierarchy {
+ public:
+  EcsHierarchy() = default;
+
+  /// Builds the lattice over `sets`, resolving CS bitmaps through `cs_sets`
+  /// (indexed by CsId).
+  static EcsHierarchy Build(const std::vector<ExtendedCharacteristicSet>& sets,
+                            const std::vector<CharacteristicSet>& cs_sets);
+
+  size_t num_nodes() const { return children_.size(); }
+
+  /// Immediate specializations of `node` (one level down the lattice).
+  const std::vector<EcsId>& Children(EcsId node) const {
+    return children_[node];
+  }
+  /// Immediate generalizations of `node`.
+  const std::vector<EcsId>& Parents(EcsId node) const {
+    return parents_[node];
+  }
+  /// Most generic ECSs (no parents), in ascending property-count order.
+  const std::vector<EcsId>& Roots() const { return roots_; }
+
+  /// True if `general` ⊑ `special` in the generality order (reflexive).
+  /// Computed from the stored bitmaps, independent of the edge structure —
+  /// tests use it to validate the edges.
+  bool IsGeneralization(EcsId general, EcsId special) const;
+
+  /// Pre-order traversal of the lattice (each node once, at its first
+  /// visit). This is the PSO storage order used when the hierarchy
+  /// optimization is on.
+  const std::vector<EcsId>& PreOrder() const { return preorder_; }
+
+  /// rank[id] = position of ECS `id` in PreOrder(). Identity-sized.
+  std::vector<uint32_t> StorageRank() const;
+
+  /// Total property count (subject CS + object CS bits) of `node`; the
+  /// sort key for genericity ("the fewer properties, the more generic").
+  uint32_t PropertyCount(EcsId node) const { return property_count_[node]; }
+
+  void SerializeTo(std::string* out) const;
+  static Result<EcsHierarchy> Deserialize(std::string_view data, size_t* pos);
+
+ private:
+  void ComputePreOrder();
+
+  std::vector<std::vector<EcsId>> children_;
+  std::vector<std::vector<EcsId>> parents_;
+  std::vector<EcsId> roots_;
+  std::vector<uint32_t> property_count_;
+  std::vector<Bitmap> subject_bitmaps_;  // per ECS, resolved at Build time
+  std::vector<Bitmap> object_bitmaps_;
+  std::vector<EcsId> preorder_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ECS_ECS_HIERARCHY_H_

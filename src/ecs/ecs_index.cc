@@ -1,0 +1,177 @@
+#include "ecs/ecs_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace axon {
+
+EcsIndex EcsIndex::Build(const EcsExtraction& extraction,
+                         const std::vector<uint32_t>& storage_rank) {
+  EcsIndex idx;
+  idx.sets_ = extraction.sets;
+  size_t n = idx.sets_.size();
+  idx.properties_.assign(n, {});
+
+  // Establish the partition storage order.
+  idx.storage_order_.resize(n);
+  std::iota(idx.storage_order_.begin(), idx.storage_order_.end(), 0);
+  if (!storage_rank.empty()) {
+    std::sort(idx.storage_order_.begin(), idx.storage_order_.end(),
+              [&storage_rank](EcsId a, EcsId b) {
+                return storage_rank[a] < storage_rank[b];
+              });
+  }
+
+  // Locate each ECS's contiguous run in the extraction (sorted by ECS id).
+  std::vector<RowRange> runs(n, RowRange{});
+  for (size_t i = 0; i < extraction.triples.size();) {
+    size_t j = i;
+    EcsId id = extraction.triples[i].ecs;
+    while (j < extraction.triples.size() && extraction.triples[j].ecs == id) {
+      ++j;
+    }
+    runs[id] = RowRange{i, j};
+    i = j;
+  }
+
+  // Emit partitions in storage order; record ranges and per-property
+  // subranges as we go.
+  idx.pso_.Reserve(extraction.triples.size());
+  std::vector<std::pair<EcsId, RowRange>> range_entries;
+  for (EcsId id : idx.storage_order_) {
+    const RowRange& run = runs[id];
+    uint64_t base = idx.pso_.size();
+    TermId current_p = kInvalidId;
+    for (uint64_t k = run.begin; k < run.end; ++k) {
+      const EcsTriple& t = extraction.triples[k];
+      if (t.p != current_p) {
+        if (current_p != kInvalidId) {
+          idx.properties_[id].back().second.end = idx.pso_.size();
+        }
+        idx.properties_[id].emplace_back(
+            t.p, RowRange{idx.pso_.size(), idx.pso_.size()});
+        current_p = t.p;
+      }
+      idx.pso_.Append(t.s, t.p, t.o);
+    }
+    if (current_p != kInvalidId) {
+      idx.properties_[id].back().second.end = idx.pso_.size();
+    }
+    range_entries.emplace_back(id, RowRange{base, idx.pso_.size()});
+  }
+  std::sort(range_entries.begin(), range_entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  idx.ranges_ = BPlusTree<EcsId, RowRange>::BulkLoad(range_entries);
+  return idx;
+}
+
+RowRange EcsIndex::RangeOf(EcsId id) const {
+  const RowRange* r = ranges_.Find(id);
+  return r == nullptr ? RowRange{} : *r;
+}
+
+bool EcsIndex::HasProperty(EcsId id, TermId p) const {
+  return !PropertyRange(id, p).empty();
+}
+
+RowRange EcsIndex::PropertyRange(EcsId id, TermId p) const {
+  if (id >= properties_.size()) return RowRange{};
+  for (const auto& [pred, range] : properties_[id]) {
+    if (pred == p) return range;
+  }
+  return RowRange{};
+}
+
+void EcsIndex::SerializeMetaTo(std::string* out) const {
+  PutVarint64(out, sets_.size());
+  for (const ExtendedCharacteristicSet& e : sets_) {
+    PutVarint32(out, e.subject_cs);
+    PutVarint32(out, e.object_cs);
+  }
+  for (EcsId id : storage_order_) PutVarint32(out, id);
+  for (const auto& props : properties_) {
+    PutVarint64(out, props.size());
+    for (const auto& [p, range] : props) {
+      PutVarint32(out, p);
+      PutVarint64(out, range.begin);
+      PutVarint64(out, range.end);
+    }
+  }
+  ranges_.SerializeTo(out);
+}
+
+void EcsIndex::SerializeTo(std::string* out) const {
+  SerializeMetaTo(out);
+  pso_.SerializeTo(out);
+}
+
+Result<EcsIndex> EcsIndex::DeserializeMeta(std::string_view data,
+                                           size_t* pos) {
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint64_t n = 0;
+  p = GetVarint64(p, limit, &n);
+  if (p == nullptr) return Status::Corruption("ecs index: set count");
+
+  EcsIndex idx;
+  idx.sets_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t scs = 0;
+    uint32_t ocs = 0;
+    if ((p = GetVarint32(p, limit, &scs)) == nullptr ||
+        (p = GetVarint32(p, limit, &ocs)) == nullptr) {
+      return Status::Corruption("ecs index: set entry");
+    }
+    idx.sets_.push_back(
+        ExtendedCharacteristicSet{static_cast<EcsId>(i), scs, ocs});
+  }
+  idx.storage_order_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    p = GetVarint32(p, limit, &id);
+    if (p == nullptr || id >= n) {
+      return Status::Corruption("ecs index: storage order");
+    }
+    idx.storage_order_[i] = id;
+  }
+  idx.properties_.assign(n, {});
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t m = 0;
+    p = GetVarint64(p, limit, &m);
+    if (p == nullptr) return Status::Corruption("ecs index: property count");
+    for (uint64_t j = 0; j < m; ++j) {
+      uint32_t pred = 0;
+      uint64_t begin = 0;
+      uint64_t end = 0;
+      if ((p = GetVarint32(p, limit, &pred)) == nullptr ||
+          (p = GetVarint64(p, limit, &begin)) == nullptr ||
+          (p = GetVarint64(p, limit, &end)) == nullptr) {
+        return Status::Corruption("ecs index: property entry");
+      }
+      idx.properties_[i].emplace_back(pred, RowRange{begin, end});
+    }
+  }
+  *pos = p - data.data();
+
+  auto ranges = BPlusTree<EcsId, RowRange>::Deserialize(data, pos);
+  if (!ranges.ok()) return ranges.status();
+  idx.ranges_ = std::move(ranges).ValueOrDie();
+  return idx;
+}
+
+Result<EcsIndex> EcsIndex::Deserialize(std::string_view data, size_t* pos) {
+  auto idx = DeserializeMeta(data, pos);
+  if (!idx.ok()) return idx.status();
+  auto pso = TripleTable::Deserialize(data, pos);
+  if (!pso.ok()) return pso.status();
+  idx.value().pso_ = std::move(pso).ValueOrDie();
+  return idx;
+}
+
+uint64_t EcsIndex::ByteSize() const {
+  std::string buf;
+  SerializeTo(&buf);
+  return buf.size();
+}
+
+}  // namespace axon

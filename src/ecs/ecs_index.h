@@ -1,0 +1,79 @@
+// ECS index (Sec. III.C): the PSO table holding only valid-ECS triples,
+// partitioned by ECS, with a B+-tree from ECS id to row range and, per ECS,
+// the first-occurrence pointers of every property ("each ECS maintains
+// pointers to the first occurrences of each property in the indexed PSO
+// table", Sec. III.D) — stored here as full per-property subranges since
+// rows within an ECS are (P, S, O)-sorted.
+
+#ifndef AXON_ECS_ECS_INDEX_H_
+#define AXON_ECS_ECS_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "ecs/ecs_extractor.h"
+#include "storage/btree.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+class EcsIndex {
+ public:
+  EcsIndex() = default;
+
+  /// Builds the index. `storage_rank` permutes the on-disk order of ECS
+  /// partitions: rank[id] = position of ECS `id`'s partition in the PSO
+  /// table. Pass the hierarchy pre-order rank to enable the Sec. III.D
+  /// locality optimization, or an empty vector for plain id order.
+  static EcsIndex Build(const EcsExtraction& extraction,
+                        const std::vector<uint32_t>& storage_rank);
+
+  /// The PSO table (valid-ECS triples only).
+  const TripleTable& pso() const { return pso_; }
+
+  size_t num_sets() const { return sets_.size(); }
+  const ExtendedCharacteristicSet& set(EcsId id) const { return sets_[id]; }
+  std::span<const ExtendedCharacteristicSet> sets() const { return sets_; }
+
+  /// Row range of an ECS partition in the PSO table.
+  RowRange RangeOf(EcsId id) const;
+
+  /// Per-property subranges of an ECS partition: (predicate id, rows),
+  /// ascending by row. The `.begin` of each entry is the paper's
+  /// first-occurrence pointer.
+  const std::vector<std::pair<TermId, RowRange>>& Properties(EcsId id) const {
+    return properties_[id];
+  }
+
+  /// True if the ECS's triples contain predicate `p` (condition (7) of the
+  /// match test).
+  bool HasProperty(EcsId id, TermId p) const;
+
+  /// Rows of predicate `p` within ECS `id` (empty if absent).
+  RowRange PropertyRange(EcsId id, TermId p) const;
+
+  /// The storage order of partitions (ECS ids in on-disk order).
+  const std::vector<EcsId>& StorageOrder() const { return storage_order_; }
+
+  void SerializeTo(std::string* out) const;
+  static Result<EcsIndex> Deserialize(std::string_view data, size_t* pos);
+
+  /// Metadata-only serialization (everything except the PSO table); see
+  /// CsIndex::SerializeMetaTo.
+  void SerializeMetaTo(std::string* out) const;
+  static Result<EcsIndex> DeserializeMeta(std::string_view data, size_t* pos);
+  void AttachPso(TripleTable pso) { pso_ = std::move(pso); }
+
+  uint64_t ByteSize() const;
+
+ private:
+  std::vector<ExtendedCharacteristicSet> sets_;
+  TripleTable pso_;
+  BPlusTree<EcsId, RowRange> ranges_;
+  std::vector<std::vector<std::pair<TermId, RowRange>>> properties_;
+  std::vector<EcsId> storage_order_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ECS_ECS_INDEX_H_

@@ -1,0 +1,72 @@
+#include "ecs/ecs_statistics.h"
+
+#include <unordered_set>
+
+#include "util/varint.h"
+
+namespace axon {
+
+EcsStatistics EcsStatistics::Build(const EcsExtraction& extraction) {
+  EcsStatistics out;
+  out.stats_.assign(extraction.sets.size(), EcsStats{});
+
+  size_t i = 0;
+  const auto& triples = extraction.triples;
+  while (i < triples.size()) {
+    EcsId ecs = triples[i].ecs;
+    EcsStats& s = out.stats_[ecs];
+    std::unordered_set<TermId> subjects;
+    std::unordered_set<TermId> objects;
+    TermId last_p = kInvalidId;
+    size_t j = i;
+    for (; j < triples.size() && triples[j].ecs == ecs; ++j) {
+      ++s.num_triples;
+      subjects.insert(triples[j].s);
+      objects.insert(triples[j].o);
+      // Triples within an ECS are sorted by P, so distinct properties are
+      // run boundaries.
+      if (triples[j].p != last_p) {
+        ++s.distinct_properties;
+        last_p = triples[j].p;
+      }
+    }
+    s.distinct_subjects = subjects.size();
+    s.distinct_objects = objects.size();
+    i = j;
+  }
+  return out;
+}
+
+void EcsStatistics::SerializeTo(std::string* out) const {
+  PutVarint64(out, stats_.size());
+  for (const EcsStats& s : stats_) {
+    PutVarint64(out, s.num_triples);
+    PutVarint64(out, s.distinct_subjects);
+    PutVarint64(out, s.distinct_objects);
+    PutVarint64(out, s.distinct_properties);
+  }
+}
+
+Result<EcsStatistics> EcsStatistics::Deserialize(std::string_view data,
+                                                 size_t* pos) {
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint64_t n = 0;
+  p = GetVarint64(p, limit, &n);
+  if (p == nullptr) return Status::Corruption("ecs stats: count");
+  EcsStatistics out;
+  out.stats_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EcsStats& s = out.stats_[i];
+    if ((p = GetVarint64(p, limit, &s.num_triples)) == nullptr ||
+        (p = GetVarint64(p, limit, &s.distinct_subjects)) == nullptr ||
+        (p = GetVarint64(p, limit, &s.distinct_objects)) == nullptr ||
+        (p = GetVarint64(p, limit, &s.distinct_properties)) == nullptr) {
+      return Status::Corruption("ecs stats: entry");
+    }
+  }
+  *pos = p - data.data();
+  return out;
+}
+
+}  // namespace axon

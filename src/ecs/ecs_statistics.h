@@ -1,0 +1,71 @@
+// Per-ECS metadata and statistics (paper Sec. III.D, "Metadata and
+// statistics"): triple counts, distinct subject/object/property
+// cardinalities. These feed the query planner's cost model — in particular
+// the object-subject multiplication factor m_f,os.
+
+#ifndef AXON_ECS_ECS_STATISTICS_H_
+#define AXON_ECS_ECS_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "ecs/ecs_extractor.h"
+#include "util/status.h"
+
+namespace axon {
+
+struct EcsStats {
+  uint64_t num_triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+  uint64_t distinct_properties = 0;
+
+  bool operator==(const EcsStats& other) const {
+    return num_triples == other.num_triples &&
+           distinct_subjects == other.distinct_subjects &&
+           distinct_objects == other.distinct_objects &&
+           distinct_properties == other.distinct_properties;
+  }
+};
+
+class EcsStatistics {
+ public:
+  EcsStatistics() = default;
+
+  static EcsStatistics Build(const EcsExtraction& extraction);
+
+  const EcsStats& Of(EcsId id) const { return stats_[id]; }
+  size_t size() const { return stats_.size(); }
+
+  /// m_f,os(E): estimated output rows per input row of an object-subject
+  /// join with E on the right (Sec. IV.C). The paper defines it as the
+  /// ratio of distinct objects per subject in E; we use the tighter
+  /// triples-per-distinct-subject ratio, which equals the paper's value
+  /// when subject/object pairs are linked by a single property and bounds
+  /// it otherwise.
+  double MultiplicationFactorOs(EcsId id) const {
+    const EcsStats& s = stats_[id];
+    if (s.distinct_subjects == 0) return 0.0;
+    return static_cast<double>(s.num_triples) /
+           static_cast<double>(s.distinct_subjects);
+  }
+
+  /// The symmetric factor for joins entering E through its *object* side
+  /// (left-expansion of a chain): triples per distinct object.
+  double MultiplicationFactorSo(EcsId id) const {
+    const EcsStats& s = stats_[id];
+    if (s.distinct_objects == 0) return 0.0;
+    return static_cast<double>(s.num_triples) /
+           static_cast<double>(s.distinct_objects);
+  }
+
+  void SerializeTo(std::string* out) const;
+  static Result<EcsStatistics> Deserialize(std::string_view data, size_t* pos);
+
+ private:
+  std::vector<EcsStats> stats_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ECS_ECS_STATISTICS_H_

@@ -1,0 +1,45 @@
+// Extended Characteristic Sets (paper Sec. II, Eq. 3-4).
+//
+// An ECS E(s,o) is the ordered pair (CS of subject, CS of object) of a
+// triple whose object itself emits properties. Every such triple belongs to
+// exactly one ECS; triples with literal objects or sink objects (empty
+// object CS) belong to none and live only in the SPO/CS side of the store.
+
+#ifndef AXON_ECS_EXTENDED_CHARACTERISTIC_SET_H_
+#define AXON_ECS_EXTENDED_CHARACTERISTIC_SET_H_
+
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace axon {
+
+struct ExtendedCharacteristicSet {
+  EcsId id = kNoEcs;
+  CsId subject_cs = kNoCs;
+  CsId object_cs = kNoCs;
+
+  bool operator==(const ExtendedCharacteristicSet& other) const {
+    return id == other.id && subject_cs == other.subject_cs &&
+           object_cs == other.object_cs;
+  }
+};
+
+/// A PSO-side row: the triple plus its ECS tag (the ECS analogue of the
+/// loader's 4-wide CS row).
+struct EcsTriple {
+  EcsId ecs = kNoEcs;
+  TermId s = kInvalidId;
+  TermId p = kInvalidId;
+  TermId o = kInvalidId;
+
+  Triple triple() const { return Triple{s, p, o}; }
+
+  bool operator==(const EcsTriple& other) const {
+    return ecs == other.ecs && s == other.s && p == other.p && o == other.o;
+  }
+};
+
+}  // namespace axon
+
+#endif  // AXON_ECS_EXTENDED_CHARACTERISTIC_SET_H_

@@ -1,0 +1,140 @@
+#include "engine/cardinality.h"
+
+#include <algorithm>
+
+namespace axon {
+
+double CardinalityEstimator::EstimateStarInCs(CsId cs,
+                                              const Bitmap& query_cs) const {
+  if (!query_cs.IsSubsetOf(cs_->set(cs).properties)) return 0.0;
+  double subjects = static_cast<double>(cs_->DistinctSubjects(cs));
+  if (subjects <= 0) return 0.0;
+  double estimate = subjects;
+  for (uint32_t ordinal : query_cs.ToIndices()) {
+    TermId pred = cs_->properties().PredicateOf(ordinal);
+    estimate *= static_cast<double>(cs_->PredicateCount(cs, pred)) / subjects;
+  }
+  return estimate;
+}
+
+double CardinalityEstimator::EstimateStar(const Bitmap& query_cs) const {
+  double total = 0.0;
+  for (CsId cs : cs_->MatchSupersets(query_cs)) {
+    total += EstimateStarInCs(cs, query_cs);
+  }
+  return total;
+}
+
+double CardinalityEstimator::EstimateQueryEcs(
+    const QueryGraph& qg, int query_ecs,
+    const std::vector<EcsId>& matches) const {
+  const QueryEcs& q = qg.ecss[query_ecs];
+  double best = -1.0;
+  for (int pi : q.link_patterns) {
+    const IdPattern& p = qg.patterns[pi];
+    if (!p.p_bound()) continue;
+    double total = 0.0;
+    for (EcsId e : matches) {
+      total += static_cast<double>(ecs_->PropertyRange(e, p.p).size());
+    }
+    if (best < 0.0 || total < best) best = total;
+  }
+  if (best >= 0.0) return best;
+  double total = 0.0;
+  for (EcsId e : matches) {
+    total += static_cast<double>(ecs_->RangeOf(e).size());
+  }
+  return total;
+}
+
+double CardinalityEstimator::EstimateChain(const QueryGraph& qg,
+                                           const std::vector<int>& chain,
+                                           const ChainMatch& match) const {
+  if (chain.empty() || match.Empty()) return 0.0;
+  double estimate =
+      EstimateQueryEcs(qg, chain[0], match.position_matches[0]);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    uint64_t triples = 0;
+    uint64_t subjects = 0;
+    for (EcsId e : match.position_matches[i]) {
+      const EcsStats& s = stats_->Of(e);
+      triples += s.num_triples;
+      subjects += s.distinct_subjects;
+    }
+    double mf = subjects == 0
+                    ? 0.0
+                    : static_cast<double>(triples) / static_cast<double>(subjects);
+    estimate *= mf;
+  }
+  return estimate;
+}
+
+Result<double> CardinalityEstimator::EstimateQuery(
+    const SelectQuery& query, const Dictionary& dict) const {
+  AXON_ASSIGN_OR_RETURN(QueryGraph qg,
+                        BuildQueryGraph(query, dict, cs_->properties()));
+  if (qg.impossible) return 0.0;
+
+  EcsMatcher matcher(cs_, ecs_, graph_);
+  double estimate = 1.0;
+  bool any_factor = false;
+
+  // Chain contribution: the maximum single-chain estimate (chains overlap,
+  // so multiplying them would double-count shared ECSs).
+  double chain_estimate = 0.0;
+  for (const auto& chain : qg.chains) {
+    ChainMatch match = matcher.MatchChain(qg, chain);
+    if (match.Empty()) return 0.0;
+    chain_estimate = std::max(chain_estimate,
+                              EstimateChain(qg, chain, match));
+  }
+  if (!qg.chains.empty()) {
+    estimate *= chain_estimate;
+    any_factor = true;
+  }
+
+  // Star contribution: per star-only node, the CS-based estimate; chain
+  // nodes' star attributes contribute their per-subject multiplicities.
+  for (size_t node = 0; node < qg.nodes.size(); ++node) {
+    const QueryNode& n = qg.nodes[node];
+    if (!n.emits()) continue;
+    std::vector<int> star = qg.StarPatterns(static_cast<int>(node));
+    if (star.empty()) continue;
+    Bitmap star_only(cs_->properties().size());
+    for (int pi : star) {
+      if (qg.patterns[pi].p_bound()) {
+        auto ord = cs_->properties().OrdinalOf(qg.patterns[pi].p);
+        if (ord.has_value()) star_only.Set(*ord);
+      }
+    }
+    bool in_chain = false;
+    for (const QueryEcs& qe : qg.ecss) {
+      if (qe.subject_node == static_cast<int>(node) ||
+          qe.object_node == static_cast<int>(node)) {
+        in_chain = true;
+        break;
+      }
+    }
+    if (!in_chain) {
+      double star_est = EstimateStar(n.star_bitmap);
+      if (star_est <= 0.0) return 0.0;
+      estimate *= star_est;
+      any_factor = true;
+    } else if (star_only.Count() > 0) {
+      // Multiplicity of the star attributes per chain-node subject:
+      // weighted over the CSs that can carry the full node bitmap.
+      double subjects = 0.0;
+      double rows = 0.0;
+      for (CsId cs : cs_->MatchSupersets(n.star_bitmap)) {
+        double s = static_cast<double>(cs_->DistinctSubjects(cs));
+        subjects += s;
+        rows += EstimateStarInCs(cs, star_only);
+      }
+      if (subjects > 0.0) estimate *= rows / subjects;
+    }
+  }
+  if (!any_factor) return 0.0;
+  return estimate;
+}
+
+}  // namespace axon

@@ -1,0 +1,276 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "cs/cs_extractor.h"
+#include "ecs/ecs_extractor.h"
+#include "storage/db_file.h"
+
+namespace axon {
+
+Result<Database> Database::Build(const Dataset& dataset,
+                                 EngineOptions options) {
+  Database db;
+  db.options_ = options;
+  db.dict_ = dataset.dict;  // engines share one dictionary; axonDB owns a
+                            // copy so Save()/Open() round-trips standalone
+
+  // Loader's 4-wide rows, exact duplicates removed (set semantics of RDF).
+  LoadTripleVec load;
+  {
+    TripleVec triples = dataset.triples;
+    std::sort(triples.begin(), triples.end(),
+              [](const Triple& a, const Triple& b) {
+                return a.Key() < b.Key();
+              });
+    triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+    load.reserve(triples.size());
+    for (const Triple& t : triples) {
+      load.push_back(LoadTriple{t.s, t.p, t.o, kNoCs});
+    }
+  }
+  db.info_.num_triples = load.size();
+  db.info_.num_terms = db.dict_.size();
+
+  // (a) Characteristic sets — Algorithm 1 — and the CS index.
+  CsExtraction cs = ExtractCharacteristicSets(std::move(load));
+  db.cs_index_ = CsIndex::Build(cs);
+  db.info_.num_properties = cs.properties.size();
+  db.info_.num_cs = cs.sets.size();
+
+  // (b) Extended characteristic sets — Algorithm 2 — graph, hierarchy,
+  // statistics and the ECS index.
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+  db.graph_ = EcsGraph(ecs.links);
+  db.hierarchy_ = EcsHierarchy::Build(ecs.sets, cs.sets);
+  db.stats_ = EcsStatistics::Build(ecs);
+  std::vector<uint32_t> storage_rank;
+  if (options.use_hierarchy) storage_rank = db.hierarchy_.StorageRank();
+  db.ecs_index_ = EcsIndex::Build(ecs, storage_rank);
+  db.info_.num_ecs = ecs.sets.size();
+  db.info_.num_ecs_triples = ecs.triples.size();
+  db.info_.num_ecs_edges = db.graph_.num_edges();
+
+  return db;
+}
+
+Status Database::Save(const std::string& path) const {
+  DbFileWriter writer;
+  AXON_RETURN_NOT_OK(writer.Open(path));
+  std::string buf;
+  AXON_RETURN_NOT_OK(dict_.Serialize(&buf));
+  AXON_RETURN_NOT_OK(writer.AddSection("dict", buf));
+  // Index metadata and the raw triple tables are separate sections: the
+  // tables are fixed-width row images in 8-byte-aligned sections, so
+  // OpenMapped() can serve them zero-copy from the mapping.
+  buf.clear();
+  cs_index_.SerializeMetaTo(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("cs_meta", buf));
+  buf.clear();
+  cs_index_.spo().SerializeRaw(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("spo_rows", buf));
+  buf.clear();
+  ecs_index_.SerializeMetaTo(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("ecs_meta", buf));
+  buf.clear();
+  ecs_index_.pso().SerializeRaw(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("pso_rows", buf));
+  buf.clear();
+  graph_.SerializeTo(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("ecs_graph", buf));
+  buf.clear();
+  hierarchy_.SerializeTo(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("ecs_hierarchy", buf));
+  buf.clear();
+  stats_.SerializeTo(&buf);
+  AXON_RETURN_NOT_OK(writer.AddSection("ecs_stats", buf));
+  buf.clear();
+  PutVarint64(&buf, info_.num_triples);
+  PutVarint64(&buf, info_.num_terms);
+  PutVarint64(&buf, info_.num_properties);
+  PutVarint64(&buf, info_.num_cs);
+  PutVarint64(&buf, info_.num_ecs);
+  PutVarint64(&buf, info_.num_ecs_triples);
+  PutVarint64(&buf, info_.num_ecs_edges);
+  AXON_RETURN_NOT_OK(writer.AddSection("build_info", buf));
+  return writer.Finish();
+}
+
+Result<Database> Database::Open(const std::string& path,
+                                EngineOptions options) {
+  DbFileReader reader;
+  AXON_RETURN_NOT_OK(reader.Open(path));
+  Database db;
+  db.options_ = options;
+
+  AXON_ASSIGN_OR_RETURN(std::string_view dict_data,
+                        reader.GetSection("dict"));
+  AXON_ASSIGN_OR_RETURN(db.dict_, Dictionary::Deserialize(dict_data));
+
+  size_t pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view cs_data,
+                        reader.GetSection("cs_meta"));
+  AXON_ASSIGN_OR_RETURN(db.cs_index_, CsIndex::DeserializeMeta(cs_data, &pos));
+  AXON_ASSIGN_OR_RETURN(std::string_view spo_data,
+                        reader.GetSection("spo_rows"));
+  AXON_ASSIGN_OR_RETURN(TripleTable spo, TripleTable::FromRawOwned(spo_data));
+  db.cs_index_.AttachSpo(std::move(spo));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view ecs_data,
+                        reader.GetSection("ecs_meta"));
+  AXON_ASSIGN_OR_RETURN(db.ecs_index_,
+                        EcsIndex::DeserializeMeta(ecs_data, &pos));
+  AXON_ASSIGN_OR_RETURN(std::string_view pso_data,
+                        reader.GetSection("pso_rows"));
+  AXON_ASSIGN_OR_RETURN(TripleTable pso, TripleTable::FromRawOwned(pso_data));
+  db.ecs_index_.AttachPso(std::move(pso));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view graph_data,
+                        reader.GetSection("ecs_graph"));
+  AXON_ASSIGN_OR_RETURN(db.graph_, EcsGraph::Deserialize(graph_data, &pos));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view hier_data,
+                        reader.GetSection("ecs_hierarchy"));
+  AXON_ASSIGN_OR_RETURN(db.hierarchy_,
+                        EcsHierarchy::Deserialize(hier_data, &pos));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view stats_data,
+                        reader.GetSection("ecs_stats"));
+  AXON_ASSIGN_OR_RETURN(db.stats_,
+                        EcsStatistics::Deserialize(stats_data, &pos));
+
+  AXON_ASSIGN_OR_RETURN(std::string_view info_data,
+                        reader.GetSection("build_info"));
+  {
+    const char* p = info_data.data();
+    const char* limit = p + info_data.size();
+    uint64_t* fields[] = {
+        &db.info_.num_triples,     &db.info_.num_terms,
+        &db.info_.num_properties,  &db.info_.num_cs,
+        &db.info_.num_ecs,         &db.info_.num_ecs_triples,
+        &db.info_.num_ecs_edges};
+    for (uint64_t* f : fields) {
+      p = GetVarint64(p, limit, f);
+      if (p == nullptr) return Status::Corruption("build_info section");
+    }
+  }
+
+  return db;
+}
+
+Result<Database> Database::OpenMapped(const std::string& path,
+                                      EngineOptions options) {
+  auto reader = std::make_shared<DbFileReader>();
+  AXON_RETURN_NOT_OK(reader->Open(path));
+  Database db;
+  db.options_ = options;
+
+  AXON_ASSIGN_OR_RETURN(std::string_view dict_data,
+                        reader->GetSection("dict"));
+  AXON_ASSIGN_OR_RETURN(db.dict_, Dictionary::Deserialize(dict_data));
+
+  size_t pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view cs_data,
+                        reader->GetSection("cs_meta"));
+  AXON_ASSIGN_OR_RETURN(db.cs_index_, CsIndex::DeserializeMeta(cs_data, &pos));
+  AXON_ASSIGN_OR_RETURN(std::string_view spo_data,
+                        reader->GetSection("spo_rows"));
+  AXON_ASSIGN_OR_RETURN(TripleTable spo, TripleTable::FromRaw(spo_data));
+  db.cs_index_.AttachSpo(std::move(spo));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view ecs_data,
+                        reader->GetSection("ecs_meta"));
+  AXON_ASSIGN_OR_RETURN(db.ecs_index_,
+                        EcsIndex::DeserializeMeta(ecs_data, &pos));
+  AXON_ASSIGN_OR_RETURN(std::string_view pso_data,
+                        reader->GetSection("pso_rows"));
+  AXON_ASSIGN_OR_RETURN(TripleTable pso, TripleTable::FromRaw(pso_data));
+  db.ecs_index_.AttachPso(std::move(pso));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view graph_data,
+                        reader->GetSection("ecs_graph"));
+  AXON_ASSIGN_OR_RETURN(db.graph_, EcsGraph::Deserialize(graph_data, &pos));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view hier_data,
+                        reader->GetSection("ecs_hierarchy"));
+  AXON_ASSIGN_OR_RETURN(db.hierarchy_,
+                        EcsHierarchy::Deserialize(hier_data, &pos));
+
+  pos = 0;
+  AXON_ASSIGN_OR_RETURN(std::string_view stats_data,
+                        reader->GetSection("ecs_stats"));
+  AXON_ASSIGN_OR_RETURN(db.stats_,
+                        EcsStatistics::Deserialize(stats_data, &pos));
+
+  AXON_ASSIGN_OR_RETURN(std::string_view info_data,
+                        reader->GetSection("build_info"));
+  {
+    const char* p = info_data.data();
+    const char* limit = p + info_data.size();
+    uint64_t* fields[] = {
+        &db.info_.num_triples,     &db.info_.num_terms,
+        &db.info_.num_properties,  &db.info_.num_cs,
+        &db.info_.num_ecs,         &db.info_.num_ecs_triples,
+        &db.info_.num_ecs_edges};
+    for (uint64_t* f : fields) {
+      p = GetVarint64(p, limit, f);
+      if (p == nullptr) return Status::Corruption("build_info section");
+    }
+  }
+
+  db.mapped_file_ = std::move(reader);
+  return db;
+}
+
+Result<QueryResult> Database::Execute(const SelectQuery& query) const {
+  return MakeExecutor().Execute(query);
+}
+
+Result<QueryResult> Database::ExecuteSparql(std::string_view text) const {
+  AXON_ASSIGN_OR_RETURN(SelectQuery q, ParseSparql(text));
+  return Execute(q);
+}
+
+uint64_t Database::StorageBytes() const {
+  return cs_index_.ByteSize() + ecs_index_.ByteSize();
+}
+
+Result<std::string> Database::ExportNTriples() const {
+  std::string out;
+  for (const Triple& t : cs_index_.spo().rows()) {
+    AXON_ASSIGN_OR_RETURN(Term s, dict_.GetTerm(t.s));
+    AXON_ASSIGN_OR_RETURN(Term p, dict_.GetTerm(t.p));
+    AXON_ASSIGN_OR_RETURN(Term o, dict_.GetTerm(t.o));
+    out += WriteNTriplesLine(TermTriple{std::move(s), std::move(p),
+                                        std::move(o)});
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> Database::Render(
+    const BindingTable& table) const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.num_cols());
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      TermId id = table.at(r, c);
+      if (id == kInvalidId || id > dict_.size()) {
+        return Status::Internal("binding with invalid term id");
+      }
+      row.push_back(dict_.GetCanonical(id));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace axon

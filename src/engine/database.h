@@ -1,0 +1,139 @@
+// axon::Database — the axonDB engine façade (paper Fig. 2).
+//
+// Ties together the three core modules: (a) loading — dictionary encoding
+// plus CS/ECS extraction, (b) index construction — CS index, ECS index, ECS
+// graph, hierarchy and statistics, persisted into a single binary file, and
+// (c) query processing — parse, ECS-graph matching, planning, execution.
+//
+// Typical use:
+//   axon::Dataset data;
+//   data.AddNTriples(text);
+//   auto db = axon::Database::Build(data, axon::EngineOptions{});
+//   auto result = db.value().ExecuteSparql(
+//       "SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z }");
+
+#ifndef AXON_ENGINE_DATABASE_H_
+#define AXON_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "cs/cs_index.h"
+#include "storage/db_file.h"
+#include "ecs/ecs_graph.h"
+#include "ecs/ecs_hierarchy.h"
+#include "ecs/ecs_index.h"
+#include "ecs/ecs_statistics.h"
+#include "engine/cardinality.h"
+#include "engine/executor.h"
+#include "engine/query_engine.h"
+#include "sparql/parser.h"
+
+namespace axon {
+
+/// Summary counters reported after a build (the Table II columns).
+struct BuildInfo {
+  uint64_t num_triples = 0;       // after exact-duplicate removal
+  uint64_t num_terms = 0;         // dictionary entries
+  uint64_t num_properties = 0;    // distinct predicates
+  uint64_t num_cs = 0;            // distinct characteristic sets
+  uint64_t num_ecs = 0;           // distinct extended characteristic sets
+  uint64_t num_ecs_triples = 0;   // PSO-table rows (valid-ECS triples)
+  uint64_t num_ecs_edges = 0;     // ECS-graph edges
+};
+
+class Database : public QueryEngine {
+ public:
+  /// Loads a dataset: extracts CSs and ECSs, builds every index. With
+  /// options.use_hierarchy the PSO partitions are laid out in hierarchy
+  /// pre-order (Sec. III.D), otherwise in ECS-id order.
+  static Result<Database> Build(const Dataset& dataset,
+                                EngineOptions options = {});
+
+  /// Persists all structures into one binary database file.
+  Status Save(const std::string& path) const;
+
+  /// Opens a Save()d database file, copying the triple tables into memory.
+  static Result<Database> Open(const std::string& path,
+                               EngineOptions options = {});
+
+  /// Opens a Save()d database file with the SPO/PSO tables served directly
+  /// from the memory-mapped file — zero copy, the paper's Sec. III.A
+  /// "backed by a memory mapped file" read path. The mapping stays alive
+  /// for the lifetime of the returned Database. Query results are
+  /// identical to Open(); only the residency of the tables differs.
+  static Result<Database> OpenMapped(const std::string& path,
+                                     EngineOptions options = {});
+
+  /// True when the triple tables are served from a memory-mapped file.
+  bool is_mapped() const { return mapped_file_ != nullptr; }
+
+  // QueryEngine interface.
+  std::string name() const override { return options_.ConfigName(); }
+  Result<QueryResult> Execute(const SelectQuery& query) const override;
+  uint64_t StorageBytes() const override;
+
+  /// Parses and executes SPARQL text.
+  Result<QueryResult> ExecuteSparql(std::string_view text) const;
+
+  /// Human-readable plan description (no data access): the ECS
+  /// decomposition, chain matches and the planned join order.
+  Result<std::string> Explain(const SelectQuery& query) const {
+    return MakeExecutor().Explain(query);
+  }
+
+  /// CS/ECS-based estimate of a query's result cardinality (Sec. IV.C cost
+  /// model + Neumann-Moerkotte star estimation). 0 for provably empty
+  /// queries.
+  Result<double> EstimateCardinality(const SelectQuery& query) const {
+    return CardinalityEstimator(&cs_index_, &ecs_index_, &stats_, &graph_)
+        .EstimateQuery(query, dict_);
+  }
+
+  const Dictionary& dict() const { return dict_; }
+  const CsIndex& cs_index() const { return cs_index_; }
+  const EcsIndex& ecs_index() const { return ecs_index_; }
+  const EcsGraph& ecs_graph() const { return graph_; }
+  const EcsHierarchy& hierarchy() const { return hierarchy_; }
+  const EcsStatistics& statistics() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+  const BuildInfo& build_info() const { return info_; }
+
+  /// Serializes the full triple contents back to N-Triples text (one
+  /// statement per line, SPO order). Round-trips through AddNTriples.
+  Result<std::string> ExportNTriples() const;
+
+  /// Renders a result table back to term strings (row-major), resolving
+  /// ids through the dictionary.
+  Result<std::vector<std::vector<std::string>>> Render(
+      const BindingTable& table) const;
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+ private:
+  Database() = default;
+
+  // The Executor holds pointers into this object, and Database is movable —
+  // so executors are constructed per Execute() call (they are a handful of
+  // pointers) rather than cached across moves.
+  Executor MakeExecutor() const {
+    return Executor(&dict_, &cs_index_, &ecs_index_, &graph_, &stats_,
+                    options_);
+  }
+
+  Dictionary dict_;
+  CsIndex cs_index_;
+  EcsIndex ecs_index_;
+  EcsGraph graph_;
+  EcsHierarchy hierarchy_;
+  EcsStatistics stats_;
+  EngineOptions options_;
+  BuildInfo info_;
+  // Keeps the mapping alive for borrowed (OpenMapped) tables.
+  std::shared_ptr<DbFileReader> mapped_file_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_DATABASE_H_

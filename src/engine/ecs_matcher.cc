@@ -1,0 +1,118 @@
+#include "engine/ecs_matcher.h"
+
+#include <functional>
+
+namespace axon {
+
+bool EcsMatcher::Matches(const QueryGraph& qg, int query_ecs,
+                         EcsId data_ecs) const {
+  const QueryEcs& q = qg.ecss[query_ecs];
+  const ExtendedCharacteristicSet& e = ecs_->set(data_ecs);
+  const QueryNode& snode = qg.nodes[q.subject_node];
+  const QueryNode& onode = qg.nodes[q.object_node];
+
+  // Conditions (5) and (6): query CS bitmaps are subsets of the data CS
+  // bitmaps, checked with bitwise AND.
+  if (!snode.star_bitmap.IsSubsetOf(cs_->set(e.subject_cs).properties)) {
+    return false;
+  }
+  if (!onode.star_bitmap.IsSubsetOf(cs_->set(e.object_cs).properties)) {
+    return false;
+  }
+
+  // Condition (7): every bound link predicate occurs in the ECS's triples.
+  // Unbound link predicates match any property in the region (Sec. IV.B).
+  for (int pi : q.link_patterns) {
+    const IdPattern& p = qg.patterns[pi];
+    if (p.p_bound() && !ecs_->HasProperty(data_ecs, p.p)) return false;
+  }
+
+  // Bound chain nodes: the data ECS's CS on that side must be the bound
+  // term's own CS.
+  if (!snode.is_variable) {
+    auto cs = cs_->CsOfSubject(snode.bound_id);
+    if (!cs.has_value() || *cs != e.subject_cs) return false;
+  }
+  if (!onode.is_variable) {
+    auto cs = cs_->CsOfSubject(onode.bound_id);
+    if (!cs.has_value() || *cs != e.object_cs) return false;
+  }
+  return true;
+}
+
+std::vector<EcsId> EcsMatcher::MatchAll(const QueryGraph& qg,
+                                        int query_ecs) const {
+  std::vector<EcsId> out;
+  for (EcsId e = 0; e < ecs_->num_sets(); ++e) {
+    if (Matches(qg, query_ecs, e)) out.push_back(e);
+  }
+  return out;
+}
+
+ChainMatch EcsMatcher::MatchChain(const QueryGraph& qg,
+                                  const std::vector<int>& chain) const {
+  ChainMatch result;
+  size_t k = chain.size();
+  result.position_matches.assign(k, {});
+  if (k == 0) return result;
+
+  size_t n = ecs_->num_sets();
+  // Memo: 0 = unknown, 1 = fails, 2 = succeeds (suffix from this position
+  // can be completed through the ECS graph).
+  std::vector<uint8_t> memo(n * k, 0);
+
+  // Depth-first with suffix memoization: TryMatch(e, i) answers "does data
+  // ECS e evaluate chain position i with a graph path completing the rest
+  // of the chain?".
+  std::function<bool(EcsId, size_t)> try_match = [&](EcsId e,
+                                                     size_t i) -> bool {
+    uint8_t& m = memo[e * k + i];
+    if (m != 0) return m == 2;
+    if (!Matches(qg, chain[i], e)) {
+      m = 1;
+      return false;
+    }
+    if (i + 1 == k) {
+      m = 2;
+      return true;
+    }
+    bool ok = false;
+    for (EcsId child : graph_->Successors(e)) {
+      if (try_match(child, i + 1)) ok = true;  // no break: fill memo densely
+    }
+    m = ok ? 2 : 1;
+    return ok;
+  };
+
+  // Algorithm 3: every ECS in the graph is a candidate starting point for
+  // position 0; deeper positions are discovered through graph edges, and a
+  // second sweep collects per-position survivors from the memo.
+  for (EcsId e = 0; e < n; ++e) try_match(e, 0);
+
+  // A data ECS is a valid match for position i>0 only if it both completes
+  // the suffix (memo == 2) and is reachable from a valid match at position
+  // i-1 via a graph edge.
+  std::vector<bool> reachable(n, false);
+  for (EcsId e = 0; e < n; ++e) {
+    if (memo[e * k + 0] == 2) {
+      result.position_matches[0].push_back(e);
+      reachable[e] = true;
+    }
+  }
+  for (size_t i = 1; i < k; ++i) {
+    std::vector<bool> next(n, false);
+    for (EcsId e = 0; e < n; ++e) {
+      if (!reachable[e]) continue;
+      for (EcsId child : graph_->Successors(e)) {
+        if (memo[child * k + i] == 2) next[child] = true;
+      }
+    }
+    for (EcsId e = 0; e < n; ++e) {
+      if (next[e]) result.position_matches[i].push_back(e);
+    }
+    reachable = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace axon

@@ -1,0 +1,69 @@
+// Matching query ECS chains against the ECS index (paper Sec. IV.B,
+// Algorithms 3 and 4).
+//
+// A query ECS Q = (S_q,left, S_q,right) matches a data ECS E when
+//   (5) S_q,left  ⊆ E.subjectCS,
+//   (6) S_q,right ⊆ E.objectCS,     (bitmap subset via AND)
+//   (7) every bound link predicate of Q appears among E's properties,
+// and additionally — when a chain node is a bound term — E's corresponding
+// CS must be the bound term's actual CS (a pure pruning step; execution
+// filters by the bound id regardless).
+//
+// Chain matching performs the depth-first traversal of the ECS graph: a
+// data ECS counts as a match for chain position i only if some successor
+// matches position i+1 (memoized), which guarantees "consecutively matched
+// ECSs over the query are actually linked in the data".
+
+#ifndef AXON_ENGINE_ECS_MATCHER_H_
+#define AXON_ENGINE_ECS_MATCHER_H_
+
+#include <vector>
+
+#include "cs/cs_index.h"
+#include "ecs/ecs_graph.h"
+#include "ecs/ecs_index.h"
+#include "engine/query_graph.h"
+
+namespace axon {
+
+/// Matches of one chain: per chain position, the data ECSs evaluating that
+/// query ECS (Eq. 8's matches(Q_i) restricted to chain-consistent ECSs).
+struct ChainMatch {
+  std::vector<std::vector<EcsId>> position_matches;
+
+  /// True when some position has no match — the chain (and the query) has
+  /// no solutions.
+  bool Empty() const {
+    for (const auto& m : position_matches) {
+      if (m.empty()) return true;
+    }
+    return position_matches.empty();
+  }
+};
+
+class EcsMatcher {
+ public:
+  EcsMatcher(const CsIndex* cs_index, const EcsIndex* ecs_index,
+             const EcsGraph* graph)
+      : cs_(cs_index), ecs_(ecs_index), graph_(graph) {}
+
+  /// Conditions (5)-(7) + bound-node CS pruning for a single query ECS.
+  bool Matches(const QueryGraph& qg, int query_ecs, EcsId data_ecs) const;
+
+  /// Algorithm 3/4: match every position of `chain` (query-ECS indices into
+  /// qg.ecss) against the ECS graph.
+  ChainMatch MatchChain(const QueryGraph& qg,
+                        const std::vector<int>& chain) const;
+
+  /// All data ECSs matching a single query ECS (ignoring chain context).
+  std::vector<EcsId> MatchAll(const QueryGraph& qg, int query_ecs) const;
+
+ private:
+  const CsIndex* cs_;
+  const EcsIndex* ecs_;
+  const EcsGraph* graph_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_ECS_MATCHER_H_

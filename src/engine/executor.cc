@@ -1,0 +1,654 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace axon {
+
+namespace {
+
+// Appends src's rows to dst, mapping columns by name (schemas must contain
+// the same column set, any order).
+void AppendRowsByName(BindingTable* dst, const BindingTable& src) {
+  std::vector<int> mapping(dst->num_cols());
+  for (size_t c = 0; c < dst->num_cols(); ++c) {
+    mapping[c] = src.ColumnIndex(dst->vars()[c]);
+  }
+  std::vector<TermId> row(dst->num_cols());
+  for (size_t r = 0; r < src.num_rows(); ++r) {
+    for (size_t c = 0; c < dst->num_cols(); ++c) {
+      row[c] = mapping[c] < 0 ? kInvalidId : src.at(r, mapping[c]);
+    }
+    dst->AppendRow(row);
+  }
+}
+
+}  // namespace
+
+void Executor::AccountPageReads(const std::vector<RowRange>& sorted_ranges,
+                                ExecStats* stats) {
+  if (stats == nullptr) return;
+  constexpr uint64_t kPageRows = 4096 / sizeof(Triple);
+  uint64_t last_page = UINT64_MAX;
+  for (const RowRange& r : sorted_ranges) {
+    if (r.empty()) continue;
+    uint64_t first = r.begin / kPageRows;
+    uint64_t last = (r.end - 1) / kPageRows;
+    stats->pages_read += last - first + 1;
+    if (first == last_page) --stats->pages_read;  // shared page boundary
+    last_page = last;
+  }
+}
+
+std::vector<RowRange> Executor::PlanScanRanges(
+    std::vector<RowRange> ranges) const {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+  if (!options_.use_hierarchy || ranges.size() <= 1) return ranges;
+  // Coalesce exactly adjacent (or overlapping) ranges: with the hierarchy
+  // pre-order storage layout, matched ECS families are neighbours, so one
+  // extended range scan replaces many small ones (Sec. IV.D).
+  std::vector<RowRange> merged;
+  for (const RowRange& r : ranges) {
+    if (!merged.empty() && r.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, r.end);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
+                                    const std::vector<EcsId>& matches,
+                                    ExecStats* stats) const {
+  const QueryEcs& q = qg.ecss[query_ecs];
+  BindingTable acc;
+  bool first = true;
+  for (int pi : q.link_patterns) {
+    const IdPattern& p = qg.patterns[pi];
+    std::vector<RowRange> ranges;
+    ranges.reserve(matches.size());
+    for (EcsId e : matches) {
+      RowRange r =
+          p.p_bound() ? ecs_->PropertyRange(e, p.p) : ecs_->RangeOf(e);
+      if (!r.empty()) ranges.push_back(r);
+    }
+    ranges = PlanScanRanges(std::move(ranges));
+    AccountPageReads(ranges, stats);
+    BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
+    for (const RowRange& r : ranges) {
+      BindingTable part = ScanPattern(ecs_->pso().slice(r), p, stats);
+      AppendRowsByName(&link, part);
+    }
+    if (first) {
+      acc = std::move(link);
+      first = false;
+    } else {
+      // Multiple properties between the same chain nodes: natural join on
+      // the shared subject/object columns.
+      acc = HashJoin(acc, link, stats);
+    }
+    if (acc.num_rows() == 0) break;
+  }
+  return acc;
+}
+
+bool Executor::StarMergeApplicable(const QueryGraph& qg,
+                                   const std::vector<int>& star_patterns,
+                                   const std::string& node_col) {
+  // The merge fast path assumes the only variable shared between the
+  // patterns is the subject; repeated variables inside a pattern or across
+  // patterns need the general join pipeline.
+  std::set<std::string> seen;
+  for (int pi : star_patterns) {
+    const IdPattern& p = qg.patterns[pi];
+    std::vector<std::string> vars;
+    if (!p.p_bound() && !p.p_var.empty()) vars.push_back(p.p_var);
+    if (!p.o_bound() && !p.o_var.empty()) vars.push_back(p.o_var);
+    for (const std::string& v : vars) {
+      if (v == node_col || !seen.insert(v).second) return false;
+    }
+    if (vars.size() == 2 && vars[0] == vars[1]) return false;
+  }
+  return true;
+}
+
+void Executor::StarMergeScan(const QueryGraph& qg,
+                             const std::vector<int>& star_patterns,
+                             std::span<const Triple> rows, BindingTable* out,
+                             ExecStats* stats) const {
+  // One pass over a subject-ordered CS partition (the interesting order the
+  // paper's Sec. IV.D merge join exploits): per subject group, collect each
+  // pattern's matches and emit their cartesian product.
+  size_t n = rows.size();
+  size_t k = star_patterns.size();
+  // Per pattern: list of (p value or 0, o value or 0) matches in the group.
+  std::vector<std::vector<std::pair<TermId, TermId>>> matches(k);
+  std::vector<TermId> row_buf(out->num_cols());
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    TermId subject = rows[i].s;
+    for (auto& m : matches) m.clear();
+    bool ok = true;
+    while (j < n && rows[j].s == subject) {
+      if (stats != nullptr) ++stats->rows_scanned;
+      for (size_t pi = 0; pi < k; ++pi) {
+        const IdPattern& p = qg.patterns[star_patterns[pi]];
+        if (p.p_bound() && rows[j].p != p.p) continue;
+        if (p.o_bound() && rows[j].o != p.o) continue;
+        matches[pi].emplace_back(rows[j].p, rows[j].o);
+      }
+      ++j;
+    }
+    for (const auto& m : matches) {
+      if (m.empty()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      // Odometer over the per-pattern match lists.
+      std::vector<size_t> idx(k, 0);
+      while (true) {
+        size_t col = 0;
+        row_buf[col++] = subject;
+        for (size_t pi = 0; pi < k; ++pi) {
+          const IdPattern& p = qg.patterns[star_patterns[pi]];
+          const auto& [pv, ov] = matches[pi][idx[pi]];
+          if (!p.p_bound() && !p.p_var.empty()) row_buf[col++] = pv;
+          if (!p.o_bound() && !p.o_var.empty()) row_buf[col++] = ov;
+        }
+        out->AppendRow(row_buf);
+        // Advance the odometer.
+        size_t d = 0;
+        for (; d < k; ++d) {
+          if (++idx[d] < matches[d].size()) break;
+          idx[d] = 0;
+        }
+        if (d == k) break;
+      }
+    }
+    i = j;
+  }
+  if (stats != nullptr) stats->intermediate_rows += out->num_rows();
+}
+
+BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
+                                    const std::vector<CsId>& allowed_cs,
+                                    const std::vector<int>& star_patterns,
+                                    ExecStats* stats) const {
+  const QueryNode& n = qg.nodes[node];
+
+  // Page accounting over the CS partitions this star touches.
+  {
+    std::vector<RowRange> ranges;
+    for (CsId cs : allowed_cs) {
+      RowRange range = n.is_variable ? cs_->RangeOf(cs)
+                                     : cs_->SubjectRange(cs, n.bound_id);
+      if (!range.empty()) ranges.push_back(range);
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const RowRange& a, const RowRange& b) {
+                return a.begin < b.begin;
+              });
+    AccountPageReads(ranges, stats);
+  }
+
+  if (options_.use_star_merge_scan &&
+      StarMergeApplicable(qg, star_patterns, n.col)) {
+    // Merge fast path: schema = subject column + per-pattern variables.
+    std::vector<std::string> cols = {n.col};
+    for (int pi : star_patterns) {
+      const IdPattern& p = qg.patterns[pi];
+      if (!p.p_bound() && !p.p_var.empty()) cols.push_back(p.p_var);
+      if (!p.o_bound() && !p.o_var.empty()) cols.push_back(p.o_var);
+    }
+    BindingTable acc(cols);
+    for (CsId cs : allowed_cs) {
+      RowRange range = n.is_variable ? cs_->RangeOf(cs)
+                                     : cs_->SubjectRange(cs, n.bound_id);
+      if (range.empty()) continue;
+      StarMergeScan(qg, star_patterns, cs_->spo().slice(range), &acc, stats);
+    }
+    return acc;
+  }
+
+  // General path. Establish the output schema by running the per-CS
+  // pipeline on an empty span once (join column order is deterministic for
+  // a fixed pipeline).
+  BindingTable acc = ScanPattern({}, qg.patterns[star_patterns[0]], nullptr);
+  for (size_t i = 1; i < star_patterns.size(); ++i) {
+    acc = HashJoin(acc, ScanPattern({}, qg.patterns[star_patterns[i]], nullptr),
+                   nullptr);
+  }
+  for (CsId cs : allowed_cs) {
+    RowRange range = n.is_variable ? cs_->RangeOf(cs)
+                                   : cs_->SubjectRange(cs, n.bound_id);
+    if (range.empty()) continue;
+    std::span<const Triple> rows = cs_->spo().slice(range);
+    BindingTable per_cs;
+    bool first = true;
+    for (int pi : star_patterns) {
+      BindingTable t = ScanPattern(rows, qg.patterns[pi], stats);
+      if (first) {
+        per_cs = std::move(t);
+        first = false;
+      } else {
+        per_cs = HashJoin(per_cs, t, stats);
+      }
+      if (per_cs.num_rows() == 0) break;
+    }
+    AppendRowsByName(&acc, per_cs);
+  }
+  return acc;
+}
+
+std::vector<int> Executor::NeededStarPatterns(const QueryGraph& qg, int node,
+                                              const SelectQuery& query) const {
+  std::vector<int> star = qg.StarPatterns(node);
+  if (!options_.skip_redundant_star_retrieval) return star;
+
+  // Count variable occurrences across all pattern positions.
+  std::map<std::string, int> occurrences;
+  for (const IdPattern& p : qg.patterns) {
+    if (!p.s_bound()) ++occurrences[p.s_var];
+    if (!p.p_bound()) ++occurrences[p.p_var];
+    if (!p.o_bound()) ++occurrences[p.o_var];
+  }
+  std::vector<std::string> proj = query.EffectiveProjection();
+  auto is_projected = [&proj](const std::string& v) {
+    return std::find(proj.begin(), proj.end(), v) != proj.end();
+  };
+  auto is_filtered = [&query](const std::string& v) {
+    for (const EqualityFilter& f : query.filters) {
+      if (f.var == v) return true;
+    }
+    return false;
+  };
+
+  std::vector<int> needed;
+  for (int pi : star) {
+    const IdPattern& p = qg.patterns[pi];
+    bool skippable = p.p_bound() && !p.o_bound() && !p.o_var.empty() &&
+                     p.o_var != p.s_var && occurrences[p.o_var] == 1 &&
+                     !is_projected(p.o_var) && !is_filtered(p.o_var);
+    if (!skippable) needed.push_back(pi);
+  }
+  return needed;
+}
+
+Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
+    const QueryGraph& qg, const std::vector<std::set<EcsId>>& qecs_matches,
+    const QueryPlan& plan) const {
+  ChainJoinPlan out;
+
+  // Priority order of query ECSs: plan order (outer chain order + inner
+  // join order), deduped.
+  std::vector<int> priority;
+  {
+    std::vector<bool> seen(qg.ecss.size(), false);
+    for (const ChainPlan& cp : plan.chains) {
+      for (size_t pos : cp.join_order) {
+        int qecs = cp.chain[pos];
+        if (!seen[qecs]) {
+          seen[qecs] = true;
+          priority.push_back(qecs);
+        }
+      }
+    }
+  }
+
+  // Per-query-ECS statistics over the unioned matches, for the Eq. 9 cost
+  // model applied globally: eval cardinality plus the two multiplication
+  // factors (object-subject expansion when entering through the subject
+  // side, subject-object when entering through the object side).
+  out.cost.assign(qg.ecss.size(), 0.0);
+  std::vector<double> mf_s(qg.ecss.size(), 1.0);
+  std::vector<double> mf_o(qg.ecss.size(), 1.0);
+  for (size_t qi = 0; qi < qg.ecss.size(); ++qi) {
+    std::vector<EcsId> pm(qecs_matches[qi].begin(), qecs_matches[qi].end());
+    out.cost[qi] = planner_.PositionCost(qg, static_cast<int>(qi), pm);
+    uint64_t triples = 0;
+    uint64_t subjects = 0;
+    uint64_t objects = 0;
+    for (EcsId e : pm) {
+      const EcsStats& s = stats_->Of(e);
+      triples += s.num_triples;
+      subjects += s.distinct_subjects;
+      objects += s.distinct_objects;
+    }
+    mf_s[qi] = subjects == 0 ? 1.0
+                             : static_cast<double>(triples) / subjects;
+    mf_o[qi] = objects == 0 ? 1.0
+                            : static_cast<double>(triples) / objects;
+  }
+
+  // With the planner on, the next ECS is the pending one minimizing the
+  // estimated joined size (Eq. 9 with m_f per entry side); with the
+  // planner off, the plan's chain order is followed. Either way connected
+  // candidates are preferred over cross products. The selection is purely
+  // statistics-driven, so the order (and its running estimates) can be
+  // computed without touching the data — which is what Explain() prints.
+  std::vector<bool> ecs_joined(qg.ecss.size(), false);
+  std::vector<bool> node_joined(qg.nodes.size(), false);
+  double est_rows = 1.0;
+  bool first = true;
+  for (size_t step = 0; step < priority.size(); ++step) {
+    int qecs = -1;
+    double best_estimate = 0.0;
+    for (int candidate : priority) {
+      if (ecs_joined[candidate]) continue;
+      bool s_joined = node_joined[qg.ecss[candidate].subject_node];
+      bool o_joined = node_joined[qg.ecss[candidate].object_node];
+      bool connected = s_joined || o_joined;
+      double estimate;
+      if (first) {
+        estimate = out.cost[candidate];
+      } else if (s_joined && o_joined) {
+        estimate = est_rows;  // both ends bound: can only shrink
+      } else if (s_joined) {
+        estimate = est_rows * mf_s[candidate];
+      } else if (o_joined) {
+        estimate = est_rows * mf_o[candidate];
+      } else {
+        estimate = est_rows * out.cost[candidate];  // cross product
+      }
+      bool better;
+      if (qecs < 0) {
+        better = true;
+      } else {
+        bool best_connected =
+            first || node_joined[qg.ecss[qecs].subject_node] ||
+            node_joined[qg.ecss[qecs].object_node];
+        if (connected != best_connected) {
+          better = connected;
+        } else if (options_.use_planner) {
+          better = estimate < best_estimate;
+        } else {
+          better = false;  // keep plan (chain) order among equals
+        }
+      }
+      if (better) {
+        qecs = candidate;
+        best_estimate = estimate;
+      }
+    }
+    ecs_joined[qecs] = true;
+    node_joined[qg.ecss[qecs].subject_node] = true;
+    node_joined[qg.ecss[qecs].object_node] = true;
+    est_rows = std::max(best_estimate, 1.0);
+    first = false;
+    out.sequence.push_back(qecs);
+    out.running_estimate.push_back(est_rows);
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
+  QueryResult result;
+  auto start_time = std::chrono::steady_clock::now();
+  auto deadline_hit = [this, start_time]() {
+    if (options_.timeout_millis == 0) return false;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_time);
+    return static_cast<uint64_t>(elapsed.count()) >= options_.timeout_millis;
+  };
+  std::vector<std::string> proj = query.EffectiveProjection();
+  auto empty_result = [&proj]() {
+    QueryResult r;
+    r.table = BindingTable(proj);
+    return r;
+  };
+
+  auto qg_r = BuildQueryGraph(query, *dict_, cs_->properties());
+  if (!qg_r.ok()) return qg_r.status();
+  QueryGraph qg = std::move(qg_r).ValueOrDie();
+  if (qg.impossible) return empty_result();
+
+  // Resolve filters early; an unknown constant means no solutions.
+  std::vector<std::pair<std::string, TermId>> filters;
+  for (const EqualityFilter& f : query.filters) {
+    auto id = dict_->Lookup(f.value);
+    if (!id.has_value()) return empty_result();
+    filters.emplace_back(f.var, *id);
+  }
+
+  // --- Match chains against the ECS index (Algorithms 3-4). ---
+  std::vector<ChainMatch> matches;
+  matches.reserve(qg.chains.size());
+  for (const auto& chain : qg.chains) {
+    ChainMatch m = matcher_.MatchChain(qg, chain);
+    // An unmatched position anywhere proves the conjunctive query empty —
+    // the paper's "quickly assessing the existence of non-empty results".
+    if (m.Empty()) return empty_result();
+    matches.push_back(std::move(m));
+  }
+
+  QueryPlan plan = planner_.Plan(qg, std::move(matches), options_.use_planner);
+
+  // A query ECS may sit on several (overlapping) chains; its evaluation —
+  // the union of its matched ECS partitions — does not depend on which
+  // chain reached it, so evaluate and join each query ECS exactly once.
+  // The chain-consistent matches are unioned per query ECS; the chain plan
+  // contributes the join *order* only.
+  std::vector<std::set<EcsId>> qecs_matches(qg.ecss.size());
+  for (const ChainPlan& cp : plan.chains) {
+    for (size_t pos = 0; pos < cp.chain.size(); ++pos) {
+      qecs_matches[cp.chain[pos]].insert(
+          cp.matches.position_matches[pos].begin(),
+          cp.matches.position_matches[pos].end());
+    }
+  }
+
+  // Allowed CSs per node, accumulated from the matched ECSs.
+  std::vector<std::set<CsId>> node_cs(qg.nodes.size());
+  std::vector<bool> node_in_chain(qg.nodes.size(), false);
+  for (size_t qi = 0; qi < qg.ecss.size(); ++qi) {
+    const QueryEcs& q = qg.ecss[qi];
+    node_in_chain[q.subject_node] = true;
+    node_in_chain[q.object_node] = true;
+    for (EcsId e : qecs_matches[qi]) {
+      node_cs[q.subject_node].insert(ecs_->set(e).subject_cs);
+      node_cs[q.object_node].insert(ecs_->set(e).object_cs);
+    }
+  }
+
+  ChainJoinPlan join_plan = ComputeChainJoinPlan(qg, qecs_matches, plan);
+
+  // Join each query ECS once, in the planned global order.
+  BindingTable current;
+  bool first = true;
+  for (int qecs : join_plan.sequence) {
+    std::vector<EcsId> pm(qecs_matches[qecs].begin(),
+                          qecs_matches[qecs].end());
+    BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats);
+    if (deadline_hit()) {
+      return Status::DeadlineExceeded("query exceeded " +
+                                      std::to_string(options_.timeout_millis) +
+                                      "ms");
+    }
+    if (first) {
+      current = std::move(t);
+      first = false;
+    } else {
+      current = HashJoin(current, t, &result.stats);
+    }
+    if (current.num_rows() == 0) return empty_result();
+  }
+
+  // --- Star retrieval per node (Sec. IV.D). ---
+  for (size_t node = 0; node < qg.nodes.size(); ++node) {
+    if (!qg.nodes[node].emits()) continue;
+    std::vector<int> all_star = qg.StarPatterns(static_cast<int>(node));
+    if (all_star.empty()) continue;
+    std::vector<int> needed =
+        NeededStarPatterns(qg, static_cast<int>(node), query);
+
+    // Allowed CS partitions for this node.
+    std::vector<CsId> allowed;
+    if (node_in_chain[node]) {
+      allowed.assign(node_cs[node].begin(), node_cs[node].end());
+    } else {
+      const QueryNode& n = qg.nodes[node];
+      if (!n.is_variable) {
+        auto cs = cs_->CsOfSubject(n.bound_id);
+        if (!cs.has_value() ||
+            !n.star_bitmap.IsSubsetOf(cs_->set(*cs).properties)) {
+          return empty_result();
+        }
+        allowed = {*cs};
+      } else {
+        allowed = cs_->MatchSupersets(n.star_bitmap);
+      }
+    }
+    if (allowed.empty()) return empty_result();
+
+    BindingTable star;
+    if (needed.empty()) {
+      if (node_in_chain[node]) continue;  // the chain carries the column
+      // Existence-only star node: emit its distinct subjects.
+      star = BindingTable({qg.nodes[node].col});
+      for (CsId cs : allowed) {
+        RowRange range = qg.nodes[node].is_variable
+                             ? cs_->RangeOf(cs)
+                             : cs_->SubjectRange(cs, qg.nodes[node].bound_id);
+        std::span<const Triple> rows = cs_->spo().slice(range);
+        TermId last = kInvalidId;
+        for (const Triple& t : rows) {
+          ++result.stats.rows_scanned;
+          if (t.s != last) {
+            star.AppendRow({t.s});
+            last = t.s;
+          }
+        }
+      }
+    } else {
+      star = EvalStarNode(qg, static_cast<int>(node), allowed, needed,
+                          &result.stats);
+    }
+    if (deadline_hit()) {
+      return Status::DeadlineExceeded("query exceeded " +
+                                      std::to_string(options_.timeout_millis) +
+                                      "ms");
+    }
+    if (first) {
+      current = std::move(star);
+      first = false;
+    } else {
+      current = HashJoin(current, star, &result.stats);
+    }
+    if (current.num_rows() == 0 && current.num_cols() > 0) {
+      return empty_result();
+    }
+  }
+
+  // --- Filters, projection, DISTINCT, LIMIT. ---
+  for (const auto& [var, id] : filters) {
+    current = FilterEquals(current, var, id, &result.stats);
+  }
+  for (const std::string& v : proj) {
+    if (current.ColumnIndex(v) < 0) {
+      return Status::Internal("executor produced no column for ?" + v);
+    }
+  }
+  current = Project(current, proj);
+  if (query.distinct) current = Distinct(current);
+  if (query.limit.has_value()) current = Limit(current, *query.limit);
+  result.table = std::move(current);
+  return result;
+}
+
+Result<std::string> Executor::Explain(const SelectQuery& query) const {
+  std::string out;
+  auto append = [&out](const std::string& line) {
+    out += line;
+    out += "\n";
+  };
+
+  AXON_ASSIGN_OR_RETURN(QueryGraph qg,
+                        BuildQueryGraph(query, *dict_, cs_->properties()));
+  if (qg.impossible) {
+    append("plan: EMPTY (a bound term or predicate does not occur in the data)");
+    return out;
+  }
+  append("query graph: " + std::to_string(qg.nodes.size()) + " nodes, " +
+         std::to_string(qg.ecss.size()) + " query ECSs, " +
+         std::to_string(qg.chains.size()) + " chains");
+  for (size_t qi = 0; qi < qg.ecss.size(); ++qi) {
+    const QueryEcs& q = qg.ecss[qi];
+    append("  Q" + std::to_string(qi) + ": (" +
+           qg.nodes[q.subject_node].col + " -> " +
+           qg.nodes[q.object_node].col + "), " +
+           std::to_string(q.link_patterns.size()) + " link pattern(s)");
+  }
+
+  std::vector<ChainMatch> matches;
+  for (const auto& chain : qg.chains) {
+    ChainMatch m = matcher_.MatchChain(qg, chain);
+    if (m.Empty()) {
+      append("plan: EMPTY (chain has an unmatched query ECS — answered from "
+             "the ECS graph without touching the data)");
+      return out;
+    }
+    matches.push_back(std::move(m));
+  }
+  QueryPlan plan = planner_.Plan(qg, matches, options_.use_planner);
+  for (size_t ci = 0; ci < plan.chains.size(); ++ci) {
+    const ChainPlan& cp = plan.chains[ci];
+    std::string line = "chain " + std::to_string(ci) + " (cost " +
+                       FormatDouble(cp.cost, 4) + "):";
+    for (size_t pos = 0; pos < cp.chain.size(); ++pos) {
+      line += " Q" + std::to_string(cp.chain[pos]) + "[" +
+              std::to_string(cp.matches.position_matches[pos].size()) +
+              " ECS match(es), cost " +
+              FormatDouble(cp.position_cost[pos], 4) + "]";
+    }
+    append(line);
+  }
+
+  std::vector<std::set<EcsId>> qecs_matches(qg.ecss.size());
+  for (const ChainPlan& cp : plan.chains) {
+    for (size_t pos = 0; pos < cp.chain.size(); ++pos) {
+      qecs_matches[cp.chain[pos]].insert(
+          cp.matches.position_matches[pos].begin(),
+          cp.matches.position_matches[pos].end());
+    }
+  }
+  ChainJoinPlan join_plan = ComputeChainJoinPlan(qg, qecs_matches, plan);
+  if (!join_plan.sequence.empty()) {
+    std::string line = "join order:";
+    for (size_t i = 0; i < join_plan.sequence.size(); ++i) {
+      line += " Q" + std::to_string(join_plan.sequence[i]) + " (est " +
+              FormatDouble(join_plan.running_estimate[i], 4) + ")";
+      if (i + 1 < join_plan.sequence.size()) line += " ->";
+    }
+    append(line);
+  }
+
+  for (size_t node = 0; node < qg.nodes.size(); ++node) {
+    if (!qg.nodes[node].emits()) continue;
+    std::vector<int> star = qg.StarPatterns(static_cast<int>(node));
+    if (star.empty()) continue;
+    std::vector<int> needed =
+        NeededStarPatterns(qg, static_cast<int>(node), query);
+    append("star retrieval for ?" + qg.nodes[node].col + ": " +
+           std::to_string(needed.size()) + " of " +
+           std::to_string(star.size()) + " pattern(s)" +
+           (StarMergeApplicable(qg, needed.empty() ? star : needed,
+                                qg.nodes[node].col)
+                ? " [merge scan]"
+                : " [hash pipeline]"));
+  }
+  append("config: " + options_.ConfigName());
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,149 @@
+// axonDB query execution (paper Sec. IV.D).
+//
+// Each chain is evaluated by range-scanning the PSO partitions of its
+// matched ECSs and object-subject hash-joining consecutive positions in the
+// planner's inner order; multiple chains are joined on their common
+// attributes; star-pattern attributes are retrieved from the CS index
+// partitions of the CSs that the matched ECSs allow for each node and
+// joined on the node's subject column. With the hierarchy optimization on,
+// matched ECS ranges that are adjacent in the pre-order storage layout are
+// coalesced into single extended range scans.
+
+#ifndef AXON_ENGINE_EXECUTOR_H_
+#define AXON_ENGINE_EXECUTOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cs/cs_index.h"
+#include "ecs/ecs_graph.h"
+#include "ecs/ecs_index.h"
+#include "ecs/ecs_statistics.h"
+#include "engine/ecs_matcher.h"
+#include "engine/planner.h"
+#include "engine/query_engine.h"
+#include "engine/query_graph.h"
+
+namespace axon {
+
+/// The four configurations of Table IV: base (both off), -h, -qp, +.
+struct EngineOptions {
+  bool use_hierarchy = true;
+  bool use_planner = true;
+
+  /// Per-query wall-clock budget in milliseconds; 0 = unlimited. The
+  /// paper's evaluation imposes a 30-minute timeout on every engine
+  /// (Sec. V.A); this is the engine-level mechanism behind it. The check
+  /// runs between operators, so a single scan/join may overshoot slightly.
+  uint64_t timeout_millis = 0;
+
+  /// Ablation knob: when false the star merge scan is disabled and star
+  /// retrieval always goes through the general hash-join pipeline
+  /// (bench_micro_ablation measures the difference).
+  bool use_star_merge_scan = true;
+
+  /// When false, star patterns that are pure existence checks (bound
+  /// predicate, object variable that is neither projected, shared, bound
+  /// nor filtered) are not retrieved at all — their existence is already
+  /// guaranteed by the ECS match (Sec. IV.D). This changes duplicate
+  /// multiplicities of non-DISTINCT results, so it defaults to off.
+  bool skip_redundant_star_retrieval = false;
+
+  std::string ConfigName() const {
+    if (use_hierarchy && use_planner) return "axonDB+";
+    if (use_hierarchy) return "axonDB-h";
+    if (use_planner) return "axonDB-qp";
+    return "axonDB";
+  }
+};
+
+class Executor {
+ public:
+  Executor(const Dictionary* dict, const CsIndex* cs_index,
+           const EcsIndex* ecs_index, const EcsGraph* graph,
+           const EcsStatistics* stats, EngineOptions options)
+      : dict_(dict),
+        cs_(cs_index),
+        ecs_(ecs_index),
+        graph_(graph),
+        stats_(stats),
+        options_(options),
+        matcher_(cs_index, ecs_index, graph),
+        planner_(ecs_index, stats) {}
+
+  Result<QueryResult> Execute(const SelectQuery& query) const;
+
+  /// Human-readable plan description: the query's ECS decomposition, the
+  /// chain matches, the planned join order with running size estimates,
+  /// and the star-retrieval plan. Does not touch the triple tables.
+  Result<std::string> Explain(const SelectQuery& query) const;
+
+  /// Adds the simulated 4 KiB page count of the (sorted, disjoint) ranges
+  /// to stats->pages_read. Public: unit-tested directly and useful for
+  /// instrumentation.
+  static void AccountPageReads(const std::vector<RowRange>& sorted_ranges,
+                               ExecStats* stats);
+
+ private:
+  /// eval(Q_i): union of the matched ECS partitions' rows for every link
+  /// pattern of the query ECS, link patterns natural-joined on the chain
+  /// node columns.
+  BindingTable EvalQueryEcs(const QueryGraph& qg, int query_ecs,
+                            const std::vector<EcsId>& matches,
+                            ExecStats* stats) const;
+
+  /// Star retrieval for one node over the allowed CS partitions.
+  /// Returns a table with the node column plus the star patterns' variable
+  /// columns.
+  BindingTable EvalStarNode(const QueryGraph& qg, int node,
+                            const std::vector<CsId>& allowed_cs,
+                            const std::vector<int>& star_patterns,
+                            ExecStats* stats) const;
+
+  /// True when the star patterns share no variables besides the subject —
+  /// the precondition of the single-pass merge scan (Sec. IV.D: the CS
+  /// index "maintains the interesting order of the subject node").
+  static bool StarMergeApplicable(const QueryGraph& qg,
+                                  const std::vector<int>& star_patterns,
+                                  const std::string& node_col);
+
+  /// One merge pass over a subject-ordered partition: per subject group,
+  /// emits the cartesian product of the patterns' matches into `out`.
+  void StarMergeScan(const QueryGraph& qg,
+                     const std::vector<int>& star_patterns,
+                     std::span<const Triple> rows, BindingTable* out,
+                     ExecStats* stats) const;
+
+  /// Merges ranges that are adjacent/overlapping in storage order when the
+  /// hierarchy optimization is on (extended range scans, Sec. IV.D).
+  std::vector<RowRange> PlanScanRanges(std::vector<RowRange> ranges) const;
+
+  /// Star patterns of `node` that must actually be retrieved.
+  std::vector<int> NeededStarPatterns(const QueryGraph& qg, int node,
+                                      const SelectQuery& query) const;
+
+  /// The statistics-driven global join order over the query ECSs (Eq. 9
+  /// applied across chains), with per-step running size estimates.
+  struct ChainJoinPlan {
+    std::vector<int> sequence;             // query-ECS indices, join order
+    std::vector<double> running_estimate;  // estimated rows after each step
+    std::vector<double> cost;              // per-query-ECS eval cardinality
+  };
+  ChainJoinPlan ComputeChainJoinPlan(
+      const QueryGraph& qg, const std::vector<std::set<EcsId>>& qecs_matches,
+      const QueryPlan& plan) const;
+
+  const Dictionary* dict_;
+  const CsIndex* cs_;
+  const EcsIndex* ecs_;
+  const EcsGraph* graph_;
+  const EcsStatistics* stats_;
+  EngineOptions options_;
+  EcsMatcher matcher_;
+  Planner planner_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_EXECUTOR_H_

@@ -1,0 +1,107 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace axon {
+
+double Planner::PositionCost(const QueryGraph& qg, int query_ecs,
+                             const std::vector<EcsId>& matches) const {
+  const QueryEcs& q = qg.ecss[query_ecs];
+  // Bound chain node => constant cost 1 (Sec. IV.C).
+  if (!qg.nodes[q.subject_node].is_variable ||
+      !qg.nodes[q.object_node].is_variable) {
+    return 1.0;
+  }
+  // Otherwise the cost of reading eval(Q): the union of the matched ECS
+  // ranges, narrowed to the bound link predicate with the smallest ranges.
+  double best = -1.0;
+  for (int pi : q.link_patterns) {
+    const IdPattern& p = qg.patterns[pi];
+    if (!p.p_bound()) continue;
+    double total = 0.0;
+    for (EcsId e : matches) {
+      total += static_cast<double>(ecs_->PropertyRange(e, p.p).size());
+    }
+    if (best < 0.0 || total < best) best = total;
+  }
+  if (best >= 0.0) return best;
+  double total = 0.0;
+  for (EcsId e : matches) {
+    total += static_cast<double>(ecs_->RangeOf(e).size());
+  }
+  return total;
+}
+
+double Planner::MultiplicationFactor(const std::vector<EcsId>& matches) const {
+  uint64_t triples = 0;
+  uint64_t subjects = 0;
+  for (EcsId e : matches) {
+    const EcsStats& s = stats_->Of(e);
+    triples += s.num_triples;
+    subjects += s.distinct_subjects;
+  }
+  if (subjects == 0) return 0.0;
+  return static_cast<double>(triples) / static_cast<double>(subjects);
+}
+
+QueryPlan Planner::Plan(const QueryGraph& qg, std::vector<ChainMatch> matches,
+                        bool enable) const {
+  QueryPlan plan;
+  plan.chains.reserve(qg.chains.size());
+  for (size_t ci = 0; ci < qg.chains.size(); ++ci) {
+    ChainPlan cp;
+    cp.chain_index = static_cast<int>(ci);
+    cp.chain = qg.chains[ci];
+    cp.matches = std::move(matches[ci]);
+    size_t k = cp.chain.size();
+    cp.position_cost.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      cp.position_cost[i] =
+          PositionCost(qg, cp.chain[i], cp.matches.position_matches[i]);
+    }
+    // Eq. 9: cost of the chain = cost of the first position times the
+    // multiplication factors of the subsequent object-subject joins.
+    cp.cost = k == 0 ? 0.0 : cp.position_cost[0];
+    for (size_t i = 1; i < k; ++i) {
+      double mf = MultiplicationFactor(cp.matches.position_matches[i]);
+      cp.cost *= std::max(mf, 1e-9);
+    }
+
+    // Inner order.
+    cp.join_order.resize(k);
+    std::iota(cp.join_order.begin(), cp.join_order.end(), 0);
+    if (enable && k > 1) {
+      // Start from the lowest-cardinality position and expand the
+      // contiguous span left/right toward the cheaper neighbour.
+      size_t start = std::min_element(cp.position_cost.begin(),
+                                      cp.position_cost.end()) -
+                     cp.position_cost.begin();
+      cp.join_order.clear();
+      cp.join_order.push_back(start);
+      size_t lo = start;
+      size_t hi = start;
+      while (cp.join_order.size() < k) {
+        bool has_left = lo > 0;
+        bool has_right = hi + 1 < k;
+        if (has_left &&
+            (!has_right ||
+             cp.position_cost[lo - 1] <= cp.position_cost[hi + 1])) {
+          cp.join_order.push_back(--lo);
+        } else if (has_right) {
+          cp.join_order.push_back(++hi);
+        }
+      }
+    }
+    plan.chains.push_back(std::move(cp));
+  }
+
+  if (enable) {
+    std::stable_sort(
+        plan.chains.begin(), plan.chains.end(),
+        [](const ChainPlan& a, const ChainPlan& b) { return a.cost < b.cost; });
+  }
+  return plan;
+}
+
+}  // namespace axon

@@ -1,0 +1,62 @@
+// Query planner (paper Sec. IV.C): outer ordering of chains by the
+// recursive cost model cost(c_1..k) = cost(c_1..k-1) × m_f,os(Q_k), and
+// inner ordering of each chain by lowest-cardinality-first expansion.
+
+#ifndef AXON_ENGINE_PLANNER_H_
+#define AXON_ENGINE_PLANNER_H_
+
+#include <vector>
+
+#include "ecs/ecs_index.h"
+#include "ecs/ecs_statistics.h"
+#include "engine/ecs_matcher.h"
+#include "engine/query_graph.h"
+
+namespace axon {
+
+/// The evaluation plan of one chain.
+struct ChainPlan {
+  int chain_index = -1;          // index into QueryGraph::chains
+  std::vector<int> chain;        // the query-ECS sequence (copied)
+  ChainMatch matches;            // per-position data-ECS matches
+  std::vector<double> position_cost;  // eval cardinality per position
+  /// Positions in evaluation order: join_order[0] is evaluated first and
+  /// each subsequent position is adjacent to the already-evaluated span.
+  std::vector<size_t> join_order;
+  double cost = 0.0;             // Eq. 9 chain cost
+};
+
+struct QueryPlan {
+  /// Chains in outer evaluation order (ascending cost when planning is on,
+  /// input order otherwise).
+  std::vector<ChainPlan> chains;
+};
+
+class Planner {
+ public:
+  Planner(const EcsIndex* ecs_index, const EcsStatistics* stats)
+      : ecs_(ecs_index), stats_(stats) {}
+
+  /// Cost of evaluating one query ECS: 1 when either chain node is bound
+  /// (Sec. IV.C), else the total triple count of its matched ECSs —
+  /// restricted to the bound link predicates' ranges when available.
+  double PositionCost(const QueryGraph& qg, int query_ecs,
+                      const std::vector<EcsId>& matches) const;
+
+  /// m_f,os aggregated over the matched ECSs of a position.
+  double MultiplicationFactor(const std::vector<EcsId>& matches) const;
+
+  /// Builds the plan. When `enable` is false the chain order and the
+  /// left-to-right inner order of the input are kept (the axonDB base
+  /// configuration); costs are still computed for introspection.
+  QueryPlan Plan(const QueryGraph& qg, std::vector<ChainMatch> matches,
+                 bool enable) const;
+
+ private:
+  const EcsIndex* ecs_;
+  const EcsStatistics* stats_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_PLANNER_H_

@@ -1,0 +1,64 @@
+// Common interface implemented by axonDB and the three baseline engines.
+//
+// All engines load the same id-encoded Dataset (same dictionary, same term
+// ids), execute the same SelectQuery algebra and return BindingTables, so
+// tests can assert cross-engine result equality and benches can time and
+// size them identically.
+
+#ifndef AXON_ENGINE_QUERY_ENGINE_H_
+#define AXON_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/bindings.h"
+#include "exec/operators.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple.h"
+#include "sparql/algebra.h"
+#include "util/status.h"
+
+namespace axon {
+
+/// An id-encoded dataset: the dictionary plus the raw triples. This is the
+/// common input to every engine's build phase.
+struct Dataset {
+  Dictionary dict;
+  TripleVec triples;
+
+  /// Interns a term-level triple.
+  void Add(const TermTriple& t) {
+    triples.push_back(
+        Triple{dict.Intern(t.s), dict.Intern(t.p), dict.Intern(t.o)});
+  }
+
+  /// Parses N-Triples text into the dataset.
+  Status AddNTriples(std::string_view text) {
+    return ParseNTriples(text, [this](TermTriple t) { Add(t); });
+  }
+};
+
+struct QueryResult {
+  BindingTable table;
+  ExecStats stats;
+};
+
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Engine display name ("axonDB+", "SixPerm(RDF-3x)", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes a conjunctive SELECT query.
+  virtual Result<QueryResult> Execute(const SelectQuery& query) const = 0;
+
+  /// Serialized on-disk footprint of the engine's storage + indexes
+  /// (dictionary excluded — it is shared across engines).
+  virtual uint64_t StorageBytes() const = 0;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_QUERY_ENGINE_H_

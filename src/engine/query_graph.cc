@@ -1,0 +1,221 @@
+#include "engine/query_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace axon {
+
+namespace {
+
+// Returns true if `needle` occurs as a contiguous subsequence of `hay`.
+bool IsContiguousSubsequence(const std::vector<int>& needle,
+                             const std::vector<int>& hay) {
+  if (needle.size() > hay.size()) return false;
+  for (size_t start = 0; start + needle.size() <= hay.size(); ++start) {
+    if (std::equal(needle.begin(), needle.end(), hay.begin() + start)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<int> QueryGraph::StarPatterns(int node) const {
+  std::vector<int> out;
+  for (int p : nodes[node].subject_patterns) {
+    if (pattern_ecs[p] < 0) out.push_back(p);
+  }
+  return out;
+}
+
+Result<QueryGraph> BuildQueryGraph(const SelectQuery& query,
+                                   const Dictionary& dict,
+                                   const PropertyRegistry& properties) {
+  QueryGraph g;
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+
+  // --- Resolve patterns to ids and intern nodes. ---
+  std::map<std::string, int> var_nodes;    // variable name -> node index
+  std::map<TermId, int> bound_nodes;       // bound term id -> node index
+  int next_bound = 0;
+
+  auto intern_node = [&](const PatternTerm& t) -> int {
+    if (t.is_variable) {
+      auto it = var_nodes.find(t.var);
+      if (it != var_nodes.end()) return it->second;
+      QueryNode n;
+      n.col = t.var;
+      n.is_variable = true;
+      int idx = static_cast<int>(g.nodes.size());
+      g.nodes.push_back(std::move(n));
+      var_nodes.emplace(t.var, idx);
+      return idx;
+    }
+    auto id = dict.Lookup(t.term);
+    if (!id.has_value()) {
+      g.impossible = true;
+      return -1;
+    }
+    auto it = bound_nodes.find(*id);
+    if (it != bound_nodes.end()) return it->second;
+    QueryNode n;
+    n.col = "__b" + std::to_string(next_bound++);
+    n.is_variable = false;
+    n.bound_id = *id;
+    int idx = static_cast<int>(g.nodes.size());
+    g.nodes.push_back(std::move(n));
+    bound_nodes.emplace(*id, idx);
+    return idx;
+  };
+
+  for (const TriplePattern& tp : query.patterns) {
+    IdPattern ip;
+    int s_node = intern_node(tp.s);
+    int o_node = intern_node(tp.o);
+    if (g.impossible) return g;
+    const QueryNode& sn = g.nodes[s_node];
+    const QueryNode& on = g.nodes[o_node];
+    if (sn.is_variable) {
+      ip.s_var = sn.col;
+    } else {
+      ip.s = sn.bound_id;
+      ip.s_var = sn.col;  // scans still emit the (constant) column
+    }
+    if (on.is_variable) {
+      ip.o_var = on.col;
+    } else {
+      ip.o = on.bound_id;
+      ip.o_var = on.col;
+    }
+    if (tp.p.is_variable) {
+      ip.p_var = tp.p.var;
+    } else {
+      auto pid = dict.Lookup(tp.p.term);
+      if (!pid.has_value()) {
+        g.impossible = true;
+        return g;
+      }
+      ip.p = *pid;
+    }
+    int pattern_idx = static_cast<int>(g.patterns.size());
+    g.patterns.push_back(std::move(ip));
+    g.pattern_subject_.push_back(s_node);
+    g.pattern_object_.push_back(o_node);
+    g.nodes[s_node].subject_patterns.push_back(pattern_idx);
+  }
+
+  // --- Query CS bitmaps (bound predicates only). A bound predicate that is
+  // never used as a predicate in the data means no solutions. ---
+  for (QueryNode& n : g.nodes) n.star_bitmap = Bitmap(properties.size());
+  for (size_t i = 0; i < g.patterns.size(); ++i) {
+    const IdPattern& ip = g.patterns[i];
+    if (ip.p_bound()) {
+      auto ord = properties.OrdinalOf(ip.p);
+      if (!ord.has_value()) {
+        g.impossible = true;
+        return g;
+      }
+      g.nodes[g.pattern_subject_[i]].star_bitmap.Set(*ord);
+    }
+  }
+
+  // --- Query ECSs: patterns whose object node emits properties are chain
+  // edges; dedupe per (subject node, object node) pair. ---
+  g.pattern_ecs.assign(g.patterns.size(), -1);
+  std::map<std::pair<int, int>, int> ecs_of_pair;
+  for (size_t i = 0; i < g.patterns.size(); ++i) {
+    int s_node = g.pattern_subject_[i];
+    int o_node = g.pattern_object_[i];
+    if (!g.nodes[o_node].emits()) continue;  // star pattern
+    if (s_node == o_node) continue;          // self-loop: keep as star
+    auto key = std::make_pair(s_node, o_node);
+    auto it = ecs_of_pair.find(key);
+    int ecs_idx;
+    if (it == ecs_of_pair.end()) {
+      ecs_idx = static_cast<int>(g.ecss.size());
+      QueryEcs qe;
+      qe.subject_node = s_node;
+      qe.object_node = o_node;
+      g.ecss.push_back(std::move(qe));
+      ecs_of_pair.emplace(key, ecs_idx);
+    } else {
+      ecs_idx = it->second;
+    }
+    g.ecss[ecs_idx].link_patterns.push_back(static_cast<int>(i));
+    g.pattern_ecs[i] = ecs_idx;
+  }
+
+  // --- Query-ECS adjacency. ---
+  g.links.assign(g.ecss.size(), {});
+  for (size_t i = 0; i < g.ecss.size(); ++i) {
+    for (size_t j = 0; j < g.ecss.size(); ++j) {
+      if (i == j) continue;
+      if (g.ecss[i].object_node == g.ecss[j].subject_node) {
+        g.links[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+
+  // --- Chains: maximal simple paths over the adjacency. ---
+  std::vector<bool> has_pred(g.ecss.size(), false);
+  for (const auto& succ : g.links) {
+    for (int j : succ) has_pred[j] = true;
+  }
+  std::vector<std::vector<int>> chains;
+  // DFS enumerating maximal simple paths from each start.
+  std::function<void(std::vector<int>&)> extend = [&](std::vector<int>& path) {
+    bool extended = false;
+    for (int next : g.links[path.back()]) {
+      if (std::find(path.begin(), path.end(), next) != path.end()) continue;
+      path.push_back(next);
+      extend(path);
+      path.pop_back();
+      extended = true;
+    }
+    if (!extended) chains.push_back(path);
+  };
+  for (size_t i = 0; i < g.ecss.size(); ++i) {
+    if (!has_pred[i]) {
+      std::vector<int> path = {static_cast<int>(i)};
+      extend(path);
+    }
+  }
+  // Cycle components have no predecessor-free entry; start one chain per
+  // still-uncovered ECS.
+  std::vector<bool> covered(g.ecss.size(), false);
+  for (const auto& c : chains) {
+    for (int e : c) covered[e] = true;
+  }
+  for (size_t i = 0; i < g.ecss.size(); ++i) {
+    if (!covered[i]) {
+      std::vector<int> path = {static_cast<int>(i)};
+      extend(path);
+      for (const auto& c : chains) {
+        for (int e : c) covered[e] = true;
+      }
+    }
+  }
+  // Remove fully contained chains (single nested loop, Sec. IV.A).
+  for (size_t i = 0; i < chains.size(); ++i) {
+    bool contained = false;
+    for (size_t j = 0; j < chains.size() && !contained; ++j) {
+      if (i == j) continue;
+      if (chains[i].size() < chains[j].size() &&
+          IsContiguousSubsequence(chains[i], chains[j])) {
+        contained = true;
+      }
+    }
+    if (!contained) g.chains.push_back(chains[i]);
+  }
+  // Dedupe identical chains.
+  std::sort(g.chains.begin(), g.chains.end());
+  g.chains.erase(std::unique(g.chains.begin(), g.chains.end()),
+                 g.chains.end());
+  return g;
+}
+
+}  // namespace axon

@@ -1,0 +1,98 @@
+// ECS query graph extraction (paper Sec. IV.A).
+//
+// A parsed SELECT query is decomposed into:
+//  * query nodes — each distinct subject/object position (variable or bound
+//    term), with its query characteristic set: the bitmap of bound
+//    predicates the node emits in the pattern (the paper's modified CS
+//    definition that ranges over variables);
+//  * query ECSs — one per (subject node, object node) pair connected by at
+//    least one pattern whose object node itself emits properties (a chain
+//    edge);
+//  * star patterns — the remaining patterns, grouped under their subject
+//    node;
+//  * chains — maximal paths in the query-ECS adjacency (object node of one
+//    query ECS = subject node of the next), with fully-contained chains
+//    removed.
+
+#ifndef AXON_ENGINE_QUERY_GRAPH_H_
+#define AXON_ENGINE_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "cs/characteristic_set.h"
+#include "exec/operators.h"
+#include "rdf/dictionary.h"
+#include "sparql/algebra.h"
+#include "util/bitmap.h"
+
+namespace axon {
+
+struct QueryNode {
+  /// Binding column name: the variable name, or a synthetic "__b<i>" column
+  /// for bound nodes (constant-valued after scans filter on the bound id).
+  std::string col;
+  bool is_variable = false;
+  TermId bound_id = kInvalidId;  // bound nodes only
+
+  /// Bound predicates this node emits, as PropertyRegistry ordinals — the
+  /// query CS bitmap S_c(s_q). Variable predicates contribute no bits.
+  Bitmap star_bitmap;
+
+  /// Indices into QueryGraph::patterns with this node as subject.
+  std::vector<int> subject_patterns;
+
+  /// True if the node emits at least one pattern (has a CS in the query).
+  bool emits() const { return !subject_patterns.empty(); }
+};
+
+struct QueryEcs {
+  int subject_node = -1;
+  int object_node = -1;
+  /// Chain-edge patterns: indices with s = subject_node, o = object_node.
+  std::vector<int> link_patterns;
+};
+
+struct QueryGraph {
+  /// Id-resolved patterns, parallel to the input query's pattern list.
+  std::vector<IdPattern> patterns;
+  std::vector<QueryNode> nodes;
+  std::vector<QueryEcs> ecss;
+
+  /// Query-ECS adjacency: links[i] = query ECSs j with
+  /// ecss[i].object_node == ecss[j].subject_node.
+  std::vector<std::vector<int>> links;
+
+  /// Maximal chains (sequences of query-ECS indices); contained chains
+  /// removed. Every query ECS appears in at least one chain.
+  std::vector<std::vector<int>> chains;
+
+  /// Pattern index -> owning query ECS (-1 for star patterns).
+  std::vector<int> pattern_ecs;
+
+  /// True when a bound term is absent from the dictionary — the query has
+  /// provably no solutions.
+  bool impossible = false;
+
+  /// Node index of a pattern's subject/object.
+  int SubjectNode(int pattern) const { return pattern_subject_[pattern]; }
+  int ObjectNode(int pattern) const { return pattern_object_[pattern]; }
+
+  /// Star patterns of `node`: subject patterns that are not chain edges.
+  std::vector<int> StarPatterns(int node) const;
+
+  // Every subject/object position maps to a node (predicate positions do
+  // not create nodes).
+  std::vector<int> pattern_subject_;
+  std::vector<int> pattern_object_;
+};
+
+/// Builds the query graph. `properties` supplies the bitmap ordinal space;
+/// bound predicates absent from it mark the query impossible.
+Result<QueryGraph> BuildQueryGraph(const SelectQuery& query,
+                                   const Dictionary& dict,
+                                   const PropertyRegistry& properties);
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_QUERY_GRAPH_H_

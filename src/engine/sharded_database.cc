@@ -1,0 +1,333 @@
+#include "engine/sharded_database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cs/cs_extractor.h"
+#include "ecs/ecs_extractor.h"
+#include "ecs/ecs_hierarchy.h"
+#include "engine/ecs_matcher.h"
+#include "engine/planner.h"
+#include "util/hash.h"
+
+namespace axon {
+
+namespace {
+
+// Subject-hash shard assignment.
+inline uint32_t ShardOf(TermId subject, size_t num_shards) {
+  return static_cast<uint32_t>(Mix64(subject) % num_shards);
+}
+
+// Appends src's rows to dst, mapping columns by name.
+void AppendRowsByName(BindingTable* dst, const BindingTable& src) {
+  std::vector<int> mapping(dst->num_cols());
+  for (size_t c = 0; c < dst->num_cols(); ++c) {
+    mapping[c] = src.ColumnIndex(dst->vars()[c]);
+  }
+  std::vector<TermId> row(dst->num_cols());
+  for (size_t r = 0; r < src.num_rows(); ++r) {
+    for (size_t c = 0; c < dst->num_cols(); ++c) {
+      row[c] = mapping[c] < 0 ? kInvalidId : src.at(r, mapping[c]);
+    }
+    dst->AppendRow(row);
+  }
+}
+
+}  // namespace
+
+Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,
+                                               ShardedOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  ShardedDatabase db;
+  db.options_ = options.engine;
+  db.dict_ = dataset.dict;
+
+  // Deduplicated loader rows (RDF set semantics), as in Database::Build.
+  LoadTripleVec load;
+  {
+    TripleVec triples = dataset.triples;
+    std::sort(triples.begin(), triples.end(),
+              [](const Triple& a, const Triple& b) {
+                return a.Key() < b.Key();
+              });
+    triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+    load.reserve(triples.size());
+    for (const Triple& t : triples) {
+      load.push_back(LoadTriple{t.s, t.p, t.o, kNoCs});
+    }
+  }
+
+  // Global schema extraction — the simulated map-exchange: a deployment
+  // would merge per-shard property sets into this same global CS/ECS id
+  // space (subject-hash partitioning keeps every star on one shard, so the
+  // local property sets are already exact).
+  CsExtraction cs = ExtractCharacteristicSets(std::move(load));
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+  db.graph_ = EcsGraph(ecs.links);
+  db.stats_ = EcsStatistics::Build(ecs);
+  std::vector<uint32_t> storage_rank;
+  if (options.engine.use_hierarchy) {
+    storage_rank = EcsHierarchy::Build(ecs.sets, cs.sets).StorageRank();
+  }
+  db.cs_meta_ = CsIndex::Build(cs);
+  db.ecs_meta_ = EcsIndex::Build(ecs, storage_rank);
+
+  // Shard the triples under the global ids: filtering the (CS, S, P, O)-
+  // and (ECS, P, S, O)-sorted streams preserves their orders, so the
+  // per-shard indexes are built exactly like the single-node ones.
+  for (uint32_t k = 0; k < options.num_shards; ++k) {
+    CsExtraction shard_cs;
+    shard_cs.properties = cs.properties;
+    shard_cs.sets = cs.sets;
+    for (const LoadTriple& t : cs.triples) {
+      if (ShardOf(t.s, options.num_shards) == k) {
+        shard_cs.triples.push_back(t);
+      }
+    }
+    EcsExtraction shard_ecs;
+    shard_ecs.sets = ecs.sets;
+    shard_ecs.links = ecs.links;
+    for (const EcsTriple& t : ecs.triples) {
+      if (ShardOf(t.s, options.num_shards) == k) {
+        shard_ecs.triples.push_back(t);
+      }
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->cs = CsIndex::Build(shard_cs);
+    shard->ecs = EcsIndex::Build(shard_ecs, storage_rank);
+    db.shards_.push_back(std::move(shard));
+  }
+  return db;
+}
+
+uint64_t ShardedDatabase::StorageBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->cs.ByteSize() + s->ecs.ByteSize();
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedDatabase::ShardTripleCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) out.push_back(s->cs.spo().size());
+  return out;
+}
+
+BindingTable ShardedDatabase::EvalQueryEcsScattered(
+    const QueryGraph& qg, int query_ecs, const std::vector<EcsId>& matches,
+    ExecStats* stats) const {
+  const QueryEcs& q = qg.ecss[query_ecs];
+  BindingTable acc;
+  bool first = true;
+  for (int pi : q.link_patterns) {
+    const IdPattern& p = qg.patterns[pi];
+    BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
+    for (const auto& shard : shards_) {
+      for (EcsId e : matches) {
+        RowRange r = p.p_bound() ? shard->ecs.PropertyRange(e, p.p)
+                                 : shard->ecs.RangeOf(e);
+        if (r.empty()) continue;
+        BindingTable part = ScanPattern(shard->ecs.pso().slice(r), p, stats);
+        AppendRowsByName(&link, part);
+      }
+    }
+    if (first) {
+      acc = std::move(link);
+      first = false;
+    } else {
+      acc = HashJoin(acc, link, stats);
+    }
+    if (acc.num_rows() == 0) break;
+  }
+  return acc;
+}
+
+BindingTable ShardedDatabase::EvalStarScattered(
+    const QueryGraph& qg, int node, const std::vector<CsId>& allowed_cs,
+    const std::vector<int>& star_patterns, ExecStats* stats) const {
+  const QueryNode& n = qg.nodes[node];
+  // Output schema via the pipeline on an empty span.
+  BindingTable acc = ScanPattern({}, qg.patterns[star_patterns[0]], nullptr);
+  for (size_t i = 1; i < star_patterns.size(); ++i) {
+    acc = HashJoin(acc, ScanPattern({}, qg.patterns[star_patterns[i]], nullptr),
+                   nullptr);
+  }
+  for (const auto& shard : shards_) {
+    for (CsId cs : allowed_cs) {
+      RowRange range = n.is_variable
+                           ? shard->cs.RangeOf(cs)
+                           : shard->cs.SubjectRange(cs, n.bound_id);
+      if (range.empty()) continue;
+      std::span<const Triple> rows = shard->cs.spo().slice(range);
+      BindingTable per_cs;
+      bool first = true;
+      for (int pi : star_patterns) {
+        BindingTable t = ScanPattern(rows, qg.patterns[pi], stats);
+        if (first) {
+          per_cs = std::move(t);
+          first = false;
+        } else {
+          per_cs = HashJoin(per_cs, t, stats);
+        }
+        if (per_cs.num_rows() == 0) break;
+      }
+      AppendRowsByName(&acc, per_cs);
+    }
+  }
+  return acc;
+}
+
+Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
+  QueryResult result;
+  std::vector<std::string> proj = query.EffectiveProjection();
+  auto empty_result = [&proj]() {
+    QueryResult r;
+    r.table = BindingTable(proj);
+    return r;
+  };
+
+  AXON_ASSIGN_OR_RETURN(QueryGraph qg,
+                        BuildQueryGraph(query, dict_, cs_meta_.properties()));
+  if (qg.impossible) return empty_result();
+
+  std::vector<std::pair<std::string, TermId>> filters;
+  for (const EqualityFilter& f : query.filters) {
+    auto id = dict_.Lookup(f.value);
+    if (!id.has_value()) return empty_result();
+    filters.emplace_back(f.var, *id);
+  }
+
+  // Coordinator-side matching and planning over the global metadata.
+  EcsMatcher matcher(&cs_meta_, &ecs_meta_, &graph_);
+  std::vector<ChainMatch> matches;
+  for (const auto& chain : qg.chains) {
+    ChainMatch m = matcher.MatchChain(qg, chain);
+    if (m.Empty()) return empty_result();
+    matches.push_back(std::move(m));
+  }
+  Planner planner(&ecs_meta_, &stats_);
+  QueryPlan plan = planner.Plan(qg, std::move(matches), options_.use_planner);
+
+  std::vector<std::set<EcsId>> qecs_matches(qg.ecss.size());
+  for (const ChainPlan& cp : plan.chains) {
+    for (size_t pos = 0; pos < cp.chain.size(); ++pos) {
+      qecs_matches[cp.chain[pos]].insert(
+          cp.matches.position_matches[pos].begin(),
+          cp.matches.position_matches[pos].end());
+    }
+  }
+  std::vector<std::set<CsId>> node_cs(qg.nodes.size());
+  std::vector<bool> node_in_chain(qg.nodes.size(), false);
+  for (size_t qi = 0; qi < qg.ecss.size(); ++qi) {
+    const QueryEcs& q = qg.ecss[qi];
+    node_in_chain[q.subject_node] = true;
+    node_in_chain[q.object_node] = true;
+    for (EcsId e : qecs_matches[qi]) {
+      node_cs[q.subject_node].insert(ecs_meta_.set(e).subject_cs);
+      node_cs[q.object_node].insert(ecs_meta_.set(e).object_cs);
+    }
+  }
+
+  // Plan-priority order with connectivity preference (the coordinator
+  // joins gathered partials; a cross product would scatter huge bindings).
+  std::vector<int> priority;
+  {
+    std::vector<bool> seen(qg.ecss.size(), false);
+    for (const ChainPlan& cp : plan.chains) {
+      for (size_t pos : cp.join_order) {
+        int qecs = cp.chain[pos];
+        if (!seen[qecs]) {
+          seen[qecs] = true;
+          priority.push_back(qecs);
+        }
+      }
+    }
+  }
+  BindingTable current;
+  bool first = true;
+  std::vector<bool> ecs_joined(qg.ecss.size(), false);
+  std::vector<bool> node_joined(qg.nodes.size(), false);
+  for (size_t step = 0; step < priority.size(); ++step) {
+    int qecs = -1;
+    for (int candidate : priority) {
+      if (ecs_joined[candidate]) continue;
+      if (first || node_joined[qg.ecss[candidate].subject_node] ||
+          node_joined[qg.ecss[candidate].object_node]) {
+        qecs = candidate;
+        break;
+      }
+      if (qecs < 0) qecs = candidate;
+    }
+    ecs_joined[qecs] = true;
+    node_joined[qg.ecss[qecs].subject_node] = true;
+    node_joined[qg.ecss[qecs].object_node] = true;
+    std::vector<EcsId> pm(qecs_matches[qecs].begin(),
+                          qecs_matches[qecs].end());
+    BindingTable t = EvalQueryEcsScattered(qg, qecs, pm, &result.stats);
+    if (first) {
+      current = std::move(t);
+      first = false;
+    } else {
+      current = HashJoin(current, t, &result.stats);
+    }
+    if (current.num_rows() == 0) return empty_result();
+  }
+
+  // Scattered star retrieval.
+  for (size_t node = 0; node < qg.nodes.size(); ++node) {
+    if (!qg.nodes[node].emits()) continue;
+    std::vector<int> star = qg.StarPatterns(static_cast<int>(node));
+    if (star.empty()) continue;
+
+    std::vector<CsId> allowed;
+    if (node_in_chain[node]) {
+      allowed.assign(node_cs[node].begin(), node_cs[node].end());
+    } else {
+      const QueryNode& n = qg.nodes[node];
+      if (!n.is_variable) {
+        auto cs = cs_meta_.CsOfSubject(n.bound_id);
+        if (!cs.has_value() ||
+            !n.star_bitmap.IsSubsetOf(cs_meta_.set(*cs).properties)) {
+          return empty_result();
+        }
+        allowed = {*cs};
+      } else {
+        allowed = cs_meta_.MatchSupersets(n.star_bitmap);
+      }
+    }
+    if (allowed.empty()) return empty_result();
+
+    BindingTable star_table = EvalStarScattered(qg, static_cast<int>(node),
+                                                allowed, star, &result.stats);
+    if (first) {
+      current = std::move(star_table);
+      first = false;
+    } else {
+      current = HashJoin(current, star_table, &result.stats);
+    }
+    if (current.num_rows() == 0 && current.num_cols() > 0) {
+      return empty_result();
+    }
+  }
+
+  for (const auto& [var, id] : filters) {
+    current = FilterEquals(current, var, id, &result.stats);
+  }
+  for (const std::string& v : proj) {
+    if (current.ColumnIndex(v) < 0) {
+      return Status::Internal("sharded executor produced no column for ?" + v);
+    }
+  }
+  current = Project(current, proj);
+  if (query.distinct) current = Distinct(current);
+  if (query.limit.has_value()) current = Limit(current, *query.limit);
+  result.table = std::move(current);
+  return result;
+}
+
+}  // namespace axon

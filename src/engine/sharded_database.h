@@ -1,0 +1,101 @@
+// Sharded ECS store — a single-process simulation of the paper's second
+// piece of announced future work: "study the application of the approach
+// in a distributed setting" (Sec. VII).
+//
+// Architecture (SemStore/S2RDF-style coordinator + storage shards):
+//
+//  * Triples are hash-partitioned by SUBJECT across K shards, so every
+//    node's entire star lives on one shard and characteristic sets are
+//    exact per shard.
+//  * CS/ECS extraction runs as a map-exchange: local property sets are
+//    merged into a GLOBAL CS/ECS id space (simulated here by running the
+//    global extraction at the coordinator), and every shard indexes its
+//    triple subset under the global ids — each shard holds its slice of
+//    every CS partition (SPO side) and ECS partition (PSO side).
+//  * The coordinator keeps only metadata: the dictionary, the global
+//    CS/ECS schema, the ECS graph/statistics and the planner. Query
+//    matching and planning are coordinator-side and identical to the
+//    single-node engine; evaluation scatters the matched range scans to
+//    the shards and gathers/joins the partial bindings.
+//
+// Because the scatter/gather handles the object-subject joins at the
+// coordinator, results are exactly those of the single-node engine — the
+// integration tests assert multiset equality per query.
+
+#ifndef AXON_ENGINE_SHARDED_DATABASE_H_
+#define AXON_ENGINE_SHARDED_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace axon {
+
+struct ShardedOptions {
+  uint32_t num_shards = 4;
+  /// Engine configuration used by the coordinator's matcher/planner and by
+  /// the shard layouts (hierarchy pre-order applies per shard).
+  EngineOptions engine;
+};
+
+class ShardedDatabase : public QueryEngine {
+ public:
+  /// Builds the coordinator metadata and the K shard indexes.
+  static Result<ShardedDatabase> Build(const Dataset& dataset,
+                                       ShardedOptions options = {});
+
+  std::string name() const override {
+    return "axonDB-sharded(" + std::to_string(shards_.size()) + ")";
+  }
+  Result<QueryResult> Execute(const SelectQuery& query) const override;
+
+  /// Sum of the shards' storage (the coordinator's metadata is excluded,
+  /// mirroring a deployment where it holds no triples).
+  uint64_t StorageBytes() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Triples resident on each shard (diagnostics / balance tests).
+  std::vector<uint64_t> ShardTripleCounts() const;
+
+  const Dictionary& dict() const { return dict_; }
+  const EcsGraph& ecs_graph() const { return graph_; }
+
+ private:
+  ShardedDatabase() = default;
+
+  // One storage shard: its slice of the CS-partitioned SPO table and the
+  // ECS-partitioned PSO table, indexed under the GLOBAL CS/ECS ids.
+  struct Shard {
+    CsIndex cs;
+    EcsIndex ecs;
+  };
+
+  // eval(Q_i) scattered over the shards and gathered.
+  BindingTable EvalQueryEcsScattered(const QueryGraph& qg, int query_ecs,
+                                     const std::vector<EcsId>& matches,
+                                     ExecStats* stats) const;
+
+  // Star retrieval scattered over the shards.
+  BindingTable EvalStarScattered(const QueryGraph& qg, int node,
+                                 const std::vector<CsId>& allowed_cs,
+                                 const std::vector<int>& star_patterns,
+                                 ExecStats* stats) const;
+
+  Dictionary dict_;
+  // Coordinator metadata: global schema, graph, hierarchy order and
+  // statistics. The CS/ECS indexes here carry ranges and per-ECS property
+  // lists for matching and costing; their triple tables are global and
+  // used only for sizes, never scanned.
+  CsIndex cs_meta_;
+  EcsIndex ecs_meta_;
+  EcsGraph graph_;
+  EcsStatistics stats_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_SHARDED_DATABASE_H_

@@ -1,0 +1,106 @@
+#include "engine/update_store.h"
+
+namespace axon {
+
+Result<UpdatableDatabase> UpdatableDatabase::Create(const Dataset& initial,
+                                                    UpdateOptions options) {
+  UpdatableDatabase db;
+  db.options_ = options;
+  db.dict_ = initial.dict;
+  for (const Triple& t : initial.triples) {
+    db.live_.insert({t.s, t.p, t.o});
+  }
+  AXON_RETURN_NOT_OK(db.Compact());
+  return db;
+}
+
+Status UpdatableDatabase::Insert(const TermTriple& triple) {
+  if (!triple.s.is_iri() && !triple.s.is_blank()) {
+    return Status::InvalidArgument("subject must be an IRI or blank node");
+  }
+  if (!triple.p.is_iri()) {
+    return Status::InvalidArgument("predicate must be an IRI");
+  }
+  TermId s = dict_.Intern(triple.s);
+  TermId p = dict_.Intern(triple.p);
+  TermId o = dict_.Intern(triple.o);
+  if (live_.insert({s, p, o}).second) {
+    dirty_ = true;
+    ++pending_ops_;
+    if (options_.compaction_threshold > 0 &&
+        pending_ops_ >= options_.compaction_threshold) {
+      return Compact();
+    }
+  }
+  return Status::OK();
+}
+
+Status UpdatableDatabase::Delete(const TermTriple& triple) {
+  auto s = dict_.Lookup(triple.s);
+  auto p = dict_.Lookup(triple.p);
+  auto o = dict_.Lookup(triple.o);
+  if (!s.has_value() || !p.has_value() || !o.has_value()) {
+    return Status::OK();  // never seen: nothing to delete
+  }
+  if (live_.erase({*s, *p, *o}) > 0) {
+    dirty_ = true;
+    ++pending_ops_;
+    if (options_.compaction_threshold > 0 &&
+        pending_ops_ >= options_.compaction_threshold) {
+      return Compact();
+    }
+  }
+  return Status::OK();
+}
+
+Status UpdatableDatabase::InsertNTriples(std::string_view text) {
+  Status status = Status::OK();
+  Status parse = ParseNTriples(text, [this, &status](TermTriple t) {
+    if (status.ok()) status = Insert(t);
+  });
+  AXON_RETURN_NOT_OK(parse);
+  return status;
+}
+
+Status UpdatableDatabase::Compact() {
+  // Rebuild the read-optimized store from the live set. The dictionary is
+  // reused as-is: ids are stable across compactions, so bindings held by
+  // callers keep rendering correctly.
+  Dataset data;
+  data.dict = dict_;
+  data.triples.reserve(live_.size());
+  for (const auto& [s, p, o] : live_) {
+    data.triples.push_back(Triple{s, p, o});
+  }
+  auto built = Database::Build(data, options_.engine);
+  if (!built.ok()) return built.status();
+  snapshot_ = std::make_unique<Database>(std::move(built).ValueOrDie());
+  dirty_ = false;
+  pending_ops_ = 0;
+  return Status::OK();
+}
+
+Result<const Database*> UpdatableDatabase::Snapshot() {
+  if (dirty_ || snapshot_ == nullptr) {
+    AXON_RETURN_NOT_OK(Compact());
+  }
+  return const_cast<const Database*>(snapshot_.get());
+}
+
+Result<QueryResult> UpdatableDatabase::Execute(const SelectQuery& query) {
+  AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
+  return db->Execute(query);
+}
+
+Result<QueryResult> UpdatableDatabase::ExecuteSparql(std::string_view text) {
+  AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
+  return db->ExecuteSparql(text);
+}
+
+Result<std::vector<std::vector<std::string>>> UpdatableDatabase::Render(
+    const BindingTable& table) {
+  AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
+  return db->Render(table);
+}
+
+}  // namespace axon

@@ -1,0 +1,85 @@
+// Mutable façade over the ECS-indexed store — the paper's announced future
+// work ("As future work, we will address data updates in existing ECS
+// indexes", Sec. VII).
+//
+// Updating a CS/ECS-partitioned store in place is structurally expensive: a
+// single inserted triple can change its subject's characteristic set, which
+// relocates *all* of that subject's triples across partitions and can mint
+// or retire ECSs on both sides. UpdatableDatabase therefore implements the
+// classic delta-store design (differential updates + periodic merge, as in
+// column stores): writes accumulate in a write-optimized side buffer and
+// the read-optimized ECS store is rebuilt — at a configurable delta
+// threshold, or lazily at query time. Queries always observe every
+// acknowledged write (snapshot-consistent read-your-writes).
+
+#ifndef AXON_ENGINE_UPDATE_STORE_H_
+#define AXON_ENGINE_UPDATE_STORE_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace axon {
+
+struct UpdateOptions {
+  /// Rebuild the ECS store once the delta reaches this many pending
+  /// operations. 0 = only rebuild lazily at query time.
+  uint64_t compaction_threshold = 4096;
+
+  /// Engine options used for every rebuild.
+  EngineOptions engine;
+};
+
+class UpdatableDatabase {
+ public:
+  /// Starts from an initial dataset (may be empty).
+  static Result<UpdatableDatabase> Create(const Dataset& initial,
+                                          UpdateOptions options = {});
+
+  /// Inserts one triple. Duplicate inserts are idempotent (RDF set
+  /// semantics). Never fails on valid terms.
+  Status Insert(const TermTriple& triple);
+
+  /// Deletes one triple; deleting an absent triple is a no-op.
+  Status Delete(const TermTriple& triple);
+
+  /// Batch insert of parsed N-Triples text.
+  Status InsertNTriples(std::string_view text);
+
+  /// Number of pending (uncompacted) operations.
+  uint64_t pending_ops() const { return pending_ops_; }
+
+  /// Current triple count (base + delta effects).
+  uint64_t num_triples() const { return live_.size(); }
+
+  /// Forces a rebuild of the ECS store from the current state.
+  Status Compact();
+
+  /// Executes a query against the current state (compacts first if dirty).
+  Result<QueryResult> ExecuteSparql(std::string_view text);
+  Result<QueryResult> Execute(const SelectQuery& query);
+
+  /// Read access to the underlying snapshot. Compacts first if dirty, so
+  /// the returned database always reflects every acknowledged write.
+  Result<const Database*> Snapshot();
+
+  /// Renders results through the current dictionary.
+  Result<std::vector<std::vector<std::string>>> Render(
+      const BindingTable& table);
+
+ private:
+  UpdatableDatabase() = default;
+
+  UpdateOptions options_;
+  Dictionary dict_;                       // grows monotonically
+  std::set<std::tuple<TermId, TermId, TermId>> live_;  // current triple set
+  std::unique_ptr<Database> snapshot_;
+  bool dirty_ = false;
+  uint64_t pending_ops_ = 0;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_UPDATE_STORE_H_

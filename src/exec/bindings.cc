@@ -1,0 +1,43 @@
+#include "exec/bindings.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace axon {
+
+int BindingTable::ColumnIndex(const std::string& var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void BindingTable::AppendRow(std::span<const TermId> values) {
+  assert(values.size() == vars_.size());
+  if (vars_.empty()) {
+    nullary_rows_ = true;
+    return;
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+std::vector<std::vector<TermId>> BindingTable::CanonicalRows(
+    const std::vector<std::string>& vars) const {
+  std::vector<int> cols;
+  cols.reserve(vars.size());
+  for (const std::string& v : vars) cols.push_back(ColumnIndex(v));
+  std::vector<std::vector<TermId>> out;
+  out.reserve(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    std::vector<TermId> row;
+    row.reserve(cols.size());
+    for (int c : cols) {
+      row.push_back(c < 0 ? kInvalidId : at(r, static_cast<size_t>(c)));
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,73 @@
+// Binding tables: the tuple streams flowing between query operators.
+//
+// A BindingTable is a column-named relation of TermIds — one column per
+// query variable, one row per partial solution. Both axonDB's executor and
+// the baseline engines produce and consume these, so cross-engine result
+// comparison is a straight multiset equality.
+
+#ifndef AXON_EXEC_BINDINGS_H_
+#define AXON_EXEC_BINDINGS_H_
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace axon {
+
+class BindingTable {
+ public:
+  BindingTable() = default;
+  explicit BindingTable(std::vector<std::string> vars)
+      : vars_(std::move(vars)) {}
+
+  const std::vector<std::string>& vars() const { return vars_; }
+  size_t num_cols() const { return vars_.size(); }
+  size_t num_rows() const {
+    return vars_.empty() ? (nullary_rows_ ? 1 : 0)
+                         : data_.size() / vars_.size();
+  }
+  bool empty() const { return num_rows() == 0; }
+
+  /// Column index of `var`, or -1.
+  int ColumnIndex(const std::string& var) const;
+
+  TermId at(size_t row, size_t col) const {
+    return data_[row * vars_.size() + col];
+  }
+
+  std::span<const TermId> row(size_t i) const {
+    return std::span<const TermId>(data_).subspan(i * vars_.size(),
+                                                  vars_.size());
+  }
+
+  void AppendRow(std::span<const TermId> values);
+  void AppendRow(std::initializer_list<TermId> values) {
+    AppendRow(std::span<const TermId>(values.begin(), values.size()));
+  }
+
+  /// Marks a zero-column table as containing the single empty row (the
+  /// identity of the natural join). Zero-column tables default to empty.
+  void SetNullaryRow(bool present) { nullary_rows_ = present; }
+
+  /// Rows as a flat vector (row-major). For tests.
+  const std::vector<TermId>& flat() const { return data_; }
+
+  void Reserve(size_t rows) { data_.reserve(rows * vars_.size()); }
+
+  /// Sorted multiset of rows projected onto `vars` — the canonical form
+  /// used to compare results across engines regardless of row/column order.
+  std::vector<std::vector<TermId>> CanonicalRows(
+      const std::vector<std::string>& vars) const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<TermId> data_;
+  bool nullary_rows_ = false;
+};
+
+}  // namespace axon
+
+#endif  // AXON_EXEC_BINDINGS_H_

@@ -1,0 +1,224 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace axon {
+
+namespace {
+
+// Hash of a row key (vector of ids).
+struct RowKeyHash {
+  size_t operator()(const std::vector<TermId>& key) const {
+    uint64_t h = 0x243f6a8885a308d3ULL;
+    for (TermId id : key) h = HashCombine(h, id);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats) {
+  // Output columns: distinct named variables in S, P, O order.
+  std::vector<std::string> vars;
+  auto add_var = [&vars](const std::string& v) {
+    if (!v.empty() && std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  if (!pattern.s_bound()) add_var(pattern.s_var);
+  if (!pattern.p_bound()) add_var(pattern.p_var);
+  if (!pattern.o_bound()) add_var(pattern.o_var);
+
+  BindingTable out(vars);
+  std::vector<TermId> row(vars.size());
+  for (const Triple& t : triples) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    if (pattern.s_bound() && t.s != pattern.s) continue;
+    if (pattern.p_bound() && t.p != pattern.p) continue;
+    if (pattern.o_bound() && t.o != pattern.o) continue;
+    // Repeated-variable constraints (e.g. ?x :p ?x).
+    bool ok = true;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      TermId v = kInvalidId;
+      if (!pattern.s_bound() && pattern.s_var == vars[i]) v = t.s;
+      if (!pattern.p_bound() && pattern.p_var == vars[i]) {
+        if (v != kInvalidId && v != t.p) {
+          ok = false;
+          break;
+        }
+        v = t.p;
+      }
+      if (!pattern.o_bound() && pattern.o_var == vars[i]) {
+        if (v != kInvalidId && v != t.o) {
+          ok = false;
+          break;
+        }
+        v = t.o;
+      }
+      row[i] = v;
+    }
+    if (!ok) continue;
+    out.AppendRow(row);
+  }
+  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  return out;
+}
+
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats) {
+  if (stats != nullptr) ++stats->joins;
+  // Build on the smaller side.
+  const BindingTable& build = left.num_rows() <= right.num_rows() ? left : right;
+  const BindingTable& probe = left.num_rows() <= right.num_rows() ? right : left;
+
+  // Shared columns.
+  std::vector<int> build_key;
+  std::vector<int> probe_key;
+  for (size_t i = 0; i < build.vars().size(); ++i) {
+    int j = probe.ColumnIndex(build.vars()[i]);
+    if (j >= 0) {
+      build_key.push_back(static_cast<int>(i));
+      probe_key.push_back(j);
+    }
+  }
+
+  // Output schema: probe columns then build-only columns (order is
+  // irrelevant to correctness; CanonicalRows normalizes for comparison).
+  std::vector<std::string> out_vars = probe.vars();
+  std::vector<int> build_extra;
+  for (size_t i = 0; i < build.vars().size(); ++i) {
+    if (probe.ColumnIndex(build.vars()[i]) < 0) {
+      out_vars.push_back(build.vars()[i]);
+      build_extra.push_back(static_cast<int>(i));
+    }
+  }
+  BindingTable out(out_vars);
+
+  if (build.num_rows() == 0 || probe.num_rows() == 0) return out;
+
+  std::unordered_map<std::vector<TermId>, std::vector<size_t>, RowKeyHash>
+      table;
+  table.reserve(build.num_rows());
+  std::vector<TermId> key(build_key.size());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    for (size_t k = 0; k < build_key.size(); ++k) {
+      key[k] = build.at(r, build_key[k]);
+    }
+    table[key].push_back(r);
+  }
+
+  std::vector<TermId> out_row(out_vars.size());
+  for (size_t r = 0; r < probe.num_rows(); ++r) {
+    for (size_t k = 0; k < probe_key.size(); ++k) {
+      key[k] = probe.at(r, probe_key[k]);
+    }
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (size_t br : it->second) {
+      size_t c = 0;
+      for (; c < probe.vars().size(); ++c) out_row[c] = probe.at(r, c);
+      for (size_t e = 0; e < build_extra.size(); ++e) {
+        out_row[c + e] = build.at(br, build_extra[e]);
+      }
+      out.AppendRow(out_row);
+    }
+  }
+  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  return out;
+}
+
+BindingTable FilterEquals(const BindingTable& in, const std::string& var,
+                          TermId value, ExecStats* stats) {
+  int col = in.ColumnIndex(var);
+  BindingTable out(in.vars());
+  if (col < 0) return out;
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    if (in.at(r, col) == value) out.AppendRow(in.row(r));
+  }
+  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  return out;
+}
+
+BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats) {
+  if (stats != nullptr) ++stats->joins;
+  std::vector<int> left_key;
+  std::vector<int> right_key;
+  for (size_t i = 0; i < left.vars().size(); ++i) {
+    int j = right.ColumnIndex(left.vars()[i]);
+    if (j >= 0) {
+      left_key.push_back(static_cast<int>(i));
+      right_key.push_back(j);
+    }
+  }
+  BindingTable out(left.vars());
+  if (left_key.empty()) {
+    // No shared columns: left survives iff right is non-empty.
+    if (right.num_rows() == 0) return out;
+    for (size_t r = 0; r < left.num_rows(); ++r) out.AppendRow(left.row(r));
+    return out;
+  }
+  std::set<std::vector<TermId>> keys;
+  std::vector<TermId> key(right_key.size());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    for (size_t k = 0; k < right_key.size(); ++k) {
+      key[k] = right.at(r, right_key[k]);
+    }
+    keys.insert(key);
+  }
+  for (size_t r = 0; r < left.num_rows(); ++r) {
+    for (size_t k = 0; k < left_key.size(); ++k) {
+      key[k] = left.at(r, left_key[k]);
+    }
+    if (keys.count(key)) out.AppendRow(left.row(r));
+  }
+  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  return out;
+}
+
+BindingTable Project(const BindingTable& in,
+                     const std::vector<std::string>& vars) {
+  std::vector<int> cols;
+  cols.reserve(vars.size());
+  for (const std::string& v : vars) {
+    int c = in.ColumnIndex(v);
+    assert(c >= 0 && "projecting a missing column");
+    cols.push_back(c);
+  }
+  BindingTable out(vars);
+  std::vector<TermId> row(vars.size());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) row[i] = in.at(r, cols[i]);
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+BindingTable Distinct(const BindingTable& in) {
+  BindingTable out(in.vars());
+  std::set<std::vector<TermId>> seen;
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<TermId> row(in.row(r).begin(), in.row(r).end());
+    if (seen.insert(row).second) out.AppendRow(row);
+  }
+  if (in.num_cols() == 0 && in.num_rows() > 0) out.SetNullaryRow(true);
+  return out;
+}
+
+BindingTable Limit(const BindingTable& in, uint64_t limit) {
+  BindingTable out(in.vars());
+  uint64_t n = std::min<uint64_t>(limit, in.num_rows());
+  for (uint64_t r = 0; r < n; ++r) out.AppendRow(in.row(r));
+  if (in.num_cols() == 0 && in.num_rows() > 0 && limit > 0) {
+    out.SetNullaryRow(true);
+  }
+  return out;
+}
+
+}  // namespace axon

@@ -1,0 +1,93 @@
+// Relational operators over BindingTables: pattern scans, natural hash
+// join, merge join on sorted inputs, filter, projection, distinct.
+//
+// These are deliberately engine-agnostic: axonDB's chain executor and all
+// three baseline engines are built from the same operators, so runtime
+// differences in the benchmarks come from *index structure and plan shape*,
+// not from operator implementation quality — mirroring the paper's aim of
+// isolating the indexing scheme.
+
+#ifndef AXON_EXEC_OPERATORS_H_
+#define AXON_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/bindings.h"
+#include "rdf/triple.h"
+
+namespace axon {
+
+/// Execution counters for instrumentation (intermediate-result accounting
+/// shown in the benches).
+struct ExecStats {
+  uint64_t rows_scanned = 0;       // triples read from storage
+  uint64_t intermediate_rows = 0;  // rows materialized between operators
+  uint64_t joins = 0;              // join operator invocations
+  /// Simulated storage pages touched by range scans (4 KiB pages over the
+  /// on-disk triple layout). Wall time on the in-memory substrate cannot
+  /// show the disk locality the ECS-hierarchy layout buys; this metric can
+  /// (fewer distinct pages when matched ECS families are stored adjacent).
+  uint64_t pages_read = 0;
+
+  void Accumulate(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    intermediate_rows += other.intermediate_rows;
+    joins += other.joins;
+    pages_read += other.pages_read;
+  }
+};
+
+/// An id-level triple pattern: kInvalidId marks an unbound position; the
+/// var names give column names for unbound positions (empty string = anon,
+/// the position is scanned but not output).
+struct IdPattern {
+  TermId s = kInvalidId;
+  TermId p = kInvalidId;
+  TermId o = kInvalidId;
+  std::string s_var;
+  std::string p_var;
+  std::string o_var;
+
+  bool s_bound() const { return s != kInvalidId; }
+  bool p_bound() const { return p != kInvalidId; }
+  bool o_bound() const { return o != kInvalidId; }
+  int NumBound() const {
+    return (s_bound() ? 1 : 0) + (p_bound() ? 1 : 0) + (o_bound() ? 1 : 0);
+  }
+};
+
+/// Materializes the solutions of `pattern` over a span of candidate triples:
+/// drops rows failing bound components or repeated-variable equality, and
+/// outputs one column per distinct named variable.
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats);
+
+/// Natural join on all shared columns (hash join, smaller side builds).
+/// With no shared columns this degrades to a cross product.
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats);
+
+/// Keeps rows where column `var` equals `value`.
+BindingTable FilterEquals(const BindingTable& in, const std::string& var,
+                          TermId value, ExecStats* stats);
+
+/// Semi-join: keeps left rows whose shared columns have a match in `right`.
+BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats);
+
+/// Projects onto `vars` (missing vars are an error in debug builds).
+BindingTable Project(const BindingTable& in, const std::vector<std::string>& vars);
+
+/// Removes duplicate rows.
+BindingTable Distinct(const BindingTable& in);
+
+/// Truncates to at most `limit` rows.
+BindingTable Limit(const BindingTable& in, uint64_t limit);
+
+}  // namespace axon
+
+#endif  // AXON_EXEC_OPERATORS_H_

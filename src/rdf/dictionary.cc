@@ -1,0 +1,188 @@
+#include "rdf/dictionary.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace axon {
+
+namespace {
+constexpr char kMagic[] = "AXDICT01";
+constexpr size_t kMagicLen = 8;
+}  // namespace
+
+Dictionary::Dictionary() {
+  prefixes_.push_back("");
+  prefix_map_.emplace("", 0);
+}
+
+std::pair<std::string_view, std::string_view> Dictionary::SplitPrefix(
+    std::string_view canonical) {
+  // Only IRIs ("<...>") get a namespace prefix; the '<' sigil is kept inside
+  // the prefix so that concatenation reproduces the canonical form exactly.
+  if (canonical.empty() || canonical.front() != '<') {
+    return {std::string_view{}, canonical};
+  }
+  size_t pos = canonical.find_last_of("/#");
+  if (pos == std::string_view::npos || pos + 1 >= canonical.size()) {
+    return {std::string_view{}, canonical};
+  }
+  return {canonical.substr(0, pos + 1), canonical.substr(pos + 1)};
+}
+
+uint32_t Dictionary::InternPrefix(std::string_view prefix) {
+  auto it = prefix_map_.find(std::string(prefix));
+  if (it != prefix_map_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(prefixes_.size());
+  prefixes_.emplace_back(prefix);
+  prefix_map_.emplace(std::string(prefix), id);
+  return id;
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  return InternCanonical(term.Canonical());
+}
+
+TermId Dictionary::InternCanonical(const std::string& canonical) {
+  auto it = term_map_.find(canonical);
+  if (it != term_map_.end()) return it->second;
+  auto [prefix, suffix] = SplitPrefix(canonical);
+  prefix_ids_.push_back(InternPrefix(prefix));
+  suffixes_.emplace_back(suffix);
+  TermId id = static_cast<TermId>(suffixes_.size());  // ids start at 1
+  term_map_.emplace(canonical, id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  return LookupCanonical(term.Canonical());
+}
+
+std::optional<TermId> Dictionary::LookupCanonical(
+    std::string_view canonical) const {
+  auto it = term_map_.find(std::string(canonical));
+  if (it == term_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Dictionary::GetCanonical(TermId id) const {
+  size_t i = id - 1;
+  return prefixes_[prefix_ids_[i]] + suffixes_[i];
+}
+
+Result<Term> Dictionary::GetTerm(TermId id) const {
+  if (id == kInvalidId || id > suffixes_.size()) {
+    return Status::OutOfRange("term id out of range: " + std::to_string(id));
+  }
+  return Term::FromCanonical(GetCanonical(id));
+}
+
+Status Dictionary::Serialize(std::string* out) const {
+  out->append(kMagic, kMagicLen);
+  PutVarint64(out, prefixes_.size());
+  for (const std::string& p : prefixes_) {
+    PutVarint64(out, p.size());
+    out->append(p);
+  }
+  PutVarint64(out, suffixes_.size());
+  for (size_t i = 0; i < suffixes_.size(); ++i) {
+    PutVarint32(out, prefix_ids_[i]);
+    PutVarint64(out, suffixes_[i].size());
+    out->append(suffixes_[i]);
+  }
+  // Clustered lookup section: ids sorted by canonical string. Readers can
+  // binary-search this without materializing a hash map; we also use it to
+  // verify integrity on load.
+  std::vector<TermId> order(suffixes_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<TermId>(i + 1);
+  std::sort(order.begin(), order.end(), [this](TermId a, TermId b) {
+    return GetCanonical(a) < GetCanonical(b);
+  });
+  for (TermId id : order) PutFixed32(out, id);
+  return Status::OK();
+}
+
+Result<Dictionary> Dictionary::Deserialize(std::string_view data) {
+  if (data.size() < kMagicLen ||
+      data.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+    return Status::Corruption("dictionary: bad magic");
+  }
+  const char* p = data.data() + kMagicLen;
+  const char* limit = data.data() + data.size();
+
+  Dictionary dict;
+  uint64_t num_prefixes = 0;
+  p = GetVarint64(p, limit, &num_prefixes);
+  if (p == nullptr) return Status::Corruption("dictionary: prefix count");
+  dict.prefixes_.clear();
+  dict.prefix_map_.clear();
+  dict.prefixes_.reserve(num_prefixes);
+  for (uint64_t i = 0; i < num_prefixes; ++i) {
+    uint64_t len = 0;
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("dictionary: prefix entry");
+    }
+    dict.prefixes_.emplace_back(p, len);
+    dict.prefix_map_.emplace(dict.prefixes_.back(),
+                             static_cast<uint32_t>(i));
+    p += len;
+  }
+
+  uint64_t num_terms = 0;
+  p = GetVarint64(p, limit, &num_terms);
+  if (p == nullptr) return Status::Corruption("dictionary: term count");
+  dict.prefix_ids_.reserve(num_terms);
+  dict.suffixes_.reserve(num_terms);
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    uint32_t prefix_id = 0;
+    p = GetVarint32(p, limit, &prefix_id);
+    if (p == nullptr || prefix_id >= dict.prefixes_.size()) {
+      return Status::Corruption("dictionary: term prefix id");
+    }
+    uint64_t len = 0;
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("dictionary: term suffix");
+    }
+    dict.prefix_ids_.push_back(prefix_id);
+    dict.suffixes_.emplace_back(p, len);
+    p += len;
+    dict.term_map_.emplace(dict.GetCanonical(static_cast<TermId>(i + 1)),
+                           static_cast<TermId>(i + 1));
+  }
+
+  // Validate the clustered section.
+  if (p + num_terms * 4 > limit) {
+    return Status::Corruption("dictionary: truncated order section");
+  }
+  std::string prev;
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    TermId id = DecodeFixed32(p);
+    p += 4;
+    if (id == kInvalidId || id > num_terms) {
+      return Status::Corruption("dictionary: order id out of range");
+    }
+    std::string cur = dict.GetCanonical(id);
+    if (i > 0 && !(prev < cur)) {
+      return Status::Corruption("dictionary: order section not sorted");
+    }
+    prev = std::move(cur);
+  }
+  return dict;
+}
+
+uint64_t Dictionary::MemoryUsage() const {
+  uint64_t total = 0;
+  for (const auto& s : prefixes_) total += s.size() + sizeof(std::string);
+  for (const auto& s : suffixes_) total += s.size() + sizeof(std::string);
+  total += prefix_ids_.size() * sizeof(uint32_t);
+  // Hash maps: entry overhead estimate (key string + id + bucket pointer).
+  for (const auto& [k, v] : term_map_) {
+    (void)v;
+    total += k.size() + sizeof(std::string) + sizeof(TermId) + 16;
+  }
+  return total;
+}
+
+}  // namespace axon

@@ -1,0 +1,83 @@
+// Term dictionary (Sec. III.A): maps RDF terms to dense uint32 ids and back.
+//
+// IRIs are prefix-compressed: the namespace part (up to the last '/' or '#')
+// is stored once in a prefix table and each entry stores only (prefix id,
+// suffix). The serialized form keeps entries in id order plus a permutation
+// sorted by canonical string — the flat equivalent of the paper's clustered
+// B+-tree with ascending keys — so string→id lookups after a load are binary
+// searches.
+
+#ifndef AXON_RDF_DICTIONARY_H_
+#define AXON_RDF_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace axon {
+
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Returns the id for `term`, assigning the next free id if unseen.
+  /// Ids are dense and start at 1 (0 is reserved for "unbound").
+  TermId Intern(const Term& term);
+
+  /// Interns a term given directly in canonical form.
+  TermId InternCanonical(const std::string& canonical);
+
+  /// Id of `term` if present.
+  std::optional<TermId> Lookup(const Term& term) const;
+  std::optional<TermId> LookupCanonical(std::string_view canonical) const;
+
+  /// Canonical string of an id. Precondition: 1 <= id <= size().
+  std::string GetCanonical(TermId id) const;
+
+  /// Parsed term of an id.
+  Result<Term> GetTerm(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return suffixes_.size(); }
+
+  /// Number of distinct IRI prefixes in the compression table.
+  size_t num_prefixes() const { return prefixes_.size(); }
+
+  /// Serializes to `out` (appends).
+  Status Serialize(std::string* out) const;
+
+  /// Rebuilds a dictionary from a Serialize()d buffer.
+  static Result<Dictionary> Deserialize(std::string_view data);
+
+  /// Approximate in-memory footprint in bytes (for the Table III storage
+  /// accounting).
+  uint64_t MemoryUsage() const;
+
+ private:
+  // Splits a canonical string into (prefix, suffix) at the last '/' or '#'
+  // of an IRI; non-IRIs compress with the empty prefix (id 0).
+  static std::pair<std::string_view, std::string_view> SplitPrefix(
+      std::string_view canonical);
+
+  uint32_t InternPrefix(std::string_view prefix);
+
+  // prefixes_[0] is always the empty prefix.
+  std::vector<std::string> prefixes_;
+  std::unordered_map<std::string, uint32_t> prefix_map_;
+
+  // Entry i (id i+1): canonical = prefixes_[prefix_ids_[i]] + suffixes_[i].
+  std::vector<uint32_t> prefix_ids_;
+  std::vector<std::string> suffixes_;
+
+  std::unordered_map<std::string, TermId> term_map_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_RDF_DICTIONARY_H_

@@ -1,0 +1,160 @@
+#include "rdf/ntriples.h"
+
+#include "util/string_util.h"
+
+namespace axon {
+
+namespace {
+
+// Scans one term starting at s[pos]; advances pos past the term.
+Result<Term> ScanTerm(std::string_view s, size_t* pos) {
+  size_t i = *pos;
+  if (i >= s.size()) return Status::ParseError("expected term, found end");
+  char c = s[i];
+  if (c == '<') {
+    size_t end = s.find('>', i);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    *pos = end + 1;
+    return Term::Iri(std::string(s.substr(i + 1, end - i - 1)));
+  }
+  if (c == '_' && i + 1 < s.size() && s[i + 1] == ':') {
+    size_t end = i + 2;
+    while (end < s.size() && !std::isspace(static_cast<unsigned char>(s[end])) &&
+           s[end] != '.') {
+      ++end;
+    }
+    if (end == i + 2) return Status::ParseError("empty blank node label");
+    *pos = end;
+    return Term::Blank(std::string(s.substr(i + 2, end - i - 2)));
+  }
+  if (c == '"') {
+    size_t end = std::string_view::npos;
+    for (size_t j = i + 1; j < s.size(); ++j) {
+      if (s[j] == '\\') {
+        ++j;
+        continue;
+      }
+      if (s[j] == '"') {
+        end = j;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated literal");
+    }
+    std::string lexical = UnescapeNTriplesLiteral(s.substr(i + 1, end - i - 1));
+    size_t j = end + 1;
+    if (j < s.size() && s[j] == '@') {
+      size_t tag_end = j + 1;
+      while (tag_end < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[tag_end])) ||
+              s[tag_end] == '-')) {
+        ++tag_end;
+      }
+      if (tag_end == j + 1) return Status::ParseError("empty language tag");
+      *pos = tag_end;
+      return Term::Literal(std::move(lexical), "",
+                           std::string(s.substr(j + 1, tag_end - j - 1)));
+    }
+    if (j + 1 < s.size() && s[j] == '^' && s[j + 1] == '^') {
+      if (j + 2 >= s.size() || s[j + 2] != '<') {
+        return Status::ParseError("expected datatype IRI after ^^");
+      }
+      size_t dt_end = s.find('>', j + 2);
+      if (dt_end == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      *pos = dt_end + 1;
+      return Term::Literal(std::move(lexical),
+                           std::string(s.substr(j + 3, dt_end - j - 3)));
+    }
+    *pos = j;
+    return Term::Literal(std::move(lexical));
+  }
+  return Status::ParseError(std::string("unexpected character '") + c + "'");
+}
+
+void SkipSpace(std::string_view s, size_t* pos) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+}
+
+}  // namespace
+
+Result<TermTriple> ParseNTriplesLine(std::string_view line) {
+  size_t pos = 0;
+  SkipSpace(line, &pos);
+  auto s = ScanTerm(line, &pos);
+  if (!s.ok()) return s.status();
+  if (!s.value().is_iri() && !s.value().is_blank()) {
+    return Status::ParseError("subject must be IRI or blank node");
+  }
+  SkipSpace(line, &pos);
+  auto p = ScanTerm(line, &pos);
+  if (!p.ok()) return p.status();
+  if (!p.value().is_iri()) {
+    return Status::ParseError("predicate must be an IRI");
+  }
+  SkipSpace(line, &pos);
+  auto o = ScanTerm(line, &pos);
+  if (!o.ok()) return o.status();
+  SkipSpace(line, &pos);
+  if (pos < line.size() && line[pos] == '.') {
+    ++pos;
+    SkipSpace(line, &pos);
+  }
+  if (pos != line.size()) {
+    return Status::ParseError("trailing garbage after statement");
+  }
+  TermTriple t;
+  t.s = std::move(s).ValueOrDie();
+  t.p = std::move(p).ValueOrDie();
+  t.o = std::move(o).ValueOrDie();
+  return t;
+}
+
+Status ParseNTriples(std::string_view text,
+                     const std::function<void(TermTriple)>& sink) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_no;
+    std::string_view raw = text.substr(start, end - start);
+    start = end + 1;
+    std::string_view line = TrimView(raw);
+    if (line.empty() || line.front() == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    auto t = ParseNTriplesLine(line);
+    if (!t.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                t.status().message());
+    }
+    sink(std::move(t).ValueOrDie());
+    if (end == text.size()) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TermTriple>> ParseNTriplesToVector(std::string_view text) {
+  std::vector<TermTriple> out;
+  Status st = ParseNTriples(text, [&out](TermTriple t) {
+    out.push_back(std::move(t));
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+std::string WriteNTriplesLine(const TermTriple& t) {
+  return t.s.Canonical() + " " + t.p.Canonical() + " " + t.o.Canonical() +
+         " .\n";
+}
+
+}  // namespace axon

@@ -1,0 +1,48 @@
+// N-Triples parser and writer.
+//
+// N-Triples is the line-oriented RDF syntax every dataset in the paper's
+// evaluation ships in. The parser is strict about term syntax but tolerant
+// of surrounding whitespace and '#' comment lines, and reports
+// line-numbered errors.
+
+#ifndef AXON_RDF_NTRIPLES_H_
+#define AXON_RDF_NTRIPLES_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace axon {
+
+/// One parsed statement.
+struct TermTriple {
+  Term s;
+  Term p;
+  Term o;
+
+  bool operator==(const TermTriple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+/// Parses N-Triples text, invoking `sink` for every statement.
+/// Stops at the first syntax error and reports its 1-based line number.
+Status ParseNTriples(std::string_view text,
+                     const std::function<void(TermTriple)>& sink);
+
+/// Convenience: parse into a vector.
+Result<std::vector<TermTriple>> ParseNTriplesToVector(std::string_view text);
+
+/// Parses a single N-Triples statement (no trailing '.' required).
+Result<TermTriple> ParseNTriplesLine(std::string_view line);
+
+/// Serializes one statement as a canonical N-Triples line (with " .\n").
+std::string WriteNTriplesLine(const TermTriple& t);
+
+}  // namespace axon
+
+#endif  // AXON_RDF_NTRIPLES_H_

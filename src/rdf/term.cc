@@ -1,0 +1,68 @@
+#include "rdf/term.h"
+
+#include "util/string_util.h"
+
+namespace axon {
+
+std::string Term::Canonical() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + value + ">";
+    case TermKind::kBlank:
+      return "_:" + value;
+    case TermKind::kLiteral: {
+      std::string s = "\"" + EscapeNTriplesLiteral(value) + "\"";
+      if (!language.empty()) {
+        s += "@" + language;
+      } else if (!datatype.empty()) {
+        s += "^^<" + datatype + ">";
+      }
+      return s;
+    }
+  }
+  return "";
+}
+
+Result<Term> Term::FromCanonical(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty term");
+  if (s.front() == '<') {
+    if (s.back() != '>' || s.size() < 2) {
+      return Status::ParseError("unterminated IRI: " + std::string(s));
+    }
+    return Term::Iri(std::string(s.substr(1, s.size() - 2)));
+  }
+  if (s.size() >= 2 && s[0] == '_' && s[1] == ':') {
+    return Term::Blank(std::string(s.substr(2)));
+  }
+  if (s.front() == '"') {
+    // Find the closing quote, honoring backslash escapes.
+    size_t end = std::string_view::npos;
+    for (size_t i = 1; i < s.size(); ++i) {
+      if (s[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '"') {
+        end = i;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated literal: " + std::string(s));
+    }
+    std::string lexical = UnescapeNTriplesLiteral(s.substr(1, end - 1));
+    std::string_view rest = s.substr(end + 1);
+    if (rest.empty()) return Term::Literal(std::move(lexical));
+    if (rest.front() == '@') {
+      return Term::Literal(std::move(lexical), "", std::string(rest.substr(1)));
+    }
+    if (StartsWith(rest, "^^<") && rest.back() == '>') {
+      return Term::Literal(std::move(lexical),
+                           std::string(rest.substr(3, rest.size() - 4)));
+    }
+    return Status::ParseError("bad literal suffix: " + std::string(s));
+  }
+  return Status::ParseError("unrecognized term: " + std::string(s));
+}
+
+}  // namespace axon

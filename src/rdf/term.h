@@ -1,0 +1,76 @@
+// RDF term model (Sec. II of the paper): IRIs, blank nodes and literals.
+//
+// Terms exist at the system boundary only — the parser produces them and the
+// result renderer consumes them. Inside the engine every term is a dense
+// uint32 id assigned by the Dictionary; query processing never touches
+// strings.
+
+#ifndef AXON_RDF_TERM_H_
+#define AXON_RDF_TERM_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace axon {
+
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kBlank = 1,
+  kLiteral = 2,
+};
+
+/// A parsed RDF term. For literals, `datatype` holds the datatype IRI (may be
+/// empty = xsd:string) and `language` the BCP-47 tag (mutually exclusive with
+/// a datatype, as in Turtle).
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string value;     // IRI string, blank node label, or literal lexical form
+  std::string datatype;  // literals only
+  std::string language;  // literals only
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind = TermKind::kIri;
+    t.value = std::move(iri);
+    return t;
+  }
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind = TermKind::kBlank;
+    t.value = std::move(label);
+    return t;
+  }
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string language = "") {
+    Term t;
+    t.kind = TermKind::kLiteral;
+    t.value = std::move(lexical);
+    t.datatype = std::move(datatype);
+    t.language = std::move(language);
+    return t;
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+
+  /// N-Triples canonical form: `<iri>`, `_:label`, `"lex"`, `"lex"@en`,
+  /// `"lex"^^<dt>`. This string doubles as the dictionary key, so equality of
+  /// canonical forms defines term identity throughout the system.
+  std::string Canonical() const;
+
+  /// Inverse of Canonical(): parses a term from its canonical serialization.
+  static Result<Term> FromCanonical(std::string_view s);
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && value == other.value &&
+           datatype == other.datatype && language == other.language;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+};
+
+}  // namespace axon
+
+#endif  // AXON_RDF_TERM_H_

@@ -1,0 +1,58 @@
+// Id-encoded triples. During loading each triple is "a vector of size 4":
+// subject, predicate, object ids plus the characteristic-set id of its
+// subject (Sec. III.A) — exactly the layout Algorithm 1 operates on.
+
+#ifndef AXON_RDF_TRIPLE_H_
+#define AXON_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+namespace axon {
+
+/// Dense term id. Id 0 is reserved as "invalid / unbound".
+using TermId = uint32_t;
+constexpr TermId kInvalidId = 0;
+
+/// Characteristic-set id. kNoCs marks subjects whose CS has not been
+/// assigned yet, and objects with no outgoing edges ("empty CS").
+using CsId = uint32_t;
+constexpr CsId kNoCs = UINT32_MAX;
+
+/// Extended-characteristic-set id.
+using EcsId = uint32_t;
+constexpr EcsId kNoEcs = UINT32_MAX;
+
+struct Triple {
+  TermId s = kInvalidId;
+  TermId p = kInvalidId;
+  TermId o = kInvalidId;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  auto Key() const { return std::tuple(s, p, o); }
+};
+
+/// The loader's 4-wide row: triple ids plus the subject's CS id
+/// (column 4 of Algorithm 1's `triples` table).
+struct LoadTriple {
+  TermId s = kInvalidId;
+  TermId p = kInvalidId;
+  TermId o = kInvalidId;
+  CsId cs = kNoCs;
+
+  Triple triple() const { return Triple{s, p, o}; }
+
+  bool operator==(const LoadTriple& other) const {
+    return s == other.s && p == other.p && o == other.o && cs == other.cs;
+  }
+};
+
+using TripleVec = std::vector<Triple>;
+using LoadTripleVec = std::vector<LoadTriple>;
+
+}  // namespace axon
+
+#endif  // AXON_RDF_TRIPLE_H_

@@ -1,0 +1,58 @@
+#include "sparql/algebra.h"
+
+#include <algorithm>
+
+namespace axon {
+
+std::string PatternTerm::ToString() const {
+  return is_variable ? "?" + var : term.Canonical();
+}
+
+std::string TriplePattern::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+}
+
+std::vector<std::string> SelectQuery::Variables() const {
+  std::vector<std::string> out;
+  auto add = [&out](const PatternTerm& t) {
+    if (t.is_variable &&
+        std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  };
+  for (const TriplePattern& tp : patterns) {
+    add(tp.s);
+    add(tp.p);
+    add(tp.o);
+  }
+  return out;
+}
+
+std::vector<std::string> SelectQuery::EffectiveProjection() const {
+  return projection.empty() ? Variables() : projection;
+}
+
+std::string SelectQuery::ToString() const {
+  std::string s = "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  if (projection.empty()) {
+    s += "*";
+  } else {
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (i > 0) s += " ";
+      s += "?" + projection[i];
+    }
+  }
+  s += " WHERE {\n";
+  for (const TriplePattern& tp : patterns) {
+    s += "  " + tp.ToString() + "\n";
+  }
+  for (const EqualityFilter& f : filters) {
+    s += "  FILTER(?" + f.var + " = " + f.value.Canonical() + ")\n";
+  }
+  s += "}";
+  if (limit.has_value()) s += " LIMIT " + std::to_string(*limit);
+  return s;
+}
+
+}  // namespace axon

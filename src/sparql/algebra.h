@@ -1,0 +1,86 @@
+// Query algebra for the conjunctive SPARQL fragment axonDB supports
+// (Sec. V.A: "axonDB only supports conjunctive SPARQL queries with
+// equi-joins"): a basic graph pattern of triple patterns, simple equality
+// filters, optional DISTINCT/LIMIT.
+
+#ifndef AXON_SPARQL_ALGEBRA_H_
+#define AXON_SPARQL_ALGEBRA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace axon {
+
+/// A position in a triple pattern: either a variable or a bound RDF term.
+struct PatternTerm {
+  bool is_variable = false;
+  std::string var;  // variable name without the '?' sigil
+  Term term;        // bound term when !is_variable
+
+  static PatternTerm Variable(std::string name) {
+    PatternTerm t;
+    t.is_variable = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static PatternTerm Bound(Term term) {
+    PatternTerm t;
+    t.is_variable = false;
+    t.term = std::move(term);
+    return t;
+  }
+
+  bool operator==(const PatternTerm& other) const {
+    if (is_variable != other.is_variable) return false;
+    return is_variable ? var == other.var : term == other.term;
+  }
+
+  std::string ToString() const;
+};
+
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  bool operator==(const TriplePattern& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+
+  std::string ToString() const;
+};
+
+/// FILTER(?var = <term>) — the only filter form of the supported fragment.
+struct EqualityFilter {
+  std::string var;
+  Term value;
+
+  bool operator==(const EqualityFilter& other) const {
+    return var == other.var && value == other.value;
+  }
+};
+
+struct SelectQuery {
+  bool distinct = false;
+  /// Projected variable names; empty means SELECT *.
+  std::vector<std::string> projection;
+  std::vector<TriplePattern> patterns;
+  std::vector<EqualityFilter> filters;
+  std::optional<uint64_t> limit;
+
+  /// All distinct variable names, in first-appearance order across
+  /// patterns (S, P, O within each pattern).
+  std::vector<std::string> Variables() const;
+
+  /// The effective projection: `projection`, or Variables() for SELECT *.
+  std::vector<std::string> EffectiveProjection() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace axon
+
+#endif  // AXON_SPARQL_ALGEBRA_H_

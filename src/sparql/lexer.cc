@@ -1,0 +1,162 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "rdf/term.h"
+#include "util/string_util.h"
+
+namespace axon {
+
+namespace {
+
+bool IsKeywordWord(const std::string& upper) {
+  return upper == "SELECT" || upper == "WHERE" || upper == "PREFIX" ||
+         upper == "DISTINCT" || upper == "FILTER" || upper == "LIMIT" ||
+         upper == "ASK";
+}
+
+bool IsPnameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+Status LexError(size_t line, const std::string& msg) {
+  return Status::ParseError("line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> TokenizeSparql(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&tokens, &line](TokenKind kind, std::string value) {
+    tokens.push_back(Token{kind, std::move(value), line});
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '<') {
+      size_t end = text.find('>', i);
+      if (end == std::string_view::npos) {
+        return LexError(line, "unterminated IRI");
+      }
+      push(TokenKind::kIriRef, std::string(text.substr(i + 1, end - i - 1)));
+      i = end + 1;
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      size_t end = i + 1;
+      while (end < n && (std::isalnum(static_cast<unsigned char>(text[end])) ||
+                         text[end] == '_')) {
+        ++end;
+      }
+      if (end == i + 1) return LexError(line, "empty variable name");
+      push(TokenKind::kVariable, std::string(text.substr(i + 1, end - i - 1)));
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      // Scan the quoted part plus optional @lang / ^^<iri>; keep the whole
+      // canonical serialization as the token value so Term::FromCanonical
+      // parses it downstream.
+      size_t j = i + 1;
+      while (j < n) {
+        if (text[j] == '\\') {
+          j += 2;
+          continue;
+        }
+        if (text[j] == '"') break;
+        if (text[j] == '\n') return LexError(line, "newline in literal");
+        ++j;
+      }
+      if (j >= n) return LexError(line, "unterminated literal");
+      size_t end = j + 1;
+      if (end < n && text[end] == '@') {
+        ++end;
+        while (end < n && (std::isalnum(static_cast<unsigned char>(text[end])) ||
+                           text[end] == '-')) {
+          ++end;
+        }
+      } else if (end + 1 < n && text[end] == '^' && text[end + 1] == '^') {
+        end += 2;
+        if (end >= n || text[end] != '<') {
+          return LexError(line, "expected datatype IRI after ^^");
+        }
+        size_t close = text.find('>', end);
+        if (close == std::string_view::npos) {
+          return LexError(line, "unterminated datatype IRI");
+        }
+        end = close + 1;
+      }
+      push(TokenKind::kString, std::string(text.substr(i, end - i)));
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = i;
+      while (end < n && std::isdigit(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+      push(TokenKind::kInteger, std::string(text.substr(i, end - i)));
+      i = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      // Word: keyword, 'a', or prefixed name (possibly with empty prefix).
+      size_t end = i;
+      bool has_colon = false;
+      while (end < n && (IsPnameChar(text[end]) || text[end] == ':')) {
+        if (text[end] == ':') has_colon = true;
+        ++end;
+      }
+      std::string word(text.substr(i, end - i));
+      // Trailing '.' belongs to the statement terminator, not the name.
+      while (!word.empty() && word.back() == '.') {
+        word.pop_back();
+        --end;
+      }
+      if (word.empty()) return LexError(line, "stray '.'");
+      if (has_colon) {
+        push(TokenKind::kPname, word);
+      } else if (word == "a") {
+        push(TokenKind::kA, word);
+      } else {
+        std::string upper = word;
+        for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+        if (!IsKeywordWord(upper)) {
+          return LexError(line, "unexpected word '" + word + "'");
+        }
+        push(TokenKind::kKeyword, upper);
+      }
+      i = end;
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '.' || c == ';' || c == ',' || c == '(' ||
+        c == ')' || c == '=' || c == '*') {
+      push(TokenKind::kPunct, std::string(1, c));
+      ++i;
+      continue;
+    }
+    return LexError(line, std::string("unexpected character '") + c + "'");
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace axon

@@ -1,0 +1,45 @@
+// Tokenizer for the supported SPARQL fragment.
+
+#ifndef AXON_SPARQL_LEXER_H_
+#define AXON_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace axon {
+
+enum class TokenKind {
+  kKeyword,   // SELECT, WHERE, PREFIX, DISTINCT, FILTER, LIMIT (upper-cased)
+  kVariable,  // ?name / $name (value excludes the sigil)
+  kIriRef,    // <...> (value excludes the angle brackets)
+  kPname,     // prefix:local or prefix: (value is the raw text)
+  kA,         // the 'a' shorthand for rdf:type
+  kString,    // "..." with optional @lang / ^^<iri>, value = canonical form
+  kInteger,   // bare integer literal
+  kPunct,     // { } . ; , ( ) = *
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string value;
+  size_t line = 0;  // 1-based
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool IsPunct(char c) const {
+    return kind == TokenKind::kPunct && value.size() == 1 && value[0] == c;
+  }
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && value == kw;
+  }
+};
+
+/// Tokenizes `text`; the result always ends with a kEof token.
+Result<std::vector<Token>> TokenizeSparql(std::string_view text);
+
+}  // namespace axon
+
+#endif  // AXON_SPARQL_LEXER_H_

@@ -1,0 +1,229 @@
+#include "sparql/parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sparql/lexer.h"
+
+namespace axon {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Parse() {
+    AXON_RETURN_NOT_OK(ParsePrologue());
+    if (!Peek().IsKeyword("SELECT")) {
+      return Error("expected SELECT");
+    }
+    Advance();
+    SelectQuery q;
+    if (Peek().IsKeyword("DISTINCT")) {
+      q.distinct = true;
+      Advance();
+    }
+    if (Peek().IsPunct('*')) {
+      Advance();
+    } else {
+      while (Peek().Is(TokenKind::kVariable)) {
+        q.projection.push_back(Peek().value);
+        Advance();
+      }
+      if (q.projection.empty()) {
+        return Error("expected projection variables or *");
+      }
+    }
+    if (!Peek().IsKeyword("WHERE")) return Error("expected WHERE");
+    Advance();
+    if (!Peek().IsPunct('{')) return Error("expected '{'");
+    Advance();
+    AXON_RETURN_NOT_OK(ParseBlock(&q));
+    if (!Peek().IsPunct('}')) return Error("expected '}'");
+    Advance();
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (!Peek().Is(TokenKind::kInteger)) {
+        return Error("expected integer after LIMIT");
+      }
+      q.limit = std::stoull(Peek().value);
+      Advance();
+    }
+    if (!Peek().Is(TokenKind::kEof)) return Error("trailing tokens");
+    // Validate that projected variables occur in the pattern.
+    auto vars = q.Variables();
+    for (const std::string& v : q.projection) {
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        return Status::ParseError("projected variable ?" + v +
+                                  " not used in the pattern");
+      }
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
+                              msg + " (found '" + Peek().value + "')");
+  }
+
+  Status ParsePrologue() {
+    while (Peek().IsKeyword("PREFIX")) {
+      Advance();
+      if (!Peek().Is(TokenKind::kPname)) {
+        return Error("expected prefix name after PREFIX");
+      }
+      std::string pname = Peek().value;
+      if (pname.empty() || pname.back() != ':') {
+        return Error("prefix declaration must end with ':'");
+      }
+      Advance();
+      if (!Peek().Is(TokenKind::kIriRef)) {
+        return Error("expected IRI in prefix declaration");
+      }
+      prefixes_[pname.substr(0, pname.size() - 1)] = Peek().value;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<PatternTerm> ExpandPname(const std::string& pname, size_t line) {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("line " + std::to_string(line) +
+                                ": undeclared prefix '" + prefix + ":'");
+    }
+    return PatternTerm::Bound(Term::Iri(it->second + local));
+  }
+
+  Result<PatternTerm> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable: {
+        PatternTerm out = PatternTerm::Variable(t.value);
+        Advance();
+        return out;
+      }
+      case TokenKind::kIriRef: {
+        PatternTerm out = PatternTerm::Bound(Term::Iri(t.value));
+        Advance();
+        return out;
+      }
+      case TokenKind::kPname: {
+        auto out = ExpandPname(t.value, t.line);
+        if (out.ok()) Advance();
+        return out;
+      }
+      case TokenKind::kA: {
+        PatternTerm out = PatternTerm::Bound(Term::Iri(kRdfType));
+        Advance();
+        return out;
+      }
+      case TokenKind::kString: {
+        auto term = Term::FromCanonical(t.value);
+        if (!term.ok()) return term.status();
+        Advance();
+        return PatternTerm::Bound(std::move(term).ValueOrDie());
+      }
+      case TokenKind::kInteger: {
+        PatternTerm out = PatternTerm::Bound(Term::Literal(
+            t.value, "http://www.w3.org/2001/XMLSchema#integer"));
+        Advance();
+        return out;
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  Status ParseFilter(SelectQuery* q) {
+    Advance();  // FILTER
+    if (!Peek().IsPunct('(')) return Error("expected '(' after FILTER");
+    Advance();
+    if (!Peek().Is(TokenKind::kVariable)) {
+      return Error("FILTER supports only ?var = term");
+    }
+    std::string var = Peek().value;
+    Advance();
+    if (!Peek().IsPunct('=')) return Error("expected '=' in FILTER");
+    Advance();
+    auto value = ParseTerm();
+    if (!value.ok()) return value.status();
+    if (value.value().is_variable) {
+      return Error("FILTER right-hand side must be a constant");
+    }
+    if (!Peek().IsPunct(')')) return Error("expected ')' closing FILTER");
+    Advance();
+    q->filters.push_back(EqualityFilter{std::move(var), value.value().term});
+    return Status::OK();
+  }
+
+  Status ParseTriples(SelectQuery* q) {
+    auto subject = ParseTerm();
+    if (!subject.ok()) return subject.status();
+    while (true) {
+      auto predicate = ParseTerm();
+      if (!predicate.ok()) return predicate.status();
+      if (!predicate.value().is_variable && !predicate.value().term.is_iri()) {
+        return Error("predicate must be an IRI or variable");
+      }
+      while (true) {
+        auto object = ParseTerm();
+        if (!object.ok()) return object.status();
+        q->patterns.push_back(TriplePattern{
+            subject.value(), predicate.value(), object.value()});
+        if (Peek().IsPunct(',')) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().IsPunct(';')) {
+        Advance();
+        // Allow a dangling ';' before '.' or '}'.
+        if (Peek().IsPunct('.') || Peek().IsPunct('}')) break;
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsPunct('.')) Advance();
+    return Status::OK();
+  }
+
+  Status ParseBlock(SelectQuery* q) {
+    while (!Peek().IsPunct('}') && !Peek().Is(TokenKind::kEof)) {
+      if (Peek().IsKeyword("FILTER")) {
+        AXON_RETURN_NOT_OK(ParseFilter(q));
+      } else {
+        AXON_RETURN_NOT_OK(ParseTriples(q));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<SelectQuery> ParseSparql(std::string_view text) {
+  auto tokens = TokenizeSparql(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).ValueOrDie());
+  return parser.Parse();
+}
+
+}  // namespace axon

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the supported SPARQL fragment:
+//
+//   query     := prologue SELECT [DISTINCT] (var+ | '*') WHERE '{' block '}'
+//                [LIMIT int]
+//   prologue  := (PREFIX pname: <iri>)*
+//   block     := (triples | filter)*
+//   triples   := subject propertyList '.'
+//   propertyList := verb objectList (';' verb objectList)*
+//   objectList   := object (',' object)*
+//   filter    := FILTER '(' var '=' term ')'
+//
+// Prefixed names are expanded against the declared prefixes; the 'a'
+// keyword expands to rdf:type.
+
+#ifndef AXON_SPARQL_PARSER_H_
+#define AXON_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "sparql/algebra.h"
+#include "util/status.h"
+
+namespace axon {
+
+/// Parses a SELECT query in the supported fragment.
+Result<SelectQuery> ParseSparql(std::string_view text);
+
+}  // namespace axon
+
+#endif  // AXON_SPARQL_PARSER_H_

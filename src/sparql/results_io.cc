@@ -1,0 +1,147 @@
+#include "sparql/results_io.h"
+
+#include <cstdio>
+
+#include "rdf/term.h"
+
+namespace axon {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CsvEscape(std::string_view s) {
+  bool needs_quote = s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(s);
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+Result<std::string> WriteTsv(const BindingTable& table,
+                             const Dictionary& dict) {
+  std::string out;
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out += '\t';
+    out += "?" + table.vars()[c];
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += '\t';
+      out += dict.GetCanonical(table.at(r, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> WriteCsv(const BindingTable& table,
+                             const Dictionary& dict) {
+  std::string out;
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out += ',';
+    out += CsvEscape(table.vars()[c]);
+  }
+  out += "\r\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += ',';
+      AXON_ASSIGN_OR_RETURN(Term term, dict.GetTerm(table.at(r, c)));
+      out += CsvEscape(term.value);  // bare lexical form, per SPARQL CSV
+    }
+    out += "\r\n";
+  }
+  return out;
+}
+
+Result<std::string> WriteJson(const BindingTable& table,
+                              const Dictionary& dict) {
+  std::string out = "{\"head\":{\"vars\":[";
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out += ',';
+    out += "\"" + JsonEscape(table.vars()[c]) + "\"";
+  }
+  out += "]},\"results\":{\"bindings\":[";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += ',';
+      AXON_ASSIGN_OR_RETURN(Term term, dict.GetTerm(table.at(r, c)));
+      out += "\"" + JsonEscape(table.vars()[c]) + "\":{";
+      switch (term.kind) {
+        case TermKind::kIri:
+          out += "\"type\":\"uri\",\"value\":\"" + JsonEscape(term.value) +
+                 "\"";
+          break;
+        case TermKind::kBlank:
+          out += "\"type\":\"bnode\",\"value\":\"" + JsonEscape(term.value) +
+                 "\"";
+          break;
+        case TermKind::kLiteral:
+          out += "\"type\":\"literal\",\"value\":\"" +
+                 JsonEscape(term.value) + "\"";
+          if (!term.language.empty()) {
+            out += ",\"xml:lang\":\"" + JsonEscape(term.language) + "\"";
+          } else if (!term.datatype.empty()) {
+            out += ",\"datatype\":\"" + JsonEscape(term.datatype) + "\"";
+          }
+          break;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> WriteResults(const BindingTable& table,
+                                 const Dictionary& dict,
+                                 ResultFormat format) {
+  // Validate ids up front so all formats fail identically.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      TermId id = table.at(r, c);
+      if (id == kInvalidId || id > dict.size()) {
+        return Status::InvalidArgument("binding holds an invalid term id");
+      }
+    }
+  }
+  switch (format) {
+    case ResultFormat::kTsv: return WriteTsv(table, dict);
+    case ResultFormat::kCsv: return WriteCsv(table, dict);
+    case ResultFormat::kJson: return WriteJson(table, dict);
+  }
+  return Status::InvalidArgument("unknown result format");
+}
+
+}  // namespace axon

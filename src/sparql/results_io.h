@@ -1,0 +1,34 @@
+// Query-result serialization: renders a BindingTable (through a
+// Dictionary) in the interchange formats downstream tools expect —
+// SPARQL-style TSV/CSV and the W3C "SPARQL 1.1 Query Results JSON" layout.
+
+#ifndef AXON_SPARQL_RESULTS_IO_H_
+#define AXON_SPARQL_RESULTS_IO_H_
+
+#include <string>
+
+#include "exec/bindings.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace axon {
+
+enum class ResultFormat {
+  kTsv,   // header "?a\t?b", terms in N-Triples syntax (SPARQL TSV)
+  kCsv,   // header "a,b", bare lexical forms, RFC-4180 quoting
+  kJson,  // W3C SPARQL 1.1 Results JSON
+};
+
+/// Serializes `table` in the requested format. Fails on dangling term ids.
+Result<std::string> WriteResults(const BindingTable& table,
+                                 const Dictionary& dict, ResultFormat format);
+
+/// Escapes a string for a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+/// Escapes one CSV field per RFC 4180 (quotes the field when needed).
+std::string CsvEscape(std::string_view s);
+
+}  // namespace axon
+
+#endif  // AXON_SPARQL_RESULTS_IO_H_

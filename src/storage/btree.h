@@ -1,0 +1,276 @@
+// In-memory B+-tree with bulk loading, point lookup, ordered range scans and
+// flat serialization.
+//
+// The paper builds its CS index and ECS index "as a B+-tree on top of" the
+// SPO/PSO tables (Secs. III.B, III.C): keys are CS/ECS ids, values are the
+// [start,end) row ranges in the corresponding table. This template serves
+// both indexes plus any ordered id→payload map the engine needs. Keys and
+// values must be trivially copyable; serialization dumps the entries in key
+// order and deserialization bulk-loads, which reproduces an optimally packed
+// tree.
+
+#ifndef AXON_STORAGE_BTREE_H_
+#define AXON_STORAGE_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+#include "util/varint.h"
+
+namespace axon {
+
+template <typename K, typename V, int kFanout = 64>
+class BPlusTree {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "B+-tree keys must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<V>,
+                "B+-tree values must be trivially copyable");
+  static_assert(kFanout >= 4, "fanout too small");
+
+ public:
+  BPlusTree() = default;
+
+  /// Inserts or overwrites `key`.
+  void Insert(const K& key, const V& value) {
+    if (root_ == nullptr) {
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.push_back(key);
+      leaf->values.push_back(value);
+      root_ = std::move(leaf);
+      size_ = 1;
+      return;
+    }
+    K up_key;
+    std::unique_ptr<Node> sibling = InsertRec(root_.get(), key, value, &up_key);
+    if (sibling != nullptr) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(up_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      root_ = std::move(new_root);
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr. Valid until next mutation.
+  const V* Find(const K& key) const {
+    const Node* n = root_.get();
+    if (n == nullptr) return nullptr;
+    while (!n->leaf) {
+      size_t i = std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+                 n->keys.begin();
+      n = n->children[i].get();
+    }
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    if (it == n->keys.end() || key < *it) return nullptr;
+    return &n->values[it - n->keys.begin()];
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Invokes fn(key, value) for every entry with lo <= key <= hi, in order.
+  template <typename Fn>
+  void ScanRange(const K& lo, const K& hi, Fn&& fn) const {
+    const Node* n = root_.get();
+    if (n == nullptr) return;
+    while (!n->leaf) {
+      size_t i = std::upper_bound(n->keys.begin(), n->keys.end(), lo) -
+                 n->keys.begin();
+      n = n->children[i].get();
+    }
+    size_t i = std::lower_bound(n->keys.begin(), n->keys.end(), lo) -
+               n->keys.begin();
+    while (n != nullptr) {
+      for (; i < n->keys.size(); ++i) {
+        if (hi < n->keys[i]) return;
+        fn(n->keys[i], n->values[i]);
+      }
+      n = n->next;
+      i = 0;
+    }
+  }
+
+  /// Invokes fn(key, value) for every entry, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const Node* n = LeftmostLeaf();
+    while (n != nullptr) {
+      for (size_t i = 0; i < n->keys.size(); ++i) fn(n->keys[i], n->values[i]);
+      n = n->next;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (0 when empty, 1 for a single leaf).
+  int Height() const {
+    int h = 0;
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      ++h;
+      n = n->leaf ? nullptr : n->children[0].get();
+    }
+    return h;
+  }
+
+  /// Builds an optimally packed tree from entries sorted by strictly
+  /// ascending key.
+  static BPlusTree BulkLoad(const std::vector<std::pair<K, V>>& sorted) {
+    BPlusTree t;
+    if (sorted.empty()) return t;
+    assert(std::is_sorted(sorted.begin(), sorted.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          }));
+    // Build leaves.
+    std::vector<std::unique_ptr<Node>> level;
+    std::vector<K> level_min;
+    constexpr size_t kLeafFill = kFanout - 1;
+    for (size_t i = 0; i < sorted.size(); i += kLeafFill) {
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      size_t end = std::min(i + kLeafFill, sorted.size());
+      for (size_t j = i; j < end; ++j) {
+        leaf->keys.push_back(sorted[j].first);
+        leaf->values.push_back(sorted[j].second);
+      }
+      level_min.push_back(leaf->keys.front());
+      level.push_back(std::move(leaf));
+    }
+    for (size_t i = 0; i + 1 < level.size(); ++i) {
+      level[i]->next = level[i + 1].get();
+    }
+    // Build internal levels until a single root remains.
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> parents;
+      std::vector<K> parents_min;
+      for (size_t i = 0; i < level.size(); i += kFanout) {
+        auto parent = std::make_unique<Node>(/*leaf=*/false);
+        size_t end = std::min(i + static_cast<size_t>(kFanout), level.size());
+        parents_min.push_back(level_min[i]);
+        for (size_t j = i; j < end; ++j) {
+          if (j > i) parent->keys.push_back(level_min[j]);
+          parent->children.push_back(std::move(level[j]));
+        }
+        parents.push_back(std::move(parent));
+      }
+      level = std::move(parents);
+      level_min = std::move(parents_min);
+    }
+    t.root_ = std::move(level.front());
+    t.size_ = sorted.size();
+    return t;
+  }
+
+  /// Appends all (key, value) pairs in key order to `out` with a small
+  /// header. Readers reconstruct with Deserialize.
+  void SerializeTo(std::string* out) const {
+    PutVarint64(out, size_);
+    ForEach([out](const K& k, const V& v) {
+      out->append(reinterpret_cast<const char*>(&k), sizeof(K));
+      out->append(reinterpret_cast<const char*>(&v), sizeof(V));
+    });
+  }
+
+  /// Reads a SerializeTo()d tree. Advances *pos past the consumed bytes.
+  static Result<BPlusTree> Deserialize(std::string_view data, size_t* pos) {
+    const char* p = data.data() + *pos;
+    const char* limit = data.data() + data.size();
+    uint64_t n = 0;
+    p = GetVarint64(p, limit, &n);
+    if (p == nullptr) return Status::Corruption("btree: entry count");
+    const size_t entry_size = sizeof(K) + sizeof(V);
+    if (p + n * entry_size > limit) {
+      return Status::Corruption("btree: truncated entries");
+    }
+    std::vector<std::pair<K, V>> entries;
+    entries.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      K k;
+      V v;
+      std::memcpy(&k, p, sizeof(K));
+      std::memcpy(&v, p + sizeof(K), sizeof(V));
+      p += entry_size;
+      entries.emplace_back(k, v);
+    }
+    *pos = p - data.data();
+    return BulkLoad(entries);
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<K> keys;
+    std::vector<V> values;                        // leaves only
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  const Node* LeftmostLeaf() const {
+    const Node* n = root_.get();
+    if (n == nullptr) return nullptr;
+    while (!n->leaf) n = n->children[0].get();
+    return n;
+  }
+
+  // Returns a new right sibling if `node` split; *up_key is the separator.
+  std::unique_ptr<Node> InsertRec(Node* node, const K& key, const V& value,
+                                  K* up_key) {
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      size_t i = it - node->keys.begin();
+      if (it != node->keys.end() && !(key < *it)) {
+        node->values[i] = value;  // overwrite
+        return nullptr;
+      }
+      node->keys.insert(it, key);
+      node->values.insert(node->values.begin() + i, value);
+      ++size_;
+      if (node->keys.size() < kFanout) return nullptr;
+      // Split leaf.
+      auto right = std::make_unique<Node>(/*leaf=*/true);
+      size_t mid = node->keys.size() / 2;
+      right->keys.assign(node->keys.begin() + mid, node->keys.end());
+      right->values.assign(node->values.begin() + mid, node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      *up_key = right->keys.front();
+      return right;
+    }
+    size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+               node->keys.begin();
+    K child_up;
+    std::unique_ptr<Node> sibling =
+        InsertRec(node->children[i].get(), key, value, &child_up);
+    if (sibling == nullptr) return nullptr;
+    node->keys.insert(node->keys.begin() + i, child_up);
+    node->children.insert(node->children.begin() + i + 1, std::move(sibling));
+    if (node->children.size() <= kFanout) return nullptr;
+    // Split internal node.
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    size_t mid = node->keys.size() / 2;
+    *up_key = node->keys[mid];
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    for (size_t j = mid + 1; j < node->children.size(); ++j) {
+      right->children.push_back(std::move(node->children[j]));
+    }
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    return right;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace axon
+
+#endif  // AXON_STORAGE_BTREE_H_

@@ -1,0 +1,133 @@
+#include "storage/db_file.h"
+
+#include "util/hash.h"
+#include "util/varint.h"
+
+namespace axon {
+
+namespace {
+constexpr char kMagic[] = "AXDB0001";
+constexpr size_t kMagicLen = 8;
+constexpr char kFooterMagic[] = "AXDBTOC1";
+constexpr size_t kFooterLen = 16;  // fixed64 toc_offset + footer magic
+}  // namespace
+
+Status DbFileWriter::Open(const std::string& path) {
+  AXON_RETURN_NOT_OK(writer_.Open(path));
+  return writer_.Append(kMagic, kMagicLen);
+}
+
+Status DbFileWriter::AddSection(const std::string& name,
+                                std::string_view payload) {
+  for (const auto& s : sections_) {
+    if (s.name == name) {
+      return Status::AlreadyExists("duplicate section: " + name);
+    }
+  }
+  // Pad to an 8-byte boundary so fixed-width payloads (e.g. raw triple
+  // tables) can be used zero-copy from a memory mapping.
+  while (writer_.offset() % 8 != 0) {
+    AXON_RETURN_NOT_OK(writer_.Append("\0", 1));
+  }
+  SectionEntry e;
+  e.name = name;
+  e.offset = writer_.offset();
+  e.size = payload.size();
+  e.hash = HashBytes(payload.data(), payload.size());
+  AXON_RETURN_NOT_OK(writer_.Append(payload));
+  sections_.push_back(std::move(e));
+  return Status::OK();
+}
+
+Status DbFileWriter::Finish() {
+  uint64_t toc_offset = writer_.offset();
+  std::string toc;
+  PutVarint64(&toc, sections_.size());
+  for (const auto& s : sections_) {
+    PutVarint64(&toc, s.name.size());
+    toc.append(s.name);
+    PutFixed64(&toc, s.offset);
+    PutFixed64(&toc, s.size);
+    PutFixed64(&toc, s.hash);
+  }
+  AXON_RETURN_NOT_OK(writer_.Append(toc));
+  AXON_RETURN_NOT_OK(writer_.AppendFixed64(toc_offset));
+  AXON_RETURN_NOT_OK(writer_.Append(kFooterMagic, kMagicLen));
+  return writer_.Close();
+}
+
+Status DbFileReader::Open(const std::string& path) {
+  AXON_RETURN_NOT_OK(file_.Open(path));
+  if (file_.size() < kMagicLen + kFooterLen) {
+    return Status::Corruption("db file too small: " + path);
+  }
+  if (file_.view().substr(0, kMagicLen) !=
+      std::string_view(kMagic, kMagicLen)) {
+    return Status::Corruption("db file: bad magic");
+  }
+  const char* end = file_.data() + file_.size();
+  if (std::string_view(end - kMagicLen, kMagicLen) !=
+      std::string_view(kFooterMagic, kMagicLen)) {
+    return Status::Corruption("db file: bad footer magic");
+  }
+  uint64_t toc_offset = DecodeFixed64(end - kFooterLen);
+  if (toc_offset >= file_.size() - kFooterLen) {
+    return Status::Corruption("db file: bad TOC offset");
+  }
+  const char* p = file_.data() + toc_offset;
+  const char* limit = end - kFooterLen;
+  uint64_t count = 0;
+  p = GetVarint64(p, limit, &count);
+  if (p == nullptr) return Status::Corruption("db file: TOC count");
+  sections_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    p = GetVarint64(p, limit, &name_len);
+    if (p == nullptr || p + name_len + 24 > limit) {
+      return Status::Corruption("db file: TOC entry");
+    }
+    SectionEntry e;
+    e.name.assign(p, name_len);
+    p += name_len;
+    e.offset = DecodeFixed64(p);
+    e.size = DecodeFixed64(p + 8);
+    uint64_t expected_hash = DecodeFixed64(p + 16);
+    p += 24;
+    if (e.offset + e.size > toc_offset) {
+      return Status::Corruption("db file: section out of bounds: " + e.name);
+    }
+    uint64_t actual = HashBytes(file_.data() + e.offset, e.size);
+    if (actual != expected_hash) {
+      return Status::Corruption("db file: checksum mismatch in section " +
+                                e.name);
+    }
+    sections_.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+Result<std::string_view> DbFileReader::GetSection(
+    const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) {
+      return std::string_view(file_.data() + s.offset, s.size);
+    }
+  }
+  return Status::NotFound("db file: no section named " + name);
+}
+
+bool DbFileReader::HasSection(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> DbFileReader::SectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& s : sections_) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace axon

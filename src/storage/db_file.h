@@ -1,0 +1,78 @@
+// Single-binary-file database container.
+//
+// The paper notes axonDB "writes all data in a single binary file, similar
+// to RDF-3x and Virtuoso" (Sec. V.A). This module implements that container:
+// named sections laid out back-to-back with a checksummed table of contents
+// at the tail. Readers memory-map the file and hand out zero-copy
+// string_views per section.
+
+#ifndef AXON_STORAGE_DB_FILE_H_
+#define AXON_STORAGE_DB_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace axon {
+
+/// Streams sections into a database file. Usage:
+///   DbFileWriter w;  w.Open(path);
+///   w.AddSection("dict", payload); ...; w.Finish();
+class DbFileWriter {
+ public:
+  Status Open(const std::string& path);
+
+  /// Appends one named section (payload start 8-byte aligned within the
+  /// file, so fixed-width payloads can be mapped zero-copy). Names must be
+  /// unique.
+  Status AddSection(const std::string& name, std::string_view payload);
+
+  /// Writes the table of contents and footer, closes the file.
+  Status Finish();
+
+  /// Bytes written so far (payloads only, before Finish()).
+  uint64_t bytes_written() const { return writer_.offset(); }
+
+ private:
+  struct SectionEntry {
+    std::string name;
+    uint64_t offset;
+    uint64_t size;
+    uint64_t hash;
+  };
+
+  FileWriter writer_;
+  std::vector<SectionEntry> sections_;
+};
+
+/// Memory-maps a database file and resolves sections by name.
+class DbFileReader {
+ public:
+  /// Maps the file and validates magic, TOC and per-section checksums.
+  Status Open(const std::string& path);
+
+  /// Zero-copy view of a section's payload. The view stays valid for the
+  /// lifetime of this reader.
+  Result<std::string_view> GetSection(const std::string& name) const;
+
+  bool HasSection(const std::string& name) const;
+  std::vector<std::string> SectionNames() const;
+  uint64_t file_size() const { return file_.size(); }
+
+ private:
+  struct SectionEntry {
+    std::string name;
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  MmapFile file_;
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_STORAGE_DB_FILE_H_

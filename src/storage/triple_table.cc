@@ -1,0 +1,131 @@
+#include "storage/triple_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/varint.h"
+
+namespace axon {
+
+const char* PermutationName(Permutation p) {
+  switch (p) {
+    case Permutation::kSpo: return "SPO";
+    case Permutation::kSop: return "SOP";
+    case Permutation::kPso: return "PSO";
+    case Permutation::kPos: return "POS";
+    case Permutation::kOsp: return "OSP";
+    case Permutation::kOps: return "OPS";
+  }
+  return "?";
+}
+
+std::array<TermId, 3> PermutationKey(Permutation perm, const Triple& t) {
+  switch (perm) {
+    case Permutation::kSpo: return {t.s, t.p, t.o};
+    case Permutation::kSop: return {t.s, t.o, t.p};
+    case Permutation::kPso: return {t.p, t.s, t.o};
+    case Permutation::kPos: return {t.p, t.o, t.s};
+    case Permutation::kOsp: return {t.o, t.s, t.p};
+    case Permutation::kOps: return {t.o, t.p, t.s};
+  }
+  return {t.s, t.p, t.o};
+}
+
+void TripleTable::Sort(Permutation perm) {
+  assert(!borrowed_ && "cannot sort a borrowed (mapped) table");
+  std::sort(rows_.begin(), rows_.end(),
+            [perm](const Triple& a, const Triple& b) {
+              return PermutationKey(perm, a) < PermutationKey(perm, b);
+            });
+}
+
+void TripleTable::Dedup() {
+  assert(!borrowed_ && "cannot dedup a borrowed (mapped) table");
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+RowRange TripleTable::EqualRange(Permutation perm, TermId major, TermId mid,
+                                 TermId minor) const {
+  std::span<const Triple> all = rows();
+  // Build lower/upper probe keys: bound components fixed, unbound components
+  // span [0, UINT32_MAX].
+  std::array<TermId, 3> lo_key = {major, mid == kInvalidId ? 0 : mid,
+                                  minor == kInvalidId ? 0 : minor};
+  std::array<TermId, 3> hi_key = {major,
+                                  mid == kInvalidId ? UINT32_MAX : mid,
+                                  minor == kInvalidId ? UINT32_MAX : minor};
+  auto cmp = [perm](const Triple& t, const std::array<TermId, 3>& key) {
+    return PermutationKey(perm, t) < key;
+  };
+  auto cmp2 = [perm](const std::array<TermId, 3>& key, const Triple& t) {
+    return key < PermutationKey(perm, t);
+  };
+  auto lo = std::lower_bound(all.begin(), all.end(), lo_key, cmp);
+  auto hi = std::upper_bound(lo, all.end(), hi_key, cmp2);
+  return RowRange{static_cast<uint64_t>(lo - all.begin()),
+                  static_cast<uint64_t>(hi - all.begin())};
+}
+
+void TripleTable::SerializeTo(std::string* out) const {
+  std::span<const Triple> all = rows();
+  PutVarint64(out, all.size());
+  static_assert(sizeof(Triple) == 12, "Triple must be 3 packed u32");
+  out->append(reinterpret_cast<const char*>(all.data()),
+              all.size() * sizeof(Triple));
+}
+
+void TripleTable::SerializeRaw(std::string* out) const {
+  std::span<const Triple> all = rows();
+  out->append(reinterpret_cast<const char*>(all.data()),
+              all.size() * sizeof(Triple));
+}
+
+Result<TripleTable> TripleTable::FromRaw(std::string_view bytes) {
+  if (bytes.size() % sizeof(Triple) != 0) {
+    return Status::Corruption("triple table: raw image size not a multiple "
+                              "of the row size");
+  }
+  size_t n = bytes.size() / sizeof(Triple);
+  TripleTable t;
+  if (reinterpret_cast<uintptr_t>(bytes.data()) % alignof(Triple) == 0) {
+    t.borrowed_ = true;
+    t.view_ = std::span<const Triple>(
+        reinterpret_cast<const Triple*>(bytes.data()), n);
+  } else {
+    // Misaligned mapping (should not happen with aligned sections, but a
+    // foreign file might): fall back to an owned copy.
+    t.rows_.resize(n);
+    std::memcpy(t.rows_.data(), bytes.data(), bytes.size());
+  }
+  return t;
+}
+
+Result<TripleTable> TripleTable::FromRawOwned(std::string_view bytes) {
+  if (bytes.size() % sizeof(Triple) != 0) {
+    return Status::Corruption("triple table: raw image size not a multiple "
+                              "of the row size");
+  }
+  TripleTable t;
+  t.rows_.resize(bytes.size() / sizeof(Triple));
+  std::memcpy(t.rows_.data(), bytes.data(), bytes.size());
+  return t;
+}
+
+Result<TripleTable> TripleTable::Deserialize(std::string_view data,
+                                             size_t* pos) {
+  const char* p = data.data() + *pos;
+  const char* limit = data.data() + data.size();
+  uint64_t n = 0;
+  p = GetVarint64(p, limit, &n);
+  if (p == nullptr) return Status::Corruption("triple table: row count");
+  if (p + n * sizeof(Triple) > limit) {
+    return Status::Corruption("triple table: truncated rows");
+  }
+  TripleTable t;
+  t.rows_.resize(n);
+  std::memcpy(t.rows_.data(), p, n * sizeof(Triple));
+  *pos = (p + n * sizeof(Triple)) - data.data();
+  return t;
+}
+
+}  // namespace axon

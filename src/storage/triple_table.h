@@ -1,0 +1,131 @@
+// Triple tables: contiguous arrays of id triples with permutation sorting,
+// binary-searched prefix ranges, and raw binary persistence.
+//
+// axonDB itself keeps two tables (SPO partitioned by CS, PSO partitioned by
+// ECS — Secs. III.B/III.C). The baseline engines reuse the same container
+// for their own permutations (all six for the RDF-3x analogue), so storage
+// accounting across engines is apples-to-apples.
+
+#ifndef AXON_STORAGE_TRIPLE_TABLE_H_
+#define AXON_STORAGE_TRIPLE_TABLE_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace axon {
+
+/// A triple component ordering. The name lists the sort key from major to
+/// minor, e.g. kPso sorts by (P, S, O).
+enum class Permutation : uint8_t {
+  kSpo = 0,
+  kSop,
+  kPso,
+  kPos,
+  kOsp,
+  kOps,
+};
+
+/// All six permutations, in enum order (used by the six-permutation engine).
+inline constexpr std::array<Permutation, 6> kAllPermutations = {
+    Permutation::kSpo, Permutation::kSop, Permutation::kPso,
+    Permutation::kPos, Permutation::kOsp, Permutation::kOps};
+
+const char* PermutationName(Permutation p);
+
+/// Reorders (s, p, o) into the permutation's (major, mid, minor) key.
+std::array<TermId, 3> PermutationKey(Permutation perm, const Triple& t);
+
+/// A half-open row range [begin, end) in a table.
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool operator==(const RowRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// An append-then-sort table of triples.
+///
+/// Storage is either *owned* (a vector, mutable) or *borrowed* (a span over
+/// externally owned memory — typically a memory-mapped database file, the
+/// paper's Sec. III.A layout). Borrowed tables are read-only: mutating
+/// calls assert in debug builds and are undefined otherwise.
+class TripleTable {
+ public:
+  TripleTable() = default;
+
+  void Append(const Triple& t) {
+    assert(!borrowed_ && "cannot mutate a borrowed (mapped) table");
+    rows_.push_back(t);
+  }
+  void Append(TermId s, TermId p, TermId o) { Append(Triple{s, p, o}); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  size_t size() const { return borrowed_ ? view_.size() : rows_.size(); }
+  bool empty() const { return size() == 0; }
+  const Triple& row(size_t i) const { return rows()[i]; }
+  std::span<const Triple> rows() const {
+    return borrowed_ ? view_ : std::span<const Triple>(rows_);
+  }
+  std::span<const Triple> slice(const RowRange& r) const {
+    return rows().subspan(r.begin, r.size());
+  }
+
+  /// True when the rows live in externally owned (mapped) memory.
+  bool borrowed() const { return borrowed_; }
+
+  /// Sorts all rows by the given permutation (stable order on full triple).
+  void Sort(Permutation perm);
+
+  /// Removes exact duplicate rows. Table must be sorted first.
+  void Dedup();
+
+  /// Binary-searches the prefix range of rows matching the bound components
+  /// of the permutation's key. Pass kInvalidId for unbound components; bound
+  /// components must form a prefix of the key (e.g. for kPso: p, or p+s, or
+  /// p+s+o). Precondition: table sorted by `perm`.
+  RowRange EqualRange(Permutation perm, TermId major,
+                      TermId mid = kInvalidId,
+                      TermId minor = kInvalidId) const;
+
+  /// Raw on-disk size in bytes (rows only).
+  uint64_t ByteSize() const { return size() * sizeof(Triple); }
+
+  /// Appends the rows as little-endian u32 array to `out`.
+  void SerializeTo(std::string* out) const;
+
+  /// Reads a SerializeTo()d table; advances *pos. Copies the rows.
+  static Result<TripleTable> Deserialize(std::string_view data, size_t* pos);
+
+  /// Raw row image (no header): exactly size()*sizeof(Triple) bytes.
+  /// Written into its own (aligned) db-file section for mapped opens.
+  void SerializeRaw(std::string* out) const;
+
+  /// Wraps a raw row image without copying when `bytes.data()` is suitably
+  /// aligned (falls back to a copy otherwise). The caller must keep the
+  /// underlying buffer alive for the table's lifetime.
+  static Result<TripleTable> FromRaw(std::string_view bytes);
+
+  /// Copies a raw row image into an owned table (no lifetime coupling).
+  static Result<TripleTable> FromRawOwned(std::string_view bytes);
+
+ private:
+  std::vector<Triple> rows_;
+  std::span<const Triple> view_;
+  bool borrowed_ = false;
+};
+
+}  // namespace axon
+
+#endif  // AXON_STORAGE_TRIPLE_TABLE_H_

@@ -1,0 +1,148 @@
+#include "util/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace axon {
+
+namespace {
+constexpr uint32_t kWordBits = 64;
+
+inline uint32_t WordsFor(uint32_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+Bitmap::Bitmap(uint32_t num_bits)
+    : num_bits_(num_bits), words_(WordsFor(num_bits), 0) {}
+
+void Bitmap::Set(uint32_t i) {
+  if (i >= num_bits_) {
+    num_bits_ = i + 1;
+    words_.resize(WordsFor(num_bits_), 0);
+  }
+  words_[i / kWordBits] |= (uint64_t{1} << (i % kWordBits));
+}
+
+void Bitmap::Clear(uint32_t i) {
+  if (i >= num_bits_) return;
+  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+}
+
+bool Bitmap::Test(uint32_t i) const {
+  if (i >= num_bits_) return false;
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+uint32_t Bitmap::Count() const {
+  uint32_t c = 0;
+  for (uint64_t w : words_) c += static_cast<uint32_t>(std::popcount(w));
+  return c;
+}
+
+bool Bitmap::IsSubsetOf(const Bitmap& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ow) != words_[i]) return false;
+  }
+  return true;
+}
+
+bool Bitmap::Intersects(const Bitmap& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+Bitmap Bitmap::And(const Bitmap& other) const {
+  Bitmap out(std::min(num_bits_, other.num_bits_));
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+Bitmap Bitmap::Or(const Bitmap& other) const {
+  Bitmap out(std::max(num_bits_, other.num_bits_));
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = a | b;
+  }
+  return out;
+}
+
+std::vector<uint32_t> Bitmap::ToIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w) {
+      uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+      out.push_back(static_cast<uint32_t>(wi) * kWordBits + bit);
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+Bitmap Bitmap::FromIndices(const std::vector<uint32_t>& indices,
+                           uint32_t num_bits) {
+  Bitmap b(num_bits);
+  for (uint32_t i : indices) b.Set(i);
+  return b;
+}
+
+void Bitmap::Normalize() {
+  // Zero any bits at positions >= num_bits_ in the last word.
+  uint32_t rem = num_bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+uint64_t Bitmap::Hash() const {
+  // Hash only up to the highest set word so that trailing-zero growth does
+  // not change the hash: {1,3} hashes the same regardless of capacity.
+  size_t n = words_.size();
+  while (n > 0 && words_[n - 1] == 0) --n;
+  uint64_t h = 0x42d5ad5fULL;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, words_[i]);
+  return h;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  size_t n = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::string Bitmap::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (uint32_t i : ToIndices()) {
+    if (!first) s += ",";
+    first = false;
+    s += std::to_string(i);
+  }
+  s += "}";
+  return s;
+}
+
+Bitmap Bitmap::FromWords(std::vector<uint64_t> words, uint32_t num_bits) {
+  Bitmap b;
+  b.num_bits_ = num_bits;
+  b.words_ = std::move(words);
+  b.words_.resize(WordsFor(num_bits), 0);
+  b.Normalize();
+  return b;
+}
+
+}  // namespace axon

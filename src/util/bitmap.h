@@ -1,0 +1,80 @@
+// Dynamic property bitmap.
+//
+// Characteristic sets are represented as bitmaps over the dataset's property
+// ids (Sec. III.B of the paper): bit i is set iff property i is emitted by
+// the subject. All query-to-data matching reduces to the subset test
+// `a AND b == a`, which this class implements with word-wise operations.
+
+#ifndef AXON_UTIL_BITMAP_H_
+#define AXON_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axon {
+
+/// A fixed-capacity-after-construction bitset sized to the number of distinct
+/// properties in a dataset (Table II shows this is small: 18..80 in
+/// practice, so a bitmap is a few machine words).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// Creates an all-zero bitmap able to hold bits [0, num_bits).
+  explicit Bitmap(uint32_t num_bits);
+
+  uint32_t num_bits() const { return num_bits_; }
+
+  /// Sets bit `i`; grows the bitmap if `i >= num_bits()`.
+  void Set(uint32_t i);
+  void Clear(uint32_t i);
+  bool Test(uint32_t i) const;
+
+  /// Number of set bits.
+  uint32_t Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  /// True iff every bit set in *this is also set in `other`
+  /// (i.e. `*this AND other == *this`).
+  bool IsSubsetOf(const Bitmap& other) const;
+
+  /// True iff the two bitmaps share at least one set bit.
+  bool Intersects(const Bitmap& other) const;
+
+  Bitmap And(const Bitmap& other) const;
+  Bitmap Or(const Bitmap& other) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint32_t> ToIndices() const;
+
+  /// Builds a bitmap with the given bit indices set.
+  static Bitmap FromIndices(const std::vector<uint32_t>& indices,
+                            uint32_t num_bits = 0);
+
+  /// Deterministic content hash (used to dedupe characteristic sets during
+  /// extraction: Algorithm 1 hashes the aggregated property bitmap).
+  uint64_t Hash() const;
+
+  bool operator==(const Bitmap& other) const;
+  bool operator!=(const Bitmap& other) const { return !(*this == other); }
+
+  /// "{0,3,7}" — for logs and test failure messages.
+  std::string ToString() const;
+
+  /// Raw words, little-endian bit order within a word (for serialization).
+  const std::vector<uint64_t>& words() const { return words_; }
+  /// Rebuilds from serialized words.
+  static Bitmap FromWords(std::vector<uint64_t> words, uint32_t num_bits);
+
+ private:
+  // Drops set bits beyond num_bits_ would be a bug; words beyond the last
+  // meaningful bit are kept zero so Hash()/operator== stay canonical.
+  void Normalize();
+
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_BITMAP_H_

@@ -1,0 +1,50 @@
+// Hashing primitives shared across the engine (dictionaries, CS hashing,
+// join tables). We use FNV-1a for byte strings and a splittable 64-bit mix
+// for integer keys; both are deterministic across runs so that on-disk
+// structures hashed at load time can be re-validated later.
+
+#ifndef AXON_UTIL_HASH_H_
+#define AXON_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace axon {
+
+/// FNV-1a 64-bit hash of a byte range.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Finalizer from SplitMix64; a strong 64->64 bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes (boost::hash_combine style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash of a pair of 32-bit ids (used for (subjectCS, objectCS) keys).
+inline uint64_t HashIdPair(uint32_t a, uint32_t b) {
+  return Mix64((static_cast<uint64_t>(a) << 32) | b);
+}
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_HASH_H_

@@ -1,0 +1,140 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/varint.h"
+
+namespace axon {
+
+namespace {
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+}  // namespace
+
+MmapFile::~MmapFile() { Close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+Status MmapFile::Open(const std::string& path) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat", path);
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    data_ = nullptr;
+    mapped_ = false;
+    return Status::OK();
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    size_ = 0;
+    return ErrnoStatus("mmap", path);
+  }
+  data_ = static_cast<const char*>(p);
+  mapped_ = true;
+  return Status::OK();
+}
+
+void MmapFile::Close() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status FileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::Internal("FileWriter already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return ErrnoStatus("fopen", path);
+  offset_ = 0;
+  return Status::OK();
+}
+
+Status FileWriter::Append(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("FileWriter not open");
+  if (n == 0) return Status::OK();
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("fwrite failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  offset_ += n;
+  return Status::OK();
+}
+
+Status FileWriter::AppendFixed32(uint32_t v) {
+  std::string buf;
+  PutFixed32(&buf, v);
+  return Append(buf);
+}
+
+Status FileWriter::AppendFixed64(uint64_t v) {
+  std::string buf;
+  PutFixed64(&buf, v);
+  return Append(buf);
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = Status::OK();
+  if (std::fflush(file_) != 0) st = Status::IOError("fflush failed");
+  if (std::fclose(file_) != 0 && st.ok()) st = Status::IOError("fclose failed");
+  file_ = nullptr;
+  return st;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  MmapFile f;
+  AXON_RETURN_NOT_OK(f.Open(path));
+  out->assign(f.data(), f.size());
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  FileWriter w;
+  AXON_RETURN_NOT_OK(w.Open(path));
+  AXON_RETURN_NOT_OK(w.Append(data));
+  return w.Close();
+}
+
+}  // namespace axon

@@ -1,0 +1,82 @@
+// File I/O primitives: a read-only memory-mapped view and a buffered
+// sequential writer. The paper's loader keeps its triple vectors "off-heap,
+// backed by a memory mapped file" (Sec. III.A); we use the same mechanism to
+// read the persisted SPO/PSO tables without copying them into RAM.
+
+#ifndef AXON_UTIL_MMAP_FILE_H_
+#define AXON_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace axon {
+
+/// Read-only memory map of a whole file. Movable, not copyable.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. A zero-length file maps successfully with
+  /// data() == nullptr and size() == 0.
+  Status Open(const std::string& path);
+  void Close();
+
+  bool is_open() const { return data_ != nullptr || size_ == 0; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+/// Buffered sequential file writer with fixed/varint helpers.
+class FileWriter {
+ public:
+  FileWriter() = default;
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Creates/truncates `path` for writing.
+  Status Open(const std::string& path);
+
+  Status Append(const void* data, size_t n);
+  Status Append(std::string_view s) { return Append(s.data(), s.size()); }
+  Status AppendFixed32(uint32_t v);
+  Status AppendFixed64(uint64_t v);
+
+  /// Bytes appended so far (== file offset of the next Append).
+  uint64_t offset() const { return offset_; }
+
+  /// Flushes and closes; returns the first error encountered.
+  Status Close();
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t offset_ = 0;
+};
+
+/// Reads a whole file into `out`. Convenience for small metadata sections.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `data` to `path`, truncating.
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_MMAP_FILE_H_

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random generator for the data generators.
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — critically
+// for reproducible experiments — identical streams for identical seeds on
+// every platform (unlike std::mt19937 + distribution objects, whose
+// libstdc++/libc++ outputs differ).
+
+#ifndef AXON_UTIL_RANDOM_H_
+#define AXON_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace axon {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 to fill the state from one seed word.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed pick in [0, n): low indices are much more likely.
+  /// Used to give generated datasets the heavy-tailed degree distributions
+  /// of real RDF graphs.
+  uint64_t Skewed(uint64_t n, double exponent = 1.0) {
+    if (n <= 1) return 0;
+    // Inverse-CDF approximation of a bounded Pareto.
+    double u = NextDouble();
+    double x = (exponent == 1.0)
+                   ? (static_cast<double>(n) - 1.0) * u * u
+                   : (static_cast<double>(n) - 1.0) * u * u * exponent / 2.0;
+    uint64_t v = static_cast<uint64_t>(x);
+    return v >= n ? n - 1 : v;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_RANDOM_H_

@@ -1,0 +1,175 @@
+// Status / Result error model for axondb.
+//
+// Public APIs never throw; fallible operations return a Status (or a
+// Result<T> which is Status + value). This follows the common database-engine
+// idiom (RocksDB, Arrow): errors carry a machine-checkable code plus a
+// human-readable message, and are cheap to propagate.
+
+#ifndef AXON_UTIL_STATUS_H_
+#define AXON_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace axon {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kParseError,
+  kUnsupported,
+  kOutOfRange,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+/// Returns a short stable name for a StatusCode ("OK", "InvalidArgument"...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Outcome of a fallible operation: a code and, when not OK, a message.
+///
+/// Statuses are value types; copying is cheap for the OK case (no message
+/// allocation). Use the static factories: `Status::OK()`,
+/// `Status::InvalidArgument("...")`, etc.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Modeled after arrow::Result.
+///
+/// Access the value only after checking `ok()`; `ValueOrDie()` asserts in
+/// debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
+  Result(Status status) : value_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(value_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+
+  /// Moves the value out of the Result.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define AXON_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::axon::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Assigns a Result's value to `lhs` or propagates its error status.
+#define AXON_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto AXON_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!AXON_CONCAT_(_res_, __LINE__).ok())         \
+    return AXON_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(AXON_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define AXON_CONCAT_IMPL_(a, b) a##b
+#define AXON_CONCAT_(a, b) AXON_CONCAT_IMPL_(a, b)
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Small string helpers used by the parsers and the bench harness.
+
+#ifndef AXON_UTIL_STRING_UTIL_H_
+#define AXON_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace axon {
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitView(std::string_view s, char sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Human-friendly byte size: "1.23 MB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Fixed-precision double: FormatDouble(0.01234, 4) == "0.0123".
+std::string FormatDouble(double v, int precision);
+
+/// Escapes a string for N-Triples literal output (backslash, quote, LF, CR,
+/// TAB).
+std::string EscapeNTriplesLiteral(std::string_view s);
+/// Reverses EscapeNTriplesLiteral; invalid escapes are passed through.
+std::string UnescapeNTriplesLiteral(std::string_view s);
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_STRING_UTIL_H_

@@ -1,0 +1,82 @@
+// LEB128-style variable-length integer coding, used by the dictionary and
+// the database file format to keep offset tables compact.
+
+#ifndef AXON_UTIL_VARINT_H_
+#define AXON_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace axon {
+
+/// Appends a varint encoding of `v` (1..10 bytes) to `out`.
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutVarint32(std::string* out, uint32_t v) {
+  PutVarint64(out, v);
+}
+
+/// Decodes a varint starting at `p`; returns the first byte past the varint,
+/// or nullptr if the encoding runs past `limit` or overflows 64 bits.
+inline const char* GetVarint64(const char* p, const char* limit,
+                               uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+inline const char* GetVarint32(const char* p, const char* limit,
+                               uint32_t* value) {
+  uint64_t v64 = 0;
+  const char* q = GetVarint64(p, limit, &v64);
+  if (q == nullptr || v64 > UINT32_MAX) return nullptr;
+  *value = static_cast<uint32_t>(v64);
+  return q;
+}
+
+/// Appends a 32-bit little-endian fixed-width integer.
+inline void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* out, uint64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(v & 0xffffffff));
+  PutFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  return static_cast<uint64_t>(DecodeFixed32(p)) |
+         (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+}
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_VARINT_H_

@@ -1,0 +1,469 @@
+#include "workloads/workloads.h"
+
+#include <cassert>
+
+namespace axon {
+
+namespace {
+
+constexpr char kUbPrefix[] =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+
+constexpr char kBpPrefix[] =
+    "PREFIX bp: <http://www.biopax.org/release/biopax-level3.owl#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+
+constexpr char kGeoPrefix[] =
+    "PREFIX geo: <http://www.geonames.org/ontology#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+
+std::string Ub(const std::string& body) { return kUbPrefix + body; }
+std::string Bp(const std::string& body) { return kBpPrefix + body; }
+std::string Geo(const std::string& body) { return kGeoPrefix + body; }
+
+}  // namespace
+
+const WorkloadQuery& Workload::Get(const std::string& query_name) const {
+  for (const WorkloadQuery& q : queries) {
+    if (q.name == query_name) return q;
+  }
+  assert(false && "unknown workload query");
+  return queries.front();
+}
+
+const Workload& LubmOriginalWorkload() {
+  static const Workload w = {
+      "lubm-original",
+      {
+          // LUBM Q2: graduate students with a triangle over their
+          // department's university and their undergraduate degree.
+          {"Q2", Ub(R"(SELECT ?x ?y ?z WHERE {
+             ?x rdf:type ub:GraduateStudent .
+             ?y rdf:type ub:University .
+             ?z rdf:type ub:Department .
+             ?x ub:memberOf ?z .
+             ?z ub:subOrganizationOf ?y .
+             ?x ub:undergraduateDegreeFrom ?y })"),
+           true},
+          // LUBM Q4: the descriptive star of professors of one department.
+          {"Q4", Ub(R"(SELECT ?x ?y1 ?y2 ?y3 WHERE {
+             ?x ub:worksFor <http://www.Department0.University0.edu> .
+             ?x rdf:type ub:FullProfessor .
+             ?x ub:name ?y1 .
+             ?x ub:emailAddress ?y2 .
+             ?x ub:telephone ?y3 })"),
+           true},
+          // LUBM Q7: students taking courses of a given professor.
+          {"Q7", Ub(R"(SELECT ?x ?y WHERE {
+             ?x rdf:type ub:UndergraduateStudent .
+             ?y rdf:type ub:Course .
+             ?x ub:takesCourse ?y .
+             <http://www.Department0.University0.edu/FullProfessor0>
+               ub:teacherOf ?y })"),
+           true},
+          // LUBM Q8: students of departments of one university, with email.
+          {"Q8", Ub(R"(SELECT ?x ?y ?z WHERE {
+             ?x rdf:type ub:UndergraduateStudent .
+             ?y rdf:type ub:Department .
+             ?x ub:memberOf ?y .
+             ?y ub:subOrganizationOf <http://www.University0.edu> .
+             ?x ub:emailAddress ?z })"),
+           true},
+          // LUBM Q9: the classic student/faculty/course triangle.
+          {"Q9", Ub(R"(SELECT ?x ?y ?z WHERE {
+             ?x rdf:type ub:GraduateStudent .
+             ?y rdf:type ub:FullProfessor .
+             ?z rdf:type ub:GraduateCourse .
+             ?x ub:advisor ?y .
+             ?y ub:teacherOf ?z .
+             ?x ub:takesCourse ?z })"),
+           false},
+          // LUBM Q12: department heads of one university (chain + star).
+          {"Q12", Ub(R"(SELECT ?x ?y WHERE {
+             ?x rdf:type ub:FullProfessor .
+             ?y rdf:type ub:Department .
+             ?x ub:headOf ?y .
+             ?y ub:subOrganizationOf <http://www.University0.edu> })"),
+           true},
+      }};
+  return w;
+}
+
+
+const Workload& LubmFullWorkload() {
+  static const Workload w = {
+      "lubm-full",
+      {
+          // LUBM Q1: takers of one specific graduate course.
+          {"Q1", Ub(R"(SELECT ?x WHERE {
+             ?x rdf:type ub:GraduateStudent .
+             ?x ub:takesCourse
+               <http://www.Department0.University0.edu/GraduateCourse0> })"),
+           true},
+          // LUBM Q2: the student/department/university triangle.
+          {"Q2", LubmOriginalWorkload().Get("Q2").sparql, true},
+          // LUBM Q3: publications of one professor.
+          {"Q3", Ub(R"(SELECT ?x WHERE {
+             ?x rdf:type ub:Publication .
+             ?x ub:publicationAuthor
+               <http://www.Department0.University0.edu/FullProfessor0> })"),
+           true},
+          // LUBM Q4: professor star in one department.
+          {"Q4", LubmOriginalWorkload().Get("Q4").sparql, true},
+          // LUBM Q5: members of one department (closure: Person).
+          {"Q5", Ub(R"(SELECT ?x WHERE {
+             ?x rdf:type ub:Person .
+             ?x ub:memberOf <http://www.Department0.University0.edu> })"),
+           true},
+          // LUBM Q6: all students (pure closure scan).
+          {"Q6", Ub(R"(SELECT ?x WHERE { ?x rdf:type ub:Student })"), false},
+          // LUBM Q7: students taking a course of one professor.
+          {"Q7", LubmOriginalWorkload().Get("Q7").sparql, true},
+          // LUBM Q8: students of one university's departments, with email.
+          {"Q8", LubmOriginalWorkload().Get("Q8").sparql, true},
+          // LUBM Q9: the student/faculty/course triangle.
+          {"Q9", LubmOriginalWorkload().Get("Q9").sparql, false},
+          // LUBM Q10: takers of one graduate course (closure: Student).
+          {"Q10", Ub(R"(SELECT ?x WHERE {
+             ?x rdf:type ub:Student .
+             ?x ub:takesCourse
+               <http://www.Department0.University0.edu/GraduateCourse1> })"),
+           true},
+          // LUBM Q11: research groups of one university (chain through the
+          // department instead of the transitive subOrganizationOf).
+          {"Q11", Ub(R"(SELECT ?x WHERE {
+             ?x rdf:type ub:ResearchGroup .
+             ?x ub:subOrganizationOf ?d .
+             ?d ub:subOrganizationOf <http://www.University0.edu> })"),
+           true},
+          // LUBM Q12: department heads of one university.
+          {"Q12", LubmOriginalWorkload().Get("Q12").sparql, true},
+          // LUBM Q13: alumni of one university.
+          {"Q13", Ub(R"(SELECT ?x WHERE {
+             <http://www.University0.edu> ub:hasAlumnus ?x })"),
+           true},
+          // LUBM Q14: all undergraduates (full type scan).
+          {"Q14", Ub(R"(SELECT ?x WHERE {
+             ?x rdf:type ub:UndergraduateStudent })"),
+           false},
+      }};
+  return w;
+}
+
+const Workload& LubmModifiedWorkload() {
+  static const Workload w = {
+      "lubm-modified",
+      {
+          // Q1 (from LUBM 2): the triangle with all type bounds removed and
+          // the stars extended — department and student described by their
+          // properties, not their classes.
+          {"Q1", Ub(R"(SELECT ?x ?z ?y WHERE {
+             ?x ub:memberOf ?z .
+             ?x ub:undergraduateDegreeFrom ?y .
+             ?x ub:emailAddress ?e .
+             ?z ub:subOrganizationOf ?y .
+             ?z ub:name ?zn })"),
+           true},
+          // Q2 (from LUBM 12): heads of departments, unbound university,
+          // extended star on the head.
+          {"Q2", Ub(R"(SELECT ?x ?y ?u WHERE {
+             ?x ub:headOf ?y .
+             ?x ub:name ?n .
+             ?x ub:emailAddress ?e .
+             ?x ub:researchInterest ?r .
+             ?y ub:subOrganizationOf ?u .
+             ?y ub:name ?yn .
+             ?u ub:name ?un })"),
+           true},
+          // Q3 (from LUBM 3): provably empty — no subject both heads a
+          // department and takes a course, so no CS (hence no ECS chain)
+          // matches and the preprocessor answers without any joins.
+          {"Q3", Ub(R"(SELECT ?x ?d ?c WHERE {
+             ?x ub:headOf ?d .
+             ?x ub:takesCourse ?c .
+             ?d ub:name ?dn .
+             ?c ub:name ?cn })"),
+           true},
+          // Q4 (from LUBM 4): selective bound-department star-chain; the
+          // permuted indexes of the competitors shine here (paper: axonDB
+          // is outmatched on Q4/Q5).
+          {"Q4", Ub(R"(SELECT ?x ?n ?e WHERE {
+             ?x ub:worksFor <http://www.Department0.University0.edu> .
+             ?x ub:name ?n .
+             ?x ub:emailAddress ?e .
+             ?x ub:telephone ?t .
+             ?x ub:undergraduateDegreeFrom ?u .
+             ?u ub:name ?un })"),
+           true},
+          // Q5: selective single-chain query with a bound course.
+          {"Q5", Ub(R"(SELECT ?x ?y WHERE {
+             ?x ub:takesCourse <http://www.Department0.University0.edu/Course0> .
+             ?x ub:memberOf ?y .
+             ?x ub:name ?n .
+             ?y ub:subOrganizationOf ?u .
+             ?y ub:name ?yn })"),
+           true},
+          // Q6: advisor chain, two ECSs, moderately selective.
+          {"Q6", Ub(R"(SELECT ?x ?a ?d WHERE {
+             ?x ub:advisor ?a .
+             ?x ub:emailAddress ?e .
+             ?a ub:worksFor ?d .
+             ?a ub:researchInterest ?r .
+             ?d ub:name ?dn })"),
+           true},
+          // Q7: 3-ECS chain student -> advisor -> department -> university
+          // with stars at every node; all nodes unbound.
+          {"Q7", Ub(R"(SELECT ?x ?a ?d ?u WHERE {
+             ?x ub:advisor ?a .
+             ?x ub:name ?xn .
+             ?x ub:emailAddress ?xe .
+             ?a ub:worksFor ?d .
+             ?a ub:name ?an .
+             ?a ub:telephone ?at .
+             ?d ub:subOrganizationOf ?u .
+             ?d ub:name ?dn .
+             ?u ub:name ?un })"),
+           true},
+          // Q8: multi-chain-star — the advisor chain of Q7 plus the
+          // teaching chain branching at the advisor.
+          {"Q8", Ub(R"(SELECT ?x ?a ?c ?d WHERE {
+             ?x ub:advisor ?a .
+             ?x ub:takesCourse ?c .
+             ?x ub:name ?xn .
+             ?a ub:teacherOf ?c .
+             ?a ub:name ?an .
+             ?a ub:worksFor ?d .
+             ?d ub:name ?dn .
+             ?c ub:name ?cn })"),
+           true},
+          // Q9: the Table I motivating query — a long unbound chain
+          // publication -> author -> department -> university with a branch
+          // to degrees and stars throughout (11 patterns).
+          {"Q9", Ub(R"(SELECT ?p ?a ?d ?u ?u2 WHERE {
+             ?p ub:publicationAuthor ?a .
+             ?p ub:name ?pn .
+             ?a ub:worksFor ?d .
+             ?a ub:name ?an .
+             ?a ub:emailAddress ?ae .
+             ?a ub:doctoralDegreeFrom ?u2 .
+             ?d ub:subOrganizationOf ?u .
+             ?d ub:name ?dn .
+             ?u ub:name ?un .
+             ?u2 ub:name ?u2n .
+             ?u2 ub:hasAlumnus ?a })"),
+           false},
+          // Q10: course-centric multi-chain: students and teachers meeting
+          // at a course, departments on both sides.
+          {"Q10", Ub(R"(SELECT ?s ?c ?f ?d WHERE {
+             ?s ub:takesCourse ?c .
+             ?s ub:memberOf ?d .
+             ?s ub:name ?sn .
+             ?f ub:teacherOf ?c .
+             ?f ub:worksFor ?d .
+             ?f ub:name ?fn .
+             ?c ub:name ?cn .
+             ?d ub:name ?dn })"),
+           false},
+          // Q11: 4-ECS chain with stars — student, advisor, department,
+          // university, plus alumni back-edge (13 patterns).
+          {"Q11", Ub(R"(SELECT ?x ?a ?d ?u WHERE {
+             ?x ub:advisor ?a .
+             ?x ub:name ?xn .
+             ?x ub:memberOf ?d .
+             ?a ub:worksFor ?d .
+             ?a ub:name ?an .
+             ?a ub:undergraduateDegreeFrom ?u .
+             ?d ub:subOrganizationOf ?u .
+             ?d ub:name ?dn .
+             ?u ub:hasAlumnus ?x2 .
+             ?x2 ub:memberOf ?d2 .
+             ?u ub:name ?un .
+             ?d2 ub:name ?d2n .
+             ?x2 ub:name ?x2n })"),
+           false},
+          // Q12: the widest unbound multi-chain-star (14 patterns): the
+          // publication chain of Q9 joined with the teaching chain of Q10.
+          {"Q12", Ub(R"(SELECT ?p ?a ?c ?s ?d ?u WHERE {
+             ?p ub:publicationAuthor ?a .
+             ?p ub:name ?pn .
+             ?a ub:teacherOf ?c .
+             ?a ub:name ?an .
+             ?a ub:worksFor ?d .
+             ?a ub:researchInterest ?ar .
+             ?s ub:takesCourse ?c .
+             ?s ub:name ?sn .
+             ?s ub:memberOf ?d .
+             ?c ub:name ?cn .
+             ?d ub:subOrganizationOf ?u .
+             ?d ub:name ?dn .
+             ?u ub:name ?un .
+             ?u ub:hasAlumnus ?a })"),
+           false},
+      }};
+  return w;
+}
+
+const Workload& ReactomeWorkload() {
+  static const Workload w = {
+      "reactome",
+      {
+          // Q1: one chain, 3 query ECSs equivalent depth: pathway ->
+          // reaction -> entity, descriptive stars, bound organism filter.
+          {"Q1", Bp(R"(SELECT ?pw ?r ?e WHERE {
+             ?pw bp:pathwayComponent ?r .
+             ?pw bp:organism "Homo sapiens" .
+             ?pw bp:displayName ?pn .
+             ?r bp:left ?e .
+             ?r bp:displayName ?rn .
+             ?e bp:displayName ?en })"),
+           true},
+          // Q2: reaction precedence chain (2 ECSs) with stars.
+          {"Q2", Bp(R"(SELECT ?r1 ?r2 ?e WHERE {
+             ?r1 bp:precedingEvent ?r2 .
+             ?r1 bp:displayName ?n1 .
+             ?r2 bp:left ?e .
+             ?r2 bp:displayName ?n2 .
+             ?e bp:displayName ?en })"),
+           true},
+          // Q3: entity reference chain: reaction -> entity -> reference ->
+          // xref (3 ECSs), all unbound.
+          {"Q3", Bp(R"(SELECT ?r ?e ?ref ?x WHERE {
+             ?r bp:left ?e .
+             ?r bp:displayName ?rn .
+             ?e bp:entityReference ?ref .
+             ?e bp:displayName ?en .
+             ?ref bp:xref ?x .
+             ?ref bp:displayName ?refn .
+             ?x bp:id ?xid })"),
+           true},
+          // Q4: catalysis branch joined with the reaction's pathway.
+          {"Q4", Bp(R"(SELECT ?cat ?ctrl ?r ?pw WHERE {
+             ?cat bp:controller ?ctrl .
+             ?cat bp:controlled ?r .
+             ?cat bp:controlType ?ct .
+             ?ctrl bp:displayName ?cn .
+             ?r bp:displayName ?rn .
+             ?pw bp:pathwayComponent ?r .
+             ?pw bp:displayName ?pn })"),
+           true},
+          // Q5: pathway containment chain (pathway -> subpathway ->
+          // reaction), long path, all unbound.
+          {"Q5", Bp(R"(SELECT ?p1 ?p2 ?r WHERE {
+             ?p1 bp:pathwayComponent ?p2 .
+             ?p1 bp:displayName ?n1 .
+             ?p1 bp:organism ?o1 .
+             ?p2 bp:pathwayComponent ?r .
+             ?p2 bp:organism ?o2 .
+             ?r bp:precedingEvent ?rp .
+             ?r bp:displayName ?rn .
+             ?rp bp:displayName ?rpn })"),
+           false},
+          // Q6: two chains meeting at an entity: reaction inputs that are
+          // complexes with components carrying references.
+          {"Q6", Bp(R"(SELECT ?r ?e ?comp ?ref WHERE {
+             ?r bp:left ?e .
+             ?r bp:displayName ?rn .
+             ?e bp:component ?comp .
+             ?e bp:displayName ?en .
+             ?comp bp:entityReference ?ref .
+             ?comp bp:displayName ?compn .
+             ?ref bp:displayName ?refn })"),
+           false},
+          // Q7: three chains around a reaction: precedence, catalysis and
+          // entity reference (multi-chain-star).
+          {"Q7", Bp(R"(SELECT ?r1 ?r2 ?ctrl ?e ?ref WHERE {
+             ?r1 bp:precedingEvent ?r2 .
+             ?r1 bp:displayName ?n1 .
+             ?r1 bp:left ?e .
+             ?cat bp:controlled ?r1 .
+             ?cat bp:controller ?ctrl .
+             ?ctrl bp:displayName ?cn .
+             ?r2 bp:displayName ?n2 .
+             ?e bp:entityReference ?ref .
+             ?e bp:displayName ?en .
+             ?ref bp:displayName ?refn })"),
+           false},
+          // Q8: the Table I motivating query — the longest multi-chain-star:
+          // pathway containment + precedence + reference chains, 12
+          // patterns, every node unbound.
+          {"Q8", Bp(R"(SELECT ?p1 ?p2 ?r1 ?r2 ?e ?ref WHERE {
+             ?p1 bp:pathwayComponent ?p2 .
+             ?p1 bp:displayName ?pn1 .
+             ?p2 bp:pathwayComponent ?r1 .
+             ?p2 bp:displayName ?pn2 .
+             ?r1 bp:precedingEvent ?r2 .
+             ?r1 bp:displayName ?rn1 .
+             ?r2 bp:left ?e .
+             ?r2 bp:displayName ?rn2 .
+             ?e bp:entityReference ?ref .
+             ?e bp:displayName ?en .
+             ?ref bp:displayName ?refn .
+             ?e bp:cellularLocation ?loc })"),
+           false},
+      }};
+  return w;
+}
+
+const Workload& GeonamesWorkload() {
+  static const Workload w = {
+      "geonames",
+      {
+          // Q1: single parent chain with name stars.
+          {"Q1", Geo(R"(SELECT ?f ?p WHERE {
+             ?f geo:parentFeature ?p .
+             ?f geo:name ?fn .
+             ?p geo:name ?pn .
+             ?p geo:featureClass ?pc })"),
+           true},
+          // Q2: two-hop administrative chain.
+          {"Q2", Geo(R"(SELECT ?f ?p ?g WHERE {
+             ?f geo:parentFeature ?p .
+             ?f geo:name ?fn .
+             ?p geo:parentFeature ?g .
+             ?p geo:name ?pn .
+             ?g geo:name ?gn })"),
+           true},
+          // Q3: chain + population star (rarer CS: only some features carry
+          // population).
+          {"Q3", Geo(R"(SELECT ?f ?p WHERE {
+             ?f geo:parentFeature ?p .
+             ?f geo:population ?pop .
+             ?f geo:name ?fn .
+             ?p geo:name ?pn .
+             ?p geo:countryCode ?cc })"),
+           true},
+          // Q4: neighbour lateral chain joined with the parent chain.
+          {"Q4", Geo(R"(SELECT ?f ?n ?p WHERE {
+             ?f geo:neighbour ?n .
+             ?f geo:name ?fn .
+             ?n geo:parentFeature ?p .
+             ?n geo:name ?nn .
+             ?p geo:name ?pn })"),
+           false},
+          // Q5: three-hop chain, all unbound, wide stars.
+          {"Q5", Geo(R"(SELECT ?f ?p ?g ?c WHERE {
+             ?f geo:parentFeature ?p .
+             ?f geo:name ?fn .
+             ?f geo:featureClass ?fc .
+             ?p geo:parentFeature ?g .
+             ?p geo:name ?pn .
+             ?g geo:parentFeature ?c .
+             ?g geo:name ?gn .
+             ?c geo:name ?cn })"),
+           false},
+          // Q6: multi-chain: nearby + parent chains meeting at a feature
+          // with a wikipedia annotation.
+          {"Q6", Geo(R"(SELECT ?a ?b ?p WHERE {
+             ?a geo:nearby ?b .
+             ?a geo:name ?an .
+             ?b geo:parentFeature ?p .
+             ?b geo:wikipediaArticle ?w .
+             ?b geo:name ?bn .
+             ?p geo:name ?pn })"),
+           false},
+      }};
+  return w;
+}
+
+}  // namespace axon

@@ -1,0 +1,169 @@
+// Tests for the three baseline engines and the shared greedy BGP evaluator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/partial_index_engine.h"
+#include "baselines/sixperm_engine.h"
+#include "baselines/vp_engine.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+using testutil::Fig1Dataset;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = Fig1Dataset();
+    sixperm_ = SixPermEngine::Build(data_);
+    partial_ = PartialIndexEngine::Build(data_);
+    vp_ = VpEngine::Build(data_);
+  }
+
+  QueryResult Run(const QueryEngine& e, const std::string& sparql) {
+    auto q = ParseSparql(sparql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto r = e.Execute(q.value());
+    EXPECT_TRUE(r.ok()) << e.name() << ": " << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  Dataset data_;
+  SixPermEngine sixperm_;
+  PartialIndexEngine partial_;
+  VpEngine vp_;
+};
+
+TEST_F(BaselinesTest, AllEnginesAnswerTheFig1Query) {
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    QueryResult r = Run(*e, testutil::Fig1Query());
+    EXPECT_EQ(r.table.num_rows(), 3u) << e->name();
+  }
+}
+
+TEST_F(BaselinesTest, PermutationChoiceUsesBoundPrefix) {
+  IdPattern p;
+  p.s = 1;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(p), Permutation::kSpo);
+  p.o = 2;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(p), Permutation::kSop);
+  p.p = 3;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(p), Permutation::kSpo);
+  IdPattern q;
+  q.p = 1;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(q), Permutation::kPso);
+  q.o = 2;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(q), Permutation::kPos);
+  IdPattern r;
+  r.o = 1;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(r), Permutation::kOsp);
+  IdPattern none;
+  EXPECT_EQ(SixPermEngine::ChoosePermutation(none), Permutation::kSpo);
+}
+
+TEST_F(BaselinesTest, StorageAccountingReflectsReplication) {
+  // Six permutations store 6x the triples; the partial-index engine 3x;
+  // vertical partitioning 2x.
+  uint64_t one_copy = data_.triples.size() * sizeof(Triple);
+  EXPECT_EQ(sixperm_.StorageBytes(), 6 * one_copy);
+  EXPECT_EQ(partial_.StorageBytes(), 3 * one_copy);
+  EXPECT_EQ(vp_.StorageBytes(), 2 * one_copy);
+}
+
+TEST_F(BaselinesTest, VpEngineKnowsItsPredicates) {
+  EXPECT_EQ(vp_.num_predicates(), 11u);
+}
+
+TEST_F(BaselinesTest, BoundObjectLookups) {
+  std::string q = R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:worksFor ex:RadioCom })";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q).table.num_rows(), 3u) << e->name();
+  }
+}
+
+TEST_F(BaselinesTest, VariablePredicateQueries) {
+  std::string q = R"(PREFIX ex: <http://example.org/>
+      SELECT ?p WHERE { ex:RadioCom ?p ?o })";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q).table.num_rows(), 4u) << e->name();
+  }
+}
+
+TEST_F(BaselinesTest, FullyUnboundScan) {
+  std::string q = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q).table.num_rows(), 20u) << e->name();
+  }
+}
+
+TEST_F(BaselinesTest, UnknownTermGivesEmpty) {
+  std::string q = R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:worksFor ex:Ghost })";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q).table.num_rows(), 0u) << e->name();
+  }
+}
+
+TEST_F(BaselinesTest, DisconnectedPatternsCrossProduct) {
+  std::string q = R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?y WHERE { ?x ex:position ?p . ?y ex:marriedTo ?m })";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q).table.num_rows(), 1u) << e->name();  // 1 x 1
+  }
+}
+
+TEST_F(BaselinesTest, FilterAndDistinctAndLimit) {
+  std::string q = R"(PREFIX ex: <http://example.org/>
+      SELECT DISTINCT ?y WHERE {
+        ?x ex:worksFor ?y . FILTER(?x = ex:Bob) })";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q).table.num_rows(), 1u) << e->name();
+  }
+}
+
+TEST_F(BaselinesTest, FullyBoundPatternActsAsAssertion) {
+  std::string q_true = R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE {
+        ex:Bob ex:worksFor ex:RadioCom . ?x ex:position ?p })";
+  std::string q_false = R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE {
+        ex:Bob ex:worksFor ex:Mike . ?x ex:position ?p })";
+  for (const QueryEngine* e :
+       std::initializer_list<const QueryEngine*>{&sixperm_, &partial_, &vp_}) {
+    EXPECT_EQ(Run(*e, q_true).table.num_rows(), 1u) << e->name();
+    EXPECT_EQ(Run(*e, q_false).table.num_rows(), 0u) << e->name();
+  }
+}
+
+TEST(GenericBgpTest, BindPatternsSetsEmptyFlag) {
+  Dataset d = Fig1Dataset();
+  auto q = ParseSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:doesNotExist ?y })");
+  ASSERT_TRUE(q.ok());
+  bool empty = false;
+  auto patterns = BindPatterns(q.value(), d.dict, &empty);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(empty);
+}
+
+TEST(GenericBgpTest, RejectsEmptyPatternList) {
+  Dataset d = Fig1Dataset();
+  SelectQuery q;
+  auto r = EvaluateBgpGreedy(q, d.dict, [](const IdPattern&) {
+    return AccessPath{0, [](ExecStats*) { return BindingTable(); }};
+  });
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace axon

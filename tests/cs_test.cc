@@ -1,0 +1,270 @@
+// Tests for characteristic-set extraction (Algorithm 1) and the CS index,
+// validated against the paper's Fig. 1 / Fig. 3 / Fig. 4 running example.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cs/cs_extractor.h"
+#include "cs/cs_index.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+// Builds the loader rows for a dataset (mirrors Database::Build's loading
+// step).
+LoadTripleVec ToLoadTriples(const Dataset& d) {
+  LoadTripleVec out;
+  for (const Triple& t : d.triples) {
+    out.push_back(LoadTriple{t.s, t.p, t.o, kNoCs});
+  }
+  return out;
+}
+
+class CsFig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = testutil::Fig1Dataset();
+    extraction_ = ExtractCharacteristicSets(ToLoadTriples(data_));
+  }
+
+  TermId Id(const std::string& local) {
+    auto id = data_.dict.Lookup(testutil::Ex(local));
+    EXPECT_TRUE(id.has_value()) << local;
+    return id.value_or(kInvalidId);
+  }
+
+  CsId CsOf(const std::string& local) {
+    return extraction_.subject_cs.at(Id(local));
+  }
+
+  Dataset data_;
+  CsExtraction extraction_;
+};
+
+TEST_F(CsFig1Test, FindsTheFiveCharacteristicSets) {
+  // Fig. 1 top right: S1..S5.
+  EXPECT_EQ(extraction_.sets.size(), 5u);
+}
+
+TEST_F(CsFig1Test, GroupsSubjectsAsInFigure1) {
+  // John and Bob share S1; Jack has his own S2; etc.
+  EXPECT_EQ(CsOf("John"), CsOf("Bob"));
+  EXPECT_NE(CsOf("Jack"), CsOf("John"));
+  std::set<CsId> all = {CsOf("John"), CsOf("Jack"), CsOf("RadioCom"),
+                        CsOf("Mike"), CsOf("UKRegistry")};
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST_F(CsFig1Test, BitmapsMatchTheEmittedProperties) {
+  const PropertyRegistry& props = extraction_.properties;
+  const Bitmap& s1 = extraction_.sets[CsOf("John")].properties;
+  for (const char* p : {"name", "origin", "birthday", "worksFor"}) {
+    EXPECT_TRUE(s1.Test(*props.OrdinalOf(Id(p)))) << p;
+  }
+  EXPECT_EQ(s1.Count(), 4u);
+  // S2 = S1 + marriedTo: Fig. 4's subset relation S1 ⊂ S2.
+  const Bitmap& s2 = extraction_.sets[CsOf("Jack")].properties;
+  EXPECT_TRUE(s1.IsSubsetOf(s2));
+  EXPECT_EQ(s2.Count(), 5u);
+  // Mike's S4 = {position} only.
+  EXPECT_EQ(extraction_.sets[CsOf("Mike")].properties.Count(), 1u);
+}
+
+TEST_F(CsFig1Test, ObjectsWithoutEdgesHaveNoCs) {
+  // Alice and Registrar never emit properties.
+  EXPECT_EQ(extraction_.subject_cs.count(Id("Alice")), 0u);
+  EXPECT_EQ(extraction_.subject_cs.count(Id("Registrar")), 0u);
+}
+
+TEST_F(CsFig1Test, TriplesSortedByCsThenSubject) {
+  const LoadTripleVec& t = extraction_.triples;
+  ASSERT_EQ(t.size(), 20u);
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(std::tuple(t[i - 1].cs, t[i - 1].s),
+              std::tuple(t[i].cs, t[i].s));
+  }
+  // Every triple carries the CS of its subject.
+  for (const LoadTriple& lt : t) {
+    EXPECT_EQ(lt.cs, extraction_.subject_cs.at(lt.s));
+  }
+}
+
+TEST_F(CsFig1Test, PropertyRegistryUsesFirstAppearanceOrder) {
+  // "name" is the predicate of the very first input triple.
+  EXPECT_EQ(extraction_.properties.OrdinalOf(Id("name")),
+            std::optional<uint32_t>(0u));
+  EXPECT_EQ(extraction_.properties.size(), 11u);
+}
+
+// --------------------------------------------------------------- CsIndex
+
+class CsIndexFig1Test : public CsFig1Test {
+ protected:
+  void SetUp() override {
+    CsFig1Test::SetUp();
+    index_ = CsIndex::Build(extraction_);
+  }
+  CsIndex index_;
+};
+
+TEST_F(CsIndexFig1Test, RangesPartitionTheSpoTable) {
+  EXPECT_EQ(index_.spo().size(), 20u);
+  uint64_t covered = 0;
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const CharacteristicSet& cs : index_.sets()) {
+    RowRange r = index_.RangeOf(cs.id);
+    EXPECT_FALSE(r.empty());
+    covered += r.size();
+    seen.insert({r.begin, r.end});
+  }
+  EXPECT_EQ(covered, 20u);  // disjoint + complete
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST_F(CsIndexFig1Test, RangeRowsCarryOnlyThatCs) {
+  for (const CharacteristicSet& cs : index_.sets()) {
+    for (const Triple& t : index_.spo().slice(index_.RangeOf(cs.id))) {
+      EXPECT_EQ(index_.CsOfSubject(t.s), std::optional<CsId>(cs.id));
+    }
+  }
+}
+
+TEST_F(CsIndexFig1Test, SubjectRangeFindsStars) {
+  CsId s2 = CsOf("Jack");
+  RowRange r = index_.SubjectRange(s2, Id("Jack"));
+  EXPECT_EQ(r.size(), 5u);  // Jack's five triples
+  RowRange none = index_.SubjectRange(s2, Id("John"));  // John is in S1
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(CsIndexFig1Test, MatchSupersetsImplementsStarMatching) {
+  const PropertyRegistry& props = index_.properties();
+  // {name, worksFor} is emitted by S1 and S2 subjects.
+  Bitmap q;
+  q.Set(*props.OrdinalOf(Id("name")));
+  q.Set(*props.OrdinalOf(Id("worksFor")));
+  auto matches = index_.MatchSupersets(q);
+  EXPECT_EQ(matches.size(), 2u);
+  // {label} is emitted by RadioCom (S3) and UKRegistry (S5).
+  Bitmap q2;
+  q2.Set(*props.OrdinalOf(Id("label")));
+  EXPECT_EQ(index_.MatchSupersets(q2).size(), 2u);
+  // Empty query CS matches every CS.
+  EXPECT_EQ(index_.MatchSupersets(Bitmap()).size(), 5u);
+  // {marriedTo, position} is emitted by nobody.
+  Bitmap q3;
+  q3.Set(*props.OrdinalOf(Id("marriedTo")));
+  q3.Set(*props.OrdinalOf(Id("position")));
+  EXPECT_TRUE(index_.MatchSupersets(q3).empty());
+}
+
+TEST_F(CsIndexFig1Test, DistinctSubjectCounts) {
+  EXPECT_EQ(index_.DistinctSubjects(CsOf("John")), 2u);  // John + Bob
+  EXPECT_EQ(index_.DistinctSubjects(CsOf("Jack")), 1u);
+}
+
+TEST_F(CsIndexFig1Test, SerializeRoundTrip) {
+  std::string buf;
+  index_.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = CsIndex::Deserialize(buf, &pos);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(pos, buf.size());
+  const CsIndex& idx = back.value();
+  EXPECT_EQ(idx.num_sets(), 5u);
+  EXPECT_EQ(idx.spo().size(), 20u);
+  EXPECT_EQ(idx.CsOfSubject(Id("Jack")), index_.CsOfSubject(Id("Jack")));
+  for (const CharacteristicSet& cs : index_.sets()) {
+    EXPECT_EQ(idx.RangeOf(cs.id), index_.RangeOf(cs.id));
+    EXPECT_EQ(idx.set(cs.id).properties, cs.properties);
+    EXPECT_EQ(idx.DistinctSubjects(cs.id), index_.DistinctSubjects(cs.id));
+  }
+}
+
+
+TEST_F(CsIndexFig1Test, PredicateCountsPerCs) {
+  CsId s1 = CsOf("John");  // John + Bob
+  EXPECT_EQ(index_.PredicateCount(s1, Id("name")), 2u);
+  EXPECT_EQ(index_.PredicateCount(s1, Id("worksFor")), 2u);
+  EXPECT_EQ(index_.PredicateCount(s1, Id("marriedTo")), 0u);
+  CsId s2 = CsOf("Jack");
+  EXPECT_EQ(index_.PredicateCount(s2, Id("marriedTo")), 1u);
+  // Entries are sorted by predicate id and sum to the partition size.
+  uint64_t total = 0;
+  TermId last = 0;
+  for (const auto& [p, c] : index_.PredicateCounts(s1)) {
+    EXPECT_GT(p, last);
+    last = p;
+    total += c;
+  }
+  EXPECT_EQ(total, index_.RangeOf(s1).size());
+}
+
+// Property test: on random graphs, CS extraction partitions the triples and
+// subjects consistently.
+class CsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsPropertyTest, PartitionInvariants) {
+  Dataset d = testutil::RandomDataset(60, 12, 800, 0.3, GetParam());
+  // Dedup as the engine does.
+  std::sort(d.triples.begin(), d.triples.end(),
+            [](const Triple& a, const Triple& b) { return a.Key() < b.Key(); });
+  d.triples.erase(std::unique(d.triples.begin(), d.triples.end()),
+                  d.triples.end());
+  CsExtraction ext = ExtractCharacteristicSets(ToLoadTriples(d));
+
+  EXPECT_EQ(ext.triples.size(), d.triples.size());
+
+  // Each subject belongs to exactly one CS whose bitmap equals exactly the
+  // set of properties it emits.
+  std::map<TermId, std::set<TermId>> emitted;
+  for (const Triple& t : d.triples) emitted[t.s].insert(t.p);
+  EXPECT_EQ(ext.subject_cs.size(), emitted.size());
+  for (const auto& [s, preds] : emitted) {
+    ASSERT_TRUE(ext.subject_cs.count(s));
+    const Bitmap& bm = ext.sets[ext.subject_cs.at(s)].properties;
+    EXPECT_EQ(bm.Count(), preds.size());
+    for (TermId p : preds) {
+      EXPECT_TRUE(bm.Test(*ext.properties.OrdinalOf(p)));
+    }
+  }
+
+  // Distinct bitmaps <-> distinct CS ids.
+  std::set<uint64_t> hashes;
+  for (const CharacteristicSet& cs : ext.sets) {
+    EXPECT_TRUE(hashes.insert(cs.properties.Hash()).second)
+        << "duplicate CS bitmap";
+  }
+
+  CsIndex idx = CsIndex::Build(ext);
+  uint64_t covered = 0;
+  for (const CharacteristicSet& cs : ext.sets) {
+    covered += idx.RangeOf(cs.id).size();
+  }
+  EXPECT_EQ(covered, d.triples.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(CsExtractorTest, EmptyInput) {
+  CsExtraction ext = ExtractCharacteristicSets({});
+  EXPECT_TRUE(ext.sets.empty());
+  EXPECT_TRUE(ext.triples.empty());
+  CsIndex idx = CsIndex::Build(ext);
+  EXPECT_EQ(idx.spo().size(), 0u);
+  EXPECT_TRUE(idx.MatchSupersets(Bitmap()).empty());
+}
+
+TEST(CsExtractorTest, SingleTriple) {
+  CsExtraction ext = ExtractCharacteristicSets({{1, 2, 3, kNoCs}});
+  ASSERT_EQ(ext.sets.size(), 1u);
+  EXPECT_EQ(ext.triples[0].cs, 0u);
+  EXPECT_EQ(ext.sets[0].properties.Count(), 1u);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,187 @@
+// Tests for the dataset generators: determinism, schema shape and the
+// structural properties each paper dataset substitutes for.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/geonames_generator.h"
+#include "datagen/lubm_generator.h"
+#include "datagen/misc_generators.h"
+#include "datagen/reactome_generator.h"
+#include "engine/database.h"
+
+namespace axon {
+namespace {
+
+BuildInfo Census(const Dataset& d) {
+  auto db = Database::Build(d);
+  EXPECT_TRUE(db.ok());
+  return db.value().build_info();
+}
+
+TEST(LubmGeneratorTest, DeterministicForSeed) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset a = GenerateLubmDataset(cfg);
+  Dataset b = GenerateLubmDataset(cfg);
+  ASSERT_EQ(a.triples.size(), b.triples.size());
+  EXPECT_EQ(a.triples, b.triples);
+  cfg.seed = 43;
+  Dataset c = GenerateLubmDataset(cfg);
+  EXPECT_NE(a.triples, c.triples);
+}
+
+TEST(LubmGeneratorTest, ScalesLinearlyWithUniversities) {
+  LubmConfig one;
+  one.num_universities = 1;
+  LubmConfig four;
+  four.num_universities = 4;
+  size_t s1 = GenerateLubmDataset(one).triples.size();
+  size_t s4 = GenerateLubmDataset(four).triples.size();
+  EXPECT_GT(s1, 1000u);
+  EXPECT_NEAR(static_cast<double>(s4) / s1, 4.0, 0.5);
+}
+
+TEST(LubmGeneratorTest, EmitsSubclassClosure) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset d = GenerateLubmDataset(cfg);
+  // Closure: any FullProfessor instance must also be typed Professor,
+  // Faculty, Employee and Person.
+  auto type =
+      d.dict.Lookup(Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+  ASSERT_TRUE(type.has_value());
+  auto full = d.dict.Lookup(Term::Iri(std::string(kUbNs) + "FullProfessor"));
+  auto person = d.dict.Lookup(Term::Iri(std::string(kUbNs) + "Person"));
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(person.has_value());
+  std::set<TermId> professors;
+  std::set<TermId> persons;
+  for (const Triple& t : d.triples) {
+    if (t.p == *type && t.o == *full) professors.insert(t.s);
+    if (t.p == *type && t.o == *person) persons.insert(t.s);
+  }
+  ASSERT_FALSE(professors.empty());
+  for (TermId p : professors) {
+    EXPECT_TRUE(persons.count(p)) << "closure missing for professor";
+  }
+}
+
+TEST(LubmGeneratorTest, EmitsHasAlumnusInverse) {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  Dataset d = GenerateLubmDataset(cfg);
+  auto alum = d.dict.Lookup(Term::Iri(std::string(kUbNs) + "hasAlumnus"));
+  auto deg =
+      d.dict.Lookup(Term::Iri(std::string(kUbNs) + "undergraduateDegreeFrom"));
+  ASSERT_TRUE(alum.has_value());
+  ASSERT_TRUE(deg.has_value());
+  std::set<std::pair<TermId, TermId>> alumni;
+  for (const Triple& t : d.triples) {
+    if (t.p == *alum) alumni.insert({t.s, t.o});
+  }
+  for (const Triple& t : d.triples) {
+    if (t.p == *deg) {
+      EXPECT_TRUE(alumni.count({t.o, t.s}))
+          << "degreeFrom without hasAlumnus inverse";
+    }
+  }
+}
+
+TEST(LubmGeneratorTest, SchemaCensusInLubmRegime) {
+  // Table II: LUBM has few properties (18), few CSs (14) and few ECSs (68)
+  // regardless of scale — the CS count must stay small and stable.
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  BuildInfo info = Census(GenerateLubmDataset(cfg));
+  EXPECT_GE(info.num_properties, 15u);
+  EXPECT_LE(info.num_properties, 25u);
+  EXPECT_LE(info.num_cs, 60u);
+  EXPECT_LE(info.num_ecs, 400u);
+  EXPECT_GT(info.num_ecs, info.num_cs);
+}
+
+TEST(ReactomeGeneratorTest, ProducesLongChains) {
+  ReactomeConfig cfg;
+  cfg.num_pathways = 10;
+  Dataset d = GenerateReactomeDataset(cfg);
+  auto db = Database::Build(d);
+  ASSERT_TRUE(db.ok());
+  // Long paths => the ECS graph must contain chains of length >= 4
+  // (pathway -> pathway -> reaction -> entity -> reference).
+  const EcsGraph& g = db.value().ecs_graph();
+  bool found_long = false;
+  for (EcsId e = 0; e < g.num_nodes() && !found_long; ++e) {
+    if (!g.PathsFrom(e, 4, 5).empty()) found_long = true;
+  }
+  EXPECT_TRUE(found_long) << "no ECS chain of length 4 found";
+}
+
+TEST(ReactomeGeneratorTest, CensusRicherThanLubm) {
+  ReactomeConfig cfg;
+  cfg.num_pathways = 20;
+  BuildInfo info = Census(GenerateReactomeDataset(cfg));
+  LubmConfig lubm;
+  BuildInfo lubm_info = Census(GenerateLubmDataset(lubm));
+  // Table II: Reactome has ~8x the CS count of LUBM.
+  EXPECT_GT(info.num_cs, lubm_info.num_cs);
+}
+
+TEST(GeonamesGeneratorTest, HighSchemaDiversity) {
+  GeonamesConfig cfg;
+  cfg.num_features = 1500;
+  BuildInfo info = Census(GenerateGeonamesDataset(cfg));
+  // The adversarial regime: CS count far above LUBM/Reactome, ECS count
+  // far above CS count (Table II: 851 CS, 12136 ECS at full scale).
+  EXPECT_GT(info.num_cs, 150u);
+  EXPECT_GT(info.num_ecs, 2 * info.num_cs);
+}
+
+TEST(GeonamesGeneratorTest, DeterministicForSeed) {
+  GeonamesConfig cfg;
+  cfg.num_features = 200;
+  EXPECT_EQ(GenerateGeonamesDataset(cfg).triples,
+            GenerateGeonamesDataset(cfg).triples);
+}
+
+TEST(MiscGeneratorsTest, BsbmRegularSchema) {
+  BsbmConfig cfg;
+  BuildInfo info = Census(GenerateBsbmDataset(cfg));
+  // BSBM: moderate property count, CS count of the same order (Table II:
+  // 40 properties, 44 CS).
+  EXPECT_GE(info.num_properties, 15u);
+  EXPECT_LT(info.num_cs, 80u);
+}
+
+TEST(MiscGeneratorsTest, WordnetManyCs) {
+  WordnetConfig cfg;
+  BuildInfo info = Census(GenerateWordnetDataset(cfg));
+  // WordNet: CS count an order of magnitude above BSBM's.
+  EXPECT_GT(info.num_cs, 200u);
+}
+
+TEST(MiscGeneratorsTest, EfoAnnotationDiversity) {
+  EfoConfig cfg;
+  BuildInfo info = Census(GenerateEfoDataset(cfg));
+  EXPECT_GT(info.num_cs, 100u);
+  EXPECT_GT(info.num_ecs, info.num_cs);
+}
+
+TEST(MiscGeneratorsTest, DblpModerateCs) {
+  DblpConfig cfg;
+  BuildInfo info = Census(GenerateDblpDataset(cfg));
+  EXPECT_GE(info.num_properties, 8u);
+  EXPECT_LT(info.num_cs, 150u);
+}
+
+TEST(MiscGeneratorsTest, AllGeneratorsDeterministic) {
+  EXPECT_EQ(GenerateBsbmDataset({}).triples, GenerateBsbmDataset({}).triples);
+  EXPECT_EQ(GenerateWordnetDataset({}).triples,
+            GenerateWordnetDataset({}).triples);
+  EXPECT_EQ(GenerateEfoDataset({}).triples, GenerateEfoDataset({}).triples);
+  EXPECT_EQ(GenerateDblpDataset({}).triples, GenerateDblpDataset({}).triples);
+}
+
+}  // namespace
+}  // namespace axon

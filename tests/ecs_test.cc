@@ -1,0 +1,405 @@
+// Tests for ECS extraction (Algorithm 2), the ECS graph, hierarchy,
+// statistics and index — against the paper's Fig. 1 / Fig. 3 example, plus
+// a property suite asserting the fast extraction path is bit-identical to
+// the literal pairwise-join formulation of Algorithm 2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cs/cs_extractor.h"
+#include "ecs/ecs_extractor.h"
+#include "ecs/ecs_graph.h"
+#include "ecs/ecs_hierarchy.h"
+#include "ecs/ecs_index.h"
+#include "ecs/ecs_statistics.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+LoadTripleVec ToLoadTriples(const Dataset& d) {
+  LoadTripleVec out;
+  for (const Triple& t : d.triples) {
+    out.push_back(LoadTriple{t.s, t.p, t.o, kNoCs});
+  }
+  return out;
+}
+
+class EcsFig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = testutil::Fig1Dataset();
+    cs_ = ExtractCharacteristicSets(ToLoadTriples(data_));
+    ecs_ = ExtractExtendedCharacteristicSets(cs_);
+  }
+
+  TermId Id(const std::string& local) {
+    auto id = data_.dict.Lookup(testutil::Ex(local));
+    EXPECT_TRUE(id.has_value()) << local;
+    return id.value_or(kInvalidId);
+  }
+  CsId CsOf(const std::string& local) { return cs_.subject_cs.at(Id(local)); }
+
+  // The ECS id for a (subjectCS, objectCS) pair, or kNoEcs.
+  EcsId EcsOf(const std::string& s_local, const std::string& o_local) {
+    CsId sc = CsOf(s_local);
+    CsId oc = CsOf(o_local);
+    for (const auto& e : ecs_.sets) {
+      if (e.subject_cs == sc && e.object_cs == oc) return e.id;
+    }
+    return kNoEcs;
+  }
+
+  Dataset data_;
+  CsExtraction cs_;
+  EcsExtraction ecs_;
+};
+
+TEST_F(EcsFig1Test, FindsTheFourEcss) {
+  // Fig. 1 bottom right: E1..E4.
+  EXPECT_EQ(ecs_.sets.size(), 4u);
+  EXPECT_NE(EcsOf("John", "RadioCom"), kNoEcs);     // E1 = {S1, S3}
+  EXPECT_NE(EcsOf("Jack", "RadioCom"), kNoEcs);     // E2 = {S2, S3}
+  EXPECT_NE(EcsOf("RadioCom", "Mike"), kNoEcs);     // E3 = {S3, S4}
+  EXPECT_NE(EcsOf("RadioCom", "UKRegistry"), kNoEcs);  // E4 = {S3, S5}
+}
+
+TEST_F(EcsFig1Test, PsoTableHoldsOnlyValidEcsTriples) {
+  // Fig. 3 bottom: t4, t8, t13, t16, t17 — literals and edge-less objects
+  // (Alice, Registrar) are excluded.
+  ASSERT_EQ(ecs_.triples.size(), 5u);
+  std::multiset<TermId> subjects;
+  for (const EcsTriple& t : ecs_.triples) subjects.insert(t.s);
+  EXPECT_EQ(subjects.count(Id("RadioCom")), 2u);
+  EXPECT_EQ(subjects.count(Id("John")), 1u);
+  EXPECT_EQ(subjects.count(Id("Bob")), 1u);
+  EXPECT_EQ(subjects.count(Id("Jack")), 1u);
+}
+
+TEST_F(EcsFig1Test, TriplesAreTaggedWithTheirEcs) {
+  for (const EcsTriple& t : ecs_.triples) {
+    const auto& e = ecs_.sets[t.ecs];
+    EXPECT_EQ(e.subject_cs, cs_.subject_cs.at(t.s));
+    EXPECT_EQ(e.object_cs, cs_.subject_cs.at(t.o));
+  }
+}
+
+TEST_F(EcsFig1Test, LinksMatchTheEcsGraphOfFigure1) {
+  // E1,E2 end at S3 which starts E3,E4: edges E1->{E3,E4}, E2->{E3,E4};
+  // E3, E4 have no successors (S4, S5 start nothing).
+  EcsId e1 = EcsOf("John", "RadioCom");
+  EcsId e2 = EcsOf("Jack", "RadioCom");
+  EcsId e3 = EcsOf("RadioCom", "Mike");
+  EcsId e4 = EcsOf("RadioCom", "UKRegistry");
+  std::vector<EcsId> expect = {std::min(e3, e4), std::max(e3, e4)};
+  EXPECT_EQ(ecs_.links[e1], expect);
+  EXPECT_EQ(ecs_.links[e2], expect);
+  EXPECT_TRUE(ecs_.links[e3].empty());
+  EXPECT_TRUE(ecs_.links[e4].empty());
+}
+
+TEST_F(EcsFig1Test, PairwiseAlgorithmProducesIdenticalResult) {
+  EcsExtraction pairwise = ExtractExtendedCharacteristicSetsPairwise(cs_);
+  EXPECT_EQ(pairwise.sets, ecs_.sets);
+  EXPECT_EQ(pairwise.triples, ecs_.triples);
+  EXPECT_EQ(pairwise.links, ecs_.links);
+}
+
+// ---------------------------------------------------------------- Graph
+
+TEST_F(EcsFig1Test, GraphTraversals) {
+  EcsGraph g(ecs_.links);
+  EcsId e1 = EcsOf("John", "RadioCom");
+  EcsId e3 = EcsOf("RadioCom", "Mike");
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(e1, e3));
+  EXPECT_FALSE(g.HasEdge(e3, e1));
+  EXPECT_TRUE(g.Reachable(e1, e3, 1));
+  EXPECT_FALSE(g.Reachable(e3, e1, 10));
+  auto paths = g.PathsFrom(e1, 1);
+  EXPECT_EQ(paths.size(), 2u);  // E1->E3, E1->E4
+}
+
+TEST(EcsGraphTest, SerializeRoundTrip) {
+  EcsGraph g({{1, 2}, {2}, {}});
+  std::string buf;
+  g.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = EcsGraph::Deserialize(buf, &pos);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), g);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(EcsGraphTest, PathsRespectSimplePathLimit) {
+  // A 2-cycle: 0 <-> 1. Simple paths cannot revisit.
+  EcsGraph g({{1}, {0}});
+  auto paths = g.PathsFrom(0, 3);
+  EXPECT_TRUE(paths.empty());
+  EXPECT_EQ(g.PathsFrom(0, 1).size(), 1u);
+}
+
+// ------------------------------------------------------------- Hierarchy
+
+TEST_F(EcsFig1Test, HierarchyCapturesE1SpecializedByE2) {
+  // Sec. III.D: E1 and E2 are hierarchically related because S1 ⊂ S2 and
+  // S3 is shared. E2 (more properties) is the specialization.
+  EcsHierarchy h = EcsHierarchy::Build(ecs_.sets, cs_.sets);
+  EcsId e1 = EcsOf("John", "RadioCom");
+  EcsId e2 = EcsOf("Jack", "RadioCom");
+  EXPECT_TRUE(h.IsGeneralization(e1, e2));
+  EXPECT_FALSE(h.IsGeneralization(e2, e1));
+  EXPECT_EQ(h.Children(e1), std::vector<EcsId>{e2});
+  EXPECT_EQ(h.Parents(e2), std::vector<EcsId>{e1});
+  // E1 is a root; E2 is not.
+  const auto& roots = h.Roots();
+  EXPECT_NE(std::find(roots.begin(), roots.end(), e1), roots.end());
+  EXPECT_EQ(std::find(roots.begin(), roots.end(), e2), roots.end());
+}
+
+TEST_F(EcsFig1Test, PreOrderPlacesFamiliesAdjacent) {
+  EcsHierarchy h = EcsHierarchy::Build(ecs_.sets, cs_.sets);
+  const std::vector<EcsId>& order = h.PreOrder();
+  ASSERT_EQ(order.size(), 4u);
+  // E2 must directly follow its parent E1 in pre-order.
+  EcsId e1 = EcsOf("John", "RadioCom");
+  EcsId e2 = EcsOf("Jack", "RadioCom");
+  auto pos1 = std::find(order.begin(), order.end(), e1) - order.begin();
+  auto pos2 = std::find(order.begin(), order.end(), e2) - order.begin();
+  EXPECT_EQ(pos2, pos1 + 1);
+  // StorageRank is the inverse permutation.
+  auto rank = h.StorageRank();
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(rank[order[i]], i);
+  }
+}
+
+TEST_F(EcsFig1Test, HierarchySerializeRoundTrip) {
+  EcsHierarchy h = EcsHierarchy::Build(ecs_.sets, cs_.sets);
+  std::string buf;
+  h.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = EcsHierarchy::Deserialize(buf, &pos);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().PreOrder(), h.PreOrder());
+  EXPECT_EQ(back.value().Roots(), h.Roots());
+  for (EcsId i = 0; i < h.num_nodes(); ++i) {
+    EXPECT_EQ(back.value().Children(i), h.Children(i));
+    EXPECT_EQ(back.value().PropertyCount(i), h.PropertyCount(i));
+  }
+}
+
+// ------------------------------------------------------------ Statistics
+
+TEST_F(EcsFig1Test, StatisticsMatchFigure3) {
+  EcsStatistics stats = EcsStatistics::Build(ecs_);
+  EcsId e1 = EcsOf("John", "RadioCom");
+  const EcsStats& s1 = stats.Of(e1);
+  EXPECT_EQ(s1.num_triples, 2u);          // t4, t8
+  EXPECT_EQ(s1.distinct_subjects, 2u);    // John, Bob
+  EXPECT_EQ(s1.distinct_objects, 1u);     // RadioCom
+  EXPECT_EQ(s1.distinct_properties, 1u);  // worksFor
+  EXPECT_DOUBLE_EQ(stats.MultiplicationFactorOs(e1), 1.0);
+
+  EcsId e3 = EcsOf("RadioCom", "Mike");
+  EXPECT_EQ(stats.Of(e3).num_triples, 1u);
+}
+
+
+TEST_F(EcsFig1Test, MultiplicationFactorsBothDirections) {
+  EcsStatistics stats = EcsStatistics::Build(ecs_);
+  EcsId e1 = EcsOf("John", "RadioCom");
+  // E1: 2 triples, 2 subjects, 1 object.
+  EXPECT_DOUBLE_EQ(stats.MultiplicationFactorOs(e1), 1.0);  // 2/2
+  EXPECT_DOUBLE_EQ(stats.MultiplicationFactorSo(e1), 2.0);  // 2/1
+}
+
+TEST_F(EcsFig1Test, StatisticsSerializeRoundTrip) {
+  EcsStatistics stats = EcsStatistics::Build(ecs_);
+  std::string buf;
+  stats.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = EcsStatistics::Deserialize(buf, &pos);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), stats.size());
+  for (EcsId i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(back.value().Of(i), stats.Of(i));
+  }
+}
+
+// ----------------------------------------------------------------- Index
+
+class EcsIndexFig1Test : public EcsFig1Test {
+ protected:
+  void SetUp() override {
+    EcsFig1Test::SetUp();
+    index_ = EcsIndex::Build(ecs_, {});
+  }
+  EcsIndex index_;
+};
+
+TEST_F(EcsIndexFig1Test, RangesPartitionThePsoTable) {
+  EXPECT_EQ(index_.pso().size(), 5u);
+  uint64_t covered = 0;
+  for (const auto& e : index_.sets()) covered += index_.RangeOf(e.id).size();
+  EXPECT_EQ(covered, 5u);
+}
+
+TEST_F(EcsIndexFig1Test, PropertyPointersLocatePredicates) {
+  EcsId e1 = EcsOf("John", "RadioCom");
+  EXPECT_TRUE(index_.HasProperty(e1, Id("worksFor")));
+  EXPECT_FALSE(index_.HasProperty(e1, Id("name")));
+  RowRange r = index_.PropertyRange(e1, Id("worksFor"));
+  EXPECT_EQ(r.size(), 2u);
+  for (const Triple& t : index_.pso().slice(r)) {
+    EXPECT_EQ(t.p, Id("worksFor"));
+  }
+}
+
+TEST_F(EcsIndexFig1Test, HierarchyStorageOrderGroupsFamilies) {
+  EcsHierarchy h = EcsHierarchy::Build(ecs_.sets, cs_.sets);
+  EcsIndex ordered = EcsIndex::Build(ecs_, h.StorageRank());
+  // Same content, permuted partitions.
+  EXPECT_EQ(ordered.pso().size(), 5u);
+  EcsId e1 = EcsOf("John", "RadioCom");
+  EcsId e2 = EcsOf("Jack", "RadioCom");
+  RowRange r1 = ordered.RangeOf(e1);
+  RowRange r2 = ordered.RangeOf(e2);
+  // E2's partition is adjacent after E1's (pre-order locality).
+  EXPECT_EQ(r2.begin, r1.end);
+  EXPECT_EQ(ordered.StorageOrder(), h.PreOrder());
+}
+
+TEST_F(EcsIndexFig1Test, SerializeRoundTrip) {
+  std::string buf;
+  index_.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = EcsIndex::Deserialize(buf, &pos);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(pos, buf.size());
+  const EcsIndex& idx = back.value();
+  EXPECT_EQ(idx.num_sets(), index_.num_sets());
+  EXPECT_EQ(idx.pso().size(), index_.pso().size());
+  for (const auto& e : index_.sets()) {
+    EXPECT_EQ(idx.RangeOf(e.id), index_.RangeOf(e.id));
+    EXPECT_EQ(idx.Properties(e.id), index_.Properties(e.id));
+    EXPECT_EQ(idx.set(e.id), e);
+  }
+  EXPECT_EQ(idx.StorageOrder(), index_.StorageOrder());
+}
+
+// -------------------------------------------------------- Property suite
+
+class EcsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EcsPropertyTest, FastPathEqualsLiteralAlgorithm2) {
+  Dataset d = testutil::RandomDataset(40, 8, 400, 0.25, GetParam());
+  std::sort(d.triples.begin(), d.triples.end(),
+            [](const Triple& a, const Triple& b) { return a.Key() < b.Key(); });
+  d.triples.erase(std::unique(d.triples.begin(), d.triples.end()),
+                  d.triples.end());
+  CsExtraction cs = ExtractCharacteristicSets(ToLoadTriples(d));
+  EcsExtraction fast = ExtractExtendedCharacteristicSets(cs);
+  EcsExtraction slow = ExtractExtendedCharacteristicSetsPairwise(cs);
+  EXPECT_EQ(fast.sets, slow.sets);
+  EXPECT_EQ(fast.triples, slow.triples);
+  EXPECT_EQ(fast.links, slow.links);
+}
+
+TEST_P(EcsPropertyTest, EveryValidTripleInExactlyOneEcs) {
+  Dataset d = testutil::RandomDataset(50, 10, 600, 0.3, GetParam() + 1000);
+  std::sort(d.triples.begin(), d.triples.end(),
+            [](const Triple& a, const Triple& b) { return a.Key() < b.Key(); });
+  d.triples.erase(std::unique(d.triples.begin(), d.triples.end()),
+                  d.triples.end());
+  CsExtraction cs = ExtractCharacteristicSets(ToLoadTriples(d));
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+
+  // Expected PSO rows: triples whose object has a CS.
+  uint64_t expected = 0;
+  for (const Triple& t : d.triples) {
+    if (cs.subject_cs.count(t.o)) ++expected;
+  }
+  EXPECT_EQ(ecs.triples.size(), expected);
+
+  // Each (subjectCS, objectCS) pair maps to exactly one ECS id.
+  std::map<std::pair<CsId, CsId>, EcsId> seen;
+  for (const auto& e : ecs.sets) {
+    EXPECT_TRUE(
+        seen.emplace(std::make_pair(e.subject_cs, e.object_cs), e.id).second);
+  }
+  for (const EcsTriple& t : ecs.triples) {
+    auto key = std::make_pair(cs.subject_cs.at(t.s), cs.subject_cs.at(t.o));
+    EXPECT_EQ(seen.at(key), t.ecs);
+  }
+
+  // Links are sound and complete at the CS level.
+  for (EcsId a = 0; a < ecs.sets.size(); ++a) {
+    for (EcsId b = 0; b < ecs.sets.size(); ++b) {
+      bool linked = std::binary_search(ecs.links[a].begin(),
+                                       ecs.links[a].end(), b);
+      bool expected_link =
+          ecs.sets[a].object_cs == ecs.sets[b].subject_cs;
+      EXPECT_EQ(linked, expected_link) << a << "->" << b;
+    }
+  }
+}
+
+TEST_P(EcsPropertyTest, HierarchyIsAcyclicAndEdgesAreImmediate) {
+  Dataset d = testutil::RandomDataset(50, 9, 500, 0.3, GetParam() + 2000);
+  std::sort(d.triples.begin(), d.triples.end(),
+            [](const Triple& a, const Triple& b) { return a.Key() < b.Key(); });
+  d.triples.erase(std::unique(d.triples.begin(), d.triples.end()),
+                  d.triples.end());
+  CsExtraction cs = ExtractCharacteristicSets(ToLoadTriples(d));
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+  EcsHierarchy h = EcsHierarchy::Build(ecs.sets, cs.sets);
+
+  // Pre-order covers every node exactly once.
+  std::set<EcsId> unique(h.PreOrder().begin(), h.PreOrder().end());
+  EXPECT_EQ(unique.size(), ecs.sets.size());
+
+  for (EcsId parent = 0; parent < h.num_nodes(); ++parent) {
+    for (EcsId child : h.Children(parent)) {
+      // Edge soundness: parent generalizes child, strictly fewer props.
+      EXPECT_TRUE(h.IsGeneralization(parent, child));
+      EXPECT_LT(h.PropertyCount(parent), h.PropertyCount(child));
+      // Immediacy: no intermediate node between parent and child.
+      for (EcsId mid = 0; mid < h.num_nodes(); ++mid) {
+        if (mid == parent || mid == child) continue;
+        EXPECT_FALSE(h.IsGeneralization(parent, mid) &&
+                     h.IsGeneralization(mid, child))
+            << parent << " -> " << mid << " -> " << child;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcsPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(EcsExtractorTest, EmptyInput) {
+  CsExtraction cs = ExtractCharacteristicSets({});
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+  EXPECT_TRUE(ecs.sets.empty());
+  EXPECT_TRUE(ecs.triples.empty());
+  EcsIndex idx = EcsIndex::Build(ecs, {});
+  EXPECT_EQ(idx.pso().size(), 0u);
+}
+
+TEST(EcsExtractorTest, SelfLoopTripleFormsEcs) {
+  // n1 -p-> n1 where n1 emits: subject CS == object CS.
+  CsExtraction cs = ExtractCharacteristicSets({{1, 2, 1, kNoCs}});
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+  ASSERT_EQ(ecs.sets.size(), 1u);
+  EXPECT_EQ(ecs.sets[0].subject_cs, ecs.sets[0].object_cs);
+  // The ECS links to itself (its object CS starts itself).
+  EXPECT_EQ(ecs.links[0], std::vector<EcsId>{0});
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,223 @@
+// End-to-end tests of the axonDB engine on the paper's running example and
+// structural edge cases.
+
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+using testutil::Fig1Dataset;
+using testutil::Fig1Query;
+using testutil::Fig5Query;
+
+class EngineFig1Test : public ::testing::TestWithParam<EngineOptions> {
+ protected:
+  void SetUp() override {
+    Dataset data = Fig1Dataset();
+    auto db = Database::Build(data, GetParam());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::make_unique<Database>(std::move(db).ValueOrDie());
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(EngineFig1Test, BuildCensusMatchesFigure1) {
+  const BuildInfo& info = db_->build_info();
+  EXPECT_EQ(info.num_triples, 20u);
+  EXPECT_EQ(info.num_properties, 11u);  // 11 distinct predicates in Fig. 1
+  EXPECT_EQ(info.num_cs, 5u);           // S1..S5
+  EXPECT_EQ(info.num_ecs, 4u);          // E1..E4
+  EXPECT_EQ(info.num_ecs_triples, 5u);  // t4, t8, t13, t16, t17
+}
+
+TEST_P(EngineFig1Test, Figure1QueryBindsAllThreeEmployees) {
+  auto r = db_->ExecuteSparql(Fig1Query());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const BindingTable& t = r.value().table;
+  ASSERT_EQ(t.num_rows(), 3u);
+  auto rendered = db_->Render(t);
+  ASSERT_TRUE(rendered.ok());
+  std::vector<std::string> n1s;
+  int n1 = t.ColumnIndex("n1");
+  int n2 = t.ColumnIndex("n2");
+  int n4 = t.ColumnIndex("n4");
+  ASSERT_GE(n1, 0);
+  for (const auto& row : rendered.value()) {
+    n1s.push_back(row[n1]);
+    EXPECT_EQ(row[n2], "<http://example.org/RadioCom>");
+    EXPECT_EQ(row[n4], "<http://example.org/UKRegistry>");
+  }
+  std::sort(n1s.begin(), n1s.end());
+  EXPECT_EQ(n1s, (std::vector<std::string>{"<http://example.org/Bob>",
+                                           "<http://example.org/Jack>",
+                                           "<http://example.org/John>"}));
+}
+
+TEST_P(EngineFig1Test, Figure5QueryAppliesBoundDirectorRestriction) {
+  auto r = db_->ExecuteSparql(Fig5Query());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // All three employees survive; y/z/w are fixed.
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+}
+
+TEST_P(EngineFig1Test, BoundSubjectStarQuery) {
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?n ?o WHERE { ex:Jack ex:name ?n . ex:Jack ex:origin ?o })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().table.num_rows(), 1u);
+  auto rows = db_->Render(r.value().table);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0][r.value().table.ColumnIndex("n")],
+            "\"Jack Doe\"");
+}
+
+TEST_P(EngineFig1Test, EmptyDetectedWithoutJoinsWhenNoCsMatches) {
+  // No node emits both worksFor and managedBy: the CS (hence ECS) match
+  // fails and the answer is empty without touching the tables.
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?y WHERE {
+        ?x ex:worksFor ?y .
+        ?x ex:managedBy ?m .
+        ?y ex:label ?l })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().table.num_rows(), 0u);
+  EXPECT_EQ(r.value().stats.rows_scanned, 0u);
+}
+
+TEST_P(EngineFig1Test, UnknownTermYieldsEmptyResult) {
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:worksFor ex:Nonexistent })");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 0u);
+}
+
+TEST_P(EngineFig1Test, VariablePredicateChain) {
+  // ?x ?p RadioCom with a star on RadioCom: matches worksFor from the three
+  // employees (chain edges into S3).
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?p WHERE {
+        ?x ?p ?y .
+        ?x ex:birthday ?b .
+        ?y ex:address ?a .
+        ?y ex:label ?l })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+}
+
+TEST_P(EngineFig1Test, DistinctAndLimit) {
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT DISTINCT ?y WHERE { ?x ex:worksFor ?y . ?y ex:label ?l })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().table.num_rows(), 1u);
+
+  auto r2 = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:worksFor ?y . ?y ex:label ?l } LIMIT 2)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().table.num_rows(), 2u);
+}
+
+TEST_P(EngineFig1Test, FilterEquality) {
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?n WHERE {
+        ?x ex:name ?n . ?x ex:worksFor ?y . ?y ex:label ?l
+        FILTER(?n = "Bob Plain") })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().table.num_rows(), 1u);
+}
+
+TEST_P(EngineFig1Test, PureStarQuery) {
+  auto r = db_->ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?n ?m WHERE {
+        ?x ex:name ?n . ?x ex:marriedTo ?m })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().table.num_rows(), 1u);  // only Jack
+}
+
+EngineOptions MakeOptions(bool hierarchy, bool planner, bool skip_stars,
+                          bool merge_scan = true) {
+  EngineOptions o;
+  o.use_hierarchy = hierarchy;
+  o.use_planner = planner;
+  o.skip_redundant_star_retrieval = skip_stars;
+  o.use_star_merge_scan = merge_scan;
+  return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EngineFig1Test,
+    ::testing::Values(MakeOptions(false, false, false),
+                      MakeOptions(true, false, false),
+                      MakeOptions(false, true, false),
+                      MakeOptions(true, true, false),
+                      MakeOptions(true, true, true),
+                      MakeOptions(true, true, false, /*merge_scan=*/false)),
+    [](const ::testing::TestParamInfo<EngineOptions>& info) {
+      std::string name = info.param.ConfigName();
+      std::replace(name.begin(), name.end(), '-', '_');
+      std::replace(name.begin(), name.end(), '+', 'P');
+      if (info.param.skip_redundant_star_retrieval) name += "_skipstars";
+      if (!info.param.use_star_merge_scan) name += "_nomerge";
+      return name;
+    });
+
+TEST(EngineTest, EmptyDatasetBuilds) {
+  Dataset d;
+  auto db = Database::Build(d);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().build_info().num_triples, 0u);
+  auto r = db.value().ExecuteSparql(
+      "SELECT ?x WHERE { ?x <http://example.org/p> ?y }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 0u);
+}
+
+TEST(EngineTest, DuplicateTriplesCollapse) {
+  Dataset d = Fig1Dataset();
+  Dataset dup = Fig1Dataset();
+  for (const Triple& t : dup.triples) d.triples.push_back(t);
+  auto db = Database::Build(d);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().build_info().num_triples, 20u);
+}
+
+TEST(EngineTest, RenderRejectsInvalidIds) {
+  Dataset d = Fig1Dataset();
+  auto db = Database::Build(d);
+  ASSERT_TRUE(db.ok());
+  BindingTable t({"x"});
+  t.AppendRow({kInvalidId});
+  EXPECT_FALSE(db.value().Render(t).ok());
+}
+
+TEST(EngineTest, SkipRedundantStarRetrievalMatchesDistinctSemantics) {
+  Dataset data = Fig1Dataset();
+  EngineOptions strict;
+  EngineOptions skipping;
+  skipping.skip_redundant_star_retrieval = true;
+  auto db1 = Database::Build(data, strict);
+  auto db2 = Database::Build(data, skipping);
+  ASSERT_TRUE(db1.ok());
+  ASSERT_TRUE(db2.ok());
+  std::string q = R"(PREFIX ex: <http://example.org/>
+      SELECT DISTINCT ?n1 ?n2 WHERE {
+        ?n1 ex:name ?a .
+        ?n1 ex:worksFor ?n2 .
+        ?n2 ex:label ?c })";
+  auto r1 = db1.value().ExecuteSparql(q);
+  auto r2 = db2.value().ExecuteSparql(q);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().table.CanonicalRows({"n1", "n2"}),
+            r2.value().table.CanonicalRows({"n1", "n2"}));
+  // The skipping engine must scan strictly fewer rows.
+  EXPECT_LT(r2.value().stats.rows_scanned, r1.value().stats.rows_scanned);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,199 @@
+// Tests for binding tables and the shared relational operators.
+
+#include <gtest/gtest.h>
+
+#include "exec/bindings.h"
+#include "exec/operators.h"
+
+namespace axon {
+namespace {
+
+BindingTable Table(std::vector<std::string> vars,
+                   std::vector<std::vector<TermId>> rows) {
+  BindingTable t(std::move(vars));
+  for (const auto& r : rows) t.AppendRow(r);
+  return t;
+}
+
+// ---------------------------------------------------------- BindingTable
+
+TEST(BindingTableTest, BasicAccess) {
+  BindingTable t = Table({"x", "y"}, {{1, 2}, {3, 4}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.at(1, 0), 3u);
+  EXPECT_EQ(t.ColumnIndex("y"), 1);
+  EXPECT_EQ(t.ColumnIndex("z"), -1);
+  EXPECT_EQ(t.row(0)[1], 2u);
+}
+
+TEST(BindingTableTest, NullaryTableSemantics) {
+  BindingTable empty(std::vector<std::string>{});
+  EXPECT_EQ(empty.num_rows(), 0u);
+  empty.SetNullaryRow(true);
+  EXPECT_EQ(empty.num_rows(), 1u);  // the empty row: join identity
+}
+
+TEST(BindingTableTest, CanonicalRowsSortAndProject) {
+  BindingTable t = Table({"x", "y"}, {{3, 4}, {1, 2}});
+  auto rows = t.CanonicalRows({"y", "x"});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<TermId>{2, 1}));
+  EXPECT_EQ(rows[1], (std::vector<TermId>{4, 3}));
+  // Missing columns become kInvalidId.
+  auto with_missing = t.CanonicalRows({"z"});
+  EXPECT_EQ(with_missing[0], (std::vector<TermId>{kInvalidId}));
+}
+
+// ----------------------------------------------------------- ScanPattern
+
+TEST(ScanPatternTest, BoundFilteringAndColumns) {
+  std::vector<Triple> triples = {{1, 10, 2}, {1, 10, 3}, {2, 10, 3}, {1, 11, 2}};
+  IdPattern p;
+  p.s = 1;
+  p.s_var = "s";
+  p.p = 10;
+  p.o_var = "o";
+  ExecStats stats;
+  BindingTable t = ScanPattern(triples, p, &stats);
+  // Bound positions with a column name still emit the (constant) column.
+  EXPECT_EQ(t.vars(), (std::vector<std::string>{"o"}));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(stats.rows_scanned, 4u);
+}
+
+TEST(ScanPatternTest, AllVariables) {
+  std::vector<Triple> triples = {{1, 10, 2}, {2, 11, 3}};
+  IdPattern p;
+  p.s_var = "s";
+  p.p_var = "p";
+  p.o_var = "o";
+  BindingTable t = ScanPattern(triples, p, nullptr);
+  EXPECT_EQ(t.vars(), (std::vector<std::string>{"s", "p", "o"}));
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ScanPatternTest, RepeatedVariableEnforcesEquality) {
+  std::vector<Triple> triples = {{1, 10, 1}, {1, 10, 2}, {3, 10, 3}};
+  IdPattern p;
+  p.s_var = "x";
+  p.p = 10;
+  p.o_var = "x";
+  BindingTable t = ScanPattern(triples, p, nullptr);
+  EXPECT_EQ(t.vars(), (std::vector<std::string>{"x"}));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0), 1u);
+  EXPECT_EQ(t.at(1, 0), 3u);
+}
+
+TEST(ScanPatternTest, AnonymousPositionsScannedButNotOutput) {
+  std::vector<Triple> triples = {{1, 10, 2}};
+  IdPattern p;
+  p.s_var = "s";
+  // p and o unbound with empty var names: wildcard, no columns.
+  BindingTable t = ScanPattern(triples, p, nullptr);
+  EXPECT_EQ(t.vars(), (std::vector<std::string>{"s"}));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+// -------------------------------------------------------------- HashJoin
+
+TEST(HashJoinTest, NaturalJoinOnSharedColumn) {
+  BindingTable l = Table({"x", "y"}, {{1, 10}, {2, 20}, {3, 30}});
+  BindingTable r = Table({"y", "z"}, {{10, 100}, {10, 101}, {30, 300}});
+  ExecStats stats;
+  BindingTable j = HashJoin(l, r, &stats);
+  EXPECT_EQ(j.num_rows(), 3u);  // (1,10)x2 + (3,30)
+  EXPECT_EQ(stats.joins, 1u);
+  auto rows = j.CanonicalRows({"x", "y", "z"});
+  EXPECT_EQ(rows[0], (std::vector<TermId>{1, 10, 100}));
+  EXPECT_EQ(rows[1], (std::vector<TermId>{1, 10, 101}));
+  EXPECT_EQ(rows[2], (std::vector<TermId>{3, 30, 300}));
+}
+
+TEST(HashJoinTest, MultiColumnKey) {
+  BindingTable l = Table({"a", "b"}, {{1, 2}, {1, 3}});
+  BindingTable r = Table({"a", "b", "c"}, {{1, 2, 9}, {1, 9, 9}});
+  BindingTable j = HashJoin(l, r, nullptr);
+  ASSERT_EQ(j.num_rows(), 1u);
+  EXPECT_EQ(j.CanonicalRows({"a", "b", "c"})[0],
+            (std::vector<TermId>{1, 2, 9}));
+}
+
+TEST(HashJoinTest, CrossProductWhenDisjoint) {
+  BindingTable l = Table({"x"}, {{1}, {2}});
+  BindingTable r = Table({"y"}, {{7}, {8}, {9}});
+  BindingTable j = HashJoin(l, r, nullptr);
+  EXPECT_EQ(j.num_rows(), 6u);
+}
+
+TEST(HashJoinTest, EmptySideYieldsEmpty) {
+  BindingTable l = Table({"x"}, {});
+  BindingTable r = Table({"x"}, {{1}});
+  EXPECT_EQ(HashJoin(l, r, nullptr).num_rows(), 0u);
+  EXPECT_EQ(HashJoin(r, l, nullptr).num_rows(), 0u);
+}
+
+TEST(HashJoinTest, DuplicateRowsMultiplyMultiplicities) {
+  BindingTable l = Table({"x"}, {{1}, {1}});
+  BindingTable r = Table({"x"}, {{1}, {1}, {1}});
+  EXPECT_EQ(HashJoin(l, r, nullptr).num_rows(), 6u);
+}
+
+TEST(HashJoinTest, NullaryIdentity) {
+  BindingTable id(std::vector<std::string>{});
+  id.SetNullaryRow(true);
+  BindingTable r = Table({"x"}, {{1}, {2}});
+  BindingTable j = HashJoin(id, r, nullptr);
+  EXPECT_EQ(j.num_rows(), 2u);
+  EXPECT_EQ(j.num_cols(), 1u);
+}
+
+// --------------------------------------------------- Filter/Semi/Project
+
+TEST(FilterEqualsTest, KeepsMatchingRows) {
+  BindingTable t = Table({"x", "y"}, {{1, 5}, {2, 5}, {1, 6}});
+  BindingTable f = FilterEquals(t, "x", 1, nullptr);
+  EXPECT_EQ(f.num_rows(), 2u);
+  BindingTable g = FilterEquals(t, "missing", 1, nullptr);
+  EXPECT_EQ(g.num_rows(), 0u);
+}
+
+TEST(SemiJoinTest, FiltersBySharedColumns) {
+  BindingTable l = Table({"x", "y"}, {{1, 10}, {2, 20}, {2, 21}});
+  BindingTable r = Table({"x"}, {{2}});
+  BindingTable s = SemiJoin(l, r, nullptr);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.vars(), l.vars());
+}
+
+TEST(SemiJoinTest, DisjointColumnsActAsExistenceCheck) {
+  BindingTable l = Table({"x"}, {{1}, {2}});
+  BindingTable nonempty = Table({"z"}, {{9}});
+  BindingTable empty = Table({"z"}, {});
+  EXPECT_EQ(SemiJoin(l, nonempty, nullptr).num_rows(), 2u);
+  EXPECT_EQ(SemiJoin(l, empty, nullptr).num_rows(), 0u);
+}
+
+TEST(ProjectTest, ReordersAndDropsColumns) {
+  BindingTable t = Table({"x", "y", "z"}, {{1, 2, 3}});
+  BindingTable p = Project(t, {"z", "x"});
+  EXPECT_EQ(p.vars(), (std::vector<std::string>{"z", "x"}));
+  EXPECT_EQ(p.at(0, 0), 3u);
+  EXPECT_EQ(p.at(0, 1), 1u);
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  BindingTable t = Table({"x"}, {{1}, {2}, {1}, {1}});
+  EXPECT_EQ(Distinct(t).num_rows(), 2u);
+}
+
+TEST(LimitTest, Truncates) {
+  BindingTable t = Table({"x"}, {{1}, {2}, {3}});
+  EXPECT_EQ(Limit(t, 2).num_rows(), 2u);
+  EXPECT_EQ(Limit(t, 0).num_rows(), 0u);
+  EXPECT_EQ(Limit(t, 99).num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,186 @@
+// Tests for the auxiliary engine features: the full 14-query LUBM set,
+// N-Triples export round-trips, and per-query deadlines (the paper's
+// 30-minute-timeout mechanism).
+
+#include <gtest/gtest.h>
+
+#include "baselines/sixperm_engine.h"
+#include "datagen/lubm_generator.h"
+#include "engine/database.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+// ------------------------------------------------------- full LUBM set
+
+class LubmFullWorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LubmConfig cfg;
+    cfg.num_universities = 2;
+    auto db = Database::Build(GenerateLubmDataset(cfg));
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(db).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* LubmFullWorkloadTest::db_ = nullptr;
+
+TEST_F(LubmFullWorkloadTest, HasAllFourteenQueries) {
+  EXPECT_EQ(LubmFullWorkload().queries.size(), 14u);
+  for (int i = 1; i <= 14; ++i) {
+    EXPECT_EQ(LubmFullWorkload().Get("Q" + std::to_string(i)).name,
+              "Q" + std::to_string(i));
+  }
+}
+
+TEST_F(LubmFullWorkloadTest, AllQueriesRunAndYieldResults) {
+  for (const WorkloadQuery& wq : LubmFullWorkload().queries) {
+    auto r = db_->ExecuteSparql(wq.sparql);
+    ASSERT_TRUE(r.ok()) << wq.name << ": " << r.status().ToString();
+    EXPECT_GT(r.value().table.num_rows(), 0u) << wq.name;
+  }
+}
+
+TEST_F(LubmFullWorkloadTest, ClosureQueriesSeeAllSubclasses) {
+  // Q6 (?x type Student) must see both undergraduate and graduate
+  // students — only possible through the materialized closure.
+  auto all = db_->ExecuteSparql(LubmFullWorkload().Get("Q6").sparql);
+  auto under = db_->ExecuteSparql(LubmFullWorkload().Get("Q14").sparql);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(under.ok());
+  EXPECT_GT(all.value().table.num_rows(), under.value().table.num_rows());
+}
+
+TEST_F(LubmFullWorkloadTest, MatchesBaselineOnFullSet) {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  Dataset data = GenerateLubmDataset(cfg);
+  SixPermEngine oracle = SixPermEngine::Build(data);
+  for (const WorkloadQuery& wq : LubmFullWorkload().queries) {
+    auto q = ParseSparql(wq.sparql);
+    ASSERT_TRUE(q.ok());
+    auto r1 = db_->Execute(q.value());
+    auto r2 = oracle.Execute(q.value());
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    auto proj = q.value().EffectiveProjection();
+    EXPECT_EQ(r1.value().table.CanonicalRows(proj),
+              r2.value().table.CanonicalRows(proj))
+        << wq.name;
+  }
+}
+
+// ------------------------------------------------------------- export
+
+TEST(ExportTest, NTriplesRoundTripPreservesContentAndSchema) {
+  Dataset original = testutil::Fig1Dataset();
+  auto db = Database::Build(original);
+  ASSERT_TRUE(db.ok());
+  auto text = db.value().ExportNTriples();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  Dataset reloaded;
+  ASSERT_TRUE(reloaded.AddNTriples(text.value()).ok());
+  auto db2 = Database::Build(reloaded);
+  ASSERT_TRUE(db2.ok());
+  // Identical census...
+  EXPECT_EQ(db2.value().build_info().num_triples,
+            db.value().build_info().num_triples);
+  EXPECT_EQ(db2.value().build_info().num_cs, db.value().build_info().num_cs);
+  EXPECT_EQ(db2.value().build_info().num_ecs,
+            db.value().build_info().num_ecs);
+  // ...and identical query answers.
+  auto r1 = db.value().ExecuteSparql(testutil::Fig1Query());
+  auto r2 = db2.value().ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  auto render1 = db.value().Render(r1.value().table);
+  auto render2 = db2.value().Render(r2.value().table);
+  ASSERT_TRUE(render1.ok());
+  ASSERT_TRUE(render2.ok());
+  auto sorted1 = render1.value();
+  auto sorted2 = render2.value();
+  std::sort(sorted1.begin(), sorted1.end());
+  std::sort(sorted2.begin(), sorted2.end());
+  EXPECT_EQ(sorted1, sorted2);
+}
+
+TEST(ExportTest, GeneratorRoundTripAtScale) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  cfg.depts_per_university = 4;
+  Dataset original = GenerateLubmDataset(cfg);
+  auto db = Database::Build(original);
+  ASSERT_TRUE(db.ok());
+  auto text = db.value().ExportNTriples();
+  ASSERT_TRUE(text.ok());
+  Dataset reloaded;
+  ASSERT_TRUE(reloaded.AddNTriples(text.value()).ok());
+  auto db2 = Database::Build(reloaded);
+  ASSERT_TRUE(db2.ok());
+  EXPECT_EQ(db2.value().build_info().num_triples,
+            db.value().build_info().num_triples);
+  EXPECT_EQ(db2.value().build_info().num_ecs,
+            db.value().build_info().num_ecs);
+}
+
+// ------------------------------------------------------------ deadlines
+
+TEST(DeadlineTest, ZeroMeansUnlimited) {
+  auto db = Database::Build(testutil::Fig1Dataset());
+  ASSERT_TRUE(db.ok());
+  auto r = db.value().ExecuteSparql(testutil::Fig1Query());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DeadlineTest, ImmediateDeadlineAborts) {
+  // timeout_millis = 1 on a query heavy enough to take > 1ms: expect a
+  // clean DeadlineExceeded, not a crash or a partial result.
+  LubmConfig cfg;
+  cfg.num_universities = 8;
+  Dataset data = GenerateLubmDataset(cfg);
+  EngineOptions opt;
+  opt.timeout_millis = 1;
+  auto db = Database::Build(data, opt);
+  ASSERT_TRUE(db.ok());
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
+  ASSERT_TRUE(q.ok());
+  auto r = db.value().Execute(q.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, BaselinesHonourTimeouts) {
+  LubmConfig cfg;
+  cfg.num_universities = 8;
+  Dataset data = GenerateLubmDataset(cfg);
+  SixPermEngine engine = SixPermEngine::Build(data);
+  engine.set_timeout_millis(1);
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
+  ASSERT_TRUE(q.ok());
+  auto r = engine.Execute(q.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, GenerousDeadlineStillAnswers) {
+  EngineOptions opt;
+  opt.timeout_millis = 60000;
+  auto db = Database::Build(testutil::Fig1Dataset(), opt);
+  ASSERT_TRUE(db.ok());
+  auto r = db.value().ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace axon

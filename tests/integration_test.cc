@@ -1,0 +1,194 @@
+// Cross-engine integration tests: every workload query must produce the
+// same result multiset on axonDB (all four configurations) and on the three
+// baseline engines — plus randomized query/property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/partial_index_engine.h"
+#include "baselines/sixperm_engine.h"
+#include "baselines/vp_engine.h"
+#include "datagen/geonames_generator.h"
+#include "datagen/lubm_generator.h"
+#include "datagen/reactome_generator.h"
+#include "engine/database.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+// A dataset with every engine built over it.
+struct EngineSet {
+  Dataset data;
+  std::vector<std::unique_ptr<Database>> axon_configs;
+  std::unique_ptr<SixPermEngine> sixperm;
+  std::unique_ptr<PartialIndexEngine> partial;
+  std::unique_ptr<VpEngine> vp;
+
+  explicit EngineSet(Dataset d) : data(std::move(d)) {
+    for (auto [hierarchy, planner] : {std::pair(false, false),
+                                      std::pair(true, false),
+                                      std::pair(false, true),
+                                      std::pair(true, true)}) {
+      EngineOptions opt;
+      opt.use_hierarchy = hierarchy;
+      opt.use_planner = planner;
+      auto db = Database::Build(data, opt);
+      EXPECT_TRUE(db.ok());
+      axon_configs.push_back(
+          std::make_unique<Database>(std::move(db).ValueOrDie()));
+    }
+    sixperm = std::make_unique<SixPermEngine>(SixPermEngine::Build(data));
+    partial =
+        std::make_unique<PartialIndexEngine>(PartialIndexEngine::Build(data));
+    vp = std::make_unique<VpEngine>(VpEngine::Build(data));
+  }
+
+  std::vector<const QueryEngine*> All() const {
+    std::vector<const QueryEngine*> out;
+    for (const auto& db : axon_configs) out.push_back(db.get());
+    out.push_back(sixperm.get());
+    out.push_back(partial.get());
+    out.push_back(vp.get());
+    return out;
+  }
+};
+
+// Runs `sparql` on every engine and asserts identical result multisets.
+void AssertAllEnginesAgree(const EngineSet& engines, const std::string& sparql,
+                           const std::string& label) {
+  auto q = ParseSparql(sparql);
+  EXPECT_TRUE(q.ok()) << label << ": " << q.status().ToString();
+  std::vector<std::string> proj = q.value().EffectiveProjection();
+
+  auto reference = engines.sixperm->Execute(q.value());
+  EXPECT_TRUE(reference.ok()) << label;
+  auto expect = reference.value().table.CanonicalRows(proj);
+
+  for (const QueryEngine* e : engines.All()) {
+    auto r = e->Execute(q.value());
+    ASSERT_TRUE(r.ok()) << label << " on " << e->name() << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r.value().table.CanonicalRows(proj), expect)
+        << label << ": " << e->name() << " disagrees with "
+        << engines.sixperm->name();
+  }
+}
+
+// ------------------------------------------------------ Fig. 1 micro set
+
+TEST(IntegrationFig1Test, AdHocQueriesAgreeAcrossEngines) {
+  EngineSet engines(testutil::Fig1Dataset());
+  const char* queries[] = {
+      // multi-chain-star (the Fig. 1 query)
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?n1 ?n2 ?n4 WHERE {
+           ?n1 ex:name ?a . ?n1 ex:birthday ?b . ?n1 ex:worksFor ?n2 .
+           ?n2 ex:label ?c . ?n2 ex:address ?d . ?n2 ex:registeredIn ?n4 .
+           ?n4 ex:label ?e . ?n4 ex:type ?f })",
+      // star with literal object restriction
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?x WHERE { ?x ex:origin "UK" . ?x ex:name ?n })",
+      // chain with bound subject
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?y ?m WHERE {
+           ex:Bob ex:worksFor ?y . ?y ex:managedBy ?m . ?m ex:position ?p })",
+      // variable predicate star
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?p ?o WHERE { ex:RadioCom ?p ?o })",
+      // full scan
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+      // two disconnected stars (cross product)
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?x ?y WHERE { ?x ex:position ?a . ?y ex:type ?b })",
+      // filter + distinct
+      R"(PREFIX ex: <http://example.org/>
+         SELECT DISTINCT ?y WHERE {
+           ?x ex:worksFor ?y . ?x ex:name ?n FILTER(?n = "Bob Plain") })",
+      // empty: property combination that never co-occurs
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?x WHERE { ?x ex:position ?a . ?x ex:label ?b })",
+      // chain ending in star with bound literal (Fig. 5 shape)
+      R"(PREFIX ex: <http://example.org/>
+         SELECT ?x ?y ?w WHERE {
+           ?x ex:worksFor ?y . ?y ex:managedBy ?w .
+           ?w ex:position "Director" })",
+  };
+  int i = 0;
+  for (const char* q : queries) {
+    AssertAllEnginesAgree(engines, q, "fig1 query #" + std::to_string(i++));
+  }
+}
+
+// ----------------------------------------------------- Workload datasets
+
+TEST(IntegrationLubmTest, AllWorkloadQueriesAgree) {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  cfg.depts_per_university = 6;
+  EngineSet engines(GenerateLubmDataset(cfg));
+  for (const Workload* w : {&LubmOriginalWorkload(), &LubmModifiedWorkload()}) {
+    for (const WorkloadQuery& q : w->queries) {
+      AssertAllEnginesAgree(engines, q.sparql, w->name + "/" + q.name);
+    }
+  }
+}
+
+TEST(IntegrationReactomeTest, AllWorkloadQueriesAgree) {
+  ReactomeConfig cfg;
+  cfg.num_pathways = 15;
+  EngineSet engines(GenerateReactomeDataset(cfg));
+  for (const WorkloadQuery& q : ReactomeWorkload().queries) {
+    AssertAllEnginesAgree(engines, q.sparql, "reactome/" + q.name);
+  }
+}
+
+TEST(IntegrationGeonamesTest, AllWorkloadQueriesAgree) {
+  GeonamesConfig cfg;
+  cfg.num_features = 800;
+  EngineSet engines(GenerateGeonamesDataset(cfg));
+  for (const WorkloadQuery& q : GeonamesWorkload().queries) {
+    AssertAllEnginesAgree(engines, q.sparql, "geonames/" + q.name);
+  }
+}
+
+// -------------------------------------------------- Randomized sweeps
+
+// Random star/chain queries over random graphs, compared across engines.
+class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomQueryTest, EnginesAgreeOnGeneratedQueries) {
+  Random rng(GetParam());
+  EngineSet engines(
+      testutil::RandomDataset(40, 8, 500, 0.3, GetParam() * 977));
+
+  for (int trial = 0; trial < 12; ++trial) {
+    // Build a random chain query of 1-3 hops with random star fan-out.
+    int hops = 1 + static_cast<int>(rng.Uniform(3));
+    std::string body;
+    for (int h = 0; h < hops; ++h) {
+      std::string s = "?v" + std::to_string(h);
+      std::string o = "?v" + std::to_string(h + 1);
+      body += s + " <http://example.org/p" +
+              std::to_string(rng.Uniform(8)) + "> " + o + " . ";
+      // Optional star on the subject.
+      if (rng.Bernoulli(0.6)) {
+        body += s + " <http://example.org/p" +
+                std::to_string(rng.Uniform(8)) + "> ?s" + std::to_string(h) +
+                " . ";
+      }
+    }
+    std::string sparql = "SELECT * WHERE { " + body + "}";
+    AssertAllEnginesAgree(engines, sparql,
+                          "random trial " + std::to_string(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,173 @@
+// Tests for query-ECS-to-index matching (Sec. IV.B, Algorithms 3-4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/database.h"
+#include "engine/ecs_matcher.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dataset data = testutil::Fig1Dataset();
+    auto db = Database::Build(data);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(db).ValueOrDie());
+    matcher_ = std::make_unique<EcsMatcher>(
+        &db_->cs_index(), &db_->ecs_index(), &db_->ecs_graph());
+  }
+
+  QueryGraph Build(const std::string& sparql) {
+    auto q = ParseSparql(sparql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto g = BuildQueryGraph(q.value(), db_->dict(),
+                             db_->cs_index().properties());
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).ValueOrDie();
+  }
+
+  // Data ECS id for a (subject node, object node) pair of Fig. 1 locals.
+  EcsId DataEcs(const std::string& s, const std::string& o) {
+    TermId sid = *db_->dict().Lookup(testutil::Ex(s));
+    TermId oid = *db_->dict().Lookup(testutil::Ex(o));
+    CsId sc = *db_->cs_index().CsOfSubject(sid);
+    CsId oc = *db_->cs_index().CsOfSubject(oid);
+    for (const auto& e : db_->ecs_index().sets()) {
+      if (e.subject_cs == sc && e.object_cs == oc) return e.id;
+    }
+    ADD_FAILURE() << "no ECS for " << s << " -> " << o;
+    return kNoEcs;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<EcsMatcher> matcher_;
+};
+
+TEST_F(MatcherTest, Fig5MatchesAsInThePaper) {
+  // Sec. IV.B: Qxy matches both E1 and E2; Qyz matches E4; Qyw matches E3.
+  QueryGraph g = Build(testutil::Fig5Query());
+  EcsId e1 = DataEcs("John", "RadioCom");
+  EcsId e2 = DataEcs("Jack", "RadioCom");
+  EcsId e3 = DataEcs("RadioCom", "Mike");
+  EcsId e4 = DataEcs("RadioCom", "UKRegistry");
+
+  // Identify the query ECSs by their link predicate.
+  for (size_t qi = 0; qi < g.ecss.size(); ++qi) {
+    const IdPattern& link = g.patterns[g.ecss[qi].link_patterns[0]];
+    std::vector<EcsId> matches = matcher_->MatchAll(g, static_cast<int>(qi));
+    std::string pred = db_->dict().GetCanonical(link.p);
+    if (pred.find("worksFor") != std::string::npos) {
+      EXPECT_EQ(matches, (std::vector<EcsId>{std::min(e1, e2),
+                                             std::max(e1, e2)}));
+    } else if (pred.find("registeredIn") != std::string::npos) {
+      EXPECT_EQ(matches, std::vector<EcsId>{e4});
+    } else if (pred.find("managedBy") != std::string::npos) {
+      EXPECT_EQ(matches, std::vector<EcsId>{e3});
+    } else {
+      ADD_FAILURE() << "unexpected link predicate " << pred;
+    }
+  }
+}
+
+TEST_F(MatcherTest, ChainMatchRequiresGraphLink) {
+  QueryGraph g = Build(testutil::Fig1Query());
+  ASSERT_EQ(g.chains.size(), 1u);
+  ChainMatch m = matcher_->MatchChain(g, g.chains[0]);
+  ASSERT_FALSE(m.Empty());
+  ASSERT_EQ(m.position_matches.size(), 2u);
+  // Position 0: worksFor ECSs E1, E2; position 1: registeredIn E4.
+  EcsId e1 = DataEcs("John", "RadioCom");
+  EcsId e2 = DataEcs("Jack", "RadioCom");
+  EcsId e4 = DataEcs("RadioCom", "UKRegistry");
+  EXPECT_EQ(m.position_matches[0],
+            (std::vector<EcsId>{std::min(e1, e2), std::max(e1, e2)}));
+  EXPECT_EQ(m.position_matches[1], std::vector<EcsId>{e4});
+}
+
+TEST_F(MatcherTest, SubsetConditionRejectsRicherQueryCs) {
+  // Subject star {name, worksFor, position} exists in no data CS.
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?y WHERE {
+        ?x ex:worksFor ?y .
+        ?x ex:name ?n .
+        ?x ex:position ?p .
+        ?y ex:label ?l })");
+  ASSERT_EQ(g.ecss.size(), 1u);
+  EXPECT_TRUE(matcher_->MatchAll(g, 0).empty());
+}
+
+TEST_F(MatcherTest, PropertyConditionRejectsMissingLinkPredicate) {
+  // The pair (S1-ish star, S3-ish star) exists, but linked by worksFor, not
+  // by marriedTo. Condition (7) must reject E1/E2.
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?y WHERE {
+        ?x ex:marriedTo ?y .
+        ?x ex:name ?n .
+        ?y ex:label ?l .
+        ?y ex:address ?a })");
+  ASSERT_EQ(g.ecss.size(), 1u);
+  EXPECT_TRUE(matcher_->MatchAll(g, 0).empty());
+}
+
+TEST_F(MatcherTest, UnboundLinkPredicateMatchesAnyProperty) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?p ?y WHERE {
+        ?x ?p ?y .
+        ?x ex:birthday ?b .
+        ?y ex:label ?l .
+        ?y ex:managedBy ?m .
+        ?m ex:position ?pos })");
+  // Two query ECSs: (x,y) var-pred and (y,m) managedBy.
+  ASSERT_EQ(g.ecss.size(), 2u);
+  ASSERT_EQ(g.chains.size(), 1u);
+  ChainMatch m = matcher_->MatchChain(g, g.chains[0]);
+  EXPECT_FALSE(m.Empty());
+  EXPECT_EQ(m.position_matches[0].size(), 2u);  // E1 and E2
+}
+
+TEST_F(MatcherTest, BoundNodeRestrictsToItsCs) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?y WHERE {
+        ex:Jack ex:worksFor ?y .
+        ?y ex:label ?l })");
+  ASSERT_EQ(g.ecss.size(), 1u);
+  std::vector<EcsId> matches = matcher_->MatchAll(g, 0);
+  // Only E2 = (S2, S3): Jack's CS, not John/Bob's.
+  EXPECT_EQ(matches, std::vector<EcsId>{DataEcs("Jack", "RadioCom")});
+}
+
+TEST_F(MatcherTest, BoundNodeWithoutCsMatchesNothing) {
+  // Alice emits nothing: as a chain subject she has no CS.
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?y WHERE {
+        ex:Alice ex:worksFor ?y .
+        ?y ex:label ?l })");
+  ASSERT_EQ(g.ecss.size(), 1u);
+  EXPECT_TRUE(matcher_->MatchAll(g, 0).empty());
+}
+
+TEST_F(MatcherTest, DeadEndBranchesPrunedBySuffixCheck) {
+  // Chain: (x -worksFor-> y)(y -registeredIn-> z), but with a star on z
+  // that exists only on UKRegistry. Then extend z's star to something
+  // impossible: position. No chain completion => position 0 empty too.
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?y ?z WHERE {
+        ?x ex:worksFor ?y .
+        ?y ex:registeredIn ?z .
+        ?y ex:label ?l .
+        ?z ex:position ?p })");
+  ASSERT_EQ(g.chains.size(), 1u);
+  ASSERT_EQ(g.chains[0].size(), 2u);
+  ChainMatch m = matcher_->MatchChain(g, g.chains[0]);
+  EXPECT_TRUE(m.Empty());
+  EXPECT_TRUE(m.position_matches[0].empty());  // pruned by suffix failure
+}
+
+}  // namespace
+}  // namespace axon

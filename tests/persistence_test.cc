@@ -1,0 +1,188 @@
+// Save/Open round-trip tests for the single-binary-file database format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/lubm_generator.h"
+#include "engine/database.h"
+#include "storage/db_file.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/axon_persistence_test.axdb";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(PersistenceTest, Fig1RoundTripPreservesEverything) {
+  Dataset data = testutil::Fig1Dataset();
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  const Database& db = built.value();
+  ASSERT_TRUE(db.Save(path_).ok());
+
+  auto opened = Database::Open(path_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const Database& db2 = opened.value();
+
+  // Census preserved.
+  EXPECT_EQ(db2.build_info().num_triples, db.build_info().num_triples);
+  EXPECT_EQ(db2.build_info().num_cs, db.build_info().num_cs);
+  EXPECT_EQ(db2.build_info().num_ecs, db.build_info().num_ecs);
+  EXPECT_EQ(db2.build_info().num_ecs_edges, db.build_info().num_ecs_edges);
+
+  // Dictionary preserved.
+  EXPECT_EQ(db2.dict().size(), db.dict().size());
+  for (TermId id = 1; id <= db.dict().size(); ++id) {
+    EXPECT_EQ(db2.dict().GetCanonical(id), db.dict().GetCanonical(id));
+  }
+
+  // Queries give identical results.
+  for (const std::string& q : {testutil::Fig1Query(), testutil::Fig5Query()}) {
+    auto r1 = db.ExecuteSparql(q);
+    auto r2 = db2.ExecuteSparql(q);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    auto proj = r1.value().table.vars();
+    EXPECT_EQ(r1.value().table.CanonicalRows(proj),
+              r2.value().table.CanonicalRows(proj));
+  }
+}
+
+TEST_F(PersistenceTest, LubmRoundTripAnswersWorkload) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset data = GenerateLubmDataset(cfg);
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+  auto opened = Database::Open(path_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  for (const WorkloadQuery& wq : LubmOriginalWorkload().queries) {
+    auto r1 = built.value().ExecuteSparql(wq.sparql);
+    auto r2 = opened.value().ExecuteSparql(wq.sparql);
+    ASSERT_TRUE(r1.ok()) << wq.name;
+    ASSERT_TRUE(r2.ok()) << wq.name;
+    auto proj = r1.value().table.vars();
+    EXPECT_EQ(r1.value().table.CanonicalRows(proj),
+              r2.value().table.CanonicalRows(proj))
+        << wq.name;
+  }
+}
+
+TEST_F(PersistenceTest, HierarchyLayoutSurvivesRoundTrip) {
+  Dataset data = testutil::Fig1Dataset();
+  EngineOptions opt;
+  opt.use_hierarchy = true;
+  auto built = Database::Build(data, opt);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+  auto opened = Database::Open(path_, opt);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().ecs_index().StorageOrder(),
+            built.value().ecs_index().StorageOrder());
+  EXPECT_EQ(opened.value().hierarchy().PreOrder(),
+            built.value().hierarchy().PreOrder());
+}
+
+TEST_F(PersistenceTest, OpenRejectsCorruptedFile) {
+  Dataset data = testutil::Fig1Dataset();
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path_, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x7;
+  ASSERT_TRUE(WriteStringToFile(path_, bytes).ok());
+  EXPECT_FALSE(Database::Open(path_).ok());
+}
+
+TEST_F(PersistenceTest, OpenRejectsMissingFile) {
+  EXPECT_FALSE(Database::Open("/no/such/file.axdb").ok());
+}
+
+TEST_F(PersistenceTest, FileSizeTracksStorageBytes) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset data = GenerateLubmDataset(cfg);
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+  DbFileReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  // The index sections dominate the file; StorageBytes (cs+ecs payloads)
+  // must be within the file size.
+  EXPECT_LE(built.value().StorageBytes(), reader.file_size());
+  EXPECT_GT(built.value().StorageBytes(), 0u);
+}
+
+TEST_F(PersistenceTest, MappedOpenServesTablesZeroCopy) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset data = GenerateLubmDataset(cfg);
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+
+  auto mapped = Database::OpenMapped(path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().is_mapped());
+  // The tables really are borrowed views over the mapping (sections are
+  // 8-byte aligned, so no copy fallback).
+  EXPECT_TRUE(mapped.value().cs_index().spo().borrowed());
+  EXPECT_TRUE(mapped.value().ecs_index().pso().borrowed());
+
+  auto copied = Database::Open(path_);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_FALSE(copied.value().is_mapped());
+  EXPECT_FALSE(copied.value().cs_index().spo().borrowed());
+
+  // Identical answers from both residencies, across workload queries.
+  for (const WorkloadQuery& wq : LubmOriginalWorkload().queries) {
+    auto r1 = mapped.value().ExecuteSparql(wq.sparql);
+    auto r2 = copied.value().ExecuteSparql(wq.sparql);
+    ASSERT_TRUE(r1.ok()) << wq.name;
+    ASSERT_TRUE(r2.ok()) << wq.name;
+    auto proj = r1.value().table.vars();
+    EXPECT_EQ(r1.value().table.CanonicalRows(proj),
+              r2.value().table.CanonicalRows(proj))
+        << wq.name;
+  }
+}
+
+TEST_F(PersistenceTest, MappedDatabaseSurvivesMove) {
+  Dataset data = testutil::Fig1Dataset();
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+  auto mapped = Database::OpenMapped(path_);
+  ASSERT_TRUE(mapped.ok());
+  // Move the database: the shared mapping moves with it, so borrowed
+  // views stay valid.
+  Database moved = std::move(mapped).ValueOrDie();
+  auto r = moved.ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+}
+
+TEST_F(PersistenceTest, MappedOpenRejectsMissingAndCorrupt) {
+  EXPECT_FALSE(Database::OpenMapped("/no/such/file.axdb").ok());
+  Dataset data = testutil::Fig1Dataset();
+  auto built = Database::Build(data);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built.value().Save(path_).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path_, &bytes).ok());
+  bytes[bytes.size() / 3] ^= 0x5;
+  ASSERT_TRUE(WriteStringToFile(path_, bytes).ok());
+  EXPECT_FALSE(Database::OpenMapped(path_).ok());
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,172 @@
+// Tests for ECS query-graph extraction (Sec. IV.A): query CS bitmaps,
+// query ECSs, chain identification and contained-chain removal.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/database.h"
+#include "engine/query_graph.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dataset data = testutil::Fig1Dataset();
+    auto db = Database::Build(data);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(db).ValueOrDie());
+  }
+
+  QueryGraph Build(const std::string& sparql) {
+    auto q = ParseSparql(sparql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto g = BuildQueryGraph(q.value(), db_->dict(),
+                             db_->cs_index().properties());
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).ValueOrDie();
+  }
+
+  int NodeByCol(const QueryGraph& g, const std::string& col) {
+    for (size_t i = 0; i < g.nodes.size(); ++i) {
+      if (g.nodes[i].col == col) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(QueryGraphTest, Fig1QueryDecomposition) {
+  QueryGraph g = Build(testutil::Fig1Query());
+  // Nodes: n1, n2, n4 + the star objects a,b,c,d,e,f.
+  EXPECT_EQ(g.nodes.size(), 9u);
+  // Two query ECSs: (n1,n2) via worksFor, (n2,n4) via registeredIn.
+  ASSERT_EQ(g.ecss.size(), 2u);
+  // One chain covering both.
+  ASSERT_EQ(g.chains.size(), 1u);
+  EXPECT_EQ(g.chains[0].size(), 2u);
+
+  int n1 = NodeByCol(g, "n1");
+  ASSERT_GE(n1, 0);
+  // n1's query CS: {name, birthday, worksFor}.
+  EXPECT_EQ(g.nodes[n1].star_bitmap.Count(), 3u);
+  // Star patterns of n1: name and birthday (worksFor is a chain edge).
+  EXPECT_EQ(g.StarPatterns(n1).size(), 2u);
+
+  int n2 = NodeByCol(g, "n2");
+  ASSERT_GE(n2, 0);
+  EXPECT_EQ(g.nodes[n2].star_bitmap.Count(), 3u);  // label,address,registeredIn
+}
+
+TEST_F(QueryGraphTest, Fig5QueryHasTwoChains) {
+  QueryGraph g = Build(testutil::Fig5Query());
+  // Query ECSs: (x,y), (y,z), (y,w) — w emits position (bound-object star).
+  ASSERT_EQ(g.ecss.size(), 3u);
+  // Chains: [Qxy, Qyz] and [Qxy, Qyw]; the 1-ECS chains are contained.
+  ASSERT_EQ(g.chains.size(), 2u);
+  for (const auto& c : g.chains) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST_F(QueryGraphTest, PureStarQueryHasNoEcss) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:name ?n . ?x ex:origin ?o })");
+  EXPECT_TRUE(g.ecss.empty());
+  EXPECT_TRUE(g.chains.empty());
+  int x = NodeByCol(g, "x");
+  ASSERT_GE(x, 0);
+  EXPECT_EQ(g.nodes[x].star_bitmap.Count(), 2u);
+  EXPECT_EQ(g.StarPatterns(x).size(), 2u);
+}
+
+TEST_F(QueryGraphTest, BoundTermsBecomeConstantColumns) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?y WHERE { ex:Jack ex:worksFor ?y . ?y ex:label ?l })");
+  EXPECT_FALSE(g.impossible);
+  ASSERT_EQ(g.ecss.size(), 1u);
+  const QueryNode& subject = g.nodes[g.ecss[0].subject_node];
+  EXPECT_FALSE(subject.is_variable);
+  EXPECT_EQ(subject.col.substr(0, 3), "__b");
+  EXPECT_NE(subject.bound_id, kInvalidId);
+}
+
+TEST_F(QueryGraphTest, UnknownBoundTermMarksImpossible) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?y WHERE { ex:Ghost ex:worksFor ?y })");
+  EXPECT_TRUE(g.impossible);
+}
+
+TEST_F(QueryGraphTest, UnknownPredicateMarksImpossible) {
+  // 'label' exists as a term but 'neverUsed' does not appear at all.
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:neverUsed ?y })");
+  EXPECT_TRUE(g.impossible);
+}
+
+TEST_F(QueryGraphTest, SelfLoopStaysAStarPattern) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:worksFor ?x . ?x ex:name ?n })");
+  EXPECT_TRUE(g.ecss.empty());
+  int x = NodeByCol(g, "x");
+  EXPECT_EQ(g.StarPatterns(x).size(), 2u);
+}
+
+TEST_F(QueryGraphTest, VariablePredicatesAddNoBitmapBits) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?p WHERE { ?x ?p ?y . ?y ex:label ?l })");
+  ASSERT_EQ(g.ecss.size(), 1u);
+  const QueryNode& x = g.nodes[g.ecss[0].subject_node];
+  EXPECT_EQ(x.star_bitmap.Count(), 0u);
+}
+
+TEST_F(QueryGraphTest, MultiplePredicatesBetweenSameNodesShareOneEcs) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?y ?w WHERE {
+        ?y ex:managedBy ?w . ?y ex:registeredIn ?z .
+        ?w ex:position ?p . ?z ex:label ?l .
+        ?y ex:managedBy ?w2 . ?w2 ex:position ?p2 })");
+  // (y,w) has one link pattern; (y,w2) another; (y,z) a third.
+  EXPECT_EQ(g.ecss.size(), 3u);
+}
+
+TEST_F(QueryGraphTest, LongChainIsSingleMaximalChain) {
+  QueryGraph g = Build(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x ?y ?z WHERE {
+        ?x ex:worksFor ?y .
+        ?y ex:registeredIn ?z .
+        ?z ex:label ?l .
+        ?y ex:address ?a .
+        ?x ex:name ?n })");
+  ASSERT_EQ(g.ecss.size(), 2u);
+  ASSERT_EQ(g.chains.size(), 1u);
+  EXPECT_EQ(g.chains[0].size(), 2u);
+  // The chain is ordered: (x,y) then (y,z).
+  EXPECT_EQ(g.ecss[g.chains[0][0]].object_node,
+            g.ecss[g.chains[0][1]].subject_node);
+}
+
+TEST_F(QueryGraphTest, EveryEcsAppearsInSomeChain) {
+  QueryGraph g = Build(testutil::Fig5Query());
+  std::vector<bool> covered(g.ecss.size(), false);
+  for (const auto& chain : g.chains) {
+    for (int e : chain) covered[e] = true;
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST_F(QueryGraphTest, EmptyQueryIsRejected) {
+  auto q = ParseSparql("SELECT ?x WHERE { ?x <http://p> ?y }");
+  ASSERT_TRUE(q.ok());
+  SelectQuery empty = q.value();
+  empty.patterns.clear();
+  auto g = BuildQueryGraph(empty, db_->dict(), db_->cs_index().properties());
+  EXPECT_FALSE(g.ok());
+}
+
+}  // namespace
+}  // namespace axon

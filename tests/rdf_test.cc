@@ -1,0 +1,213 @@
+// Unit tests for the RDF layer: terms, the prefix-compressed dictionary and
+// the N-Triples parser/writer.
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+namespace axon {
+namespace {
+
+// ------------------------------------------------------------------ Term
+
+TEST(TermTest, CanonicalForms) {
+  EXPECT_EQ(Term::Iri("http://x/a").Canonical(), "<http://x/a>");
+  EXPECT_EQ(Term::Blank("b0").Canonical(), "_:b0");
+  EXPECT_EQ(Term::Literal("hi").Canonical(), "\"hi\"");
+  EXPECT_EQ(Term::Literal("hi", "", "en").Canonical(), "\"hi\"@en");
+  EXPECT_EQ(Term::Literal("5", "http://www.w3.org/2001/XMLSchema#int")
+                .Canonical(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(TermTest, CanonicalEscapesLiterals) {
+  Term t = Term::Literal("a\"b\\c\nd");
+  EXPECT_EQ(t.Canonical(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+class TermRoundTripTest : public ::testing::TestWithParam<Term> {};
+
+TEST_P(TermRoundTripTest, FromCanonicalInvertsCanonical) {
+  const Term& t = GetParam();
+  auto back = Term::FromCanonical(t.Canonical());
+  ASSERT_TRUE(back.ok()) << t.Canonical();
+  EXPECT_EQ(back.value(), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Terms, TermRoundTripTest,
+    ::testing::Values(
+        Term::Iri("http://example.org/x"),
+        Term::Iri("urn:uuid:1-2-3"),
+        Term::Blank("node7"),
+        Term::Literal("plain"),
+        Term::Literal(""),
+        Term::Literal("with \"quotes\" and \\slashes\\"),
+        Term::Literal("tab\there\nnewline"),
+        Term::Literal("hallo", "", "de"),
+        Term::Literal("hallo", "", "en-GB"),
+        Term::Literal("3.14", "http://www.w3.org/2001/XMLSchema#decimal")));
+
+TEST(TermTest, FromCanonicalRejectsGarbage) {
+  EXPECT_FALSE(Term::FromCanonical("").ok());
+  EXPECT_FALSE(Term::FromCanonical("<unclosed").ok());
+  EXPECT_FALSE(Term::FromCanonical("\"unclosed").ok());
+  EXPECT_FALSE(Term::FromCanonical("plainword").ok());
+  EXPECT_FALSE(Term::FromCanonical("\"x\"^^garbage").ok());
+}
+
+// ------------------------------------------------------------ Dictionary
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  TermId a = d.Intern(Term::Iri("http://x/a"));
+  TermId b = d.Intern(Term::Iri("http://x/b"));
+  EXPECT_EQ(a, 1u);  // ids start at 1
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern(Term::Iri("http://x/a")), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, LiteralAndIriWithSameTextDiffer) {
+  Dictionary d;
+  TermId iri = d.Intern(Term::Iri("x"));
+  TermId lit = d.Intern(Term::Literal("x"));
+  EXPECT_NE(iri, lit);
+}
+
+TEST(DictionaryTest, LookupAndGetTerm) {
+  Dictionary d;
+  Term t = Term::Literal("v", "", "en");
+  TermId id = d.Intern(t);
+  EXPECT_EQ(d.Lookup(t), std::optional<TermId>(id));
+  EXPECT_EQ(d.Lookup(Term::Literal("v")), std::nullopt);
+  auto back = d.GetTerm(id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);
+  EXPECT_FALSE(d.GetTerm(0).ok());
+  EXPECT_FALSE(d.GetTerm(999).ok());
+}
+
+TEST(DictionaryTest, PrefixCompressionSharesNamespaces) {
+  Dictionary d;
+  for (int i = 0; i < 100; ++i) {
+    d.Intern(Term::Iri("http://long.namespace.example.org/vocab#p" +
+                       std::to_string(i)));
+  }
+  // One shared prefix (+ the built-in empty prefix).
+  EXPECT_EQ(d.num_prefixes(), 2u);
+}
+
+TEST(DictionaryTest, SerializeDeserializeRoundTrip) {
+  Dictionary d;
+  std::vector<Term> terms = {
+      Term::Iri("http://a/x"),     Term::Iri("http://a/y"),
+      Term::Iri("http://b#z"),     Term::Blank("n1"),
+      Term::Literal("lit value"),  Term::Literal("v", "", "en"),
+      Term::Literal("1", "http://www.w3.org/2001/XMLSchema#integer"),
+  };
+  std::vector<TermId> ids;
+  for (const Term& t : terms) ids.push_back(d.Intern(t));
+
+  std::string buf;
+  ASSERT_TRUE(d.Serialize(&buf).ok());
+  auto back = Dictionary::Deserialize(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Dictionary& d2 = back.value();
+  ASSERT_EQ(d2.size(), d.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    EXPECT_EQ(d2.Lookup(terms[i]), std::optional<TermId>(ids[i]));
+    EXPECT_EQ(d2.GetCanonical(ids[i]), terms[i].Canonical());
+  }
+}
+
+TEST(DictionaryTest, DeserializeRejectsCorruption) {
+  Dictionary d;
+  d.Intern(Term::Iri("http://a/x"));
+  std::string buf;
+  ASSERT_TRUE(d.Serialize(&buf).ok());
+  EXPECT_FALSE(Dictionary::Deserialize("BADMAGIC").ok());
+  EXPECT_FALSE(Dictionary::Deserialize(buf.substr(0, buf.size() - 3)).ok());
+  std::string flipped = buf;
+  flipped[buf.size() - 2] ^= 0xFF;  // corrupt the sorted-order section
+  EXPECT_FALSE(Dictionary::Deserialize(flipped).ok());
+}
+
+TEST(DictionaryTest, MemoryUsageGrowsWithContent) {
+  Dictionary d;
+  uint64_t before = d.MemoryUsage();
+  for (int i = 0; i < 50; ++i) {
+    d.Intern(Term::Iri("http://x/entity" + std::to_string(i)));
+  }
+  EXPECT_GT(d.MemoryUsage(), before);
+}
+
+// -------------------------------------------------------------- NTriples
+
+TEST(NTriplesTest, ParsesBasicLine) {
+  auto t = ParseNTriplesLine(
+      "<http://a/s> <http://a/p> \"obj\"@en .");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().s, Term::Iri("http://a/s"));
+  EXPECT_EQ(t.value().p, Term::Iri("http://a/p"));
+  EXPECT_EQ(t.value().o, Term::Literal("obj", "", "en"));
+}
+
+TEST(NTriplesTest, ParsesBlankNodesAndDatatypes) {
+  auto t = ParseNTriplesLine(
+      "_:b1 <http://a/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#int> .");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value().s.is_blank());
+  EXPECT_EQ(t.value().o.datatype, "http://www.w3.org/2001/XMLSchema#int");
+}
+
+TEST(NTriplesTest, RejectsBadStatements) {
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> .").ok());          // missing object
+  EXPECT_FALSE(ParseNTriplesLine("\"lit\" <p> <o> .").ok());  // literal subject
+  EXPECT_FALSE(ParseNTriplesLine("<s> \"p\" <o> .").ok());    // literal pred
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> <o> . extra").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> \"unterminated .").ok());
+}
+
+TEST(NTriplesTest, ParsesMultiLineWithCommentsAndBlanks) {
+  std::string text =
+      "# header comment\n"
+      "<http://a/s1> <http://a/p> <http://a/o1> .\n"
+      "\n"
+      "   # indented comment\n"
+      "<http://a/s2> <http://a/p> \"two\" .\n";
+  auto triples = ParseNTriplesToVector(text);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  EXPECT_EQ(triples.value().size(), 2u);
+}
+
+TEST(NTriplesTest, ErrorCarriesLineNumber) {
+  std::string text =
+      "<http://a/s1> <http://a/p> <http://a/o1> .\n"
+      "garbage here\n";
+  auto triples = ParseNTriplesToVector(text);
+  ASSERT_FALSE(triples.ok());
+  EXPECT_NE(triples.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, WriteParseRoundTrip) {
+  TermTriple t{Term::Iri("http://a/s"), Term::Iri("http://a/p"),
+               Term::Literal("a \"quoted\"\nvalue", "", "en")};
+  std::string line = WriteNTriplesLine(t);
+  auto back = ParseNTriplesToVector(line);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 1u);
+  EXPECT_EQ(back.value()[0], t);
+}
+
+TEST(NTriplesTest, LastLineWithoutNewline) {
+  auto triples =
+      ParseNTriplesToVector("<http://a/s> <http://a/p> <http://a/o> .");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(triples.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,162 @@
+// Tests for result serialization (TSV / CSV / SPARQL JSON) plus a
+// concurrency smoke test of the read path.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/database.h"
+#include "sparql/results_io.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+class ResultsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dict_.Intern(Term::Iri("http://x/alice"));             // id 1
+    dict_.Intern(Term::Literal("plain value"));            // id 2
+    dict_.Intern(Term::Literal("hallo", "", "de"));        // id 3
+    dict_.Intern(Term::Literal(
+        "5", "http://www.w3.org/2001/XMLSchema#integer"));  // id 4
+    dict_.Intern(Term::Blank("b0"));                        // id 5
+    dict_.Intern(Term::Literal("needs,\"quoting\"\n"));     // id 6
+    table_ = BindingTable({"s", "o"});
+    table_.AppendRow({1, 2});
+    table_.AppendRow({5, 3});
+    table_.AppendRow({1, 4});
+  }
+
+  Dictionary dict_;
+  BindingTable table_;
+};
+
+TEST_F(ResultsIoTest, Tsv) {
+  auto out = WriteResults(table_, dict_, ResultFormat::kTsv);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(),
+            "?s\t?o\n"
+            "<http://x/alice>\t\"plain value\"\n"
+            "_:b0\t\"hallo\"@de\n"
+            "<http://x/alice>\t\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>\n");
+}
+
+TEST_F(ResultsIoTest, Csv) {
+  auto out = WriteResults(table_, dict_, ResultFormat::kCsv);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(),
+            "s,o\r\n"
+            "http://x/alice,plain value\r\n"
+            "b0,hallo\r\n"
+            "http://x/alice,5\r\n");
+}
+
+TEST_F(ResultsIoTest, CsvQuoting) {
+  BindingTable t({"v"});
+  t.AppendRow({6});
+  auto out = WriteResults(t, dict_, ResultFormat::kCsv);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "v\r\n\"needs,\"\"quoting\"\"\n\"\r\n");
+}
+
+TEST_F(ResultsIoTest, Json) {
+  BindingTable t({"a"});
+  t.AppendRow({3});
+  auto out = WriteResults(t, dict_, ResultFormat::kJson);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(),
+            "{\"head\":{\"vars\":[\"a\"]},\"results\":{\"bindings\":["
+            "{\"a\":{\"type\":\"literal\",\"value\":\"hallo\","
+            "\"xml:lang\":\"de\"}}]}}");
+}
+
+TEST_F(ResultsIoTest, JsonTermKinds) {
+  BindingTable t({"x", "y", "z"});
+  t.AppendRow({1, 4, 5});
+  auto out = WriteResults(t, dict_, ResultFormat::kJson);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("\"type\":\"uri\""), std::string::npos);
+  EXPECT_NE(out.value().find("\"type\":\"bnode\""), std::string::npos);
+  EXPECT_NE(out.value().find(
+                "\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""),
+            std::string::npos);
+}
+
+TEST_F(ResultsIoTest, EmptyTable) {
+  BindingTable t({"a", "b"});
+  auto tsv = WriteResults(t, dict_, ResultFormat::kTsv);
+  ASSERT_TRUE(tsv.ok());
+  EXPECT_EQ(tsv.value(), "?a\t?b\n");
+  auto json = WriteResults(t, dict_, ResultFormat::kJson);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json.value().find("\"bindings\":[]"), std::string::npos);
+}
+
+TEST_F(ResultsIoTest, RejectsInvalidIds) {
+  BindingTable t({"a"});
+  t.AppendRow({kInvalidId});
+  EXPECT_FALSE(WriteResults(t, dict_, ResultFormat::kTsv).ok());
+  BindingTable t2({"a"});
+  t2.AppendRow({999});
+  EXPECT_FALSE(WriteResults(t2, dict_, ResultFormat::kJson).ok());
+}
+
+TEST(EscapeTest, JsonEscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(EscapeTest, CsvQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+// End-to-end: query -> serialize.
+TEST(ResultsIoEndToEndTest, QueryResultsSerializeInAllFormats) {
+  auto db = Database::Build(testutil::Fig1Dataset());
+  ASSERT_TRUE(db.ok());
+  auto r = db.value().ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r.ok());
+  for (ResultFormat f :
+       {ResultFormat::kTsv, ResultFormat::kCsv, ResultFormat::kJson}) {
+    auto out = WriteResults(r.value().table, db.value().dict(), f);
+    ASSERT_TRUE(out.ok());
+    EXPECT_NE(out.value().find("RadioCom"), std::string::npos);
+  }
+}
+
+// The read path is const and shares no mutable state: concurrent queries
+// over one Database must behave like sequential ones.
+TEST(ConcurrencyTest, ParallelQueriesAgree) {
+  auto db = Database::Build(testutil::Fig1Dataset());
+  ASSERT_TRUE(db.ok());
+  const Database& d = db.value();
+  auto expect = d.ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(expect.ok());
+  size_t expect_rows = expect.value().table.num_rows();
+
+  constexpr int kThreads = 8;
+  constexpr int kReps = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&d, &failures, t, expect_rows]() {
+      for (int i = 0; i < kReps; ++i) {
+        auto r = d.ExecuteSparql(testutil::Fig1Query());
+        if (!r.ok() || r.value().table.num_rows() != expect_rows) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace axon

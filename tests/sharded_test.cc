@@ -1,0 +1,144 @@
+// Tests for the sharded (distributed-simulation) ECS store: partition
+// integrity, balance, and exact result agreement with the single-node
+// engine across shard counts and workloads.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/lubm_generator.h"
+#include "datagen/reactome_generator.h"
+#include "engine/database.h"
+#include "engine/sharded_database.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+TEST(ShardedTest, RejectsZeroShards) {
+  ShardedOptions opt;
+  opt.num_shards = 0;
+  EXPECT_FALSE(ShardedDatabase::Build(testutil::Fig1Dataset(), opt).ok());
+}
+
+TEST(ShardedTest, PartitionCoversAllTriples) {
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset data = GenerateLubmDataset(cfg);
+  auto single = Database::Build(data);
+  ASSERT_TRUE(single.ok());
+  ShardedOptions opt;
+  opt.num_shards = 4;
+  auto sharded = ShardedDatabase::Build(data, opt);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  auto counts = sharded.value().ShardTripleCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  uint64_t total = std::accumulate(counts.begin(), counts.end(), uint64_t{0});
+  EXPECT_EQ(total, single.value().build_info().num_triples);
+  // Subject-hash distribution is roughly balanced: no shard empty and no
+  // shard holding more than ~60% of the data at this size.
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 0u);
+    EXPECT_LT(c, total * 6 / 10);
+  }
+}
+
+TEST(ShardedTest, Fig1AnswersMatchSingleNode) {
+  Dataset data = testutil::Fig1Dataset();
+  auto single = Database::Build(data);
+  ASSERT_TRUE(single.ok());
+  for (uint32_t shards : {1u, 2u, 3u, 5u}) {
+    ShardedOptions opt;
+    opt.num_shards = shards;
+    auto sharded = ShardedDatabase::Build(data, opt);
+    ASSERT_TRUE(sharded.ok());
+    for (const std::string& q :
+         {testutil::Fig1Query(), testutil::Fig5Query()}) {
+      auto parsed = ParseSparql(q);
+      ASSERT_TRUE(parsed.ok());
+      auto r1 = single.value().Execute(parsed.value());
+      auto r2 = sharded.value().Execute(parsed.value());
+      ASSERT_TRUE(r1.ok());
+      ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+      auto proj = parsed.value().EffectiveProjection();
+      EXPECT_EQ(r2.value().table.CanonicalRows(proj),
+                r1.value().table.CanonicalRows(proj))
+          << shards << " shards";
+    }
+  }
+}
+
+class ShardedWorkloadTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShardedWorkloadTest, LubmWorkloadsMatchSingleNode) {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  cfg.depts_per_university = 5;
+  Dataset data = GenerateLubmDataset(cfg);
+  auto single = Database::Build(data);
+  ASSERT_TRUE(single.ok());
+  ShardedOptions opt;
+  opt.num_shards = GetParam();
+  auto sharded = ShardedDatabase::Build(data, opt);
+  ASSERT_TRUE(sharded.ok());
+  for (const Workload* w :
+       {&LubmOriginalWorkload(), &LubmModifiedWorkload()}) {
+    for (const WorkloadQuery& wq : w->queries) {
+      auto q = ParseSparql(wq.sparql);
+      ASSERT_TRUE(q.ok());
+      auto r1 = single.value().Execute(q.value());
+      auto r2 = sharded.value().Execute(q.value());
+      ASSERT_TRUE(r1.ok()) << wq.name;
+      ASSERT_TRUE(r2.ok()) << wq.name << ": " << r2.status().ToString();
+      auto proj = q.value().EffectiveProjection();
+      EXPECT_EQ(r2.value().table.CanonicalRows(proj),
+                r1.value().table.CanonicalRows(proj))
+          << w->name << "/" << wq.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedWorkloadTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(ShardedTest, ReactomeChainsCrossShards) {
+  // Long chains necessarily hop between shards; the coordinator's
+  // scatter/gather join must reassemble them exactly.
+  ReactomeConfig cfg;
+  cfg.num_pathways = 12;
+  Dataset data = GenerateReactomeDataset(cfg);
+  auto single = Database::Build(data);
+  ASSERT_TRUE(single.ok());
+  ShardedOptions opt;
+  opt.num_shards = 3;
+  auto sharded = ShardedDatabase::Build(data, opt);
+  ASSERT_TRUE(sharded.ok());
+  for (const WorkloadQuery& wq : ReactomeWorkload().queries) {
+    auto q = ParseSparql(wq.sparql);
+    ASSERT_TRUE(q.ok());
+    auto r1 = single.value().Execute(q.value());
+    auto r2 = sharded.value().Execute(q.value());
+    ASSERT_TRUE(r1.ok()) << wq.name;
+    ASSERT_TRUE(r2.ok()) << wq.name;
+    auto proj = q.value().EffectiveProjection();
+    EXPECT_EQ(r2.value().table.CanonicalRows(proj),
+              r1.value().table.CanonicalRows(proj))
+        << wq.name;
+  }
+}
+
+TEST(ShardedTest, StorageSumsShards) {
+  Dataset data = testutil::Fig1Dataset();
+  ShardedOptions opt;
+  opt.num_shards = 2;
+  auto sharded = ShardedDatabase::Build(data, opt);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_GT(sharded.value().StorageBytes(), 0u);
+  EXPECT_EQ(sharded.value().num_shards(), 2u);
+  EXPECT_EQ(sharded.value().name(), "axonDB-sharded(2)");
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,171 @@
+// Tests for the SPARQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+
+namespace axon {
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = TokenizeSparql(
+      "SELECT ?x WHERE { ?x <http://p> \"v\"@en ; a ub:Course . } LIMIT 5");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  const auto& t = tokens.value();
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(t[1].Is(TokenKind::kVariable));
+  EXPECT_EQ(t[1].value, "x");
+  EXPECT_TRUE(t[2].IsKeyword("WHERE"));
+  EXPECT_TRUE(t[3].IsPunct('{'));
+  EXPECT_TRUE(t[5].Is(TokenKind::kIriRef));
+  EXPECT_EQ(t[5].value, "http://p");
+  EXPECT_TRUE(t[6].Is(TokenKind::kString));
+  EXPECT_EQ(t[6].value, "\"v\"@en");
+  EXPECT_TRUE(t[7].IsPunct(';'));
+  EXPECT_TRUE(t[8].Is(TokenKind::kA));
+  EXPECT_TRUE(t[9].Is(TokenKind::kPname));
+  EXPECT_EQ(t[9].value, "ub:Course");
+  EXPECT_TRUE(t.back().Is(TokenKind::kEof));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = TokenizeSparql("select ?x where");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value()[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens.value()[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, CommentsAndLineNumbers) {
+  auto tokens = TokenizeSparql("# comment\nSELECT # trailing\n?x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 2u);
+  EXPECT_EQ(tokens.value()[1].line, 3u);
+}
+
+TEST(LexerTest, DatatypeLiterals) {
+  auto tokens = TokenizeSparql(
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#int>");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].value,
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(TokenizeSparql("<unterminated").ok());
+  EXPECT_FALSE(TokenizeSparql("\"unterminated").ok());
+  EXPECT_FALSE(TokenizeSparql("?").ok());
+  EXPECT_FALSE(TokenizeSparql("@@").ok());
+  EXPECT_FALSE(TokenizeSparql("bareword").ok());
+}
+
+// ----------------------------------------------------------------- Parser
+
+TEST(ParserTest, BasicSelect) {
+  auto q = ParseSparql(
+      "SELECT ?x ?y WHERE { ?x <http://p> ?y . ?y <http://q> \"v\" }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().projection, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(q.value().patterns.size(), 2u);
+  EXPECT_TRUE(q.value().patterns[0].s.is_variable);
+  EXPECT_EQ(q.value().patterns[0].p.term, Term::Iri("http://p"));
+  EXPECT_EQ(q.value().patterns[1].o.term, Term::Literal("v"));
+}
+
+TEST(ParserTest, PrefixExpansionAndAShorthand) {
+  auto q = ParseSparql(R"(PREFIX ub: <http://u#>
+      SELECT ?x WHERE { ?x a ub:Course })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().patterns[0].p.term,
+            Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+  EXPECT_EQ(q.value().patterns[0].o.term, Term::Iri("http://u#Course"));
+}
+
+TEST(ParserTest, SemicolonAndCommaShorthand) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?x WHERE { ?x ex:p ?a , ?b ; ex:q ?c . })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().patterns.size(), 3u);
+  // All three share the subject ?x.
+  for (const auto& tp : q.value().patterns) {
+    EXPECT_EQ(tp.s.var, "x");
+  }
+  EXPECT_EQ(q.value().patterns[0].o.var, "a");
+  EXPECT_EQ(q.value().patterns[1].o.var, "b");
+  EXPECT_EQ(q.value().patterns[2].o.var, "c");
+}
+
+TEST(ParserTest, SelectStarCollectsVariables) {
+  auto q = ParseSparql(
+      "SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().projection.empty());
+  EXPECT_EQ(q.value().EffectiveProjection(),
+            (std::vector<std::string>{"s", "p", "o"}));
+}
+
+TEST(ParserTest, DistinctLimitFilter) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT DISTINCT ?x WHERE {
+        ?x ex:p ?v . FILTER(?v = "target")
+      } LIMIT 10)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q.value().distinct);
+  EXPECT_EQ(q.value().limit, std::optional<uint64_t>(10));
+  ASSERT_EQ(q.value().filters.size(), 1u);
+  EXPECT_EQ(q.value().filters[0].var, "v");
+  EXPECT_EQ(q.value().filters[0].value, Term::Literal("target"));
+}
+
+TEST(ParserTest, IntegerLiteralObjects) {
+  auto q = ParseSparql("SELECT ?x WHERE { ?x <http://p> 42 }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().patterns[0].o.term,
+            Term::Literal("42", "http://www.w3.org/2001/XMLSchema#integer"));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSparql("WHERE { ?x ?p ?o }").ok());        // no SELECT
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?x ?p ?o }").ok()); // no vars
+  EXPECT_FALSE(ParseSparql("SELECT ?x { ?x ?p ?o }").ok());    // no WHERE
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x ?p }").ok()); // short triple
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x ?p ?o ").ok());  // no close
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x ub:p ?o }").ok());  // unknown prefix
+  EXPECT_FALSE(ParseSparql(
+                   "SELECT ?x WHERE { ?x \"lit\" ?o }").ok());  // literal pred
+  EXPECT_FALSE(ParseSparql("SELECT ?z WHERE { ?x <http://p> ?o }")
+                   .ok());  // projected var unused
+  EXPECT_FALSE(ParseSparql(
+                   "SELECT ?x WHERE { ?x <http://p> ?o } LIMIT ?x").ok());
+  EXPECT_FALSE(ParseSparql(R"(SELECT ?x WHERE {
+      ?x <http://p> ?o . FILTER(?o = ?x) })").ok());  // var-var filter
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto q = ParseSparql("SELECT ?x WHERE {\n ?x <http://p> }\n");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, ToStringRoundTripsThroughParser) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT DISTINCT ?x ?y WHERE {
+        ?x ex:p ?y . ?y ex:q "lit"@en . FILTER(?x = ex:thing)
+      } LIMIT 3)");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseSparql(q.value().ToString());
+  ASSERT_TRUE(q2.ok()) << "re-parse failed on:\n"
+                       << q.value().ToString() << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(q2.value().patterns, q.value().patterns);
+  EXPECT_EQ(q2.value().filters, q.value().filters);
+  EXPECT_EQ(q2.value().projection, q.value().projection);
+  EXPECT_EQ(q2.value().distinct, q.value().distinct);
+  EXPECT_EQ(q2.value().limit, q.value().limit);
+}
+
+}  // namespace
+}  // namespace axon

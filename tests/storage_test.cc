@@ -1,0 +1,311 @@
+// Unit and property tests for the storage layer: B+-tree, triple tables and
+// the database container file.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "storage/btree.h"
+#include "storage/db_file.h"
+#include "storage/triple_table.h"
+#include "util/mmap_file.h"
+#include "util/random.h"
+
+namespace axon {
+namespace {
+
+// ----------------------------------------------------------------- BTree
+
+TEST(BTreeTest, EmptyTree) {
+  BPlusTree<uint32_t, uint64_t> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_EQ(t.Height(), 0);
+  int visits = 0;
+  t.ForEach([&visits](uint32_t, uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BTreeTest, InsertFindOverwrite) {
+  BPlusTree<uint32_t, uint64_t> t;
+  t.Insert(5, 50);
+  t.Insert(3, 30);
+  t.Insert(9, 90);
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ(*t.Find(5), 50u);
+  EXPECT_EQ(t.Find(4), nullptr);
+  t.Insert(5, 55);  // overwrite keeps size
+  EXPECT_EQ(*t.Find(5), 55u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+// Property sweep: random insertion orders against a std::map oracle, with
+// a small fanout to force deep trees.
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesMapOracle) {
+  Random rng(GetParam());
+  BPlusTree<uint32_t, uint32_t, 8> tree;
+  std::map<uint32_t, uint32_t> oracle;
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t k = static_cast<uint32_t>(rng.Uniform(500));
+    uint32_t v = static_cast<uint32_t>(rng.Next());
+    tree.Insert(k, v);
+    oracle[k] = v;
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_NE(tree.Find(k), nullptr) << k;
+    EXPECT_EQ(*tree.Find(k), v);
+  }
+  // Ordered iteration equals oracle iteration.
+  std::vector<std::pair<uint32_t, uint32_t>> seen;
+  tree.ForEach([&seen](uint32_t k, uint32_t v) { seen.emplace_back(k, v); });
+  std::vector<std::pair<uint32_t, uint32_t>> expect(oracle.begin(),
+                                                    oracle.end());
+  EXPECT_EQ(seen, expect);
+  // Range scans agree with the oracle on random windows.
+  for (int i = 0; i < 20; ++i) {
+    uint32_t lo = static_cast<uint32_t>(rng.Uniform(500));
+    uint32_t hi = lo + static_cast<uint32_t>(rng.Uniform(100));
+    std::vector<uint32_t> got;
+    tree.ScanRange(lo, hi, [&got](uint32_t k, uint32_t) { got.push_back(k); });
+    std::vector<uint32_t> want;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      want.push_back(it->first);
+    }
+    EXPECT_EQ(got, want) << "window [" << lo << "," << hi << "]";
+  }
+  EXPECT_GE(tree.Height(), 3);  // fanout 8 with 500 keys: must be deep
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BTreeTest, BulkLoadEqualsInsertion) {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (uint32_t i = 0; i < 1000; ++i) entries.emplace_back(i * 3, i);
+  auto bulk = BPlusTree<uint32_t, uint32_t, 16>::BulkLoad(entries);
+  EXPECT_EQ(bulk.size(), entries.size());
+  for (const auto& [k, v] : entries) {
+    ASSERT_NE(bulk.Find(k), nullptr);
+    EXPECT_EQ(*bulk.Find(k), v);
+  }
+  EXPECT_EQ(bulk.Find(1), nullptr);
+  EXPECT_EQ(bulk.Find(2999), nullptr);
+}
+
+TEST(BTreeTest, SerializeDeserializeRoundTrip) {
+  BPlusTree<uint32_t, uint64_t> t;
+  Random rng(9);
+  for (int i = 0; i < 500; ++i) {
+    t.Insert(static_cast<uint32_t>(rng.Uniform(10000)), rng.Next());
+  }
+  std::string buf;
+  t.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = (BPlusTree<uint32_t, uint64_t>::Deserialize(buf, &pos));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(back.value().size(), t.size());
+  t.ForEach([&back](uint32_t k, uint64_t v) {
+    ASSERT_NE(back.value().Find(k), nullptr);
+    EXPECT_EQ(*back.value().Find(k), v);
+  });
+}
+
+TEST(BTreeTest, DeserializeRejectsTruncation) {
+  BPlusTree<uint32_t, uint64_t> t;
+  t.Insert(1, 2);
+  t.Insert(3, 4);
+  std::string buf;
+  t.SerializeTo(&buf);
+  size_t pos = 0;
+  EXPECT_FALSE((BPlusTree<uint32_t, uint64_t>::Deserialize(
+                    buf.substr(0, buf.size() - 1), &pos))
+                   .ok());
+}
+
+// ----------------------------------------------------------- TripleTable
+
+TripleTable MakeTable(std::initializer_list<Triple> rows) {
+  TripleTable t;
+  for (const Triple& r : rows) t.Append(r);
+  return t;
+}
+
+TEST(TripleTableTest, PermutationKeys) {
+  Triple t{1, 2, 3};
+  EXPECT_EQ(PermutationKey(Permutation::kSpo, t),
+            (std::array<TermId, 3>{1, 2, 3}));
+  EXPECT_EQ(PermutationKey(Permutation::kSop, t),
+            (std::array<TermId, 3>{1, 3, 2}));
+  EXPECT_EQ(PermutationKey(Permutation::kPso, t),
+            (std::array<TermId, 3>{2, 1, 3}));
+  EXPECT_EQ(PermutationKey(Permutation::kPos, t),
+            (std::array<TermId, 3>{2, 3, 1}));
+  EXPECT_EQ(PermutationKey(Permutation::kOsp, t),
+            (std::array<TermId, 3>{3, 1, 2}));
+  EXPECT_EQ(PermutationKey(Permutation::kOps, t),
+            (std::array<TermId, 3>{3, 2, 1}));
+}
+
+TEST(TripleTableTest, PermutationNamesAreUnique) {
+  std::set<std::string> names;
+  for (Permutation p : kAllPermutations) names.insert(PermutationName(p));
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(TripleTableTest, SortAndDedup) {
+  TripleTable t = MakeTable({{2, 1, 1}, {1, 2, 3}, {1, 2, 3}, {1, 1, 9}});
+  t.Sort(Permutation::kSpo);
+  t.Dedup();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.row(0), (Triple{1, 1, 9}));
+  EXPECT_EQ(t.row(1), (Triple{1, 2, 3}));
+  EXPECT_EQ(t.row(2), (Triple{2, 1, 1}));
+}
+
+class TripleTablePermutationTest
+    : public ::testing::TestWithParam<Permutation> {};
+
+TEST_P(TripleTablePermutationTest, EqualRangeMatchesLinearScan) {
+  Permutation perm = GetParam();
+  Random rng(static_cast<uint64_t>(perm) + 100);
+  TripleTable t;
+  for (int i = 0; i < 3000; ++i) {
+    t.Append(static_cast<TermId>(1 + rng.Uniform(20)),
+             static_cast<TermId>(1 + rng.Uniform(8)),
+             static_cast<TermId>(1 + rng.Uniform(20)));
+  }
+  t.Sort(perm);
+  for (int trial = 0; trial < 50; ++trial) {
+    TermId major = static_cast<TermId>(1 + rng.Uniform(20));
+    TermId mid = trial % 2 == 0 ? static_cast<TermId>(1 + rng.Uniform(8))
+                                : kInvalidId;
+    RowRange r = t.EqualRange(perm, major, mid);
+    // Oracle: linear scan.
+    uint64_t count = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      auto key = PermutationKey(perm, t.row(i));
+      if (key[0] == major && (mid == kInvalidId || key[1] == mid)) ++count;
+    }
+    EXPECT_EQ(r.size(), count);
+    // All rows in the range satisfy the probe.
+    for (uint64_t i = r.begin; i < r.end; ++i) {
+      auto key = PermutationKey(perm, t.row(i));
+      EXPECT_EQ(key[0], major);
+      if (mid != kInvalidId) {
+        EXPECT_EQ(key[1], mid);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPermutations, TripleTablePermutationTest,
+                         ::testing::ValuesIn(kAllPermutations),
+                         [](const auto& info) {
+                           return PermutationName(info.param);
+                         });
+
+TEST(TripleTableTest, SerializeRoundTrip) {
+  TripleTable t = MakeTable({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  std::string buf;
+  t.SerializeTo(&buf);
+  size_t pos = 0;
+  auto back = TripleTable::Deserialize(buf, &pos);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(pos, buf.size());
+  ASSERT_EQ(back.value().size(), 3u);
+  EXPECT_EQ(back.value().row(1), (Triple{4, 5, 6}));
+  EXPECT_EQ(back.value().ByteSize(), 36u);
+}
+
+TEST(TripleTableTest, SliceViewsRows) {
+  TripleTable t = MakeTable({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}});
+  auto s = t.slice(RowRange{1, 3});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], (Triple{2, 2, 2}));
+}
+
+// ---------------------------------------------------------------- DbFile
+
+class DbFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/axon_dbfile_test.axdb";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(DbFileTest, WriteReadSections) {
+  DbFileWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.AddSection("alpha", "payload-a").ok());
+  ASSERT_TRUE(w.AddSection("beta", std::string(100000, 'b')).ok());
+  ASSERT_TRUE(w.AddSection("empty", "").ok());
+  ASSERT_TRUE(w.Finish().ok());
+
+  DbFileReader r;
+  ASSERT_TRUE(r.Open(path_).ok());
+  EXPECT_EQ(r.SectionNames(),
+            (std::vector<std::string>{"alpha", "beta", "empty"}));
+  auto a = r.GetSection("alpha");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), "payload-a");
+  auto b = r.GetSection("beta");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().size(), 100000u);
+  auto e = r.GetSection("empty");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().empty());
+  EXPECT_FALSE(r.GetSection("gamma").ok());
+  EXPECT_TRUE(r.HasSection("alpha"));
+  EXPECT_FALSE(r.HasSection("gamma"));
+}
+
+TEST_F(DbFileTest, RejectsDuplicateSection) {
+  DbFileWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.AddSection("x", "1").ok());
+  EXPECT_EQ(w.AddSection("x", "2").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DbFileTest, DetectsCorruptedPayload) {
+  DbFileWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.AddSection("x", "sensitive-payload").ok());
+  ASSERT_TRUE(w.Finish().ok());
+
+  // Flip one payload byte on disk.
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(path_, &data).ok());
+  data[10] ^= 0x1;
+  ASSERT_TRUE(WriteStringToFile(path_, data).ok());
+
+  DbFileReader r;
+  EXPECT_EQ(r.Open(path_).code(), StatusCode::kCorruption);
+}
+
+TEST_F(DbFileTest, RejectsTruncatedFile) {
+  DbFileWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.AddSection("x", "abc").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(path_, &data).ok());
+  ASSERT_TRUE(WriteStringToFile(path_, data.substr(0, data.size() - 5)).ok());
+  DbFileReader r;
+  EXPECT_FALSE(r.Open(path_).ok());
+}
+
+TEST_F(DbFileTest, RejectsNonDbFile) {
+  ASSERT_TRUE(WriteStringToFile(path_, std::string(64, 'x')).ok());
+  DbFileReader r;
+  EXPECT_EQ(r.Open(path_).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,118 @@
+// Shared test fixtures: the paper's Fig. 1 running example and random
+// dataset generation for property-based suites.
+
+#ifndef AXON_TESTS_TEST_UTIL_H_
+#define AXON_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "util/random.h"
+
+namespace axon {
+namespace testutil {
+
+inline constexpr char kExNs[] = "http://example.org/";
+
+inline Term Ex(const std::string& local) {
+  return Term::Iri(std::string(kExNs) + local);
+}
+
+/// The RDF graph of the paper's Fig. 1 (20 triples, t1..t20):
+/// three people working for RadioCom, which is managed by Mike and
+/// registered in the UK Registry. Characteristic sets S1..S5 and extended
+/// characteristic sets E1..E4 are documented in the figure.
+inline Dataset Fig1Dataset() {
+  Dataset d;
+  auto add = [&d](const std::string& s, const std::string& p, Term o) {
+    d.Add(TermTriple{Ex(s), Ex(p), std::move(o)});
+  };
+  // Bob (S1)
+  add("Bob", "name", Term::Literal("Bob Plain"));
+  add("Bob", "origin", Term::Literal("Ireland"));
+  add("Bob", "birthday", Term::Literal("1986"));
+  add("Bob", "worksFor", Ex("RadioCom"));
+  // John (S1)
+  add("John", "name", Term::Literal("John Doe"));
+  add("John", "origin", Term::Literal("USA"));
+  add("John", "birthday", Term::Literal("1976"));
+  add("John", "worksFor", Ex("RadioCom"));
+  // Jack (S2 = S1 + marriedTo)
+  add("Jack", "name", Term::Literal("Jack Doe"));
+  add("Jack", "origin", Term::Literal("UK"));
+  add("Jack", "birthday", Term::Literal("1980"));
+  add("Jack", "marriedTo", Ex("Alice"));
+  add("Jack", "worksFor", Ex("RadioCom"));
+  // RadioCom (S3)
+  add("RadioCom", "label", Term::Literal("Radio Com"));
+  add("RadioCom", "address", Term::Literal("21 Jump St."));
+  add("RadioCom", "managedBy", Ex("Mike"));
+  add("RadioCom", "registeredIn", Ex("UKRegistry"));
+  // Mike (S4)
+  add("Mike", "position", Term::Literal("Director"));
+  // UK Registry (S5)
+  add("UKRegistry", "label", Term::Literal("UK Company Registry"));
+  add("UKRegistry", "type", Ex("Registrar"));
+  return d;
+}
+
+/// The multi-chain-star query at the top of Fig. 1 — expected to bind
+/// (?n1, ?n2, ?n4) to {John, Bob, Jack} x RadioCom x UKRegistry.
+inline std::string Fig1Query() {
+  return R"(PREFIX ex: <http://example.org/>
+    SELECT ?n1 ?n2 ?n4 WHERE {
+      ?n1 ex:name ?a .
+      ?n1 ex:birthday ?b .
+      ?n1 ex:worksFor ?n2 .
+      ?n2 ex:label ?c .
+      ?n2 ex:address ?d .
+      ?n2 ex:registeredIn ?n4 .
+      ?n4 ex:label ?e .
+      ?n4 ex:type ?f })";
+}
+
+/// The Fig. 5 query: two chain patterns of three query ECSs, with a bound
+/// "Director" restriction on the manager.
+inline std::string Fig5Query() {
+  return R"(PREFIX ex: <http://example.org/>
+    SELECT ?x ?y ?z ?w WHERE {
+      ?x ex:worksFor ?y .
+      ?x ex:name ?xn .
+      ?y ex:registeredIn ?z .
+      ?y ex:label ?yl .
+      ?y ex:managedBy ?w .
+      ?z ex:type ?zt .
+      ?w ex:position "Director" })";
+}
+
+/// A random RDF graph with `num_nodes` nodes, `num_predicates` predicates
+/// and ~`num_triples` triples; ~literal_ratio of objects are literals.
+/// Deterministic in `seed`. Used by property-based suites.
+inline Dataset RandomDataset(uint32_t num_nodes, uint32_t num_predicates,
+                             uint32_t num_triples, double literal_ratio,
+                             uint64_t seed) {
+  Dataset d;
+  Random rng(seed);
+  for (uint32_t i = 0; i < num_triples; ++i) {
+    Term s = Ex("n" + std::to_string(rng.Uniform(num_nodes)));
+    Term p = Ex("p" + std::to_string(rng.Uniform(num_predicates)));
+    Term o = rng.Bernoulli(literal_ratio)
+                 ? Term::Literal("lit" + std::to_string(rng.Uniform(50)))
+                 : Ex("n" + std::to_string(rng.Uniform(num_nodes)));
+    d.Add(TermTriple{std::move(s), std::move(p), std::move(o)});
+  }
+  return d;
+}
+
+/// Sorted multiset of rows projected on the query's effective projection —
+/// canonical form for cross-engine comparison.
+inline std::vector<std::vector<TermId>> Canonical(
+    const QueryResult& result, const std::vector<std::string>& proj) {
+  return result.table.CanonicalRows(proj);
+}
+
+}  // namespace testutil
+}  // namespace axon
+
+#endif  // AXON_TESTS_TEST_UTIL_H_

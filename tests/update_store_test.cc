@@ -1,0 +1,168 @@
+// Tests for UpdatableDatabase: the delta-store update layer over the ECS
+// indexes (the paper's announced future work).
+
+#include <gtest/gtest.h>
+
+#include "engine/update_store.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+using testutil::Ex;
+
+TermTriple T(const std::string& s, const std::string& p,
+             const std::string& o) {
+  return TermTriple{Ex(s), Ex(p), Ex(o)};
+}
+TermTriple TL(const std::string& s, const std::string& p,
+              const std::string& lit) {
+  return TermTriple{Ex(s), Ex(p), Term::Literal(lit)};
+}
+
+TEST(UpdateStoreTest, StartsFromInitialDataset) {
+  auto db = UpdatableDatabase::Create(testutil::Fig1Dataset());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().num_triples(), 20u);
+  auto r = db.value().ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+}
+
+TEST(UpdateStoreTest, InsertExtendsQueryResults) {
+  auto db_r = UpdatableDatabase::Create(testutil::Fig1Dataset());
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+
+  // A fourth employee: must satisfy the Fig. 1 query's star requirements.
+  ASSERT_TRUE(db.Insert(TL("Dana", "name", "Dana Doe")).ok());
+  ASSERT_TRUE(db.Insert(TL("Dana", "birthday", "1990")).ok());
+  ASSERT_TRUE(db.Insert(T("Dana", "worksFor", "RadioCom")).ok());
+
+  auto r = db.ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 4u);
+  EXPECT_EQ(db.pending_ops(), 0u);  // query compacted the delta
+}
+
+TEST(UpdateStoreTest, InsertChangesCharacteristicSets) {
+  auto db_r = UpdatableDatabase::Create(testutil::Fig1Dataset());
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+
+  // Bob gains marriedTo: his CS changes from S1 to S2 (Jack's CS).
+  ASSERT_TRUE(db.Insert(T("Bob", "marriedTo", "Carol")).ok());
+  auto snap = db.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  const Database* d = snap.value();
+  TermId bob = *d->dict().Lookup(Ex("Bob"));
+  TermId jack = *d->dict().Lookup(Ex("Jack"));
+  TermId john = *d->dict().Lookup(Ex("John"));
+  EXPECT_EQ(d->cs_index().CsOfSubject(bob), d->cs_index().CsOfSubject(jack));
+  EXPECT_NE(d->cs_index().CsOfSubject(bob), d->cs_index().CsOfSubject(john));
+  // The formerly shared E1 now holds only John; Bob moved into Jack's ECS.
+  EXPECT_EQ(d->build_info().num_ecs, 4u);
+}
+
+TEST(UpdateStoreTest, DeleteShrinksResults) {
+  auto db_r = UpdatableDatabase::Create(testutil::Fig1Dataset());
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+
+  ASSERT_TRUE(db.Delete(T("Bob", "worksFor", "RadioCom")).ok());
+  auto r = db.ExecuteSparql(testutil::Fig1Query());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 2u);
+  EXPECT_EQ(db.num_triples(), 19u);
+}
+
+TEST(UpdateStoreTest, InsertIsIdempotentAndDeleteOfAbsentIsNoop) {
+  auto db_r = UpdatableDatabase::Create(testutil::Fig1Dataset());
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+
+  ASSERT_TRUE(db.Insert(T("Bob", "worksFor", "RadioCom")).ok());  // dup
+  EXPECT_EQ(db.num_triples(), 20u);
+  EXPECT_EQ(db.pending_ops(), 0u);  // nothing actually changed
+
+  ASSERT_TRUE(db.Delete(T("Ghost", "worksFor", "RadioCom")).ok());
+  EXPECT_EQ(db.num_triples(), 20u);
+}
+
+TEST(UpdateStoreTest, RejectsMalformedTriples) {
+  auto db_r = UpdatableDatabase::Create(Dataset{});
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+  TermTriple bad_subject{Term::Literal("lit"), Ex("p"), Ex("o")};
+  EXPECT_FALSE(db.Insert(bad_subject).ok());
+  TermTriple bad_pred{Ex("s"), Term::Literal("lit"), Ex("o")};
+  EXPECT_FALSE(db.Insert(bad_pred).ok());
+}
+
+TEST(UpdateStoreTest, CompactionThresholdTriggersRebuild) {
+  UpdateOptions opt;
+  opt.compaction_threshold = 5;
+  auto db_r = UpdatableDatabase::Create(Dataset{}, opt);
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        db.Insert(T("s" + std::to_string(i), "p", "o" + std::to_string(i)))
+            .ok());
+  }
+  // 12 inserts with threshold 5: at least two automatic compactions, so at
+  // most 4 pending.
+  EXPECT_LT(db.pending_ops(), 5u);
+  EXPECT_EQ(db.num_triples(), 12u);
+}
+
+TEST(UpdateStoreTest, DictionaryIdsStableAcrossCompactions) {
+  auto db_r = UpdatableDatabase::Create(testutil::Fig1Dataset());
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+
+  auto before = db.Snapshot();
+  ASSERT_TRUE(before.ok());
+  TermId bob_before = *before.value()->dict().Lookup(Ex("Bob"));
+
+  ASSERT_TRUE(db.Insert(T("Zed", "worksFor", "RadioCom")).ok());
+  auto after = db.Snapshot();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after.value()->dict().Lookup(Ex("Bob")), bob_before);
+}
+
+TEST(UpdateStoreTest, InsertNTriplesBatch) {
+  auto db_r = UpdatableDatabase::Create(Dataset{});
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+  ASSERT_TRUE(db.InsertNTriples(
+                    "<http://example.org/a> <http://example.org/p> "
+                    "<http://example.org/b> .\n"
+                    "<http://example.org/b> <http://example.org/q> \"v\" .\n")
+                  .ok());
+  EXPECT_EQ(db.num_triples(), 2u);
+  auto r = db.ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:p ?y . ?y ex:q ?v })");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 1u);
+  EXPECT_FALSE(db.InsertNTriples("garbage").ok());
+}
+
+TEST(UpdateStoreTest, InsertDeleteInsertRoundTrip) {
+  auto db_r = UpdatableDatabase::Create(Dataset{});
+  ASSERT_TRUE(db_r.ok());
+  UpdatableDatabase db = std::move(db_r).ValueOrDie();
+  TermTriple t = T("a", "p", "b");
+  ASSERT_TRUE(db.Insert(t).ok());
+  ASSERT_TRUE(db.Delete(t).ok());
+  EXPECT_EQ(db.num_triples(), 0u);
+  ASSERT_TRUE(db.Insert(t).ok());
+  EXPECT_EQ(db.num_triples(), 1u);
+  auto r = db.ExecuteSparql(R"(PREFIX ex: <http://example.org/>
+      SELECT ?x WHERE { ?x ex:p ?y })");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,354 @@
+// Unit tests for the util substrate: Status/Result, Bitmap, varint/fixed
+// coding, hashing, string helpers, file I/O and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "util/bitmap.h"
+#include "util/hash.h"
+#include "util/mmap_file.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace axon {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kIOError,
+        StatusCode::kCorruption, StatusCode::kParseError,
+        StatusCode::kUnsupported, StatusCode::kOutOfRange,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingHelper() { return Status::Corruption("inner"); }
+Status UsesReturnNotOk() {
+  AXON_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kCorruption);
+}
+
+Result<int> GivesFive() { return 5; }
+Status UsesAssignOrReturn(int* out) {
+  AXON_ASSIGN_OR_RETURN(*out, GivesFive());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnAssigns) {
+  int v = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 5);
+}
+
+// ---------------------------------------------------------------- Bitmap
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(10);
+  EXPECT_FALSE(b.Test(3));
+  b.Set(3);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_EQ(b.Count(), 1u);
+  b.Clear(3);
+  EXPECT_FALSE(b.Test(3));
+  EXPECT_TRUE(b.Empty());
+}
+
+TEST(BitmapTest, GrowsOnSet) {
+  Bitmap b(4);
+  b.Set(100);
+  EXPECT_GE(b.num_bits(), 101u);
+  EXPECT_TRUE(b.Test(100));
+  EXPECT_FALSE(b.Test(99));
+}
+
+TEST(BitmapTest, SubsetSemantics) {
+  Bitmap small = Bitmap::FromIndices({1, 5});
+  Bitmap big = Bitmap::FromIndices({1, 3, 5, 7});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  Bitmap empty;
+  EXPECT_TRUE(empty.IsSubsetOf(small));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+}
+
+TEST(BitmapTest, SubsetAcrossWordBoundaries) {
+  Bitmap small = Bitmap::FromIndices({63, 64, 129});
+  Bitmap big = Bitmap::FromIndices({0, 63, 64, 65, 129});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  Bitmap other = Bitmap::FromIndices({63, 64, 130});
+  EXPECT_FALSE(other.IsSubsetOf(big));
+}
+
+TEST(BitmapTest, SubsetIgnoresCapacityDifferences) {
+  Bitmap small = Bitmap::FromIndices({2}, /*num_bits=*/200);
+  Bitmap big = Bitmap::FromIndices({2, 3}, /*num_bits=*/8);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+}
+
+TEST(BitmapTest, IntersectsAndOps) {
+  Bitmap a = Bitmap::FromIndices({1, 2, 3});
+  Bitmap b = Bitmap::FromIndices({3, 4});
+  Bitmap c = Bitmap::FromIndices({7});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.And(b).ToIndices(), (std::vector<uint32_t>{3}));
+  EXPECT_EQ(a.Or(b).ToIndices(), (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(BitmapTest, HashIsCapacityInvariant) {
+  Bitmap a = Bitmap::FromIndices({1, 9}, 16);
+  Bitmap b = Bitmap::FromIndices({1, 9}, 512);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a, b);
+  Bitmap c = Bitmap::FromIndices({1, 10}, 16);
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(BitmapTest, ToIndicesRoundTrip) {
+  std::vector<uint32_t> idx = {0, 7, 63, 64, 127, 128, 300};
+  Bitmap b = Bitmap::FromIndices(idx);
+  EXPECT_EQ(b.ToIndices(), idx);
+  EXPECT_EQ(b.Count(), idx.size());
+}
+
+TEST(BitmapTest, WordsRoundTrip) {
+  Bitmap b = Bitmap::FromIndices({3, 65, 190});
+  Bitmap c = Bitmap::FromWords(b.words(), b.num_bits());
+  EXPECT_EQ(b, c);
+}
+
+TEST(BitmapTest, ToStringFormat) {
+  EXPECT_EQ(Bitmap::FromIndices({0, 3, 7}).ToString(), "{0,3,7}");
+  EXPECT_EQ(Bitmap().ToString(), "{}");
+}
+
+// --------------------------------------------------------------- Varint
+
+TEST(VarintTest, RoundTripBoundaries) {
+  const uint64_t values[] = {0,     1,     127,            128,
+                             16383, 16384, UINT64_C(1) << 32, UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    uint64_t out = 0;
+    const char* end = GetVarint64(buf.data(), buf.data() + buf.size(), &out);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(end, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 300);  // two bytes
+  uint64_t out = 0;
+  EXPECT_EQ(GetVarint64(buf.data(), buf.data() + 1, &out), nullptr);
+}
+
+TEST(VarintTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_C(1) << 40);
+  uint32_t out = 0;
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data() + buf.size(), &out), nullptr);
+}
+
+TEST(VarintTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 4), 0x0123456789ABCDEFull);
+}
+
+// ----------------------------------------------------------------- Hash
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(HashIdPair(1, 2), HashIdPair(2, 1));
+}
+
+TEST(HashTest, CombineIsOrderDependent) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+// --------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, TrimAndSplit) {
+  EXPECT_EQ(TrimView("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimView(""), "");
+  auto parts = SplitView("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("htt", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(StringUtilTest, LiteralEscapeRoundTrip) {
+  std::string raw = "line1\nline2\t\"quoted\" back\\slash\r";
+  EXPECT_EQ(UnescapeNTriplesLiteral(EscapeNTriplesLiteral(raw)), raw);
+}
+
+// ------------------------------------------------------------------ Files
+
+TEST(FileTest, WriteReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/axon_util_file_test.bin";
+  std::string payload = "hello\0world";
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MmapMissingFileFails) {
+  MmapFile f;
+  EXPECT_FALSE(f.Open("/nonexistent/really/not/here").ok());
+}
+
+TEST(FileTest, MmapEmptyFileSucceeds) {
+  std::string path = ::testing::TempDir() + "/axon_empty.bin";
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  MmapFile f;
+  ASSERT_TRUE(f.Open(path).ok());
+  EXPECT_EQ(f.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MmapMoveTransfersOwnership) {
+  std::string path = ::testing::TempDir() + "/axon_move.bin";
+  ASSERT_TRUE(WriteStringToFile(path, "abc").ok());
+  MmapFile a;
+  ASSERT_TRUE(a.Open(path).ok());
+  MmapFile b(std::move(a));
+  EXPECT_EQ(b.view(), "abc");
+  EXPECT_EQ(a.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, WriterTracksOffsetAndAppends) {
+  std::string path = ::testing::TempDir() + "/axon_writer.bin";
+  FileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("abc").ok());
+  ASSERT_TRUE(w.AppendFixed32(7).ok());
+  EXPECT_EQ(w.offset(), 7u);
+  ASSERT_TRUE(w.Close().ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back.substr(0, 3), "abc");
+  EXPECT_EQ(DecodeFixed32(back.data() + 3), 7u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ RNG
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Random c(124);
+  EXPECT_NE(Random(123).Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+    uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SkewedPrefersLowIndices) {
+  Random r(7);
+  uint64_t low = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (r.Skewed(100) < 20) ++low;
+  }
+  // A uniform pick would land below 20 only ~20% of the time.
+  EXPECT_GT(low, kTrials * 0.35);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace axon
