@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_lubm_original.dir/bench_fig6a_lubm_original.cc.o"
+  "CMakeFiles/bench_fig6a_lubm_original.dir/bench_fig6a_lubm_original.cc.o.d"
+  "bench_fig6a_lubm_original"
+  "bench_fig6a_lubm_original.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_lubm_original.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_lubm_modified.dir/bench_fig6b_lubm_modified.cc.o"
+  "CMakeFiles/bench_fig6b_lubm_modified.dir/bench_fig6b_lubm_modified.cc.o.d"
+  "bench_fig6b_lubm_modified"
+  "bench_fig6b_lubm_modified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_lubm_modified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_reactome.dir/bench_fig6c_reactome.cc.o"
+  "CMakeFiles/bench_fig6c_reactome.dir/bench_fig6c_reactome.cc.o.d"
+  "bench_fig6c_reactome"
+  "bench_fig6c_reactome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_reactome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d_geonames.dir/bench_fig6d_geonames.cc.o"
+  "CMakeFiles/bench_fig6d_geonames.dir/bench_fig6d_geonames.cc.o.d"
+  "bench_fig6d_geonames"
+  "bench_fig6d_geonames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d_geonames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ablation.dir/bench_micro_ablation.cc.o"
+  "CMakeFiles/bench_micro_ablation.dir/bench_micro_ablation.cc.o.d"
+  "bench_micro_ablation"
+  "bench_micro_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_extraction.dir/bench_micro_extraction.cc.o"
+  "CMakeFiles/bench_micro_extraction.dir/bench_micro_extraction.cc.o.d"
+  "bench_micro_extraction"
+  "bench_micro_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

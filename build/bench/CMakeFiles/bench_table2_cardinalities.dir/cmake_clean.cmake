@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cardinalities.dir/bench_table2_cardinalities.cc.o"
+  "CMakeFiles/bench_table2_cardinalities.dir/bench_table2_cardinalities.cc.o.d"
+  "bench_table2_cardinalities"
+  "bench_table2_cardinalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cardinalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axon_shell.dir/axon_shell.cc.o"
+  "CMakeFiles/axon_shell.dir/axon_shell.cc.o.d"
+  "axon_shell"
+  "axon_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axon_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

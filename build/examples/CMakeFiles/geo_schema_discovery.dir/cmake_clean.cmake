@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_schema_discovery.dir/geo_schema_discovery.cc.o"
+  "CMakeFiles/geo_schema_discovery.dir/geo_schema_discovery.cc.o.d"
+  "geo_schema_discovery"
+  "geo_schema_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_schema_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathway_explorer.dir/pathway_explorer.cc.o"
+  "CMakeFiles/pathway_explorer.dir/pathway_explorer.cc.o.d"
+  "pathway_explorer"
+  "pathway_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathway_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

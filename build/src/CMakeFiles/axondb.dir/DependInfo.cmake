@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/generic_bgp.cc" "src/CMakeFiles/axondb.dir/baselines/generic_bgp.cc.o" "gcc" "src/CMakeFiles/axondb.dir/baselines/generic_bgp.cc.o.d"
+  "/root/repo/src/baselines/partial_index_engine.cc" "src/CMakeFiles/axondb.dir/baselines/partial_index_engine.cc.o" "gcc" "src/CMakeFiles/axondb.dir/baselines/partial_index_engine.cc.o.d"
+  "/root/repo/src/baselines/sixperm_engine.cc" "src/CMakeFiles/axondb.dir/baselines/sixperm_engine.cc.o" "gcc" "src/CMakeFiles/axondb.dir/baselines/sixperm_engine.cc.o.d"
+  "/root/repo/src/baselines/vp_engine.cc" "src/CMakeFiles/axondb.dir/baselines/vp_engine.cc.o" "gcc" "src/CMakeFiles/axondb.dir/baselines/vp_engine.cc.o.d"
+  "/root/repo/src/cs/cs_extractor.cc" "src/CMakeFiles/axondb.dir/cs/cs_extractor.cc.o" "gcc" "src/CMakeFiles/axondb.dir/cs/cs_extractor.cc.o.d"
+  "/root/repo/src/cs/cs_index.cc" "src/CMakeFiles/axondb.dir/cs/cs_index.cc.o" "gcc" "src/CMakeFiles/axondb.dir/cs/cs_index.cc.o.d"
+  "/root/repo/src/datagen/geonames_generator.cc" "src/CMakeFiles/axondb.dir/datagen/geonames_generator.cc.o" "gcc" "src/CMakeFiles/axondb.dir/datagen/geonames_generator.cc.o.d"
+  "/root/repo/src/datagen/lubm_generator.cc" "src/CMakeFiles/axondb.dir/datagen/lubm_generator.cc.o" "gcc" "src/CMakeFiles/axondb.dir/datagen/lubm_generator.cc.o.d"
+  "/root/repo/src/datagen/misc_generators.cc" "src/CMakeFiles/axondb.dir/datagen/misc_generators.cc.o" "gcc" "src/CMakeFiles/axondb.dir/datagen/misc_generators.cc.o.d"
+  "/root/repo/src/datagen/reactome_generator.cc" "src/CMakeFiles/axondb.dir/datagen/reactome_generator.cc.o" "gcc" "src/CMakeFiles/axondb.dir/datagen/reactome_generator.cc.o.d"
+  "/root/repo/src/ecs/ecs_extractor.cc" "src/CMakeFiles/axondb.dir/ecs/ecs_extractor.cc.o" "gcc" "src/CMakeFiles/axondb.dir/ecs/ecs_extractor.cc.o.d"
+  "/root/repo/src/ecs/ecs_graph.cc" "src/CMakeFiles/axondb.dir/ecs/ecs_graph.cc.o" "gcc" "src/CMakeFiles/axondb.dir/ecs/ecs_graph.cc.o.d"
+  "/root/repo/src/ecs/ecs_hierarchy.cc" "src/CMakeFiles/axondb.dir/ecs/ecs_hierarchy.cc.o" "gcc" "src/CMakeFiles/axondb.dir/ecs/ecs_hierarchy.cc.o.d"
+  "/root/repo/src/ecs/ecs_index.cc" "src/CMakeFiles/axondb.dir/ecs/ecs_index.cc.o" "gcc" "src/CMakeFiles/axondb.dir/ecs/ecs_index.cc.o.d"
+  "/root/repo/src/ecs/ecs_statistics.cc" "src/CMakeFiles/axondb.dir/ecs/ecs_statistics.cc.o" "gcc" "src/CMakeFiles/axondb.dir/ecs/ecs_statistics.cc.o.d"
+  "/root/repo/src/engine/cardinality.cc" "src/CMakeFiles/axondb.dir/engine/cardinality.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/cardinality.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/axondb.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/ecs_matcher.cc" "src/CMakeFiles/axondb.dir/engine/ecs_matcher.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/ecs_matcher.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/axondb.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/CMakeFiles/axondb.dir/engine/planner.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/planner.cc.o.d"
+  "/root/repo/src/engine/query_graph.cc" "src/CMakeFiles/axondb.dir/engine/query_graph.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/query_graph.cc.o.d"
+  "/root/repo/src/engine/sharded_database.cc" "src/CMakeFiles/axondb.dir/engine/sharded_database.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/sharded_database.cc.o.d"
+  "/root/repo/src/engine/update_store.cc" "src/CMakeFiles/axondb.dir/engine/update_store.cc.o" "gcc" "src/CMakeFiles/axondb.dir/engine/update_store.cc.o.d"
+  "/root/repo/src/exec/bindings.cc" "src/CMakeFiles/axondb.dir/exec/bindings.cc.o" "gcc" "src/CMakeFiles/axondb.dir/exec/bindings.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/axondb.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/axondb.dir/exec/operators.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/axondb.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/axondb.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/axondb.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/axondb.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/axondb.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/axondb.dir/rdf/term.cc.o.d"
+  "/root/repo/src/sparql/algebra.cc" "src/CMakeFiles/axondb.dir/sparql/algebra.cc.o" "gcc" "src/CMakeFiles/axondb.dir/sparql/algebra.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/CMakeFiles/axondb.dir/sparql/lexer.cc.o" "gcc" "src/CMakeFiles/axondb.dir/sparql/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/axondb.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/axondb.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/sparql/results_io.cc" "src/CMakeFiles/axondb.dir/sparql/results_io.cc.o" "gcc" "src/CMakeFiles/axondb.dir/sparql/results_io.cc.o.d"
+  "/root/repo/src/storage/db_file.cc" "src/CMakeFiles/axondb.dir/storage/db_file.cc.o" "gcc" "src/CMakeFiles/axondb.dir/storage/db_file.cc.o.d"
+  "/root/repo/src/storage/triple_table.cc" "src/CMakeFiles/axondb.dir/storage/triple_table.cc.o" "gcc" "src/CMakeFiles/axondb.dir/storage/triple_table.cc.o.d"
+  "/root/repo/src/util/bitmap.cc" "src/CMakeFiles/axondb.dir/util/bitmap.cc.o" "gcc" "src/CMakeFiles/axondb.dir/util/bitmap.cc.o.d"
+  "/root/repo/src/util/mmap_file.cc" "src/CMakeFiles/axondb.dir/util/mmap_file.cc.o" "gcc" "src/CMakeFiles/axondb.dir/util/mmap_file.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/axondb.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/axondb.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/axondb.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/axondb.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_test.dir/cs_test.cc.o"
+  "CMakeFiles/cs_test.dir/cs_test.cc.o.d"
+  "cs_test"
+  "cs_test.pdb"
+  "cs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

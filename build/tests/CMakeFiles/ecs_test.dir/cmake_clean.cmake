@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecs_test.dir/ecs_test.cc.o"
+  "CMakeFiles/ecs_test.dir/ecs_test.cc.o.d"
+  "ecs_test"
+  "ecs_test.pdb"
+  "ecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_internals_test.dir/executor_internals_test.cc.o"
+  "CMakeFiles/executor_internals_test.dir/executor_internals_test.cc.o.d"
+  "executor_internals_test"
+  "executor_internals_test.pdb"
+  "executor_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

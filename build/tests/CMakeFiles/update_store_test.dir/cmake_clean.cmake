@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_store_test.dir/update_store_test.cc.o"
+  "CMakeFiles/update_store_test.dir/update_store_test.cc.o.d"
+  "update_store_test"
+  "update_store_test.pdb"
+  "update_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
