@@ -32,22 +32,45 @@ Result<Bitmap> DeserializeBitmap(std::string_view data, size_t* pos) {
   return Bitmap::FromWords(std::move(words), num_bits);
 }
 
-CsExtraction ExtractCharacteristicSets(LoadTripleVec triples) {
+CsExtraction ExtractCharacteristicSets(LoadTripleVec triples,
+                                       ThreadPool* pool) {
   CsExtraction out;
 
   // Register properties in input order first — this fixes the reference
   // bitmap ordering before any sorting rearranges the triples (paper
-  // footnote 5).
+  // footnote 5). Inherently sequential (first-encounter order).
   for (const LoadTriple& t : triples) out.properties.Register(t.p);
 
   // Line 1: sort by subject (full key keeps the order deterministic).
-  std::sort(triples.begin(), triples.end(),
-            [](const LoadTriple& a, const LoadTriple& b) {
-              return std::tuple(a.s, a.p, a.o) < std::tuple(b.s, b.p, b.o);
-            });
+  ParallelSort(pool, &triples,
+               [](const LoadTriple& a, const LoadTriple& b) {
+                 return std::tuple(a.s, a.p, a.o) < std::tuple(b.s, b.p, b.o);
+               });
 
-  // Lines 2-14: one pass over subject groups; dedupe property bitmaps by
-  // content hash to mint CS ids.
+  // Lines 2-14: locate the subject groups, aggregate each group's property
+  // bitmap (parallel over groups), then mint CS ids serially in
+  // sorted-subject order — the same first-encounter order the serial
+  // single-pass loop produces, so ids are identical at every parallelism.
+  std::vector<size_t> group_start;
+  for (size_t i = 0; i < triples.size();) {
+    group_start.push_back(i);
+    size_t j = i;
+    while (j < triples.size() && triples[j].s == triples[i].s) ++j;
+    i = j;
+  }
+  group_start.push_back(triples.size());
+  size_t num_groups = group_start.size() - 1;
+
+  std::vector<Bitmap> group_bitmap(num_groups);
+  ParallelFor(pool, num_groups, [&](size_t g) {
+    Bitmap bm(out.properties.size());
+    for (size_t i = group_start[g]; i < group_start[g + 1]; ++i) {
+      bm.Set(*out.properties.OrdinalOf(triples[i].p));
+    }
+    group_bitmap[g] = std::move(bm);
+  });
+
+  // Dedupe property bitmaps by content hash to mint CS ids.
   std::unordered_map<uint64_t, std::vector<CsId>> bitmap_to_cs;
   auto intern_cs = [&](const Bitmap& bm) -> CsId {
     auto& bucket = bitmap_to_cs[bm.Hash()];
@@ -59,30 +82,22 @@ CsExtraction ExtractCharacteristicSets(LoadTripleVec triples) {
     bucket.push_back(id);
     return id;
   };
-
-  size_t group_start = 0;
-  while (group_start < triples.size()) {
-    size_t group_end = group_start;
-    TermId subject = triples[group_start].s;
-    Bitmap bm(out.properties.size());
-    while (group_end < triples.size() && triples[group_end].s == subject) {
-      bm.Set(*out.properties.OrdinalOf(triples[group_end].p));
-      ++group_end;
+  for (size_t g = 0; g < num_groups; ++g) {
+    CsId cs = intern_cs(group_bitmap[g]);
+    for (size_t i = group_start[g]; i < group_start[g + 1]; ++i) {
+      triples[i].cs = cs;
     }
-    CsId cs = intern_cs(bm);
-    for (size_t i = group_start; i < group_end; ++i) triples[i].cs = cs;
-    out.subject_cs.emplace(subject, cs);
-    group_start = group_end;
+    out.subject_cs.emplace(triples[group_start[g]].s, cs);
   }
 
   // Line 15: re-sort by CS with subject as the secondary key — the
   // persistent SPO ordering ("sort the triples by their CS, maintaining the
   // subject as the secondary sort key", Sec. III.B).
-  std::sort(triples.begin(), triples.end(),
-            [](const LoadTriple& a, const LoadTriple& b) {
-              return std::tuple(a.cs, a.s, a.p, a.o) <
-                     std::tuple(b.cs, b.s, b.p, b.o);
-            });
+  ParallelSort(pool, &triples,
+               [](const LoadTriple& a, const LoadTriple& b) {
+                 return std::tuple(a.cs, a.s, a.p, a.o) <
+                        std::tuple(b.cs, b.s, b.p, b.o);
+               });
 
   out.triples = std::move(triples);
   return out;

@@ -14,6 +14,7 @@
 
 #include "cs/characteristic_set.h"
 #include "rdf/triple.h"
+#include "util/thread_pool.h"
 
 namespace axon {
 
@@ -36,8 +37,12 @@ struct CsExtraction {
 
 /// Runs Algorithm 1. `triples` is consumed (moved into the result and
 /// re-sorted). The property registry is seeded in input order, matching the
-/// paper's reference ordering.
-CsExtraction ExtractCharacteristicSets(LoadTripleVec triples);
+/// paper's reference ordering. With a pool, the two partition sorts and the
+/// per-subject bitmap aggregation run on the workers; CS ids are still
+/// minted serially in sorted-subject order, so the extraction is
+/// bit-identical to the serial (null pool) path.
+CsExtraction ExtractCharacteristicSets(LoadTripleVec triples,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace axon
 

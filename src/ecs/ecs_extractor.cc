@@ -14,12 +14,12 @@ namespace {
 
 // Sorts tagged triples into the persistent (ECS, P, S, O) order and builds
 // ecsLinks; shared by both extraction paths.
-void FinalizeExtraction(EcsExtraction* out) {
-  std::sort(out->triples.begin(), out->triples.end(),
-            [](const EcsTriple& a, const EcsTriple& b) {
-              return std::tuple(a.ecs, a.p, a.s, a.o) <
-                     std::tuple(b.ecs, b.p, b.s, b.o);
-            });
+void FinalizeExtraction(EcsExtraction* out, ThreadPool* pool = nullptr) {
+  ParallelSort(pool, &out->triples,
+               [](const EcsTriple& a, const EcsTriple& b) {
+                 return std::tuple(a.ecs, a.p, a.s, a.o) <
+                        std::tuple(b.ecs, b.p, b.s, b.o);
+               });
 
   // Algorithm 2 lines 9-18: subjectCSMap / objectCSMap then cross-link.
   std::unordered_map<CsId, std::vector<EcsId>> subject_cs_map;
@@ -62,31 +62,72 @@ std::map<std::pair<CsId, CsId>, EcsId> AssignIds(
 
 }  // namespace
 
-EcsExtraction ExtractExtendedCharacteristicSets(const CsExtraction& cs) {
+EcsExtraction ExtractExtendedCharacteristicSets(const CsExtraction& cs,
+                                                ThreadPool* pool) {
   EcsExtraction out;
 
-  // Pass 1: discover the distinct (subjectCS, objectCS) pairs.
+  // Chunk the CS-partitioned stream for the two scan passes. Each chunk is
+  // processed independently (reads of cs.subject_cs are concurrent but the
+  // map is immutable here); chunk outputs are concatenated in chunk order,
+  // which reproduces the serial input order exactly.
+  size_t chunks = pool == nullptr ? 1
+                                  : std::min(pool->num_threads() * 4,
+                                             cs.triples.size() / 4096);
+  if (chunks < 2) chunks = 1;
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t i = 0; i <= chunks; ++i) {
+    bounds[i] = i * cs.triples.size() / chunks;
+  }
+
+  // Pass 1: discover the distinct (subjectCS, objectCS) pairs. Chunk-local
+  // dedup, then a serial global dedup; AssignIds mints ids in ascending
+  // pair order regardless of discovery order, so ids are deterministic.
   std::vector<std::pair<CsId, CsId>> pairs;
   {
+    std::vector<std::vector<std::pair<CsId, CsId>>> local(chunks);
+    ParallelFor(pool, chunks, [&](size_t c) {
+      std::unordered_set<uint64_t> seen;
+      for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        const LoadTriple& t = cs.triples[i];
+        auto it = cs.subject_cs.find(t.o);
+        if (it == cs.subject_cs.end()) continue;  // object has empty CS
+        uint64_t key = HashIdPair(t.cs, it->second);
+        if (seen.insert(key).second) local[c].emplace_back(t.cs, it->second);
+      }
+    });
     std::unordered_set<uint64_t> seen;
-    for (const LoadTriple& t : cs.triples) {
-      auto it = cs.subject_cs.find(t.o);
-      if (it == cs.subject_cs.end()) continue;  // object has empty CS
-      uint64_t key = HashIdPair(t.cs, it->second);
-      if (seen.insert(key).second) pairs.emplace_back(t.cs, it->second);
+    for (const auto& chunk_pairs : local) {
+      for (const auto& pr : chunk_pairs) {
+        if (seen.insert(HashIdPair(pr.first, pr.second)).second) {
+          pairs.push_back(pr);
+        }
+      }
     }
   }
   auto ids = AssignIds(pairs, &out.sets);
 
-  // Pass 2: tag the valid-ECS triples.
-  for (const LoadTriple& t : cs.triples) {
-    auto it = cs.subject_cs.find(t.o);
-    if (it == cs.subject_cs.end()) continue;
-    EcsId id = ids.find({t.cs, it->second})->second;
-    out.triples.push_back(EcsTriple{id, t.s, t.p, t.o});
+  // Pass 2: tag the valid-ECS triples (chunk-local, concatenated in order).
+  {
+    std::vector<std::vector<EcsTriple>> local(chunks);
+    ParallelFor(pool, chunks, [&](size_t c) {
+      for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        const LoadTriple& t = cs.triples[i];
+        auto it = cs.subject_cs.find(t.o);
+        if (it == cs.subject_cs.end()) continue;
+        EcsId id = ids.find({t.cs, it->second})->second;
+        local[c].push_back(EcsTriple{id, t.s, t.p, t.o});
+      }
+    });
+    size_t total = 0;
+    for (const auto& chunk_triples : local) total += chunk_triples.size();
+    out.triples.reserve(total);
+    for (auto& chunk_triples : local) {
+      out.triples.insert(out.triples.end(), chunk_triples.begin(),
+                         chunk_triples.end());
+    }
   }
 
-  FinalizeExtraction(&out);
+  FinalizeExtraction(&out, pool);
   return out;
 }
 

@@ -14,15 +14,16 @@ Result<Database> Database::Build(const Dataset& dataset,
   db.options_ = options;
   db.dict_ = dataset.dict;  // engines share one dictionary; axonDB owns a
                             // copy so Save()/Open() round-trips standalone
+  db.pool_ = MakePool(options.parallelism);
+  ThreadPool* pool = db.pool_.get();
 
   // Loader's 4-wide rows, exact duplicates removed (set semantics of RDF).
   LoadTripleVec load;
   {
     TripleVec triples = dataset.triples;
-    std::sort(triples.begin(), triples.end(),
-              [](const Triple& a, const Triple& b) {
-                return a.Key() < b.Key();
-              });
+    ParallelSort(pool, &triples, [](const Triple& a, const Triple& b) {
+      return a.Key() < b.Key();
+    });
     triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
     load.reserve(triples.size());
     for (const Triple& t : triples) {
@@ -32,21 +33,36 @@ Result<Database> Database::Build(const Dataset& dataset,
   db.info_.num_triples = load.size();
   db.info_.num_terms = db.dict_.size();
 
-  // (a) Characteristic sets — Algorithm 1 — and the CS index.
-  CsExtraction cs = ExtractCharacteristicSets(std::move(load));
-  db.cs_index_ = CsIndex::Build(cs);
+  // (a) Characteristic sets — Algorithm 1 — and the CS index. The CS-index
+  // build (B+-tree bulk loads over the finished extraction) is independent
+  // of ECS extraction, so it runs as a pool task alongside it.
+  CsExtraction cs = ExtractCharacteristicSets(std::move(load), pool);
   db.info_.num_properties = cs.properties.size();
   db.info_.num_cs = cs.sets.size();
 
-  // (b) Extended characteristic sets — Algorithm 2 — graph, hierarchy,
-  // statistics and the ECS index.
-  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
-  db.graph_ = EcsGraph(ecs.links);
-  db.hierarchy_ = EcsHierarchy::Build(ecs.sets, cs.sets);
-  db.stats_ = EcsStatistics::Build(ecs);
-  std::vector<uint32_t> storage_rank;
-  if (options.use_hierarchy) storage_rank = db.hierarchy_.StorageRank();
-  db.ecs_index_ = EcsIndex::Build(ecs, storage_rank);
+  EcsExtraction ecs;
+  {
+    WaitGroup wg(pool);
+    wg.Run([&db, &cs] { db.cs_index_ = CsIndex::Build(cs); });
+    // (b) Extended characteristic sets — Algorithm 2 — on the calling
+    // thread (it fans out its own subtasks on the same pool).
+    ecs = ExtractExtendedCharacteristicSets(cs, pool);
+    wg.Wait();
+  }
+
+  // Graph, statistics, hierarchy and the ECS index. Graph and statistics
+  // are independent of the hierarchy chain (hierarchy → storage rank →
+  // ECS-index bulk load), so they run as pool tasks beside it.
+  {
+    WaitGroup wg(pool);
+    wg.Run([&db, &ecs] { db.graph_ = EcsGraph(ecs.links); });
+    wg.Run([&db, &ecs] { db.stats_ = EcsStatistics::Build(ecs); });
+    db.hierarchy_ = EcsHierarchy::Build(ecs.sets, cs.sets);
+    std::vector<uint32_t> storage_rank;
+    if (options.use_hierarchy) storage_rank = db.hierarchy_.StorageRank();
+    db.ecs_index_ = EcsIndex::Build(ecs, storage_rank);
+    wg.Wait();
+  }
   db.info_.num_ecs = ecs.sets.size();
   db.info_.num_ecs_triples = ecs.triples.size();
   db.info_.num_ecs_edges = db.graph_.num_edges();
@@ -102,6 +118,7 @@ Result<Database> Database::Open(const std::string& path,
   AXON_RETURN_NOT_OK(reader.Open(path));
   Database db;
   db.options_ = options;
+  db.pool_ = MakePool(options.parallelism);
 
   AXON_ASSIGN_OR_RETURN(std::string_view dict_data,
                         reader.GetSection("dict"));
@@ -168,6 +185,7 @@ Result<Database> Database::OpenMapped(const std::string& path,
   AXON_RETURN_NOT_OK(reader->Open(path));
   Database db;
   db.options_ = options;
+  db.pool_ = MakePool(options.parallelism);
 
   AXON_ASSIGN_OR_RETURN(std::string_view dict_data,
                         reader->GetSection("dict"));

@@ -116,10 +116,11 @@ class Database : public QueryEngine {
 
   // The Executor holds pointers into this object, and Database is movable —
   // so executors are constructed per Execute() call (they are a handful of
-  // pointers) rather than cached across moves.
+  // pointers) rather than cached across moves. The thread pool (null on
+  // the serial path) is shared across concurrent Execute() calls.
   Executor MakeExecutor() const {
     return Executor(&dict_, &cs_index_, &ecs_index_, &graph_, &stats_,
-                    options_);
+                    options_, pool_.get());
   }
 
   Dictionary dict_;
@@ -130,6 +131,9 @@ class Database : public QueryEngine {
   EcsStatistics stats_;
   EngineOptions options_;
   BuildInfo info_;
+  // Worker pool behind EngineOptions::parallelism (null = serial path);
+  // used by Build() for extraction/index tasks and by every Execute().
+  std::shared_ptr<ThreadPool> pool_;
   // Keeps the mapping alive for borrowed (OpenMapped) tables.
   std::shared_ptr<DbFileReader> mapped_file_;
 };

@@ -67,7 +67,8 @@ std::vector<RowRange> Executor::PlanScanRanges(
 
 BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
                                     const std::vector<EcsId>& matches,
-                                    ExecStats* stats) const {
+                                    ExecStats* stats,
+                                    Deadline* deadline) const {
   const QueryEcs& q = qg.ecss[query_ecs];
   BindingTable acc;
   bool first = true;
@@ -82,10 +83,19 @@ BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
     }
     ranges = PlanScanRanges(std::move(ranges));
     AccountPageReads(ranges, stats);
+    // Scan each range as a pool task (inline when serial), then merge the
+    // partial tables in range order — the same row order the serial single
+    // loop produces. Stats are task-local and summed in range order.
+    std::vector<BindingTable> parts(ranges.size());
+    std::vector<ExecStats> part_stats(ranges.size());
+    ParallelFor(pool_, ranges.size(), [&](size_t i) {
+      if (deadline != nullptr && deadline->Expired()) return;
+      parts[i] = ScanPattern(ecs_->pso().slice(ranges[i]), p, &part_stats[i]);
+    });
     BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
-    for (const RowRange& r : ranges) {
-      BindingTable part = ScanPattern(ecs_->pso().slice(r), p, stats);
-      AppendRowsByName(&link, part);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (stats != nullptr) stats->Accumulate(part_stats[i]);
+      AppendRowsByName(&link, parts[i]);
     }
     if (first) {
       acc = std::move(link);
@@ -178,28 +188,32 @@ void Executor::StarMergeScan(const QueryGraph& qg,
     }
     i = j;
   }
-  if (stats != nullptr) stats->intermediate_rows += out->num_rows();
+  // intermediate_rows accounting is the caller's job: it tracks the
+  // *accumulated* output table, which per-partition tasks cannot see.
 }
 
 BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
                                     const std::vector<CsId>& allowed_cs,
                                     const std::vector<int>& star_patterns,
-                                    ExecStats* stats) const {
+                                    ExecStats* stats,
+                                    Deadline* deadline) const {
   const QueryNode& n = qg.nodes[node];
 
-  // Page accounting over the CS partitions this star touches.
+  // Non-empty partition ranges in allowed_cs order — the unit of work for
+  // both retrieval paths (and, sorted, the page-accounting input).
+  std::vector<RowRange> ranges;
+  for (CsId cs : allowed_cs) {
+    RowRange range = n.is_variable ? cs_->RangeOf(cs)
+                                   : cs_->SubjectRange(cs, n.bound_id);
+    if (!range.empty()) ranges.push_back(range);
+  }
   {
-    std::vector<RowRange> ranges;
-    for (CsId cs : allowed_cs) {
-      RowRange range = n.is_variable ? cs_->RangeOf(cs)
-                                     : cs_->SubjectRange(cs, n.bound_id);
-      if (!range.empty()) ranges.push_back(range);
-    }
-    std::sort(ranges.begin(), ranges.end(),
+    std::vector<RowRange> sorted = ranges;
+    std::sort(sorted.begin(), sorted.end(),
               [](const RowRange& a, const RowRange& b) {
                 return a.begin < b.begin;
               });
-    AccountPageReads(ranges, stats);
+    AccountPageReads(sorted, stats);
   }
 
   if (options_.use_star_merge_scan &&
@@ -211,12 +225,22 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
       if (!p.p_bound() && !p.p_var.empty()) cols.push_back(p.p_var);
       if (!p.o_bound() && !p.o_var.empty()) cols.push_back(p.o_var);
     }
+    // One merge-scan task per partition, gathered in partition order.
+    std::vector<BindingTable> parts(ranges.size());
+    std::vector<ExecStats> part_stats(ranges.size());
+    ParallelFor(pool_, ranges.size(), [&](size_t i) {
+      if (deadline != nullptr && deadline->Expired()) return;
+      parts[i] = BindingTable(cols);
+      StarMergeScan(qg, star_patterns, cs_->spo().slice(ranges[i]),
+                    &parts[i], &part_stats[i]);
+    });
     BindingTable acc(cols);
-    for (CsId cs : allowed_cs) {
-      RowRange range = n.is_variable ? cs_->RangeOf(cs)
-                                     : cs_->SubjectRange(cs, n.bound_id);
-      if (range.empty()) continue;
-      StarMergeScan(qg, star_patterns, cs_->spo().slice(range), &acc, stats);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (stats != nullptr) stats->Accumulate(part_stats[i]);
+      AppendRowsByName(&acc, parts[i]);
+      // The serial reference accounted the accumulated table after each
+      // partition's merge scan; reproduce that running total exactly.
+      if (stats != nullptr) stats->intermediate_rows += acc.num_rows();
     }
     return acc;
   }
@@ -229,24 +253,29 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
     acc = HashJoin(acc, ScanPattern({}, qg.patterns[star_patterns[i]], nullptr),
                    nullptr);
   }
-  for (CsId cs : allowed_cs) {
-    RowRange range = n.is_variable ? cs_->RangeOf(cs)
-                                   : cs_->SubjectRange(cs, n.bound_id);
-    if (range.empty()) continue;
-    std::span<const Triple> rows = cs_->spo().slice(range);
+  // One scan+join pipeline task per partition, gathered in partition order.
+  std::vector<BindingTable> parts(ranges.size());
+  std::vector<ExecStats> part_stats(ranges.size());
+  ParallelFor(pool_, ranges.size(), [&](size_t i) {
+    if (deadline != nullptr && deadline->Expired()) return;
+    std::span<const Triple> rows = cs_->spo().slice(ranges[i]);
     BindingTable per_cs;
     bool first = true;
     for (int pi : star_patterns) {
-      BindingTable t = ScanPattern(rows, qg.patterns[pi], stats);
+      BindingTable t = ScanPattern(rows, qg.patterns[pi], &part_stats[i]);
       if (first) {
         per_cs = std::move(t);
         first = false;
       } else {
-        per_cs = HashJoin(per_cs, t, stats);
+        per_cs = HashJoin(per_cs, t, &part_stats[i]);
       }
       if (per_cs.num_rows() == 0) break;
     }
-    AppendRowsByName(&acc, per_cs);
+    parts[i] = std::move(per_cs);
+  });
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (stats != nullptr) stats->Accumulate(part_stats[i]);
+    AppendRowsByName(&acc, parts[i]);
   }
   return acc;
 }
@@ -394,12 +423,14 @@ Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
 
 Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
   QueryResult result;
-  auto start_time = std::chrono::steady_clock::now();
-  auto deadline_hit = [this, start_time]() {
-    if (options_.timeout_millis == 0) return false;
-    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start_time);
-    return static_cast<uint64_t>(elapsed.count()) >= options_.timeout_millis;
+  // One shared deadline per query: the merging thread checks it between
+  // operators, worker tasks check it before every partition scan, and the
+  // sticky flag makes the whole task tree quiesce once any thread fires it.
+  Deadline deadline(options_.timeout_millis);
+  auto timeout_status = [this]() {
+    return Status::DeadlineExceeded("query exceeded " +
+                                    std::to_string(options_.timeout_millis) +
+                                    "ms");
   };
   std::vector<std::string> proj = query.EffectiveProjection();
   auto empty_result = [&proj]() {
@@ -464,24 +495,56 @@ Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
   ChainJoinPlan join_plan = ComputeChainJoinPlan(qg, qecs_matches, plan);
 
   // Join each query ECS once, in the planned global order.
+  //
+  // Parallel path: the query ECSs are independent scan/join units, so all
+  // of them are evaluated concurrently up front, then joined serially in
+  // plan order. To keep summed ExecStats identical to the serial reference
+  // (which stops evaluating once a join runs empty), a task's counters are
+  // only folded in when its table is actually consumed by the merge loop.
   BindingTable current;
   bool first = true;
-  for (int qecs : join_plan.sequence) {
-    std::vector<EcsId> pm(qecs_matches[qecs].begin(),
-                          qecs_matches[qecs].end());
-    BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats);
-    if (deadline_hit()) {
-      return Status::DeadlineExceeded("query exceeded " +
-                                      std::to_string(options_.timeout_millis) +
-                                      "ms");
+  const size_t num_qecs = join_plan.sequence.size();
+  std::vector<BindingTable> qecs_tables(num_qecs);
+  std::vector<ExecStats> qecs_stats(num_qecs);
+  if (pool_ != nullptr && num_qecs > 1) {
+    WaitGroup wg(pool_);
+    for (size_t i = 0; i < num_qecs; ++i) {
+      wg.Run([this, &qg, &join_plan, &qecs_matches, &qecs_tables, &qecs_stats,
+              &deadline, i] {
+        if (deadline.Expired()) return;
+        int qecs = join_plan.sequence[i];
+        std::vector<EcsId> pm(qecs_matches[qecs].begin(),
+                              qecs_matches[qecs].end());
+        qecs_tables[i] =
+            EvalQueryEcs(qg, qecs, pm, &qecs_stats[i], &deadline);
+      });
     }
-    if (first) {
-      current = std::move(t);
-      first = false;
-    } else {
-      current = HashJoin(current, t, &result.stats);
+    wg.Wait();
+    if (deadline.hit()) return timeout_status();
+    for (size_t i = 0; i < num_qecs; ++i) {
+      result.stats.Accumulate(qecs_stats[i]);
+      if (first) {
+        current = std::move(qecs_tables[i]);
+        first = false;
+      } else {
+        current = HashJoin(current, qecs_tables[i], &result.stats);
+      }
+      if (current.num_rows() == 0) return empty_result();
     }
-    if (current.num_rows() == 0) return empty_result();
+  } else {
+    for (int qecs : join_plan.sequence) {
+      std::vector<EcsId> pm(qecs_matches[qecs].begin(),
+                            qecs_matches[qecs].end());
+      BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats, &deadline);
+      if (deadline.Expired()) return timeout_status();
+      if (first) {
+        current = std::move(t);
+        first = false;
+      } else {
+        current = HashJoin(current, t, &result.stats);
+      }
+      if (current.num_rows() == 0) return empty_result();
+    }
   }
 
   // --- Star retrieval per node (Sec. IV.D). ---
@@ -532,13 +595,9 @@ Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
       }
     } else {
       star = EvalStarNode(qg, static_cast<int>(node), allowed, needed,
-                          &result.stats);
+                          &result.stats, &deadline);
     }
-    if (deadline_hit()) {
-      return Status::DeadlineExceeded("query exceeded " +
-                                      std::to_string(options_.timeout_millis) +
-                                      "ms");
-    }
+    if (deadline.Expired()) return timeout_status();
     if (first) {
       current = std::move(star);
       first = false;

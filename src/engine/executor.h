@@ -24,6 +24,7 @@
 #include "engine/planner.h"
 #include "engine/query_engine.h"
 #include "engine/query_graph.h"
+#include "util/thread_pool.h"
 
 namespace axon {
 
@@ -35,8 +36,18 @@ struct EngineOptions {
   /// Per-query wall-clock budget in milliseconds; 0 = unlimited. The
   /// paper's evaluation imposes a 30-minute timeout on every engine
   /// (Sec. V.A); this is the engine-level mechanism behind it. The check
-  /// runs between operators, so a single scan/join may overshoot slightly.
+  /// runs between operators — and, on the parallel paths, before every
+  /// worker task via a shared atomic deadline flag — so a single scan/join
+  /// may overshoot slightly.
   uint64_t timeout_millis = 0;
+
+  /// Worker threads for load-time extraction/index builds and query-time
+  /// scans: 0 = hardware concurrency, 1 = the serial reference path
+  /// (default; exactly the pre-parallel engine), K > 1 = a fixed pool of K
+  /// threads. Partial results are always merged in plan order, so results
+  /// and summed ExecStats are bit-identical at every setting (enforced by
+  /// parallel_determinism_test).
+  uint32_t parallelism = 1;
 
   /// Ablation knob: when false the star merge scan is disabled and star
   /// retrieval always goes through the general hash-join pipeline
@@ -60,15 +71,19 @@ struct EngineOptions {
 
 class Executor {
  public:
+  /// `pool` may be null (serial reference path) and must outlive the
+  /// executor; it is shared by concurrent Execute() calls.
   Executor(const Dictionary* dict, const CsIndex* cs_index,
            const EcsIndex* ecs_index, const EcsGraph* graph,
-           const EcsStatistics* stats, EngineOptions options)
+           const EcsStatistics* stats, EngineOptions options,
+           ThreadPool* pool = nullptr)
       : dict_(dict),
         cs_(cs_index),
         ecs_(ecs_index),
         graph_(graph),
         stats_(stats),
         options_(options),
+        pool_(pool),
         matcher_(cs_index, ecs_index, graph),
         planner_(ecs_index, stats) {}
 
@@ -88,18 +103,21 @@ class Executor {
  private:
   /// eval(Q_i): union of the matched ECS partitions' rows for every link
   /// pattern of the query ECS, link patterns natural-joined on the chain
-  /// node columns.
+  /// node columns. The per-ECS PSO range scans run as pool tasks; partial
+  /// tables are appended in range (storage) order, so the union is
+  /// bit-identical to the serial scan.
   BindingTable EvalQueryEcs(const QueryGraph& qg, int query_ecs,
                             const std::vector<EcsId>& matches,
-                            ExecStats* stats) const;
+                            ExecStats* stats, Deadline* deadline) const;
 
   /// Star retrieval for one node over the allowed CS partitions.
   /// Returns a table with the node column plus the star patterns' variable
-  /// columns.
+  /// columns. Per-CS partition scans run as pool tasks, merged in
+  /// allowed_cs order.
   BindingTable EvalStarNode(const QueryGraph& qg, int node,
                             const std::vector<CsId>& allowed_cs,
                             const std::vector<int>& star_patterns,
-                            ExecStats* stats) const;
+                            ExecStats* stats, Deadline* deadline) const;
 
   /// True when the star patterns share no variables besides the subject —
   /// the precondition of the single-pass merge scan (Sec. IV.D: the CS
@@ -140,6 +158,7 @@ class Executor {
   const EcsGraph* graph_;
   const EcsStatistics* stats_;
   EngineOptions options_;
+  ThreadPool* pool_;  // null => serial reference path
   EcsMatcher matcher_;
   Planner planner_;
 };

@@ -44,15 +44,16 @@ Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,
   ShardedDatabase db;
   db.options_ = options.engine;
   db.dict_ = dataset.dict;
+  db.pool_ = MakePool(options.engine.parallelism);
+  ThreadPool* pool = db.pool_.get();
 
   // Deduplicated loader rows (RDF set semantics), as in Database::Build.
   LoadTripleVec load;
   {
     TripleVec triples = dataset.triples;
-    std::sort(triples.begin(), triples.end(),
-              [](const Triple& a, const Triple& b) {
-                return a.Key() < b.Key();
-              });
+    ParallelSort(pool, &triples, [](const Triple& a, const Triple& b) {
+      return a.Key() < b.Key();
+    });
     triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
     load.reserve(triples.size());
     for (const Triple& t : triples) {
@@ -64,8 +65,8 @@ Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,
   // would merge per-shard property sets into this same global CS/ECS id
   // space (subject-hash partitioning keeps every star on one shard, so the
   // local property sets are already exact).
-  CsExtraction cs = ExtractCharacteristicSets(std::move(load));
-  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
+  CsExtraction cs = ExtractCharacteristicSets(std::move(load), pool);
+  EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs, pool);
   db.graph_ = EcsGraph(ecs.links);
   db.stats_ = EcsStatistics::Build(ecs);
   std::vector<uint32_t> storage_rank;
@@ -77,8 +78,10 @@ Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,
 
   // Shard the triples under the global ids: filtering the (CS, S, P, O)-
   // and (ECS, P, S, O)-sorted streams preserves their orders, so the
-  // per-shard indexes are built exactly like the single-node ones.
-  for (uint32_t k = 0; k < options.num_shards; ++k) {
+  // per-shard indexes are built exactly like the single-node ones. Each
+  // shard's filter + index build is independent — one pool task per shard.
+  db.shards_.resize(options.num_shards);
+  ParallelFor(pool, options.num_shards, [&](size_t k) {
     CsExtraction shard_cs;
     shard_cs.properties = cs.properties;
     shard_cs.sets = cs.sets;
@@ -98,8 +101,8 @@ Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,
     auto shard = std::make_unique<Shard>();
     shard->cs = CsIndex::Build(shard_cs);
     shard->ecs = EcsIndex::Build(shard_ecs, storage_rank);
-    db.shards_.push_back(std::move(shard));
-  }
+    db.shards_[k] = std::move(shard);
+  });
   return db;
 }
 
@@ -120,21 +123,35 @@ std::vector<uint64_t> ShardedDatabase::ShardTripleCounts() const {
 
 BindingTable ShardedDatabase::EvalQueryEcsScattered(
     const QueryGraph& qg, int query_ecs, const std::vector<EcsId>& matches,
-    ExecStats* stats) const {
+    ExecStats* stats, Deadline* deadline) const {
   const QueryEcs& q = qg.ecss[query_ecs];
   BindingTable acc;
   bool first = true;
   for (int pi : q.link_patterns) {
     const IdPattern& p = qg.patterns[pi];
-    BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
-    for (const auto& shard : shards_) {
+    // Scatter: one task per shard scans that shard's slice of every
+    // matched ECS partition. Gather: shard partials are appended in
+    // shard-index order — the serial scatter loop's exact row order.
+    std::vector<BindingTable> shard_parts(shards_.size());
+    std::vector<ExecStats> shard_stats(shards_.size());
+    ParallelFor(pool_.get(), shards_.size(), [&](size_t si) {
+      if (deadline != nullptr && deadline->Expired()) return;
+      const Shard& shard = *shards_[si];
+      BindingTable local = ScanPattern({}, p, nullptr);  // right schema
       for (EcsId e : matches) {
-        RowRange r = p.p_bound() ? shard->ecs.PropertyRange(e, p.p)
-                                 : shard->ecs.RangeOf(e);
+        RowRange r = p.p_bound() ? shard.ecs.PropertyRange(e, p.p)
+                                 : shard.ecs.RangeOf(e);
         if (r.empty()) continue;
-        BindingTable part = ScanPattern(shard->ecs.pso().slice(r), p, stats);
-        AppendRowsByName(&link, part);
+        BindingTable part =
+            ScanPattern(shard.ecs.pso().slice(r), p, &shard_stats[si]);
+        AppendRowsByName(&local, part);
       }
+      shard_parts[si] = std::move(local);
+    });
+    BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
+    for (size_t si = 0; si < shards_.size(); ++si) {
+      if (stats != nullptr) stats->Accumulate(shard_stats[si]);
+      AppendRowsByName(&link, shard_parts[si]);
     }
     if (first) {
       acc = std::move(link);
@@ -149,7 +166,8 @@ BindingTable ShardedDatabase::EvalQueryEcsScattered(
 
 BindingTable ShardedDatabase::EvalStarScattered(
     const QueryGraph& qg, int node, const std::vector<CsId>& allowed_cs,
-    const std::vector<int>& star_patterns, ExecStats* stats) const {
+    const std::vector<int>& star_patterns, ExecStats* stats,
+    Deadline* deadline) const {
   const QueryNode& n = qg.nodes[node];
   // Output schema via the pipeline on an empty span.
   BindingTable acc = ScanPattern({}, qg.patterns[star_patterns[0]], nullptr);
@@ -157,27 +175,37 @@ BindingTable ShardedDatabase::EvalStarScattered(
     acc = HashJoin(acc, ScanPattern({}, qg.patterns[star_patterns[i]], nullptr),
                    nullptr);
   }
-  for (const auto& shard : shards_) {
+  // Scatter star retrieval per shard; gather in shard-index order.
+  std::vector<BindingTable> shard_parts(shards_.size());
+  std::vector<ExecStats> shard_stats(shards_.size());
+  ParallelFor(pool_.get(), shards_.size(), [&](size_t si) {
+    if (deadline != nullptr && deadline->Expired()) return;
+    const Shard& shard = *shards_[si];
+    BindingTable local(acc.vars());
     for (CsId cs : allowed_cs) {
-      RowRange range = n.is_variable
-                           ? shard->cs.RangeOf(cs)
-                           : shard->cs.SubjectRange(cs, n.bound_id);
+      RowRange range = n.is_variable ? shard.cs.RangeOf(cs)
+                                     : shard.cs.SubjectRange(cs, n.bound_id);
       if (range.empty()) continue;
-      std::span<const Triple> rows = shard->cs.spo().slice(range);
+      std::span<const Triple> rows = shard.cs.spo().slice(range);
       BindingTable per_cs;
       bool first = true;
       for (int pi : star_patterns) {
-        BindingTable t = ScanPattern(rows, qg.patterns[pi], stats);
+        BindingTable t = ScanPattern(rows, qg.patterns[pi], &shard_stats[si]);
         if (first) {
           per_cs = std::move(t);
           first = false;
         } else {
-          per_cs = HashJoin(per_cs, t, stats);
+          per_cs = HashJoin(per_cs, t, &shard_stats[si]);
         }
         if (per_cs.num_rows() == 0) break;
       }
-      AppendRowsByName(&acc, per_cs);
+      AppendRowsByName(&local, per_cs);
     }
+    shard_parts[si] = std::move(local);
+  });
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    if (stats != nullptr) stats->Accumulate(shard_stats[si]);
+    AppendRowsByName(&acc, shard_parts[si]);
   }
   return acc;
 }
@@ -189,6 +217,13 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
     QueryResult r;
     r.table = BindingTable(proj);
     return r;
+  };
+  // Shared across the scatter tasks: once any worker (or the coordinator
+  // loop) observes expiry the flag is sticky and everyone bails out.
+  Deadline deadline(options_.timeout_millis);
+  auto timeout_status = [this]() {
+    return Status::DeadlineExceeded(
+        "query exceeded " + std::to_string(options_.timeout_millis) + "ms");
   };
 
   AXON_ASSIGN_OR_RETURN(QueryGraph qg,
@@ -268,7 +303,9 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
     node_joined[qg.ecss[qecs].object_node] = true;
     std::vector<EcsId> pm(qecs_matches[qecs].begin(),
                           qecs_matches[qecs].end());
-    BindingTable t = EvalQueryEcsScattered(qg, qecs, pm, &result.stats);
+    BindingTable t =
+        EvalQueryEcsScattered(qg, qecs, pm, &result.stats, &deadline);
+    if (deadline.Expired()) return timeout_status();
     if (first) {
       current = std::move(t);
       first = false;
@@ -302,8 +339,9 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
     }
     if (allowed.empty()) return empty_result();
 
-    BindingTable star_table = EvalStarScattered(qg, static_cast<int>(node),
-                                                allowed, star, &result.stats);
+    BindingTable star_table = EvalStarScattered(
+        qg, static_cast<int>(node), allowed, star, &result.stats, &deadline);
+    if (deadline.Expired()) return timeout_status();
     if (first) {
       current = std::move(star_table);
       first = false;

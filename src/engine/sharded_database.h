@@ -35,7 +35,11 @@ namespace axon {
 struct ShardedOptions {
   uint32_t num_shards = 4;
   /// Engine configuration used by the coordinator's matcher/planner and by
-  /// the shard layouts (hierarchy pre-order applies per shard).
+  /// the shard layouts (hierarchy pre-order applies per shard). Its
+  /// `parallelism` knob also controls the coordinator's scatter pool:
+  /// shard builds and per-shard scan tasks run on it, and partials are
+  /// gathered in shard-index order so results are identical to the serial
+  /// scatter loop.
   EngineOptions engine;
 };
 
@@ -72,16 +76,18 @@ class ShardedDatabase : public QueryEngine {
     EcsIndex ecs;
   };
 
-  // eval(Q_i) scattered over the shards and gathered.
+  // eval(Q_i) scattered over the shards (one pool task per shard) and
+  // gathered in shard-index order.
   BindingTable EvalQueryEcsScattered(const QueryGraph& qg, int query_ecs,
                                      const std::vector<EcsId>& matches,
-                                     ExecStats* stats) const;
+                                     ExecStats* stats,
+                                     Deadline* deadline) const;
 
-  // Star retrieval scattered over the shards.
+  // Star retrieval scattered over the shards, gathered in shard order.
   BindingTable EvalStarScattered(const QueryGraph& qg, int node,
                                  const std::vector<CsId>& allowed_cs,
                                  const std::vector<int>& star_patterns,
-                                 ExecStats* stats) const;
+                                 ExecStats* stats, Deadline* deadline) const;
 
   Dictionary dict_;
   // Coordinator metadata: global schema, graph, hierarchy order and
@@ -93,6 +99,8 @@ class ShardedDatabase : public QueryEngine {
   EcsGraph graph_;
   EcsStatistics stats_;
   EngineOptions options_;
+  // Scatter pool behind options_.parallelism (null = serial scatter).
+  std::shared_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,181 @@
+// Fixed-size thread pool for intra-engine parallelism.
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//  * No work stealing, no task priorities — the engine's parallel units
+//    (partition sorts, per-ECS range scans, shard scatters) are coarse and
+//    embarrassingly parallel, so a mutex-protected FIFO is enough and keeps
+//    the pool auditable under TSan.
+//  * Tasks never block on the pool. Helpers that fan out (WaitGroup,
+//    ParallelFor, ParallelSort) run inline when called from a worker
+//    thread, which makes nested parallelism safe by construction (no
+//    worker ever waits for a task that needs a worker to run).
+//  * Exceptions thrown by tasks are captured and rethrown to the waiter
+//    (first one wins), so Status-based callers see failures at the point
+//    where they Wait().
+//
+// The `parallelism` knob on EngineOptions maps onto this via MakePool():
+// 0 = hardware concurrency, 1 = no pool (the serial reference path), K>1 =
+// K worker threads.
+
+#ifndef AXON_UTIL_THREAD_POOL_H_
+#define AXON_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace axon {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins the workers. All WaitGroups built on this
+  /// pool must have been waited on before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Thread-safe; callable from any thread, including
+  /// workers (the task will simply run later — never wait for it from a
+  /// worker).
+  void Submit(std::function<void()> fn);
+
+  /// True on a thread currently executing a pool task (any pool).
+  static bool InWorker();
+
+  /// Resolves the EngineOptions::parallelism knob: 0 = hardware
+  /// concurrency, otherwise the value itself.
+  static size_t ResolveThreads(uint32_t parallelism);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Creates a pool for the given parallelism knob, or nullptr when the
+/// resolved thread count is 1 — the null pool selects the serial reference
+/// path everywhere.
+std::shared_ptr<ThreadPool> MakePool(uint32_t parallelism);
+
+/// Tracks a batch of tasks submitted to a pool. With a null pool (or when
+/// constructed on a worker thread) tasks run inline in submission order —
+/// the serial reference path. Wait() rethrows the first task exception.
+class WaitGroup {
+ public:
+  explicit WaitGroup(ThreadPool* pool);
+  ~WaitGroup();
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// Submits one task (or runs it inline on the serial path).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every submitted task finished; rethrows the first
+  /// exception any task threw.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;  // nullptr => inline execution
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+/// Runs fn(i) for every i in [0, n). Indices are processed in blocks; the
+/// serial fallback (null pool, worker thread, or tiny n) preserves index
+/// order exactly. Rethrows the first task exception.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Sorts `v` with `comp` using chunked std::sort + pairwise merges on the
+/// pool. `comp` must be a strict total order for the result to be
+/// bit-identical to a serial std::sort (all engine sort keys are full
+/// tuples, so this holds).
+template <typename T, typename Comp>
+void ParallelSort(ThreadPool* pool, std::vector<T>* v, Comp comp) {
+  const size_t n = v->size();
+  size_t parts = pool == nullptr || ThreadPool::InWorker()
+                     ? 1
+                     : std::min(pool->num_threads(), n / 4096);
+  if (parts < 2) {
+    std::sort(v->begin(), v->end(), comp);
+    return;
+  }
+  std::vector<size_t> bounds(parts + 1);
+  for (size_t i = 0; i <= parts; ++i) bounds[i] = i * n / parts;
+  ParallelFor(pool, parts, [&](size_t i) {
+    std::sort(v->begin() + bounds[i], v->begin() + bounds[i + 1], comp);
+  });
+  for (size_t width = 1; width < parts; width *= 2) {
+    struct Merge {
+      size_t lo, mid, hi;
+    };
+    std::vector<Merge> merges;
+    for (size_t i = 0; i + width < parts; i += 2 * width) {
+      merges.push_back(Merge{bounds[i], bounds[i + width],
+                             bounds[std::min(i + 2 * width, parts)]});
+    }
+    ParallelFor(pool, merges.size(), [&](size_t m) {
+      std::inplace_merge(v->begin() + merges[m].lo, v->begin() + merges[m].mid,
+                         v->begin() + merges[m].hi, comp);
+    });
+  }
+}
+
+/// Shared per-query deadline: one steady-clock target, one sticky atomic
+/// flag checked by every worker task. Expired() is monotonic — once the
+/// deadline fires, every subsequent check (on any thread) reports true, so
+/// all of a query's tasks quiesce promptly and the caller returns a single
+/// DeadlineExceeded.
+class Deadline {
+ public:
+  /// timeout_millis = 0 disables the deadline entirely.
+  explicit Deadline(uint64_t timeout_millis)
+      : enabled_(timeout_millis != 0),
+        at_(std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_millis)) {}
+
+  /// Checks the clock (cheap; sticky once fired).
+  bool Expired() {
+    if (!enabled_) return false;
+    if (hit_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= at_) {
+      hit_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True iff some thread already observed expiry.
+  bool hit() const { return hit_.load(std::memory_order_relaxed); }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point at_;
+  std::atomic<bool> hit_{false};
+};
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_THREAD_POOL_H_

@@ -20,89 +20,6 @@
 namespace axon {
 namespace {
 
-// Random query generator over the RandomDataset vocabulary: produces
-// chain/star/cycle mixes with bound subjects/objects, literal objects,
-// variable predicates and equality filters.
-class QueryGen {
- public:
-  QueryGen(uint64_t seed, uint32_t num_nodes, uint32_t num_predicates)
-      : rng_(seed), num_nodes_(num_nodes), num_predicates_(num_predicates) {}
-
-  std::string Next() {
-    patterns_.clear();
-    filters_.clear();
-    next_var_ = 0;
-
-    // A chain backbone of 1-3 hops.
-    int hops = 1 + static_cast<int>(rng_.Uniform(3));
-    std::string prev = NodeTerm(true);
-    for (int h = 0; h < hops; ++h) {
-      std::string next =
-          (h + 1 == hops && rng_.Bernoulli(0.2)) ? BoundNode() : Var();
-      AddPattern(prev, Predicate(), next);
-      MaybeStar(prev);
-      prev = next;
-    }
-    MaybeStar(prev);
-    // Occasional cycle closure.
-    if (hops >= 2 && rng_.Bernoulli(0.2)) {
-      AddPattern(prev, Predicate(), "?v0");
-    }
-    // Occasional filter on a variable that exists.
-    if (next_var_ > 0 && rng_.Bernoulli(0.3)) {
-      filters_.push_back("FILTER(?v" +
-                         std::to_string(rng_.Uniform(next_var_)) + " = " +
-                         BoundNode() + ")");
-    }
-
-    std::string q = "SELECT ";
-    q += rng_.Bernoulli(0.3) ? "DISTINCT * " : "* ";
-    q += "WHERE { ";
-    for (const std::string& p : patterns_) q += p + " . ";
-    for (const std::string& f : filters_) q += f + " ";
-    q += "}";
-    return q;
-  }
-
- private:
-  std::string Var() { return "?v" + std::to_string(next_var_++); }
-  std::string BoundNode() {
-    return "<http://example.org/n" + std::to_string(rng_.Uniform(num_nodes_)) +
-           ">";
-  }
-  std::string NodeTerm(bool subject_position) {
-    if (subject_position && rng_.Bernoulli(0.15)) return BoundNode();
-    return Var();
-  }
-  std::string Predicate() {
-    if (rng_.Bernoulli(0.1)) return Var();  // variable predicate
-    return "<http://example.org/p" +
-           std::to_string(rng_.Uniform(num_predicates_)) + ">";
-  }
-  void AddPattern(const std::string& s, const std::string& p,
-                  const std::string& o) {
-    patterns_.push_back(s + " " + p + " " + o);
-  }
-  void MaybeStar(const std::string& node) {
-    if (node[0] != '?') return;  // stars only around variables here
-    int extra = static_cast<int>(rng_.Uniform(3));
-    for (int i = 0; i < extra; ++i) {
-      std::string object =
-          rng_.Bernoulli(0.3) ? "\"lit" + std::to_string(rng_.Uniform(50)) +
-                                    "\""
-                              : Var();
-      AddPattern(node, Predicate(), object);
-    }
-  }
-
-  Random rng_;
-  uint32_t num_nodes_;
-  uint32_t num_predicates_;
-  std::vector<std::string> patterns_;
-  std::vector<std::string> filters_;
-  int next_var_ = 0;
-};
-
 class DifferentialQueryTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialQueryTest, AxonConfigsMatchSixPermOnRandomQueries) {
@@ -134,7 +51,7 @@ TEST_P(DifferentialQueryTest, AxonConfigsMatchSixPermOnRandomQueries) {
   configs.push_back(
       std::make_unique<Database>(std::move(mapped).ValueOrDie()));
 
-  QueryGen gen(seed, 35, 7);
+  testutil::QueryGen gen(seed, 35, 7);
   for (int trial = 0; trial < 25; ++trial) {
     std::string sparql = gen.Next();
     auto q = ParseSparql(sparql);

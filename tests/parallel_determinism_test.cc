@@ -1,0 +1,149 @@
+// Satellite (a) of the parallel-execution PR: parallelism must be
+// invisible in results. For every engine configuration the parallel build
+// + parallel execution must produce IDENTICAL QueryResults to the serial
+// reference path — same column order, same row order, same cell values
+// (not just multiset equality) — and the deterministically-summed
+// ExecStats must match counter for counter.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/sharded_database.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace axon {
+namespace {
+
+// Asserts r1 and r2 are byte-identical: schema, row order, cells, stats.
+void ExpectIdentical(const QueryResult& serial, const QueryResult& parallel,
+                     const std::string& context) {
+  EXPECT_EQ(serial.table.vars(), parallel.table.vars()) << context;
+  EXPECT_EQ(serial.table.num_rows(), parallel.table.num_rows()) << context;
+  EXPECT_EQ(serial.table.flat(), parallel.table.flat()) << context;
+  EXPECT_EQ(serial.stats.rows_scanned, parallel.stats.rows_scanned) << context;
+  EXPECT_EQ(serial.stats.intermediate_rows, parallel.stats.intermediate_rows)
+      << context;
+  EXPECT_EQ(serial.stats.joins, parallel.stats.joins) << context;
+  EXPECT_EQ(serial.stats.pages_read, parallel.stats.pages_read) << context;
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDeterminismTest, AllConfigsIdenticalAcrossParallelism) {
+  uint64_t seed = GetParam();
+  Dataset data = testutil::RandomDataset(35, 7, 450, 0.3, seed * 131 + 17);
+
+  for (auto [hierarchy, planner] :
+       {std::pair(false, false), std::pair(true, false), std::pair(false, true),
+        std::pair(true, true)}) {
+    // The serial reference (parallelism = 1) against a fixed 4-thread pool
+    // and the hardware-concurrency setting. Both the load pipeline and
+    // query evaluation run through the pool on the parallel builds.
+    EngineOptions serial_opt;
+    serial_opt.use_hierarchy = hierarchy;
+    serial_opt.use_planner = planner;
+    serial_opt.parallelism = 1;
+    EngineOptions par_opt = serial_opt;
+    par_opt.parallelism = 4;
+    EngineOptions hw_opt = serial_opt;
+    hw_opt.parallelism = 0;
+
+    auto serial_db = Database::Build(data, serial_opt);
+    auto par_db = Database::Build(data, par_opt);
+    auto hw_db = Database::Build(data, hw_opt);
+    ASSERT_TRUE(serial_db.ok());
+    ASSERT_TRUE(par_db.ok());
+    ASSERT_TRUE(hw_db.ok());
+
+    // Parallel extraction must mint the exact same schema and tables.
+    const BuildInfo& si = serial_db.value().build_info();
+    const BuildInfo& pi = par_db.value().build_info();
+    EXPECT_EQ(si.num_triples, pi.num_triples);
+    EXPECT_EQ(si.num_cs, pi.num_cs);
+    EXPECT_EQ(si.num_ecs, pi.num_ecs);
+    EXPECT_EQ(si.num_ecs_triples, pi.num_ecs_triples);
+    EXPECT_EQ(si.num_ecs_edges, pi.num_ecs_edges);
+    EXPECT_EQ(serial_db.value().StorageBytes(), par_db.value().StorageBytes());
+
+    testutil::QueryGen gen(seed, 35, 7);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::string sparql = gen.Next();
+      auto q = ParseSparql(sparql);
+      ASSERT_TRUE(q.ok()) << sparql;
+      auto rs = serial_db.value().Execute(q.value());
+      auto rp = par_db.value().Execute(q.value());
+      auto rh = hw_db.value().Execute(q.value());
+      ASSERT_TRUE(rs.ok()) << sparql;
+      ASSERT_TRUE(rp.ok()) << sparql;
+      ASSERT_TRUE(rh.ok()) << sparql;
+      std::string context = serial_db.value().name() + "\n" + sparql;
+      ExpectIdentical(rs.value(), rp.value(), "parallelism=4: " + context);
+      ExpectIdentical(rs.value(), rh.value(), "parallelism=0: " + context);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, ShardedScatterIdenticalAcrossParallelism) {
+  uint64_t seed = GetParam();
+  Dataset data = testutil::RandomDataset(35, 7, 450, 0.3, seed * 131 + 17);
+
+  ShardedOptions serial_opt;
+  serial_opt.num_shards = 4;
+  serial_opt.engine.parallelism = 1;
+  ShardedOptions par_opt = serial_opt;
+  par_opt.engine.parallelism = 4;
+
+  auto serial_db = ShardedDatabase::Build(data, serial_opt);
+  auto par_db = ShardedDatabase::Build(data, par_opt);
+  ASSERT_TRUE(serial_db.ok());
+  ASSERT_TRUE(par_db.ok());
+  EXPECT_EQ(serial_db.value().ShardTripleCounts(),
+            par_db.value().ShardTripleCounts());
+  EXPECT_EQ(serial_db.value().StorageBytes(), par_db.value().StorageBytes());
+
+  testutil::QueryGen gen(seed ^ 0x5eed, 35, 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string sparql = gen.Next();
+    auto q = ParseSparql(sparql);
+    ASSERT_TRUE(q.ok()) << sparql;
+    auto rs = serial_db.value().Execute(q.value());
+    auto rp = par_db.value().Execute(q.value());
+    ASSERT_TRUE(rs.ok()) << sparql;
+    ASSERT_TRUE(rp.ok()) << sparql;
+    ExpectIdentical(rs.value(), rp.value(), "sharded: " + sparql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// The Fig. 1 running example end-to-end: the known 3-row answer must come
+// back identically at every parallelism setting.
+TEST(ParallelDeterminismFig1Test, KnownAnswerEveryParallelism) {
+  Dataset data = testutil::Fig1Dataset();
+  QueryResult reference;
+  for (uint32_t par : {1u, 2u, 4u, 0u}) {
+    EngineOptions opt;
+    opt.use_hierarchy = true;
+    opt.use_planner = true;
+    opt.parallelism = par;
+    auto db = Database::Build(data, opt);
+    ASSERT_TRUE(db.ok());
+    auto r = db.value().ExecuteSparql(testutil::Fig1Query());
+    ASSERT_TRUE(r.ok()) << "parallelism=" << par;
+    EXPECT_EQ(r.value().table.num_rows(), 3u) << "parallelism=" << par;
+    if (par == 1) {
+      reference = std::move(r).ValueOrDie();
+    } else {
+      EXPECT_EQ(r.value().table.vars(), reference.table.vars());
+      EXPECT_EQ(r.value().table.flat(), reference.table.flat());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,87 @@
+// Satellite (d) of the parallel-execution PR: timeout_millis = 1 on a
+// dataset large enough that the query cannot finish must come back as a
+// clean DeadlineExceeded — no crash, no hang, no partial result — at
+// EVERY parallelism setting. On the parallel paths the deadline is a
+// shared atomic flag observed by all worker tasks.
+
+#include <gtest/gtest.h>
+
+#include "datagen/lubm_generator.h"
+#include "engine/database.h"
+#include "engine/sharded_database.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+class ParallelTimeoutTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LubmConfig cfg;
+    cfg.num_universities = 8;
+    data_ = new Dataset(GenerateLubmDataset(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const Dataset* data_;
+};
+
+const Dataset* ParallelTimeoutTest::data_ = nullptr;
+
+TEST_F(ParallelTimeoutTest, ImmediateDeadlineAtEveryParallelism) {
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
+  ASSERT_TRUE(q.ok());
+  for (uint32_t par : {1u, 4u, 0u}) {
+    EngineOptions opt;
+    opt.use_hierarchy = true;
+    opt.use_planner = true;
+    opt.timeout_millis = 1;
+    opt.parallelism = par;
+    auto db = Database::Build(*data_, opt);
+    ASSERT_TRUE(db.ok()) << "parallelism=" << par;
+    auto r = db.value().Execute(q.value());
+    ASSERT_FALSE(r.ok()) << "parallelism=" << par;
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << "parallelism=" << par << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(ParallelTimeoutTest, ShardedImmediateDeadline) {
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
+  ASSERT_TRUE(q.ok());
+  for (uint32_t par : {1u, 4u}) {
+    ShardedOptions opt;
+    opt.num_shards = 4;
+    opt.engine.timeout_millis = 1;
+    opt.engine.parallelism = par;
+    auto db = ShardedDatabase::Build(*data_, opt);
+    ASSERT_TRUE(db.ok()) << "parallelism=" << par;
+    auto r = db.value().Execute(q.value());
+    ASSERT_FALSE(r.ok()) << "parallelism=" << par;
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << "parallelism=" << par << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(ParallelTimeoutTest, GenerousDeadlineStillAnswersInParallel) {
+  // Sanity: the shared deadline flag must not trip on a healthy query.
+  auto q = ParseSparql(LubmFullWorkload().Get("Q1").sparql);
+  ASSERT_TRUE(q.ok());
+  for (uint32_t par : {1u, 4u}) {
+    EngineOptions opt;
+    opt.timeout_millis = 60000;
+    opt.parallelism = par;
+    auto db = Database::Build(*data_, opt);
+    ASSERT_TRUE(db.ok());
+    auto r = db.value().Execute(q.value());
+    EXPECT_TRUE(r.ok()) << "parallelism=" << par << ": "
+                        << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace axon

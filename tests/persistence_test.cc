@@ -15,7 +15,12 @@ namespace {
 
 class PersistenceTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/axon_persistence_test.axdb";
+  // Per-test file name: `ctest -j` runs the cases as concurrent processes,
+  // so a shared path would let one test overwrite another's database.
+  std::string path_ =
+      ::testing::TempDir() + "/axon_persistence_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".axdb";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

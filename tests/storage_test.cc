@@ -236,7 +236,12 @@ TEST(TripleTableTest, SliceViewsRows) {
 
 class DbFileTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/axon_dbfile_test.axdb";
+  // Per-test file name: `ctest -j` runs the cases as concurrent processes,
+  // so a shared path would let one test overwrite another's file.
+  std::string path_ =
+      ::testing::TempDir() + "/axon_dbfile_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".axdb";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -1,0 +1,142 @@
+// Unit tests for the fixed thread pool and its fan-out helpers: task
+// completion, exception propagation, nested-parallelism inline fallback,
+// ParallelSort equivalence with std::sort, and Deadline semantics.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/random.h"
+
+namespace axon {
+namespace {
+
+TEST(ThreadPoolTest, MakePoolKnobMapping) {
+  // 1 = serial reference path: no pool at all.
+  EXPECT_EQ(MakePool(1), nullptr);
+  // K > 1 = fixed pool of K workers.
+  auto pool = MakePool(3);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 3u);
+  // 0 = hardware concurrency (>= 1; null only on single-core machines).
+  size_t hw = ThreadPool::ResolveThreads(0);
+  EXPECT_GE(hw, 1u);
+  auto hw_pool = MakePool(0);
+  if (hw >= 2) {
+    ASSERT_NE(hw_pool, nullptr);
+    EXPECT_EQ(hw_pool->num_threads(), hw);
+  } else {
+    EXPECT_EQ(hw_pool, nullptr);
+  }
+}
+
+TEST(ThreadPoolTest, WaitGroupRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  WaitGroup wg(&pool);
+  for (int i = 0; i < 100; ++i) {
+    wg.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  wg.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitGroupNullPoolRunsInline) {
+  // Null pool = serial reference path: tasks run inline, in order.
+  std::vector<int> order;
+  WaitGroup wg(nullptr);
+  for (int i = 0; i < 5; ++i) {
+    wg.Run([&order, i] { order.push_back(i); });
+  }
+  wg.Wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, WaitGroupPropagatesTaskException) {
+  ThreadPool pool(2);
+  WaitGroup wg(&pool);
+  for (int i = 0; i < 8; ++i) {
+    wg.Run([i] {
+      if (i == 3) throw std::runtime_error("task failure");
+    });
+  }
+  EXPECT_THROW(wg.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitGroupPropagatesInlineException) {
+  WaitGroup wg(nullptr);
+  wg.Run([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(wg.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackInline) {
+  // A ParallelFor issued from inside a pool task must not wait on the
+  // pool (deadlock risk) — it runs inline on the worker. Saturate a
+  // 2-thread pool with nested fan-outs; completion itself is the test.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  ParallelFor(&pool, 8, [&](size_t) {
+    ParallelFor(&pool, 50, [&](size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 50);
+}
+
+TEST(ThreadPoolTest, ParallelSortMatchesStdSort) {
+  ThreadPool pool(4);
+  Random rng(42);
+  // Large enough to split into chunks (threshold is n/4096 per part).
+  std::vector<uint64_t> v(100000);
+  for (auto& x : v) x = rng.Uniform(1u << 30);
+  std::vector<uint64_t> expect = v;
+  std::sort(expect.begin(), expect.end());
+  ParallelSort(&pool, &v, std::less<uint64_t>());
+  EXPECT_EQ(v, expect);
+}
+
+TEST(ThreadPoolTest, ParallelSortSmallInputStaysSerial) {
+  ThreadPool pool(4);
+  std::vector<int> v{5, 3, 1, 4, 2};
+  ParallelSort(&pool, &v, std::less<int>());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(DeadlineUnitTest, ZeroTimeoutNeverExpires) {
+  Deadline d(0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(d.hit());
+}
+
+TEST(DeadlineUnitTest, ExpiryIsSticky) {
+  Deadline d(1);
+  while (!d.Expired()) {
+  }
+  EXPECT_TRUE(d.hit());
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineUnitTest, GenerousDeadlineNotHit) {
+  Deadline d(60000);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(d.hit());
+}
+
+}  // namespace
+}  // namespace axon
