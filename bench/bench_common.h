@@ -26,6 +26,7 @@
 #include "baselines/vp_engine.h"
 #include "engine/database.h"
 #include "sparql/parser.h"
+#include "util/bench_report.h"
 #include "workloads/workloads.h"
 
 namespace axon {
@@ -144,6 +145,12 @@ struct EngineFleet {
       vp = std::make_unique<VpEngine>(VpEngine::Build(data));
       vp_build_seconds = t.Seconds();
     }
+    if (Report* report = Report::Current()) {
+      report->AddBuildSeconds(axon_plus->name(), axon_plus_build_seconds);
+      report->AddBuildSeconds(sixperm->name(), sixperm_build_seconds);
+      report->AddBuildSeconds(partial->name(), partial_build_seconds);
+      report->AddBuildSeconds(vp->name(), vp_build_seconds);
+    }
   }
 
   /// The cross-system comparison set (axonDB base + optimized + baselines),
@@ -187,6 +194,12 @@ inline void RunComparisonTable(const EngineFleet& fleet,
       auto r = engines[i]->Execute(q.value());
       pages[i].push_back(
           r.ok() ? static_cast<double>(r.value().stats.pages_read) : 0.0);
+      if (Report* report = Report::Current(); report != nullptr && r.ok()) {
+        const ExecStats& stats = r.value().stats;
+        report->AddRow(ReportRow{workload.name, wq.name, engines[i]->name(),
+                                 secs, stats.pages_read, stats.rows_scanned,
+                                 stats.intermediate_rows, stats.joins});
+      }
       std::printf("%22.6f", secs);
     }
     std::printf("\n");

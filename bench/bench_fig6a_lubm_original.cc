@@ -9,6 +9,7 @@
 #include "datagen/lubm_generator.h"
 
 int main() {
+  axon::bench::ReportScope bench_report("fig6a_lubm_original");
   using namespace axon;
   using namespace axon::bench;
 

@@ -11,6 +11,7 @@
 #include "datagen/lubm_generator.h"
 
 int main() {
+  axon::bench::ReportScope bench_report("fig6b_lubm_modified");
   using namespace axon;
   using namespace axon::bench;
 

@@ -9,6 +9,7 @@
 #include "datagen/reactome_generator.h"
 
 int main() {
+  axon::bench::ReportScope bench_report("fig6c_reactome");
   using namespace axon;
   using namespace axon::bench;
 

@@ -9,6 +9,7 @@
 #include "datagen/geonames_generator.h"
 
 int main() {
+  axon::bench::ReportScope bench_report("fig6d_geonames");
   using namespace axon;
   using namespace axon::bench;
 

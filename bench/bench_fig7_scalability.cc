@@ -56,6 +56,7 @@ void Run() {
 }  // namespace axon
 
 int main() {
+  axon::bench::ReportScope bench_report("fig7_scalability");
   axon::bench::Run();
   return 0;
 }

@@ -1,0 +1,57 @@
+// Replacement for benchmark_main in the micro suites: runs the registered
+// google-benchmark cases with the normal console output and additionally
+// captures every measured run into BENCH_<name>.json through the shared
+// bench-report sink, so the micro suites feed the same bench_diff
+// regression gate as the table benches. The report name is the binary's
+// basename without the "bench_" prefix.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "util/bench_report.h"
+
+namespace {
+
+std::string BenchNameFromArgv0(const char* argv0) {
+  std::string name = argv0;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name.empty() ? "micro" : name;
+}
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(axon::bench::Report* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.iterations <= 0) continue;
+      axon::bench::ReportRow row;
+      row.section = "micro";
+      row.query = run.benchmark_name();
+      row.engine = "axon";
+      row.seconds =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      report_->AddRow(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  axon::bench::Report* report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  axon::bench::ReportScope scope(BenchNameFromArgv0(argv[0]));
+  CaptureReporter reporter(&scope.report());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

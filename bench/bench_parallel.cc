@@ -70,6 +70,7 @@ void Run() {
 }  // namespace axon
 
 int main() {
+  axon::bench::ReportScope bench_report("parallel");
   axon::bench::Run();
   return 0;
 }

@@ -59,6 +59,7 @@ void Run() {
 }  // namespace axon
 
 int main() {
+  axon::bench::ReportScope bench_report("table1_motivation");
   axon::bench::Run();
   return 0;
 }

@@ -114,6 +114,7 @@ void Run() {
 }  // namespace axon
 
 int main() {
+  axon::bench::ReportScope bench_report("table2_cardinalities");
   axon::bench::Run();
   return 0;
 }

@@ -81,6 +81,7 @@ void Run() {
 }  // namespace axon
 
 int main() {
+  axon::bench::ReportScope bench_report("table3_loading");
   axon::bench::Run();
   return 0;
 }

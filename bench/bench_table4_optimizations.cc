@@ -103,6 +103,7 @@ void Run() {
 }  // namespace axon
 
 int main() {
+  axon::bench::ReportScope bench_report("table4_optimizations");
   axon::bench::Run();
   return 0;
 }

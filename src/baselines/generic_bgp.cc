@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/trace.h"
+
 namespace axon {
 
 namespace {
@@ -82,6 +84,7 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
                                       const Dictionary& dict,
                                       const AccessPathFn& access_path,
                                       uint64_t timeout_millis) {
+  AXON_SPAN("baseline.eval_bgp_greedy");
   QueryResult result;
   auto start_time = std::chrono::steady_clock::now();
   auto deadline_hit = [timeout_millis, start_time]() {

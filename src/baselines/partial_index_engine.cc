@@ -1,5 +1,7 @@
 #include "baselines/partial_index_engine.h"
 
+#include "util/trace.h"
+
 namespace axon {
 
 PartialIndexEngine PartialIndexEngine::Build(const Dataset& dataset) {
@@ -60,6 +62,7 @@ AccessPath PartialIndexEngine::MakeAccessPath(const IdPattern& p) const {
 
 Result<QueryResult> PartialIndexEngine::Execute(
     const SelectQuery& query) const {
+  AXON_SPAN("query.execute_partial_index");
   return EvaluateBgpGreedy(
       query, *dict_,
       [this](const IdPattern& p) { return MakeAccessPath(p); },

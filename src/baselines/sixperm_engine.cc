@@ -1,5 +1,7 @@
 #include "baselines/sixperm_engine.h"
 
+#include "util/trace.h"
+
 namespace axon {
 
 SixPermEngine SixPermEngine::Build(const Dataset& dataset) {
@@ -51,6 +53,7 @@ AccessPath SixPermEngine::MakeAccessPath(const IdPattern& p) const {
 }
 
 Result<QueryResult> SixPermEngine::Execute(const SelectQuery& query) const {
+  AXON_SPAN("query.execute_sixperm");
   return EvaluateBgpGreedy(
       query, *dict_,
       [this](const IdPattern& p) { return MakeAccessPath(p); },

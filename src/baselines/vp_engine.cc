@@ -1,5 +1,7 @@
 #include "baselines/vp_engine.h"
 
+#include "util/trace.h"
+
 namespace axon {
 
 VpEngine VpEngine::Build(const Dataset& dataset) {
@@ -96,6 +98,7 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
 }
 
 Result<QueryResult> VpEngine::Execute(const SelectQuery& query) const {
+  AXON_SPAN("query.execute_vp");
   return EvaluateBgpGreedy(
       query, *dict_,
       [this](const IdPattern& p) { return MakeAccessPath(p); },

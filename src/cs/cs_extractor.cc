@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "util/trace.h"
+
 namespace axon {
 
 void SerializeBitmap(const Bitmap& b, std::string* out) {
@@ -34,6 +36,8 @@ Result<Bitmap> DeserializeBitmap(std::string_view data, size_t* pos) {
 
 CsExtraction ExtractCharacteristicSets(LoadTripleVec triples,
                                        ThreadPool* pool) {
+  AXON_SPAN("load.cs_extract");
+  AXON_COUNTER_ADD("load.input_triples", triples.size());
   CsExtraction out;
 
   // Register properties in input order first — this fixes the reference

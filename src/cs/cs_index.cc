@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace axon {
 
 CsIndex CsIndex::Build(const CsExtraction& extraction) {
+  AXON_SPAN("load.cs_index_build");
   CsIndex idx;
   idx.properties_ = extraction.properties;
   idx.sets_ = extraction.sets;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "util/hash.h"
+#include "util/trace.h"
 
 namespace axon {
 
@@ -64,6 +65,7 @@ std::map<std::pair<CsId, CsId>, EcsId> AssignIds(
 
 EcsExtraction ExtractExtendedCharacteristicSets(const CsExtraction& cs,
                                                 ThreadPool* pool) {
+  AXON_SPAN("load.ecs_extract");
   EcsExtraction out;
 
   // Chunk the CS-partitioned stream for the two scan passes. Each chunk is
@@ -127,6 +129,8 @@ EcsExtraction ExtractExtendedCharacteristicSets(const CsExtraction& cs,
     }
   }
 
+  AXON_COUNTER_ADD("load.ecs_sets", out.sets.size());
+  AXON_COUNTER_ADD("load.ecs_triples", out.triples.size());
   FinalizeExtraction(&out, pool);
   return out;
 }

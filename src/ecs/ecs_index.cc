@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/trace.h"
+
 namespace axon {
 
 EcsIndex EcsIndex::Build(const EcsExtraction& extraction,
                          const std::vector<uint32_t>& storage_rank) {
+  AXON_SPAN("load.ecs_index_build");
   EcsIndex idx;
   idx.sets_ = extraction.sets;
   size_t n = idx.sets_.size();

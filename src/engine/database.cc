@@ -5,11 +5,13 @@
 #include "cs/cs_extractor.h"
 #include "ecs/ecs_extractor.h"
 #include "storage/db_file.h"
+#include "util/trace.h"
 
 namespace axon {
 
 Result<Database> Database::Build(const Dataset& dataset,
                                  EngineOptions options) {
+  AXON_SPAN("load.build");
   Database db;
   db.options_ = options;
   db.dict_ = dataset.dict;  // engines share one dictionary; axonDB owns a
@@ -20,6 +22,7 @@ Result<Database> Database::Build(const Dataset& dataset,
   // Loader's 4-wide rows, exact duplicates removed (set semantics of RDF).
   LoadTripleVec load;
   {
+    AXON_SPAN("load.dedup_sort");
     TripleVec triples = dataset.triples;
     ParallelSort(pool, &triples, [](const Triple& a, const Triple& b) {
       return a.Key() < b.Key();

@@ -2,10 +2,20 @@
 
 #include <functional>
 
+#include "util/trace.h"
+
 namespace axon {
 
 bool EcsMatcher::Matches(const QueryGraph& qg, int query_ecs,
                          EcsId data_ecs) const {
+  AXON_COUNTER_ADD("matcher.ecs_tried", 1);
+  bool ok = MatchesUncounted(qg, query_ecs, data_ecs);
+  if (!ok) AXON_COUNTER_ADD("matcher.ecs_pruned", 1);
+  return ok;
+}
+
+bool EcsMatcher::MatchesUncounted(const QueryGraph& qg, int query_ecs,
+                                  EcsId data_ecs) const {
   const QueryEcs& q = qg.ecss[query_ecs];
   const ExtendedCharacteristicSet& e = ecs_->set(data_ecs);
   const QueryNode& snode = qg.nodes[q.subject_node];
@@ -51,6 +61,8 @@ std::vector<EcsId> EcsMatcher::MatchAll(const QueryGraph& qg,
 
 ChainMatch EcsMatcher::MatchChain(const QueryGraph& qg,
                                   const std::vector<int>& chain) const {
+  AXON_SPAN("matcher.match_chain");
+  AXON_HISTOGRAM("matcher.chain_length", chain.size());
   ChainMatch result;
   size_t k = chain.size();
   result.position_matches.assign(k, {});

@@ -59,6 +59,9 @@ class EcsMatcher {
   std::vector<EcsId> MatchAll(const QueryGraph& qg, int query_ecs) const;
 
  private:
+  bool MatchesUncounted(const QueryGraph& qg, int query_ecs,
+                        EcsId data_ecs) const;
+
   const CsIndex* cs_;
   const EcsIndex* ecs_;
   const EcsGraph* graph_;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace axon {
 
@@ -69,6 +70,7 @@ BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
                                     const std::vector<EcsId>& matches,
                                     ExecStats* stats,
                                     Deadline* deadline) const {
+  AXON_SPAN("op.eval_query_ecs");
   const QueryEcs& q = qg.ecss[query_ecs];
   BindingTable acc;
   bool first = true;
@@ -83,6 +85,7 @@ BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
     }
     ranges = PlanScanRanges(std::move(ranges));
     AccountPageReads(ranges, stats);
+    AXON_COUNTER_ADD("exec.ecs_ranges_scanned", ranges.size());
     // Scan each range as a pool task (inline when serial), then merge the
     // partial tables in range order — the same row order the serial single
     // loop produces. Stats are task-local and summed in range order.
@@ -137,6 +140,7 @@ void Executor::StarMergeScan(const QueryGraph& qg,
   // One pass over a subject-ordered CS partition (the interesting order the
   // paper's Sec. IV.D merge join exploits): per subject group, collect each
   // pattern's matches and emit their cartesian product.
+  AXON_COUNTER_ADD("exec.triples_scanned", rows.size());
   size_t n = rows.size();
   size_t k = star_patterns.size();
   // Per pattern: list of (p value or 0, o value or 0) matches in the group.
@@ -197,6 +201,7 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
                                     const std::vector<int>& star_patterns,
                                     ExecStats* stats,
                                     Deadline* deadline) const {
+  AXON_SPAN("op.eval_star_node");
   const QueryNode& n = qg.nodes[node];
 
   // Non-empty partition ranges in allowed_cs order — the unit of work for
@@ -215,6 +220,7 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
               });
     AccountPageReads(sorted, stats);
   }
+  AXON_COUNTER_ADD("exec.cs_ranges_scanned", ranges.size());
 
   if (options_.use_star_merge_scan &&
       StarMergeApplicable(qg, star_patterns, n.col)) {
@@ -422,6 +428,7 @@ Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
 }
 
 Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
+  AXON_SPAN("query.execute");
   QueryResult result;
   // One shared deadline per query: the merging thread checks it between
   // operators, worker tasks check it before every partition scan, and the
@@ -454,16 +461,23 @@ Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
 
   // --- Match chains against the ECS index (Algorithms 3-4). ---
   std::vector<ChainMatch> matches;
-  matches.reserve(qg.chains.size());
-  for (const auto& chain : qg.chains) {
-    ChainMatch m = matcher_.MatchChain(qg, chain);
-    // An unmatched position anywhere proves the conjunctive query empty —
-    // the paper's "quickly assessing the existence of non-empty results".
-    if (m.Empty()) return empty_result();
-    matches.push_back(std::move(m));
+  {
+    AXON_SPAN("query.match_chains");
+    matches.reserve(qg.chains.size());
+    for (const auto& chain : qg.chains) {
+      ChainMatch m = matcher_.MatchChain(qg, chain);
+      // An unmatched position anywhere proves the conjunctive query empty —
+      // the paper's "quickly assessing the existence of non-empty results".
+      if (m.Empty()) return empty_result();
+      matches.push_back(std::move(m));
+    }
   }
 
-  QueryPlan plan = planner_.Plan(qg, std::move(matches), options_.use_planner);
+  QueryPlan plan;
+  {
+    AXON_SPAN("query.plan");
+    plan = planner_.Plan(qg, std::move(matches), options_.use_planner);
+  }
 
   // A query ECS may sit on several (overlapping) chains; its evaluation —
   // the union of its matched ECS partitions — does not depend on which
@@ -503,125 +517,138 @@ Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
   // only folded in when its table is actually consumed by the merge loop.
   BindingTable current;
   bool first = true;
-  const size_t num_qecs = join_plan.sequence.size();
-  std::vector<BindingTable> qecs_tables(num_qecs);
-  std::vector<ExecStats> qecs_stats(num_qecs);
-  if (pool_ != nullptr && num_qecs > 1) {
-    WaitGroup wg(pool_);
-    for (size_t i = 0; i < num_qecs; ++i) {
-      wg.Run([this, &qg, &join_plan, &qecs_matches, &qecs_tables, &qecs_stats,
-              &deadline, i] {
-        if (deadline.Expired()) return;
-        int qecs = join_plan.sequence[i];
+  {
+    AXON_SPAN("query.eval_chains");
+    const size_t num_qecs = join_plan.sequence.size();
+    std::vector<BindingTable> qecs_tables(num_qecs);
+    std::vector<ExecStats> qecs_stats(num_qecs);
+    if (pool_ != nullptr && num_qecs > 1) {
+      WaitGroup wg(pool_);
+      for (size_t i = 0; i < num_qecs; ++i) {
+        wg.Run([this, &qg, &join_plan, &qecs_matches, &qecs_tables, &qecs_stats,
+                &deadline, i] {
+          if (deadline.Expired()) return;
+          int qecs = join_plan.sequence[i];
+          std::vector<EcsId> pm(qecs_matches[qecs].begin(),
+                                qecs_matches[qecs].end());
+          qecs_tables[i] =
+              EvalQueryEcs(qg, qecs, pm, &qecs_stats[i], &deadline);
+        });
+      }
+      wg.Wait();
+      if (deadline.hit()) return timeout_status();
+      for (size_t i = 0; i < num_qecs; ++i) {
+        result.stats.Accumulate(qecs_stats[i]);
+        if (first) {
+          current = std::move(qecs_tables[i]);
+          first = false;
+        } else {
+          current = HashJoin(current, qecs_tables[i], &result.stats);
+        }
+        if (current.num_rows() == 0) return empty_result();
+      }
+    } else {
+      for (int qecs : join_plan.sequence) {
         std::vector<EcsId> pm(qecs_matches[qecs].begin(),
                               qecs_matches[qecs].end());
-        qecs_tables[i] =
-            EvalQueryEcs(qg, qecs, pm, &qecs_stats[i], &deadline);
-      });
-    }
-    wg.Wait();
-    if (deadline.hit()) return timeout_status();
-    for (size_t i = 0; i < num_qecs; ++i) {
-      result.stats.Accumulate(qecs_stats[i]);
-      if (first) {
-        current = std::move(qecs_tables[i]);
-        first = false;
-      } else {
-        current = HashJoin(current, qecs_tables[i], &result.stats);
+        BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats, &deadline);
+        if (deadline.Expired()) return timeout_status();
+        if (first) {
+          current = std::move(t);
+          first = false;
+        } else {
+          current = HashJoin(current, t, &result.stats);
+        }
+        if (current.num_rows() == 0) return empty_result();
       }
-      if (current.num_rows() == 0) return empty_result();
-    }
-  } else {
-    for (int qecs : join_plan.sequence) {
-      std::vector<EcsId> pm(qecs_matches[qecs].begin(),
-                            qecs_matches[qecs].end());
-      BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats, &deadline);
-      if (deadline.Expired()) return timeout_status();
-      if (first) {
-        current = std::move(t);
-        first = false;
-      } else {
-        current = HashJoin(current, t, &result.stats);
-      }
-      if (current.num_rows() == 0) return empty_result();
     }
   }
 
   // --- Star retrieval per node (Sec. IV.D). ---
-  for (size_t node = 0; node < qg.nodes.size(); ++node) {
-    if (!qg.nodes[node].emits()) continue;
-    std::vector<int> all_star = qg.StarPatterns(static_cast<int>(node));
-    if (all_star.empty()) continue;
-    std::vector<int> needed =
-        NeededStarPatterns(qg, static_cast<int>(node), query);
+  {
+    AXON_SPAN("query.eval_stars");
+    for (size_t node = 0; node < qg.nodes.size(); ++node) {
+      if (!qg.nodes[node].emits()) continue;
+      std::vector<int> all_star = qg.StarPatterns(static_cast<int>(node));
+      if (all_star.empty()) continue;
+      std::vector<int> needed =
+          NeededStarPatterns(qg, static_cast<int>(node), query);
 
-    // Allowed CS partitions for this node.
-    std::vector<CsId> allowed;
-    if (node_in_chain[node]) {
-      allowed.assign(node_cs[node].begin(), node_cs[node].end());
-    } else {
-      const QueryNode& n = qg.nodes[node];
-      if (!n.is_variable) {
-        auto cs = cs_->CsOfSubject(n.bound_id);
-        if (!cs.has_value() ||
-            !n.star_bitmap.IsSubsetOf(cs_->set(*cs).properties)) {
-          return empty_result();
-        }
-        allowed = {*cs};
+      // Allowed CS partitions for this node.
+      std::vector<CsId> allowed;
+      if (node_in_chain[node]) {
+        allowed.assign(node_cs[node].begin(), node_cs[node].end());
       } else {
-        allowed = cs_->MatchSupersets(n.star_bitmap);
+        const QueryNode& n = qg.nodes[node];
+        if (!n.is_variable) {
+          auto cs = cs_->CsOfSubject(n.bound_id);
+          if (!cs.has_value() ||
+              !n.star_bitmap.IsSubsetOf(cs_->set(*cs).properties)) {
+            return empty_result();
+          }
+          allowed = {*cs};
+        } else {
+          allowed = cs_->MatchSupersets(n.star_bitmap);
+        }
       }
-    }
-    if (allowed.empty()) return empty_result();
+      if (allowed.empty()) return empty_result();
 
-    BindingTable star;
-    if (needed.empty()) {
-      if (node_in_chain[node]) continue;  // the chain carries the column
-      // Existence-only star node: emit its distinct subjects.
-      star = BindingTable({qg.nodes[node].col});
-      for (CsId cs : allowed) {
-        RowRange range = qg.nodes[node].is_variable
-                             ? cs_->RangeOf(cs)
-                             : cs_->SubjectRange(cs, qg.nodes[node].bound_id);
-        std::span<const Triple> rows = cs_->spo().slice(range);
-        TermId last = kInvalidId;
-        for (const Triple& t : rows) {
-          ++result.stats.rows_scanned;
-          if (t.s != last) {
-            star.AppendRow({t.s});
-            last = t.s;
+      BindingTable star;
+      if (needed.empty()) {
+        if (node_in_chain[node]) continue;  // the chain carries the column
+        // Existence-only star node: emit its distinct subjects. The serial
+        // pipeline honors the same shared deadline the pool workers check:
+        // one test between per-CS scans, caught by the post-loop check below.
+        star = BindingTable({qg.nodes[node].col});
+        for (CsId cs : allowed) {
+          if (deadline.Expired()) break;
+          RowRange range = qg.nodes[node].is_variable
+                               ? cs_->RangeOf(cs)
+                               : cs_->SubjectRange(cs, qg.nodes[node].bound_id);
+          std::span<const Triple> rows = cs_->spo().slice(range);
+          AXON_COUNTER_ADD("exec.triples_scanned", rows.size());
+          TermId last = kInvalidId;
+          for (const Triple& t : rows) {
+            ++result.stats.rows_scanned;
+            if (t.s != last) {
+              star.AppendRow({t.s});
+              last = t.s;
+            }
           }
         }
+      } else {
+        star = EvalStarNode(qg, static_cast<int>(node), allowed, needed,
+                            &result.stats, &deadline);
       }
-    } else {
-      star = EvalStarNode(qg, static_cast<int>(node), allowed, needed,
-                          &result.stats, &deadline);
-    }
-    if (deadline.Expired()) return timeout_status();
-    if (first) {
-      current = std::move(star);
-      first = false;
-    } else {
-      current = HashJoin(current, star, &result.stats);
-    }
-    if (current.num_rows() == 0 && current.num_cols() > 0) {
-      return empty_result();
+      if (deadline.Expired()) return timeout_status();
+      if (first) {
+        current = std::move(star);
+        first = false;
+      } else {
+        current = HashJoin(current, star, &result.stats);
+      }
+      if (current.num_rows() == 0 && current.num_cols() > 0) {
+        return empty_result();
+      }
     }
   }
 
   // --- Filters, projection, DISTINCT, LIMIT. ---
-  for (const auto& [var, id] : filters) {
-    current = FilterEquals(current, var, id, &result.stats);
-  }
-  for (const std::string& v : proj) {
-    if (current.ColumnIndex(v) < 0) {
-      return Status::Internal("executor produced no column for ?" + v);
+  {
+    AXON_SPAN("query.finalize");
+    for (const auto& [var, id] : filters) {
+      current = FilterEquals(current, var, id, &result.stats);
     }
+    for (const std::string& v : proj) {
+      if (current.ColumnIndex(v) < 0) {
+        return Status::Internal("executor produced no column for ?" + v);
+      }
+    }
+    current = Project(current, proj);
+    if (query.distinct) current = Distinct(current);
+    if (query.limit.has_value()) current = Limit(current, *query.limit);
+    result.table = std::move(current);
   }
-  current = Project(current, proj);
-  if (query.distinct) current = Distinct(current);
-  if (query.limit.has_value()) current = Limit(current, *query.limit);
-  result.table = std::move(current);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/trace.h"
+
 namespace axon {
 
 double Planner::PositionCost(const QueryGraph& qg, int query_ecs,
@@ -47,6 +49,7 @@ double Planner::MultiplicationFactor(const std::vector<EcsId>& matches) const {
 
 QueryPlan Planner::Plan(const QueryGraph& qg, std::vector<ChainMatch> matches,
                         bool enable) const {
+  AXON_SPAN("planner.plan");
   QueryPlan plan;
   plan.chains.reserve(qg.chains.size());
   for (size_t ci = 0; ci < qg.chains.size(); ++ci) {

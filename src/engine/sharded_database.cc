@@ -9,6 +9,7 @@
 #include "engine/ecs_matcher.h"
 #include "engine/planner.h"
 #include "util/hash.h"
+#include "util/trace.h"
 
 namespace axon {
 
@@ -41,6 +42,7 @@ Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,
   if (options.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
   }
+  AXON_SPAN("shard.build");
   ShardedDatabase db;
   db.options_ = options.engine;
   db.dict_ = dataset.dict;
@@ -124,6 +126,7 @@ std::vector<uint64_t> ShardedDatabase::ShardTripleCounts() const {
 BindingTable ShardedDatabase::EvalQueryEcsScattered(
     const QueryGraph& qg, int query_ecs, const std::vector<EcsId>& matches,
     ExecStats* stats, Deadline* deadline) const {
+  AXON_SPAN("shard.scatter_eval");
   const QueryEcs& q = qg.ecss[query_ecs];
   BindingTable acc;
   bool first = true;
@@ -168,6 +171,7 @@ BindingTable ShardedDatabase::EvalStarScattered(
     const QueryGraph& qg, int node, const std::vector<CsId>& allowed_cs,
     const std::vector<int>& star_patterns, ExecStats* stats,
     Deadline* deadline) const {
+  AXON_SPAN("shard.scatter_star");
   const QueryNode& n = qg.nodes[node];
   // Output schema via the pipeline on an empty span.
   BindingTable acc = ScanPattern({}, qg.patterns[star_patterns[0]], nullptr);
@@ -211,6 +215,7 @@ BindingTable ShardedDatabase::EvalStarScattered(
 }
 
 Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
+  AXON_SPAN("query.execute_sharded");
   QueryResult result;
   std::vector<std::string> proj = query.EffectiveProjection();
   auto empty_result = [&proj]() {

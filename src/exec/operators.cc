@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/hash.h"
+#include "util/trace.h"
 
 namespace axon {
 
@@ -36,6 +37,7 @@ BindingTable ScanPattern(std::span<const Triple> triples,
   if (!pattern.o_bound()) add_var(pattern.o_var);
 
   BindingTable out(vars);
+  AXON_COUNTER_ADD("exec.triples_scanned", triples.size());
   std::vector<TermId> row(vars.size());
   for (const Triple& t : triples) {
     if (stats != nullptr) ++stats->rows_scanned;
@@ -130,6 +132,7 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
     }
   }
   if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  AXON_COUNTER_ADD("exec.join_rows_out", out.num_rows());
   return out;
 }
 

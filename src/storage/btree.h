@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/trace.h"
 #include "util/varint.h"
 
 namespace axon {
@@ -61,11 +62,14 @@ class BPlusTree {
   const V* Find(const K& key) const {
     const Node* n = root_.get();
     if (n == nullptr) return nullptr;
+    uint64_t hops = 1;
     while (!n->leaf) {
       size_t i = std::upper_bound(n->keys.begin(), n->keys.end(), key) -
                  n->keys.begin();
       n = n->children[i].get();
+      ++hops;
     }
+    AXON_COUNTER_ADD("btree.node_touches", hops);
     auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
     if (it == n->keys.end() || key < *it) return nullptr;
     return &n->values[it - n->keys.begin()];
@@ -78,21 +82,28 @@ class BPlusTree {
   void ScanRange(const K& lo, const K& hi, Fn&& fn) const {
     const Node* n = root_.get();
     if (n == nullptr) return;
+    uint64_t hops = 1;
     while (!n->leaf) {
       size_t i = std::upper_bound(n->keys.begin(), n->keys.end(), lo) -
                  n->keys.begin();
       n = n->children[i].get();
+      ++hops;
     }
     size_t i = std::lower_bound(n->keys.begin(), n->keys.end(), lo) -
                n->keys.begin();
     while (n != nullptr) {
       for (; i < n->keys.size(); ++i) {
-        if (hi < n->keys[i]) return;
+        if (hi < n->keys[i]) {
+          AXON_COUNTER_ADD("btree.node_touches", hops);
+          return;
+        }
         fn(n->keys[i], n->values[i]);
       }
       n = n->next;
+      if (n != nullptr) ++hops;
       i = 0;
     }
+    AXON_COUNTER_ADD("btree.node_touches", hops);
   }
 
   /// Invokes fn(key, value) for every entry, ascending.

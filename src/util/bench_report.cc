@@ -1,0 +1,204 @@
+#include "util/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "util/trace.h"
+
+namespace axon {
+namespace bench {
+
+namespace {
+
+Report* g_current = nullptr;
+
+double EnvScale() {
+  const char* s = std::getenv("AXON_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+}  // namespace
+
+void Report::AddRow(ReportRow row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.push_back(std::move(row));
+}
+
+void Report::AddBuildSeconds(const std::string& engine, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  build_seconds_.emplace_back(engine, seconds);
+}
+
+void Report::SetScale(double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scale_ = scale;
+}
+
+JsonValue Report::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue doc = JsonValue::Object();
+  doc["schema"] = "axon-bench-v1";
+  doc["bench"] = name_;
+  doc["scale"] = scale_;
+  JsonValue build = JsonValue::Object();
+  for (const auto& [engine, seconds] : build_seconds_) {
+    build[engine] = seconds;
+  }
+  doc["build_seconds"] = std::move(build);
+  JsonValue rows = JsonValue::Array();
+  for (const ReportRow& r : rows_) {
+    JsonValue row = JsonValue::Object();
+    row["section"] = r.section;
+    row["query"] = r.query;
+    row["engine"] = r.engine;
+    row["seconds"] = r.seconds;
+    JsonValue counters = JsonValue::Object();
+    counters["pages_read"] = r.pages_read;
+    counters["rows_scanned"] = r.rows_scanned;
+    counters["intermediate_rows"] = r.intermediate_rows;
+    counters["joins"] = r.joins;
+    row["counters"] = std::move(counters);
+    rows.Append(std::move(row));
+  }
+  doc["rows"] = std::move(rows);
+  if (obs::Enabled()) {
+    doc["metrics"] = metrics::MetricsRegistry::Global().Snapshot();
+  }
+  return doc;
+}
+
+Status Report::WriteFile(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  return WriteJsonFile(path, ToJson());
+}
+
+Report* Report::Current() { return g_current; }
+
+ReportScope::ReportScope(const std::string& name) : report_(name) {
+  report_.SetScale(EnvScale());
+  g_current = &report_;
+}
+
+ReportScope::~ReportScope() {
+  g_current = nullptr;
+  const char* dir = std::getenv("AXON_BENCH_JSON_DIR");
+  Status s = report_.WriteFile(dir != nullptr && *dir != '\0' ? dir : ".");
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench report write failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+Status ValidateBenchReport(const JsonValue& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("report: not an object");
+  if (doc.GetString("schema") != "axon-bench-v1") {
+    return Status::InvalidArgument("report: schema is not axon-bench-v1");
+  }
+  if (doc.GetString("bench").empty()) {
+    return Status::InvalidArgument("report: missing bench name");
+  }
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("report: missing rows array");
+  }
+  for (const JsonValue& row : rows->items()) {
+    if (!row.is_object()) {
+      return Status::InvalidArgument("report: row is not an object");
+    }
+    for (const char* key : {"section", "query", "engine"}) {
+      const JsonValue* v = row.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        return Status::InvalidArgument(std::string("report: row missing ") +
+                                       key);
+      }
+    }
+    const JsonValue* secs = row.Find("seconds");
+    if (secs == nullptr || !secs->is_number()) {
+      return Status::InvalidArgument("report: row missing seconds");
+    }
+    const JsonValue* counters = row.Find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      return Status::InvalidArgument("report: row missing counters");
+    }
+    for (const auto& [name, value] : counters->members()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("report: counter " + name +
+                                       " is not a number");
+      }
+    }
+  }
+  const JsonValue* build = doc.Find("build_seconds");
+  if (build != nullptr && !build->is_object()) {
+    return Status::InvalidArgument("report: build_seconds is not an object");
+  }
+  return Status::OK();
+}
+
+Result<BenchDiffResult> DiffBenchReports(const JsonValue& baseline,
+                                         const JsonValue& current,
+                                         const BenchDiffOptions& options) {
+  AXON_RETURN_NOT_OK(ValidateBenchReport(baseline));
+  AXON_RETURN_NOT_OK(ValidateBenchReport(current));
+  BenchDiffResult out;
+
+  auto key_of = [](const JsonValue& row) {
+    return row.GetString("section") + " / " + row.GetString("query") + " / " +
+           row.GetString("engine");
+  };
+  std::map<std::string, const JsonValue*> cur_rows;
+  for (const JsonValue& row : current.Find("rows")->items()) {
+    cur_rows[key_of(row)] = &row;
+  }
+
+  char buf[256];
+  for (const JsonValue& base_row : baseline.Find("rows")->items()) {
+    std::string key = key_of(base_row);
+    auto it = cur_rows.find(key);
+    if (it == cur_rows.end()) {
+      out.regressions.push_back("missing row: " + key);
+      continue;
+    }
+    const JsonValue& cur_row = *it->second;
+    cur_rows.erase(it);
+
+    double base_s = base_row.GetDouble("seconds");
+    double cur_s = cur_row.GetDouble("seconds");
+    if (base_s > 0 && cur_s > options.min_seconds &&
+        cur_s > base_s * (1.0 + options.latency_tolerance)) {
+      std::snprintf(buf, sizeof(buf),
+                    "latency: %s: %.6fs -> %.6fs (+%.1f%%, tolerance %.0f%%)",
+                    key.c_str(), base_s, cur_s, (cur_s / base_s - 1.0) * 100,
+                    options.latency_tolerance * 100);
+      out.regressions.push_back(buf);
+    }
+
+    const JsonValue* base_counters = base_row.Find("counters");
+    const JsonValue* cur_counters = cur_row.Find("counters");
+    for (const auto& [name, base_v] : base_counters->members()) {
+      double base_c = base_v.AsDouble();
+      double cur_c = cur_counters->GetDouble(name);
+      if (base_c >= 0 &&
+          cur_c > base_c * (1.0 + options.counter_tolerance) + 0.5) {
+        std::snprintf(buf, sizeof(buf),
+                      "counter: %s: %s %.0f -> %.0f (+%.1f%%, tolerance "
+                      "%.0f%%)",
+                      key.c_str(), name.c_str(), base_c, cur_c,
+                      base_c > 0 ? (cur_c / base_c - 1.0) * 100 : 100.0,
+                      options.counter_tolerance * 100);
+        out.regressions.push_back(buf);
+      }
+    }
+  }
+  for (const auto& [key, row] : cur_rows) {
+    (void)row;
+    out.notes.push_back("new row (not in baseline): " + key);
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace axon

@@ -1,0 +1,124 @@
+// Machine-readable benchmark reports and the regression comparator behind
+// tools/bench_diff and the CI perf gate.
+//
+// Every bench binary wraps its main in a bench::ReportScope; the harness
+// (bench_common.h) records one row per (section, query, engine) cell plus
+// per-engine build times, and the scope's destructor serializes the whole
+// report to BENCH_<name>.json (directory from AXON_BENCH_JSON_DIR,
+// default "."). Schema "axon-bench-v1":
+//
+//   {
+//     "schema": "axon-bench-v1",
+//     "bench": "<name>",
+//     "scale": <AXON_BENCH_SCALE multiplier>,
+//     "build_seconds": {"<engine>": <seconds>, ...},
+//     "rows": [{"section", "query", "engine", "seconds",
+//               "counters": {"pages_read", "rows_scanned",
+//                            "intermediate_rows", "joins"}}, ...],
+//     "metrics": {...}   // registry snapshot, when observability is on
+//   }
+//
+// DiffBenchReports compares a current report against a committed baseline.
+// Latency regressions are tolerance-gated (wall time is noisy across CI
+// runners; rows under `min_seconds` are never flagged on time). Counter
+// regressions use a tighter tolerance: ExecStats counters are deterministic
+// at every parallelism, so a counter jump is a real plan/exec change, not
+// noise. A row present in the baseline but missing from the current report
+// is a regression (lost coverage); new rows are reported as notes.
+
+#ifndef AXON_UTIL_BENCH_REPORT_H_
+#define AXON_UTIL_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace axon {
+namespace bench {
+
+struct ReportRow {
+  std::string section;
+  std::string query;
+  std::string engine;
+  double seconds = 0;
+  uint64_t pages_read = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t intermediate_rows = 0;
+  uint64_t joins = 0;
+};
+
+/// Accumulates one bench binary's rows; thread-safe.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  void AddRow(ReportRow row);
+  void AddBuildSeconds(const std::string& engine, double seconds);
+  void SetScale(double scale);
+
+  /// The schema-stable JSON document (keys sorted by the JSON writer).
+  /// Includes the global metrics snapshot when observability is enabled.
+  JsonValue ToJson() const;
+
+  /// Writes ToJson() to `<dir>/BENCH_<name>.json`.
+  Status WriteFile(const std::string& dir) const;
+
+  const std::string& name() const { return name_; }
+
+  /// The report the current bench binary is writing, or nullptr outside a
+  /// ReportScope. The harness records rows through this.
+  static Report* Current();
+
+ private:
+  friend class ReportScope;
+
+  mutable std::mutex mu_;
+  std::string name_;
+  double scale_ = 1.0;
+  std::vector<ReportRow> rows_;
+  std::vector<std::pair<std::string, double>> build_seconds_;
+};
+
+/// RAII: installs Report::Current() for the binary's lifetime and writes
+/// BENCH_<name>.json on destruction (AXON_BENCH_JSON_DIR or ".").
+class ReportScope {
+ public:
+  explicit ReportScope(const std::string& name);
+  ~ReportScope();
+  ReportScope(const ReportScope&) = delete;
+  ReportScope& operator=(const ReportScope&) = delete;
+
+  Report& report() { return report_; }
+
+ private:
+  Report report_;
+};
+
+/// Schema check for an axon-bench-v1 document.
+Status ValidateBenchReport(const JsonValue& doc);
+
+struct BenchDiffOptions {
+  double latency_tolerance = 0.15;  // flag rows >15% slower
+  double counter_tolerance = 0.10;  // flag counters >10% higher
+  double min_seconds = 0.005;       // rows faster than this never flag on time
+};
+
+struct BenchDiffResult {
+  std::vector<std::string> regressions;
+  std::vector<std::string> notes;
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Compares `current` against `baseline` (both axon-bench-v1). Returns an
+/// error status if either document fails schema validation.
+Result<BenchDiffResult> DiffBenchReports(const JsonValue& baseline,
+                                         const JsonValue& current,
+                                         const BenchDiffOptions& options);
+
+}  // namespace bench
+}  // namespace axon
+
+#endif  // AXON_UTIL_BENCH_REPORT_H_

@@ -1,0 +1,333 @@
+#include "util/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace axon {
+
+namespace {
+
+void WriteEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteNumber(std::string* out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(d));
+    out->append(buf);
+    return;
+  }
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; clamp to null
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", d);
+  out->append(buf);
+}
+
+}  // namespace
+
+void JsonValue::WriteTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * d, ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      WriteNumber(out, num_);
+      break;
+    case Type::kString:
+      WriteEscaped(out, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        arr_[i].WriteTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        WriteEscaped(out, k);
+        out->append(indent < 0 ? ":" : ": ");
+        v.WriteTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::ToString(int indent) const {
+  std::string out;
+  WriteTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    AXON_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWs();
+    if (p_ != end_) return Err("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("json: " + msg);
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (static_cast<size_t>(end_ - p_) < w.size()) return false;
+    if (std::string_view(p_, w.size()) != w) return false;
+    p_ += w.size();
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected string");
+    while (p_ != end_) {
+      char c = *p_++;
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) break;
+      char e = *p_++;
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (end_ - p_ < 4) return Err("truncated \\u escape");
+          char buf[5] = {p_[0], p_[1], p_[2], p_[3], 0};
+          char* pe = nullptr;
+          long code = std::strtol(buf, &pe, 16);
+          if (pe != buf + 4) return Err("bad \\u escape");
+          p_ += 4;
+          // Minimal UTF-8 encoding (the writer only emits control chars).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("bad escape character");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 128) return Err("nesting too deep");
+    SkipWs();
+    if (p_ == end_) return Err("unexpected end of input");
+    char c = *p_;
+    if (c == '{') {
+      ++p_;
+      *out = JsonValue::Object();
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      for (;;) {
+        SkipWs();
+        std::string key;
+        AXON_RETURN_NOT_OK(ParseString(&key));
+        SkipWs();
+        if (!Consume(':')) return Err("expected ':' in object");
+        JsonValue v;
+        AXON_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+        (*out)[key] = std::move(v);
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return Status::OK();
+        return Err("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++p_;
+      *out = JsonValue::Array();
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      for (;;) {
+        JsonValue v;
+        AXON_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+        out->Append(std::move(v));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::OK();
+        return Err("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      AXON_RETURN_NOT_OK(ParseString(&s));
+      *out = JsonValue(std::move(s));
+      return Status::OK();
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue(true);
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue(false);
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue();
+      return Status::OK();
+    }
+    // Number.
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                          *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) return Err("unexpected character");
+    std::string num(start, p_ - start);
+    char* pe = nullptr;
+    double d = std::strtod(num.c_str(), &pe);
+    if (pe != num.c_str() + num.size()) return Err("bad number");
+    *out = JsonValue(d);
+    return Status::OK();
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string data;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return ParseJson(data);
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot write " + path);
+  std::string text = value.ToString();
+  text.push_back('\n');
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace axon

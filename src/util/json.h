@@ -1,0 +1,124 @@
+// Minimal JSON document model: parse, build, serialize.
+//
+// The observability layer (trace sink, metrics snapshots, bench artifacts,
+// tools/bench_diff) needs a dependency-free structured format. This is a
+// deliberately small DOM: objects are std::map (sorted keys => byte-stable
+// serialization, which the golden-file tests and bench_diff rely on),
+// numbers are doubles printed as integers when integral, and the parser
+// accepts exactly the JSON this writer produces plus ordinary interchange
+// JSON (no comments, no trailing commas).
+
+#ifndef AXON_UTIL_JSON_H_
+#define AXON_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace axon {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  JsonValue(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  JsonValue(int64_t i)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  JsonValue(uint64_t u)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  JsonValue(int i) : type_(Type::kNumber), num_(i) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT(runtime/explicit)
+      : type_(Type::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+  const std::vector<JsonValue>& items() const { return arr_; }
+  const std::map<std::string, JsonValue>& members() const { return obj_; }
+
+  /// Array append.
+  JsonValue& Append(JsonValue v) {
+    arr_.push_back(std::move(v));
+    return arr_.back();
+  }
+  size_t size() const {
+    return type_ == Type::kArray ? arr_.size() : obj_.size();
+  }
+
+  /// Object member access (creates on mutation, as in std::map).
+  JsonValue& operator[](const std::string& key) { return obj_[key]; }
+
+  /// Const lookup: nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+  }
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  /// Convenience typed getters with defaults, for tolerant readers.
+  double GetDouble(const std::string& key, double dflt = 0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->is_number() ? v->num_ : dflt;
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& dflt = "") const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->is_string() ? v->str_ : dflt;
+  }
+
+  /// Serializes this value. `indent` < 0 means compact one-line output;
+  /// otherwise pretty-printed with that many spaces per level. Object keys
+  /// always come out sorted (std::map order) so output is byte-stable.
+  std::string ToString(int indent = 2) const;
+
+ private:
+  void WriteTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Parses a complete JSON document (rejects trailing garbage).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+/// Writes `value` to `path` with a trailing newline.
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_JSON_H_

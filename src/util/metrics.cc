@@ -1,0 +1,127 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace axon {
+namespace metrics {
+
+namespace {
+
+inline int BucketOf(uint64_t value) {
+  // 0,1 -> 0; [2,4) -> 2; [2^(i-1), 2^i) -> i.
+  return value < 2 ? 0 : 64 - std::countl_zero(value);
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      return i == 0 ? 1 : (uint64_t{1} << i) - 1;  // bucket upper bound
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+JsonValue Histogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  uint64_t n = count();
+  out["count"] = n;
+  out["sum"] = sum();
+  out["mean"] = n == 0 ? 0.0 : static_cast<double>(sum()) / n;
+  out["max"] = max();
+  out["p50"] = Quantile(0.50);
+  out["p90"] = Quantile(0.90);
+  out["p99"] = Quantile(0.99);
+  return out;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map: sorted snapshots; unique_ptr: stable addresses across growth.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  static Impl* impl = new Impl();  // leaked by design
+  return impl;
+}
+
+const MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  return const_cast<MetricsRegistry*>(this)->impl();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto& slot = im->counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto& slot = im->histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  for (auto& [name, c] : im->counters) c->Reset();
+  for (auto& [name, h] : im->histograms) h->Reset();
+}
+
+JsonValue MetricsRegistry::Snapshot() const {
+  const Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  JsonValue out = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, c] : im->counters) {
+    if (c->value() != 0) counters[name] = c->value();
+  }
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : im->histograms) {
+    if (h->count() != 0) histograms[name] = h->ToJson();
+  }
+  out["counters"] = std::move(counters);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace axon

@@ -1,0 +1,97 @@
+// Global metrics: named counters and histograms for the engine's hot
+// paths (triples scanned, B+-tree node touches, ECS matches tried/pruned,
+// chain lengths, pool queue depth, per-operator wall time).
+//
+// Design constraints:
+//  * Registration is on-demand and thread-safe; returned pointers are
+//    stable for the process lifetime (the registry never deletes), so call
+//    sites can cache them in function-local statics.
+//  * Updates are lock-free relaxed atomics — safe from any thread,
+//    including pool workers inside TSan-checked sections.
+//  * The whole layer is gated twice: compiled out entirely when the CMake
+//    option AXON_TRACE is OFF (see trace.h for the macros), and runtime
+//    no-op'd unless observability is enabled (env AXON_TRACE=1 or
+//    obs::SetEnabled(true)); a disabled build or run costs at most one
+//    relaxed atomic load per instrumentation point.
+//  * Snapshot() serializes to JSON with sorted keys — the format consumed
+//    by the bench artifacts and tools/bench_diff.
+
+#ifndef AXON_UTIL_METRICS_H_
+#define AXON_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+namespace axon {
+namespace metrics {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Power-of-two-bucket histogram of non-negative integer samples: bucket i
+/// counts values in [2^(i-1), 2^i) (bucket 0 counts zeros and ones). Fixed
+/// layout, lock-free observation; quantiles are bucket-resolution
+/// estimates, which is plenty for span timings and queue depths.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(uint64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Upper bound of the bucket containing quantile q in [0, 1].
+  uint64_t Quantile(double q) const;
+  void Reset();
+
+  /// {"count":N,"sum":S,"mean":S/N,"max":M,"p50":...,"p99":...}
+  JsonValue ToJson() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (intentionally leaked: instrumentation may
+  /// fire from detached contexts during static destruction).
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; returned pointer is valid forever.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every metric (pointers stay valid). For bench/test isolation;
+  /// concurrent updates during a reset are tolerated (they land in the
+  /// fresh epoch or the old one, never corrupt).
+  void ResetAll();
+
+  /// {"counters": {name: value}, "histograms": {name: {...}}} with zero-
+  /// valued counters elided (a disabled run snapshots to empty objects).
+  JsonValue Snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+}  // namespace metrics
+}  // namespace axon
+
+#endif  // AXON_UTIL_METRICS_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/trace.h"
+
 namespace axon {
 
 namespace {
@@ -30,6 +32,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     assert(!stop_);
     queue_.push_back(std::move(fn));
+    AXON_HISTOGRAM("pool.queue_depth", queue_.size());
   }
   cv_.notify_one();
 }

@@ -1,0 +1,182 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace axon {
+
+namespace obs {
+
+namespace {
+// -1 = read the environment on first use; 0/1 = decided.
+std::atomic<int> g_enabled{-1};
+}  // namespace
+
+bool Enabled() {
+  int s = g_enabled.load(std::memory_order_relaxed);
+  if (s < 0) {
+    const char* e = std::getenv("AXON_TRACE");
+    s = (e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) ? 1 : 0;
+    g_enabled.store(s, std::memory_order_relaxed);
+  }
+  return s == 1;
+}
+
+void SetEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+
+namespace trace {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Span> spans;     // open spans have duration_ns == 0
+  std::vector<int32_t> stack;  // indices of open spans, innermost last
+  uint32_t thread_index = 0;
+  uint64_t epoch = 0;          // bumped by Clear(); stale spans drop
+};
+
+// Process-wide span storage; buffers outlive their threads. Leaked by
+// design: spans may close during static destruction.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  uint64_t epoch_ns = NowNs();
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+ThreadBuf* LocalBufOrRegister() {
+  thread_local ThreadBuf* cell = nullptr;
+  if (cell == nullptr) {
+    Registry& r = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.bufs.push_back(std::make_unique<ThreadBuf>());
+    r.bufs.back()->thread_index = static_cast<uint32_t>(r.bufs.size() - 1);
+    cell = r.bufs.back().get();
+  }
+  return cell;
+}
+
+}  // namespace
+
+Collector& Collector::Global() {
+  static Collector* collector = new Collector();
+  return *collector;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!obs::Enabled()) return;
+  Registry& r = GlobalRegistry();
+  ThreadBuf* buf = LocalBufOrRegister();
+  start_ns_ = NowNs();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  index_ = static_cast<int32_t>(buf->spans.size());
+  Span s;
+  s.name = name;
+  s.start_ns = start_ns_ - r.epoch_ns;
+  s.thread = buf->thread_index;
+  s.parent = buf->stack.empty() ? -1 : buf->stack.back();
+  buf->spans.push_back(std::move(s));
+  buf->stack.push_back(index_);
+  epoch_ = buf->epoch;
+  buf_ = buf;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (buf_ == nullptr) return;
+  uint64_t dur = NowNs() - start_ns_;
+  if (dur == 0) dur = 1;  // 0 marks "open"; a closed span is >= 1 ns
+  auto* buf = static_cast<ThreadBuf*>(buf_);
+  {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (epoch_ == buf->epoch) {
+      buf->spans[index_].duration_ns = dur;
+      if (!buf->stack.empty() && buf->stack.back() == index_) {
+        buf->stack.pop_back();
+      }
+    }
+  }
+  // Per-operator wall time for the metrics snapshot (microseconds).
+  metrics::MetricsRegistry::Global()
+      .GetHistogram(std::string("optime.") + name_)
+      ->Observe(dur / 1000);
+}
+
+std::vector<Span> Collector::CollectSpans() const {
+  Registry& r = GlobalRegistry();
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    // Map this buffer's completed-span indices into `out`. Parents start
+    // before their children, so a parent's remap entry is already set by
+    // the time its children are visited.
+    std::vector<int32_t> remap(buf->spans.size(), -1);
+    for (size_t i = 0; i < buf->spans.size(); ++i) {
+      const Span& s = buf->spans[i];
+      if (s.duration_ns == 0) continue;  // still open
+      Span copy = s;
+      copy.parent = s.parent >= 0 ? remap[s.parent] : -1;
+      remap[i] = static_cast<int32_t>(out.size());
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+void Collector::Clear() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->spans.clear();
+    buf->stack.clear();
+    ++buf->epoch;
+  }
+  r.epoch_ns = NowNs();
+}
+
+JsonValue Collector::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  JsonValue spans = JsonValue::Array();
+  for (const Span& s : CollectSpans()) {
+    JsonValue j = JsonValue::Object();
+    j["name"] = s.name;
+    j["start_ns"] = s.start_ns;
+    j["dur_ns"] = s.duration_ns;
+    j["thread"] = static_cast<uint64_t>(s.thread);
+    j["parent"] = static_cast<int64_t>(s.parent);
+    spans.Append(std::move(j));
+  }
+  out["spans"] = std::move(spans);
+  return out;
+}
+
+Status WriteJson(const std::string& path) {
+  JsonValue out = JsonValue::Object();
+  out["trace"] = Collector::Global().ToJson();
+  out["metrics"] = metrics::MetricsRegistry::Global().Snapshot();
+  return WriteJsonFile(path, out);
+}
+
+}  // namespace trace
+}  // namespace axon

@@ -1,0 +1,153 @@
+// Scoped-span tracing: where the time goes inside ECS matching, chain
+// evaluation, star retrieval and the loading pipeline.
+//
+// Usage (always through the macros — they compile to nothing when the
+// CMake option AXON_TRACE is OFF):
+//
+//   void Executor::Execute(...) {
+//     AXON_SPAN("query.execute");          // RAII span for this scope
+//     ...
+//     AXON_COUNTER_ADD("exec.triples_scanned", rows.size());
+//     AXON_HISTOGRAM("planner.chain_length", chain.size());
+//   }
+//
+// Runtime gate: spans and metric macros are no-ops unless observability is
+// enabled — via the environment (AXON_TRACE=1) or obs::SetEnabled(true).
+// A disabled instrumentation point costs one relaxed atomic load.
+//
+// Model: every thread keeps a private span stack and buffer (registered
+// with the global collector on first use). Nesting within a thread is
+// recorded via parent links; pool tasks traced on worker threads appear as
+// roots of that worker's forest — stitching task spans under their
+// submitting span would require cross-thread context propagation the
+// engine's coarse task granularity doesn't warrant (DESIGN.md
+// "Observability"). Completed spans additionally feed an
+// "optime.<name>" duration histogram (microseconds) in the metrics
+// registry, so per-operator wall time survives a Clear().
+//
+// trace::Collector::Global().ToJson() serializes the completed spans —
+// call it (or trace::WriteJson) when the traced region is quiescent.
+
+#ifndef AXON_UTIL_TRACE_H_
+#define AXON_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+#ifndef AXON_TRACE_ENABLED
+#define AXON_TRACE_ENABLED 1
+#endif
+
+namespace axon {
+
+namespace obs {
+
+/// True when observability (tracing + metrics) is on for this process.
+bool Enabled();
+
+/// Programmatic override of the AXON_TRACE environment default.
+void SetEnabled(bool on);
+
+}  // namespace obs
+
+namespace trace {
+
+struct Span {
+  std::string name;
+  uint64_t start_ns = 0;     // since the collector's epoch
+  uint64_t duration_ns = 0;  // 0 while still open
+  uint32_t thread = 0;       // dense per-thread index, registration order
+  int32_t parent = -1;       // index into the collected span list, -1 = root
+};
+
+class Collector {
+ public:
+  static Collector& Global();
+
+  /// Completed spans from every thread, parents before children, parent
+  /// indices rewritten to this list. Open spans are excluded.
+  std::vector<Span> CollectSpans() const;
+
+  /// Drops all recorded spans. Only call while no traced code is running
+  /// (between queries / after a bench run); concurrent span *starts* during
+  /// a clear are tolerated but may be dropped.
+  void Clear();
+
+  /// {"spans":[{"name","start_ns","dur_ns","thread","parent"}...]}
+  JsonValue ToJson() const;
+
+ private:
+  Collector() = default;
+};
+
+/// RAII span. Construct through AXON_SPAN; a span constructed while
+/// observability is disabled records nothing (and stays inert even if
+/// tracing is flipped on before it closes).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void* buf_ = nullptr;  // owning thread buffer; null when inert
+  const char* name_;
+  int32_t index_ = -1;    // slot in the thread buffer
+  uint64_t epoch_ = 0;    // buffer clear-epoch at open; stale spans drop
+  uint64_t start_ns_ = 0;
+};
+
+/// Serializes {"trace": spans, "metrics": registry snapshot} to `path`.
+Status WriteJson(const std::string& path);
+
+}  // namespace trace
+}  // namespace axon
+
+#if AXON_TRACE_ENABLED
+
+#define AXON_SPAN_CAT2(a, b) a##b
+#define AXON_SPAN_CAT(a, b) AXON_SPAN_CAT2(a, b)
+#define AXON_SPAN(name) \
+  ::axon::trace::ScopedSpan AXON_SPAN_CAT(axon_span_, __LINE__)(name)
+
+// Counter/histogram updates cache the registry lookup per call site.
+#define AXON_COUNTER_ADD(name, delta)                                     \
+  do {                                                                    \
+    if (::axon::obs::Enabled()) {                                         \
+      static ::axon::metrics::Counter* axon_cached_counter =              \
+          ::axon::metrics::MetricsRegistry::Global().GetCounter(name);    \
+      axon_cached_counter->Add(static_cast<uint64_t>(delta));             \
+    }                                                                     \
+  } while (0)
+
+#define AXON_HISTOGRAM(name, value)                                      \
+  do {                                                                   \
+    if (::axon::obs::Enabled()) {                                        \
+      static ::axon::metrics::Histogram* axon_cached_histogram =         \
+          ::axon::metrics::MetricsRegistry::Global().GetHistogram(name); \
+      axon_cached_histogram->Observe(static_cast<uint64_t>(value));      \
+    }                                                                    \
+  } while (0)
+
+#else  // !AXON_TRACE_ENABLED
+
+#define AXON_SPAN(name) \
+  do {                  \
+  } while (0)
+#define AXON_COUNTER_ADD(name, delta) \
+  do {                                \
+    (void)(delta);                    \
+  } while (0)
+#define AXON_HISTOGRAM(name, value) \
+  do {                              \
+    (void)(value);                  \
+  } while (0)
+
+#endif  // AXON_TRACE_ENABLED
+
+#endif  // AXON_UTIL_TRACE_H_

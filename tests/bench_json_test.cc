@@ -1,0 +1,158 @@
+// Bench report sink + bench_diff comparator: schema validation, the
+// golden-file byte-stability contract (sorted keys, integer printing), and
+// the regression gate — a synthetic 20% latency or counter regression must
+// be flagged (nonzero bench_diff exit), while runs inside tolerance pass.
+
+#include "util/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace axon {
+namespace bench {
+namespace {
+
+// Report holds a mutex (not movable), so the golden fixture serializes in
+// place and returns the document.
+JsonValue GoldenReportJson() {
+  Report r("golden");
+  r.SetScale(0.25);
+  r.AddBuildSeconds("axonDB+", 1.5);
+  ReportRow row;
+  row.section = "fig6";
+  row.query = "Q1";
+  row.engine = "axonDB+";
+  row.seconds = 0.001953125;
+  row.pages_read = 12;
+  row.rows_scanned = 3456;
+  row.intermediate_rows = 78;
+  row.joins = 2;
+  r.AddRow(row);
+  ReportRow micro;
+  micro.section = "micro";
+  micro.query = "BM_Extract/1024";
+  micro.engine = "axon";
+  micro.seconds = 0.5;
+  r.AddRow(micro);
+  return r.ToJson();
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "cannot open " << path;
+  if (f == nullptr) return "";
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return data;
+}
+
+TEST(BenchReportTest, GoldenFileByteStable) {
+  std::string golden =
+      ReadFileOrDie(std::string(AXON_TEST_DATA_DIR) + "/bench_golden.json");
+  EXPECT_EQ(GoldenReportJson().ToString() + "\n", golden);
+}
+
+TEST(BenchReportTest, GoldenReportIsSchemaValid) {
+  JsonValue doc = GoldenReportJson();
+  EXPECT_TRUE(ValidateBenchReport(doc).ok());
+}
+
+TEST(BenchReportTest, ValidateRejectsMalformedReports) {
+  EXPECT_FALSE(ValidateBenchReport(JsonValue("not an object")).ok());
+  JsonValue wrong_schema = JsonValue::Object();
+  wrong_schema["schema"] = "axon-bench-v0";
+  EXPECT_FALSE(ValidateBenchReport(wrong_schema).ok());
+  JsonValue no_rows = JsonValue::Object();
+  no_rows["schema"] = "axon-bench-v1";
+  no_rows["bench"] = "x";
+  EXPECT_FALSE(ValidateBenchReport(no_rows).ok());
+  JsonValue bad_row = no_rows;
+  bad_row["rows"] = JsonValue::Array();
+  bad_row["rows"].Append(JsonValue::Object());  // row missing fields
+  EXPECT_FALSE(ValidateBenchReport(bad_row).ok());
+}
+
+JsonValue MakeReport(double seconds, uint64_t pages) {
+  Report r("diff");
+  ReportRow row;
+  row.section = "fig6";
+  row.query = "Q1";
+  row.engine = "axonDB+";
+  row.seconds = seconds;
+  row.pages_read = pages;
+  r.AddRow(row);
+  return r.ToJson();
+}
+
+TEST(BenchDiffTest, IdenticalReportsPass) {
+  BenchDiffOptions opt;
+  auto diff =
+      DiffBenchReports(MakeReport(0.1, 100), MakeReport(0.1, 100), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok());
+}
+
+TEST(BenchDiffTest, TwentyPercentLatencyRegressionIsFlagged) {
+  BenchDiffOptions opt;  // 15% latency tolerance
+  auto diff =
+      DiffBenchReports(MakeReport(0.1, 100), MakeReport(0.12, 100), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+  ASSERT_EQ(diff.value().regressions.size(), 1u);
+  EXPECT_NE(diff.value().regressions[0].find("latency"), std::string::npos);
+}
+
+TEST(BenchDiffTest, TwentyPercentCounterRegressionIsFlagged) {
+  BenchDiffOptions opt;  // 10% counter tolerance
+  auto diff =
+      DiffBenchReports(MakeReport(0.1, 100), MakeReport(0.1, 120), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+  ASSERT_EQ(diff.value().regressions.size(), 1u);
+  EXPECT_NE(diff.value().regressions[0].find("pages_read"), std::string::npos);
+}
+
+TEST(BenchDiffTest, WithinToleranceChangesPass) {
+  BenchDiffOptions opt;
+  auto diff =
+      DiffBenchReports(MakeReport(0.1, 100), MakeReport(0.11, 105), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok()) << diff.value().regressions[0];
+}
+
+TEST(BenchDiffTest, SubMillisecondRowsNeverFlagOnTime) {
+  BenchDiffOptions opt;  // min_seconds = 0.005
+  auto diff = DiffBenchReports(MakeReport(0.0001, 100),
+                               MakeReport(0.004, 100), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok());
+}
+
+TEST(BenchDiffTest, MissingRowIsARegression) {
+  Report empty("diff");
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(MakeReport(0.1, 100), empty.ToJson(), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+  ASSERT_EQ(diff.value().regressions.size(), 1u);
+  EXPECT_NE(diff.value().regressions[0].find("missing row"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, NewRowsAreNotesNotRegressions) {
+  Report empty("diff");
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(empty.ToJson(), MakeReport(0.1, 100), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok());
+  EXPECT_EQ(diff.value().notes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace axon

@@ -1,0 +1,87 @@
+// JSON DOM round-trip and stability tests. The observability sinks and
+// the golden-file bench tests depend on byte-stable serialization (sorted
+// object keys, integers printed without a fractional part).
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace axon {
+namespace {
+
+TEST(JsonTest, BuildAndSerializeCompact) {
+  JsonValue doc = JsonValue::Object();
+  doc["b"] = 2;
+  doc["a"] = "x";
+  doc["c"] = JsonValue::Array();
+  doc["c"].Append(1);
+  doc["c"].Append(true);
+  doc["c"].Append(JsonValue());
+  EXPECT_EQ(doc.ToString(-1), R"({"a":"x","b":2,"c":[1,true,null]})");
+}
+
+TEST(JsonTest, KeysAlwaysSorted) {
+  JsonValue doc = JsonValue::Object();
+  doc["zeta"] = 1;
+  doc["alpha"] = 2;
+  doc["mid"] = 3;
+  std::string out = doc.ToString(-1);
+  EXPECT_LT(out.find("alpha"), out.find("mid"));
+  EXPECT_LT(out.find("mid"), out.find("zeta"));
+}
+
+TEST(JsonTest, IntegersPrintWithoutFraction) {
+  JsonValue doc = JsonValue::Array();
+  doc.Append(uint64_t{12345});
+  doc.Append(3.5);
+  doc.Append(0);
+  EXPECT_EQ(doc.ToString(-1), "[12345,3.5,0]");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  // Keys are pre-sorted: the writer always emits sorted keys, so only a
+  // sorted document round-trips byte-for-byte.
+  const char* text =
+      R"({"n":-4,"name":"axon","nested":{"arr":[1,2.25,"s",false,null]}})";
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().ToString(-1), text);
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  auto parsed = ParseJson(R"(["a\"b", "tab\there", "\u0041"])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& items = parsed.value().items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].AsString(), "a\"b");
+  EXPECT_EQ(items[1].AsString(), "tab\there");
+  EXPECT_EQ(items[2].AsString(), "A");
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,2,]").ok());
+  EXPECT_FALSE(ParseJson("{}trailing").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonTest, FindAndGetters) {
+  JsonValue doc = JsonValue::Object();
+  doc["s"] = "str";
+  doc["d"] = 1.5;
+  EXPECT_EQ(doc.GetString("s"), "str");
+  EXPECT_EQ(doc.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(doc.GetDouble("d"), 1.5);
+  EXPECT_DOUBLE_EQ(doc.GetDouble("missing", -1), -1);
+  EXPECT_EQ(doc.Find("nope"), nullptr);
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  JsonValue doc = JsonValue::Object();
+  doc["k"] = JsonValue::Array();
+  doc["k"].Append(1);
+  EXPECT_EQ(doc.ToString(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace axon

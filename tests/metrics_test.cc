@@ -1,0 +1,121 @@
+// Metrics registry: counter/histogram semantics and thread-safety of both
+// the lock-free update paths and on-demand registration under an 8-thread
+// stress load.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace axon {
+namespace metrics {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, CountSumMax) {
+  Histogram h;
+  for (uint64_t v : {0ull, 1ull, 2ull, 100ull, 1000ull}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1103u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(HistogramTest, QuantilesAreBucketUpperBounds) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Observe(1);
+  h.Observe(1 << 20);
+  EXPECT_EQ(h.Quantile(0.5), 1u);
+  // p99+ lands in the big observation's bucket, whose upper bound is at
+  // least the value itself.
+  EXPECT_GE(h.Quantile(0.999), uint64_t{1} << 20);
+  EXPECT_LE(h.Quantile(0.999), (uint64_t{1} << 21) - 1);
+}
+
+TEST(HistogramTest, ToJsonFields) {
+  Histogram h;
+  h.Observe(4);
+  h.Observe(8);
+  JsonValue j = h.ToJson();
+  EXPECT_EQ(j.GetDouble("count"), 2.0);
+  EXPECT_EQ(j.GetDouble("sum"), 12.0);
+  EXPECT_EQ(j.GetDouble("mean"), 6.0);
+  EXPECT_EQ(j.GetDouble("max"), 8.0);
+  EXPECT_TRUE(j.Has("p50"));
+  EXPECT_TRUE(j.Has("p90"));
+  EXPECT_TRUE(j.Has("p99"));
+}
+
+TEST(MetricsRegistryTest, StablePointersAndReset) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("metrics_test.stable");
+  Counter* b = reg.GetCounter("metrics_test.stable");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+  reg.ResetAll();
+  EXPECT_EQ(a->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotElidesZeroCounters) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  reg.GetCounter("metrics_test.zero");
+  reg.GetCounter("metrics_test.nonzero")->Add(7);
+  JsonValue snap = reg.Snapshot();
+  const JsonValue* counters = snap.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_FALSE(counters->Has("metrics_test.zero"));
+  EXPECT_EQ(counters->GetDouble("metrics_test.nonzero"), 7.0);
+}
+
+TEST(MetricsRegistryTest, EightThreadStress) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &reg] {
+      // Mix of hot-path updates on a shared metric and on-demand
+      // registration of fresh names, from every thread concurrently.
+      Counter* shared = reg.GetCounter("metrics_test.stress_shared");
+      Histogram* hist = reg.GetHistogram("metrics_test.stress_hist");
+      for (int i = 0; i < kIters; ++i) {
+        shared->Add(1);
+        hist->Observe(static_cast<uint64_t>(i % 1024));
+        if (i % 1000 == 0) {
+          reg.GetCounter("metrics_test.stress_" + std::to_string(t) + "_" +
+                         std::to_string(i))
+              ->Increment();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("metrics_test.stress_shared")->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("metrics_test.stress_hist")->count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("metrics_test.stress_" + std::to_string(t) + "_0")
+                  ->value(),
+              1u);
+  }
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace axon

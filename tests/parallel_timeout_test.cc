@@ -67,6 +67,36 @@ TEST_F(ParallelTimeoutTest, ShardedImmediateDeadline) {
   }
 }
 
+TEST_F(ParallelTimeoutTest, SerialExistenceOnlyStarHonorsDeadline) {
+  // Star-only query whose object variables are single-occurrence and
+  // unprojected: with skip_redundant_star_retrieval every star pattern is
+  // skippable, so the executor takes the existence-only path that emits
+  // distinct subjects per candidate CS. At parallelism=1 that loop runs
+  // in the serial pipeline and must test the shared deadline between
+  // per-CS scans rather than scanning every candidate to completion.
+  auto q = ParseSparql(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x ub:takesCourse ?c . ?x ub:memberOf ?d }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // A student-heavy dataset so the distinct-subject emission cannot finish
+  // inside the 1 ms budget.
+  LubmConfig cfg;
+  cfg.num_universities = 4;
+  cfg.undergrads_per_dept = 2000;
+  cfg.grads_per_dept = 500;
+  Dataset dense = GenerateLubmDataset(cfg);
+  EngineOptions opt;
+  opt.skip_redundant_star_retrieval = true;
+  opt.parallelism = 1;
+  opt.timeout_millis = 1;
+  auto db = Database::Build(dense, opt);
+  ASSERT_TRUE(db.ok());
+  auto r = db.value().Execute(q.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+}
+
 TEST_F(ParallelTimeoutTest, GenerousDeadlineStillAnswersInParallel) {
   // Sanity: the shared deadline flag must not trip on a healthy query.
   auto q = ParseSparql(LubmFullWorkload().Get("Q1").sparql);

@@ -1,0 +1,163 @@
+// Scoped-span tracer: nesting within a thread, worker-thread roots, the
+// runtime enable gate, Clear() epoch safety, and the compile-out contract.
+// Under -DAXON_TRACE=OFF the same test binary asserts that the macros
+// record nothing at all (the CI matrix runs a NoTrace job to cover that
+// branch).
+
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace axon {
+namespace {
+
+using trace::Collector;
+using trace::Span;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    Collector::Global().Clear();
+  }
+  void TearDown() override { obs::SetEnabled(false); }
+};
+
+const Span* FindSpan(const std::vector<Span>& spans, const std::string& name) {
+  for (const Span& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+#if AXON_TRACE_ENABLED
+
+TEST_F(TraceTest, NestedSpansRecordParentLinks) {
+  {
+    AXON_SPAN("outer");
+    {
+      AXON_SPAN("inner");
+      { AXON_SPAN("leaf"); }
+    }
+    { AXON_SPAN("sibling"); }
+  }
+  std::vector<Span> spans = Collector::Global().CollectSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  const Span* outer = FindSpan(spans, "outer");
+  const Span* inner = FindSpan(spans, "inner");
+  const Span* leaf = FindSpan(spans, "leaf");
+  const Span* sibling = FindSpan(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->parent, -1);
+  EXPECT_EQ(&spans[inner->parent], outer);
+  EXPECT_EQ(&spans[leaf->parent], inner);
+  EXPECT_EQ(&spans[sibling->parent], outer);
+  // Closed spans have nonzero duration; children close before parents.
+  for (const Span& s : spans) EXPECT_GT(s.duration_ns, 0u);
+  EXPECT_GE(outer->duration_ns, inner->duration_ns);
+}
+
+TEST_F(TraceTest, OpenSpansAreExcludedFromCollect) {
+  AXON_SPAN("still_open");
+  { AXON_SPAN("closed"); }
+  std::vector<Span> spans = Collector::Global().CollectSpans();
+  EXPECT_EQ(spans.size(), 1u);
+  EXPECT_NE(FindSpan(spans, "closed"), nullptr);
+  EXPECT_EQ(FindSpan(spans, "still_open"), nullptr);
+}
+
+TEST_F(TraceTest, SpansOnOtherThreadsAreRoots) {
+  {
+    AXON_SPAN("main_span");
+    std::thread t([] { AXON_SPAN("worker_span"); });
+    t.join();
+  }
+  std::vector<Span> spans = Collector::Global().CollectSpans();
+  const Span* main_span = FindSpan(spans, "main_span");
+  const Span* worker = FindSpan(spans, "worker_span");
+  ASSERT_NE(main_span, nullptr);
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->parent, -1);  // no cross-thread stitching
+  EXPECT_NE(worker->thread, main_span->thread);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  obs::SetEnabled(false);
+  { AXON_SPAN("invisible"); }
+  AXON_COUNTER_ADD("trace_test.invisible", 7);
+  obs::SetEnabled(true);
+  EXPECT_TRUE(Collector::Global().CollectSpans().empty());
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledStaysInert) {
+  obs::SetEnabled(false);
+  {
+    AXON_SPAN("opened_disabled");
+    obs::SetEnabled(true);  // flipping on mid-span must not record it
+  }
+  EXPECT_TRUE(Collector::Global().CollectSpans().empty());
+}
+
+TEST_F(TraceTest, ClearDropsSpansThatCloseAfterwards) {
+  {
+    AXON_SPAN("spans_epoch");
+    Collector::Global().Clear();
+  }  // closes into the old epoch: dropped, not recorded
+  EXPECT_TRUE(Collector::Global().CollectSpans().empty());
+}
+
+TEST_F(TraceTest, CompletedSpansFeedOptimeHistogram) {
+  metrics::Histogram* h = metrics::MetricsRegistry::Global().GetHistogram(
+      "optime.trace_test_unique_span");
+  uint64_t before = h->count();
+  { AXON_SPAN("trace_test_unique_span"); }
+  EXPECT_EQ(h->count(), before + 1);
+}
+
+TEST_F(TraceTest, ToJsonListsSpans) {
+  { AXON_SPAN("json_span"); }
+  JsonValue doc = Collector::Global().ToJson();
+  const JsonValue* spans = doc.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 1u);
+  EXPECT_EQ(spans->items()[0].GetString("name"), "json_span");
+  EXPECT_GE(spans->items()[0].GetDouble("dur_ns"), 1.0);
+}
+
+#else  // !AXON_TRACE_ENABLED
+
+TEST_F(TraceTest, MacrosCompileToNothing) {
+  // Even with the runtime gate enabled, a compiled-out build must record
+  // no spans and no metrics through the macros.
+  {
+    AXON_SPAN("compiled_out");
+    AXON_COUNTER_ADD("trace_test.compiled_out", 3);
+    AXON_HISTOGRAM("trace_test.compiled_out_h", 5);
+  }
+  EXPECT_TRUE(Collector::Global().CollectSpans().empty());
+  EXPECT_EQ(metrics::MetricsRegistry::Global()
+                .GetCounter("trace_test.compiled_out")
+                ->value(),
+            0u);
+  EXPECT_EQ(metrics::MetricsRegistry::Global()
+                .GetHistogram("trace_test.compiled_out_h")
+                ->count(),
+            0u);
+}
+
+#endif  // AXON_TRACE_ENABLED
+
+TEST_F(TraceTest, EnabledToggleRoundTrips) {
+  obs::SetEnabled(false);
+  EXPECT_FALSE(obs::Enabled());
+  obs::SetEnabled(true);
+  EXPECT_TRUE(obs::Enabled());
+}
+
+}  // namespace
+}  // namespace axon

@@ -1,0 +1,97 @@
+// bench_diff: compares a current BENCH_<name>.json against a committed
+// baseline and exits nonzero when a regression is detected. The CI
+// perf-gate job runs this over every bench report the gate builds.
+//
+//   bench_diff [flags] <baseline.json> <current.json>
+//
+// Flags:
+//   --latency-tolerance=<frac>   flag rows slower by more (default 0.15)
+//   --counter-tolerance=<frac>   flag counters higher by more (default 0.10)
+//   --min-seconds=<secs>         rows faster than this never flag on time
+//                                (default 0.005)
+//
+// Counters (pages_read, rows_scanned, ...) are deterministic, so their
+// tolerance mainly absorbs intentional small plan changes; latency is
+// noisy across runners, so CI passes a generous --latency-tolerance and
+// relies on the counters for the strict gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/bench_report.h"
+
+namespace {
+
+bool ParseFraction(const char* arg, const char* flag, double* out) {
+  size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *out = std::atof(arg + n + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  axon::bench::BenchDiffOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFraction(argv[i], "--latency-tolerance",
+                      &options.latency_tolerance) ||
+        ParseFraction(argv[i], "--counter-tolerance",
+                      &options.counter_tolerance) ||
+        ParseFraction(argv[i], "--min-seconds", &options.min_seconds)) {
+      continue;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+    paths.emplace_back(argv[i]);
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--latency-tolerance=F] "
+                 "[--counter-tolerance=F] [--min-seconds=S] "
+                 "<baseline.json> <current.json>\n");
+    return 2;
+  }
+
+  auto baseline = axon::ReadJsonFile(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "cannot read baseline %s: %s\n", paths[0].c_str(),
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = axon::ReadJsonFile(paths[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "cannot read current %s: %s\n", paths[1].c_str(),
+                 current.status().ToString().c_str());
+    return 2;
+  }
+
+  auto diff = axon::bench::DiffBenchReports(baseline.value(), current.value(),
+                                            options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 diff.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const std::string& note : diff.value().notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  if (!diff.value().ok()) {
+    std::printf("%zu regression(s) vs %s:\n", diff.value().regressions.size(),
+                paths[0].c_str());
+    for (const std::string& r : diff.value().regressions) {
+      std::printf("  REGRESSION %s\n", r.c_str());
+    }
+    return 1;
+  }
+  std::printf("OK: %s within tolerance of %s\n", paths[1].c_str(),
+              paths[0].c_str());
+  return 0;
+}
