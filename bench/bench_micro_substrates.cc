@@ -96,14 +96,14 @@ void BM_TripleTableEqualRange(benchmark::State& state) {
   Random rng(5);
   TripleTable t;
   for (int i = 0; i < 200000; ++i) {
-    t.Append(static_cast<TermId>(1 + rng.Uniform(5000)),
-             static_cast<TermId>(1 + rng.Uniform(40)),
-             static_cast<TermId>(1 + rng.Uniform(5000)));
+    t.Append(TermId(static_cast<uint32_t>(1 + rng.Uniform(5000))),
+             TermId(static_cast<uint32_t>(1 + rng.Uniform(40))),
+             TermId(static_cast<uint32_t>(1 + rng.Uniform(5000))));
   }
   t.Sort(Permutation::kPso);
   for (auto _ : state) {
     benchmark::DoNotOptimize(t.EqualRange(
-        Permutation::kPso, static_cast<TermId>(1 + rng.Uniform(40))));
+        Permutation::kPso, TermId(static_cast<uint32_t>(1 + rng.Uniform(40)))));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -116,8 +116,8 @@ void BM_HashJoin(benchmark::State& state) {
   BindingTable right({"y", "z"});
   for (int i = 0; i < n; ++i) {
     left.AppendRow({static_cast<TermId>(i + 1),
-                    static_cast<TermId>(1 + rng.Uniform(n / 4 + 1))});
-    right.AppendRow({static_cast<TermId>(1 + rng.Uniform(n / 4 + 1)),
+                    TermId(static_cast<uint32_t>(1 + rng.Uniform(n / 4 + 1)))});
+    right.AppendRow({TermId(static_cast<uint32_t>(1 + rng.Uniform(n / 4 + 1))),
                      static_cast<TermId>(i + 1)});
   }
   for (auto _ : state) {
@@ -132,12 +132,13 @@ void BM_ScanPattern(benchmark::State& state) {
   Random rng(7);
   std::vector<Triple> triples;
   for (int i = 0; i < 100000; ++i) {
-    triples.push_back(Triple{static_cast<TermId>(1 + rng.Uniform(1000)),
-                             static_cast<TermId>(1 + rng.Uniform(20)),
-                             static_cast<TermId>(1 + rng.Uniform(1000))});
+    triples.push_back(
+        Triple{TermId(static_cast<uint32_t>(1 + rng.Uniform(1000))),
+               TermId(static_cast<uint32_t>(1 + rng.Uniform(20))),
+               TermId(static_cast<uint32_t>(1 + rng.Uniform(1000)))});
   }
   IdPattern p;
-  p.p = 7;
+  p.p = TermId(7);
   p.s_var = "s";
   p.o_var = "o";
   for (auto _ : state) {

@@ -32,7 +32,7 @@ int main() {
 
   // --- Top characteristic sets by population, with their property lists.
   std::vector<CsId> by_population(cs.num_sets());
-  for (CsId i = 0; i < cs.num_sets(); ++i) by_population[i] = i;
+  for (uint32_t i = 0; i < cs.num_sets(); ++i) by_population[i] = CsId(i);
   std::sort(by_population.begin(), by_population.end(),
             [&cs](CsId a, CsId b) {
               return cs.RangeOf(a).size() > cs.RangeOf(b).size();
@@ -40,12 +40,13 @@ int main() {
   std::printf("top 5 node types (characteristic sets) by triple count:\n");
   for (size_t i = 0; i < 5 && i < by_population.size(); ++i) {
     CsId id = by_population[i];
-    std::printf("  CS%-5u %6llu triples, %4llu subjects, properties:", id,
+    std::printf("  CS%-5u %6llu triples, %4llu subjects, properties:",
+                id.value(),
                 static_cast<unsigned long long>(cs.RangeOf(id).size()),
                 static_cast<unsigned long long>(cs.DistinctSubjects(id)));
     for (uint32_t ord : cs.set(id).properties.ToIndices()) {
       std::string canonical =
-          db.dict().GetCanonical(cs.properties().PredicateOf(ord));
+          db.dict().GetCanonical(cs.properties().PredicateOf(PropOrdinal(ord)));
       // Print only the local name for readability.
       size_t pos = canonical.find_last_of("/#");
       std::printf(" %s", canonical.substr(pos + 1, canonical.size() - pos - 2)
@@ -56,7 +57,7 @@ int main() {
 
   // --- Relationship types (ECSs) and their join statistics.
   std::vector<EcsId> ecs_by_size(ecs.num_sets());
-  for (EcsId i = 0; i < ecs.num_sets(); ++i) ecs_by_size[i] = i;
+  for (uint32_t i = 0; i < ecs.num_sets(); ++i) ecs_by_size[i] = EcsId(i);
   std::sort(ecs_by_size.begin(), ecs_by_size.end(), [&ecs](EcsId a, EcsId b) {
     return ecs.RangeOf(a).size() > ecs.RangeOf(b).size();
   });
@@ -68,7 +69,7 @@ int main() {
     std::printf(
         "  ECS%-4u CS%u -> CS%u: %llu triples, %llu subjects, %llu objects,"
         " m_f,os=%.2f\n",
-        id, e.subject_cs, e.object_cs,
+        id.value(), e.subject_cs.value(), e.object_cs.value(),
         static_cast<unsigned long long>(st.num_triples),
         static_cast<unsigned long long>(st.distinct_subjects),
         static_cast<unsigned long long>(st.distinct_objects),
@@ -80,10 +81,11 @@ int main() {
   size_t root_count = h.Roots().size();
   size_t with_children = 0;
   size_t max_children = 0;
-  for (EcsId i = 0; i < h.num_nodes(); ++i) {
-    if (!h.Children(i).empty()) {
+  for (uint32_t i = 0; i < h.num_nodes(); ++i) {
+    EcsId node(i);
+    if (!h.Children(node).empty()) {
       ++with_children;
-      max_children = std::max(max_children, h.Children(i).size());
+      max_children = std::max(max_children, h.Children(node).size());
     }
   }
   std::printf(
@@ -96,8 +98,8 @@ int main() {
 
   // --- What schema diversity costs: fragmentation census.
   uint64_t single_triple_ecs = 0;
-  for (EcsId i = 0; i < ecs.num_sets(); ++i) {
-    if (ecs.RangeOf(i).size() == 1) ++single_triple_ecs;
+  for (uint32_t i = 0; i < ecs.num_sets(); ++i) {
+    if (ecs.RangeOf(EcsId(i)).size() == 1) ++single_triple_ecs;
   }
   std::printf(
       "\nfragmentation: %llu of %zu ECSs hold a single triple — the "

@@ -75,7 +75,8 @@ int main() {
   // deep path queries can reach in this dataset.
   const EcsGraph& graph = db.value().ecs_graph();
   size_t longest = 0;
-  for (EcsId e = 0; e < graph.num_nodes(); ++e) {
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
+    EcsId e(i);
     for (size_t len = longest + 1; len <= 8; ++len) {
       if (graph.PathsFrom(e, len, 1).empty()) break;
       longest = len;

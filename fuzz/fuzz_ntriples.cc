@@ -1,0 +1,30 @@
+// Fuzz target for the N-Triples reader (src/rdf/ntriples.cc).
+//
+// Beyond "don't crash", the target checks the parse/print round-trip
+// invariant: every statement the parser accepts must re-serialize to text
+// the parser accepts again, yielding an equal statement. That turns the
+// fuzzer into a differential test of the reader against the writer.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = axon::ParseNTriplesToVector(text);
+  if (!parsed.ok()) return 0;  // rejection is fine; crashing is not
+  for (const axon::TermTriple& t : parsed.value()) {
+    std::string line = t.s.Canonical() + " " + t.p.Canonical() + " " +
+                       t.o.Canonical() + " .\n";
+    auto again = axon::ParseNTriplesToVector(line);
+    if (!again.ok() || again.value().size() != 1 ||
+        !(again.value()[0] == t)) {
+      std::abort();  // round-trip broken: surface as a fuzzer finding
+    }
+  }
+  return 0;
+}

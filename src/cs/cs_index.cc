@@ -28,10 +28,10 @@ CsIndex CsIndex::Build(const CsExtraction& extraction) {
       last_subject = kInvalidId;
     }
     if (t.s != last_subject) {
-      ++idx.distinct_subjects_[t.cs];
+      ++idx.distinct_subjects_[t.cs.value()];
       last_subject = t.s;
     }
-    auto& counts = idx.predicate_counts_[t.cs];
+    auto& counts = idx.predicate_counts_[t.cs.value()];
     auto it = std::lower_bound(
         counts.begin(), counts.end(), t.p,
         [](const auto& entry, TermId p) { return entry.first < p; });
@@ -53,7 +53,7 @@ CsIndex CsIndex::Build(const CsExtraction& extraction) {
 }
 
 uint64_t CsIndex::PredicateCount(CsId id, TermId p) const {
-  const auto& counts = predicate_counts_[id];
+  const auto& counts = predicate_counts_[id.value()];
   auto it = std::lower_bound(
       counts.begin(), counts.end(), p,
       [](const auto& entry, TermId pred) { return entry.first < pred; });
@@ -103,7 +103,7 @@ void CsIndex::SerializeMetaTo(std::string* out) const {
   for (const auto& counts : predicate_counts_) {
     PutVarint64(out, counts.size());
     for (const auto& [p, c] : counts) {
-      PutVarint32(out, p);
+      PutVarintId(out, p);
       PutVarint64(out, c);
     }
   }
@@ -134,7 +134,8 @@ Result<CsIndex> CsIndex::DeserializeMeta(std::string_view data,
     auto bm = DeserializeBitmap(data, pos);
     if (!bm.ok()) return bm.status();
     idx.sets_.push_back(
-        CharacteristicSet{static_cast<CsId>(i), std::move(bm).ValueOrDie()});
+        CharacteristicSet{CsId(static_cast<uint32_t>(i)),
+                          std::move(bm).ValueOrDie()});
   }
   idx.distinct_subjects_.resize(num_sets);
   p = data.data() + *pos;
@@ -150,9 +151,9 @@ Result<CsIndex> CsIndex::DeserializeMeta(std::string_view data,
     p = GetVarint64(p, limit, &m);
     if (p == nullptr) return Status::Corruption("cs index: predicate counts");
     for (uint64_t j = 0; j < m; ++j) {
-      uint32_t pred = 0;
+      TermId pred;
       uint64_t count = 0;
-      if ((p = GetVarint32(p, limit, &pred)) == nullptr ||
+      if ((p = GetVarintId(p, limit, &pred)) == nullptr ||
           (p = GetVarint64(p, limit, &count)) == nullptr) {
         return Status::Corruption("cs index: predicate count entry");
       }

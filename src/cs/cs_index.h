@@ -32,7 +32,7 @@ class CsIndex {
   const PropertyRegistry& properties() const { return properties_; }
 
   size_t num_sets() const { return sets_.size(); }
-  const CharacteristicSet& set(CsId id) const { return sets_[id]; }
+  const CharacteristicSet& set(CsId id) const { return sets_[id.value()]; }
   std::span<const CharacteristicSet> sets() const { return sets_; }
 
   /// Row range of a CS in the SPO table (empty range if the id is unknown).
@@ -50,7 +50,9 @@ class CsIndex {
   RowRange SubjectRange(CsId cs, TermId subject) const;
 
   /// Number of distinct subjects carrying CS `id`.
-  uint64_t DistinctSubjects(CsId id) const { return distinct_subjects_[id]; }
+  uint64_t DistinctSubjects(CsId id) const {
+    return distinct_subjects_[id.value()];
+  }
 
   /// Occurrences of predicate `p` among the triples of CS `id` (0 when the
   /// predicate is not in the CS). Together with DistinctSubjects this gives
@@ -62,7 +64,7 @@ class CsIndex {
   /// All (predicate, count) pairs of CS `id`, ascending by predicate id.
   const std::vector<std::pair<TermId, uint64_t>>& PredicateCounts(
       CsId id) const {
-    return predicate_counts_[id];
+    return predicate_counts_[id.value()];
   }
 
   void SerializeTo(std::string* out) const;

@@ -35,7 +35,7 @@ void FinalizeExtraction(EcsExtraction* out, ThreadPool* pool = nullptr) {
     if (it == subject_cs_map.end()) continue;
     for (EcsId left : lefts) {
       for (EcsId right : it->second) {
-        out->links[left].push_back(right);
+        out->links[left.value()].push_back(right);
       }
     }
   }
@@ -53,9 +53,9 @@ std::map<std::pair<CsId, CsId>, EcsId> AssignIds(
     std::vector<ExtendedCharacteristicSet>* sets) {
   std::map<std::pair<CsId, CsId>, EcsId> ids;
   for (const auto& pr : pairs) ids.emplace(pr, kNoEcs);
-  EcsId next = 0;
+  uint32_t next = 0;
   for (auto& [pr, id] : ids) {
-    id = next++;
+    id = EcsId(next++);
     sets->push_back(ExtendedCharacteristicSet{id, pr.first, pr.second});
   }
   return ids;
@@ -93,14 +93,15 @@ EcsExtraction ExtractExtendedCharacteristicSets(const CsExtraction& cs,
         const LoadTriple& t = cs.triples[i];
         auto it = cs.subject_cs.find(t.o);
         if (it == cs.subject_cs.end()) continue;  // object has empty CS
-        uint64_t key = HashIdPair(t.cs, it->second);
+        uint64_t key = HashIdPair(t.cs.value(), it->second.value());
         if (seen.insert(key).second) local[c].emplace_back(t.cs, it->second);
       }
     });
     std::unordered_set<uint64_t> seen;
     for (const auto& chunk_pairs : local) {
       for (const auto& pr : chunk_pairs) {
-        if (seen.insert(HashIdPair(pr.first, pr.second)).second) {
+        if (seen.insert(HashIdPair(pr.first.value(), pr.second.value()))
+                .second) {
           pairs.push_back(pr);
         }
       }

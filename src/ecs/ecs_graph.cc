@@ -8,25 +8,25 @@
 namespace axon {
 
 bool EcsGraph::HasEdge(EcsId from, EcsId to) const {
-  if (from >= links_.size()) return false;
-  const auto& succ = links_[from];
+  if (from.value() >= links_.size()) return false;
+  const auto& succ = links_[from.value()];
   return std::binary_search(succ.begin(), succ.end(), to);
 }
 
 bool EcsGraph::Reachable(EcsId from, EcsId to, size_t max_hops) const {
-  if (from >= links_.size()) return false;
+  if (from.value() >= links_.size()) return false;
   std::vector<bool> visited(links_.size(), false);
   std::deque<std::pair<EcsId, size_t>> queue;
   queue.emplace_back(from, 0);
-  visited[from] = true;
+  visited[from.value()] = true;
   while (!queue.empty()) {
     auto [node, depth] = queue.front();
     queue.pop_front();
     if (depth >= max_hops) continue;
-    for (EcsId next : links_[node]) {
+    for (EcsId next : links_[node.value()]) {
       if (next == to) return true;
-      if (!visited[next]) {
-        visited[next] = true;
+      if (!visited[next.value()]) {
+        visited[next.value()] = true;
         queue.emplace_back(next, depth + 1);
       }
     }
@@ -37,7 +37,7 @@ bool EcsGraph::Reachable(EcsId from, EcsId to, size_t max_hops) const {
 std::vector<std::vector<EcsId>> EcsGraph::PathsFrom(EcsId from, size_t length,
                                                     size_t limit) const {
   std::vector<std::vector<EcsId>> out;
-  if (from >= links_.size()) return out;
+  if (from.value() >= links_.size()) return out;
   std::vector<EcsId> path = {from};
   // Iterative DFS over partial paths.
   struct Frame {
@@ -54,7 +54,7 @@ std::vector<std::vector<EcsId>> EcsGraph::PathsFrom(EcsId from, size_t length,
       path.pop_back();
       continue;
     }
-    const auto& succ = links_[top.node];
+    const auto& succ = links_[top.node.value()];
     bool advanced = false;
     while (top.next_child < succ.size()) {
       EcsId child = succ[top.next_child++];
@@ -77,7 +77,7 @@ void EcsGraph::SerializeTo(std::string* out) const {
   PutVarint64(out, links_.size());
   for (const auto& succ : links_) {
     PutVarint64(out, succ.size());
-    for (EcsId id : succ) PutVarint32(out, id);
+    for (EcsId id : succ) PutVarintId(out, id);
   }
 }
 
@@ -94,8 +94,8 @@ Result<EcsGraph> EcsGraph::Deserialize(std::string_view data, size_t* pos) {
     if (p == nullptr) return Status::Corruption("ecs graph: edge count");
     links[i].reserve(m);
     for (uint64_t j = 0; j < m; ++j) {
-      uint32_t id = 0;
-      p = GetVarint32(p, limit, &id);
+      EcsId id;
+      p = GetVarintId(p, limit, &id);
       if (p == nullptr) return Status::Corruption("ecs graph: edge");
       links[i].push_back(id);
     }

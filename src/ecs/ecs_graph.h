@@ -30,7 +30,7 @@ class EcsGraph {
 
   /// Successors of `node` (ECSs object-subject-joinable after it), ascending.
   const std::vector<EcsId>& Successors(EcsId node) const {
-    return links_[node];
+    return links_[node.value()];
   }
 
   bool HasEdge(EcsId from, EcsId to) const;

@@ -16,8 +16,8 @@ EcsHierarchy EcsHierarchy::Build(
   h.subject_bitmaps_.resize(n);
   h.object_bitmaps_.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    h.subject_bitmaps_[i] = cs_sets[sets[i].subject_cs].properties;
-    h.object_bitmaps_[i] = cs_sets[sets[i].object_cs].properties;
+    h.subject_bitmaps_[i] = cs_sets[sets[i].subject_cs.value()].properties;
+    h.object_bitmaps_[i] = cs_sets[sets[i].object_cs.value()].properties;
     h.property_count_[i] =
         h.subject_bitmaps_[i].Count() + h.object_bitmaps_[i].Count();
   }
@@ -29,10 +29,10 @@ EcsHierarchy EcsHierarchy::Build(
   // except for equal-count incomparable pairs, which IsGeneralization
   // rejects anyway).
   std::vector<EcsId> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  std::iota(order.begin(), order.end(), EcsId(0));
   std::sort(order.begin(), order.end(), [&h](EcsId a, EcsId b) {
-    if (h.property_count_[a] != h.property_count_[b]) {
-      return h.property_count_[a] < h.property_count_[b];
+    if (h.property_count_[a.value()] != h.property_count_[b.value()]) {
+      return h.property_count_[a.value()] < h.property_count_[b.value()];
     }
     return a < b;
   });
@@ -57,21 +57,21 @@ EcsHierarchy EcsHierarchy::Build(
         }
       }
       if (maximal) {
-        h.parents_[e].push_back(g);
-        h.children_[g].push_back(e);
+        h.parents_[e.value()].push_back(g);
+        h.children_[g.value()].push_back(e);
       }
     }
   }
 
   for (EcsId e : order) {
-    if (h.parents_[e].empty()) h.roots_.push_back(e);
+    if (h.parents_[e.value()].empty()) h.roots_.push_back(e);
   }
   // Children in ascending-count order so the pre-order visits generic
   // families before specialized ones deterministically.
   for (auto& ch : h.children_) {
     std::sort(ch.begin(), ch.end(), [&h](EcsId a, EcsId b) {
-      if (h.property_count_[a] != h.property_count_[b]) {
-        return h.property_count_[a] < h.property_count_[b];
+      if (h.property_count_[a.value()] != h.property_count_[b.value()]) {
+        return h.property_count_[a.value()] < h.property_count_[b.value()];
       }
       return a < b;
     });
@@ -81,8 +81,10 @@ EcsHierarchy EcsHierarchy::Build(
 }
 
 bool EcsHierarchy::IsGeneralization(EcsId general, EcsId special) const {
-  return subject_bitmaps_[general].IsSubsetOf(subject_bitmaps_[special]) &&
-         object_bitmaps_[general].IsSubsetOf(object_bitmaps_[special]);
+  return subject_bitmaps_[general.value()].IsSubsetOf(
+             subject_bitmaps_[special.value()]) &&
+         object_bitmaps_[general.value()].IsSubsetOf(
+             object_bitmaps_[special.value()]);
 }
 
 void EcsHierarchy::ComputePreOrder() {
@@ -93,31 +95,33 @@ void EcsHierarchy::ComputePreOrder() {
   // emitted at its first visit.
   std::vector<EcsId> stack;
   for (EcsId root : roots_) {
-    if (visited[root]) continue;
+    if (visited[root.value()]) continue;
     stack.push_back(root);
     while (!stack.empty()) {
       EcsId node = stack.back();
       stack.pop_back();
-      if (visited[node]) continue;
-      visited[node] = true;
+      if (visited[node.value()]) continue;
+      visited[node.value()] = true;
       preorder_.push_back(node);
       // Push children in reverse so the smallest-count child pops first.
-      for (auto it = children_[node].rbegin(); it != children_[node].rend();
-           ++it) {
-        if (!visited[*it]) stack.push_back(*it);
+      for (auto it = children_[node.value()].rbegin();
+           it != children_[node.value()].rend(); ++it) {
+        if (!visited[it->value()]) stack.push_back(*it);
       }
     }
   }
   // Defensive: any node unreachable from the roots (cannot happen in a
   // well-formed lattice, but keeps PreOrder a permutation regardless).
-  for (EcsId i = 0; i < children_.size(); ++i) {
-    if (!visited[i]) preorder_.push_back(i);
+  for (uint32_t i = 0; i < children_.size(); ++i) {
+    if (!visited[i]) preorder_.push_back(EcsId(i));
   }
 }
 
 std::vector<uint32_t> EcsHierarchy::StorageRank() const {
   std::vector<uint32_t> rank(preorder_.size());
-  for (uint32_t i = 0; i < preorder_.size(); ++i) rank[preorder_[i]] = i;
+  for (uint32_t i = 0; i < preorder_.size(); ++i) {
+    rank[preorder_[i].value()] = i;
+  }
   return rank;
 }
 
@@ -127,7 +131,7 @@ void EcsHierarchy::SerializeTo(std::string* out) const {
     SerializeBitmap(subject_bitmaps_[i], out);
     SerializeBitmap(object_bitmaps_[i], out);
     PutVarint64(out, children_[i].size());
-    for (EcsId c : children_[i]) PutVarint32(out, c);
+    for (EcsId c : children_[i]) PutVarintId(out, c);
   }
 }
 
@@ -160,23 +164,26 @@ Result<EcsHierarchy> EcsHierarchy::Deserialize(std::string_view data,
     p = GetVarint64(p, limit, &m);
     if (p == nullptr) return Status::Corruption("ecs hierarchy: child count");
     for (uint64_t j = 0; j < m; ++j) {
-      uint32_t c = 0;
-      p = GetVarint32(p, limit, &c);
+      EcsId c;
+      p = GetVarintId(p, limit, &c);
       if (p == nullptr) return Status::Corruption("ecs hierarchy: child");
       h.children_[i].push_back(c);
-      if (c >= n) return Status::Corruption("ecs hierarchy: child id range");
+      if (c.value() >= n) {
+        return Status::Corruption("ecs hierarchy: child id range");
+      }
     }
     *pos = p - data.data();
   }
-  for (EcsId parent = 0; parent < n; ++parent) {
-    for (EcsId c : h.children_[parent]) h.parents_[c].push_back(parent);
+  for (uint32_t pi = 0; pi < n; ++pi) {
+    EcsId parent(pi);
+    for (EcsId c : h.children_[pi]) h.parents_[c.value()].push_back(parent);
   }
-  for (EcsId i = 0; i < n; ++i) {
-    if (h.parents_[i].empty()) h.roots_.push_back(i);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (h.parents_[i].empty()) h.roots_.push_back(EcsId(i));
   }
   std::sort(h.roots_.begin(), h.roots_.end(), [&h](EcsId a, EcsId b) {
-    if (h.property_count_[a] != h.property_count_[b]) {
-      return h.property_count_[a] < h.property_count_[b];
+    if (h.property_count_[a.value()] != h.property_count_[b.value()]) {
+      return h.property_count_[a.value()] < h.property_count_[b.value()];
     }
     return a < b;
   });

@@ -32,11 +32,11 @@ class EcsHierarchy {
 
   /// Immediate specializations of `node` (one level down the lattice).
   const std::vector<EcsId>& Children(EcsId node) const {
-    return children_[node];
+    return children_[node.value()];
   }
   /// Immediate generalizations of `node`.
   const std::vector<EcsId>& Parents(EcsId node) const {
-    return parents_[node];
+    return parents_[node.value()];
   }
   /// Most generic ECSs (no parents), in ascending property-count order.
   const std::vector<EcsId>& Roots() const { return roots_; }
@@ -56,7 +56,9 @@ class EcsHierarchy {
 
   /// Total property count (subject CS + object CS bits) of `node`; the
   /// sort key for genericity ("the fewer properties, the more generic").
-  uint32_t PropertyCount(EcsId node) const { return property_count_[node]; }
+  uint32_t PropertyCount(EcsId node) const {
+    return property_count_[node.value()];
+  }
 
   void SerializeTo(std::string* out) const;
   static Result<EcsHierarchy> Deserialize(std::string_view data, size_t* pos);

@@ -17,11 +17,11 @@ EcsIndex EcsIndex::Build(const EcsExtraction& extraction,
 
   // Establish the partition storage order.
   idx.storage_order_.resize(n);
-  std::iota(idx.storage_order_.begin(), idx.storage_order_.end(), 0);
+  std::iota(idx.storage_order_.begin(), idx.storage_order_.end(), EcsId(0));
   if (!storage_rank.empty()) {
     std::sort(idx.storage_order_.begin(), idx.storage_order_.end(),
               [&storage_rank](EcsId a, EcsId b) {
-                return storage_rank[a] < storage_rank[b];
+                return storage_rank[a.value()] < storage_rank[b.value()];
               });
   }
 
@@ -33,7 +33,7 @@ EcsIndex EcsIndex::Build(const EcsExtraction& extraction,
     while (j < extraction.triples.size() && extraction.triples[j].ecs == id) {
       ++j;
     }
-    runs[id] = RowRange{i, j};
+    runs[id.value()] = RowRange{i, j};
     i = j;
   }
 
@@ -42,23 +42,23 @@ EcsIndex EcsIndex::Build(const EcsExtraction& extraction,
   idx.pso_.Reserve(extraction.triples.size());
   std::vector<std::pair<EcsId, RowRange>> range_entries;
   for (EcsId id : idx.storage_order_) {
-    const RowRange& run = runs[id];
+    const RowRange& run = runs[id.value()];
     uint64_t base = idx.pso_.size();
     TermId current_p = kInvalidId;
     for (uint64_t k = run.begin; k < run.end; ++k) {
       const EcsTriple& t = extraction.triples[k];
       if (t.p != current_p) {
         if (current_p != kInvalidId) {
-          idx.properties_[id].back().second.end = idx.pso_.size();
+          idx.properties_[id.value()].back().second.end = idx.pso_.size();
         }
-        idx.properties_[id].emplace_back(
+        idx.properties_[id.value()].emplace_back(
             t.p, RowRange{idx.pso_.size(), idx.pso_.size()});
         current_p = t.p;
       }
       idx.pso_.Append(t.s, t.p, t.o);
     }
     if (current_p != kInvalidId) {
-      idx.properties_[id].back().second.end = idx.pso_.size();
+      idx.properties_[id.value()].back().second.end = idx.pso_.size();
     }
     range_entries.emplace_back(id, RowRange{base, idx.pso_.size()});
   }
@@ -78,8 +78,8 @@ bool EcsIndex::HasProperty(EcsId id, TermId p) const {
 }
 
 RowRange EcsIndex::PropertyRange(EcsId id, TermId p) const {
-  if (id >= properties_.size()) return RowRange{};
-  for (const auto& [pred, range] : properties_[id]) {
+  if (id.value() >= properties_.size()) return RowRange{};
+  for (const auto& [pred, range] : properties_[id.value()]) {
     if (pred == p) return range;
   }
   return RowRange{};
@@ -88,14 +88,14 @@ RowRange EcsIndex::PropertyRange(EcsId id, TermId p) const {
 void EcsIndex::SerializeMetaTo(std::string* out) const {
   PutVarint64(out, sets_.size());
   for (const ExtendedCharacteristicSet& e : sets_) {
-    PutVarint32(out, e.subject_cs);
-    PutVarint32(out, e.object_cs);
+    PutVarintId(out, e.subject_cs);
+    PutVarintId(out, e.object_cs);
   }
-  for (EcsId id : storage_order_) PutVarint32(out, id);
+  for (EcsId id : storage_order_) PutVarintId(out, id);
   for (const auto& props : properties_) {
     PutVarint64(out, props.size());
     for (const auto& [p, range] : props) {
-      PutVarint32(out, p);
+      PutVarintId(out, p);
       PutVarint64(out, range.begin);
       PutVarint64(out, range.end);
     }
@@ -119,20 +119,20 @@ Result<EcsIndex> EcsIndex::DeserializeMeta(std::string_view data,
   EcsIndex idx;
   idx.sets_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    uint32_t scs = 0;
-    uint32_t ocs = 0;
-    if ((p = GetVarint32(p, limit, &scs)) == nullptr ||
-        (p = GetVarint32(p, limit, &ocs)) == nullptr) {
+    CsId scs;
+    CsId ocs;
+    if ((p = GetVarintId(p, limit, &scs)) == nullptr ||
+        (p = GetVarintId(p, limit, &ocs)) == nullptr) {
       return Status::Corruption("ecs index: set entry");
     }
     idx.sets_.push_back(
-        ExtendedCharacteristicSet{static_cast<EcsId>(i), scs, ocs});
+        ExtendedCharacteristicSet{EcsId(static_cast<uint32_t>(i)), scs, ocs});
   }
   idx.storage_order_.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
-    uint32_t id = 0;
-    p = GetVarint32(p, limit, &id);
-    if (p == nullptr || id >= n) {
+    EcsId id;
+    p = GetVarintId(p, limit, &id);
+    if (p == nullptr || id.value() >= n) {
       return Status::Corruption("ecs index: storage order");
     }
     idx.storage_order_[i] = id;
@@ -143,10 +143,10 @@ Result<EcsIndex> EcsIndex::DeserializeMeta(std::string_view data,
     p = GetVarint64(p, limit, &m);
     if (p == nullptr) return Status::Corruption("ecs index: property count");
     for (uint64_t j = 0; j < m; ++j) {
-      uint32_t pred = 0;
+      TermId pred;
       uint64_t begin = 0;
       uint64_t end = 0;
-      if ((p = GetVarint32(p, limit, &pred)) == nullptr ||
+      if ((p = GetVarintId(p, limit, &pred)) == nullptr ||
           (p = GetVarint64(p, limit, &begin)) == nullptr ||
           (p = GetVarint64(p, limit, &end)) == nullptr) {
         return Status::Corruption("ecs index: property entry");

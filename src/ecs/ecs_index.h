@@ -32,7 +32,9 @@ class EcsIndex {
   const TripleTable& pso() const { return pso_; }
 
   size_t num_sets() const { return sets_.size(); }
-  const ExtendedCharacteristicSet& set(EcsId id) const { return sets_[id]; }
+  const ExtendedCharacteristicSet& set(EcsId id) const {
+    return sets_[id.value()];
+  }
   std::span<const ExtendedCharacteristicSet> sets() const { return sets_; }
 
   /// Row range of an ECS partition in the PSO table.
@@ -42,7 +44,7 @@ class EcsIndex {
   /// ascending by row. The `.begin` of each entry is the paper's
   /// first-occurrence pointer.
   const std::vector<std::pair<TermId, RowRange>>& Properties(EcsId id) const {
-    return properties_[id];
+    return properties_[id.value()];
   }
 
   /// True if the ECS's triples contain predicate `p` (condition (7) of the

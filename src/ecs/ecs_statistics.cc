@@ -14,7 +14,7 @@ EcsStatistics EcsStatistics::Build(const EcsExtraction& extraction) {
   const auto& triples = extraction.triples;
   while (i < triples.size()) {
     EcsId ecs = triples[i].ecs;
-    EcsStats& s = out.stats_[ecs];
+    EcsStats& s = out.stats_[ecs.value()];
     std::unordered_set<TermId> subjects;
     std::unordered_set<TermId> objects;
     TermId last_p = kInvalidId;

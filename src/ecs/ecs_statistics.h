@@ -34,7 +34,7 @@ class EcsStatistics {
 
   static EcsStatistics Build(const EcsExtraction& extraction);
 
-  const EcsStats& Of(EcsId id) const { return stats_[id]; }
+  const EcsStats& Of(EcsId id) const { return stats_[id.value()]; }
   size_t size() const { return stats_.size(); }
 
   /// m_f,os(E): estimated output rows per input row of an object-subject
@@ -44,7 +44,7 @@ class EcsStatistics {
   /// when subject/object pairs are linked by a single property and bounds
   /// it otherwise.
   double MultiplicationFactorOs(EcsId id) const {
-    const EcsStats& s = stats_[id];
+    const EcsStats& s = stats_[id.value()];
     if (s.distinct_subjects == 0) return 0.0;
     return static_cast<double>(s.num_triples) /
            static_cast<double>(s.distinct_subjects);
@@ -53,7 +53,7 @@ class EcsStatistics {
   /// The symmetric factor for joins entering E through its *object* side
   /// (left-expansion of a chain): triples per distinct object.
   double MultiplicationFactorSo(EcsId id) const {
-    const EcsStats& s = stats_[id];
+    const EcsStats& s = stats_[id.value()];
     if (s.distinct_objects == 0) return 0.0;
     return static_cast<double>(s.num_triples) /
            static_cast<double>(s.distinct_objects);

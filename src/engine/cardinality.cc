@@ -11,7 +11,7 @@ double CardinalityEstimator::EstimateStarInCs(CsId cs,
   if (subjects <= 0) return 0.0;
   double estimate = subjects;
   for (uint32_t ordinal : query_cs.ToIndices()) {
-    TermId pred = cs_->properties().PredicateOf(ordinal);
+    TermId pred = cs_->properties().PredicateOf(PropOrdinal(ordinal));
     estimate *= static_cast<double>(cs_->PredicateCount(cs, pred)) / subjects;
   }
   return estimate;
@@ -104,7 +104,7 @@ Result<double> CardinalityEstimator::EstimateQuery(
     for (int pi : star) {
       if (qg.patterns[pi].p_bound()) {
         auto ord = cs_->properties().OrdinalOf(qg.patterns[pi].p);
-        if (ord.has_value()) star_only.Set(*ord);
+        if (ord.has_value()) star_only.Set(ord->value());
       }
     }
     bool in_chain = false;

@@ -284,7 +284,7 @@ Result<std::vector<std::vector<std::string>>> Database::Render(
     row.reserve(table.num_cols());
     for (size_t c = 0; c < table.num_cols(); ++c) {
       TermId id = table.at(r, c);
-      if (id == kInvalidId || id > dict_.size()) {
+      if (id == kInvalidId || id.value() > dict_.size()) {
         return Status::Internal("binding with invalid term id");
       }
       row.push_back(dict_.GetCanonical(id));

@@ -53,7 +53,8 @@ bool EcsMatcher::MatchesUncounted(const QueryGraph& qg, int query_ecs,
 std::vector<EcsId> EcsMatcher::MatchAll(const QueryGraph& qg,
                                         int query_ecs) const {
   std::vector<EcsId> out;
-  for (EcsId e = 0; e < ecs_->num_sets(); ++e) {
+  for (uint32_t i = 0; i < ecs_->num_sets(); ++i) {
+    EcsId e(i);
     if (Matches(qg, query_ecs, e)) out.push_back(e);
   }
   return out;
@@ -78,7 +79,7 @@ ChainMatch EcsMatcher::MatchChain(const QueryGraph& qg,
   // of the chain?".
   std::function<bool(EcsId, size_t)> try_match = [&](EcsId e,
                                                      size_t i) -> bool {
-    uint8_t& m = memo[e * k + i];
+    uint8_t& m = memo[e.value() * k + i];
     if (m != 0) return m == 2;
     if (!Matches(qg, chain[i], e)) {
       m = 1;
@@ -99,28 +100,30 @@ ChainMatch EcsMatcher::MatchChain(const QueryGraph& qg,
   // Algorithm 3: every ECS in the graph is a candidate starting point for
   // position 0; deeper positions are discovered through graph edges, and a
   // second sweep collects per-position survivors from the memo.
-  for (EcsId e = 0; e < n; ++e) try_match(e, 0);
+  for (uint32_t i0 = 0; i0 < n; ++i0) try_match(EcsId(i0), 0);
 
   // A data ECS is a valid match for position i>0 only if it both completes
   // the suffix (memo == 2) and is reachable from a valid match at position
   // i-1 via a graph edge.
   std::vector<bool> reachable(n, false);
-  for (EcsId e = 0; e < n; ++e) {
-    if (memo[e * k + 0] == 2) {
+  for (uint32_t i0 = 0; i0 < n; ++i0) {
+    EcsId e(i0);
+    if (memo[e.value() * k + 0] == 2) {
       result.position_matches[0].push_back(e);
-      reachable[e] = true;
+      reachable[e.value()] = true;
     }
   }
   for (size_t i = 1; i < k; ++i) {
     std::vector<bool> next(n, false);
-    for (EcsId e = 0; e < n; ++e) {
-      if (!reachable[e]) continue;
+    for (uint32_t e0 = 0; e0 < n; ++e0) {
+      EcsId e(e0);
+      if (!reachable[e0]) continue;
       for (EcsId child : graph_->Successors(e)) {
-        if (memo[child * k + i] == 2) next[child] = true;
+        if (memo[child.value() * k + i] == 2) next[child.value()] = true;
       }
     }
-    for (EcsId e = 0; e < n; ++e) {
-      if (next[e]) result.position_matches[i].push_back(e);
+    for (uint32_t e0 = 0; e0 < n; ++e0) {
+      if (next[e0]) result.position_matches[i].push_back(EcsId(e0));
     }
     reachable = std::move(next);
   }

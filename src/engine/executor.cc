@@ -361,9 +361,11 @@ Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
       objects += s.distinct_objects;
     }
     mf_s[qi] = subjects == 0 ? 1.0
-                             : static_cast<double>(triples) / subjects;
+                             : static_cast<double>(triples) /
+                                   static_cast<double>(subjects);
     mf_o[qi] = objects == 0 ? 1.0
-                            : static_cast<double>(triples) / objects;
+                            : static_cast<double>(triples) /
+                                  static_cast<double>(objects);
   }
 
   // With the planner on, the next ECS is the pending one minimizing the

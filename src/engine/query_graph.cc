@@ -119,7 +119,7 @@ Result<QueryGraph> BuildQueryGraph(const SelectQuery& query,
         g.impossible = true;
         return g;
       }
-      g.nodes[g.pattern_subject_[i]].star_bitmap.Set(*ord);
+      g.nodes[g.pattern_subject_[i]].star_bitmap.Set(ord->value());
     }
   }
 

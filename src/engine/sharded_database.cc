@@ -17,7 +17,7 @@ namespace {
 
 // Subject-hash shard assignment.
 inline uint32_t ShardOf(TermId subject, size_t num_shards) {
-  return static_cast<uint32_t>(Mix64(subject) % num_shards);
+  return static_cast<uint32_t>(Mix64(subject.value()) % num_shards);
 }
 
 // Appends src's rows to dst, mapping columns by name.

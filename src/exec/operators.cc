@@ -16,7 +16,7 @@ namespace {
 struct RowKeyHash {
   size_t operator()(const std::vector<TermId>& key) const {
     uint64_t h = 0x243f6a8885a308d3ULL;
-    for (TermId id : key) h = HashCombine(h, id);
+    for (TermId id : key) h = HashCombine(h, id.value());
     return static_cast<size_t>(h);
   }
 };

@@ -49,7 +49,7 @@ TermId Dictionary::InternCanonical(const std::string& canonical) {
   auto [prefix, suffix] = SplitPrefix(canonical);
   prefix_ids_.push_back(InternPrefix(prefix));
   suffixes_.emplace_back(suffix);
-  TermId id = static_cast<TermId>(suffixes_.size());  // ids start at 1
+  TermId id(static_cast<uint32_t>(suffixes_.size()));  // ids start at 1
   term_map_.emplace(canonical, id);
   return id;
 }
@@ -66,13 +66,14 @@ std::optional<TermId> Dictionary::LookupCanonical(
 }
 
 std::string Dictionary::GetCanonical(TermId id) const {
-  size_t i = id - 1;
+  size_t i = id.value() - 1;
   return prefixes_[prefix_ids_[i]] + suffixes_[i];
 }
 
 Result<Term> Dictionary::GetTerm(TermId id) const {
-  if (id == kInvalidId || id > suffixes_.size()) {
-    return Status::OutOfRange("term id out of range: " + std::to_string(id));
+  if (id == kInvalidId || id.value() > suffixes_.size()) {
+    return Status::OutOfRange("term id out of range: " +
+                              std::to_string(id.value()));
   }
   return Term::FromCanonical(GetCanonical(id));
 }
@@ -94,11 +95,13 @@ Status Dictionary::Serialize(std::string* out) const {
   // binary-search this without materializing a hash map; we also use it to
   // verify integrity on load.
   std::vector<TermId> order(suffixes_.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<TermId>(i + 1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = TermId(static_cast<uint32_t>(i + 1));
+  }
   std::sort(order.begin(), order.end(), [this](TermId a, TermId b) {
     return GetCanonical(a) < GetCanonical(b);
   });
-  for (TermId id : order) PutFixed32(out, id);
+  for (TermId id : order) PutFixed32(out, id.value());
   return Status::OK();
 }
 
@@ -148,8 +151,8 @@ Result<Dictionary> Dictionary::Deserialize(std::string_view data) {
     dict.prefix_ids_.push_back(prefix_id);
     dict.suffixes_.emplace_back(p, len);
     p += len;
-    dict.term_map_.emplace(dict.GetCanonical(static_cast<TermId>(i + 1)),
-                           static_cast<TermId>(i + 1));
+    TermId id(static_cast<uint32_t>(i + 1));
+    dict.term_map_.emplace(dict.GetCanonical(id), id);
   }
 
   // Validate the clustered section.
@@ -158,9 +161,9 @@ Result<Dictionary> Dictionary::Deserialize(std::string_view data) {
   }
   std::string prev;
   for (uint64_t i = 0; i < num_terms; ++i) {
-    TermId id = DecodeFixed32(p);
+    TermId id(DecodeFixed32(p));
     p += 4;
-    if (id == kInvalidId || id > num_terms) {
+    if (id == kInvalidId || id.value() > num_terms) {
       return Status::Corruption("dictionary: order id out of range");
     }
     std::string cur = dict.GetCanonical(id);

@@ -9,20 +9,36 @@
 #include <tuple>
 #include <vector>
 
+#include "util/strong_id.h"
+
 namespace axon {
 
+// Tag types for the engine's id spaces. Each space gets its own StrongId
+// instantiation, so the compiler rejects any cross-space mix-up (a CsId
+// where an EcsId belongs, a term id where a CS id belongs, ...).
+struct TermIdTag {};
+struct CsIdTag {};
+struct EcsIdTag {};
+struct PropOrdinalTag {};
+
 /// Dense term id. Id 0 is reserved as "invalid / unbound".
-using TermId = uint32_t;
-constexpr TermId kInvalidId = 0;
+using TermId = StrongId<TermIdTag>;
+inline constexpr TermId kInvalidId{0};
 
 /// Characteristic-set id. kNoCs marks subjects whose CS has not been
 /// assigned yet, and objects with no outgoing edges ("empty CS").
-using CsId = uint32_t;
-constexpr CsId kNoCs = UINT32_MAX;
+using CsId = StrongId<CsIdTag>;
+inline constexpr CsId kNoCs{UINT32_MAX};
 
 /// Extended-characteristic-set id.
-using EcsId = uint32_t;
-constexpr EcsId kNoEcs = UINT32_MAX;
+using EcsId = StrongId<EcsIdTag>;
+inline constexpr EcsId kNoEcs{UINT32_MAX};
+
+/// Dense property ordinal in PropertyRegistry first-appearance order — the
+/// bit position of a property in every CS bitmap. Distinct from the
+/// predicate's TermId on purpose: bitmaps are indexed by ordinal, the
+/// dictionary by term id, and confusing the two was previously silent.
+using PropOrdinal = StrongId<PropOrdinalTag>;
 
 struct Triple {
   TermId s = kInvalidId;

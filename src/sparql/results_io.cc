@@ -131,7 +131,7 @@ Result<std::string> WriteResults(const BindingTable& table,
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_cols(); ++c) {
       TermId id = table.at(r, c);
-      if (id == kInvalidId || id > dict.size()) {
+      if (id == kInvalidId || id.value() > dict.size()) {
         return Status::InvalidArgument("binding holds an invalid term id");
       }
     }

@@ -49,11 +49,12 @@ RowRange TripleTable::EqualRange(Permutation perm, TermId major, TermId mid,
   std::span<const Triple> all = rows();
   // Build lower/upper probe keys: bound components fixed, unbound components
   // span [0, UINT32_MAX].
-  std::array<TermId, 3> lo_key = {major, mid == kInvalidId ? 0 : mid,
-                                  minor == kInvalidId ? 0 : minor};
-  std::array<TermId, 3> hi_key = {major,
-                                  mid == kInvalidId ? UINT32_MAX : mid,
-                                  minor == kInvalidId ? UINT32_MAX : minor};
+  constexpr TermId kMinTerm{0};
+  constexpr TermId kMaxTerm{UINT32_MAX};
+  std::array<TermId, 3> lo_key = {major, mid == kInvalidId ? kMinTerm : mid,
+                                  minor == kInvalidId ? kMinTerm : minor};
+  std::array<TermId, 3> hi_key = {major, mid == kInvalidId ? kMaxTerm : mid,
+                                  minor == kInvalidId ? kMaxTerm : minor};
   auto cmp = [perm](const Triple& t, const std::array<TermId, 3>& key) {
     return PermutationKey(perm, t) < key;
   };

@@ -54,7 +54,8 @@ JsonValue Histogram::ToJson() const {
   uint64_t n = count();
   out["count"] = n;
   out["sum"] = sum();
-  out["mean"] = n == 0 ? 0.0 : static_cast<double>(sum()) / n;
+  out["mean"] =
+      n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
   out["max"] = max();
   out["p50"] = Quantile(0.50);
   out["p90"] = Quantile(0.90);

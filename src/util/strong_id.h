@@ -1,0 +1,103 @@
+// Zero-cost strong id types for the engine's dictionary-encoded id spaces.
+//
+// Every dense identifier in the system (term ids, characteristic-set ids,
+// extended-characteristic-set ids, property ordinals) is a 32-bit integer,
+// and before this header they were all mutually-convertible uint32_t
+// aliases. A CsId passed where an EcsId belongs silently corrupts the ECS
+// graph adjacency and hierarchy lattices (paper Sec. III.C-D) — the class of
+// bug this template makes a compile error. StrongId<Tag> wraps a uint32_t
+// with *explicit* construction and no cross-tag conversions, so mixing id
+// spaces fails to compile (see tests/negative_compile/), while staying a
+// trivially-copyable 4-byte value type that optimizes to the bare integer.
+
+#ifndef AXON_UTIL_STRONG_ID_H_
+#define AXON_UTIL_STRONG_ID_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+#include "util/varint.h"
+
+namespace axon {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = uint32_t;
+
+  /// Default-constructs to 0. For id spaces whose sentinel is not 0 (CsId,
+  /// EcsId use UINT32_MAX) prefer the named sentinel constants.
+  constexpr StrongId() = default;
+
+  /// Construction from the raw integer is always explicit: the boundary
+  /// between "just a number" and "an id of this space" must be visible.
+  explicit constexpr StrongId(uint32_t v) : v_(v) {}
+
+  /// The raw value, for serialization, indexing and packing into composite
+  /// keys. Call sites using value() are exactly the audited boundaries
+  /// where an id leaves its typed space.
+  constexpr uint32_t value() const { return v_; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  /// Ordinal iteration over a dense id space (`for (TermId i(1); i <= max;
+  /// ++i)`). Stays within the tag, so it cannot leak across id spaces.
+  constexpr StrongId& operator++() {
+    ++v_;
+    return *this;
+  }
+
+ private:
+  uint32_t v_ = 0;
+};
+
+/// Streams as the raw value (diagnostics, gtest failure messages).
+template <typename Tag>
+inline std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << id.value();
+}
+
+// The whole point of the wrapper is that it costs nothing: same size,
+// alignment and copy semantics as the bare uint32_t it replaces.
+namespace strong_id_internal {
+struct CheckTag {};
+static_assert(sizeof(StrongId<CheckTag>) == 4);
+static_assert(alignof(StrongId<CheckTag>) == 4);
+static_assert(std::is_trivially_copyable_v<StrongId<CheckTag>>);
+static_assert(std::is_trivially_destructible_v<StrongId<CheckTag>>);
+}  // namespace strong_id_internal
+
+/// Varint serialization helpers; the typed counterparts of
+/// PutVarint32/GetVarint32 used by every on-disk section that stores ids.
+template <typename Tag>
+inline void PutVarintId(std::string* out, StrongId<Tag> id) {
+  PutVarint32(out, id.value());
+}
+
+template <typename Tag>
+inline const char* GetVarintId(const char* p, const char* limit,
+                               StrongId<Tag>* out) {
+  uint32_t raw = 0;
+  p = GetVarint32(p, limit, &raw);
+  if (p != nullptr) *out = StrongId<Tag>(raw);
+  return p;
+}
+
+}  // namespace axon
+
+/// Hashes like the underlying integer, so unordered containers keyed by a
+/// strong id behave identically to the pre-migration uint32_t maps.
+template <typename Tag>
+struct std::hash<axon::StrongId<Tag>> {
+  size_t operator()(axon::StrongId<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+
+#endif  // AXON_UTIL_STRONG_ID_H_

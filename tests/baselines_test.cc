@@ -46,19 +46,19 @@ TEST_F(BaselinesTest, AllEnginesAnswerTheFig1Query) {
 
 TEST_F(BaselinesTest, PermutationChoiceUsesBoundPrefix) {
   IdPattern p;
-  p.s = 1;
+  p.s = TermId(1);
   EXPECT_EQ(SixPermEngine::ChoosePermutation(p), Permutation::kSpo);
-  p.o = 2;
+  p.o = TermId(2);
   EXPECT_EQ(SixPermEngine::ChoosePermutation(p), Permutation::kSop);
-  p.p = 3;
+  p.p = TermId(3);
   EXPECT_EQ(SixPermEngine::ChoosePermutation(p), Permutation::kSpo);
   IdPattern q;
-  q.p = 1;
+  q.p = TermId(1);
   EXPECT_EQ(SixPermEngine::ChoosePermutation(q), Permutation::kPso);
-  q.o = 2;
+  q.o = TermId(2);
   EXPECT_EQ(SixPermEngine::ChoosePermutation(q), Permutation::kPos);
   IdPattern r;
-  r.o = 1;
+  r.o = TermId(1);
   EXPECT_EQ(SixPermEngine::ChoosePermutation(r), Permutation::kOsp);
   IdPattern none;
   EXPECT_EQ(SixPermEngine::ChoosePermutation(none), Permutation::kSpo);

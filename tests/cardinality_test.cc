@@ -29,7 +29,7 @@ class CardinalityFig1Test : public ::testing::Test {
     Bitmap b(db_->cs_index().properties().size());
     for (const char* p : preds) {
       TermId id = *db_->dict().Lookup(testutil::Ex(p));
-      b.Set(*db_->cs_index().properties().OrdinalOf(id));
+      b.Set(db_->cs_index().properties().OrdinalOf(id)->value());
     }
     return b;
   }
@@ -149,7 +149,7 @@ TEST_P(CardinalityLubmTest, QErrorWithinBound) {
 INSTANTIATE_TEST_SUITE_P(ModifiedQueries, CardinalityLubmTest,
                          ::testing::Values("Q1", "Q2", "Q3", "Q6", "Q7",
                                            "Q8"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& name_info) { return name_info.param; });
 
 // Cyclic queries (Q9's hasAlumnus back-edge closes a cycle) are the known
 // weak spot of independence-based estimation: factors multiply as if the

@@ -60,17 +60,17 @@ TEST_F(CsFig1Test, GroupsSubjectsAsInFigure1) {
 
 TEST_F(CsFig1Test, BitmapsMatchTheEmittedProperties) {
   const PropertyRegistry& props = extraction_.properties;
-  const Bitmap& s1 = extraction_.sets[CsOf("John")].properties;
+  const Bitmap& s1 = extraction_.sets[CsOf("John").value()].properties;
   for (const char* p : {"name", "origin", "birthday", "worksFor"}) {
-    EXPECT_TRUE(s1.Test(*props.OrdinalOf(Id(p)))) << p;
+    EXPECT_TRUE(s1.Test(props.OrdinalOf(Id(p))->value())) << p;
   }
   EXPECT_EQ(s1.Count(), 4u);
   // S2 = S1 + marriedTo: Fig. 4's subset relation S1 ⊂ S2.
-  const Bitmap& s2 = extraction_.sets[CsOf("Jack")].properties;
+  const Bitmap& s2 = extraction_.sets[CsOf("Jack").value()].properties;
   EXPECT_TRUE(s1.IsSubsetOf(s2));
   EXPECT_EQ(s2.Count(), 5u);
   // Mike's S4 = {position} only.
-  EXPECT_EQ(extraction_.sets[CsOf("Mike")].properties.Count(), 1u);
+  EXPECT_EQ(extraction_.sets[CsOf("Mike").value()].properties.Count(), 1u);
 }
 
 TEST_F(CsFig1Test, ObjectsWithoutEdgesHaveNoCs) {
@@ -95,7 +95,7 @@ TEST_F(CsFig1Test, TriplesSortedByCsThenSubject) {
 TEST_F(CsFig1Test, PropertyRegistryUsesFirstAppearanceOrder) {
   // "name" is the predicate of the very first input triple.
   EXPECT_EQ(extraction_.properties.OrdinalOf(Id("name")),
-            std::optional<uint32_t>(0u));
+            std::optional<PropOrdinal>(PropOrdinal(0)));
   EXPECT_EQ(extraction_.properties.size(), 11u);
 }
 
@@ -144,20 +144,20 @@ TEST_F(CsIndexFig1Test, MatchSupersetsImplementsStarMatching) {
   const PropertyRegistry& props = index_.properties();
   // {name, worksFor} is emitted by S1 and S2 subjects.
   Bitmap q;
-  q.Set(*props.OrdinalOf(Id("name")));
-  q.Set(*props.OrdinalOf(Id("worksFor")));
+  q.Set(props.OrdinalOf(Id("name"))->value());
+  q.Set(props.OrdinalOf(Id("worksFor"))->value());
   auto matches = index_.MatchSupersets(q);
   EXPECT_EQ(matches.size(), 2u);
   // {label} is emitted by RadioCom (S3) and UKRegistry (S5).
   Bitmap q2;
-  q2.Set(*props.OrdinalOf(Id("label")));
+  q2.Set(props.OrdinalOf(Id("label"))->value());
   EXPECT_EQ(index_.MatchSupersets(q2).size(), 2u);
   // Empty query CS matches every CS.
   EXPECT_EQ(index_.MatchSupersets(Bitmap()).size(), 5u);
   // {marriedTo, position} is emitted by nobody.
   Bitmap q3;
-  q3.Set(*props.OrdinalOf(Id("marriedTo")));
-  q3.Set(*props.OrdinalOf(Id("position")));
+  q3.Set(props.OrdinalOf(Id("marriedTo"))->value());
+  q3.Set(props.OrdinalOf(Id("position"))->value());
   EXPECT_TRUE(index_.MatchSupersets(q3).empty());
 }
 
@@ -194,7 +194,7 @@ TEST_F(CsIndexFig1Test, PredicateCountsPerCs) {
   EXPECT_EQ(index_.PredicateCount(s2, Id("marriedTo")), 1u);
   // Entries are sorted by predicate id and sum to the partition size.
   uint64_t total = 0;
-  TermId last = 0;
+  TermId last;
   for (const auto& [p, c] : index_.PredicateCounts(s1)) {
     EXPECT_GT(p, last);
     last = p;
@@ -225,10 +225,10 @@ TEST_P(CsPropertyTest, PartitionInvariants) {
   EXPECT_EQ(ext.subject_cs.size(), emitted.size());
   for (const auto& [s, preds] : emitted) {
     ASSERT_TRUE(ext.subject_cs.count(s));
-    const Bitmap& bm = ext.sets[ext.subject_cs.at(s)].properties;
+    const Bitmap& bm = ext.sets[ext.subject_cs.at(s).value()].properties;
     EXPECT_EQ(bm.Count(), preds.size());
     for (TermId p : preds) {
-      EXPECT_TRUE(bm.Test(*ext.properties.OrdinalOf(p)));
+      EXPECT_TRUE(bm.Test(ext.properties.OrdinalOf(p)->value()));
     }
   }
 
@@ -260,9 +260,10 @@ TEST(CsExtractorTest, EmptyInput) {
 }
 
 TEST(CsExtractorTest, SingleTriple) {
-  CsExtraction ext = ExtractCharacteristicSets({{1, 2, 3, kNoCs}});
+  CsExtraction ext = ExtractCharacteristicSets(
+      {LoadTriple{TermId(1), TermId(2), TermId(3), kNoCs}});
   ASSERT_EQ(ext.sets.size(), 1u);
-  EXPECT_EQ(ext.triples[0].cs, 0u);
+  EXPECT_EQ(ext.triples[0].cs, CsId(0));
   EXPECT_EQ(ext.sets[0].properties.Count(), 1u);
 }
 

@@ -40,7 +40,7 @@ TEST(LubmGeneratorTest, ScalesLinearlyWithUniversities) {
   size_t s1 = GenerateLubmDataset(one).triples.size();
   size_t s4 = GenerateLubmDataset(four).triples.size();
   EXPECT_GT(s1, 1000u);
-  EXPECT_NEAR(static_cast<double>(s4) / s1, 4.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(s4) / static_cast<double>(s1), 4.0, 0.5);
 }
 
 TEST(LubmGeneratorTest, EmitsSubclassClosure) {
@@ -112,8 +112,8 @@ TEST(ReactomeGeneratorTest, ProducesLongChains) {
   // (pathway -> pathway -> reaction -> entity -> reference).
   const EcsGraph& g = db.value().ecs_graph();
   bool found_long = false;
-  for (EcsId e = 0; e < g.num_nodes() && !found_long; ++e) {
-    if (!g.PathsFrom(e, 4, 5).empty()) found_long = true;
+  for (uint32_t i = 0; i < g.num_nodes() && !found_long; ++i) {
+    if (!g.PathsFrom(EcsId(i), 4, 5).empty()) found_long = true;
   }
   EXPECT_TRUE(found_long) << "no ECS chain of length 4 found";
 }

@@ -81,7 +81,7 @@ TEST_F(EcsFig1Test, PsoTableHoldsOnlyValidEcsTriples) {
 
 TEST_F(EcsFig1Test, TriplesAreTaggedWithTheirEcs) {
   for (const EcsTriple& t : ecs_.triples) {
-    const auto& e = ecs_.sets[t.ecs];
+    const auto& e = ecs_.sets[t.ecs.value()];
     EXPECT_EQ(e.subject_cs, cs_.subject_cs.at(t.s));
     EXPECT_EQ(e.object_cs, cs_.subject_cs.at(t.o));
   }
@@ -95,10 +95,10 @@ TEST_F(EcsFig1Test, LinksMatchTheEcsGraphOfFigure1) {
   EcsId e3 = EcsOf("RadioCom", "Mike");
   EcsId e4 = EcsOf("RadioCom", "UKRegistry");
   std::vector<EcsId> expect = {std::min(e3, e4), std::max(e3, e4)};
-  EXPECT_EQ(ecs_.links[e1], expect);
-  EXPECT_EQ(ecs_.links[e2], expect);
-  EXPECT_TRUE(ecs_.links[e3].empty());
-  EXPECT_TRUE(ecs_.links[e4].empty());
+  EXPECT_EQ(ecs_.links[e1.value()], expect);
+  EXPECT_EQ(ecs_.links[e2.value()], expect);
+  EXPECT_TRUE(ecs_.links[e3.value()].empty());
+  EXPECT_TRUE(ecs_.links[e4.value()].empty());
 }
 
 TEST_F(EcsFig1Test, PairwiseAlgorithmProducesIdenticalResult) {
@@ -125,7 +125,7 @@ TEST_F(EcsFig1Test, GraphTraversals) {
 }
 
 TEST(EcsGraphTest, SerializeRoundTrip) {
-  EcsGraph g({{1, 2}, {2}, {}});
+  EcsGraph g({{EcsId(1), EcsId(2)}, {EcsId(2)}, {}});
   std::string buf;
   g.SerializeTo(&buf);
   size_t pos = 0;
@@ -137,10 +137,10 @@ TEST(EcsGraphTest, SerializeRoundTrip) {
 
 TEST(EcsGraphTest, PathsRespectSimplePathLimit) {
   // A 2-cycle: 0 <-> 1. Simple paths cannot revisit.
-  EcsGraph g({{1}, {0}});
-  auto paths = g.PathsFrom(0, 3);
+  EcsGraph g({{EcsId(1)}, {EcsId(0)}});
+  auto paths = g.PathsFrom(EcsId(0), 3);
   EXPECT_TRUE(paths.empty());
-  EXPECT_EQ(g.PathsFrom(0, 1).size(), 1u);
+  EXPECT_EQ(g.PathsFrom(EcsId(0), 1).size(), 1u);
 }
 
 // ------------------------------------------------------------- Hierarchy
@@ -174,7 +174,7 @@ TEST_F(EcsFig1Test, PreOrderPlacesFamiliesAdjacent) {
   // StorageRank is the inverse permutation.
   auto rank = h.StorageRank();
   for (size_t i = 0; i < order.size(); ++i) {
-    EXPECT_EQ(rank[order[i]], i);
+    EXPECT_EQ(rank[order[i].value()], i);
   }
 }
 
@@ -187,9 +187,9 @@ TEST_F(EcsFig1Test, HierarchySerializeRoundTrip) {
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back.value().PreOrder(), h.PreOrder());
   EXPECT_EQ(back.value().Roots(), h.Roots());
-  for (EcsId i = 0; i < h.num_nodes(); ++i) {
-    EXPECT_EQ(back.value().Children(i), h.Children(i));
-    EXPECT_EQ(back.value().PropertyCount(i), h.PropertyCount(i));
+  for (uint32_t i = 0; i < h.num_nodes(); ++i) {
+    EXPECT_EQ(back.value().Children(EcsId(i)), h.Children(EcsId(i)));
+    EXPECT_EQ(back.value().PropertyCount(EcsId(i)), h.PropertyCount(EcsId(i)));
   }
 }
 
@@ -226,8 +226,8 @@ TEST_F(EcsFig1Test, StatisticsSerializeRoundTrip) {
   auto back = EcsStatistics::Deserialize(buf, &pos);
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back.value().size(), stats.size());
-  for (EcsId i = 0; i < stats.size(); ++i) {
-    EXPECT_EQ(back.value().Of(i), stats.Of(i));
+  for (uint32_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(back.value().Of(EcsId(i)), stats.Of(EcsId(i)));
   }
 }
 
@@ -338,10 +338,10 @@ TEST_P(EcsPropertyTest, EveryValidTripleInExactlyOneEcs) {
   }
 
   // Links are sound and complete at the CS level.
-  for (EcsId a = 0; a < ecs.sets.size(); ++a) {
-    for (EcsId b = 0; b < ecs.sets.size(); ++b) {
+  for (uint32_t a = 0; a < ecs.sets.size(); ++a) {
+    for (uint32_t b = 0; b < ecs.sets.size(); ++b) {
       bool linked = std::binary_search(ecs.links[a].begin(),
-                                       ecs.links[a].end(), b);
+                                       ecs.links[a].end(), EcsId(b));
       bool expected_link =
           ecs.sets[a].object_cs == ecs.sets[b].subject_cs;
       EXPECT_EQ(linked, expected_link) << a << "->" << b;
@@ -363,13 +363,15 @@ TEST_P(EcsPropertyTest, HierarchyIsAcyclicAndEdgesAreImmediate) {
   std::set<EcsId> unique(h.PreOrder().begin(), h.PreOrder().end());
   EXPECT_EQ(unique.size(), ecs.sets.size());
 
-  for (EcsId parent = 0; parent < h.num_nodes(); ++parent) {
+  for (uint32_t pi = 0; pi < h.num_nodes(); ++pi) {
+    EcsId parent(pi);
     for (EcsId child : h.Children(parent)) {
       // Edge soundness: parent generalizes child, strictly fewer props.
       EXPECT_TRUE(h.IsGeneralization(parent, child));
       EXPECT_LT(h.PropertyCount(parent), h.PropertyCount(child));
       // Immediacy: no intermediate node between parent and child.
-      for (EcsId mid = 0; mid < h.num_nodes(); ++mid) {
+      for (uint32_t mi = 0; mi < h.num_nodes(); ++mi) {
+        EcsId mid(mi);
         if (mid == parent || mid == child) continue;
         EXPECT_FALSE(h.IsGeneralization(parent, mid) &&
                      h.IsGeneralization(mid, child))
@@ -393,12 +395,13 @@ TEST(EcsExtractorTest, EmptyInput) {
 
 TEST(EcsExtractorTest, SelfLoopTripleFormsEcs) {
   // n1 -p-> n1 where n1 emits: subject CS == object CS.
-  CsExtraction cs = ExtractCharacteristicSets({{1, 2, 1, kNoCs}});
+  CsExtraction cs = ExtractCharacteristicSets(
+      {LoadTriple{TermId(1), TermId(2), TermId(1), kNoCs}});
   EcsExtraction ecs = ExtractExtendedCharacteristicSets(cs);
   ASSERT_EQ(ecs.sets.size(), 1u);
   EXPECT_EQ(ecs.sets[0].subject_cs, ecs.sets[0].object_cs);
   // The ECS links to itself (its object CS starts itself).
-  EXPECT_EQ(ecs.links[0], std::vector<EcsId>{0});
+  EXPECT_EQ(ecs.links[0], std::vector<EcsId>{EcsId(0)});
 }
 
 }  // namespace

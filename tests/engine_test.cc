@@ -157,12 +157,12 @@ INSTANTIATE_TEST_SUITE_P(
                       MakeOptions(true, true, false),
                       MakeOptions(true, true, true),
                       MakeOptions(true, true, false, /*merge_scan=*/false)),
-    [](const ::testing::TestParamInfo<EngineOptions>& info) {
-      std::string name = info.param.ConfigName();
+    [](const ::testing::TestParamInfo<EngineOptions>& name_info) {
+      std::string name = name_info.param.ConfigName();
       std::replace(name.begin(), name.end(), '-', '_');
       std::replace(name.begin(), name.end(), '+', 'P');
-      if (info.param.skip_redundant_star_retrieval) name += "_skipstars";
-      if (!info.param.use_star_merge_scan) name += "_nomerge";
+      if (name_info.param.skip_redundant_star_retrieval) name += "_skipstars";
+      if (!name_info.param.use_star_merge_scan) name += "_nomerge";
       return name;
     });
 

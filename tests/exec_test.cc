@@ -9,10 +9,27 @@ namespace axon {
 namespace {
 
 BindingTable Table(std::vector<std::string> vars,
-                   std::vector<std::vector<TermId>> rows) {
+                   std::vector<std::vector<uint32_t>> rows) {
   BindingTable t(std::move(vars));
-  for (const auto& r : rows) t.AppendRow(r);
+  for (const auto& r : rows) {
+    std::vector<TermId> ids;
+    ids.reserve(r.size());
+    for (uint32_t v : r) ids.emplace_back(v);
+    t.AppendRow(ids);
+  }
   return t;
+}
+
+// Expected-row literal (raw numbers are only ever typed here, in tests).
+std::vector<TermId> Ids(std::initializer_list<uint32_t> vs) {
+  std::vector<TermId> out;
+  out.reserve(vs.size());
+  for (uint32_t v : vs) out.emplace_back(v);
+  return out;
+}
+
+Triple T(uint32_t s, uint32_t pr, uint32_t o) {
+  return Triple{TermId(s), TermId(pr), TermId(o)};
 }
 
 // ---------------------------------------------------------- BindingTable
@@ -21,10 +38,10 @@ TEST(BindingTableTest, BasicAccess) {
   BindingTable t = Table({"x", "y"}, {{1, 2}, {3, 4}});
   EXPECT_EQ(t.num_rows(), 2u);
   EXPECT_EQ(t.num_cols(), 2u);
-  EXPECT_EQ(t.at(1, 0), 3u);
+  EXPECT_EQ(t.at(1, 0), TermId(3));
   EXPECT_EQ(t.ColumnIndex("y"), 1);
   EXPECT_EQ(t.ColumnIndex("z"), -1);
-  EXPECT_EQ(t.row(0)[1], 2u);
+  EXPECT_EQ(t.row(0)[1], TermId(2));
 }
 
 TEST(BindingTableTest, NullaryTableSemantics) {
@@ -38,8 +55,8 @@ TEST(BindingTableTest, CanonicalRowsSortAndProject) {
   BindingTable t = Table({"x", "y"}, {{3, 4}, {1, 2}});
   auto rows = t.CanonicalRows({"y", "x"});
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0], (std::vector<TermId>{2, 1}));
-  EXPECT_EQ(rows[1], (std::vector<TermId>{4, 3}));
+  EXPECT_EQ(rows[0], Ids({2, 1}));
+  EXPECT_EQ(rows[1], Ids({4, 3}));
   // Missing columns become kInvalidId.
   auto with_missing = t.CanonicalRows({"z"});
   EXPECT_EQ(with_missing[0], (std::vector<TermId>{kInvalidId}));
@@ -48,11 +65,12 @@ TEST(BindingTableTest, CanonicalRowsSortAndProject) {
 // ----------------------------------------------------------- ScanPattern
 
 TEST(ScanPatternTest, BoundFilteringAndColumns) {
-  std::vector<Triple> triples = {{1, 10, 2}, {1, 10, 3}, {2, 10, 3}, {1, 11, 2}};
+  std::vector<Triple> triples = {T(1, 10, 2), T(1, 10, 3), T(2, 10, 3),
+                                 T(1, 11, 2)};
   IdPattern p;
-  p.s = 1;
+  p.s = TermId(1);
   p.s_var = "s";
-  p.p = 10;
+  p.p = TermId(10);
   p.o_var = "o";
   ExecStats stats;
   BindingTable t = ScanPattern(triples, p, &stats);
@@ -63,7 +81,7 @@ TEST(ScanPatternTest, BoundFilteringAndColumns) {
 }
 
 TEST(ScanPatternTest, AllVariables) {
-  std::vector<Triple> triples = {{1, 10, 2}, {2, 11, 3}};
+  std::vector<Triple> triples = {T(1, 10, 2), T(2, 11, 3)};
   IdPattern p;
   p.s_var = "s";
   p.p_var = "p";
@@ -74,20 +92,20 @@ TEST(ScanPatternTest, AllVariables) {
 }
 
 TEST(ScanPatternTest, RepeatedVariableEnforcesEquality) {
-  std::vector<Triple> triples = {{1, 10, 1}, {1, 10, 2}, {3, 10, 3}};
+  std::vector<Triple> triples = {T(1, 10, 1), T(1, 10, 2), T(3, 10, 3)};
   IdPattern p;
   p.s_var = "x";
-  p.p = 10;
+  p.p = TermId(10);
   p.o_var = "x";
   BindingTable t = ScanPattern(triples, p, nullptr);
   EXPECT_EQ(t.vars(), (std::vector<std::string>{"x"}));
   ASSERT_EQ(t.num_rows(), 2u);
-  EXPECT_EQ(t.at(0, 0), 1u);
-  EXPECT_EQ(t.at(1, 0), 3u);
+  EXPECT_EQ(t.at(0, 0), TermId(1));
+  EXPECT_EQ(t.at(1, 0), TermId(3));
 }
 
 TEST(ScanPatternTest, AnonymousPositionsScannedButNotOutput) {
-  std::vector<Triple> triples = {{1, 10, 2}};
+  std::vector<Triple> triples = {T(1, 10, 2)};
   IdPattern p;
   p.s_var = "s";
   // p and o unbound with empty var names: wildcard, no columns.
@@ -106,9 +124,9 @@ TEST(HashJoinTest, NaturalJoinOnSharedColumn) {
   EXPECT_EQ(j.num_rows(), 3u);  // (1,10)x2 + (3,30)
   EXPECT_EQ(stats.joins, 1u);
   auto rows = j.CanonicalRows({"x", "y", "z"});
-  EXPECT_EQ(rows[0], (std::vector<TermId>{1, 10, 100}));
-  EXPECT_EQ(rows[1], (std::vector<TermId>{1, 10, 101}));
-  EXPECT_EQ(rows[2], (std::vector<TermId>{3, 30, 300}));
+  EXPECT_EQ(rows[0], Ids({1, 10, 100}));
+  EXPECT_EQ(rows[1], Ids({1, 10, 101}));
+  EXPECT_EQ(rows[2], Ids({3, 30, 300}));
 }
 
 TEST(HashJoinTest, MultiColumnKey) {
@@ -117,7 +135,7 @@ TEST(HashJoinTest, MultiColumnKey) {
   BindingTable j = HashJoin(l, r, nullptr);
   ASSERT_EQ(j.num_rows(), 1u);
   EXPECT_EQ(j.CanonicalRows({"a", "b", "c"})[0],
-            (std::vector<TermId>{1, 2, 9}));
+            Ids({1, 2, 9}));
 }
 
 TEST(HashJoinTest, CrossProductWhenDisjoint) {
@@ -153,9 +171,9 @@ TEST(HashJoinTest, NullaryIdentity) {
 
 TEST(FilterEqualsTest, KeepsMatchingRows) {
   BindingTable t = Table({"x", "y"}, {{1, 5}, {2, 5}, {1, 6}});
-  BindingTable f = FilterEquals(t, "x", 1, nullptr);
+  BindingTable f = FilterEquals(t, "x", TermId(1), nullptr);
   EXPECT_EQ(f.num_rows(), 2u);
-  BindingTable g = FilterEquals(t, "missing", 1, nullptr);
+  BindingTable g = FilterEquals(t, "missing", TermId(1), nullptr);
   EXPECT_EQ(g.num_rows(), 0u);
 }
 
@@ -179,8 +197,8 @@ TEST(ProjectTest, ReordersAndDropsColumns) {
   BindingTable t = Table({"x", "y", "z"}, {{1, 2, 3}});
   BindingTable p = Project(t, {"z", "x"});
   EXPECT_EQ(p.vars(), (std::vector<std::string>{"z", "x"}));
-  EXPECT_EQ(p.at(0, 0), 3u);
-  EXPECT_EQ(p.at(0, 1), 1u);
+  EXPECT_EQ(p.at(0, 0), TermId(3));
+  EXPECT_EQ(p.at(0, 1), TermId(1));
 }
 
 TEST(DistinctTest, RemovesDuplicates) {

@@ -1,0 +1,57 @@
+// Negative-compilation cases for the strong id types.
+//
+// Each AXON_NC_* macro gates one snippet that MUST fail to compile; CMake
+// builds this file once per case (object library, EXCLUDE_FROM_ALL) and
+// registers each build as a ctest entry with WILL_FAIL. The control case
+// (AXON_NC_CONTROL) contains only legal code and must succeed, proving the
+// harness actually compiles what it claims to.
+
+#include "rdf/triple.h"
+
+namespace axon {
+
+// Sinks with distinct id types; used to probe overload/conversion rules.
+inline uint64_t UseTerm(TermId id) { return id.value(); }
+inline uint64_t UseCs(CsId id) { return id.value(); }
+inline uint64_t UseEcs(EcsId id) { return id.value(); }
+
+uint64_t NegativeCompileProbe() {
+  TermId term(1);
+  CsId cs(2);
+  EcsId ecs(3);
+  PropOrdinal ord(4);
+  uint64_t sink = 0;
+
+#if defined(AXON_NC_CONTROL)
+  // Legal usage: explicit construction, value() extraction, same-tag
+  // comparison, cross-space conversion only via the raw integer.
+  sink += UseTerm(term) + UseCs(cs) + UseEcs(ecs) + ord.value();
+  sink += (cs == CsId(2)) ? 1 : 0;
+  sink += UseEcs(EcsId(cs.value()));  // audited boundary: visible and loud
+#elif defined(AXON_NC_CS_AS_ECS)
+  sink += UseEcs(cs);  // a CS id is not an ECS id
+#elif defined(AXON_NC_ECS_AS_CS)
+  sink += UseCs(ecs);
+#elif defined(AXON_NC_TERM_AS_CS)
+  sink += UseCs(term);  // a dictionary term id is not a CS id
+#elif defined(AXON_NC_ORDINAL_AS_TERM)
+  sink += UseTerm(ord);  // a bitmap bit position is not a term id
+#elif defined(AXON_NC_IMPLICIT_FROM_INT)
+  TermId implicit_id = 5;  // construction from raw ints must be explicit
+  sink += implicit_id.value();
+#elif defined(AXON_NC_CROSS_COMPARE)
+  sink += (cs == ecs) ? 1 : 0;  // comparing different id spaces is a bug
+#elif defined(AXON_NC_ASSIGN_ACROSS_TAGS)
+  cs = CsId(1);
+  ecs = cs;  // no cross-tag assignment
+  sink += ecs.value();
+#elif defined(AXON_NC_IMPLICIT_TO_INT)
+  uint32_t raw = term;  // leaving the typed space requires .value()
+  sink += raw;
+#else
+#error "negative_compile.cc requires exactly one AXON_NC_* case macro"
+#endif
+  return sink;
+}
+
+}  // namespace axon

@@ -43,7 +43,8 @@ TEST_F(PersistenceTest, Fig1RoundTripPreservesEverything) {
 
   // Dictionary preserved.
   EXPECT_EQ(db2.dict().size(), db.dict().size());
-  for (TermId id = 1; id <= db.dict().size(); ++id) {
+  for (uint32_t i = 1; i <= db.dict().size(); ++i) {
+    TermId id(i);
     EXPECT_EQ(db2.dict().GetCanonical(id), db.dict().GetCanonical(id));
   }
 

@@ -64,7 +64,7 @@ TEST(DictionaryTest, InternIsIdempotent) {
   Dictionary d;
   TermId a = d.Intern(Term::Iri("http://x/a"));
   TermId b = d.Intern(Term::Iri("http://x/b"));
-  EXPECT_EQ(a, 1u);  // ids start at 1
+  EXPECT_EQ(a, TermId(1));  // ids start at 1
   EXPECT_NE(a, b);
   EXPECT_EQ(d.Intern(Term::Iri("http://x/a")), a);
   EXPECT_EQ(d.size(), 2u);
@@ -86,8 +86,8 @@ TEST(DictionaryTest, LookupAndGetTerm) {
   auto back = d.GetTerm(id);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value(), t);
-  EXPECT_FALSE(d.GetTerm(0).ok());
-  EXPECT_FALSE(d.GetTerm(999).ok());
+  EXPECT_FALSE(d.GetTerm(TermId(0)).ok());
+  EXPECT_FALSE(d.GetTerm(TermId(999)).ok());
 }
 
 TEST(DictionaryTest, PrefixCompressionSharesNamespaces) {
@@ -131,7 +131,8 @@ TEST(DictionaryTest, DeserializeRejectsCorruption) {
   EXPECT_FALSE(Dictionary::Deserialize("BADMAGIC").ok());
   EXPECT_FALSE(Dictionary::Deserialize(buf.substr(0, buf.size() - 3)).ok());
   std::string flipped = buf;
-  flipped[buf.size() - 2] ^= 0xFF;  // corrupt the sorted-order section
+  flipped[buf.size() - 2] =
+      static_cast<char>(flipped[buf.size() - 2] ^ 0xFF);  // corrupt tail
   EXPECT_FALSE(Dictionary::Deserialize(flipped).ok());
 }
 

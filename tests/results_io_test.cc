@@ -23,9 +23,9 @@ class ResultsIoTest : public ::testing::Test {
     dict_.Intern(Term::Blank("b0"));                        // id 5
     dict_.Intern(Term::Literal("needs,\"quoting\"\n"));     // id 6
     table_ = BindingTable({"s", "o"});
-    table_.AppendRow({1, 2});
-    table_.AppendRow({5, 3});
-    table_.AppendRow({1, 4});
+    table_.AppendRow({TermId(1), TermId(2)});
+    table_.AppendRow({TermId(5), TermId(3)});
+    table_.AppendRow({TermId(1), TermId(4)});
   }
 
   Dictionary dict_;
@@ -54,7 +54,7 @@ TEST_F(ResultsIoTest, Csv) {
 
 TEST_F(ResultsIoTest, CsvQuoting) {
   BindingTable t({"v"});
-  t.AppendRow({6});
+  t.AppendRow({TermId(6)});
   auto out = WriteResults(t, dict_, ResultFormat::kCsv);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value(), "v\r\n\"needs,\"\"quoting\"\"\n\"\r\n");
@@ -62,7 +62,7 @@ TEST_F(ResultsIoTest, CsvQuoting) {
 
 TEST_F(ResultsIoTest, Json) {
   BindingTable t({"a"});
-  t.AppendRow({3});
+  t.AppendRow({TermId(3)});
   auto out = WriteResults(t, dict_, ResultFormat::kJson);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value(),
@@ -73,7 +73,7 @@ TEST_F(ResultsIoTest, Json) {
 
 TEST_F(ResultsIoTest, JsonTermKinds) {
   BindingTable t({"x", "y", "z"});
-  t.AppendRow({1, 4, 5});
+  t.AppendRow({TermId(1), TermId(4), TermId(5)});
   auto out = WriteResults(t, dict_, ResultFormat::kJson);
   ASSERT_TRUE(out.ok());
   EXPECT_NE(out.value().find("\"type\":\"uri\""), std::string::npos);
@@ -98,7 +98,7 @@ TEST_F(ResultsIoTest, RejectsInvalidIds) {
   t.AppendRow({kInvalidId});
   EXPECT_FALSE(WriteResults(t, dict_, ResultFormat::kTsv).ok());
   BindingTable t2({"a"});
-  t2.AppendRow({999});
+  t2.AppendRow({TermId(999)});
   EXPECT_FALSE(WriteResults(t2, dict_, ResultFormat::kJson).ok());
 }
 

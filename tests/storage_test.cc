@@ -132,6 +132,12 @@ TEST(BTreeTest, DeserializeRejectsTruncation) {
 
 // ----------------------------------------------------------- TripleTable
 
+// Triple literal from raw numbers (tests only; the engine itself always
+// constructs ids through the Dictionary).
+Triple T(uint32_t s, uint32_t p, uint32_t o) {
+  return Triple{TermId(s), TermId(p), TermId(o)};
+}
+
 TripleTable MakeTable(std::initializer_list<Triple> rows) {
   TripleTable t;
   for (const Triple& r : rows) t.Append(r);
@@ -139,19 +145,19 @@ TripleTable MakeTable(std::initializer_list<Triple> rows) {
 }
 
 TEST(TripleTableTest, PermutationKeys) {
-  Triple t{1, 2, 3};
+  Triple t = T(1, 2, 3);
   EXPECT_EQ(PermutationKey(Permutation::kSpo, t),
-            (std::array<TermId, 3>{1, 2, 3}));
+            (std::array<TermId, 3>{TermId(1), TermId(2), TermId(3)}));
   EXPECT_EQ(PermutationKey(Permutation::kSop, t),
-            (std::array<TermId, 3>{1, 3, 2}));
+            (std::array<TermId, 3>{TermId(1), TermId(3), TermId(2)}));
   EXPECT_EQ(PermutationKey(Permutation::kPso, t),
-            (std::array<TermId, 3>{2, 1, 3}));
+            (std::array<TermId, 3>{TermId(2), TermId(1), TermId(3)}));
   EXPECT_EQ(PermutationKey(Permutation::kPos, t),
-            (std::array<TermId, 3>{2, 3, 1}));
+            (std::array<TermId, 3>{TermId(2), TermId(3), TermId(1)}));
   EXPECT_EQ(PermutationKey(Permutation::kOsp, t),
-            (std::array<TermId, 3>{3, 1, 2}));
+            (std::array<TermId, 3>{TermId(3), TermId(1), TermId(2)}));
   EXPECT_EQ(PermutationKey(Permutation::kOps, t),
-            (std::array<TermId, 3>{3, 2, 1}));
+            (std::array<TermId, 3>{TermId(3), TermId(2), TermId(1)}));
 }
 
 TEST(TripleTableTest, PermutationNamesAreUnique) {
@@ -161,13 +167,13 @@ TEST(TripleTableTest, PermutationNamesAreUnique) {
 }
 
 TEST(TripleTableTest, SortAndDedup) {
-  TripleTable t = MakeTable({{2, 1, 1}, {1, 2, 3}, {1, 2, 3}, {1, 1, 9}});
+  TripleTable t = MakeTable({T(2, 1, 1), T(1, 2, 3), T(1, 2, 3), T(1, 1, 9)});
   t.Sort(Permutation::kSpo);
   t.Dedup();
   ASSERT_EQ(t.size(), 3u);
-  EXPECT_EQ(t.row(0), (Triple{1, 1, 9}));
-  EXPECT_EQ(t.row(1), (Triple{1, 2, 3}));
-  EXPECT_EQ(t.row(2), (Triple{2, 1, 1}));
+  EXPECT_EQ(t.row(0), T(1, 1, 9));
+  EXPECT_EQ(t.row(1), T(1, 2, 3));
+  EXPECT_EQ(t.row(2), T(2, 1, 1));
 }
 
 class TripleTablePermutationTest
@@ -178,15 +184,16 @@ TEST_P(TripleTablePermutationTest, EqualRangeMatchesLinearScan) {
   Random rng(static_cast<uint64_t>(perm) + 100);
   TripleTable t;
   for (int i = 0; i < 3000; ++i) {
-    t.Append(static_cast<TermId>(1 + rng.Uniform(20)),
-             static_cast<TermId>(1 + rng.Uniform(8)),
-             static_cast<TermId>(1 + rng.Uniform(20)));
+    t.Append(TermId(static_cast<uint32_t>(1 + rng.Uniform(20))),
+             TermId(static_cast<uint32_t>(1 + rng.Uniform(8))),
+             TermId(static_cast<uint32_t>(1 + rng.Uniform(20))));
   }
   t.Sort(perm);
   for (int trial = 0; trial < 50; ++trial) {
-    TermId major = static_cast<TermId>(1 + rng.Uniform(20));
-    TermId mid = trial % 2 == 0 ? static_cast<TermId>(1 + rng.Uniform(8))
-                                : kInvalidId;
+    TermId major(static_cast<uint32_t>(1 + rng.Uniform(20)));
+    TermId mid = trial % 2 == 0
+                     ? TermId(static_cast<uint32_t>(1 + rng.Uniform(8)))
+                     : kInvalidId;
     RowRange r = t.EqualRange(perm, major, mid);
     // Oracle: linear scan.
     uint64_t count = 0;
@@ -208,12 +215,12 @@ TEST_P(TripleTablePermutationTest, EqualRangeMatchesLinearScan) {
 
 INSTANTIATE_TEST_SUITE_P(AllPermutations, TripleTablePermutationTest,
                          ::testing::ValuesIn(kAllPermutations),
-                         [](const auto& info) {
-                           return PermutationName(info.param);
+                         [](const auto& name_info) {
+                           return PermutationName(name_info.param);
                          });
 
 TEST(TripleTableTest, SerializeRoundTrip) {
-  TripleTable t = MakeTable({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  TripleTable t = MakeTable({T(1, 2, 3), T(4, 5, 6), T(7, 8, 9)});
   std::string buf;
   t.SerializeTo(&buf);
   size_t pos = 0;
@@ -221,15 +228,15 @@ TEST(TripleTableTest, SerializeRoundTrip) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(pos, buf.size());
   ASSERT_EQ(back.value().size(), 3u);
-  EXPECT_EQ(back.value().row(1), (Triple{4, 5, 6}));
+  EXPECT_EQ(back.value().row(1), T(4, 5, 6));
   EXPECT_EQ(back.value().ByteSize(), 36u);
 }
 
 TEST(TripleTableTest, SliceViewsRows) {
-  TripleTable t = MakeTable({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}});
+  TripleTable t = MakeTable({T(1, 1, 1), T(2, 2, 2), T(3, 3, 3), T(4, 4, 4)});
   auto s = t.slice(RowRange{1, 3});
   ASSERT_EQ(s.size(), 2u);
-  EXPECT_EQ(s[0], (Triple{2, 2, 2}));
+  EXPECT_EQ(s[0], T(2, 2, 2));
 }
 
 // ---------------------------------------------------------------- DbFile

@@ -1,0 +1,218 @@
+// Tests for the StrongId<Tag> wrapper: layout, semantics, container and
+// serialization behaviour. The *negative* half of the contract — cross-tag
+// mixes must not compile — lives in tests/negative_compile/.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "storage/btree.h"
+#include "util/strong_id.h"
+
+namespace axon {
+namespace {
+
+// ------------------------------------------------------------- layout
+
+// The migration's zero-cost claim, checked per concrete tag: every id type
+// the engine uses is exactly the 4-byte integer it replaced.
+static_assert(sizeof(TermId) == 4);
+static_assert(sizeof(CsId) == 4);
+static_assert(sizeof(EcsId) == 4);
+static_assert(sizeof(PropOrdinal) == 4);
+static_assert(alignof(TermId) == 4);
+static_assert(std::is_trivially_copyable_v<TermId>);
+static_assert(std::is_trivially_copyable_v<CsId>);
+static_assert(std::is_trivially_copyable_v<EcsId>);
+static_assert(std::is_trivially_copyable_v<PropOrdinal>);
+
+// Triple stays a packed 3 x u32 aggregate after the typedef flip; the
+// on-disk permutation tables depend on this exact layout.
+static_assert(sizeof(Triple) == 12);
+static_assert(std::is_trivially_copyable_v<Triple>);
+
+// Ids remain structural value types usable as non-type template params
+// would require more; we only need constexpr round-trips.
+static_assert(TermId(7).value() == 7);
+static_assert(TermId(7) == TermId(7));
+static_assert(TermId(3) < TermId(4));
+static_assert(kInvalidId.value() == 0);
+static_assert(kNoCs.value() == UINT32_MAX);
+static_assert(kNoEcs.value() == UINT32_MAX);
+
+// ----------------------------------------------------------- semantics
+
+TEST(StrongIdTest, ValueRoundTrip) {
+  TermId id(42);
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(TermId(id.value()), id);
+  CsId cs(0);
+  EXPECT_EQ(cs.value(), 0u);
+  EXPECT_EQ(EcsId(UINT32_MAX), kNoEcs);
+}
+
+TEST(StrongIdTest, DefaultConstructsToZero) {
+  TermId id;
+  EXPECT_EQ(id, kInvalidId);
+  EXPECT_EQ(PropOrdinal().value(), 0u);
+}
+
+TEST(StrongIdTest, EqualityAndOrdering) {
+  EXPECT_EQ(TermId(5), TermId(5));
+  EXPECT_NE(TermId(5), TermId(6));
+  EXPECT_LT(TermId(5), TermId(6));
+  EXPECT_GT(TermId(6), TermId(5));
+  EXPECT_LE(TermId(5), TermId(5));
+  EXPECT_GE(TermId(5), TermId(5));
+  // Sentinels sort above every real id (dense spaces start near 0).
+  EXPECT_LT(CsId(123456), kNoCs);
+}
+
+TEST(StrongIdTest, PreIncrementIteratesDenseSpace) {
+  std::vector<uint32_t> seen;
+  for (TermId i(1); i <= TermId(4); ++i) seen.push_back(i.value());
+  EXPECT_EQ(seen, (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(StrongIdTest, SortAndBinarySearchUseOrdering) {
+  std::vector<EcsId> ids = {EcsId(9), EcsId(2), EcsId(7), EcsId(2)};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), EcsId(7)));
+  EXPECT_FALSE(std::binary_search(ids.begin(), ids.end(), EcsId(3)));
+}
+
+TEST(StrongIdTest, StreamsAsRawValue) {
+  std::ostringstream os;
+  os << TermId(17) << "/" << kNoCs;
+  EXPECT_EQ(os.str(), "17/4294967295");
+}
+
+// ------------------------------------------------------------- hashing
+
+TEST(StrongIdTest, HashMatchesUnderlyingInteger) {
+  // The std::hash specialization forwards to hash<uint32_t>, so rehashing
+  // behaviour of pre-migration uint32_t maps is preserved exactly.
+  EXPECT_EQ(std::hash<TermId>{}(TermId(99)), std::hash<uint32_t>{}(99u));
+  EXPECT_EQ(std::hash<CsId>{}(kNoCs), std::hash<uint32_t>{}(UINT32_MAX));
+}
+
+TEST(StrongIdTest, UnorderedContainers) {
+  std::unordered_map<TermId, int> counts;
+  counts[TermId(1)] = 10;
+  counts[TermId(2)] = 20;
+  counts[TermId(1)] += 1;
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[TermId(1)], 11);
+
+  std::unordered_set<EcsId> set;
+  for (uint32_t i = 0; i < 100; ++i) set.insert(EcsId(i % 10));
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_TRUE(set.count(EcsId(3)));
+  EXPECT_FALSE(set.count(EcsId(10)));
+}
+
+// -------------------------------------------------------- serialization
+
+TEST(StrongIdTest, VarintRoundTrip) {
+  std::string buf;
+  PutVarintId(&buf, TermId(0));
+  PutVarintId(&buf, TermId(300));
+  PutVarintId(&buf, TermId(UINT32_MAX));
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  TermId a;
+  TermId b;
+  TermId c;
+  p = GetVarintId(p, limit, &a);
+  ASSERT_NE(p, nullptr);
+  p = GetVarintId(p, limit, &b);
+  ASSERT_NE(p, nullptr);
+  p = GetVarintId(p, limit, &c);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p, limit);
+  EXPECT_EQ(a, TermId(0));
+  EXPECT_EQ(b, TermId(300));
+  EXPECT_EQ(c, TermId(UINT32_MAX));
+}
+
+TEST(StrongIdTest, VarintEncodingIdenticalToRawInteger) {
+  // On-disk compatibility: the typed helper must produce byte-identical
+  // output to the PutVarint32 calls it replaced.
+  std::string typed;
+  std::string raw;
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16384u, UINT32_MAX}) {
+    PutVarintId(&typed, CsId(v));
+    PutVarint32(&raw, v);
+  }
+  EXPECT_EQ(typed, raw);
+}
+
+TEST(StrongIdTest, VarintTruncationReportsNull) {
+  std::string buf;
+  PutVarintId(&buf, EcsId(UINT32_MAX));  // 5-byte encoding
+  EcsId out;
+  EXPECT_EQ(GetVarintId(buf.data(), buf.data() + 2, &out), nullptr);
+}
+
+// --------------------------------------------------------- btree keys
+
+TEST(StrongIdTest, BtreeKeyedByStrongId) {
+  BPlusTree<CsId, uint64_t> tree;
+  for (uint32_t i = 0; i < 500; ++i) tree.Insert(CsId(i * 3), i);
+  EXPECT_EQ(tree.size(), 500u);
+  ASSERT_NE(tree.Find(CsId(297)), nullptr);
+  EXPECT_EQ(*tree.Find(CsId(297)), 99u);
+  EXPECT_EQ(tree.Find(CsId(298)), nullptr);
+
+  // Range scan walks keys in id order.
+  std::vector<uint32_t> keys;
+  tree.ScanRange(CsId(30), CsId(45), [&](CsId k, uint64_t) {
+    keys.push_back(k.value());
+  });
+  EXPECT_EQ(keys, (std::vector<uint32_t>{30, 33, 36, 39, 42, 45}));
+
+  // Serialization round-trips through the memcpy'd 4-byte key layout.
+  std::string buf;
+  tree.SerializeTo(&buf);
+  size_t pos = 0;
+  auto loaded = BPlusTree<CsId, uint64_t>::Deserialize(buf, &pos);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 500u);
+  ASSERT_NE(loaded.value().Find(CsId(297)), nullptr);
+  EXPECT_EQ(*loaded.value().Find(CsId(297)), 99u);
+}
+
+// --------------------------------------------- dictionary id stability
+
+TEST(StrongIdTest, DictionaryEncodeDecodeStableAcrossSerialization) {
+  Dictionary d;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(d.Intern(Term::Iri("http://x/n" + std::to_string(i))));
+  }
+  // Dense, 1-based, in interning order.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], TermId(static_cast<uint32_t>(i + 1)));
+  }
+  std::string buf;
+  ASSERT_TRUE(d.Serialize(&buf).ok());
+  auto d2 = Dictionary::Deserialize(buf);
+  ASSERT_TRUE(d2.ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // Same id -> same term, and lookup inverts to the same id.
+    EXPECT_EQ(d2.value().GetCanonical(ids[i]), d.GetCanonical(ids[i]));
+    auto round = d2.value().Lookup(Term::Iri("http://x/n" + std::to_string(i)));
+    ASSERT_TRUE(round.has_value());
+    EXPECT_EQ(*round, ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace axon
