@@ -165,6 +165,15 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
   // Patterns whose every position is bound and which were skipped by the
   // early break must still hold: if we broke early with zero rows the
   // result is empty anyway, so nothing further to check.
+  for (const std::string& v : proj) {
+    if (current.ColumnIndex(v) < 0) {
+      // Only reachable after the zero-row early break, before the pattern
+      // binding v was joined in: the result is empty over the projection
+      // schema. (Projecting the missing column would assert.)
+      result.table = BindingTable(proj);
+      return result;
+    }
+  }
   current = Project(current, proj);
   if (query.distinct) current = Distinct(current);
   if (query.limit.has_value()) current = Limit(current, *query.limit);

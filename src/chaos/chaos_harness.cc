@@ -1,0 +1,531 @@
+#include "chaos/chaos_harness.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <set>
+#include <utility>
+
+#include "engine/update_store.h"
+#include "rdf/ntriples.h"
+#include "storage/db_file.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace axon {
+namespace chaos {
+
+namespace {
+
+// The acknowledged-state oracle. `uncertain` holds triples whose last
+// operation returned an error or was cut down by a crash: durability made
+// no promise either way, so the reopened store may disagree with `oracle`
+// on exactly those triples and nothing else.
+struct Tracker {
+  std::set<std::string> oracle;
+  std::set<std::string> uncertain;
+
+  void Acked(char op, const std::string& line) {
+    uncertain.erase(line);
+    if (op == '+') {
+      oracle.insert(line);
+    } else {
+      oracle.erase(line);
+    }
+  }
+  void Unresolved(const std::string& line) { uncertain.insert(line); }
+};
+
+std::string TripleLine(const TermTriple& t) {
+  std::string line = WriteNTriplesLine(t);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+// A deliberately small universe so inserts and deletes keep colliding —
+// idempotence and delete-of-absent paths get constant exercise.
+TermTriple RandomTriple(Random& rng) {
+  const uint64_t s = rng.Uniform(24);
+  const uint64_t p = rng.Uniform(6);
+  const uint64_t o = rng.Uniform(40);
+  TermTriple t;
+  t.s = Term::Iri("http://chaos.axon/s" + std::to_string(s));
+  t.p = Term::Iri("http://chaos.axon/p" + std::to_string(p));
+  t.o = (o % 5 == 0) ? Term::Literal("v" + std::to_string(o))
+                     : Term::Iri("http://chaos.axon/o" + std::to_string(o));
+  return t;
+}
+
+void RemoveStoreFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+void Violation(ChaosReport* report, uint64_t cycle, const char* ctx,
+               const std::string& what) {
+  report->violations.push_back("cycle " + std::to_string(cycle) + " (" + ctx +
+                               "): " + what);
+}
+
+// Reopens the store, checks both containment invariants, runs one query
+// and — on success — resolves all uncertainty to the observed state so
+// later cycles verify exactly.
+void VerifyReopen(const std::string& path, const UpdateOptions& store_opts,
+                  uint64_t cycle, const char* ctx, uint64_t query_pick,
+                  Tracker* tr, ChaosReport* report) {
+  auto opened = UpdatableDatabase::OpenDurable(path, store_opts);
+  if (!opened.ok()) {
+    Violation(report, cycle, ctx,
+              "reopen failed: " + opened.status().ToString());
+    return;
+  }
+  UpdatableDatabase db = std::move(opened).ValueOrDie();
+  auto exported = db.ExportLines();
+  if (!exported.ok()) {
+    Violation(report, cycle, ctx,
+              "export failed: " + exported.status().ToString());
+    return;
+  }
+  std::set<std::string> reopened(exported.value().begin(),
+                                 exported.value().end());
+
+  uint64_t bad = 0;
+  for (const std::string& line : tr->oracle) {
+    if (reopened.count(line) == 0 && tr->uncertain.count(line) == 0) {
+      if (++bad <= 5) {
+        Violation(report, cycle, ctx, "acknowledged write lost: " + line);
+      }
+    }
+  }
+  for (const std::string& line : reopened) {
+    if (tr->oracle.count(line) == 0 && tr->uncertain.count(line) == 0) {
+      if (++bad <= 5) {
+        Violation(report, cycle, ctx,
+                  "unattempted triple materialized: " + line);
+      }
+    }
+  }
+  if (bad > 5) {
+    Violation(report, cycle, ctx,
+              std::to_string(bad - 5) + " further state mismatches");
+  }
+
+  // One real query against the reopened store: it must succeed and agree
+  // with a by-hand count over the exported lines.
+  const std::string pred =
+      "http://chaos.axon/p" + std::to_string(query_pick % 6);
+  uint64_t expected = 0;
+  const std::string needle = " <" + pred + "> ";
+  for (const std::string& line : reopened) {
+    if (line.find(needle) != std::string::npos) ++expected;
+  }
+  auto qr = db.ExecuteSparql("SELECT ?s ?o WHERE { ?s <" + pred + "> ?o }");
+  if (!qr.ok()) {
+    Violation(report, cycle, ctx,
+              "query after reopen failed: " + qr.status().ToString());
+  } else if (qr.value().table.num_rows() != expected) {
+    Violation(report, cycle, ctx,
+              "query returned " + std::to_string(qr.value().table.num_rows()) +
+                  " rows, expected " + std::to_string(expected));
+  }
+
+  tr->oracle = std::move(reopened);
+  tr->uncertain.clear();
+}
+
+// One random mutation (or occasional explicit fold) against the open
+// store, with intent/ack bookkeeping in the tracker.
+Status DoRandomOp(UpdatableDatabase& db, Random& rng, Tracker* tr,
+                  ChaosReport* report) {
+  const uint64_t roll = rng.Uniform(10);
+  if (roll == 0) {
+    return db.Compact();  // no logical effect; may cleanly fail
+  }
+  const TermTriple t = RandomTriple(rng);
+  const std::string line = TripleLine(t);
+  const char op = roll < 7 ? '+' : '-';
+  const Status st = op == '+' ? db.Insert(t) : db.Delete(t);
+  if (st.ok()) {
+    tr->Acked(op, line);
+    ++report->ops_acknowledged;
+  } else {
+    // Rolled back in memory, but the WAL bytes may or may not be durable
+    // (e.g. fsync failed after a complete append): both outcomes legal.
+    tr->Unresolved(line);
+    ++report->ops_rejected;
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------
+// Cycle kinds.
+
+void RunCleanCycle(const ChaosOptions& options, const std::string& path,
+                   const UpdateOptions& store_opts, uint64_t cycle,
+                   Random& rng, Tracker* tr, ChaosReport* report) {
+  auto opened = UpdatableDatabase::OpenDurable(path, store_opts);
+  if (!opened.ok()) {
+    Violation(report, cycle, "clean",
+              "open failed: " + opened.status().ToString());
+    return;
+  }
+  UpdatableDatabase db = std::move(opened).ValueOrDie();
+  for (uint64_t i = 0; i < options.ops_per_cycle; ++i) {
+    const Status st = DoRandomOp(db, rng, tr, report);
+    if (!st.ok()) {
+      Violation(report, cycle, "clean",
+                "fault-free op failed: " + st.ToString());
+    }
+  }
+}
+
+void RunErrorCycle(const ChaosOptions& options, const std::string& path,
+                   const UpdateOptions& store_opts, uint64_t cycle,
+                   Random& rng, Tracker* tr, ChaosReport* report,
+                   std::string* schedule_detail) {
+  static const char* const kMenu[] = {
+      "wal.append=err@0.4",          "wal.sync=err@0.4",
+      "file.write=err@0.25",         "file.write=short:8@0.25",
+      "file.sync=err@0.5",           "compact.build=err@0.5",
+      "compact.persist=err@0.6",     "dbfile.write.section=err@0.3",
+      "dbfile.write.toc=err@0.6",    "atomic.rename=err@0.6",
+      "exec.query=oom@0.5",          "pool.task=delay:1@0.3",
+  };
+  auto opened = UpdatableDatabase::OpenDurable(path, store_opts);
+  if (!opened.ok()) {
+    Violation(report, cycle, "error",
+              "open failed: " + opened.status().ToString());
+    return;
+  }
+  UpdatableDatabase db = std::move(opened).ValueOrDie();
+
+  const uint64_t fp_seed = rng.Next();
+  failpoint::SetSeed(fp_seed);
+  std::string spec(kMenu[rng.Uniform(std::size(kMenu))]);
+  if (rng.Uniform(2) == 0) {
+    const std::string extra = kMenu[rng.Uniform(std::size(kMenu))];
+    if (extra.substr(0, extra.find('=')) !=
+        spec.substr(0, spec.find('='))) {
+      spec += "," + extra;
+    }
+  }
+  *schedule_detail = "sites=" + spec + " fpseed=" + std::to_string(fp_seed);
+  if (!failpoint::ArmFromSpec(spec).ok()) {
+    Violation(report, cycle, "error", "failed to arm: " + spec);
+    return;
+  }
+
+  for (uint64_t i = 0; i < options.ops_per_cycle; ++i) {
+    if (rng.Uniform(8) == 0) {
+      // Queries under fault: any outcome but a crash is legal — an armed
+      // exec.query=oom must come back as a clean ResourceExhausted.
+      auto qr = db.ExecuteSparql(
+          "SELECT ?s ?o WHERE { ?s <http://chaos.axon/p" +
+          std::to_string(rng.Uniform(6)) + "> ?o }");
+      if (!qr.ok()) ++report->errors_injected;
+      continue;
+    }
+    const Status st = DoRandomOp(db, rng, tr, report);
+    if (!st.ok() && failpoint::IsInjected(st)) ++report->errors_injected;
+  }
+  failpoint::DisarmAll();
+
+  // With every site disarmed the store must be fully functional again.
+  const Status st = db.Compact();
+  if (!st.ok()) {
+    Violation(report, cycle, "error",
+              "compact after disarm failed: " + st.ToString());
+  }
+}
+
+void WriteLine(int fd, std::string line) {
+  line.push_back('\n');
+  const char* p = line.data();
+  size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // reader gone; missing acks become uncertainty
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+}
+
+// Everything the forked child does: arm the crash site, reopen, stream
+// intent/ack records while mutating, and exit without cleanup. Never
+// returns to the caller's stack.
+[[noreturn]] void CrashChild(int fd, const std::string& path,
+                             const UpdateOptions& store_opts,
+                             const std::string& site, const std::string& spec,
+                             uint64_t seed, uint64_t ops) {
+  failpoint::DisarmAll();
+  failpoint::SetSeed(seed);
+  (void)failpoint::Arm(site, spec);
+  Random rng(seed);
+  {
+    auto opened = UpdatableDatabase::OpenDurable(path, store_opts);
+    if (!opened.ok()) {
+      WriteLine(fd, "E" + opened.status().ToString());
+      std::_Exit(3);
+    }
+    UpdatableDatabase db = std::move(opened).ValueOrDie();
+    for (uint64_t i = 0; i < ops; ++i) {
+      const uint64_t roll = rng.Uniform(10);
+      if (roll == 0) {
+        (void)db.Compact();  // crash-in-compaction coverage
+        continue;
+      }
+      const TermTriple t = RandomTriple(rng);
+      const char op = roll < 7 ? '+' : '-';
+      WriteLine(fd, std::string("I") + op + TripleLine(t));
+      const Status st = op == '+' ? db.Insert(t) : db.Delete(t);
+      WriteLine(fd, st.ok() ? "R1" : "R0");
+    }
+  }
+  std::_Exit(0);  // armed site never fired: a clean, quiet exit
+}
+
+// Replays the child's intent/ack stream into the tracker. An intent with
+// no matching result is the op the crash cut down mid-flight.
+void ReplayChildStream(const std::string& stream, Tracker* tr,
+                       ChaosReport* report, uint64_t cycle,
+                       std::string* child_error) {
+  char pending_op = 0;
+  std::string pending_line;
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t eol = stream.find('\n', pos);
+    if (eol == std::string::npos) break;  // partial trailing line
+    const std::string line = stream.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == 'E') {
+      *child_error = line.substr(1);
+    } else if (line[0] == 'I' && line.size() > 2) {
+      if (pending_op != 0) tr->Unresolved(pending_line);
+      pending_op = line[1];
+      pending_line = line.substr(2);
+    } else if (line == "R1" && pending_op != 0) {
+      tr->Acked(pending_op, pending_line);
+      ++report->ops_acknowledged;
+      pending_op = 0;
+    } else if (line == "R0" && pending_op != 0) {
+      tr->Unresolved(pending_line);
+      ++report->ops_rejected;
+      pending_op = 0;
+    }
+  }
+  (void)cycle;
+  if (pending_op != 0) tr->Unresolved(pending_line);
+}
+
+void RunCrashCycle(const ChaosOptions& options, const std::string& path,
+                   const UpdateOptions& store_opts, uint64_t cycle,
+                   Random& rng, Tracker* tr, ChaosReport* report,
+                   std::string* schedule_detail) {
+  static const char* const kSites[] = {
+      "wal.append",     "wal.sync",        "file.write",
+      "file.sync",      "compact.build",   "compact.persist",
+      "dbfile.write.section", "dbfile.write.toc", "atomic.rename",
+  };
+  const std::string site = kSites[rng.Uniform(std::size(kSites))];
+  const std::string spec = "crash+" + std::to_string(rng.Uniform(24));
+  const uint64_t child_seed = rng.Next();
+  *schedule_detail =
+      "site=" + site + " spec=" + spec + " childseed=" +
+      std::to_string(child_seed);
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    Violation(report, cycle, "crash", "pipe() failed");
+    return;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    Violation(report, cycle, "crash", "fork() failed");
+    return;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    CrashChild(fds[1], path, store_opts, site, spec, child_seed,
+               options.ops_per_cycle);
+  }
+  ::close(fds[1]);
+
+  // Drain to EOF before waiting — never deadlocks on pipe capacity.
+  std::string stream;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+    stream.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fds[0]);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+
+  std::string child_error;
+  ReplayChildStream(stream, tr, report, cycle, &child_error);
+
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    if (code == failpoint::kCrashExitCode) {
+      ++report->crashes_injected;
+    } else if (code == 3) {
+      Violation(report, cycle, "crash",
+                "child failed to open store: " + child_error);
+    } else if (code != 0) {
+      Violation(report, cycle, "crash",
+                "child exited with unexpected code " + std::to_string(code));
+    }
+  } else if (WIFSIGNALED(wstatus)) {
+    Violation(report, cycle, "crash",
+              "child killed by signal " + std::to_string(WTERMSIG(wstatus)));
+  }
+}
+
+void RunBitflipCycle(const ChaosOptions& options, const std::string& path,
+                     const UpdateOptions& store_opts, uint64_t cycle,
+                     Random& rng, Tracker* tr, ChaosReport* report,
+                     std::string* schedule_detail) {
+  {
+    auto opened = UpdatableDatabase::OpenDurable(path, store_opts);
+    if (!opened.ok()) {
+      Violation(report, cycle, "bitflip",
+                "open failed: " + opened.status().ToString());
+      return;
+    }
+    UpdatableDatabase db = std::move(opened).ValueOrDie();
+    // Mutations run fault-free so the oracle is exact...
+    for (uint64_t i = 0; i < options.ops_per_cycle; ++i) {
+      const Status st = DoRandomOp(db, rng, tr, report);
+      if (!st.ok()) {
+        Violation(report, cycle, "bitflip",
+                  "fault-free op failed: " + st.ToString());
+      }
+    }
+    // ...then exactly one silent bitflip lands somewhere in the rewritten
+    // base file during the fold.
+    const uint64_t fp_seed = rng.Next();
+    const std::string spec = "bitflip*1+" + std::to_string(rng.Uniform(10));
+    *schedule_detail = "spec=file.write=" + spec +
+                       " fpseed=" + std::to_string(fp_seed);
+    failpoint::SetSeed(fp_seed);
+    (void)failpoint::Arm("file.write", spec);
+    const Status folded = db.Compact();
+    failpoint::DisarmAll();
+    if (!folded.ok()) {
+      // Bitflips are silent at the write site; the fold itself must not
+      // observe them.
+      Violation(report, cycle, "bitflip",
+                "compact failed: " + folded.ToString());
+      return;
+    }
+  }
+
+  // Detection contract: the corrupted store either opens with the exact
+  // acknowledged state (the flip fell on padding or never fired) or is
+  // cleanly rejected with a typed Status. Nothing in between, no crash.
+  // The query pick is drawn unconditionally so the rng stream — and with
+  // it the whole schedule — does not depend on where the flip landed.
+  const uint64_t query_pick = rng.Next();
+  auto reopened = UpdatableDatabase::OpenDurable(path, store_opts);
+  if (reopened.ok()) {
+    VerifyReopen(path, store_opts, cycle, "bitflip", query_pick, tr, report);
+    return;
+  }
+  ++report->corruptions_detected;
+
+  // Salvage pass: quarantine checksum-failed sections; structural damage
+  // may still cleanly reject the whole file. Either way, no crash.
+  DbFileReader salvage;
+  DbFileReader::SalvageReport salvage_report;
+  ++report->salvage_opens;
+  (void)salvage.OpenSalvage(path, &salvage_report);
+
+  // The store is gone for good — wipe it and start the oracle afresh.
+  RemoveStoreFiles(path);
+  tr->oracle.clear();
+  tr->uncertain.clear();
+}
+
+}  // namespace
+
+ChaosReport RunChaos(const ChaosOptions& options) {
+  ChaosReport report;
+  if (options.dir.empty()) {
+    report.violations.push_back("ChaosOptions.dir must be set");
+    return report;
+  }
+  ::mkdir(options.dir.c_str(), 0755);  // EEXIST is fine
+  const std::string path = options.dir + "/store.db";
+  RemoveStoreFiles(path);  // stale files would poison the oracle
+
+  UpdateOptions store_opts;
+  store_opts.compaction_threshold = 24;  // keep auto-folds in the mix
+
+  Random rng(options.seed ^ 0xC4A05C4A05ULL);
+  Tracker tr;
+  failpoint::DisarmAll();
+
+  for (uint64_t cycle = 0; cycle < options.cycles; ++cycle) {
+    uint64_t kind = rng.Uniform(4);
+    if (!failpoint::CompiledIn()) kind = 0;
+    if (kind == 2 && !options.enable_crashes) kind = 1;
+
+    std::string detail;
+    static const char* const kKindName[] = {"clean", "error", "crash",
+                                            "bitflip"};
+    switch (kind) {
+      case 1:
+        RunErrorCycle(options, path, store_opts, cycle, rng, &tr, &report,
+                      &detail);
+        break;
+      case 2:
+        RunCrashCycle(options, path, store_opts, cycle, rng, &tr, &report,
+                      &detail);
+        break;
+      case 3:
+        RunBitflipCycle(options, path, store_opts, cycle, rng, &tr, &report,
+                        &detail);
+        break;
+      default:
+        RunCleanCycle(options, path, store_opts, cycle, rng, &tr, &report);
+        break;
+    }
+    std::string line = "cycle " + std::to_string(cycle) +
+                       ": kind=" + kKindName[kind];
+    if (!detail.empty()) line += " " + detail;
+    report.schedule.push_back(line);
+    if (options.verbose) std::fprintf(stderr, "[chaos] %s\n", line.c_str());
+
+    // Bitflip cycles verify (or wipe) themselves; everything else gets
+    // the standard reopen-and-verify epilogue.
+    if (kind != 3) {
+      VerifyReopen(path, store_opts, cycle, kKindName[kind], rng.Next(), &tr,
+                   &report);
+    }
+    ++report.cycles_run;
+    if (options.verbose && !report.violations.empty()) {
+      std::fprintf(stderr, "[chaos] violations so far: %zu\n",
+                   report.violations.size());
+    }
+  }
+  failpoint::DisarmAll();
+  return report;
+}
+
+}  // namespace chaos
+}  // namespace axon

@@ -1,0 +1,90 @@
+// Chaos harness: seeded randomized load -> update -> fault -> crash ->
+// reopen -> query cycles over the durable UpdatableDatabase.
+//
+// Each cycle opens the store, applies a random op sequence while a fault
+// schedule (drawn deterministically from the seed) is armed, then reopens
+// and verifies. The invariants, checked every cycle:
+//
+//   1. Every acknowledged write survives reopen.
+//   2. Nothing materializes that was never attempted: the reopened state
+//      may differ from the acknowledged state only on triples whose last
+//      operation returned an error or was cut down mid-flight by a crash
+//      (those bytes may or may not have reached the disk — both outcomes
+//      are legal; silently resurrecting or dropping anything else is not).
+//   3. Every injected failure surfaces as a clean Status — never an
+//      abort, never a crash of the harness process itself.
+//   4. No cycle leaves a file the reader can neither open nor cleanly
+//      reject. Bitflip cycles deliberately corrupt the base file and
+//      accept exactly two outcomes: an open that reproduces the oracle
+//      state, or a typed Corruption rejection (counted, then salvaged).
+//
+// Crash cycles fork(): the child arms a `crash` failpoint at a random
+// storage site, streams an intent/ack record per operation over a pipe,
+// and dies mid-operation via std::_Exit; the parent replays the pipe to
+// learn which writes were acknowledged and verifies the reopened store.
+//
+// Without -DAXON_FAILPOINTS=ON every cycle degrades to a clean
+// (fault-free) cycle, so the same binary exercises the full durable
+// open/update/compact/reopen/query loop in tier-1 builds and becomes a
+// real chaos test in the dedicated CI job.
+
+#ifndef AXON_CHAOS_CHAOS_HARNESS_H_
+#define AXON_CHAOS_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axon {
+namespace chaos {
+
+struct ChaosOptions {
+  /// Master seed: the whole run — op sequences, fault schedules, crash
+  /// points — is a pure function of it.
+  uint64_t seed = 1;
+
+  /// Number of load->fault->reopen->verify cycles.
+  uint64_t cycles = 25;
+
+  /// Working directory for the store files (created if absent). The store
+  /// lives at <dir>/store.db (+ .wal/.tmp siblings).
+  std::string dir;
+
+  /// Operations attempted per cycle.
+  uint64_t ops_per_cycle = 48;
+
+  /// Fork-based crash cycles (needs failpoints compiled in; POSIX only).
+  bool enable_crashes = true;
+
+  /// Narrate each cycle to stderr.
+  bool verbose = false;
+};
+
+struct ChaosReport {
+  uint64_t cycles_run = 0;
+  uint64_t ops_acknowledged = 0;
+  uint64_t ops_rejected = 0;       // ops that returned a clean non-OK Status
+  uint64_t crashes_injected = 0;   // children that died at an armed site
+  uint64_t errors_injected = 0;    // faults that fired in error cycles
+  uint64_t corruptions_detected = 0;  // bitflipped files cleanly rejected
+  uint64_t salvage_opens = 0;      // OpenSalvage attempts on rejected files
+
+  /// One line per cycle: the armed-site schedule. Reprinting it (see
+  /// tools/chaos_run) is enough to reproduce a failure.
+  std::vector<std::string> schedule;
+
+  /// Invariant violations; empty == the run passed.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs the chaos loop. Deterministic in options.seed (modulo which of the
+/// two legal outcomes each bitflip lands on, which depends on where the
+/// flipped bit falls — both are verified, neither is a violation).
+ChaosReport RunChaos(const ChaosOptions& options);
+
+}  // namespace chaos
+}  // namespace axon
+
+#endif  // AXON_CHAOS_CHAOS_HARNESS_H_

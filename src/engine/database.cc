@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "cs/cs_extractor.h"
 #include "ecs/ecs_extractor.h"
@@ -113,6 +114,16 @@ Status Database::Save(const std::string& path) const {
   PutVarint64(&buf, info_.num_ecs_edges);
   AXON_RETURN_NOT_OK(writer.AddSection("build_info", buf));
   return writer.Finish();
+}
+
+Status Database::SaveAtomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  Status st = Save(tmp);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());  // best effort; recovery also reaps orphans
+    return st;
+  }
+  return AtomicRename(tmp, path);
 }
 
 Result<Database> Database::Open(const std::string& path,

@@ -50,8 +50,17 @@ class Database : public QueryEngine {
   static Result<Database> Build(const Dataset& dataset,
                                 EngineOptions options = {});
 
-  /// Persists all structures into one binary database file.
+  /// Persists all structures into one binary database file. The file is
+  /// fsynced before the call returns (DbFileWriter::Finish syncs), but the
+  /// write is in place — a crash mid-Save leaves a torn file. Use
+  /// SaveAtomic() when `path` may already hold a good database.
   Status Save(const std::string& path) const;
+
+  /// Crash-atomic save: writes `path + ".tmp"`, fsyncs, then renames over
+  /// `path` and fsyncs the directory. At every kill point `path` holds
+  /// either the complete old database or the complete new one. A stale
+  /// orphaned temp from an earlier crash is overwritten.
+  Status SaveAtomic(const std::string& path) const;
 
   /// Opens a Save()d database file, copying the triple tables into memory.
   static Result<Database> Open(const std::string& path,

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -430,6 +431,20 @@ Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
 }
 
 Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
+  // Allocation failures anywhere in the pipeline — including ones a
+  // worker task hit and WaitGroup::Wait rethrew, or an armed "exec.query"
+  // oom failpoint — surface as a clean ResourceExhausted, never a crash:
+  // one query overrunning memory must not take the server down.
+  try {
+    AXON_FAILPOINT("exec.query");
+    return ExecuteImpl(query);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "query aborted: out of memory during execution");
+  }
+}
+
+Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query) const {
   AXON_SPAN("query.execute");
   QueryResult result;
   // One shared deadline per query: the merging thread checks it between
@@ -664,7 +679,8 @@ Result<std::string> Executor::Explain(const SelectQuery& query) const {
   AXON_ASSIGN_OR_RETURN(QueryGraph qg,
                         BuildQueryGraph(query, *dict_, cs_->properties()));
   if (qg.impossible) {
-    append("plan: EMPTY (a bound term or predicate does not occur in the data)");
+    append(
+        "plan: EMPTY (a bound term or predicate does not occur in the data)");
     return out;
   }
   append("query graph: " + std::to_string(qg.nodes.size()) + " nodes, " +

@@ -101,6 +101,11 @@ class Executor {
                                ExecStats* stats);
 
  private:
+  /// Execute() minus the fault boundary: Execute wraps this in the
+  /// bad_alloc -> ResourceExhausted translation (and the "exec.query"
+  /// failpoint) so OOM anywhere in the pipeline is a clean Status.
+  Result<QueryResult> ExecuteImpl(const SelectQuery& query) const;
+
   /// eval(Q_i): union of the matched ECS partitions' rows for every link
   /// pattern of the query ECS, link patterns natural-joined on the chain
   /// node columns. The per-ECS PSO range scans run as pool tasks; partial

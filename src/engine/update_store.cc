@@ -1,6 +1,18 @@
 #include "engine/update_store.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/failpoint.h"
+
 namespace axon {
+
+namespace {
+std::string WalPath(const std::string& base) { return base + ".wal"; }
+std::string TmpPath(const std::string& base) { return base + ".tmp"; }
+}  // namespace
 
 Result<UpdatableDatabase> UpdatableDatabase::Create(const Dataset& initial,
                                                     UpdateOptions options) {
@@ -14,6 +26,91 @@ Result<UpdatableDatabase> UpdatableDatabase::Create(const Dataset& initial,
   return db;
 }
 
+Result<UpdatableDatabase> UpdatableDatabase::OpenDurable(
+    const std::string& path, UpdateOptions options) {
+  if (path.empty()) {
+    return Status::InvalidArgument("OpenDurable: empty path");
+  }
+  UpdatableDatabase db;
+  db.options_ = options;
+  db.path_ = path;
+
+  // Recovery step 1: reap the orphaned temp a crash mid-SaveAtomic leaves
+  // behind. It was never renamed, so it is not part of the store.
+  std::remove(TmpPath(path).c_str());
+
+  // Recovery step 2: open the base snapshot if one was ever committed.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    auto opened = Database::Open(path, options.engine);
+    if (!opened.ok()) return opened.status();  // typed Corruption/IOError
+    db.snapshot_ =
+        std::make_unique<Database>(std::move(opened).ValueOrDie());
+    db.dict_ = db.snapshot_->dict();
+    for (const Triple& t : db.snapshot_->cs_index().spo().rows()) {
+      db.live_.insert({t.s, t.p, t.o});
+    }
+  }
+
+  // Recovery step 3: replay the delta. Idempotent ops make a WAL that was
+  // already (partially) folded into the base converge to the same state.
+  auto replayed = ReplayWal(WalPath(path), [&db](std::string_view record) {
+    return db.ApplyLogRecord(record);
+  });
+  if (!replayed.ok()) return replayed.status();
+  db.dirty_ = replayed.value().records > 0 || db.snapshot_ == nullptr;
+  db.pending_ops_ = replayed.value().records;
+
+  // Recovery step 4: drop a torn tail (never-acknowledged bytes), then
+  // arm the log for new writes.
+  db.wal_ = std::make_unique<WalWriter>();
+  AXON_RETURN_NOT_OK(
+      db.wal_->Open(WalPath(path), replayed.value().valid_bytes));
+
+  // A fresh store (no base yet) commits an empty base immediately so a
+  // reader never sees "no file" after a successful OpenDurable.
+  if (db.snapshot_ == nullptr) {
+    AXON_RETURN_NOT_OK(db.Compact());
+  }
+  return db;
+}
+
+Status UpdatableDatabase::LogOp(char op, const TermTriple& triple) {
+  std::string record;
+  record.push_back(op);
+  record += WriteNTriplesLine(triple);
+  AXON_RETURN_NOT_OK(wal_->Append(record));
+  if (options_.sync_writes) {
+    AXON_RETURN_NOT_OK(wal_->Sync());
+  }
+  return Status::OK();
+}
+
+Status UpdatableDatabase::ApplyLogRecord(std::string_view record) {
+  if (record.empty()) return Status::Corruption("wal: empty record");
+  char op = record[0];
+  auto parsed = ParseNTriplesLine(record.substr(1));
+  if (!parsed.ok()) {
+    return Status::Corruption("wal: bad record: " +
+                              parsed.status().message());
+  }
+  const TermTriple& t = parsed.value();
+  if (op == '+') {
+    live_.insert(
+        {dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)});
+  } else if (op == '-') {
+    auto s = dict_.Lookup(t.s);
+    auto p = dict_.Lookup(t.p);
+    auto o = dict_.Lookup(t.o);
+    if (s.has_value() && p.has_value() && o.has_value()) {
+      live_.erase({*s, *p, *o});
+    }
+  } else {
+    return Status::Corruption("wal: unknown op byte");
+  }
+  return Status::OK();
+}
+
 Status UpdatableDatabase::Insert(const TermTriple& triple) {
   if (!triple.s.is_iri() && !triple.s.is_blank()) {
     return Status::InvalidArgument("subject must be an IRI or blank node");
@@ -25,6 +122,15 @@ Status UpdatableDatabase::Insert(const TermTriple& triple) {
   TermId p = dict_.Intern(triple.p);
   TermId o = dict_.Intern(triple.o);
   if (live_.insert({s, p, o}).second) {
+    if (wal_ != nullptr) {
+      Status logged = LogOp('+', triple);
+      if (!logged.ok()) {
+        // Not acknowledged: roll the in-memory effect back so the state
+        // never claims a write durability cannot back.
+        live_.erase({s, p, o});
+        return logged;
+      }
+    }
     dirty_ = true;
     ++pending_ops_;
     if (options_.compaction_threshold > 0 &&
@@ -43,6 +149,13 @@ Status UpdatableDatabase::Delete(const TermTriple& triple) {
     return Status::OK();  // never seen: nothing to delete
   }
   if (live_.erase({*s, *p, *o}) > 0) {
+    if (wal_ != nullptr) {
+      Status logged = LogOp('-', triple);
+      if (!logged.ok()) {
+        live_.insert({*s, *p, *o});
+        return logged;
+      }
+    }
     dirty_ = true;
     ++pending_ops_;
     if (options_.compaction_threshold > 0 &&
@@ -63,6 +176,7 @@ Status UpdatableDatabase::InsertNTriples(std::string_view text) {
 }
 
 Status UpdatableDatabase::Compact() {
+  AXON_FAILPOINT_STATUS("compact.build");
   // Rebuild the read-optimized store from the live set. The dictionary is
   // reused as-is: ids are stable across compactions, so bindings held by
   // callers keep rendering correctly.
@@ -75,6 +189,19 @@ Status UpdatableDatabase::Compact() {
   auto built = Database::Build(data, options_.engine);
   if (!built.ok()) return built.status();
   snapshot_ = std::make_unique<Database>(std::move(built).ValueOrDie());
+  if (wal_ != nullptr) {
+    // Fold the delta into the base. Order matters: the new base must be
+    // durably committed (temp + fsync + rename) BEFORE the WAL resets.
+    // Crash windows: before the rename — old base + full WAL, nothing
+    // lost; between rename and reset — new base + stale WAL, whose replay
+    // is idempotent; after reset — new base + empty WAL. On a persist
+    // error we keep dirty_ so durability is retried, while the rebuilt
+    // in-memory snapshot stays fully queryable.
+    AXON_FAILPOINT_STATUS("compact.persist");
+    Status persisted = snapshot_->SaveAtomic(path_);
+    if (!persisted.ok()) return persisted;
+    AXON_RETURN_NOT_OK(wal_->Reset(WalPath(path_)));
+  }
   dirty_ = false;
   pending_ops_ = 0;
   return Status::OK();
@@ -95,6 +222,24 @@ Result<QueryResult> UpdatableDatabase::Execute(const SelectQuery& query) {
 Result<QueryResult> UpdatableDatabase::ExecuteSparql(std::string_view text) {
   AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
   return db->ExecuteSparql(text);
+}
+
+Result<std::vector<std::string>> UpdatableDatabase::ExportLines() const {
+  std::vector<std::string> lines;
+  lines.reserve(live_.size());
+  for (const auto& [s, p, o] : live_) {
+    TermTriple t;
+    AXON_ASSIGN_OR_RETURN(t.s, dict_.GetTerm(s));
+    AXON_ASSIGN_OR_RETURN(t.p, dict_.GetTerm(p));
+    AXON_ASSIGN_OR_RETURN(t.o, dict_.GetTerm(o));
+    std::string line = WriteNTriplesLine(t);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
 }
 
 Result<std::vector<std::vector<std::string>>> UpdatableDatabase::Render(

@@ -11,15 +11,27 @@
 // the read-optimized ECS store is rebuilt — at a configurable delta
 // threshold, or lazily at query time. Queries always observe every
 // acknowledged write (snapshot-consistent read-your-writes).
+//
+// Durable mode (OpenDurable): the store is rooted at a path P — the base
+// snapshot lives in the single binary db file P and the delta in the
+// write-ahead log P+".wal". An Insert/Delete is acknowledged only after
+// its record is appended to the WAL and fsynced; Compact() folds the
+// delta into a new base with the crash-atomic write-temp + fsync + rename
+// protocol and then resets the WAL. Killing the process at ANY point
+// leaves P either the old or the new complete base, and replaying the WAL
+// (idempotent set operations) reconverges — no acknowledged write is ever
+// lost, which tests/chaos_test.cc proves under injected crashes.
 
 #ifndef AXON_ENGINE_UPDATE_STORE_H_
 #define AXON_ENGINE_UPDATE_STORE_H_
 
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "engine/database.h"
+#include "storage/wal.h"
 
 namespace axon {
 
@@ -30,16 +42,34 @@ struct UpdateOptions {
 
   /// Engine options used for every rebuild.
   EngineOptions engine;
+
+  /// Durable mode only: fsync the WAL before acknowledging each write
+  /// (default). Turning it off batches syncs until the next Compact() —
+  /// faster, but a crash may lose the unsynced suffix of the delta.
+  bool sync_writes = true;
 };
 
 class UpdatableDatabase {
  public:
-  /// Starts from an initial dataset (may be empty).
+  /// Starts from an initial dataset (may be empty). In-memory: nothing is
+  /// persisted until the caller saves a Snapshot() themselves.
   static Result<UpdatableDatabase> Create(const Dataset& initial,
                                           UpdateOptions options = {});
 
+  /// Opens (or creates) a durable store rooted at `path`: recovers from
+  /// any earlier crash — discards orphaned `path+".tmp"`, opens the base
+  /// if present, replays the WAL, truncates a torn WAL tail — and arms
+  /// write-ahead logging for all subsequent updates.
+  static Result<UpdatableDatabase> OpenDurable(const std::string& path,
+                                               UpdateOptions options = {});
+
+  UpdatableDatabase(UpdatableDatabase&&) = default;
+  UpdatableDatabase& operator=(UpdatableDatabase&&) = default;
+
   /// Inserts one triple. Duplicate inserts are idempotent (RDF set
-  /// semantics). Never fails on valid terms.
+  /// semantics). Never fails on valid terms in memory mode; in durable
+  /// mode a WAL failure returns non-OK and the write is NOT applied (and
+  /// must not be considered acknowledged).
   Status Insert(const TermTriple& triple);
 
   /// Deletes one triple; deleting an absent triple is a no-op.
@@ -54,7 +84,13 @@ class UpdatableDatabase {
   /// Current triple count (base + delta effects).
   uint64_t num_triples() const { return live_.size(); }
 
-  /// Forces a rebuild of the ECS store from the current state.
+  /// True when backed by a base file + WAL.
+  bool durable() const { return !path_.empty(); }
+
+  /// Forces a rebuild of the ECS store from the current state. Durable
+  /// mode: also persists the new base crash-atomically and resets the
+  /// WAL; on persist failure the store stays dirty (and fully queryable)
+  /// and the WAL keeps the delta, so no acknowledged write is at risk.
   Status Compact();
 
   /// Executes a query against the current state (compacts first if dirty).
@@ -69,10 +105,24 @@ class UpdatableDatabase {
   Result<std::vector<std::vector<std::string>>> Render(
       const BindingTable& table);
 
+  /// Canonical N-Triples lines (no trailing newline) of the current live
+  /// set, sorted — the state fingerprint the chaos harness compares across
+  /// crash/reopen cycles.
+  Result<std::vector<std::string>> ExportLines() const;
+
  private:
   UpdatableDatabase() = default;
 
+  /// Appends one op record ('+'/'-' + N-Triples line) to the WAL and, per
+  /// options_.sync_writes, fsyncs it.
+  Status LogOp(char op, const TermTriple& triple);
+
+  /// Applies a WAL record to the in-memory state (no logging): recovery.
+  Status ApplyLogRecord(std::string_view record);
+
   UpdateOptions options_;
+  std::string path_;                      // empty = in-memory mode
+  std::unique_ptr<WalWriter> wal_;        // non-null iff durable
   Dictionary dict_;                       // grows monotonically
   std::set<std::tuple<TermId, TermId, TermId>> live_;  // current triple set
   std::unique_ptr<Database> snapshot_;

@@ -1,5 +1,6 @@
 #include "storage/db_file.h"
 
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/varint.h"
 
@@ -19,6 +20,7 @@ Status DbFileWriter::Open(const std::string& path) {
 
 Status DbFileWriter::AddSection(const std::string& name,
                                 std::string_view payload) {
+  AXON_FAILPOINT_STATUS("dbfile.write.section");
   for (const auto& s : sections_) {
     if (s.name == name) {
       return Status::AlreadyExists("duplicate section: " + name);
@@ -40,6 +42,7 @@ Status DbFileWriter::AddSection(const std::string& name,
 }
 
 Status DbFileWriter::Finish() {
+  AXON_FAILPOINT_STATUS("dbfile.write.toc");
   uint64_t toc_offset = writer_.offset();
   std::string toc;
   PutVarint64(&toc, sections_.size());
@@ -53,13 +56,32 @@ Status DbFileWriter::Finish() {
   AXON_RETURN_NOT_OK(writer_.Append(toc));
   AXON_RETURN_NOT_OK(writer_.AppendFixed64(toc_offset));
   AXON_RETURN_NOT_OK(writer_.Append(kFooterMagic, kMagicLen));
+  // A db file is only complete once its footer is on stable storage; the
+  // crash-atomic save protocol (write temp + Finish + rename) relies on it.
+  AXON_RETURN_NOT_OK(writer_.Sync());
   return writer_.Close();
 }
 
 Status DbFileReader::Open(const std::string& path) {
+  return OpenInternal(path, /*salvage=*/false, nullptr);
+}
+
+Status DbFileReader::OpenSalvage(const std::string& path,
+                                 SalvageReport* report) {
+  return OpenInternal(path, /*salvage=*/true, report);
+}
+
+// Every field read below is bounds-checked against the mapping before use,
+// and every size/offset arithmetic is overflow-safe: the TOC comes from
+// disk and must be treated as hostile (fuzz_dbfile feeds this path
+// adversarial bytes; tier-1 replays its regression corpus).
+Status DbFileReader::OpenInternal(const std::string& path, bool salvage,
+                                  SalvageReport* report) {
+  sections_.clear();
+  AXON_FAILPOINT_STATUS("dbfile.open");
   AXON_RETURN_NOT_OK(file_.Open(path));
   if (file_.size() < kMagicLen + kFooterLen) {
-    return Status::Corruption("db file too small: " + path);
+    return Status::Corruption("db file too small (torn tail?): " + path);
   }
   if (file_.view().substr(0, kMagicLen) !=
       std::string_view(kMagic, kMagicLen)) {
@@ -68,23 +90,28 @@ Status DbFileReader::Open(const std::string& path) {
   const char* end = file_.data() + file_.size();
   if (std::string_view(end - kMagicLen, kMagicLen) !=
       std::string_view(kFooterMagic, kMagicLen)) {
-    return Status::Corruption("db file: bad footer magic");
+    return Status::Corruption("db file: bad footer magic (torn tail?)");
   }
   uint64_t toc_offset = DecodeFixed64(end - kFooterLen);
-  if (toc_offset >= file_.size() - kFooterLen) {
+  if (toc_offset < kMagicLen || toc_offset >= file_.size() - kFooterLen) {
     return Status::Corruption("db file: bad TOC offset");
   }
   const char* p = file_.data() + toc_offset;
   const char* limit = end - kFooterLen;
   uint64_t count = 0;
   p = GetVarint64(p, limit, &count);
-  if (p == nullptr) return Status::Corruption("db file: TOC count");
-  sections_.clear();
+  if (p == nullptr) return Status::Corruption("db file: truncated TOC count");
+  // Each entry needs >= 25 bytes (name length varint + 24 fixed); an
+  // adversarial count can't make us loop past the mapping.
+  if (count > static_cast<uint64_t>(limit - p) / 25 + 1) {
+    return Status::Corruption("db file: absurd TOC count");
+  }
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
     p = GetVarint64(p, limit, &name_len);
-    if (p == nullptr || p + name_len + 24 > limit) {
-      return Status::Corruption("db file: TOC entry");
+    if (p == nullptr || name_len > static_cast<uint64_t>(limit - p) ||
+        static_cast<uint64_t>(limit - p) - name_len < 24) {
+      return Status::Corruption("db file: truncated TOC entry");
     }
     SectionEntry e;
     e.name.assign(p, name_len);
@@ -93,13 +120,26 @@ Status DbFileReader::Open(const std::string& path) {
     e.size = DecodeFixed64(p + 8);
     uint64_t expected_hash = DecodeFixed64(p + 16);
     p += 24;
-    if (e.offset + e.size > toc_offset) {
+    for (const auto& prev : sections_) {
+      if (prev.name == e.name) {
+        return Status::Corruption("db file: duplicate section in TOC: " +
+                                  e.name);
+      }
+    }
+    if (e.offset < kMagicLen || e.offset > toc_offset ||
+        e.size > toc_offset - e.offset) {  // overflow-safe bounds check
       return Status::Corruption("db file: section out of bounds: " + e.name);
     }
     uint64_t actual = HashBytes(file_.data() + e.offset, e.size);
     if (actual != expected_hash) {
-      return Status::Corruption("db file: checksum mismatch in section " +
-                                e.name);
+      if (!salvage) {
+        return Status::Corruption("db file: checksum mismatch in section " +
+                                  e.name);
+      }
+      e.quarantined = true;
+      if (report != nullptr) {
+        report->quarantined.push_back(e.name + ": checksum mismatch");
+      }
     }
     sections_.push_back(std::move(e));
   }
@@ -110,6 +150,9 @@ Result<std::string_view> DbFileReader::GetSection(
     const std::string& name) const {
   for (const auto& s : sections_) {
     if (s.name == name) {
+      if (s.quarantined) {
+        return Status::Corruption("db file: section quarantined: " + name);
+      }
       return std::string_view(file_.data() + s.offset, s.size);
     }
   }
@@ -118,7 +161,7 @@ Result<std::string_view> DbFileReader::GetSection(
 
 bool DbFileReader::HasSection(const std::string& name) const {
   for (const auto& s : sections_) {
-    if (s.name == name) return true;
+    if (s.name == name) return !s.quarantined;
   }
   return false;
 }
@@ -126,7 +169,9 @@ bool DbFileReader::HasSection(const std::string& name) const {
 std::vector<std::string> DbFileReader::SectionNames() const {
   std::vector<std::string> out;
   out.reserve(sections_.size());
-  for (const auto& s : sections_) out.push_back(s.name);
+  for (const auto& s : sections_) {
+    if (!s.quarantined) out.push_back(s.name);
+  }
   return out;
 }
 

@@ -51,13 +51,30 @@ class DbFileWriter {
 /// Memory-maps a database file and resolves sections by name.
 class DbFileReader {
  public:
+  /// What OpenSalvage() had to quarantine, for operator triage.
+  struct SalvageReport {
+    /// Sections whose checksum did not match, with the reason appended
+    /// ("name: checksum mismatch"). Quarantined sections are not served.
+    std::vector<std::string> quarantined;
+  };
+
   /// Maps the file and validates magic, TOC and per-section checksums.
+  /// Any damage — torn tail, truncated TOC, checksum mismatch — yields a
+  /// typed Corruption status naming what failed; never aborts.
   Status Open(const std::string& path);
 
+  /// Salvage mode: structural damage (bad magic/footer/TOC) still fails
+  /// the open, but sections with checksum mismatches are quarantined
+  /// instead of failing the whole file — the healthy sections stay
+  /// readable. `report` (optional) receives the quarantine list.
+  Status OpenSalvage(const std::string& path, SalvageReport* report);
+
   /// Zero-copy view of a section's payload. The view stays valid for the
-  /// lifetime of this reader.
+  /// lifetime of this reader. Quarantined sections return Corruption;
+  /// absent ones NotFound.
   Result<std::string_view> GetSection(const std::string& name) const;
 
+  /// True for healthy (non-quarantined) sections only.
   bool HasSection(const std::string& name) const;
   std::vector<std::string> SectionNames() const;
   uint64_t file_size() const { return file_.size(); }
@@ -67,7 +84,11 @@ class DbFileReader {
     std::string name;
     uint64_t offset;
     uint64_t size;
+    bool quarantined = false;
   };
+
+  Status OpenInternal(const std::string& path, bool salvage,
+                      SalvageReport* report);
 
   MmapFile file_;
   std::vector<SectionEntry> sections_;

@@ -1,0 +1,134 @@
+#include "storage/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failpoint.h"
+#include "util/hash.h"
+#include "util/varint.h"
+
+namespace axon {
+
+namespace {
+constexpr size_t kFrameHeader = 4;   // fixed32 payload length
+constexpr size_t kFrameFooter = 8;   // fixed64 fnv1a of the payload
+}  // namespace
+
+Status WalWriter::Open(const std::string& path, uint64_t trusted_bytes) {
+  if (open_) return Status::Internal("WalWriter already open");
+  path_ = path;
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 &&
+      static_cast<uint64_t>(st.st_size) > trusted_bytes) {
+    AXON_FAILPOINT_STATUS("wal.truncate");
+    if (::truncate(path.c_str(), static_cast<off_t>(trusted_bytes)) != 0) {
+      return Status::IOError("wal truncate " + path + ": " +
+                             std::strerror(errno));
+    }
+  }
+  AXON_RETURN_NOT_OK(writer_.Open(path, FileWriter::Mode::kAppend));
+  open_ = true;
+  broken_ = false;
+  return Status::OK();
+}
+
+Status WalWriter::Reset(const std::string& path) {
+  AXON_RETURN_NOT_OK(Close());
+  AXON_FAILPOINT_STATUS("wal.truncate");
+  path_ = path;
+  AXON_RETURN_NOT_OK(writer_.Open(path, FileWriter::Mode::kTruncate));
+  // The empty log must be durable before the caller forgets the delta. On
+  // failure the writer must not be left open while open_ is false — a
+  // retried Reset would then find the file handle still held and fail
+  // forever ("FileWriter already open").
+  Status synced = writer_.Sync();
+  if (!synced.ok()) {
+    (void)writer_.Close();
+    return synced;
+  }
+  open_ = true;
+  broken_ = false;
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::string_view record) {
+  if (!open_) return Status::Internal("WalWriter not open");
+  if (broken_) {
+    return Status::IOError("wal " + path_ +
+                           ": writer is broken after a failed self-heal");
+  }
+  AXON_FAILPOINT_STATUS("wal.append");
+  const uint64_t start = writer_.offset();
+  std::string frame;
+  frame.reserve(kFrameHeader + record.size() + kFrameFooter);
+  PutFixed32(&frame, static_cast<uint32_t>(record.size()));
+  frame.append(record);
+  PutFixed64(&frame, HashBytes(record.data(), record.size()));
+  Status st = writer_.Append(frame);
+  if (st.ok()) return Status::OK();
+  // Self-heal: drop the partial frame so the log stays a clean prefix of
+  // whole frames. Close (discarding buffered bytes is fine — they were
+  // never acknowledged), truncate to the pre-append boundary, reopen.
+  (void)writer_.Close();
+  open_ = false;
+  if (::truncate(path_.c_str(), static_cast<off_t>(start)) != 0) {
+    broken_ = true;
+    return st;
+  }
+  Status reopen = writer_.Open(path_, FileWriter::Mode::kAppend);
+  if (!reopen.ok() || writer_.offset() != start) {
+    broken_ = true;
+    return st;
+  }
+  open_ = true;
+  return st;  // the append itself still failed; op must not be acknowledged
+}
+
+Status WalWriter::Sync() {
+  if (!open_) return Status::Internal("WalWriter not open");
+  AXON_FAILPOINT_STATUS("wal.sync");
+  return writer_.Sync();
+}
+
+Status WalWriter::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  return writer_.Close();
+}
+
+Result<WalReplayResult> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view)>& apply) {
+  WalReplayResult result;
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return result;  // no log: nothing to replay
+  }
+  std::string bytes;
+  AXON_RETURN_NOT_OK(ReadFileToString(path, &bytes));
+  size_t pos = 0;
+  while (pos + kFrameHeader + kFrameFooter <= bytes.size()) {
+    uint32_t len = DecodeFixed32(bytes.data() + pos);
+    if (len > bytes.size() - pos - kFrameHeader - kFrameFooter) {
+      result.torn = true;  // frame extends past the file: torn tail
+      break;
+    }
+    const char* payload = bytes.data() + pos + kFrameHeader;
+    uint64_t expected = DecodeFixed64(payload + len);
+    if (HashBytes(payload, len) != expected) {
+      result.torn = true;  // half-written or bit-rotted frame
+      break;
+    }
+    AXON_RETURN_NOT_OK(apply(std::string_view(payload, len)));
+    pos += kFrameHeader + len + kFrameFooter;
+    ++result.records;
+    result.valid_bytes = pos;
+  }
+  if (pos < bytes.size() && !result.torn) result.torn = true;
+  return result;
+}
+
+}  // namespace axon

@@ -1,0 +1,80 @@
+// Write-ahead delta log for the updatable store.
+//
+// UpdatableDatabase acknowledges an Insert/Delete only after the operation
+// is framed, appended to `<base>.wal` and fsynced; Compact() folds the log
+// into a freshly written base snapshot (write-temp + fsync + rename) and
+// resets the log. Crash recovery = open base + replay log; because the
+// logged operations are idempotent RDF set mutations, replaying a log that
+// was already (partially) folded into the base converges to the same
+// state, which is what makes the compaction protocol crash-atomic at
+// every intermediate point.
+//
+// Frame format (little-endian):  [fixed32 len][payload][fixed64 fnv1a]
+// A torn tail — a frame cut short by a crash — fails the length or
+// checksum test and cleanly ends the replay; a record that was never
+// fully durable was by construction never acknowledged.
+
+#ifndef AXON_STORAGE_WAL_H_
+#define AXON_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace axon {
+
+/// Appends checksummed frames to a log file. Usage:
+///   WalWriter w;  w.Open(path);
+///   w.Append(record);  w.Sync();   // now the record may be acknowledged
+class WalWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent). Any bytes past
+  /// `trusted_bytes` — a torn tail found by ReplayWal — are truncated
+  /// away first so later appends never land after garbage.
+  Status Open(const std::string& path, uint64_t trusted_bytes);
+
+  /// Opens fresh, truncating an existing log (the post-compaction reset).
+  Status Reset(const std::string& path);
+
+  /// Frames and appends one record. On any append failure the writer
+  /// truncates the file back to the last durable frame boundary, so a
+  /// half-written frame can never sit *between* valid frames; if even the
+  /// self-heal fails the writer goes broken and every later Append
+  /// returns the original error (fail-stop, nothing acknowledged).
+  Status Append(std::string_view record);
+
+  /// Fsyncs the log. Acknowledge only after this returns OK.
+  Status Sync();
+
+  Status Close();
+
+  uint64_t bytes() const { return writer_.offset(); }
+  bool broken() const { return broken_; }
+
+ private:
+  std::string path_;
+  FileWriter writer_;
+  bool open_ = false;
+  bool broken_ = false;
+};
+
+struct WalReplayResult {
+  uint64_t records = 0;      // frames successfully applied
+  uint64_t valid_bytes = 0;  // log prefix covered by those frames
+  bool torn = false;         // trailing bytes did not form a whole frame
+};
+
+/// Replays every intact frame of `path` through `apply`, stopping cleanly
+/// at a torn tail. A missing file is an empty log (0 records). An apply
+/// failure aborts the replay with that status.
+Result<WalReplayResult> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view)>& apply);
+
+}  // namespace axon
+
+#endif  // AXON_STORAGE_WAL_H_

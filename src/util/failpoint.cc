@@ -1,0 +1,291 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "util/random.h"
+
+namespace axon {
+namespace failpoint {
+
+namespace {
+
+struct SiteState {
+  Action action = Action::kOff;
+  uint64_t arg = 0;
+  double prob = 1.0;         // @P
+  int64_t remaining = -1;    // *N; -1 = unlimited
+  uint64_t skip = 0;         // +K
+  uint64_t evals = 0;
+  uint64_t hits = 0;
+  uint64_t rng_seed = 0;     // global seed mixed with the site name
+  Random rng{0};
+  std::string spec;          // original text, for ArmedSites()
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  uint64_t seed = 0;
+  std::atomic<bool> env_checked{false};
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+// Fast-path gate: number of armed sites. Zero => Eval returns immediately.
+std::atomic<uint32_t> g_armed{0};
+
+uint64_t SiteSeed(uint64_t seed, const std::string& site) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Parses "action[:arg][@prob][*count][+skip]" into `out`.
+Status ParseSpec(const std::string& site, const std::string& spec,
+                 SiteState* out) {
+  std::string body = spec;
+  // Peel the suffixes strictly right-to-left — always the rightmost
+  // marker first, so "err@0.5*3+2" splits into @0.5, *3, +2 regardless of
+  // the order they were written in. Each marker may appear at most once.
+  std::string prob_s, count_s, skip_s;
+  for (;;) {
+    size_t best = std::string::npos;
+    char which = 0;
+    for (char marker : {'@', '*', '+'}) {
+      const size_t at = body.rfind(marker);
+      if (at != std::string::npos &&
+          (best == std::string::npos || at > best)) {
+        best = at;
+        which = marker;
+      }
+    }
+    if (best == std::string::npos) break;
+    std::string* slot = which == '@' ? &prob_s
+                        : which == '*' ? &count_s
+                                       : &skip_s;
+    if (!slot->empty()) {
+      return Status::InvalidArgument("failpoint " + site + ": duplicate '" +
+                                     std::string(1, which) + "' in spec '" +
+                                     spec + "'");
+    }
+    *slot = body.substr(best + 1);
+    body = body.substr(0, best);
+  }
+  std::string arg_s;
+  size_t colon = body.find(':');
+  if (colon != std::string::npos) {
+    arg_s = body.substr(colon + 1);
+    body = body.substr(0, colon);
+  }
+
+  if (body == "err" || body == "error") {
+    out->action = Action::kError;
+  } else if (body == "short") {
+    out->action = Action::kShortIo;
+  } else if (body == "delay") {
+    out->action = Action::kDelay;
+    out->arg = 1;  // default 1ms
+  } else if (body == "bitflip") {
+    out->action = Action::kBitflip;
+  } else if (body == "oom") {
+    out->action = Action::kOom;
+  } else if (body == "crash" || body == "crash-here") {
+    out->action = Action::kCrash;
+  } else {
+    return Status::InvalidArgument("failpoint " + site + ": unknown action '" +
+                                   body + "' in spec '" + spec + "'");
+  }
+
+  if (!arg_s.empty()) {
+    // Accept "5" and "5ms" for delays; plain integers elsewhere.
+    size_t end = arg_s.find_first_not_of("0123456789");
+    if (end == 0 ||
+        (end != std::string::npos && arg_s.substr(end) != "ms")) {
+      return Status::InvalidArgument("failpoint " + site + ": bad arg '" +
+                                     arg_s + "' in spec '" + spec + "'");
+    }
+    out->arg = std::strtoull(arg_s.c_str(), nullptr, 10);
+  }
+  if (!prob_s.empty()) {
+    char* end = nullptr;
+    out->prob = std::strtod(prob_s.c_str(), &end);
+    if (end == prob_s.c_str() || *end != '\0' || out->prob < 0.0 ||
+        out->prob > 1.0) {
+      return Status::InvalidArgument("failpoint " + site +
+                                     ": bad probability '" + prob_s + "'");
+    }
+  }
+  if (!count_s.empty()) {
+    out->remaining = static_cast<int64_t>(
+        std::strtoull(count_s.c_str(), nullptr, 10));
+  }
+  if (!skip_s.empty()) {
+    out->skip = std::strtoull(skip_s.c_str(), nullptr, 10);
+  }
+  out->spec = spec;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Arm(const std::string& site, const std::string& spec) {
+  if (site.empty()) return Status::InvalidArgument("failpoint: empty site");
+  SiteState state;
+  AXON_RETURN_NOT_OK(ParseSpec(site, spec, &state));
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  state.rng_seed = SiteSeed(reg.seed, site);
+  state.rng = Random(state.rng_seed);
+  auto [it, inserted] = reg.sites.insert_or_assign(site, std::move(state));
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ArmFromSpec(const std::string& multi_spec) {
+  size_t pos = 0;
+  while (pos < multi_spec.size()) {
+    size_t comma = multi_spec.find(',', pos);
+    if (comma == std::string::npos) comma = multi_spec.size();
+    std::string item = multi_spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint spec '" + item +
+                                     "': expected site=action");
+    }
+    AXON_RETURN_NOT_OK(Arm(item.substr(0, eq), item.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+Status ArmFromEnv() {
+  const char* env = std::getenv("AXON_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmFromSpec(env);
+}
+
+void Disarm(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.sites.erase(site) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  g_armed.fetch_sub(static_cast<uint32_t>(reg.sites.size()),
+                    std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.seed = seed;
+  for (auto& [site, state] : reg.sites) {
+    state.rng_seed = SiteSeed(seed, site);
+    state.rng = Random(state.rng_seed);
+    state.evals = 0;
+    state.hits = 0;
+  }
+}
+
+uint64_t Hits(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, std::string>> ArmedSites() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, state] : reg.sites) {
+    out.emplace_back(site, state.spec);
+  }
+  return out;
+}
+
+Fault Eval(const char* site) {
+  // One-time env pickup so AXON_FAILPOINTS=... works without any code in
+  // the binary under test. Checked before the armed-count fast path.
+  Registry& reg = Reg();
+  if (!reg.env_checked.load(std::memory_order_acquire)) {
+    bool expected = false;
+    if (reg.env_checked.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      Status st = ArmFromEnv();
+      if (!st.ok()) {
+        std::fprintf(stderr, "AXON_FAILPOINTS ignored: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+  if (g_armed.load(std::memory_order_relaxed) == 0) return Fault{};
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return Fault{};
+  SiteState& s = it->second;
+  ++s.evals;
+  if (s.evals <= s.skip) return Fault{};
+  if (s.remaining == 0) return Fault{};
+  if (s.prob < 1.0 && s.rng.NextDouble() >= s.prob) return Fault{};
+  if (s.remaining > 0) --s.remaining;
+  ++s.hits;
+  Fault f;
+  f.action = s.action;
+  f.arg = s.action == Action::kBitflip ? s.rng.Next() : s.arg;
+  return f;
+}
+
+void Execute(const char* site, const Fault& fault) {
+  switch (fault.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.arg));
+      break;
+    case Action::kOom:
+      throw std::bad_alloc();
+    case Action::kCrash:
+      // Die exactly here: no stdio flush, no destructors, no atexit — the
+      // on-disk state is whatever already reached the kernel, the closest
+      // user-space approximation of a power cut.
+      std::fprintf(stderr, "failpoint(%s): injected crash\n", site);
+      std::_Exit(kCrashExitCode);
+    case Action::kOff:
+    case Action::kError:
+    case Action::kShortIo:
+    case Action::kBitflip:
+      break;  // interpreted by the site itself
+  }
+}
+
+Status InjectedError(const char* site) {
+  return Status::IOError("failpoint(" + std::string(site) +
+                         "): injected error");
+}
+
+bool IsInjected(const Status& st) {
+  return !st.ok() && st.message().rfind("failpoint(", 0) == 0;
+}
+
+}  // namespace failpoint
+}  // namespace axon

@@ -1,0 +1,178 @@
+// Failpoint fault-injection framework.
+//
+// A failpoint is a named site in production code where a fault — an I/O
+// error, a short write, a delay, a flipped bit, an allocation failure or a
+// hard crash — can be injected deterministically by tests, the chaos
+// harness or an operator. Sites are free when disarmed and compile to
+// nothing entirely under -DAXON_FAILPOINTS=OFF (the default for Release
+// builds), so the framework is provably zero-cost in production.
+//
+// Usage at a site:
+//
+//   Status FileWriter::Sync() {
+//     AXON_FAILPOINT_STATUS("file.sync");   // err/delay/crash injectable
+//     ...
+//   }
+//
+// Arming (programmatic, e.g. from a test):
+//
+//   failpoint::SetSeed(42);
+//   ASSERT_TRUE(failpoint::Arm("file.sync", "err@0.3").ok());
+//   ...
+//   failpoint::DisarmAll();
+//
+// Arming via environment (picked up by ArmFromEnv(), which main()-less
+// test binaries call lazily on the first Eval):
+//
+//   AXON_FAILPOINTS='dbfile.fsync=err@0.3,pool.task=delay:5ms' ./chaos_run
+//
+// Spec grammar (one per site):  action[:arg][@prob][*count][+skip]
+//   err          evaluate to an injected IOError at the site
+//   short:N      truncate the I/O to at most N bytes, then error
+//   delay[:Tms]  sleep T milliseconds (default 1) before proceeding
+//   bitflip      flip one deterministic bit in the site's buffer
+//   oom          throw std::bad_alloc at the site
+//   crash        std::_Exit(kCrashExitCode) at the site, no cleanup — the
+//                process dies as if SIGKILLed mid-operation
+//   @P           fire with probability P in [0,1] (deterministic in the
+//                seed set via SetSeed; default: always)
+//   *N           fire at most N times, then the site goes quiet
+//   +K           skip the first K evaluations before the first fire
+//
+// Site-naming convention: <module>.<operation>[.<detail>], e.g.
+// "file.write", "dbfile.write.section", "wal.append", "pool.task",
+// "exec.query", "atomic.rename". See DESIGN.md §8 for the full registry.
+//
+// The registry (Arm/Disarm/Eval/Hits) is always compiled — it is a few
+// hundred bytes and lets tests and tools link in every configuration; the
+// AXON_FAILPOINT* macros at the sites are what vanish when the flag is
+// off, so a disarmed-but-compiled-in build pays one relaxed atomic load
+// per site and an OFF build pays nothing.
+
+#ifndef AXON_UTIL_FAILPOINT_H_
+#define AXON_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+#ifndef AXON_FAILPOINTS_ENABLED
+#define AXON_FAILPOINTS_ENABLED 0
+#endif
+
+namespace axon {
+namespace failpoint {
+
+/// Exit code used by the crash action; chaos harnesses waitpid() for it to
+/// distinguish an injected crash from a real one.
+inline constexpr int kCrashExitCode = 87;
+
+enum class Action : uint8_t {
+  kOff = 0,
+  kError,
+  kShortIo,
+  kDelay,
+  kBitflip,
+  kOom,
+  kCrash,
+};
+
+/// What a site should inject right now. kOff means "proceed normally".
+struct Fault {
+  Action action = Action::kOff;
+  /// delay: milliseconds; short-io: byte cap; bitflip: raw entropy the
+  /// site reduces onto its buffer (bit index = arg % (8 * size)).
+  uint64_t arg = 0;
+
+  constexpr explicit operator bool() const { return action != Action::kOff; }
+};
+
+/// Arms `site` with a spec (grammar above). Re-arming replaces the
+/// previous spec and resets its counters.
+Status Arm(const std::string& site, const std::string& spec);
+
+/// Arms a comma-separated list: "siteA=spec,siteB=spec".
+Status ArmFromSpec(const std::string& multi_spec);
+
+/// Arms from the AXON_FAILPOINTS environment variable (no-op when unset).
+/// Called lazily by the first Eval(), so env-armed runs need no code.
+Status ArmFromEnv();
+
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// Seeds the per-site probability streams (default seed: 0). Determinism
+/// contract: same seed + same Eval() sequence => same fire schedule.
+void SetSeed(uint64_t seed);
+
+/// Times `site` evaluated to a live fault so far (for tests/reports).
+uint64_t Hits(const std::string& site);
+
+/// Currently armed sites as (site, original spec) pairs, sorted by site —
+/// the armed-site schedule chaos_run prints for reproducibility.
+std::vector<std::pair<std::string, std::string>> ArmedSites();
+
+/// True when sites are compiled in (AXON_FAILPOINTS=ON).
+constexpr bool CompiledIn() { return AXON_FAILPOINTS_ENABLED != 0; }
+
+/// Consults the registry for `site`. Cheap when nothing is armed (one
+/// relaxed atomic load). Called via the AXON_FAILPOINT* macros.
+Fault Eval(const char* site);
+
+/// Carries out the self-contained actions: delay sleeps, oom throws
+/// std::bad_alloc, crash _Exit()s. kError/kShortIo/kBitflip are no-ops
+/// here — the site interprets them against its own buffers.
+void Execute(const char* site, const Fault& fault);
+
+/// The Status an armed kError evaluates to: IOError("failpoint(<site>):
+/// injected error"). The stable "failpoint(" prefix lets harnesses tell
+/// injected failures from organic ones.
+Status InjectedError(const char* site);
+
+/// True when `st` was produced by InjectedError().
+bool IsInjected(const Status& st);
+
+}  // namespace failpoint
+}  // namespace axon
+
+#if AXON_FAILPOINTS_ENABLED
+
+/// Generic site: handles delay/oom/crash; error-class actions are ignored
+/// (use AXON_FAILPOINT_STATUS or AXON_FAILPOINT_EVAL where a Status or a
+/// buffer is in reach).
+#define AXON_FAILPOINT(site)                                          \
+  do {                                                                \
+    const ::axon::failpoint::Fault _axon_fp =                         \
+        ::axon::failpoint::Eval(site);                                \
+    if (_axon_fp) ::axon::failpoint::Execute(site, _axon_fp);         \
+  } while (0)
+
+/// Status-returning site: like AXON_FAILPOINT, but an armed `err` makes
+/// the enclosing function return the injected IOError.
+#define AXON_FAILPOINT_STATUS(site)                                   \
+  do {                                                                \
+    const ::axon::failpoint::Fault _axon_fp =                         \
+        ::axon::failpoint::Eval(site);                                \
+    if (_axon_fp) {                                                   \
+      ::axon::failpoint::Execute(site, _axon_fp);                     \
+      if (_axon_fp.action == ::axon::failpoint::Action::kError)       \
+        return ::axon::failpoint::InjectedError(site);                \
+    }                                                                 \
+  } while (0)
+
+/// Expression form for sites that interpret short-io/bitflip against
+/// their own buffers. Delay/oom/crash still need Execute() by the caller.
+#define AXON_FAILPOINT_EVAL(site) (::axon::failpoint::Eval(site))
+
+#else
+
+#define AXON_FAILPOINT(site) ((void)0)
+#define AXON_FAILPOINT_STATUS(site) ((void)0)
+#define AXON_FAILPOINT_EVAL(site) (::axon::failpoint::Fault{})
+
+#endif  // AXON_FAILPOINTS_ENABLED
+
+#endif  // AXON_UTIL_FAILPOINT_H_

@@ -5,9 +5,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
 
+#include "util/failpoint.h"
 #include "util/varint.h"
 
 namespace axon {
@@ -42,6 +45,7 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
 
 Status MmapFile::Open(const std::string& path) {
   Close();
+  AXON_FAILPOINT_STATUS("mmap.open");
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return ErrnoStatus("open", path);
   struct stat st;
@@ -83,17 +87,56 @@ FileWriter::~FileWriter() {
   }
 }
 
-Status FileWriter::Open(const std::string& path) {
+Status FileWriter::Open(const std::string& path, Mode mode) {
   if (file_ != nullptr) return Status::Internal("FileWriter already open");
-  file_ = std::fopen(path.c_str(), "wb");
+  AXON_FAILPOINT_STATUS("file.open");
+  file_ = std::fopen(path.c_str(), mode == Mode::kAppend ? "ab" : "wb");
   if (file_ == nullptr) return ErrnoStatus("fopen", path);
-  offset_ = 0;
+  if (mode == Mode::kAppend) {
+    long at = std::ftell(file_);
+    if (at < 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return ErrnoStatus("ftell", path);
+    }
+    offset_ = static_cast<uint64_t>(at);
+  } else {
+    offset_ = 0;
+  }
   return Status::OK();
 }
 
 Status FileWriter::Append(const void* data, size_t n) {
   if (file_ == nullptr) return Status::Internal("FileWriter not open");
   if (n == 0) return Status::OK();
+  const auto fp = AXON_FAILPOINT_EVAL("file.write");
+  if (fp) {
+    failpoint::Execute("file.write", fp);
+    if (fp.action == failpoint::Action::kError) {
+      return failpoint::InjectedError("file.write");
+    }
+    if (fp.action == failpoint::Action::kShortIo) {
+      // Torn write: a prefix reaches the file, then the device fails —
+      // exactly what a full disk or yanked cable produces.
+      size_t cut = std::min<size_t>(n, static_cast<size_t>(fp.arg));
+      if (cut > 0 && std::fwrite(data, 1, cut, file_) == cut) offset_ += cut;
+      return failpoint::InjectedError("file.write");
+    }
+    if (fp.action == failpoint::Action::kBitflip) {
+      // Silent corruption: the write "succeeds" with one bit flipped.
+      // Checksums on the read path must catch this.
+      std::string corrupt(static_cast<const char*>(data), n);
+      size_t bit = static_cast<size_t>(fp.arg % (8 * n));
+      corrupt[bit / 8] = static_cast<char>(
+          corrupt[bit / 8] ^ static_cast<char>(1u << (bit % 8)));
+      if (std::fwrite(corrupt.data(), 1, n, file_) != n) {
+        return Status::IOError("fwrite failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      offset_ += n;
+      return Status::OK();
+    }
+  }
   if (std::fwrite(data, 1, n, file_) != n) {
     return Status::IOError("fwrite failed: " +
                            std::string(std::strerror(errno)));
@@ -114,6 +157,20 @@ Status FileWriter::AppendFixed64(uint64_t v) {
   return Append(buf);
 }
 
+Status FileWriter::Sync() {
+  if (file_ == nullptr) return Status::Internal("FileWriter not open");
+  AXON_FAILPOINT_STATUS("file.sync");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
 Status FileWriter::Close() {
   if (file_ == nullptr) return Status::OK();
   Status st = Status::OK();
@@ -121,6 +178,25 @@ Status FileWriter::Close() {
   if (std::fclose(file_) != 0 && st.ok()) st = Status::IOError("fclose failed");
   file_ = nullptr;
   return st;
+}
+
+Status AtomicRename(const std::string& from, const std::string& to) {
+  AXON_FAILPOINT_STATUS("atomic.rename");
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
+  // Durability of the rename itself: fsync the parent directory. Best
+  // effort — some filesystems reject O_RDONLY|O_DIRECTORY fsync; the
+  // rename already happened, so failure here is not fatal to atomicity.
+  std::string dir = ".";
+  size_t slash = to.find_last_of('/');
+  if (slash != std::string::npos) dir = to.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
 }
 
 Status ReadFileToString(const std::string& path, std::string* out) {

@@ -46,30 +46,45 @@ class MmapFile {
 /// Buffered sequential file writer with fixed/varint helpers.
 class FileWriter {
  public:
+  enum class Mode { kTruncate, kAppend };
+
   FileWriter() = default;
   ~FileWriter();
 
   FileWriter(const FileWriter&) = delete;
   FileWriter& operator=(const FileWriter&) = delete;
 
-  /// Creates/truncates `path` for writing.
-  Status Open(const std::string& path);
+  /// Creates `path` for writing — truncated by default, or positioned at
+  /// the current end with Mode::kAppend (the WAL reopen path).
+  Status Open(const std::string& path, Mode mode = Mode::kTruncate);
 
   Status Append(const void* data, size_t n);
   Status Append(std::string_view s) { return Append(s.data(), s.size()); }
   Status AppendFixed32(uint32_t v);
   Status AppendFixed64(uint64_t v);
 
-  /// Bytes appended so far (== file offset of the next Append).
+  /// Bytes appended so far, plus any pre-existing bytes in append mode
+  /// (== file offset of the next Append).
   uint64_t offset() const { return offset_; }
 
-  /// Flushes and closes; returns the first error encountered.
+  /// Flushes user-space buffers and fsyncs to stable storage. A write is
+  /// durable — may be acknowledged — only after Sync() returns OK.
+  Status Sync();
+
+  /// Flushes and closes; returns the first error encountered. Does NOT
+  /// imply durability — call Sync() first where that matters.
   Status Close();
 
  private:
   FILE* file_ = nullptr;
   uint64_t offset_ = 0;
 };
+
+/// Atomically renames `from` onto `to` (POSIX rename) and fsyncs the
+/// parent directory so the rename itself is durable. The visible file at
+/// `to` is always either the old or the new content, never a mix — the
+/// commit step of every write-temp + fsync + rename protocol.
+Status AtomicRename(const std::string& from, const std::string& to);
 
 /// Reads a whole file into `out`. Convenience for small metadata sections.
 Status ReadFileToString(const std::string& path, std::string* out);

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnsupported,
   kOutOfRange,
   kDeadlineExceeded,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -43,6 +44,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";
@@ -84,6 +86,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/failpoint.h"
 #include "util/trace.h"
 
 namespace axon {
@@ -82,6 +83,9 @@ void WaitGroup::Run(std::function<void()> fn) {
     // after a failure, remaining tasks are skipped and Wait() rethrows.
     if (error_ != nullptr) return;
     try {
+      // Armed "pool.task" faults (delay jitter, oom) hit the inline path
+      // too, so the determinism contract is exercised on both schedules.
+      AXON_FAILPOINT("pool.task");
       fn();
     } catch (...) {
       error_ = std::current_exception();
@@ -94,6 +98,7 @@ void WaitGroup::Run(std::function<void()> fn) {
   }
   pool_->Submit([this, fn = std::move(fn)] {
     try {
+      AXON_FAILPOINT("pool.task");
       fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);

@@ -7,14 +7,19 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
 
+#include "baselines/partial_index_engine.h"
 #include "baselines/sixperm_engine.h"
+#include "baselines/vp_engine.h"
 #include "engine/database.h"
+#include "engine/sharded_database.h"
 #include "engine/update_store.h"
 #include "sparql/lexer.h"
 #include "sparql/parser.h"
 #include "test_util.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace axon {
@@ -73,6 +78,81 @@ TEST_P(DifferentialQueryTest, AxonConfigsMatchSixPermOnRandomQueries) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialQueryTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 // (cleanup of the temp .axdb files is left to the test temp dir)
+
+// --------------------------------------------- every engine, under faults
+
+// Property-based equivalence across the whole engine zoo: the ECS engine
+// (parallel), all three baselines and the sharded engine must return the
+// same sorted result multiset for every generated query — and keep doing
+// so while a `pool.task` delay failpoint perturbs worker scheduling (the
+// determinism contract says timing may never change answers).
+class AllEnginesDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_P(AllEnginesDifferentialTest, EnginesAgreeWithAndWithoutDelayFault) {
+  const uint64_t seed = GetParam();
+  Dataset data = testutil::RandomDataset(30, 6, 380, 0.3, seed * 17 + 3);
+
+  SixPermEngine sixperm = SixPermEngine::Build(data);
+  VpEngine vp = VpEngine::Build(data);
+  PartialIndexEngine partial = PartialIndexEngine::Build(data);
+  EngineOptions par_opt;
+  par_opt.parallelism = 3;
+  auto ecs = Database::Build(data, par_opt);
+  ASSERT_TRUE(ecs.ok());
+  ShardedOptions shard_opt;
+  shard_opt.num_shards = 3;
+  shard_opt.engine.parallelism = 3;
+  auto sharded = ShardedDatabase::Build(data, shard_opt);
+  ASSERT_TRUE(sharded.ok());
+
+  const std::vector<const QueryEngine*> engines = {
+      &sixperm, &vp, &partial, &ecs.value(), &sharded.value()};
+
+  testutil::QueryGen gen(seed ^ 0xA11E5ULL, 30, 6);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 12; ++i) queries.push_back(gen.Next());
+
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) {
+      if (!failpoint::CompiledIn()) break;
+      failpoint::SetSeed(seed);
+      ASSERT_TRUE(failpoint::Arm("pool.task", "delay:1@0.25").ok());
+    }
+    for (const std::string& sparql : queries) {
+      auto q = ParseSparql(sparql);
+      ASSERT_TRUE(q.ok()) << sparql << "\n" << q.status().ToString();
+      const auto proj = q.value().EffectiveProjection();
+      std::optional<std::vector<std::vector<TermId>>> expect;
+      std::string expect_name;
+      for (const QueryEngine* engine : engines) {
+        auto got = engine->Execute(q.value());
+        ASSERT_TRUE(got.ok()) << engine->name() << "\n" << sparql;
+        auto rows = got.value().table.CanonicalRows(proj);
+        if (!expect.has_value()) {
+          expect = std::move(rows);
+          expect_name = engine->name();
+        } else {
+          EXPECT_EQ(rows, *expect)
+              << engine->name() << " disagrees with " << expect_name
+              << " (pass " << pass << ") on:\n"
+              << sparql;
+        }
+      }
+    }
+    if (pass == 1) {
+      // The delay site must actually have perturbed the pool schedule —
+      // otherwise this pass silently tested nothing.
+      EXPECT_GT(failpoint::Hits("pool.task"), 0u);
+      failpoint::DisarmAll();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllEnginesDifferentialTest,
+                         ::testing::Values(21, 22, 23, 24));
 
 // ---------------------------------------------------------------- updates
 

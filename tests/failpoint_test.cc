@@ -1,0 +1,170 @@
+// Failpoint registry unit tests. These drive failpoint::Eval directly, so
+// they validate spec parsing, counting and seeded determinism in every
+// build — including ones where the AXON_FAILPOINT site macros compile to
+// nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace axon {
+namespace {
+
+using failpoint::Action;
+using failpoint::Fault;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    failpoint::SetSeed(0);
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteEvaluatesToOff) {
+  const Fault f = failpoint::Eval("no.such.site");
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(f.action, Action::kOff);
+}
+
+TEST_F(FailpointTest, ArmedErrorFiresEveryTime) {
+  ASSERT_TRUE(failpoint::Arm("t.err", "err").ok());
+  for (int i = 0; i < 5; ++i) {
+    const Fault f = failpoint::Eval("t.err");
+    EXPECT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f.action, Action::kError);
+  }
+  EXPECT_EQ(failpoint::Hits("t.err"), 5u);
+}
+
+TEST_F(FailpointTest, SpecGrammarParsesAllActions) {
+  EXPECT_TRUE(failpoint::Arm("t.a", "err").ok());
+  EXPECT_TRUE(failpoint::Arm("t.b", "short:8").ok());
+  EXPECT_TRUE(failpoint::Arm("t.c", "delay:5ms").ok());
+  EXPECT_TRUE(failpoint::Arm("t.d", "bitflip").ok());
+  EXPECT_TRUE(failpoint::Arm("t.e", "oom").ok());
+  EXPECT_TRUE(failpoint::Arm("t.f", "crash").ok());
+  EXPECT_TRUE(failpoint::Arm("t.g", "err@0.5*3+2").ok());
+
+  EXPECT_EQ(failpoint::Eval("t.b").arg, 8u);
+  EXPECT_EQ(failpoint::Eval("t.c").action, Action::kDelay);
+  EXPECT_EQ(failpoint::Eval("t.c").arg, 5u);
+  // delay without :arg defaults to 1ms.
+  ASSERT_TRUE(failpoint::Arm("t.c2", "delay").ok());
+  EXPECT_EQ(failpoint::Eval("t.c2").arg, 1u);
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejected) {
+  EXPECT_FALSE(failpoint::Arm("t.x", "explode").ok());
+  EXPECT_FALSE(failpoint::Arm("t.x", "err@1.5").ok());
+  EXPECT_FALSE(failpoint::Arm("t.x", "err@nope").ok());
+  EXPECT_FALSE(failpoint::Arm("t.x", "short:8kb").ok());
+  EXPECT_FALSE(failpoint::Arm("", "err").ok());
+  EXPECT_FALSE(failpoint::ArmFromSpec("siteonly").ok());
+  // Nothing half-armed after the failures.
+  EXPECT_TRUE(failpoint::ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, CountLimitStopsFiring) {
+  ASSERT_TRUE(failpoint::Arm("t.count", "err*3").ok());
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (failpoint::Eval("t.count")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(failpoint::Hits("t.count"), 3u);
+}
+
+TEST_F(FailpointTest, SkipDefersTheFirstFire) {
+  ASSERT_TRUE(failpoint::Arm("t.skip", "err+4").ok());
+  std::vector<bool> fires;
+  for (int i = 0; i < 7; ++i) {
+    fires.push_back(static_cast<bool>(failpoint::Eval("t.skip")));
+  }
+  EXPECT_EQ(fires, std::vector<bool>({false, false, false, false, true, true,
+                                      true}));
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicInTheSeed) {
+  auto schedule = [](uint64_t seed) {
+    failpoint::SetSeed(seed);
+    EXPECT_TRUE(failpoint::Arm("t.prob", "err@0.4").ok());
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(static_cast<bool>(failpoint::Eval("t.prob")));
+    }
+    failpoint::Disarm("t.prob");
+    return fires;
+  };
+  const auto a = schedule(42);
+  const auto b = schedule(42);
+  const auto c = schedule(43);
+  EXPECT_EQ(a, b);       // same seed, same fire schedule
+  EXPECT_NE(a, c);       // 2^-64-ish flake odds, effectively impossible
+  const size_t fired = static_cast<size_t>(std::count(a.begin(), a.end(),
+                                                      true));
+  EXPECT_GT(fired, 10u);  // ~0.4 * 64 = 25.6; loose bounds
+  EXPECT_LT(fired, 45u);
+}
+
+TEST_F(FailpointTest, ReArmingReplacesAndResetsCounters) {
+  ASSERT_TRUE(failpoint::Arm("t.rearm", "err*1").ok());
+  EXPECT_TRUE(failpoint::Eval("t.rearm"));
+  EXPECT_FALSE(failpoint::Eval("t.rearm"));  // count exhausted
+  ASSERT_TRUE(failpoint::Arm("t.rearm", "err*1").ok());
+  EXPECT_TRUE(failpoint::Eval("t.rearm"));   // fresh counter
+}
+
+TEST_F(FailpointTest, DisarmStopsInjection) {
+  ASSERT_TRUE(failpoint::Arm("t.dis", "err").ok());
+  EXPECT_TRUE(failpoint::Eval("t.dis"));
+  failpoint::Disarm("t.dis");
+  EXPECT_FALSE(failpoint::Eval("t.dis"));
+  EXPECT_EQ(failpoint::Hits("t.dis"), 0u);  // state gone with the site
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsEverySite) {
+  ASSERT_TRUE(
+      failpoint::ArmFromSpec("a.one=err@0.3,b.two=delay:5ms,c.three=crash+7")
+          .ok());
+  const auto sites = failpoint::ArmedSites();
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].first, "a.one");
+  EXPECT_EQ(sites[0].second, "err@0.3");
+  EXPECT_EQ(sites[1].first, "b.two");
+  EXPECT_EQ(sites[2].first, "c.three");
+  EXPECT_EQ(sites[2].second, "crash+7");
+}
+
+TEST_F(FailpointTest, BitflipCarriesSeededEntropy) {
+  failpoint::SetSeed(7);
+  ASSERT_TRUE(failpoint::Arm("t.flip", "bitflip").ok());
+  const uint64_t first = failpoint::Eval("t.flip").arg;
+  failpoint::SetSeed(7);  // resets the site stream
+  EXPECT_EQ(failpoint::Eval("t.flip").arg, first);
+}
+
+TEST_F(FailpointTest, InjectedErrorsAreRecognizable) {
+  const Status st = failpoint::InjectedError("t.site");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(failpoint::IsInjected(st));
+  EXPECT_NE(st.message().find("t.site"), std::string::npos);
+  EXPECT_FALSE(failpoint::IsInjected(Status::OK()));
+  EXPECT_FALSE(failpoint::IsInjected(Status::IOError("organic failure")));
+}
+
+TEST_F(FailpointTest, SiteMacroMatchesBuildConfiguration) {
+  // The macro and CompiledIn() must agree: when sites are compiled out,
+  // an armed site still evaluates to nothing at the macro level.
+  ASSERT_TRUE(failpoint::Arm("t.macro", "err").ok());
+  const Fault f = AXON_FAILPOINT_EVAL("t.macro");
+  EXPECT_EQ(static_cast<bool>(f), failpoint::CompiledIn());
+}
+
+}  // namespace
+}  // namespace axon

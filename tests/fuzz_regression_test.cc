@@ -15,6 +15,7 @@
 #include "rdf/ntriples.h"
 #include "sparql/lexer.h"
 #include "sparql/parser.h"
+#include "storage/db_file.h"
 
 namespace axon {
 namespace {
@@ -53,6 +54,31 @@ TEST(FuzzRegressionTest, NTriplesCorpusReplays) {
       ASSERT_TRUE(again.ok()) << "round-trip reparse failed: " << line;
       ASSERT_EQ(again.value().size(), 1u);
       EXPECT_TRUE(again.value()[0] == t) << "round-trip changed: " << line;
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, DbFileCorpusReplays) {
+  std::vector<fs::path> files = InputsIn("dbfile");
+  ASSERT_FALSE(files.empty()) << "regression corpus missing";
+  for (const fs::path& f : files) {
+    SCOPED_TRACE(f.filename().string());
+    // The same contract fuzz_dbfile enforces: hostile bytes may be
+    // rejected with a Status but must never crash, in strict Open and in
+    // salvage mode alike.
+    DbFileReader reader;
+    if (reader.Open(f.string()).ok()) {
+      for (const std::string& name : reader.SectionNames()) {
+        (void)reader.GetSection(name);
+      }
+      (void)reader.GetSection("no-such-section");
+    }
+    DbFileReader salvage;
+    DbFileReader::SalvageReport report;
+    if (salvage.OpenSalvage(f.string(), &report).ok()) {
+      for (const std::string& name : salvage.SectionNames()) {
+        (void)salvage.GetSection(name);
+      }
     }
   }
 }

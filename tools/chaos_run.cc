@@ -1,0 +1,337 @@
+// chaos_run — command-line driver for the chaos harness.
+//
+// Modes:
+//
+//   chaos_run --seed=N [--cycles=K] [--ops=M] [--dir=PATH]
+//             [--no-crashes] [--verbose]
+//     Replays the seeded chaos schedule (src/chaos/chaos_harness) and
+//     prints the armed-site schedule — the exact reproducer for any
+//     failure — plus the invariant report. Exit code 1 on violations.
+//
+//   chaos_run --failpoints=SPEC [--seed=N] [--ops=M] [--dir=PATH]
+//     Arms an explicit AXON_FAILPOINTS-syntax spec (e.g.
+//     "wal.sync=err@0.3,pool.task=delay:5ms"), runs one deterministic
+//     update/query workload against a durable store, prints per-site hit
+//     counts, then verifies every acknowledged write survives reopen.
+//
+//   chaos_run --write-dbfile-corpus=DIR
+//     Regenerates the seed corpus for fuzz_dbfile (valid, truncated,
+//     corrupted, zero-length-section and degenerate db files).
+//
+// Without -DAXON_FAILPOINTS=ON the fault schedules degrade to clean
+// cycles; the tool says so rather than pretending to inject.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_harness.h"
+#include "engine/database.h"
+#include "engine/update_store.h"
+#include "storage/db_file.h"
+#include "util/failpoint.h"
+#include "util/mmap_file.h"
+#include "util/random.h"
+
+namespace axon {
+namespace {
+
+struct Args {
+  uint64_t seed = 1;
+  uint64_t cycles = 50;
+  uint64_t ops = 48;
+  std::string dir = "/tmp/axon_chaos_run";
+  std::string failpoints;
+  std::string corpus_dir;
+  bool no_crashes = false;
+  bool verbose = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      args->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--cycles", &v)) {
+      args->cycles = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--ops", &v)) {
+      args->ops = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--dir", &v)) {
+      args->dir = v;
+    } else if (ParseFlag(argv[i], "--failpoints", &v)) {
+      args->failpoints = v;
+    } else if (ParseFlag(argv[i], "--write-dbfile-corpus", &v)) {
+      args->corpus_dir = v;
+    } else if (std::strcmp(argv[i], "--no-crashes") == 0) {
+      args->no_crashes = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      args->verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- corpus
+
+Status WriteCorpusFile(const std::string& dir, const std::string& name,
+                       const std::string& bytes) {
+  const std::string path = dir + "/" + name;
+  AXON_RETURN_NOT_OK(WriteStringToFile(path, bytes));
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return Status::OK();
+}
+
+int WriteDbfileCorpus(const std::string& dir) {
+  // Seed 1: a real (small) database file.
+  Dataset data;
+  Status parsed = data.AddNTriples(
+      "<http://c/a> <http://c/p> <http://c/b> .\n"
+      "<http://c/a> <http://c/q> \"v1\" .\n"
+      "<http://c/b> <http://c/p> <http://c/c> .\n"
+      "<http://c/c> <http://c/q> \"v2\" .\n");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  auto built = Database::Build(data);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const std::string tmp = dir + "/.seed_build.tmp";
+  Status saved = built.value().Save(tmp);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::string db_bytes;
+  Status read = ReadFileToString(tmp, &db_bytes);
+  std::remove(tmp.c_str());
+  if (!read.ok()) {
+    std::fprintf(stderr, "%s\n", read.ToString().c_str());
+    return 1;
+  }
+
+  // Seed 2: a handmade section file with a zero-length section.
+  const std::string tmp2 = dir + "/.seed_sections.tmp";
+  DbFileWriter w;
+  std::string section_bytes;
+  if (w.Open(tmp2).ok() && w.AddSection("alpha", "alpha-payload").ok() &&
+      w.AddSection("empty", "").ok() &&
+      w.AddSection("beta", std::string(256, 'b')).ok() && w.Finish().ok()) {
+    (void)ReadFileToString(tmp2, &section_bytes);
+  }
+  std::remove(tmp2.c_str());
+
+  std::string truncated = db_bytes.substr(0, db_bytes.size() / 2);
+  std::string corrupt = db_bytes;
+  if (!corrupt.empty()) corrupt[corrupt.size() / 3] ^= 0x10;
+  std::string toc_bent = db_bytes;
+  if (toc_bent.size() > 16) {
+    char& b = toc_bent[toc_bent.size() - 12];
+    b = static_cast<char>(b ^ 0xFF);
+  }
+
+  Status st = Status::OK();
+  if (st.ok()) st = WriteCorpusFile(dir, "seed_db_full.bin", db_bytes);
+  if (st.ok()) st = WriteCorpusFile(dir, "seed_sections.bin", section_bytes);
+  if (st.ok()) st = WriteCorpusFile(dir, "seed_db_truncated.bin", truncated);
+  if (st.ok()) st = WriteCorpusFile(dir, "seed_db_bitflip.bin", corrupt);
+  if (st.ok()) st = WriteCorpusFile(dir, "seed_db_toc_bent.bin", toc_bent);
+  if (st.ok()) st = WriteCorpusFile(dir, "seed_empty.bin", "");
+  if (st.ok()) {
+    st = WriteCorpusFile(dir, "seed_header_only.bin", db_bytes.substr(0, 16));
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------- explicit-spec driver
+
+int RunExplicitSpec(const Args& args) {
+  if (!failpoint::CompiledIn()) {
+    std::printf(
+        "note: failpoint sites are compiled out (-DAXON_FAILPOINTS=OFF); "
+        "the spec arms but injects nothing\n");
+  }
+  failpoint::SetSeed(args.seed);
+  Status armed = failpoint::ArmFromSpec(args.failpoints);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "bad --failpoints: %s\n", armed.ToString().c_str());
+    return 2;
+  }
+  std::printf("armed sites (seed %llu):\n",
+              static_cast<unsigned long long>(args.seed));
+  for (const auto& [site, spec] : failpoint::ArmedSites()) {
+    std::printf("  %-28s %s\n", site.c_str(), spec.c_str());
+  }
+
+  const std::string path = args.dir + "/explicit_store.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".tmp").c_str());
+  UpdateOptions options;
+  options.compaction_threshold = 24;
+
+  std::set<std::string> acked, uncertain;
+  uint64_t ok_ops = 0, failed_ops = 0, failed_queries = 0;
+  {
+    auto opened = UpdatableDatabase::OpenDurable(path, options);
+    if (!opened.ok()) {
+      // With error faults armed this is a legal outcome — report it.
+      std::printf("OpenDurable: %s\n", opened.status().ToString().c_str());
+      failpoint::DisarmAll();
+      return 0;
+    }
+    UpdatableDatabase db = std::move(opened).ValueOrDie();
+    Random rng(args.seed);
+    for (uint64_t i = 0; i < args.ops; ++i) {
+      const uint64_t roll = rng.Uniform(10);
+      if (roll == 0) {
+        auto qr = db.ExecuteSparql(
+            "SELECT ?s ?o WHERE { ?s <http://chaos.axon/p" +
+            std::to_string(rng.Uniform(6)) + "> ?o }");
+        if (!qr.ok()) ++failed_queries;
+        continue;
+      }
+      TermTriple t;
+      t.s = Term::Iri("http://chaos.axon/s" + std::to_string(rng.Uniform(24)));
+      t.p = Term::Iri("http://chaos.axon/p" + std::to_string(rng.Uniform(6)));
+      t.o = Term::Iri("http://chaos.axon/o" + std::to_string(rng.Uniform(40)));
+      std::string line = WriteNTriplesLine(t);
+      while (!line.empty() && line.back() == '\n') line.pop_back();
+      const bool insert = roll < 7;
+      const Status st = insert ? db.Insert(t) : db.Delete(t);
+      if (st.ok()) {
+        ++ok_ops;
+        uncertain.erase(line);
+        if (insert) {
+          acked.insert(line);
+        } else {
+          acked.erase(line);
+        }
+      } else {
+        ++failed_ops;
+        uncertain.insert(line);
+        if (args.verbose) {
+          std::printf("op %llu: %s\n", static_cast<unsigned long long>(i),
+                      st.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("\nper-site hits:\n");
+  for (const auto& [site, spec] : failpoint::ArmedSites()) {
+    std::printf("  %-28s %llu\n", site.c_str(),
+                static_cast<unsigned long long>(failpoint::Hits(site)));
+  }
+  failpoint::DisarmAll();
+
+  // Reopen fault-free: every acknowledged write must be there.
+  int violations = 0;
+  auto reopened = UpdatableDatabase::OpenDurable(path, options);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "VIOLATION: reopen failed: %s\n",
+                 reopened.status().ToString().c_str());
+    ++violations;
+  } else {
+    auto lines = reopened.value().ExportLines();
+    if (!lines.ok()) {
+      std::fprintf(stderr, "VIOLATION: export failed: %s\n",
+                   lines.status().ToString().c_str());
+      ++violations;
+    } else {
+      const std::set<std::string> present(lines.value().begin(),
+                                          lines.value().end());
+      for (const std::string& line : acked) {
+        if (present.count(line) == 0 && uncertain.count(line) == 0) {
+          std::fprintf(stderr, "VIOLATION: acknowledged write lost: %s\n",
+                       line.c_str());
+          ++violations;
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nops ok=%llu failed=%llu queries-failed=%llu; reopen %s; "
+      "%d violation(s)\n",
+      static_cast<unsigned long long>(ok_ops),
+      static_cast<unsigned long long>(failed_ops),
+      static_cast<unsigned long long>(failed_queries),
+      reopened.ok() ? "ok" : "FAILED", violations);
+  return violations == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------ main mode
+
+int RunSchedule(const Args& args) {
+  chaos::ChaosOptions options;
+  options.seed = args.seed;
+  options.cycles = args.cycles;
+  options.ops_per_cycle = args.ops;
+  options.dir = args.dir;
+  options.enable_crashes = !args.no_crashes;
+  options.verbose = args.verbose;
+
+  if (!failpoint::CompiledIn()) {
+    std::printf(
+        "note: failpoint sites are compiled out (-DAXON_FAILPOINTS=OFF); "
+        "every cycle degrades to a clean durability round trip\n");
+  }
+  const chaos::ChaosReport report = chaos::RunChaos(options);
+
+  std::printf("armed-site schedule (seed %llu):\n",
+              static_cast<unsigned long long>(args.seed));
+  for (const std::string& line : report.schedule) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf(
+      "\ncycles=%llu acked=%llu rejected=%llu errors=%llu crashes=%llu "
+      "corruptions=%llu salvages=%llu\n",
+      static_cast<unsigned long long>(report.cycles_run),
+      static_cast<unsigned long long>(report.ops_acknowledged),
+      static_cast<unsigned long long>(report.ops_rejected),
+      static_cast<unsigned long long>(report.errors_injected),
+      static_cast<unsigned long long>(report.crashes_injected),
+      static_cast<unsigned long long>(report.corruptions_detected),
+      static_cast<unsigned long long>(report.salvage_opens));
+  if (!report.ok()) {
+    for (const std::string& v : report.violations) {
+      std::fprintf(stderr, "VIOLATION: %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("all invariants held\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (!args.corpus_dir.empty()) return WriteDbfileCorpus(args.corpus_dir);
+  ::system(("mkdir -p '" + args.dir + "'").c_str());
+  if (!args.failpoints.empty()) return RunExplicitSpec(args);
+  return RunSchedule(args);
+}
+
+}  // namespace
+}  // namespace axon
+
+int main(int argc, char** argv) { return axon::Main(argc, argv); }

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Coverage gate: measure line coverage of src/ and compare to a baseline.
+
+Runs gcov (JSON mode) over every .gcda a --coverage build produced, merges
+execution counts per source line, and reports the line-coverage percentage
+over the library sources (src/ only — tests, benches, tools and third-party
+headers are excluded). The committed baseline (bench/baselines/coverage.json)
+is a ratchet: the job fails when coverage drops more than --tolerance
+percentage points below it, and nudges when it rises enough that the
+baseline should be re-pinned.
+
+Usage:
+  # after: cmake -B build-cov -S . -DAXON_COVERAGE=ON && build && ctest
+  tools/check_coverage.py --build-dir build-cov
+  tools/check_coverage.py --build-dir build-cov --update   # re-pin baseline
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench", "baselines",
+                                "coverage.json")
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                # Absolute: gcov runs from a scratch directory so its
+                # *.gcov litter never lands in the tree.
+                out.append(os.path.abspath(os.path.join(root, name)))
+    return sorted(out)
+
+
+def run_gcov(gcda_files, gcov_binary):
+    """Yields parsed gcov JSON documents, one per .gcda."""
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda in gcda_files:
+            proc = subprocess.run(
+                [gcov_binary, "--json-format", "--stdout", gcda],
+                cwd=scratch,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                check=False,
+            )
+            if proc.returncode != 0 or not proc.stdout:
+                continue
+            # --stdout emits one JSON document per input file.
+            for chunk in proc.stdout.splitlines():
+                if not chunk.strip():
+                    continue
+                try:
+                    yield json.loads(chunk)
+                except json.JSONDecodeError:
+                    continue
+
+
+def in_scope(source_path):
+    """Only first-party library sources count toward the gate."""
+    path = os.path.normpath(os.path.join(REPO_ROOT, source_path)
+                            if not os.path.isabs(source_path)
+                            else source_path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    return rel.startswith("src" + os.sep) and not rel.startswith("..")
+
+
+def collect(build_dir, gcov_binary):
+    """Returns {relative_source: {line_number: max_count}}."""
+    gcda_files = find_gcda(build_dir)
+    if not gcda_files:
+        sys.exit(f"error: no .gcda files under {build_dir} — "
+                 "build with -DAXON_COVERAGE=ON and run ctest first")
+    lines_by_file = {}
+    for doc in run_gcov(gcda_files, gcov_binary):
+        for f in doc.get("files", []):
+            source = f.get("file", "")
+            if not in_scope(source):
+                continue
+            rel = os.path.relpath(
+                os.path.normpath(os.path.join(REPO_ROOT, source)
+                                 if not os.path.isabs(source) else source),
+                REPO_ROOT)
+            per_line = lines_by_file.setdefault(rel, {})
+            for line in f.get("lines", []):
+                num = line.get("line_number")
+                count = line.get("count", 0)
+                if num is None:
+                    continue
+                per_line[num] = max(per_line.get(num, 0), count)
+    return lines_by_file
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-cov",
+                    help="coverage build tree holding the .gcda files")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--tolerance", type=float, default=1.0,
+                    help="allowed drop in percentage points (default 1.0)")
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    ap.add_argument("--update", action="store_true",
+                    help="re-pin the baseline to the measured value")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print the per-file breakdown")
+    args = ap.parse_args()
+
+    lines_by_file = collect(args.build_dir, args.gcov)
+    total = covered = 0
+    per_file = {}
+    for rel in sorted(lines_by_file):
+        lines = lines_by_file[rel]
+        file_total = len(lines)
+        file_covered = sum(1 for c in lines.values() if c > 0)
+        total += file_total
+        covered += file_covered
+        if file_total:
+            per_file[rel] = round(100.0 * file_covered / file_total, 2)
+    if total == 0:
+        sys.exit("error: gcov reported no src/ lines")
+    percent = round(100.0 * covered / total, 2)
+
+    if args.verbose:
+        for rel, pct in sorted(per_file.items()):
+            print(f"  {pct:6.2f}%  {rel}")
+    print(f"line coverage (src/): {percent:.2f}% "
+          f"({covered}/{total} lines, {len(per_file)} files)")
+
+    if args.update:
+        payload = {
+            "line_coverage_percent": percent,
+            "lines_covered": covered,
+            "lines_total": total,
+            "files": len(per_file),
+        }
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: baseline {args.baseline} missing — run with "
+                 "--update to create it")
+    pinned = baseline["line_coverage_percent"]
+    floor = pinned - args.tolerance
+    print(f"baseline: {pinned:.2f}% (floor {floor:.2f}%)")
+    if percent < floor:
+        sys.exit(f"FAIL: coverage {percent:.2f}% fell more than "
+                 f"{args.tolerance}pp below the {pinned:.2f}% baseline")
+    if percent > pinned + 2.0:
+        print(f"note: coverage rose to {percent:.2f}% — consider re-pinning "
+              "the baseline with --update")
+    print("OK: coverage gate passed")
+
+
+if __name__ == "__main__":
+    main()
