@@ -25,6 +25,7 @@
 #include "baselines/sixperm_engine.h"
 #include "baselines/vp_engine.h"
 #include "engine/database.h"
+#include "engine/governed_engine.h"
 #include "sparql/parser.h"
 #include "util/bench_report.h"
 #include "workloads/workloads.h"
@@ -213,6 +214,54 @@ inline void RunComparisonTable(const EngineFleet& fleet,
     std::printf("%22.1f", GeometricMean(pages[i]));
   }
   std::printf("\n");
+}
+
+/// Exercises the resource governor over the workload with three
+/// deterministic serial passes — completed, budget-killed, and degraded —
+/// so the report's "governor" section carries nonzero counters for the CI
+/// perf gate to compare. No timing: outcomes, not latency, are the
+/// regression surface here.
+inline void RunGovernedSection(const EngineFleet& fleet,
+                               const Workload& workload) {
+  std::vector<SelectQuery> queries;
+  for (const WorkloadQuery& wq : workload.queries) {
+    auto q = ParseSparql(wq.sparql);
+    if (q.ok()) queries.push_back(std::move(q).ValueOrDie());
+  }
+  auto run_all = [&queries](const GovernedEngine& engine) {
+    for (const SelectQuery& q : queries) (void)engine.Execute(q);
+  };
+
+  // Pass 1: unconstrained — every query completes.
+  GovernedOptions plain;
+  plain.admission.max_concurrent = 2;
+  GovernedEngine governed_ok(fleet.axon_plus.get(), nullptr, plain);
+  run_all(governed_ok);
+
+  // Pass 2: a budget far below the workload's intermediate footprint and
+  // no fallback — queries with any real intermediates are budget-killed.
+  GovernedOptions tight;
+  tight.memory_budget_bytes = 1024;
+  GovernedEngine governed_tight(fleet.axon_plus.get(), nullptr, tight);
+  run_all(governed_tight);
+
+  // Pass 3: the same budget with a baseline fallback — the killed queries
+  // degrade to the (unbudgeted) SixPerm engine and still answer.
+  GovernedOptions degrade = tight;
+  degrade.degrade_to_baseline = true;
+  degrade.degrade_backoff_millis = 0;  // no sleeps in the bench harness
+  GovernedEngine governed_degrade(fleet.axon_plus.get(), fleet.sixperm.get(),
+                                  degrade);
+  run_all(governed_degrade);
+
+  GovernorCounters gov = ResourceGovernor::GlobalSnapshot();
+  std::printf(
+      "\ngovernor: %llu submitted, %llu completed, %llu budget-killed, "
+      "%llu degraded to baseline\n",
+      static_cast<unsigned long long>(gov.submitted),
+      static_cast<unsigned long long>(gov.completed),
+      static_cast<unsigned long long>(gov.budget_killed),
+      static_cast<unsigned long long>(gov.degraded));
 }
 
 }  // namespace bench

@@ -20,6 +20,7 @@ int main() {
   std::printf("dataset: LUBM-like, %zu triples\n\n",
               fleet.data.triples.size());
   RunComparisonTable(fleet, LubmOriginalWorkload());
+  RunGovernedSection(fleet, LubmOriginalWorkload());
   std::printf(
       "\npaper shape: all systems within one order of magnitude on the"
       " original (simple) queries.\n");

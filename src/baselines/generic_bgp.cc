@@ -1,8 +1,8 @@
 #include "baselines/generic_bgp.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "util/resource_governor.h"
 #include "util/trace.h"
 
 namespace axon {
@@ -80,19 +80,17 @@ Result<std::vector<std::pair<std::string, TermId>>> BindFilters(
   return out;
 }
 
-Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
-                                      const Dictionary& dict,
-                                      const AccessPathFn& access_path,
-                                      uint64_t timeout_millis) {
+namespace {
+
+Result<QueryResult> EvaluateBgpGreedyImpl(const SelectQuery& query,
+                                          const Dictionary& dict,
+                                          const AccessPathFn& access_path,
+                                          QueryContext* ctx) {
   AXON_SPAN("baseline.eval_bgp_greedy");
   QueryResult result;
-  auto start_time = std::chrono::steady_clock::now();
-  auto deadline_hit = [timeout_millis, start_time]() {
-    if (timeout_millis == 0) return false;
-    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start_time);
-    return static_cast<uint64_t>(elapsed.count()) >= timeout_millis;
-  };
+  // Install the query's budget for the (serial) baseline pipeline so
+  // operator buffer growth is charged exactly like in the axonDB executor.
+  BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
   if (query.patterns.empty()) {
     return Status::InvalidArgument("query has no triple patterns");
   }
@@ -137,7 +135,7 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
         best_connected = connected;
       }
     }
-    BindingTable next = paths[best].materialize(&result.stats);
+    BindingTable next = paths[best].materialize(&result.stats, ctx);
     used[best] = true;
     for (const std::string& v : PatternVars(patterns[best])) {
       if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
@@ -145,15 +143,12 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
         bound_vars.push_back(v);
       }
     }
-    if (deadline_hit()) {
-      return Status::DeadlineExceeded("query exceeded " +
-                                      std::to_string(timeout_millis) + "ms");
-    }
+    if (ctx != nullptr && ctx->ShouldStop()) return ctx->StopStatus();
     if (first) {
       current = std::move(next);
       first = false;
     } else {
-      current = HashJoin(current, next, &result.stats);
+      current = HashJoin(current, next, &result.stats, ctx);
     }
     if (current.num_rows() == 0 && current.num_cols() > 0) break;
   }
@@ -179,6 +174,33 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
   if (query.limit.has_value()) current = Limit(current, *query.limit);
   result.table = std::move(current);
   return result;
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
+                                      const Dictionary& dict,
+                                      const AccessPathFn& access_path,
+                                      QueryContext* ctx) {
+  // Baseline fault boundary, mirroring Executor::Execute: a stop thrown
+  // from inside a scan/join loop or a budget-denied allocation becomes a
+  // clean Status instead of unwinding into the caller.
+  try {
+    return EvaluateBgpGreedyImpl(query, dict, access_path, ctx);
+  } catch (const QueryStopError&) {
+    return ctx != nullptr
+               ? ctx->StopStatus()
+               : Status::Internal("query stop without a QueryContext");
+  } catch (const BudgetExceededError&) {
+    return Status::ResourceExhausted(
+        ctx != nullptr
+            ? "query exceeded memory budget of " +
+                  std::to_string(ctx->budget()->limit()) + " bytes"
+            : "query exceeded memory budget");
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "query aborted: out of memory during execution");
+  }
 }
 
 }  // namespace axon

@@ -43,10 +43,12 @@ inline void AccountRangePages(const RowRange& range, ExecStats* stats) {
 }
 
 /// One access path chosen for a pattern: an estimated cardinality and a
-/// thunk materializing the pattern's solutions.
+/// thunk materializing the pattern's solutions. The QueryContext (may be
+/// null) lets the scan inside the thunk observe deadline/cancel/budget
+/// stops at leaf granularity instead of only between operators.
 struct AccessPath {
   uint64_t estimated_rows = 0;
-  std::function<BindingTable(ExecStats*)> materialize;
+  std::function<BindingTable(ExecStats*, QueryContext*)> materialize;
 };
 
 /// Engine-specific access-path selection.
@@ -56,13 +58,14 @@ using AccessPathFn = std::function<AccessPath(const IdPattern&)>;
 /// shares a variable with the current bindings (falling back to a cross
 /// product when the pattern graph is disconnected), then applies filters,
 /// DISTINCT/projection and LIMIT.
-/// `timeout_millis` = 0 means unlimited; otherwise the evaluation aborts
-/// with DeadlineExceeded when the budget is spent (checked between
-/// operators, mirroring the paper's per-query 30-minute cap).
+/// `ctx` may be null (no deadline, no budget, no cancellation); with a
+/// context, stops are observed every kStopCheckRows rows inside scans and
+/// joins and surface as DeadlineExceeded / Cancelled / ResourceExhausted —
+/// the engine-level mechanism behind the paper's per-query 30-minute cap.
 Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
                                       const Dictionary& dict,
                                       const AccessPathFn& access_path,
-                                      uint64_t timeout_millis = 0);
+                                      QueryContext* ctx = nullptr);
 
 }  // namespace axon
 

@@ -53,20 +53,25 @@ AccessPath PartialIndexEngine::MakeAccessPath(const IdPattern& p) const {
   }
   AccessPath path;
   path.estimated_rows = range.size();
-  path.materialize = [table, range, p](ExecStats* stats) {
+  path.materialize = [table, range, p](ExecStats* stats, QueryContext* ctx) {
     AccountRangePages(range, stats);
-    return ScanPattern(table->slice(range), p, stats);
+    return ScanPattern(table->slice(range), p, stats, ctx);
   };
   return path;
 }
 
 Result<QueryResult> PartialIndexEngine::Execute(
     const SelectQuery& query) const {
+  QueryContext ctx(timeout_millis_);
+  return Execute(query, &ctx);
+}
+
+Result<QueryResult> PartialIndexEngine::Execute(const SelectQuery& query,
+                                                QueryContext* ctx) const {
   AXON_SPAN("query.execute_partial_index");
   return EvaluateBgpGreedy(
       query, *dict_,
-      [this](const IdPattern& p) { return MakeAccessPath(p); },
-      timeout_millis_);
+      [this](const IdPattern& p) { return MakeAccessPath(p); }, ctx);
 }
 
 uint64_t PartialIndexEngine::StorageBytes() const {

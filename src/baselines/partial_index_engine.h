@@ -23,6 +23,8 @@ class PartialIndexEngine : public QueryEngine {
 
   std::string name() const override { return "PartialIdx(Virtuoso)"; }
   Result<QueryResult> Execute(const SelectQuery& query) const override;
+  Result<QueryResult> Execute(const SelectQuery& query,
+                              QueryContext* ctx) const override;
   uint64_t StorageBytes() const override;
 
   /// Per-query wall-clock budget (ms); 0 = unlimited.

@@ -45,19 +45,24 @@ AccessPath SixPermEngine::MakeAccessPath(const IdPattern& p) const {
                        : table.EqualRange(perm, major, mid, minor);
   AccessPath path;
   path.estimated_rows = range.size();
-  path.materialize = [&table, range, p](ExecStats* stats) {
+  path.materialize = [&table, range, p](ExecStats* stats, QueryContext* ctx) {
     AccountRangePages(range, stats);
-    return ScanPattern(table.slice(range), p, stats);
+    return ScanPattern(table.slice(range), p, stats, ctx);
   };
   return path;
 }
 
 Result<QueryResult> SixPermEngine::Execute(const SelectQuery& query) const {
+  QueryContext ctx(timeout_millis_);
+  return Execute(query, &ctx);
+}
+
+Result<QueryResult> SixPermEngine::Execute(const SelectQuery& query,
+                                           QueryContext* ctx) const {
   AXON_SPAN("query.execute_sixperm");
   return EvaluateBgpGreedy(
       query, *dict_,
-      [this](const IdPattern& p) { return MakeAccessPath(p); },
-      timeout_millis_);
+      [this](const IdPattern& p) { return MakeAccessPath(p); }, ctx);
 }
 
 uint64_t SixPermEngine::StorageBytes() const {

@@ -24,6 +24,8 @@ class SixPermEngine : public QueryEngine {
 
   std::string name() const override { return "SixPerm(RDF-3x)"; }
   Result<QueryResult> Execute(const SelectQuery& query) const override;
+  Result<QueryResult> Execute(const SelectQuery& query,
+                              QueryContext* ctx) const override;
   uint64_t StorageBytes() const override;
 
   /// Per-query wall-clock budget (ms); 0 = unlimited.

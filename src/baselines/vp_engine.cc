@@ -29,8 +29,8 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
     auto it = chunks_.find(p.p);
     if (it == chunks_.end()) {
       path.estimated_rows = 0;
-      path.materialize = [p](ExecStats* stats) {
-        return ScanPattern({}, p, stats);
+      path.materialize = [p](ExecStats* stats, QueryContext* ctx) {
+        return ScanPattern({}, p, stats, ctx);
       };
       return path;
     }
@@ -39,9 +39,9 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
       RowRange range =
           chunk.by_object.EqualRange(Permutation::kOps, p.o, p.p, kInvalidId);
       path.estimated_rows = range.size();
-      path.materialize = [&chunk, range, p](ExecStats* stats) {
+      path.materialize = [&chunk, range, p](ExecStats* stats, QueryContext* ctx) {
         AccountRangePages(range, stats);
-        return ScanPattern(chunk.by_object.slice(range), p, stats);
+        return ScanPattern(chunk.by_object.slice(range), p, stats, ctx);
       };
       return path;
     }
@@ -51,9 +51,9 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
                                           p.o_bound() ? p.o : kInvalidId)
             : RowRange{0, chunk.by_subject.size()};
     path.estimated_rows = range.size();
-    path.materialize = [&chunk, range, p](ExecStats* stats) {
+    path.materialize = [&chunk, range, p](ExecStats* stats, QueryContext* ctx) {
       AccountRangePages(range, stats);
-      return ScanPattern(chunk.by_subject.slice(range), p, stats);
+      return ScanPattern(chunk.by_subject.slice(range), p, stats, ctx);
     };
     return path;
   }
@@ -81,13 +81,13 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
     }
   }
   path.estimated_rows = estimate;
-  path.materialize = [pieces, p](ExecStats* stats) {
+  path.materialize = [pieces, p](ExecStats* stats, QueryContext* ctx) {
     // Union the per-chunk scans; all chunks yield the same schema since the
     // schema is a function of the pattern alone.
     BindingTable out = ScanPattern({}, p, stats);
     for (const auto& [table, range] : pieces) {
       AccountRangePages(range, stats);
-      BindingTable part = ScanPattern(table->slice(range), p, stats);
+      BindingTable part = ScanPattern(table->slice(range), p, stats, ctx);
       for (size_t r = 0; r < part.num_rows(); ++r) {
         out.AppendRow(part.row(r));
       }
@@ -98,11 +98,16 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
 }
 
 Result<QueryResult> VpEngine::Execute(const SelectQuery& query) const {
+  QueryContext ctx(timeout_millis_);
+  return Execute(query, &ctx);
+}
+
+Result<QueryResult> VpEngine::Execute(const SelectQuery& query,
+                                      QueryContext* ctx) const {
   AXON_SPAN("query.execute_vp");
   return EvaluateBgpGreedy(
       query, *dict_,
-      [this](const IdPattern& p) { return MakeAccessPath(p); },
-      timeout_millis_);
+      [this](const IdPattern& p) { return MakeAccessPath(p); }, ctx);
 }
 
 uint64_t VpEngine::StorageBytes() const {

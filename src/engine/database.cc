@@ -265,6 +265,11 @@ Result<QueryResult> Database::Execute(const SelectQuery& query) const {
   return MakeExecutor().Execute(query);
 }
 
+Result<QueryResult> Database::Execute(const SelectQuery& query,
+                                      QueryContext* ctx) const {
+  return MakeExecutor().Execute(query, ctx);
+}
+
 Result<QueryResult> Database::ExecuteSparql(std::string_view text) const {
   AXON_ASSIGN_OR_RETURN(SelectQuery q, ParseSparql(text));
   return Execute(q);

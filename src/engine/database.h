@@ -80,6 +80,8 @@ class Database : public QueryEngine {
   // QueryEngine interface.
   std::string name() const override { return options_.ConfigName(); }
   Result<QueryResult> Execute(const SelectQuery& query) const override;
+  Result<QueryResult> Execute(const SelectQuery& query,
+                              QueryContext* ctx) const override;
   uint64_t StorageBytes() const override;
 
   /// Parses and executes SPARQL text.

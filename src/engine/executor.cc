@@ -5,7 +5,9 @@
 #include <map>
 #include <set>
 
+#include "util/cancellation.h"
 #include "util/failpoint.h"
+#include "util/resource_governor.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -70,7 +72,7 @@ std::vector<RowRange> Executor::PlanScanRanges(
 BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
                                     const std::vector<EcsId>& matches,
                                     ExecStats* stats,
-                                    Deadline* deadline) const {
+                                    QueryContext* ctx) const {
   AXON_SPAN("op.eval_query_ecs");
   const QueryEcs& q = qg.ecss[query_ecs];
   BindingTable acc;
@@ -93,8 +95,11 @@ BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
     std::vector<BindingTable> parts(ranges.size());
     std::vector<ExecStats> part_stats(ranges.size());
     ParallelFor(pool_, ranges.size(), [&](size_t i) {
-      if (deadline != nullptr && deadline->Expired()) return;
-      parts[i] = ScanPattern(ecs_->pso().slice(ranges[i]), p, &part_stats[i]);
+      // Worker thread: install the query's budget and honor its stops.
+      BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
+      if (ctx != nullptr && ctx->ShouldStop()) return;
+      parts[i] =
+          ScanPattern(ecs_->pso().slice(ranges[i]), p, &part_stats[i], ctx);
     });
     BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
     for (size_t i = 0; i < ranges.size(); ++i) {
@@ -107,7 +112,7 @@ BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
     } else {
       // Multiple properties between the same chain nodes: natural join on
       // the shared subject/object columns.
-      acc = HashJoin(acc, link, stats);
+      acc = HashJoin(acc, link, stats, ctx);
     }
     if (acc.num_rows() == 0) break;
   }
@@ -137,18 +142,25 @@ bool Executor::StarMergeApplicable(const QueryGraph& qg,
 void Executor::StarMergeScan(const QueryGraph& qg,
                              const std::vector<int>& star_patterns,
                              std::span<const Triple> rows, BindingTable* out,
-                             ExecStats* stats) const {
+                             ExecStats* stats, QueryContext* ctx) const {
   // One pass over a subject-ordered CS partition (the interesting order the
   // paper's Sec. IV.D merge join exploits): per subject group, collect each
   // pattern's matches and emit their cartesian product.
-  AXON_COUNTER_ADD("exec.triples_scanned", rows.size());
   size_t n = rows.size();
   size_t k = star_patterns.size();
   // Per pattern: list of (p value or 0, o value or 0) matches in the group.
   std::vector<std::vector<std::pair<TermId, TermId>>> matches(k);
   std::vector<TermId> row_buf(out->num_cols());
+  size_t counted = 0;
   size_t i = 0;
   while (i < n) {
+    // Stop check per leaf-sized stretch of consumed rows (a subject group
+    // larger than one leaf delays the check until the group ends).
+    if (i - counted >= kStopCheckRows) {
+      AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
+      counted = i;
+      if (ctx != nullptr) ctx->CheckStop();
+    }
     size_t j = i;
     TermId subject = rows[i].s;
     for (auto& m : matches) m.clear();
@@ -193,6 +205,7 @@ void Executor::StarMergeScan(const QueryGraph& qg,
     }
     i = j;
   }
+  AXON_COUNTER_ADD("exec.triples_scanned", n - counted);
   // intermediate_rows accounting is the caller's job: it tracks the
   // *accumulated* output table, which per-partition tasks cannot see.
 }
@@ -201,7 +214,7 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
                                     const std::vector<CsId>& allowed_cs,
                                     const std::vector<int>& star_patterns,
                                     ExecStats* stats,
-                                    Deadline* deadline) const {
+                                    QueryContext* ctx) const {
   AXON_SPAN("op.eval_star_node");
   const QueryNode& n = qg.nodes[node];
 
@@ -236,10 +249,11 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
     std::vector<BindingTable> parts(ranges.size());
     std::vector<ExecStats> part_stats(ranges.size());
     ParallelFor(pool_, ranges.size(), [&](size_t i) {
-      if (deadline != nullptr && deadline->Expired()) return;
+      BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
+      if (ctx != nullptr && ctx->ShouldStop()) return;
       parts[i] = BindingTable(cols);
       StarMergeScan(qg, star_patterns, cs_->spo().slice(ranges[i]),
-                    &parts[i], &part_stats[i]);
+                    &parts[i], &part_stats[i], ctx);
     });
     BindingTable acc(cols);
     for (size_t i = 0; i < ranges.size(); ++i) {
@@ -247,7 +261,10 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
       AppendRowsByName(&acc, parts[i]);
       // The serial reference accounted the accumulated table after each
       // partition's merge scan; reproduce that running total exactly.
-      if (stats != nullptr) stats->intermediate_rows += acc.num_rows();
+      if (stats != nullptr) {
+        stats->intermediate_rows += acc.num_rows();
+        stats->NotePeakBytes(acc.ByteSize());
+      }
     }
     return acc;
   }
@@ -264,17 +281,18 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
   std::vector<BindingTable> parts(ranges.size());
   std::vector<ExecStats> part_stats(ranges.size());
   ParallelFor(pool_, ranges.size(), [&](size_t i) {
-    if (deadline != nullptr && deadline->Expired()) return;
+    BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
+    if (ctx != nullptr && ctx->ShouldStop()) return;
     std::span<const Triple> rows = cs_->spo().slice(ranges[i]);
     BindingTable per_cs;
     bool first = true;
     for (int pi : star_patterns) {
-      BindingTable t = ScanPattern(rows, qg.patterns[pi], &part_stats[i]);
+      BindingTable t = ScanPattern(rows, qg.patterns[pi], &part_stats[i], ctx);
       if (first) {
         per_cs = std::move(t);
         first = false;
       } else {
-        per_cs = HashJoin(per_cs, t, &part_stats[i]);
+        per_cs = HashJoin(per_cs, t, &part_stats[i], ctx);
       }
       if (per_cs.num_rows() == 0) break;
     }
@@ -431,31 +449,44 @@ Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
 }
 
 Result<QueryResult> Executor::Execute(const SelectQuery& query) const {
-  // Allocation failures anywhere in the pipeline — including ones a
-  // worker task hit and WaitGroup::Wait rethrew, or an armed "exec.query"
-  // oom failpoint — surface as a clean ResourceExhausted, never a crash:
-  // one query overrunning memory must not take the server down.
+  QueryContext ctx(options_.timeout_millis, options_.memory_budget_bytes);
+  return Execute(query, &ctx);
+}
+
+Result<QueryResult> Executor::Execute(const SelectQuery& query,
+                                      QueryContext* ctx) const {
+  // The query fault boundary. Cooperative stops (deadline / cancel /
+  // budget) arrive as QueryStopError thrown inside scan loops — including
+  // ones a worker task hit and WaitGroup::Wait rethrew. Allocation
+  // failures — a real OOM, a budget charge, or an armed "exec.query" oom
+  // failpoint — surface as a clean ResourceExhausted, never a crash: one
+  // query overrunning memory must not take the server down.
   try {
     AXON_FAILPOINT("exec.query");
-    return ExecuteImpl(query);
+    return ExecuteImpl(query, ctx);
+  } catch (const QueryStopError&) {
+    return ctx->StopStatus();
+  } catch (const BudgetExceededError&) {
+    return Status::ResourceExhausted(
+        "query exceeded memory budget of " +
+        std::to_string(ctx->budget()->limit()) + " bytes");
   } catch (const std::bad_alloc&) {
     return Status::ResourceExhausted(
         "query aborted: out of memory during execution");
   }
 }
 
-Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query) const {
+Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query,
+                                          QueryContext* ctx) const {
   AXON_SPAN("query.execute");
   QueryResult result;
-  // One shared deadline per query: the merging thread checks it between
-  // operators, worker tasks check it before every partition scan, and the
-  // sticky flag makes the whole task tree quiesce once any thread fires it.
-  Deadline deadline(options_.timeout_millis);
-  auto timeout_status = [this]() {
-    return Status::DeadlineExceeded("query exceeded " +
-                                    std::to_string(options_.timeout_millis) +
-                                    "ms");
-  };
+  // One shared context per query: the merging thread checks it between
+  // operators, every scan/join loop checks it per leaf, and the sticky
+  // cause makes the whole task tree quiesce once any thread fires a stop.
+  // The budget is installed thread-locally here and re-installed inside
+  // every worker task.
+  BudgetScope budget_scope(ctx->budget());
+  auto stop_status = [ctx]() { return ctx->StopStatus(); };
   std::vector<std::string> proj = query.EffectiveProjection();
   auto empty_result = [&proj]() {
     QueryResult r;
@@ -543,24 +574,24 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query) const {
       WaitGroup wg(pool_);
       for (size_t i = 0; i < num_qecs; ++i) {
         wg.Run([this, &qg, &join_plan, &qecs_matches, &qecs_tables, &qecs_stats,
-                &deadline, i] {
-          if (deadline.Expired()) return;
+                ctx, i] {
+          BudgetScope task_scope(ctx->budget());
+          if (ctx->ShouldStop()) return;
           int qecs = join_plan.sequence[i];
           std::vector<EcsId> pm(qecs_matches[qecs].begin(),
                                 qecs_matches[qecs].end());
-          qecs_tables[i] =
-              EvalQueryEcs(qg, qecs, pm, &qecs_stats[i], &deadline);
+          qecs_tables[i] = EvalQueryEcs(qg, qecs, pm, &qecs_stats[i], ctx);
         });
       }
       wg.Wait();
-      if (deadline.hit()) return timeout_status();
+      if (ctx->ShouldStop()) return stop_status();
       for (size_t i = 0; i < num_qecs; ++i) {
         result.stats.Accumulate(qecs_stats[i]);
         if (first) {
           current = std::move(qecs_tables[i]);
           first = false;
         } else {
-          current = HashJoin(current, qecs_tables[i], &result.stats);
+          current = HashJoin(current, qecs_tables[i], &result.stats, ctx);
         }
         if (current.num_rows() == 0) return empty_result();
       }
@@ -568,13 +599,13 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query) const {
       for (int qecs : join_plan.sequence) {
         std::vector<EcsId> pm(qecs_matches[qecs].begin(),
                               qecs_matches[qecs].end());
-        BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats, &deadline);
-        if (deadline.Expired()) return timeout_status();
+        BindingTable t = EvalQueryEcs(qg, qecs, pm, &result.stats, ctx);
+        if (ctx->ShouldStop()) return stop_status();
         if (first) {
           current = std::move(t);
           first = false;
         } else {
-          current = HashJoin(current, t, &result.stats);
+          current = HashJoin(current, t, &result.stats, ctx);
         }
         if (current.num_rows() == 0) return empty_result();
       }
@@ -614,35 +645,43 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query) const {
       if (needed.empty()) {
         if (node_in_chain[node]) continue;  // the chain carries the column
         // Existence-only star node: emit its distinct subjects. The serial
-        // pipeline honors the same shared deadline the pool workers check:
-        // one test between per-CS scans, caught by the post-loop check below.
+        // pipeline honors the same shared context the pool workers check:
+        // one test per leaf-sized chunk, caught by the post-loop check below.
         star = BindingTable({qg.nodes[node].col});
         for (CsId cs : allowed) {
-          if (deadline.Expired()) break;
+          if (ctx->ShouldStop()) break;
           RowRange range = qg.nodes[node].is_variable
                                ? cs_->RangeOf(cs)
                                : cs_->SubjectRange(cs, qg.nodes[node].bound_id);
           std::span<const Triple> rows = cs_->spo().slice(range);
-          AXON_COUNTER_ADD("exec.triples_scanned", rows.size());
+          size_t counted = 0;
           TermId last = kInvalidId;
-          for (const Triple& t : rows) {
+          for (size_t i = 0; i < rows.size(); ++i) {
+            if ((i % kStopCheckRows) == 0) {
+              AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
+              counted = i;
+              if (ctx->ShouldStop()) break;
+            }
+            const Triple& t = rows[i];
             ++result.stats.rows_scanned;
             if (t.s != last) {
               star.AppendRow({t.s});
               last = t.s;
             }
           }
+          AXON_COUNTER_ADD("exec.triples_scanned",
+                           ctx->ShouldStop() ? 0 : rows.size() - counted);
         }
       } else {
         star = EvalStarNode(qg, static_cast<int>(node), allowed, needed,
-                            &result.stats, &deadline);
+                            &result.stats, ctx);
       }
-      if (deadline.Expired()) return timeout_status();
+      if (ctx->ShouldStop()) return stop_status();
       if (first) {
         current = std::move(star);
         first = false;
       } else {
-        current = HashJoin(current, star, &result.stats);
+        current = HashJoin(current, star, &result.stats, ctx);
       }
       if (current.num_rows() == 0 && current.num_cols() > 0) {
         return empty_result();

@@ -35,11 +35,17 @@ struct EngineOptions {
 
   /// Per-query wall-clock budget in milliseconds; 0 = unlimited. The
   /// paper's evaluation imposes a 30-minute timeout on every engine
-  /// (Sec. V.A); this is the engine-level mechanism behind it. The check
-  /// runs between operators — and, on the parallel paths, before every
-  /// worker task via a shared atomic deadline flag — so a single scan/join
-  /// may overshoot slightly.
+  /// (Sec. V.A); this is the engine-level mechanism behind it. Checked
+  /// between operators and, inside every scan/join loop, every
+  /// kStopCheckRows rows (one B+-tree leaf), so overshoot is bounded by a
+  /// single leaf scan per worker.
   uint64_t timeout_millis = 0;
+
+  /// Per-query memory budget in bytes for intermediate results (operator
+  /// buffers + hash-join builds); 0 = unlimited. Charged before growth, so
+  /// an over-budget query returns ResourceExhausted without its tracked
+  /// allocations ever exceeding the budget.
+  uint64_t memory_budget_bytes = 0;
 
   /// Worker threads for load-time extraction/index builds and query-time
   /// scans: 0 = hardware concurrency, 1 = the serial reference path
@@ -89,6 +95,11 @@ class Executor {
 
   Result<QueryResult> Execute(const SelectQuery& query) const;
 
+  /// Executes under a caller-owned context; timeout/budget/cancel stops
+  /// surface as DeadlineExceeded / ResourceExhausted / Cancelled.
+  Result<QueryResult> Execute(const SelectQuery& query,
+                              QueryContext* ctx) const;
+
   /// Human-readable plan description: the query's ECS decomposition, the
   /// chain matches, the planned join order with running size estimates,
   /// and the star-retrieval plan. Does not touch the triple tables.
@@ -102,9 +113,11 @@ class Executor {
 
  private:
   /// Execute() minus the fault boundary: Execute wraps this in the
-  /// bad_alloc -> ResourceExhausted translation (and the "exec.query"
-  /// failpoint) so OOM anywhere in the pipeline is a clean Status.
-  Result<QueryResult> ExecuteImpl(const SelectQuery& query) const;
+  /// QueryStopError / bad_alloc -> Status translation (and the
+  /// "exec.query" failpoint) so a stop or OOM anywhere in the pipeline is
+  /// a clean Status.
+  Result<QueryResult> ExecuteImpl(const SelectQuery& query,
+                                  QueryContext* ctx) const;
 
   /// eval(Q_i): union of the matched ECS partitions' rows for every link
   /// pattern of the query ECS, link patterns natural-joined on the chain
@@ -113,7 +126,7 @@ class Executor {
   /// bit-identical to the serial scan.
   BindingTable EvalQueryEcs(const QueryGraph& qg, int query_ecs,
                             const std::vector<EcsId>& matches,
-                            ExecStats* stats, Deadline* deadline) const;
+                            ExecStats* stats, QueryContext* ctx) const;
 
   /// Star retrieval for one node over the allowed CS partitions.
   /// Returns a table with the node column plus the star patterns' variable
@@ -122,7 +135,7 @@ class Executor {
   BindingTable EvalStarNode(const QueryGraph& qg, int node,
                             const std::vector<CsId>& allowed_cs,
                             const std::vector<int>& star_patterns,
-                            ExecStats* stats, Deadline* deadline) const;
+                            ExecStats* stats, QueryContext* ctx) const;
 
   /// True when the star patterns share no variables besides the subject —
   /// the precondition of the single-pass merge scan (Sec. IV.D: the CS
@@ -136,7 +149,7 @@ class Executor {
   void StarMergeScan(const QueryGraph& qg,
                      const std::vector<int>& star_patterns,
                      std::span<const Triple> rows, BindingTable* out,
-                     ExecStats* stats) const;
+                     ExecStats* stats, QueryContext* ctx) const;
 
   /// Merges ranges that are adjacent/overlapping in storage order when the
   /// hierarchy optimization is on (extended range scans, Sec. IV.D).

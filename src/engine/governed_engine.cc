@@ -1,0 +1,104 @@
+#include "engine/governed_engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/trace.h"
+
+namespace axon {
+
+namespace {
+
+// True when `status` is worth retrying on the fallback engine: the primary
+// ran out of its budget (the intended degradation trigger) or failed
+// internally (e.g. an injected fault). Deadline and cancel stops are NOT
+// degradable — the caller's constraint applies to the fallback too, and it
+// has already been spent.
+bool Degradable(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kInternal;
+}
+
+}  // namespace
+
+Result<QueryResult> GovernedEngine::Execute(const SelectQuery& query) const {
+  return Run(query, nullptr);
+}
+
+Result<QueryResult> GovernedEngine::Execute(const SelectQuery& query,
+                                            QueryContext* ctx) const {
+  // An external context carries its own deadline/budget; honor its cancel
+  // token and let the admission gate + degradation still apply.
+  return Run(query, ctx != nullptr ? ctx->cancel_token() : nullptr);
+}
+
+Result<QueryResult> GovernedEngine::ExecuteCancellable(
+    const SelectQuery& query, const CancellationToken* cancel) const {
+  return Run(query, cancel);
+}
+
+Result<QueryResult> GovernedEngine::Run(
+    const SelectQuery& query, const CancellationToken* cancel) const {
+  AXON_SPAN("query.execute_governed");
+  Status admitted = governor_.Admit();
+  if (!admitted.ok()) return admitted;  // shed: no slot held
+
+  struct SlotGuard {
+    ResourceGovernor* g;
+    ~SlotGuard() { g->Release(); }
+  } guard{&governor_};
+
+  // A query cancelled while it waited in the admission queue stops here,
+  // before any scan work.
+  if (cancel != nullptr && cancel->cancelled()) {
+    governor_.RecordOutcome(QueryOutcome::kCancelled);
+    return Status::Cancelled("query cancelled by caller");
+  }
+
+  QueryContext ctx(options_.timeout_millis, options_.memory_budget_bytes,
+                   cancel);
+  Result<QueryResult> primary = primary_->Execute(query, &ctx);
+  if (primary.ok()) {
+    governor_.RecordOutcome(QueryOutcome::kCompleted);
+    return primary;
+  }
+
+  Status st = primary.status();
+  if (fallback_ == nullptr || !options_.degrade_to_baseline ||
+      !Degradable(st)) {
+    governor_.RecordOutcome(ResourceGovernor::OutcomeOf(st));
+    return st;
+  }
+
+  // Deterministic seeded backoff: attempt k waits base << k plus jitter
+  // drawn from a PRNG keyed on (seed, query text length, attempt), so a
+  // fixed seed reproduces the exact same schedule.
+  for (uint32_t attempt = 0; attempt < options_.max_degrade_attempts;
+       ++attempt) {
+    if (options_.degrade_backoff_millis > 0) {
+      Random rng(Mix64(options_.seed ^ (query.patterns.size() + 1)) +
+                 attempt);
+      uint64_t backoff = (options_.degrade_backoff_millis << attempt) +
+                         rng.Uniform(options_.degrade_backoff_millis + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    if (cancel != nullptr && cancel->cancelled()) break;
+    QueryContext fb_ctx(options_.timeout_millis,
+                        options_.fallback_memory_budget_bytes, cancel);
+    Result<QueryResult> fb = fallback_->Execute(query, &fb_ctx);
+    if (fb.ok()) {
+      QueryResult out = std::move(fb).ValueOrDie();
+      out.stats.degraded_to_baseline = 1;
+      governor_.RecordOutcome(QueryOutcome::kDegraded);
+      AXON_COUNTER_ADD("governor.degraded_results", 1);
+      return out;
+    }
+    st = fb.status();
+  }
+  governor_.RecordOutcome(ResourceGovernor::OutcomeOf(st));
+  return st;
+}
+
+}  // namespace axon

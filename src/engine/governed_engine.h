@@ -1,0 +1,92 @@
+// GovernedEngine — the graceful-degradation composition layer.
+//
+// Wraps a primary QueryEngine (normally axonDB) behind a ResourceGovernor
+// and optionally backs it with a baseline fallback engine:
+//
+//   caller -> Admit() gate -> primary under QueryContext
+//                                |  ResourceExhausted / Internal
+//                                v
+//                       seeded backoff -> fallback under a fresh context
+//
+// Admission keeps at most `admission.max_concurrent` queries running;
+// excess callers queue FIFO and are shed with Status::Unavailable (plus a
+// retry-after hint) when the queue is full or their wait deadline passes.
+// Every admitted query runs with a deadline + memory budget + optional
+// cancel token; when the primary is killed by its budget (or fails
+// internally) and degradation is enabled, the query is retried on the
+// fallback engine after a deterministic seeded backoff, and the result is
+// marked with ExecStats::degraded_to_baseline so callers and benches can
+// see which answers the baseline produced. Outcomes feed the governor's
+// counters (bench "governor" section, governor.* metrics).
+
+#ifndef AXON_ENGINE_GOVERNED_ENGINE_H_
+#define AXON_ENGINE_GOVERNED_ENGINE_H_
+
+#include <string>
+
+#include "engine/query_engine.h"
+#include "util/cancellation.h"
+#include "util/resource_governor.h"
+
+namespace axon {
+
+struct GovernedOptions {
+  /// Admission gate configuration (max_concurrent = 0 admits everything).
+  GovernorOptions admission;
+  /// Per-query wall-clock budget (ms); 0 = unlimited.
+  uint64_t timeout_millis = 0;
+  /// Per-query memory budget for the primary engine; 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+  /// Retry budget-killed / internally-failed queries on the fallback.
+  bool degrade_to_baseline = false;
+  /// Fallback attempts per query (each after a backoff).
+  uint32_t max_degrade_attempts = 1;
+  /// Base backoff before a fallback attempt; attempt k waits
+  /// base << k plus deterministic seeded jitter.
+  uint64_t degrade_backoff_millis = 1;
+  /// Budget for fallback attempts; 0 = unlimited (the degraded path must
+  /// be able to answer what the budgeted primary could not).
+  uint64_t fallback_memory_budget_bytes = 0;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t seed = 0;
+};
+
+class GovernedEngine : public QueryEngine {
+ public:
+  /// Both engines are borrowed and must outlive this object. `fallback`
+  /// may be null (no degradation even if degrade_to_baseline is set).
+  GovernedEngine(const QueryEngine* primary, const QueryEngine* fallback,
+                 GovernedOptions options)
+      : primary_(primary), fallback_(fallback), options_(options),
+        governor_(options.admission) {}
+
+  std::string name() const override {
+    return "governed(" + primary_->name() + ")";
+  }
+  Result<QueryResult> Execute(const SelectQuery& query) const override;
+  Result<QueryResult> Execute(const SelectQuery& query,
+                              QueryContext* ctx) const override;
+  uint64_t StorageBytes() const override { return primary_->StorageBytes(); }
+
+  /// Execute with a caller-held cancel token: Cancel() stops the query at
+  /// the next leaf-granularity check (even while it waits in the admission
+  /// queue, the pre-run check sees it).
+  Result<QueryResult> ExecuteCancellable(const SelectQuery& query,
+                                         const CancellationToken* cancel) const;
+
+  ResourceGovernor& governor() const { return governor_; }
+  const GovernedOptions& options() const { return options_; }
+
+ private:
+  Result<QueryResult> Run(const SelectQuery& query,
+                          const CancellationToken* cancel) const;
+
+  const QueryEngine* primary_;
+  const QueryEngine* fallback_;  // may be null
+  GovernedOptions options_;
+  mutable ResourceGovernor governor_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_GOVERNED_ENGINE_H_

@@ -21,6 +21,8 @@
 
 namespace axon {
 
+class QueryContext;
+
 /// An id-encoded dataset: the dictionary plus the raw triples. This is the
 /// common input to every engine's build phase.
 struct Dataset {
@@ -53,6 +55,17 @@ class QueryEngine {
 
   /// Executes a conjunctive SELECT query.
   virtual Result<QueryResult> Execute(const SelectQuery& query) const = 0;
+
+  /// Executes under a caller-owned QueryContext (deadline + memory budget
+  /// + cancellation token). Engines that support cooperative stop override
+  /// this; the default ignores the context. Every engine in this repo
+  /// overrides it — the default exists so external QueryEngine
+  /// implementations stay source-compatible.
+  virtual Result<QueryResult> Execute(const SelectQuery& query,
+                                      QueryContext* ctx) const {
+    (void)ctx;
+    return Execute(query);
+  }
 
   /// Serialized on-disk footprint of the engine's storage + indexes
   /// (dictionary excluded — it is shared across engines).

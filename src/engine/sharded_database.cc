@@ -8,7 +8,10 @@
 #include "ecs/ecs_hierarchy.h"
 #include "engine/ecs_matcher.h"
 #include "engine/planner.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
+#include "util/resource_governor.h"
 #include "util/trace.h"
 
 namespace axon {
@@ -125,7 +128,7 @@ std::vector<uint64_t> ShardedDatabase::ShardTripleCounts() const {
 
 BindingTable ShardedDatabase::EvalQueryEcsScattered(
     const QueryGraph& qg, int query_ecs, const std::vector<EcsId>& matches,
-    ExecStats* stats, Deadline* deadline) const {
+    ExecStats* stats, QueryContext* ctx) const {
   AXON_SPAN("shard.scatter_eval");
   const QueryEcs& q = qg.ecss[query_ecs];
   BindingTable acc;
@@ -138,7 +141,8 @@ BindingTable ShardedDatabase::EvalQueryEcsScattered(
     std::vector<BindingTable> shard_parts(shards_.size());
     std::vector<ExecStats> shard_stats(shards_.size());
     ParallelFor(pool_.get(), shards_.size(), [&](size_t si) {
-      if (deadline != nullptr && deadline->Expired()) return;
+      BudgetScope task_scope(ctx != nullptr ? ctx->budget() : nullptr);
+      if (ctx != nullptr && ctx->ShouldStop()) return;
       const Shard& shard = *shards_[si];
       BindingTable local = ScanPattern({}, p, nullptr);  // right schema
       for (EcsId e : matches) {
@@ -146,7 +150,7 @@ BindingTable ShardedDatabase::EvalQueryEcsScattered(
                                  : shard.ecs.RangeOf(e);
         if (r.empty()) continue;
         BindingTable part =
-            ScanPattern(shard.ecs.pso().slice(r), p, &shard_stats[si]);
+            ScanPattern(shard.ecs.pso().slice(r), p, &shard_stats[si], ctx);
         AppendRowsByName(&local, part);
       }
       shard_parts[si] = std::move(local);
@@ -160,7 +164,7 @@ BindingTable ShardedDatabase::EvalQueryEcsScattered(
       acc = std::move(link);
       first = false;
     } else {
-      acc = HashJoin(acc, link, stats);
+      acc = HashJoin(acc, link, stats, ctx);
     }
     if (acc.num_rows() == 0) break;
   }
@@ -170,7 +174,7 @@ BindingTable ShardedDatabase::EvalQueryEcsScattered(
 BindingTable ShardedDatabase::EvalStarScattered(
     const QueryGraph& qg, int node, const std::vector<CsId>& allowed_cs,
     const std::vector<int>& star_patterns, ExecStats* stats,
-    Deadline* deadline) const {
+    QueryContext* ctx) const {
   AXON_SPAN("shard.scatter_star");
   const QueryNode& n = qg.nodes[node];
   // Output schema via the pipeline on an empty span.
@@ -183,7 +187,8 @@ BindingTable ShardedDatabase::EvalStarScattered(
   std::vector<BindingTable> shard_parts(shards_.size());
   std::vector<ExecStats> shard_stats(shards_.size());
   ParallelFor(pool_.get(), shards_.size(), [&](size_t si) {
-    if (deadline != nullptr && deadline->Expired()) return;
+    BudgetScope task_scope(ctx != nullptr ? ctx->budget() : nullptr);
+    if (ctx != nullptr && ctx->ShouldStop()) return;
     const Shard& shard = *shards_[si];
     BindingTable local(acc.vars());
     for (CsId cs : allowed_cs) {
@@ -194,12 +199,13 @@ BindingTable ShardedDatabase::EvalStarScattered(
       BindingTable per_cs;
       bool first = true;
       for (int pi : star_patterns) {
-        BindingTable t = ScanPattern(rows, qg.patterns[pi], &shard_stats[si]);
+        BindingTable t =
+            ScanPattern(rows, qg.patterns[pi], &shard_stats[si], ctx);
         if (first) {
           per_cs = std::move(t);
           first = false;
         } else {
-          per_cs = HashJoin(per_cs, t, &shard_stats[si]);
+          per_cs = HashJoin(per_cs, t, &shard_stats[si], ctx);
         }
         if (per_cs.num_rows() == 0) break;
       }
@@ -215,6 +221,32 @@ BindingTable ShardedDatabase::EvalStarScattered(
 }
 
 Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
+  QueryContext ctx(options_.timeout_millis, options_.memory_budget_bytes);
+  return Execute(query, &ctx);
+}
+
+Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query,
+                                             QueryContext* ctx) const {
+  // Coordinator-side fault boundary — the sharded twin of
+  // Executor::Execute: stops and allocation failures anywhere in the
+  // scatter/gather tree surface as clean Statuses.
+  try {
+    AXON_FAILPOINT("exec.query");
+    return ExecuteImpl(query, ctx);
+  } catch (const QueryStopError&) {
+    return ctx->StopStatus();
+  } catch (const BudgetExceededError&) {
+    return Status::ResourceExhausted(
+        "query exceeded memory budget of " +
+        std::to_string(ctx->budget()->limit()) + " bytes");
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "query aborted: out of memory during execution");
+  }
+}
+
+Result<QueryResult> ShardedDatabase::ExecuteImpl(const SelectQuery& query,
+                                                 QueryContext* ctx) const {
   AXON_SPAN("query.execute_sharded");
   QueryResult result;
   std::vector<std::string> proj = query.EffectiveProjection();
@@ -224,12 +256,9 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
     return r;
   };
   // Shared across the scatter tasks: once any worker (or the coordinator
-  // loop) observes expiry the flag is sticky and everyone bails out.
-  Deadline deadline(options_.timeout_millis);
-  auto timeout_status = [this]() {
-    return Status::DeadlineExceeded(
-        "query exceeded " + std::to_string(options_.timeout_millis) + "ms");
-  };
+  // loop) observes a stop the cause is sticky and everyone bails out.
+  BudgetScope budget_scope(ctx->budget());
+  auto stop_status = [ctx]() { return ctx->StopStatus(); };
 
   AXON_ASSIGN_OR_RETURN(QueryGraph qg,
                         BuildQueryGraph(query, dict_, cs_meta_.properties()));
@@ -308,14 +337,13 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
     node_joined[qg.ecss[qecs].object_node] = true;
     std::vector<EcsId> pm(qecs_matches[qecs].begin(),
                           qecs_matches[qecs].end());
-    BindingTable t =
-        EvalQueryEcsScattered(qg, qecs, pm, &result.stats, &deadline);
-    if (deadline.Expired()) return timeout_status();
+    BindingTable t = EvalQueryEcsScattered(qg, qecs, pm, &result.stats, ctx);
+    if (ctx->ShouldStop()) return stop_status();
     if (first) {
       current = std::move(t);
       first = false;
     } else {
-      current = HashJoin(current, t, &result.stats);
+      current = HashJoin(current, t, &result.stats, ctx);
     }
     if (current.num_rows() == 0) return empty_result();
   }
@@ -345,13 +373,13 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query) const {
     if (allowed.empty()) return empty_result();
 
     BindingTable star_table = EvalStarScattered(
-        qg, static_cast<int>(node), allowed, star, &result.stats, &deadline);
-    if (deadline.Expired()) return timeout_status();
+        qg, static_cast<int>(node), allowed, star, &result.stats, ctx);
+    if (ctx->ShouldStop()) return stop_status();
     if (first) {
       current = std::move(star_table);
       first = false;
     } else {
-      current = HashJoin(current, star_table, &result.stats);
+      current = HashJoin(current, star_table, &result.stats, ctx);
     }
     if (current.num_rows() == 0 && current.num_cols() > 0) {
       return empty_result();

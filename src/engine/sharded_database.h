@@ -53,6 +53,8 @@ class ShardedDatabase : public QueryEngine {
     return "axonDB-sharded(" + std::to_string(shards_.size()) + ")";
   }
   Result<QueryResult> Execute(const SelectQuery& query) const override;
+  Result<QueryResult> Execute(const SelectQuery& query,
+                              QueryContext* ctx) const override;
 
   /// Sum of the shards' storage (the coordinator's metadata is excluded,
   /// mirroring a deployment where it holds no triples).
@@ -76,18 +78,23 @@ class ShardedDatabase : public QueryEngine {
     EcsIndex ecs;
   };
 
+  // Execute() minus the fault boundary (QueryStopError / bad_alloc ->
+  // Status translation happens in Execute).
+  Result<QueryResult> ExecuteImpl(const SelectQuery& query,
+                                  QueryContext* ctx) const;
+
   // eval(Q_i) scattered over the shards (one pool task per shard) and
   // gathered in shard-index order.
   BindingTable EvalQueryEcsScattered(const QueryGraph& qg, int query_ecs,
                                      const std::vector<EcsId>& matches,
                                      ExecStats* stats,
-                                     Deadline* deadline) const;
+                                     QueryContext* ctx) const;
 
   // Star retrieval scattered over the shards, gathered in shard order.
   BindingTable EvalStarScattered(const QueryGraph& qg, int node,
                                  const std::vector<CsId>& allowed_cs,
                                  const std::vector<int>& star_patterns,
-                                 ExecStats* stats, Deadline* deadline) const;
+                                 ExecStats* stats, QueryContext* ctx) const;
 
   Dictionary dict_;
   // Coordinator metadata: global schema, graph, hierarchy order and

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/resource_governor.h"
+
 namespace axon {
 
 int BindingTable::ColumnIndex(const std::string& var) const {
@@ -12,12 +14,26 @@ int BindingTable::ColumnIndex(const std::string& var) const {
   return -1;
 }
 
+void BindingTable::GrowFor(size_t needed) {
+  if (needed <= data_.capacity()) return;
+  // Explicit doubling keeps the charged amounts deterministic (independent
+  // of the standard library's growth policy).
+  size_t new_cap = std::max<size_t>(data_.capacity() * 2, 64);
+  new_cap = std::max(new_cap, needed);
+  MemoryBudget* budget = BudgetScope::Current();
+  if (budget != nullptr) {
+    budget->Charge((new_cap - data_.capacity()) * sizeof(TermId));
+  }
+  data_.reserve(new_cap);
+}
+
 void BindingTable::AppendRow(std::span<const TermId> values) {
   assert(values.size() == vars_.size());
   if (vars_.empty()) {
     nullary_rows_ = true;
     return;
   }
+  GrowFor(data_.size() + values.size());
   data_.insert(data_.end(), values.begin(), values.end());
 }
 

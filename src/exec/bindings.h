@@ -48,6 +48,10 @@ class BindingTable {
     AppendRow(std::span<const TermId>(values.begin(), values.size()));
   }
 
+  /// Bytes held by the row storage (the operator-buffer size the per-query
+  /// memory budget accounts for).
+  uint64_t ByteSize() const { return data_.size() * sizeof(TermId); }
+
   /// Marks a zero-column table as containing the single empty row (the
   /// identity of the natural join). Zero-column tables default to empty.
   void SetNullaryRow(bool present) { nullary_rows_ = present; }
@@ -55,7 +59,7 @@ class BindingTable {
   /// Rows as a flat vector (row-major). For tests.
   const std::vector<TermId>& flat() const { return data_; }
 
-  void Reserve(size_t rows) { data_.reserve(rows * vars_.size()); }
+  void Reserve(size_t rows) { GrowFor(rows * vars_.size()); }
 
   /// Sorted multiset of rows projected onto `vars` — the canonical form
   /// used to compare results across engines regardless of row/column order.
@@ -63,6 +67,13 @@ class BindingTable {
       const std::vector<std::string>& vars) const;
 
  private:
+  /// Ensures capacity for `needed` ids, charging the growth to the
+  /// thread-local memory budget (BudgetScope) *before* allocating — tables
+  /// are the engine's dominant intermediate allocation, so budget
+  /// enforcement rides the amortized capacity-doubling path and costs the
+  /// hot AppendRow loop nothing.
+  void GrowFor(size_t needed);
+
   std::vector<std::string> vars_;
   std::vector<TermId> data_;
   bool nullary_rows_ = false;

@@ -24,7 +24,8 @@ struct RowKeyHash {
 }  // namespace
 
 BindingTable ScanPattern(std::span<const Triple> triples,
-                         const IdPattern& pattern, ExecStats* stats) {
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx) {
   // Output columns: distinct named variables in S, P, O order.
   std::vector<std::string> vars;
   auto add_var = [&vars](const std::string& v) {
@@ -37,9 +38,18 @@ BindingTable ScanPattern(std::span<const Triple> triples,
   if (!pattern.o_bound()) add_var(pattern.o_var);
 
   BindingTable out(vars);
-  AXON_COUNTER_ADD("exec.triples_scanned", triples.size());
   std::vector<TermId> row(vars.size());
-  for (const Triple& t : triples) {
+  // The triples-scanned counter is flushed per leaf-sized chunk (not once
+  // up front) so a stopped scan reports only the rows it actually visited —
+  // the cancellation-latency tests bound post-cancel work through it.
+  size_t counted = 0;
+  for (size_t idx = 0; idx < triples.size(); ++idx) {
+    if ((idx % kStopCheckRows) == 0) {
+      AXON_COUNTER_ADD("exec.triples_scanned", idx - counted);
+      counted = idx;
+      if (ctx != nullptr) ctx->CheckStop();
+    }
+    const Triple& t = triples[idx];
     if (stats != nullptr) ++stats->rows_scanned;
     if (pattern.s_bound() && t.s != pattern.s) continue;
     if (pattern.p_bound() && t.p != pattern.p) continue;
@@ -68,12 +78,16 @@ BindingTable ScanPattern(std::span<const Triple> triples,
     if (!ok) continue;
     out.AppendRow(row);
   }
-  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  AXON_COUNTER_ADD("exec.triples_scanned", triples.size() - counted);
+  if (stats != nullptr) {
+    stats->intermediate_rows += out.num_rows();
+    stats->NotePeakBytes(out.ByteSize());
+  }
   return out;
 }
 
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats) {
+                      ExecStats* stats, QueryContext* ctx) {
   if (stats != nullptr) ++stats->joins;
   // Build on the smaller side.
   const BindingTable& build = left.num_rows() <= right.num_rows() ? left : right;
@@ -104,11 +118,19 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
 
   if (build.num_rows() == 0 || probe.num_rows() == 0) return out;
 
+  // Charge the hash-table build to the query's memory budget up front: a
+  // deterministic per-row estimate (bucket slot + key copy + row index),
+  // taken before the table allocates so an over-budget build never grows.
+  if (MemoryBudget* budget = BudgetScope::Current()) {
+    budget->Charge(build.num_rows() *
+                   (2 * sizeof(size_t) + build_key.size() * sizeof(TermId)));
+  }
   std::unordered_map<std::vector<TermId>, std::vector<size_t>, RowKeyHash>
       table;
   table.reserve(build.num_rows());
   std::vector<TermId> key(build_key.size());
   for (size_t r = 0; r < build.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
     for (size_t k = 0; k < build_key.size(); ++k) {
       key[k] = build.at(r, build_key[k]);
     }
@@ -117,6 +139,7 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
 
   std::vector<TermId> out_row(out_vars.size());
   for (size_t r = 0; r < probe.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
     for (size_t k = 0; k < probe_key.size(); ++k) {
       key[k] = probe.at(r, probe_key[k]);
     }
@@ -131,7 +154,10 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
       out.AppendRow(out_row);
     }
   }
-  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  if (stats != nullptr) {
+    stats->intermediate_rows += out.num_rows();
+    stats->NotePeakBytes(out.ByteSize());
+  }
   AXON_COUNTER_ADD("exec.join_rows_out", out.num_rows());
   return out;
 }

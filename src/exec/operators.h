@@ -10,6 +10,7 @@
 #ifndef AXON_EXEC_OPERATORS_H_
 #define AXON_EXEC_OPERATORS_H_
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <span>
@@ -18,6 +19,7 @@
 
 #include "exec/bindings.h"
 #include "rdf/triple.h"
+#include "util/cancellation.h"
 
 namespace axon {
 
@@ -32,12 +34,25 @@ struct ExecStats {
   /// show the disk locality the ECS-hierarchy layout buys; this metric can
   /// (fewer distinct pages when matched ECS families are stored adjacent).
   uint64_t pages_read = 0;
+  /// 1 when this result was answered by the baseline fallback engine after
+  /// the primary failed (GovernedEngine); summed across sub-results.
+  uint64_t degraded_to_baseline = 0;
+  /// Largest single operator output table, in bytes. Defined over the
+  /// deterministic per-operator outputs (not a concurrent RSS high-water
+  /// mark), so it is bit-identical at every parallelism setting.
+  uint64_t budget_bytes_peak = 0;
 
   void Accumulate(const ExecStats& other) {
     rows_scanned += other.rows_scanned;
     intermediate_rows += other.intermediate_rows;
     joins += other.joins;
     pages_read += other.pages_read;
+    degraded_to_baseline += other.degraded_to_baseline;
+    budget_bytes_peak = std::max(budget_bytes_peak, other.budget_bytes_peak);
+  }
+
+  void NotePeakBytes(uint64_t bytes) {
+    budget_bytes_peak = std::max(budget_bytes_peak, bytes);
   }
 };
 
@@ -62,14 +77,20 @@ struct IdPattern {
 
 /// Materializes the solutions of `pattern` over a span of candidate triples:
 /// drops rows failing bound components or repeated-variable equality, and
-/// outputs one column per distinct named variable.
+/// outputs one column per distinct named variable. With a QueryContext the
+/// scan checks for deadline/cancel/budget stops every kStopCheckRows rows
+/// (one B+-tree leaf) and throws QueryStopError.
 BindingTable ScanPattern(std::span<const Triple> triples,
-                         const IdPattern& pattern, ExecStats* stats);
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx = nullptr);
 
 /// Natural join on all shared columns (hash join, smaller side builds).
-/// With no shared columns this degrades to a cross product.
+/// With no shared columns this degrades to a cross product. With a
+/// QueryContext the build/probe loops check for stops every
+/// kStopCheckRows rows, and the build table is charged to the query's
+/// memory budget before construction.
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats);
+                      ExecStats* stats, QueryContext* ctx = nullptr);
 
 /// Keeps rows where column `var` equals `value`.
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "util/resource_governor.h"
 #include "util/trace.h"
 
 namespace axon {
@@ -67,6 +68,24 @@ JsonValue Report::ToJson() const {
   doc["rows"] = std::move(rows);
   if (obs::Enabled()) {
     doc["metrics"] = metrics::MetricsRegistry::Global().Snapshot();
+  }
+  // Resource-governor counters, only when some governed execution actually
+  // ran in this process — benches without a governed section keep their
+  // byte-identical report (the golden-file test relies on this).
+  GovernorCounters gov = ResourceGovernor::GlobalSnapshot();
+  if (gov.submitted > 0) {
+    JsonValue g = JsonValue::Object();
+    g["submitted"] = gov.submitted;
+    g["admitted"] = gov.admitted;
+    g["queued"] = gov.queued;
+    g["shed"] = gov.shed;
+    g["completed"] = gov.completed;
+    g["budget_killed"] = gov.budget_killed;
+    g["cancelled"] = gov.cancelled;
+    g["deadline_expired"] = gov.deadline_expired;
+    g["degraded"] = gov.degraded;
+    g["failed"] = gov.failed;
+    doc["governor"] = std::move(g);
   }
   return doc;
 }
@@ -135,6 +154,19 @@ Status ValidateBenchReport(const JsonValue& doc) {
   if (build != nullptr && !build->is_object()) {
     return Status::InvalidArgument("report: build_seconds is not an object");
   }
+  // Optional governor section (present only when governed execution ran).
+  const JsonValue* gov = doc.Find("governor");
+  if (gov != nullptr) {
+    if (!gov->is_object()) {
+      return Status::InvalidArgument("report: governor is not an object");
+    }
+    for (const auto& [name, value] : gov->members()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("report: governor counter " + name +
+                                       " is not a number");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -196,6 +228,31 @@ Result<BenchDiffResult> DiffBenchReports(const JsonValue& baseline,
   for (const auto& [key, row] : cur_rows) {
     (void)row;
     out.notes.push_back("new row (not in baseline): " + key);
+  }
+
+  // Governor counters: the degradation/shedding profile of a governed
+  // bench is deterministic under a fixed seed, so a drift in shed /
+  // budget_killed / degraded versus the baseline is a behavior change.
+  const JsonValue* base_gov = baseline.Find("governor");
+  const JsonValue* cur_gov = current.Find("governor");
+  if (base_gov != nullptr && cur_gov == nullptr) {
+    out.regressions.push_back(
+        "missing governor section (baseline has one)");
+  } else if (base_gov == nullptr && cur_gov != nullptr) {
+    out.notes.push_back("new governor section (not in baseline)");
+  } else if (base_gov != nullptr && cur_gov != nullptr) {
+    for (const auto& [name, base_v] : base_gov->members()) {
+      double base_c = base_v.AsDouble();
+      double cur_c = cur_gov->GetDouble(name);
+      if (cur_c > base_c * (1.0 + options.counter_tolerance) + 0.5) {
+        std::snprintf(buf, sizeof(buf),
+                      "governor: %s %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+                      name.c_str(), base_c, cur_c,
+                      base_c > 0 ? (cur_c / base_c - 1.0) * 100 : 100.0,
+                      options.counter_tolerance * 100);
+        out.regressions.push_back(buf);
+      }
+    }
   }
   return out;
 }

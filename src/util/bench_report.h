@@ -15,7 +15,9 @@
 //     "rows": [{"section", "query", "engine", "seconds",
 //               "counters": {"pages_read", "rows_scanned",
 //                            "intermediate_rows", "joins"}}, ...],
-//     "metrics": {...}   // registry snapshot, when observability is on
+//     "metrics": {...},  // registry snapshot, when observability is on
+//     "governor": {...}  // admission/outcome counters, when governed
+//                        // execution ran in this process
 //   }
 //
 // DiffBenchReports compares a current report against a committed baseline.

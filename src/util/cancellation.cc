@@ -1,0 +1,24 @@
+#include "util/cancellation.h"
+
+#include <string>
+
+namespace axon {
+
+Status QueryContext::StopStatus() const {
+  switch (cause()) {
+    case StopCause::kDeadline:
+      return Status::DeadlineExceeded("query exceeded " +
+                                      std::to_string(timeout_millis_) + "ms");
+    case StopCause::kCancelled:
+      return Status::Cancelled("query cancelled by caller");
+    case StopCause::kBudget:
+      return Status::ResourceExhausted("query exceeded memory budget of " +
+                                       std::to_string(budget_.limit()) +
+                                       " bytes");
+    case StopCause::kNone:
+      break;
+  }
+  return Status::Internal("query stopped without a recorded cause");
+}
+
+}  // namespace axon

@@ -1,0 +1,129 @@
+// Cooperative cancellation: one QueryContext per query unifies the three
+// reasons an in-flight query must stop — wall-clock deadline, explicit
+// caller cancel, per-query memory budget — behind a single sticky check.
+//
+// Propagation model: the context is passed down executor -> operators ->
+// baselines -> sharded scatter/gather. Scan loops call CheckStop() every
+// kStopCheckRows rows (one B+-tree leaf, the engine's natural access
+// granule), which throws QueryStopError; WaitGroup/ParallelFor rethrow a
+// worker's exception to the merging thread, and the query fault boundary
+// (Executor::Execute, ShardedDatabase::Execute, EvaluateBgpGreedy)
+// translates it into the Status matching the stop cause. The first cause
+// observed wins and is sticky, so a query that both times out and is
+// cancelled reports one deterministic-enough terminal status and every
+// worker quiesces promptly.
+
+#ifndef AXON_UTIL_CANCELLATION_H_
+#define AXON_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/resource_governor.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace axon {
+
+/// Rows scanned between cooperative stop checks: one B+-tree leaf
+/// (storage/btree.h kFanout), so cancellation latency is bounded by a
+/// single leaf scan per worker.
+inline constexpr uint64_t kStopCheckRows = 64;
+
+/// Sticky cancel flag, owned by the caller and shared with every task of
+/// the query it governs. Thread-safe; Cancel() is idempotent.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Why a query stopped early.
+enum class StopCause {
+  kNone = 0,
+  kDeadline,   // timeout_millis elapsed
+  kCancelled,  // CancellationToken fired
+  kBudget,     // memory budget exceeded
+};
+
+/// Thrown by CheckStop() inside operators/scan loops; caught at the query
+/// fault boundary and mapped to StopStatus().
+class QueryStopError : public std::runtime_error {
+ public:
+  explicit QueryStopError(StopCause cause)
+      : std::runtime_error("axon: query stopped"), cause_(cause) {}
+  StopCause cause() const { return cause_; }
+
+ private:
+  StopCause cause_;
+};
+
+/// Per-query execution context: deadline + budget + cancel token. Owned by
+/// the query entry point; all of the query's tasks share one instance.
+class QueryContext {
+ public:
+  QueryContext() : QueryContext(0, 0, nullptr) {}
+  explicit QueryContext(uint64_t timeout_millis,
+                        uint64_t memory_budget_bytes = 0,
+                        const CancellationToken* cancel = nullptr)
+      : timeout_millis_(timeout_millis),
+        deadline_(timeout_millis),
+        budget_(memory_budget_bytes),
+        cancel_(cancel) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// True once any stop cause fired; records the first cause observed.
+  bool ShouldStop() {
+    if (cause_.load(std::memory_order_relaxed) != StopCause::kNone) {
+      return true;
+    }
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Fire(StopCause::kCancelled);
+    }
+    if (deadline_.Expired()) return Fire(StopCause::kDeadline);
+    if (budget_.exceeded()) return Fire(StopCause::kBudget);
+    return false;
+  }
+
+  /// Throws QueryStopError when ShouldStop(). The per-leaf check used by
+  /// scan loops.
+  void CheckStop() {
+    if (ShouldStop()) throw QueryStopError(cause());
+  }
+
+  StopCause cause() const { return cause_.load(std::memory_order_relaxed); }
+
+  /// The terminal Status for the recorded stop cause.
+  Status StopStatus() const;
+
+  uint64_t timeout_millis() const { return timeout_millis_; }
+  MemoryBudget* budget() { return &budget_; }
+  const MemoryBudget& budget() const { return budget_; }
+  const CancellationToken* cancel_token() const { return cancel_; }
+
+ private:
+  bool Fire(StopCause cause) {
+    StopCause expected = StopCause::kNone;
+    cause_.compare_exchange_strong(expected, cause,
+                                   std::memory_order_relaxed);
+    return true;
+  }
+
+  uint64_t timeout_millis_;
+  Deadline deadline_;
+  MemoryBudget budget_;
+  const CancellationToken* cancel_;
+  std::atomic<StopCause> cause_{StopCause::kNone};
+};
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_CANCELLATION_H_

@@ -1,0 +1,224 @@
+#include "util/resource_governor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "util/trace.h"
+
+namespace axon {
+
+namespace {
+
+thread_local MemoryBudget* t_budget = nullptr;
+
+// Process-wide aggregate: plain atomics mirroring every instance's
+// counters, read by the bench-report "governor" section.
+struct GlobalCounters {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> queued{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> budget_killed{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> deadline_expired{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> failed{0};
+};
+
+GlobalCounters& Global() {
+  static GlobalCounters g;
+  return g;
+}
+
+std::atomic<uint64_t>& GlobalField(uint64_t GovernorCounters::* field) {
+  GlobalCounters& g = Global();
+  if (field == &GovernorCounters::submitted) return g.submitted;
+  if (field == &GovernorCounters::admitted) return g.admitted;
+  if (field == &GovernorCounters::queued) return g.queued;
+  if (field == &GovernorCounters::shed) return g.shed;
+  if (field == &GovernorCounters::completed) return g.completed;
+  if (field == &GovernorCounters::budget_killed) return g.budget_killed;
+  if (field == &GovernorCounters::cancelled) return g.cancelled;
+  if (field == &GovernorCounters::deadline_expired) return g.deadline_expired;
+  if (field == &GovernorCounters::degraded) return g.degraded;
+  return g.failed;
+}
+
+const char* MetricName(uint64_t GovernorCounters::* field) {
+  if (field == &GovernorCounters::submitted) return "governor.submitted";
+  if (field == &GovernorCounters::admitted) return "governor.admitted";
+  if (field == &GovernorCounters::queued) return "governor.queued";
+  if (field == &GovernorCounters::shed) return "governor.shed";
+  if (field == &GovernorCounters::completed) return "governor.completed";
+  if (field == &GovernorCounters::budget_killed) {
+    return "governor.budget_killed";
+  }
+  if (field == &GovernorCounters::cancelled) return "governor.cancelled";
+  if (field == &GovernorCounters::deadline_expired) {
+    return "governor.deadline_expired";
+  }
+  if (field == &GovernorCounters::degraded) return "governor.degraded";
+  return "governor.failed";
+}
+
+}  // namespace
+
+BudgetScope::BudgetScope(MemoryBudget* budget) : prev_(t_budget) {
+  t_budget = budget;
+}
+
+BudgetScope::~BudgetScope() { t_budget = prev_; }
+
+MemoryBudget* BudgetScope::Current() { return t_budget; }
+
+ResourceGovernor::ResourceGovernor(GovernorOptions options)
+    : options_(options) {}
+
+void ResourceGovernor::Bump(uint64_t GovernorCounters::* field) {
+  // Caller holds mu_.
+  ++(counters_.*field);
+  GlobalField(field).fetch_add(1, std::memory_order_relaxed);
+#if AXON_TRACE_ENABLED
+  if (obs::Enabled()) {
+    metrics::MetricsRegistry::Global().GetCounter(MetricName(field))->Add(1);
+  }
+#else
+  (void)MetricName;
+#endif
+}
+
+Status ResourceGovernor::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  Bump(&GovernorCounters::submitted);
+  if (options_.max_concurrent == 0) {
+    ++running_;
+    Bump(&GovernorCounters::admitted);
+    return Status::OK();
+  }
+  if (running_ < options_.max_concurrent && queue_.empty()) {
+    ++running_;
+    Bump(&GovernorCounters::admitted);
+    return Status::OK();
+  }
+  auto shed_status = [this]() {
+    Bump(&GovernorCounters::shed);
+    return Status::Unavailable(
+        "engine overloaded: " + std::to_string(running_) + " running, " +
+        std::to_string(queue_.size()) + " queued; retry after ~" +
+        std::to_string(options_.retry_after_millis) + "ms");
+  };
+  if (queue_.size() >= options_.max_queue) return shed_status();
+
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.queue_wait_millis);
+  bool granted = cv_.wait_until(lock, deadline, [this, ticket] {
+    return !queue_.empty() && queue_.front() == ticket &&
+           running_ < options_.max_concurrent;
+  });
+  if (!granted) {
+    // Timed out: abandon the queue entry (it may sit anywhere — an earlier
+    // waiter at the front keeps FIFO order for the rest).
+    queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+    // Our departure may unblock the new front.
+    cv_.notify_all();
+    return shed_status();
+  }
+  queue_.pop_front();
+  ++running_;
+  Bump(&GovernorCounters::admitted);
+  Bump(&GovernorCounters::queued);
+  // The next waiter's predicate depends on the new queue front.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void ResourceGovernor::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  cv_.notify_all();
+}
+
+void ResourceGovernor::RecordOutcome(QueryOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case QueryOutcome::kCompleted:
+      Bump(&GovernorCounters::completed);
+      break;
+    case QueryOutcome::kBudgetKilled:
+      Bump(&GovernorCounters::budget_killed);
+      break;
+    case QueryOutcome::kCancelled:
+      Bump(&GovernorCounters::cancelled);
+      break;
+    case QueryOutcome::kDeadlineExpired:
+      Bump(&GovernorCounters::deadline_expired);
+      break;
+    case QueryOutcome::kDegraded:
+      Bump(&GovernorCounters::degraded);
+      break;
+    case QueryOutcome::kFailed:
+      Bump(&GovernorCounters::failed);
+      break;
+  }
+}
+
+QueryOutcome ResourceGovernor::OutcomeOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return QueryOutcome::kCompleted;
+    case StatusCode::kResourceExhausted:
+      return QueryOutcome::kBudgetKilled;
+    case StatusCode::kCancelled:
+      return QueryOutcome::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return QueryOutcome::kDeadlineExpired;
+    default:
+      return QueryOutcome::kFailed;
+  }
+}
+
+GovernorCounters ResourceGovernor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+uint32_t ResourceGovernor::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+GovernorCounters ResourceGovernor::GlobalSnapshot() {
+  GlobalCounters& g = Global();
+  GovernorCounters out;
+  out.submitted = g.submitted.load(std::memory_order_relaxed);
+  out.admitted = g.admitted.load(std::memory_order_relaxed);
+  out.queued = g.queued.load(std::memory_order_relaxed);
+  out.shed = g.shed.load(std::memory_order_relaxed);
+  out.completed = g.completed.load(std::memory_order_relaxed);
+  out.budget_killed = g.budget_killed.load(std::memory_order_relaxed);
+  out.cancelled = g.cancelled.load(std::memory_order_relaxed);
+  out.deadline_expired = g.deadline_expired.load(std::memory_order_relaxed);
+  out.degraded = g.degraded.load(std::memory_order_relaxed);
+  out.failed = g.failed.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResourceGovernor::ResetGlobalForTest() {
+  GlobalCounters& g = Global();
+  g.submitted.store(0, std::memory_order_relaxed);
+  g.admitted.store(0, std::memory_order_relaxed);
+  g.queued.store(0, std::memory_order_relaxed);
+  g.shed.store(0, std::memory_order_relaxed);
+  g.completed.store(0, std::memory_order_relaxed);
+  g.budget_killed.store(0, std::memory_order_relaxed);
+  g.cancelled.store(0, std::memory_order_relaxed);
+  g.deadline_expired.store(0, std::memory_order_relaxed);
+  g.degraded.store(0, std::memory_order_relaxed);
+  g.failed.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace axon

@@ -1,0 +1,223 @@
+// Resource governor: per-query memory budgets and admission control.
+//
+// Two independent pieces, composed by engine/governed_engine:
+//
+//  * MemoryBudget — a tracking accounting hook for one query's operator
+//    buffers. Operators charge the budget *before* growing a buffer (the
+//    exec/bindings capacity-growth path and the hash-join build side), so
+//    tracked allocations never exceed the limit: when a charge would push
+//    past `limit_bytes` it throws BudgetExceededError — a std::bad_alloc
+//    subclass, caught by the same query fault boundary that turns real
+//    allocation failure into Status::ResourceExhausted. A limit of 0
+//    disables enforcement but keeps the accounting (footprint
+//    measurement). BudgetScope installs a budget thread-locally so deep
+//    operator code charges without signature plumbing; worker tasks
+//    re-install the scope on their own thread.
+//
+//  * ResourceGovernor — a bounded concurrent-query gate. Admit() grants a
+//    slot immediately when fewer than `max_concurrent` queries run,
+//    otherwise queues FIFO up to `max_queue` waiters for at most
+//    `queue_wait_millis`; a full queue or a timed-out wait sheds the query
+//    with Status::Unavailable carrying a retry-after hint. Outcome
+//    counters (admitted/shed/completed/budget-killed/degraded/...) feed
+//    the bench-report "governor" section and, when observability is on,
+//    the metrics registry as governor.* counters.
+//
+// Counters are aggregated process-wide (GlobalSnapshot) so bench binaries
+// report them without threading a governor instance through the harness.
+
+#ifndef AXON_UTIL_RESOURCE_GOVERNOR_H_
+#define AXON_UTIL_RESOURCE_GOVERNOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <new>
+
+#include "util/status.h"
+
+namespace axon {
+
+/// Thrown when a charge would exceed a query's memory budget. Derives
+/// std::bad_alloc so the existing bad_alloc -> ResourceExhausted fault
+/// boundaries catch it without new plumbing; boundaries that want the
+/// budget-specific message catch this type first.
+class BudgetExceededError : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override {
+    return "axon: per-query memory budget exceeded";
+  }
+};
+
+/// Cumulative allocation accounting for one query. Thread-safe: worker
+/// tasks of the same query charge the same budget concurrently.
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  /// limit_bytes = 0: track only, never throw.
+  explicit MemoryBudget(uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Records `bytes` of imminent buffer growth. Throws BudgetExceededError
+  /// when the charge would exceed the limit — before recording it, so
+  /// charged() never exceeds limit() and the caller never allocates the
+  /// over-budget buffer.
+  void Charge(uint64_t bytes) {
+    if (bytes == 0) return;
+    if (exceeded_.load(std::memory_order_relaxed)) throw BudgetExceededError();
+    uint64_t prev = charged_.fetch_add(bytes, std::memory_order_relaxed);
+    if (limit_ != 0 && prev + bytes > limit_) {
+      charged_.fetch_sub(bytes, std::memory_order_relaxed);
+      denied_.fetch_add(bytes, std::memory_order_relaxed);
+      exceeded_.store(true, std::memory_order_relaxed);
+      throw BudgetExceededError();
+    }
+    uint64_t seen = largest_.load(std::memory_order_relaxed);
+    while (bytes > seen &&
+           !largest_.compare_exchange_weak(seen, bytes,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Non-throwing Charge: returns false (and marks the budget exceeded)
+  /// instead of throwing.
+  bool TryCharge(uint64_t bytes) {
+    try {
+      Charge(bytes);
+      return true;
+    } catch (const BudgetExceededError&) {
+      return false;
+    }
+  }
+
+  uint64_t limit() const { return limit_; }
+  /// Total bytes of accepted charges (cumulative, never exceeds limit()).
+  uint64_t charged() const { return charged_.load(std::memory_order_relaxed); }
+  /// The largest single accepted charge — the "operator-buffer granule" by
+  /// which an enforcement race could transiently overshoot.
+  uint64_t largest_charge() const {
+    return largest_.load(std::memory_order_relaxed);
+  }
+  /// Bytes of the first denied charge (0 until exceeded).
+  uint64_t denied_bytes() const {
+    return denied_.load(std::memory_order_relaxed);
+  }
+  bool exceeded() const { return exceeded_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t limit_ = 0;
+  std::atomic<uint64_t> charged_{0};
+  std::atomic<uint64_t> largest_{0};
+  std::atomic<uint64_t> denied_{0};
+  std::atomic<bool> exceeded_{false};
+};
+
+/// RAII thread-local installation of a query's budget, so buffer-growth
+/// code (BindingTable) charges without parameter plumbing. Scopes nest;
+/// each worker task installs its own scope on its own thread.
+class BudgetScope {
+ public:
+  explicit BudgetScope(MemoryBudget* budget);
+  ~BudgetScope();
+
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  /// The innermost budget installed on this thread, or nullptr.
+  static MemoryBudget* Current();
+
+ private:
+  MemoryBudget* prev_;
+};
+
+/// How one admitted query ended. Shed queries never reach an outcome —
+/// they are counted at the admission gate.
+enum class QueryOutcome {
+  kCompleted,        // Ok from the primary engine
+  kBudgetKilled,     // ResourceExhausted (budget or real OOM)
+  kCancelled,        // explicit CancellationToken
+  kDeadlineExpired,  // timeout_millis
+  kDegraded,         // primary failed, baseline fallback answered
+  kFailed,           // any other error
+};
+
+struct GovernorOptions {
+  /// Queries allowed to run concurrently; 0 disables admission control
+  /// (every Admit() succeeds immediately).
+  uint32_t max_concurrent = 0;
+  /// Waiters allowed behind the gate; an arrival beyond this is shed.
+  uint32_t max_queue = 16;
+  /// Per-entry queue deadline: a waiter not admitted within this window is
+  /// shed with Unavailable.
+  uint64_t queue_wait_millis = 1000;
+  /// Retry-after hint embedded in shed Unavailable messages.
+  uint64_t retry_after_millis = 50;
+};
+
+/// Snapshot of the admission/outcome counters. The accounting identity —
+/// submitted == shed + completed + budget_killed + cancelled +
+/// deadline_expired + degraded + failed once all queries resolved — is
+/// what the overload soak asserts.
+struct GovernorCounters {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t queued = 0;  // admitted after waiting (subset of admitted)
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t budget_killed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t degraded = 0;
+  uint64_t failed = 0;
+};
+
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(GovernorOptions options = {});
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// Blocks until a slot is granted (FIFO among waiters) or the entry's
+  /// queue deadline passes. Ok = slot held, caller must Release() and
+  /// RecordOutcome() exactly once; Unavailable = shed, no slot held.
+  Status Admit();
+
+  /// Returns the slot taken by a successful Admit().
+  void Release();
+
+  /// Classifies how an admitted query ended.
+  void RecordOutcome(QueryOutcome outcome);
+
+  /// Maps a terminal engine Status to its outcome class.
+  static QueryOutcome OutcomeOf(const Status& status);
+
+  GovernorCounters Snapshot() const;
+  const GovernorOptions& options() const { return options_; }
+  /// Currently running (admitted, not yet released) queries.
+  uint32_t running() const;
+
+  /// Process-wide aggregate across every governor instance — what the
+  /// bench-report "governor" section serializes.
+  static GovernorCounters GlobalSnapshot();
+  static void ResetGlobalForTest();
+
+ private:
+  void Bump(uint64_t GovernorCounters::* field);
+
+  GovernorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t running_ = 0;
+  uint64_t next_ticket_ = 0;
+  std::deque<uint64_t> queue_;  // FIFO of waiting ticket ids
+  GovernorCounters counters_;   // guarded by mu_
+};
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_RESOURCE_GOVERNOR_H_

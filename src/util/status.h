@@ -29,6 +29,8 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kInternal,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns a short stable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -46,6 +48,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -92,6 +96,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

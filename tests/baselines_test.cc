@@ -160,7 +160,8 @@ TEST(GenericBgpTest, RejectsEmptyPatternList) {
   Dataset d = Fig1Dataset();
   SelectQuery q;
   auto r = EvaluateBgpGreedy(q, d.dict, [](const IdPattern&) {
-    return AccessPath{0, [](ExecStats*) { return BindingTable(); }};
+    return AccessPath{
+        0, [](ExecStats*, QueryContext*) { return BindingTable(); }};
   });
   EXPECT_FALSE(r.ok());
 }

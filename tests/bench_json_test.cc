@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <string>
 
+#include "util/resource_governor.h"
+
 namespace axon {
 namespace bench {
 namespace {
@@ -17,6 +19,10 @@ namespace {
 // Report holds a mutex (not movable), so the golden fixture serializes in
 // place and returns the document.
 JsonValue GoldenReportJson() {
+  // The golden file predates the governor section and must stay byte-
+  // identical: clear any governed traffic other tests in this binary left
+  // in the process-global counters before serializing.
+  ResourceGovernor::ResetGlobalForTest();
   Report r("golden");
   r.SetScale(0.25);
   r.AddBuildSeconds("axonDB+", 1.5);
@@ -151,6 +157,88 @@ TEST(BenchDiffTest, NewRowsAreNotesNotRegressions) {
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
   EXPECT_TRUE(diff.value().ok());
   EXPECT_EQ(diff.value().notes.size(), 1u);
+}
+
+// ------------------------------------------------- governor section
+
+// Serializes a report after `completed` governed queries resolved, then
+// clears the global counters so later tests (and the golden fixture) are
+// unaffected.
+JsonValue MakeGovernedReport(int completed) {
+  ResourceGovernor::ResetGlobalForTest();
+  ResourceGovernor g;
+  for (int i = 0; i < completed; ++i) {
+    EXPECT_TRUE(g.Admit().ok());
+    g.RecordOutcome(QueryOutcome::kCompleted);
+    g.Release();
+  }
+  JsonValue doc = MakeReport(0.1, 100);
+  ResourceGovernor::ResetGlobalForTest();
+  return doc;
+}
+
+TEST(BenchReportGovernorTest, SectionAbsentWithoutGovernedTraffic) {
+  ResourceGovernor::ResetGlobalForTest();
+  JsonValue doc = MakeReport(0.1, 100);
+  EXPECT_FALSE(doc.Has("governor"));
+  EXPECT_TRUE(ValidateBenchReport(doc).ok());
+}
+
+TEST(BenchReportGovernorTest, SectionCarriesTheGlobalCountersAndValidates) {
+  JsonValue doc = MakeGovernedReport(3);
+  const JsonValue* gov = doc.Find("governor");
+  ASSERT_NE(gov, nullptr);
+  EXPECT_EQ(gov->GetDouble("submitted"), 3.0);
+  EXPECT_EQ(gov->GetDouble("admitted"), 3.0);
+  EXPECT_EQ(gov->GetDouble("completed"), 3.0);
+  EXPECT_EQ(gov->GetDouble("shed"), 0.0);
+  EXPECT_TRUE(ValidateBenchReport(doc).ok()) << doc.ToString();
+}
+
+TEST(BenchReportGovernorTest, ValidateRejectsNonObjectGovernor) {
+  JsonValue doc = MakeGovernedReport(1);
+  doc["governor"] = JsonValue("not an object");
+  EXPECT_FALSE(ValidateBenchReport(doc).ok());
+}
+
+TEST(BenchDiffGovernorTest, LosingTheSectionIsARegression) {
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(MakeGovernedReport(3), MakeReport(0.1, 100),
+                               opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+  ASSERT_EQ(diff.value().regressions.size(), 1u);
+  EXPECT_NE(diff.value().regressions[0].find("governor"), std::string::npos);
+}
+
+TEST(BenchDiffGovernorTest, GainingTheSectionIsANote) {
+  BenchDiffOptions opt;
+  JsonValue baseline = MakeReport(0.1, 100);
+  auto diff = DiffBenchReports(baseline, MakeGovernedReport(3), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok());
+  ASSERT_EQ(diff.value().notes.size(), 1u);
+  EXPECT_NE(diff.value().notes[0].find("governor"), std::string::npos);
+}
+
+TEST(BenchDiffGovernorTest, CounterJumpBeyondToleranceIsFlagged) {
+  BenchDiffOptions opt;  // 10% counter tolerance
+  auto diff = DiffBenchReports(MakeGovernedReport(10), MakeGovernedReport(12),
+                               opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+  ASSERT_GE(diff.value().regressions.size(), 1u);
+  EXPECT_NE(diff.value().regressions[0].find("governor"), std::string::npos);
+}
+
+TEST(BenchDiffGovernorTest, CounterJumpWithinTolerancePasses) {
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(MakeGovernedReport(10), MakeGovernedReport(10),
+                               opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok())
+      << (diff.value().regressions.empty() ? ""
+                                           : diff.value().regressions[0]);
 }
 
 }  // namespace

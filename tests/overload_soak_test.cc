@@ -1,0 +1,140 @@
+// Overload soak (the PR's acceptance scenario in miniature): 8 client
+// threads fire 200 queries at a GovernedEngine with 2 slots, a tight
+// per-query memory budget and a baseline fallback, with fault injection
+// armed when the build carries failpoints. The engine must never crash,
+// every query must resolve to an allowed terminal status, and the
+// governor's accounting identity must hold exactly:
+//   submitted == shed + completed + budget_killed + cancelled
+//                + deadline_expired + degraded + failed.
+// tools/chaos_run --overload runs the full-size version of this in CI's
+// chaos job; this test keeps a deterministic-enough copy in the tier-1
+// suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/sixperm_engine.h"
+#include "datagen/lubm_generator.h"
+#include "engine/database.h"
+#include "engine/governed_engine.h"
+#include "sparql/parser.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace {
+
+TEST(OverloadSoakTest, TwoHundredQueriesAllResolveAndAccountingBalances) {
+  ResourceGovernor::ResetGlobalForTest();
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset data = GenerateLubmDataset(cfg);
+
+  EngineOptions engine_opts;
+  engine_opts.use_hierarchy = true;
+  engine_opts.use_planner = true;
+  engine_opts.parallelism = 2;
+  auto db = Database::Build(data, engine_opts);
+  ASSERT_TRUE(db.ok());
+  SixPermEngine fallback = SixPermEngine::Build(data);
+
+  GovernedOptions gov_opts;
+  gov_opts.admission.max_concurrent = 2;
+  gov_opts.admission.max_queue = 6;
+  gov_opts.admission.queue_wait_millis = 500;
+  gov_opts.admission.retry_after_millis = 10;
+  gov_opts.memory_budget_bytes = 16 << 10;  // kills the larger queries
+  gov_opts.degrade_to_baseline = true;
+  gov_opts.degrade_backoff_millis = 0;
+  gov_opts.seed = 7;
+  GovernedEngine governed(&db.value(), &fallback, gov_opts);
+
+  if (failpoint::CompiledIn()) {
+    failpoint::SetSeed(7);
+    ASSERT_TRUE(
+        failpoint::ArmFromSpec("exec.query=oom@0.2,pool.task=delay:1ms")
+            .ok());
+  }
+
+  std::vector<SelectQuery> pool;
+  for (const WorkloadQuery& wq : LubmOriginalWorkload().queries) {
+    auto q = ParseSparql(wq.sparql);
+    ASSERT_TRUE(q.ok()) << wq.name;
+    pool.push_back(std::move(q).ValueOrDie());
+  }
+  ASSERT_FALSE(pool.empty());
+
+  constexpr uint64_t kClients = 8;
+  constexpr uint64_t kTotal = 200;
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> resolved{0};
+  std::atomic<uint64_t> violations{0};
+  std::vector<CancellationToken> tokens(kTotal);
+
+  std::vector<std::thread> clients;
+  for (uint64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Random rng(1000003 * 7 + c);
+      for (;;) {
+        const uint64_t i = next.fetch_add(1);
+        if (i >= kTotal) return;
+        // Every 16th query is cancelled before submission, covering the
+        // cancel path of the admission gate under load.
+        if (i % 16 == 15) tokens[i].Cancel();
+        const SelectQuery& q = pool[rng.Uniform(pool.size())];
+        auto r = governed.ExecuteCancellable(q, &tokens[i]);
+        resolved.fetch_add(1);
+        StatusCode code = r.ok() ? StatusCode::kOk : r.status().code();
+        switch (code) {
+          case StatusCode::kOk:
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kCancelled:
+          case StatusCode::kDeadlineExceeded:
+            break;
+          case StatusCode::kUnavailable:
+            // Shed: honor the retry-after hint before the next query, as a
+            // well-behaved client would — this also lets queued waiters
+            // drain so the soak is not 100% shed.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                governed.options().admission.retry_after_millis));
+            break;
+          default:
+            violations.fetch_add(1);
+            ADD_FAILURE() << "disallowed terminal status: "
+                          << r.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  if (failpoint::CompiledIn()) failpoint::DisarmAll();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(resolved.load(), kTotal);
+
+  GovernorCounters gov = governed.governor().Snapshot();
+  EXPECT_EQ(gov.submitted, kTotal);
+  // Every submitted query resolved to exactly one outcome class.
+  EXPECT_EQ(gov.submitted, gov.shed + gov.completed + gov.budget_killed +
+                               gov.cancelled + gov.deadline_expired +
+                               gov.degraded + gov.failed);
+  // The pre-cancelled 1-in-16 queries must show up as cancellations
+  // (possibly shed first if they arrived into a full queue).
+  EXPECT_GT(gov.cancelled + gov.shed, 0u);
+  // No slot may leak: everything released before the threads joined.
+  EXPECT_EQ(governed.governor().running(), 0u);
+
+  // The process-global aggregate saw at least this governor's traffic.
+  GovernorCounters global = ResourceGovernor::GlobalSnapshot();
+  EXPECT_GE(global.submitted, kTotal);
+}
+
+}  // namespace
+}  // namespace axon

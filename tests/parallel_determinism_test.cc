@@ -29,6 +29,14 @@ void ExpectIdentical(const QueryResult& serial, const QueryResult& parallel,
       << context;
   EXPECT_EQ(serial.stats.joins, parallel.stats.joins) << context;
   EXPECT_EQ(serial.stats.pages_read, parallel.stats.pages_read) << context;
+  // The resource-governor stats ride the same determinism contract:
+  // budget_bytes_peak is defined over per-operator outputs (not RSS) and
+  // degraded_to_baseline is summed, so both are bit-identical at every
+  // parallelism setting.
+  EXPECT_EQ(serial.stats.degraded_to_baseline, parallel.stats.degraded_to_baseline)
+      << context;
+  EXPECT_EQ(serial.stats.budget_bytes_peak, parallel.stats.budget_bytes_peak)
+      << context;
 }
 
 class ParallelDeterminismTest : public ::testing::TestWithParam<uint64_t> {};

@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/partial_index_engine.h"
+#include "baselines/sixperm_engine.h"
+#include "baselines/vp_engine.h"
 #include "datagen/lubm_generator.h"
 #include "engine/database.h"
 #include "engine/sharded_database.h"
 #include "sparql/parser.h"
 #include "test_util.h"
+#include "util/cancellation.h"
 #include "workloads/workloads.h"
 
 namespace axon {
@@ -92,6 +96,46 @@ TEST_F(ParallelTimeoutTest, SerialExistenceOnlyStarHonorsDeadline) {
   auto db = Database::Build(dense, opt);
   ASSERT_TRUE(db.ok());
   auto r = db.value().Execute(q.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+}
+
+TEST_F(ParallelTimeoutTest, DeadlineCoverageMatrixAllEnginesAndSharded) {
+  // Satellite (a) of the resource-governor PR: every engine — the four
+  // QueryEngine implementations and the sharded scatter path — honors a
+  // shared QueryContext deadline. An expired 1 ms context must come back
+  // as DeadlineExceeded from each Execute(query, ctx) override.
+  auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
+  ASSERT_TRUE(q.ok());
+
+  EngineOptions opt;
+  opt.use_hierarchy = true;
+  opt.use_planner = true;
+  opt.parallelism = 4;
+  auto axon = Database::Build(*data_, opt);
+  ASSERT_TRUE(axon.ok());
+  SixPermEngine sixperm = SixPermEngine::Build(*data_);
+  VpEngine vp = VpEngine::Build(*data_);
+  PartialIndexEngine partial = PartialIndexEngine::Build(*data_);
+
+  std::vector<const QueryEngine*> engines = {&axon.value(), &sixperm, &vp,
+                                             &partial};
+  for (const QueryEngine* engine : engines) {
+    QueryContext ctx(/*timeout_millis=*/1);
+    auto r = engine->Execute(q.value(), &ctx);
+    ASSERT_FALSE(r.ok()) << engine->name();
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << engine->name() << ": " << r.status().ToString();
+  }
+
+  ShardedOptions sharded_opt;
+  sharded_opt.num_shards = 4;
+  sharded_opt.engine.parallelism = 4;
+  auto sharded = ShardedDatabase::Build(*data_, sharded_opt);
+  ASSERT_TRUE(sharded.ok());
+  QueryContext ctx(/*timeout_millis=*/1);
+  auto r = sharded.value().Execute(q.value(), &ctx);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
       << r.status().ToString();

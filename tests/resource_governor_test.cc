@@ -1,0 +1,430 @@
+// Tentpole coverage for the resource governor: memory-budget accounting
+// (charge-before-allocate, so tracked allocations can never overshoot the
+// limit), the thread-local BudgetScope plumbing that BindingTable growth
+// charges through, the bounded FIFO admission gate, and the GovernedEngine
+// composition — budget-kill without a fallback, graceful degradation with
+// one, and the acceptance contract: a budget of half a query's measured
+// footprint must kill it without the accounting ever exceeding the limit.
+
+#include "util/resource_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/sixperm_engine.h"
+#include "engine/database.h"
+#include "engine/governed_engine.h"
+#include "exec/bindings.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "util/cancellation.h"
+
+namespace axon {
+namespace {
+
+// ---------------------------------------------------------------- budget
+
+TEST(MemoryBudgetTest, TracksWithoutLimitAndNeverThrows) {
+  MemoryBudget b;  // limit 0: accounting only
+  b.Charge(1000);
+  b.Charge(24);
+  EXPECT_EQ(b.limit(), 0u);
+  EXPECT_EQ(b.charged(), 1024u);
+  EXPECT_EQ(b.largest_charge(), 1000u);
+  EXPECT_FALSE(b.exceeded());
+  EXPECT_EQ(b.denied_bytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, ChargeBeforeAllocateNeverExceedsLimit) {
+  MemoryBudget b(100);
+  b.Charge(60);
+  EXPECT_THROW(b.Charge(41), BudgetExceededError);
+  // The denied charge was rolled back: charged() stays within the limit,
+  // the denial is recorded, and the budget is sticky-exceeded.
+  EXPECT_EQ(b.charged(), 60u);
+  EXPECT_LE(b.charged(), b.limit());
+  EXPECT_EQ(b.denied_bytes(), 41u);
+  EXPECT_TRUE(b.exceeded());
+  // Once exceeded, even a charge that would fit is refused (the query is
+  // already doomed; workers must quiesce, not keep allocating).
+  EXPECT_THROW(b.Charge(1), BudgetExceededError);
+  EXPECT_EQ(b.charged(), 60u);
+}
+
+TEST(MemoryBudgetTest, ExactLimitIsAllowed) {
+  MemoryBudget b(100);
+  b.Charge(100);
+  EXPECT_EQ(b.charged(), 100u);
+  EXPECT_FALSE(b.exceeded());
+}
+
+TEST(MemoryBudgetTest, ZeroChargeIsFreeEvenWhenExceeded) {
+  MemoryBudget b(10);
+  EXPECT_THROW(b.Charge(11), BudgetExceededError);
+  b.Charge(0);  // must not throw
+  EXPECT_EQ(b.charged(), 0u);
+}
+
+TEST(MemoryBudgetTest, LargestChargeIsTheGranule) {
+  MemoryBudget b(1000);
+  b.Charge(16);
+  b.Charge(512);
+  b.Charge(64);
+  EXPECT_EQ(b.largest_charge(), 512u);
+}
+
+TEST(MemoryBudgetTest, TryChargeReturnsFalseInsteadOfThrowing) {
+  MemoryBudget b(100);
+  EXPECT_TRUE(b.TryCharge(100));
+  EXPECT_FALSE(b.TryCharge(1));
+  EXPECT_TRUE(b.exceeded());
+  EXPECT_EQ(b.charged(), 100u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesStayWithinLimit) {
+  MemoryBudget b(64 * 1024);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> denied{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&b, &denied] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!b.TryCharge(16)) denied.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 8 * 1000 * 16 = 128 KiB of attempted charges against a 64 KiB limit:
+  // some must be denied, and the accepted total may never overshoot.
+  EXPECT_GT(denied.load(), 0u);
+  EXPECT_LE(b.charged(), b.limit());
+}
+
+// ----------------------------------------------------------- budget scope
+
+TEST(BudgetScopeTest, InstallsAndNestsPerThread) {
+  EXPECT_EQ(BudgetScope::Current(), nullptr);
+  MemoryBudget outer(0), inner(0);
+  {
+    BudgetScope a(&outer);
+    EXPECT_EQ(BudgetScope::Current(), &outer);
+    {
+      BudgetScope c(&inner);
+      EXPECT_EQ(BudgetScope::Current(), &inner);
+    }
+    EXPECT_EQ(BudgetScope::Current(), &outer);
+    // Another thread sees no scope: the installation is thread-local.
+    std::thread([] { EXPECT_EQ(BudgetScope::Current(), nullptr); }).join();
+  }
+  EXPECT_EQ(BudgetScope::Current(), nullptr);
+}
+
+TEST(BudgetScopeTest, BindingTableGrowthChargesTheScopedBudget) {
+  MemoryBudget b(0);  // track only
+  {
+    BudgetScope scope(&b);
+    BindingTable t({"x", "y"});
+    t.AppendRow({TermId(1), TermId(2)});
+    EXPECT_GT(b.charged(), 0u);  // the first capacity growth was charged
+  }
+  uint64_t after_first = b.charged();
+  // Outside the scope further growth is unaccounted.
+  BindingTable t2({"x"});
+  t2.AppendRow({TermId(3)});
+  EXPECT_EQ(b.charged(), after_first);
+}
+
+TEST(BudgetScopeTest, BindingTableGrowthThrowsUnderTinyBudget) {
+  MemoryBudget b(100);  // first growth reserves 64 ids = 512 bytes
+  BudgetScope scope(&b);
+  BindingTable t({"x"});
+  EXPECT_THROW(t.AppendRow({TermId(1)}), BudgetExceededError);
+  EXPECT_LE(b.charged(), b.limit());
+  EXPECT_EQ(t.num_rows(), 0u);  // the over-budget buffer was never built
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(ResourceGovernorTest, ZeroMaxConcurrentAdmitsEverything) {
+  ResourceGovernor g;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.Admit().ok());
+    g.RecordOutcome(QueryOutcome::kCompleted);
+    g.Release();
+  }
+  GovernorCounters c = g.Snapshot();
+  EXPECT_EQ(c.submitted, 5u);
+  EXPECT_EQ(c.admitted, 5u);
+  EXPECT_EQ(c.shed, 0u);
+  EXPECT_EQ(c.completed, 5u);
+}
+
+TEST(ResourceGovernorTest, HighWaterNeverExceedsMaxConcurrent) {
+  GovernorOptions opt;
+  opt.max_concurrent = 2;
+  opt.max_queue = 16;
+  opt.queue_wait_millis = 10000;
+  ResourceGovernor g(opt);
+  std::atomic<uint32_t> running{0};
+  std::atomic<uint32_t> high_water{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      ASSERT_TRUE(g.Admit().ok());
+      uint32_t now = running.fetch_add(1) + 1;
+      uint32_t seen = high_water.load();
+      while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      running.fetch_sub(1);
+      g.RecordOutcome(QueryOutcome::kCompleted);
+      g.Release();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(high_water.load(), 2u);
+  GovernorCounters c = g.Snapshot();
+  EXPECT_EQ(c.submitted, 8u);
+  EXPECT_EQ(c.admitted, 8u);
+  EXPECT_EQ(c.completed, 8u);
+  EXPECT_EQ(g.running(), 0u);
+}
+
+TEST(ResourceGovernorTest, FullQueueShedsImmediatelyWithRetryHint) {
+  GovernorOptions opt;
+  opt.max_concurrent = 1;
+  opt.max_queue = 0;  // no waiting room at all
+  opt.retry_after_millis = 75;
+  ResourceGovernor g(opt);
+  ASSERT_TRUE(g.Admit().ok());  // takes the only slot
+  Status shed = g.Admit();      // queue full: shed without blocking
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.message().find("retry"), std::string::npos);
+  EXPECT_NE(shed.message().find("75"), std::string::npos);
+  g.RecordOutcome(QueryOutcome::kCompleted);
+  g.Release();
+  GovernorCounters c = g.Snapshot();
+  EXPECT_EQ(c.submitted, 2u);
+  EXPECT_EQ(c.admitted, 1u);
+  EXPECT_EQ(c.shed, 1u);
+}
+
+TEST(ResourceGovernorTest, QueueWaitDeadlineShedsTheWaiter) {
+  GovernorOptions opt;
+  opt.max_concurrent = 1;
+  opt.max_queue = 4;
+  opt.queue_wait_millis = 30;
+  ResourceGovernor g(opt);
+  ASSERT_TRUE(g.Admit().ok());  // hold the slot; nobody releases it
+  Status shed = g.Admit();      // queues, waits 30 ms, sheds
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  g.RecordOutcome(QueryOutcome::kCompleted);
+  g.Release();
+  GovernorCounters c = g.Snapshot();
+  EXPECT_EQ(c.shed, 1u);
+  EXPECT_EQ(c.queued, 0u);  // it waited but was never admitted
+}
+
+TEST(ResourceGovernorTest, WaitersAreAdmittedInFifoOrder) {
+  GovernorOptions opt;
+  opt.max_concurrent = 1;
+  opt.max_queue = 8;
+  opt.queue_wait_millis = 10000;
+  ResourceGovernor g(opt);
+  ASSERT_TRUE(g.Admit().ok());  // occupy the slot so waiters queue up
+
+  std::mutex mu;
+  std::vector<int> order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&, i] {
+      ASSERT_TRUE(g.Admit().ok());
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(i);
+      }
+      g.RecordOutcome(QueryOutcome::kCompleted);
+      g.Release();
+    });
+    // Generous spacing so arrival order (and thus queue order) is i-order.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  g.RecordOutcome(QueryOutcome::kCompleted);
+  g.Release();  // the queue drains one at a time, FIFO
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  GovernorCounters c = g.Snapshot();
+  EXPECT_EQ(c.queued, 3u);  // all three were admitted after waiting
+}
+
+TEST(ResourceGovernorTest, OutcomeOfMapsStatusCodes) {
+  EXPECT_EQ(ResourceGovernor::OutcomeOf(Status::OK()),
+            QueryOutcome::kCompleted);
+  EXPECT_EQ(ResourceGovernor::OutcomeOf(Status::ResourceExhausted("x")),
+            QueryOutcome::kBudgetKilled);
+  EXPECT_EQ(ResourceGovernor::OutcomeOf(Status::Cancelled("x")),
+            QueryOutcome::kCancelled);
+  EXPECT_EQ(ResourceGovernor::OutcomeOf(Status::DeadlineExceeded("x")),
+            QueryOutcome::kDeadlineExpired);
+  EXPECT_EQ(ResourceGovernor::OutcomeOf(Status::Internal("x")),
+            QueryOutcome::kFailed);
+}
+
+TEST(ResourceGovernorTest, CounterIdentityHoldsAfterMixedOutcomes) {
+  GovernorOptions opt;
+  opt.max_concurrent = 1;
+  opt.max_queue = 0;
+  ResourceGovernor g(opt);
+  ASSERT_TRUE(g.Admit().ok());
+  EXPECT_FALSE(g.Admit().ok());  // shed
+  g.RecordOutcome(QueryOutcome::kBudgetKilled);
+  g.Release();
+  ASSERT_TRUE(g.Admit().ok());
+  g.RecordOutcome(QueryOutcome::kDegraded);
+  g.Release();
+  GovernorCounters c = g.Snapshot();
+  EXPECT_EQ(c.submitted, c.shed + c.completed + c.budget_killed + c.cancelled +
+                             c.deadline_expired + c.degraded + c.failed);
+  EXPECT_EQ(c.submitted, 3u);
+  EXPECT_EQ(c.budget_killed, 1u);
+  EXPECT_EQ(c.degraded, 1u);
+}
+
+// -------------------------------------------------- budgeted query paths
+
+class GovernedQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new Dataset(testutil::Fig1Dataset());
+    EngineOptions opt;
+    opt.use_hierarchy = true;
+    opt.use_planner = true;
+    opt.parallelism = 1;  // deterministic charge sequence
+    db_ = new Database(Database::Build(*data_, opt).ValueOrDie());
+    fallback_ = new SixPermEngine(SixPermEngine::Build(*data_));
+  }
+  static void TearDownTestSuite() {
+    delete fallback_;
+    delete db_;
+    delete data_;
+    fallback_ = nullptr;
+    db_ = nullptr;
+    data_ = nullptr;
+  }
+  static const Dataset* data_;
+  static const Database* db_;
+  static const SixPermEngine* fallback_;
+};
+
+const Dataset* GovernedQueryTest::data_ = nullptr;
+const Database* GovernedQueryTest::db_ = nullptr;
+const SixPermEngine* GovernedQueryTest::fallback_ = nullptr;
+
+TEST_F(GovernedQueryTest, HalfFootprintBudgetKillsWithoutOvershoot) {
+  auto q = ParseSparql(testutil::Fig1Query());
+  ASSERT_TRUE(q.ok());
+
+  // Pass 1: unlimited budget measures the query's tracked footprint F.
+  QueryContext measure(/*timeout_millis=*/0);
+  auto r = db_->Execute(q.value(), &measure);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+  uint64_t footprint = measure.budget()->charged();
+  ASSERT_GE(footprint, 2u) << "query must make tracked allocations";
+  EXPECT_GT(r.value().stats.budget_bytes_peak, 0u);
+
+  // Pass 2: a budget of F/2 must kill the query with ResourceExhausted,
+  // and the accounting may never exceed the limit — the overshoot bound is
+  // zero tracked bytes (the denied granule is rolled back before any
+  // allocation happens).
+  QueryContext tight(/*timeout_millis=*/0, /*memory_budget_bytes=*/
+                     footprint / 2);
+  auto killed = db_->Execute(q.value(), &tight);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted)
+      << killed.status().ToString();
+  EXPECT_LE(tight.budget()->charged(), tight.budget()->limit());
+  EXPECT_TRUE(tight.budget()->exceeded());
+  // The refused charge is one operator-buffer granule at most.
+  EXPECT_LE(tight.budget()->denied_bytes(),
+            std::max(measure.budget()->largest_charge(),
+                     tight.budget()->largest_charge()));
+}
+
+TEST_F(GovernedQueryTest, GovernedEngineBudgetKillsWithoutFallback) {
+  ResourceGovernor::ResetGlobalForTest();
+  auto q = ParseSparql(testutil::Fig1Query());
+  ASSERT_TRUE(q.ok());
+  GovernedOptions opt;
+  opt.memory_budget_bytes = 1;  // below any real operator buffer
+  GovernedEngine governed(db_, nullptr, opt);
+  auto r = governed.Execute(q.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  GovernorCounters c = governed.governor().Snapshot();
+  EXPECT_EQ(c.submitted, 1u);
+  EXPECT_EQ(c.budget_killed, 1u);
+  EXPECT_EQ(c.degraded, 0u);
+}
+
+TEST_F(GovernedQueryTest, DegradesToBaselineAndMarksTheResult) {
+  ResourceGovernor::ResetGlobalForTest();
+  auto q = ParseSparql(testutil::Fig1Query());
+  ASSERT_TRUE(q.ok());
+  GovernedOptions opt;
+  opt.memory_budget_bytes = 1;
+  opt.degrade_to_baseline = true;
+  opt.degrade_backoff_millis = 0;
+  GovernedEngine governed(db_, fallback_, opt);
+  EXPECT_EQ(governed.name(), "governed(" + db_->name() + ")");
+  auto r = governed.Execute(q.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().table.num_rows(), 3u);
+  EXPECT_EQ(r.value().stats.degraded_to_baseline, 1u);
+  GovernorCounters c = governed.governor().Snapshot();
+  EXPECT_EQ(c.degraded, 1u);
+  EXPECT_EQ(c.budget_killed, 0u);
+  // The global aggregate mirrors the instance (bench-report source).
+  GovernorCounters global = ResourceGovernor::GlobalSnapshot();
+  EXPECT_EQ(global.degraded, 1u);
+}
+
+TEST_F(GovernedQueryTest, HealthyQueryIsNotDegraded) {
+  auto q = ParseSparql(testutil::Fig1Query());
+  ASSERT_TRUE(q.ok());
+  GovernedOptions opt;
+  opt.degrade_to_baseline = true;
+  GovernedEngine governed(db_, fallback_, opt);
+  auto r = governed.Execute(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.degraded_to_baseline, 0u);
+  EXPECT_EQ(governed.governor().Snapshot().completed, 1u);
+}
+
+TEST_F(GovernedQueryTest, DeadlineExpiredIsNotRetriedOnTheFallback) {
+  // Degradation is for resource failures; a timed-out query must not be
+  // silently re-run on the baseline (it would blow the caller's deadline).
+  auto q = ParseSparql(testutil::Fig1Query());
+  ASSERT_TRUE(q.ok());
+  GovernedOptions opt;
+  opt.degrade_to_baseline = true;
+  opt.timeout_millis = 1;
+  GovernedEngine governed(db_, fallback_, opt);
+  // Tiny data may still answer inside 1 ms; only a timeout must not degrade.
+  auto r = governed.Execute(q.value());
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(governed.governor().Snapshot().degraded, 0u);
+  } else {
+    EXPECT_EQ(r.value().stats.degraded_to_baseline, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace axon

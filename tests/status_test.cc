@@ -1,0 +1,110 @@
+// Satellite (b) of the resource-governor PR: the Status vocabulary now
+// includes Cancelled and Unavailable (shed by admission control). Every
+// code must have a stable name, a factory that round-trips code + message
+// through ToString(), and the OK special cases must stay intact — these
+// strings are part of the tool surface (chaos_run, bench_diff, CI logs).
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace axon {
+namespace {
+
+TEST(StatusTest, OkIsDefaultAndEmpty) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(st, Status::OK());
+}
+
+TEST(StatusTest, EveryCodeHasAStableName) {
+  const std::vector<std::pair<StatusCode, std::string>> expected = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "InvalidArgument"},
+      {StatusCode::kNotFound, "NotFound"},
+      {StatusCode::kAlreadyExists, "AlreadyExists"},
+      {StatusCode::kIOError, "IOError"},
+      {StatusCode::kCorruption, "Corruption"},
+      {StatusCode::kParseError, "ParseError"},
+      {StatusCode::kUnsupported, "Unsupported"},
+      {StatusCode::kOutOfRange, "OutOfRange"},
+      {StatusCode::kDeadlineExceeded, "DeadlineExceeded"},
+      {StatusCode::kResourceExhausted, "ResourceExhausted"},
+      {StatusCode::kInternal, "Internal"},
+      {StatusCode::kCancelled, "Cancelled"},
+      {StatusCode::kUnavailable, "Unavailable"},
+  };
+  for (const auto& [code, name] : expected) {
+    EXPECT_EQ(StatusCodeName(code), name);
+  }
+}
+
+TEST(StatusTest, EveryFactoryRoundTripsCodeAndMessage) {
+  const std::vector<std::pair<Status, StatusCode>> cases = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists},
+      {Status::IOError("m"), StatusCode::kIOError},
+      {Status::Corruption("m"), StatusCode::kCorruption},
+      {Status::ParseError("m"), StatusCode::kParseError},
+      {Status::Unsupported("m"), StatusCode::kUnsupported},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::Cancelled("m"), StatusCode::kCancelled},
+      {Status::Unavailable("m"), StatusCode::kUnavailable},
+  };
+  for (const auto& [st, code] : cases) {
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), code);
+    EXPECT_EQ(st.message(), "m");
+    EXPECT_EQ(st.ToString(), std::string(StatusCodeName(code)) + ": m");
+  }
+}
+
+TEST(StatusTest, CancelledToStringRoundTrip) {
+  Status st = Status::Cancelled("query cancelled by caller");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(st.ToString(), "Cancelled: query cancelled by caller");
+}
+
+TEST(StatusTest, UnavailableCarriesRetryHint) {
+  Status st = Status::Unavailable(
+      "engine overloaded: 2 running, 16 queued; retry after ~50ms");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.ToString().find("Unavailable"), std::string::npos);
+  EXPECT_NE(st.ToString().find("retry"), std::string::npos);
+}
+
+TEST(StatusTest, EmptyMessageOmitsColon) {
+  Status st = Status::Cancelled("");
+  EXPECT_EQ(st.ToString(), "Cancelled");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Cancelled("a"), Status::Cancelled("b"));
+  EXPECT_FALSE(Status::Cancelled("a") == Status::Unavailable("a"));
+}
+
+TEST(StatusTest, ResultPropagatesNewCodes) {
+  Result<int> cancelled = Status::Cancelled("stop");
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  Result<int> shed = Status::Unavailable("shed");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  Result<int> value = 7;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 7);
+}
+
+}  // namespace
+}  // namespace axon

@@ -18,23 +18,37 @@
 //     Regenerates the seed corpus for fuzz_dbfile (valid, truncated,
 //     corrupted, zero-length-section and degenerate db files).
 //
+//   chaos_run --overload [--clients=N] [--queries=M] [--max-concurrent=K]
+//             [--seed=S] [--failpoints=SPEC]
+//     Overload soak: N client threads push M queries through a
+//     GovernedEngine with a K-slot admission gate and a small memory
+//     budget, optionally under armed failpoints. Verifies every query
+//     resolves to an allowed status and that the governor's accounting
+//     identity covers all M queries exactly. Exit code 1 on violations.
+//
 // Without -DAXON_FAILPOINTS=ON the fault schedules degrade to clean
 // cycles; the tool says so rather than pretending to inject.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "baselines/sixperm_engine.h"
 #include "chaos/chaos_harness.h"
+#include "datagen/lubm_generator.h"
 #include "engine/database.h"
+#include "engine/governed_engine.h"
 #include "engine/update_store.h"
 #include "storage/db_file.h"
 #include "util/failpoint.h"
 #include "util/mmap_file.h"
 #include "util/random.h"
+#include "workloads/workloads.h"
 
 namespace axon {
 namespace {
@@ -48,6 +62,10 @@ struct Args {
   std::string corpus_dir;
   bool no_crashes = false;
   bool verbose = false;
+  bool overload = false;
+  uint64_t clients = 8;
+  uint64_t queries = 200;
+  uint64_t max_concurrent = 2;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -72,6 +90,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->failpoints = v;
     } else if (ParseFlag(argv[i], "--write-dbfile-corpus", &v)) {
       args->corpus_dir = v;
+    } else if (ParseFlag(argv[i], "--clients", &v)) {
+      args->clients = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--queries", &v)) {
+      args->queries = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--max-concurrent", &v)) {
+      args->max_concurrent = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      args->overload = true;
     } else if (std::strcmp(argv[i], "--no-crashes") == 0) {
       args->no_crashes = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -279,6 +305,157 @@ int RunExplicitSpec(const Args& args) {
   return violations == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------- overload driver
+
+int RunOverload(const Args& args) {
+  if (!args.failpoints.empty()) {
+    if (!failpoint::CompiledIn()) {
+      std::printf(
+          "note: failpoint sites are compiled out (-DAXON_FAILPOINTS=OFF); "
+          "the spec arms but injects nothing\n");
+    }
+    failpoint::SetSeed(args.seed);
+    Status armed = failpoint::ArmFromSpec(args.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+    std::printf("armed sites (seed %llu):\n",
+                static_cast<unsigned long long>(args.seed));
+    for (const auto& [site, spec] : failpoint::ArmedSites()) {
+      std::printf("  %-28s %s\n", site.c_str(), spec.c_str());
+    }
+  }
+
+  // Small LUBM dataset; primary runs with internal parallelism under the
+  // admission gate, the SixPerm baseline is the degradation target.
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  Dataset data = GenerateLubmDataset(cfg);
+  EngineOptions engine_opts;
+  engine_opts.parallelism = 2;
+  auto built = Database::Build(data, engine_opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 2;
+  }
+  Database primary = std::move(built).ValueOrDie();
+  SixPermEngine fallback = SixPermEngine::Build(data);
+
+  GovernedOptions gov_opts;
+  gov_opts.admission.max_concurrent =
+      static_cast<uint32_t>(args.max_concurrent);
+  gov_opts.admission.max_queue = 6;
+  gov_opts.admission.queue_wait_millis = 500;
+  gov_opts.memory_budget_bytes = 16 << 10;
+  gov_opts.degrade_to_baseline = true;
+  gov_opts.degrade_backoff_millis = 1;
+  gov_opts.seed = args.seed;
+  GovernedEngine governed(&primary, &fallback, gov_opts);
+
+  std::vector<SelectQuery> pool;
+  for (const WorkloadQuery& wq : LubmOriginalWorkload().queries) {
+    auto q = ParseSparql(wq.sparql);
+    if (q.ok()) pool.push_back(std::move(q).ValueOrDie());
+  }
+  if (pool.empty()) {
+    std::fprintf(stderr, "no parsable workload queries\n");
+    return 2;
+  }
+
+  const uint64_t total = args.queries;
+  const uint64_t clients = args.clients == 0 ? 1 : args.clients;
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> bad_status{0};
+  std::vector<CancellationToken> tokens(total);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (uint64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      Random rng(args.seed * 1000003 + c);
+      for (;;) {
+        const uint64_t i = next.fetch_add(1);
+        if (i >= total) return;
+        // Every 16th query is pre-cancelled: a deterministic source of
+        // kCancelled outcomes in the accounting.
+        if (i % 16 == 15) tokens[i].Cancel();
+        const SelectQuery& q = pool[rng.Uniform(pool.size())];
+        auto r = governed.ExecuteCancellable(q, &tokens[i]);
+        const StatusCode code = r.ok() ? StatusCode::kOk : r.status().code();
+        switch (code) {
+          case StatusCode::kOk:
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kCancelled:
+          case StatusCode::kDeadlineExceeded:
+            break;
+          case StatusCode::kUnavailable:
+            // Honor the retry-after hint (well-behaved client): pausing
+            // lets queued waiters take freed slots, so the soak exercises
+            // the queue path, not just instant shedding.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                governed.options().admission.retry_after_millis));
+            break;
+          default:
+            bad_status.fetch_add(1);
+            std::fprintf(stderr, "VIOLATION: disallowed status: %s\n",
+                         r.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  if (!args.failpoints.empty()) {
+    std::printf("\nper-site hits:\n");
+    for (const auto& [site, spec] : failpoint::ArmedSites()) {
+      std::printf("  %-28s %llu\n", site.c_str(),
+                  static_cast<unsigned long long>(failpoint::Hits(site)));
+    }
+    failpoint::DisarmAll();
+  }
+
+  const GovernorCounters gov = governed.governor().Snapshot();
+  std::printf(
+      "\nsubmitted=%llu admitted=%llu queued=%llu shed=%llu completed=%llu "
+      "budget_killed=%llu cancelled=%llu deadline_expired=%llu degraded=%llu "
+      "failed=%llu\n",
+      static_cast<unsigned long long>(gov.submitted),
+      static_cast<unsigned long long>(gov.admitted),
+      static_cast<unsigned long long>(gov.queued),
+      static_cast<unsigned long long>(gov.shed),
+      static_cast<unsigned long long>(gov.completed),
+      static_cast<unsigned long long>(gov.budget_killed),
+      static_cast<unsigned long long>(gov.cancelled),
+      static_cast<unsigned long long>(gov.deadline_expired),
+      static_cast<unsigned long long>(gov.degraded),
+      static_cast<unsigned long long>(gov.failed));
+
+  int violations = static_cast<int>(bad_status.load());
+  if (gov.submitted != total) {
+    std::fprintf(stderr, "VIOLATION: submitted %llu != %llu queries\n",
+                 static_cast<unsigned long long>(gov.submitted),
+                 static_cast<unsigned long long>(total));
+    ++violations;
+  }
+  const uint64_t resolved = gov.shed + gov.completed + gov.budget_killed +
+                            gov.cancelled + gov.deadline_expired +
+                            gov.degraded + gov.failed;
+  if (resolved != gov.submitted) {
+    std::fprintf(stderr,
+                 "VIOLATION: outcomes %llu do not account for %llu submitted\n",
+                 static_cast<unsigned long long>(resolved),
+                 static_cast<unsigned long long>(gov.submitted));
+    ++violations;
+  }
+  if (violations == 0) {
+    std::printf("all %llu queries accounted for; no disallowed statuses\n",
+                static_cast<unsigned long long>(total));
+    return 0;
+  }
+  return 1;
+}
+
 // ------------------------------------------------------------ main mode
 
 int RunSchedule(const Args& args) {
@@ -326,6 +503,7 @@ int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
   if (!args.corpus_dir.empty()) return WriteDbfileCorpus(args.corpus_dir);
+  if (args.overload) return RunOverload(args);
   ::system(("mkdir -p '" + args.dir + "'").c_str());
   if (!args.failpoints.empty()) return RunExplicitSpec(args);
   return RunSchedule(args);
