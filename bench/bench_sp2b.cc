@@ -1,0 +1,67 @@
+// SP²Bench-inspired workload — the extended-surface benchmark: OPTIONAL,
+// UNION, expression FILTERs, ORDER BY/LIMIT/OFFSET and GROUP BY/COUNT over
+// the bibliographic generator (src/datagen/sp2b_generator.h).
+//
+// Unlike the Fig. 6 suites, most of these queries leave the conjunctive
+// ECS fast path and exercise the general evaluator plus the DP join
+// ordering, so this binary is the perf gate for the extended query layer.
+// A final section isolates the planner: the same engine with the DPsize
+// ordering disabled (greedy only) over the same workload.
+
+#include "bench_common.h"
+#include "datagen/sp2b_generator.h"
+
+int main() {
+  axon::bench::ReportScope bench_report("sp2b");
+  using namespace axon;
+  using namespace axon::bench;
+
+  std::printf("== SP2B-inspired workload: extended query surface ==\n\n");
+  Sp2bConfig cfg;
+  cfg.num_years = Scaled(8);
+  cfg.journals_per_year = 2;
+  cfg.articles_per_journal = Scaled(12);
+  cfg.proceedings_per_year = 2;
+  cfg.inproceedings_per_proc = Scaled(10);
+  cfg.num_persons = Scaled(120);
+  EngineFleet fleet(GenerateSp2bDataset(cfg), /*all_axon_configs=*/true);
+  std::printf("dataset: SP2B-like, %zu triples\n\n",
+              fleet.data.triples.size());
+  RunComparisonTable(fleet, Sp2bWorkload());
+  RunGovernedSection(fleet, Sp2bWorkload());
+
+  // Planner ablation: DPsize join ordering vs the greedy-only heuristic
+  // on the same axonDB+ configuration.
+  {
+    EngineOptions greedy_opt;
+    greedy_opt.use_hierarchy = true;
+    greedy_opt.use_planner = true;
+    greedy_opt.use_dp_planner = false;
+    auto greedy_db = Database::Build(fleet.data, greedy_opt);
+    if (!greedy_db.ok()) {
+      std::fprintf(stderr, "greedy build failed: %s\n",
+                   greedy_db.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n== planner ablation: DPsize vs greedy join ordering ==\n");
+    std::printf("%-22s%22s%22s\n", "query", "dp", "greedy");
+    std::vector<double> dp_secs, greedy_secs;
+    for (const WorkloadQuery& wq : Sp2bWorkload().queries) {
+      auto q = ParseSparql(wq.sparql);
+      if (!q.ok()) continue;
+      double dp = TimeQuery(*fleet.axon_plus, q.value());
+      double greedy = TimeQuery(greedy_db.value(), q.value());
+      dp_secs.push_back(dp);
+      greedy_secs.push_back(greedy);
+      std::printf("%-22s%22.6f%22.6f\n", wq.name.c_str(), dp, greedy);
+    }
+    std::printf("%-22s%22.6f%22.6f\n", "GM", GeometricMean(dp_secs),
+                GeometricMean(greedy_secs));
+  }
+
+  std::printf(
+      "\npaper shape: the extended constructs stay within the same order"
+      " of magnitude across engines; DP ordering never loses to greedy"
+      " on estimated cost.\n");
+  return 0;
+}

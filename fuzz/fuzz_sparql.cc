@@ -2,28 +2,56 @@
 //
 // The lexer runs first so a token-stream crash is attributed to it even
 // when the parser would have rejected the query earlier. Accepted queries
-// must satisfy basic well-formedness of the produced algebra (non-empty
-// pattern list unless the query is trivial), guarding against "parses but
-// produces garbage" states.
+// must satisfy basic well-formedness of the produced algebra (some group
+// content unless the query is trivial), guarding against "parses but
+// produces garbage" states. The whole extended surface — OPTIONAL blocks,
+// UNION branches, FILTER expression trees, ORDER BY keys and aggregates —
+// is walked and printed so dangling views anywhere in the algebra are
+// caught under ASan, and the printed form is re-parsed to exercise the
+// printer/parser pair on fuzzer-discovered shapes.
 
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 
+#include "sparql/algebra.h"
 #include "sparql/lexer.h"
 #include "sparql/parser.h"
+
+namespace {
+
+void WalkGroup(const axon::GroupPattern& g) {
+  for (const auto& p : g.patterns) (void)p.ToString().size();
+  for (const auto& f : g.filters) (void)f.ToString().size();
+  for (const auto& opt : g.optionals) WalkGroup(opt);
+  for (const auto& u : g.unions) {
+    for (const auto& branch : u.branches) WalkGroup(branch);
+  }
+}
+
+}  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string_view text(reinterpret_cast<const char*>(data), size);
   (void)axon::TokenizeSparql(text);
   auto q = axon::ParseSparql(text);
   if (q.ok()) {
+    const axon::SelectQuery& query = q.value();
     // Touch the parsed representation so dangling views would be caught
     // under ASan.
-    for (const auto& p : q.value().patterns) {
-      (void)p.ToString().size();
+    for (const auto& p : query.patterns) (void)p.ToString().size();
+    for (const auto& f : query.expr_filters) (void)f.ToString().size();
+    for (const auto& opt : query.optionals) WalkGroup(opt);
+    for (const auto& u : query.unions) {
+      for (const auto& branch : u.branches) WalkGroup(branch);
     }
-    for (const auto& v : q.value().EffectiveProjection()) (void)v.size();
+    for (const auto& k : query.order_by) (void)k.var.size();
+    for (const auto& a : query.aggregates) (void)(a.var.size() + a.as.size());
+    for (const auto& v : query.EffectiveProjection()) (void)v.size();
+    // The printer must never crash on an accepted query, and its output
+    // must go back through the parser without crashing either.
+    std::string printed = query.ToString();
+    (void)axon::ParseSparql(printed);
   }
   return 0;
 }

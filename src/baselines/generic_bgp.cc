@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/extended_eval.h"
 #include "util/resource_governor.h"
 #include "util/trace.h"
 
@@ -176,6 +177,24 @@ Result<QueryResult> EvaluateBgpGreedyImpl(const SelectQuery& query,
   return result;
 }
 
+// Conjunctive queries run the greedy pipeline directly; extended queries
+// compose it over conjunctive leaves. Callers go through the fault
+// boundary below either way.
+Result<QueryResult> DispatchImpl(const SelectQuery& query,
+                                 const Dictionary& dict,
+                                 const AccessPathFn& access_path,
+                                 QueryContext* ctx) {
+  if (!query.IsConjunctive()) {
+    return EvaluateExtended(
+        query, dict,
+        [&dict, &access_path](const SelectQuery& leaf, QueryContext* c) {
+          return EvaluateBgpGreedyImpl(leaf, dict, access_path, c);
+        },
+        ctx);
+  }
+  return EvaluateBgpGreedyImpl(query, dict, access_path, ctx);
+}
+
 }  // namespace
 
 Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
@@ -187,6 +206,28 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
   // clean Status instead of unwinding into the caller.
   try {
     return EvaluateBgpGreedyImpl(query, dict, access_path, ctx);
+  } catch (const QueryStopError&) {
+    return ctx != nullptr
+               ? ctx->StopStatus()
+               : Status::Internal("query stop without a QueryContext");
+  } catch (const BudgetExceededError&) {
+    return Status::ResourceExhausted(
+        ctx != nullptr
+            ? "query exceeded memory budget of " +
+                  std::to_string(ctx->budget()->limit()) + " bytes"
+            : "query exceeded memory budget");
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "query aborted: out of memory during execution");
+  }
+}
+
+Result<QueryResult> EvaluateSparql(const SelectQuery& query,
+                                   const Dictionary& dict,
+                                   const AccessPathFn& access_path,
+                                   QueryContext* ctx) {
+  try {
+    return DispatchImpl(query, dict, access_path, ctx);
   } catch (const QueryStopError&) {
     return ctx != nullptr
                ? ctx->StopStatus()

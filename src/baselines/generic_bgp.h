@@ -67,6 +67,16 @@ Result<QueryResult> EvaluateBgpGreedy(const SelectQuery& query,
                                       const AccessPathFn& access_path,
                                       QueryContext* ctx = nullptr);
 
+/// Full-surface entry point for the baseline engines: conjunctive queries
+/// go straight to the greedy BGP pipeline; extended queries (OPTIONAL /
+/// UNION / FILTER expressions / aggregation / ORDER BY / OFFSET) compose
+/// the shared operators over conjunctive leaves, each leaf evaluated
+/// greedily through `access_path`. One fault boundary covers both paths.
+Result<QueryResult> EvaluateSparql(const SelectQuery& query,
+                                   const Dictionary& dict,
+                                   const AccessPathFn& access_path,
+                                   QueryContext* ctx = nullptr);
+
 }  // namespace axon
 
 #endif  // AXON_BASELINES_GENERIC_BGP_H_

@@ -69,7 +69,7 @@ Result<QueryResult> PartialIndexEngine::Execute(
 Result<QueryResult> PartialIndexEngine::Execute(const SelectQuery& query,
                                                 QueryContext* ctx) const {
   AXON_SPAN("query.execute_partial_index");
-  return EvaluateBgpGreedy(
+  return EvaluateSparql(
       query, *dict_,
       [this](const IdPattern& p) { return MakeAccessPath(p); }, ctx);
 }

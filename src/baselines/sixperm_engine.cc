@@ -60,7 +60,7 @@ Result<QueryResult> SixPermEngine::Execute(const SelectQuery& query) const {
 Result<QueryResult> SixPermEngine::Execute(const SelectQuery& query,
                                            QueryContext* ctx) const {
   AXON_SPAN("query.execute_sixperm");
-  return EvaluateBgpGreedy(
+  return EvaluateSparql(
       query, *dict_,
       [this](const IdPattern& p) { return MakeAccessPath(p); }, ctx);
 }

@@ -105,7 +105,7 @@ Result<QueryResult> VpEngine::Execute(const SelectQuery& query) const {
 Result<QueryResult> VpEngine::Execute(const SelectQuery& query,
                                       QueryContext* ctx) const {
   AXON_SPAN("query.execute_vp");
-  return EvaluateBgpGreedy(
+  return EvaluateSparql(
       query, *dict_,
       [this](const IdPattern& p) { return MakeAccessPath(p); }, ctx);
 }

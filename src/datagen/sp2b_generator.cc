@@ -1,0 +1,157 @@
+#include "datagen/sp2b_generator.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace axon {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr char kRdfsSeeAlso[] =
+    "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+constexpr char kXsdInteger[] = "http://www.w3.org/2001/XMLSchema#integer";
+
+std::string Bench(const std::string& local) {
+  return std::string(kSp2bNs) + local;
+}
+std::string Dc(const std::string& local) { return std::string(kDcNs) + local; }
+std::string DcTerms(const std::string& local) {
+  return std::string(kDcTermsNs) + local;
+}
+std::string Foaf(const std::string& local) {
+  return std::string(kFoafNs) + local;
+}
+std::string Swrc(const std::string& local) {
+  return std::string(kSwrcNs) + local;
+}
+
+Term IntLiteral(uint32_t v) {
+  return Term::Literal(std::to_string(v), kXsdInteger);
+}
+
+class Sp2bBuilder {
+ public:
+  Sp2bBuilder(const Sp2bConfig& config, Dataset* out)
+      : config_(config), out_(out), rng_(config.seed) {}
+
+  void Generate() {
+    GeneratePersons();
+    for (uint32_t y = 0; y < config_.num_years; ++y) {
+      GenerateYear(config_.first_year + y);
+    }
+  }
+
+ private:
+  void Emit(const std::string& s, const std::string& p, const Term& o) {
+    out_->Add(TermTriple{Term::Iri(s), Term::Iri(p), o});
+  }
+
+  std::string RandomPerson() {
+    return persons_[rng_.Uniform(persons_.size())];
+  }
+
+  void GeneratePersons() {
+    persons_.reserve(config_.num_persons);
+    for (uint32_t i = 0; i < config_.num_persons; ++i) {
+      std::string p = "http://localhost/persons/Person" + std::to_string(i);
+      Emit(p, kRdfType, Term::Iri(Foaf("Person")));
+      Emit(p, Foaf("name"), Term::Literal("Person" + std::to_string(i)));
+      persons_.push_back(std::move(p));
+    }
+  }
+
+  // One publication with the properties common to articles and
+  // inproceedings; optional properties (abstract, seeAlso) hit only part
+  // of the population so OPTIONAL/!bound queries split it.
+  void EmitPublicationCore(const std::string& pub, const std::string& kind,
+                           uint32_t year, uint32_t index) {
+    Emit(pub, kRdfType, Term::Iri(Bench(kind)));
+    Emit(pub, Dc("title"),
+         Term::Literal(kind + std::to_string(year) + "-" +
+                       std::to_string(index)));
+    Emit(pub, DcTerms("issued"), IntLiteral(year));
+    Emit(pub, Swrc("pages"),
+         IntLiteral(1 + static_cast<uint32_t>(rng_.Uniform(50))));
+    uint32_t n_authors = 1 + static_cast<uint32_t>(rng_.Uniform(3));
+    std::set<std::string> authors;
+    while (authors.size() < n_authors && authors.size() < persons_.size()) {
+      authors.insert(RandomPerson());
+    }
+    for (const std::string& a : authors) {
+      Emit(pub, Dc("creator"), Term::Iri(a));
+    }
+    if (rng_.Bernoulli(0.4)) {
+      Emit(pub, Bench("abstract"),
+           Term::Literal("Abstract of " + pub));
+    }
+    if (rng_.Bernoulli(0.25)) {
+      Emit(pub, kRdfsSeeAlso,
+           Term::Iri("http://dblp.uni-trier.de/rec/" + std::to_string(year) +
+                     "/" + std::to_string(index)));
+    }
+  }
+
+  void GenerateYear(uint32_t year) {
+    for (uint32_t j = 0; j < config_.journals_per_year; ++j) {
+      std::string journal = "http://localhost/publications/journals/Journal" +
+                            std::to_string(year) + "-" + std::to_string(j);
+      Emit(journal, kRdfType, Term::Iri(Bench("Journal")));
+      Emit(journal, Dc("title"),
+           Term::Literal("Journal " + std::to_string(j) + " (" +
+                         std::to_string(year) + ")"));
+      Emit(journal, DcTerms("issued"), IntLiteral(year));
+      for (uint32_t a = 0; a < config_.articles_per_journal; ++a) {
+        std::string article =
+            "http://localhost/publications/articles/Article" +
+            std::to_string(year) + "-" + std::to_string(j) + "-" +
+            std::to_string(a);
+        EmitPublicationCore(article, "Article",
+                            year, j * config_.articles_per_journal + a);
+        Emit(article, Swrc("journal"), Term::Iri(journal));
+      }
+    }
+    for (uint32_t p = 0; p < config_.proceedings_per_year; ++p) {
+      std::string proc =
+          "http://localhost/publications/procs/Proceedings" +
+          std::to_string(year) + "-" + std::to_string(p);
+      Emit(proc, kRdfType, Term::Iri(Bench("Proceedings")));
+      Emit(proc, Dc("title"),
+           Term::Literal("Proceedings " + std::to_string(p) + " (" +
+                         std::to_string(year) + ")"));
+      Emit(proc, DcTerms("issued"), IntLiteral(year));
+      Emit(proc, Swrc("editor"), Term::Iri(RandomPerson()));
+      for (uint32_t i = 0; i < config_.inproceedings_per_proc; ++i) {
+        std::string inproc =
+            "http://localhost/publications/inprocs/Inproceeding" +
+            std::to_string(year) + "-" + std::to_string(p) + "-" +
+            std::to_string(i);
+        EmitPublicationCore(inproc, "Inproceedings", year,
+                            p * config_.inproceedings_per_proc + i);
+        Emit(inproc, Swrc("booktitle"), Term::Iri(proc));
+      }
+    }
+  }
+
+  const Sp2bConfig& config_;
+  Dataset* out_;
+  Random rng_;
+  std::vector<std::string> persons_;
+};
+
+}  // namespace
+
+void GenerateSp2b(const Sp2bConfig& config, Dataset* dataset) {
+  Sp2bBuilder(config, dataset).Generate();
+}
+
+Dataset GenerateSp2bDataset(const Sp2bConfig& config) {
+  Dataset d;
+  GenerateSp2b(config, &d);
+  return d;
+}
+
+}  // namespace axon

@@ -1,0 +1,50 @@
+// SP²Bench-inspired publication-graph generator.
+//
+// Models the DBLP-style bibliographic world of the SP²Bench SPARQL
+// benchmark (Schmidt et al., ICDE 2009) at laptop scale: journals and
+// conference proceedings per year, articles and inproceedings with
+// authors, titles, page counts and publication years, plus optional
+// properties (abstracts, seeAlso links) that occur on only part of the
+// population — exactly the shape OPTIONAL / !bound / FILTER-range /
+// aggregation queries need to produce interesting answers. Years and page
+// counts are xsd:integer literals so value-level FILTER comparisons and
+// ORDER BY have something numeric to chew on.
+//
+// Generation is purely seed-deterministic: the same config always yields
+// the same triple multiset, which the workloads test and the sp2b bench
+// baselines rely on.
+
+#ifndef AXON_DATAGEN_SP2B_GENERATOR_H_
+#define AXON_DATAGEN_SP2B_GENERATOR_H_
+
+#include "engine/query_engine.h"
+
+namespace axon {
+
+struct Sp2bConfig {
+  uint32_t num_years = 5;            // consecutive years from first_year
+  uint32_t first_year = 1990;
+  uint32_t journals_per_year = 2;
+  uint32_t articles_per_journal = 6;
+  uint32_t proceedings_per_year = 2;
+  uint32_t inproceedings_per_proc = 5;
+  uint32_t num_persons = 40;
+  uint64_t seed = 7;
+};
+
+/// Vocabulary namespaces (SP²Bench reuses DC/DCTERMS/FOAF/SWRC).
+inline constexpr char kSp2bNs[] = "http://localhost/vocabulary/bench/";
+inline constexpr char kDcNs[] = "http://purl.org/dc/elements/1.1/";
+inline constexpr char kDcTermsNs[] = "http://purl.org/dc/terms/";
+inline constexpr char kFoafNs[] = "http://xmlns.com/foaf/0.1/";
+inline constexpr char kSwrcNs[] = "http://swrc.ontoware.org/ontology#";
+
+/// Appends the generated triples to `dataset`.
+void GenerateSp2b(const Sp2bConfig& config, Dataset* dataset);
+
+/// Convenience: fresh dataset.
+Dataset GenerateSp2bDataset(const Sp2bConfig& config);
+
+}  // namespace axon
+
+#endif  // AXON_DATAGEN_SP2B_GENERATOR_H_

@@ -300,7 +300,17 @@ Result<std::vector<std::vector<std::string>>> Database::Render(
     row.reserve(table.num_cols());
     for (size_t c = 0; c < table.num_cols(); ++c) {
       TermId id = table.at(r, c);
-      if (id == kInvalidId || id.value() > dict_.size()) {
+      if (id == kInvalidId) {
+        row.push_back("");  // unbound (OPTIONAL-padded) cell
+        continue;
+      }
+      if (IsValueId(id)) {
+        // Aggregate count carried as a value-tagged id, not a dict term.
+        row.push_back("\"" + std::to_string(ValueIdPayload(id)) +
+                      "\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+        continue;
+      }
+      if (id.value() > dict_.size()) {
         return Status::Internal("binding with invalid term id");
       }
       row.push_back(dict_.GetCanonical(id));

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "engine/extended_eval.h"
 #include "util/cancellation.h"
 #include "util/failpoint.h"
 #include "util/resource_governor.h"
@@ -387,64 +388,31 @@ Executor::ChainJoinPlan Executor::ComputeChainJoinPlan(
                                   static_cast<double>(objects);
   }
 
-  // With the planner on, the next ECS is the pending one minimizing the
-  // estimated joined size (Eq. 9 with m_f per entry side); with the
-  // planner off, the plan's chain order is followed. Either way connected
-  // candidates are preferred over cross products. The selection is purely
-  // statistics-driven, so the order (and its running estimates) can be
-  // computed without touching the data — which is what Explain() prints.
-  std::vector<bool> ecs_joined(qg.ecss.size(), false);
-  std::vector<bool> node_joined(qg.nodes.size(), false);
-  double est_rows = 1.0;
-  bool first = true;
-  for (size_t step = 0; step < priority.size(); ++step) {
-    int qecs = -1;
-    double best_estimate = 0.0;
-    for (int candidate : priority) {
-      if (ecs_joined[candidate]) continue;
-      bool s_joined = node_joined[qg.ecss[candidate].subject_node];
-      bool o_joined = node_joined[qg.ecss[candidate].object_node];
-      bool connected = s_joined || o_joined;
-      double estimate;
-      if (first) {
-        estimate = out.cost[candidate];
-      } else if (s_joined && o_joined) {
-        estimate = est_rows;  // both ends bound: can only shrink
-      } else if (s_joined) {
-        estimate = est_rows * mf_s[candidate];
-      } else if (o_joined) {
-        estimate = est_rows * mf_o[candidate];
-      } else {
-        estimate = est_rows * out.cost[candidate];  // cross product
-      }
-      bool better;
-      if (qecs < 0) {
-        better = true;
-      } else {
-        bool best_connected =
-            first || node_joined[qg.ecss[qecs].subject_node] ||
-            node_joined[qg.ecss[qecs].object_node];
-        if (connected != best_connected) {
-          better = connected;
-        } else if (options_.use_planner) {
-          better = estimate < best_estimate;
-        } else {
-          better = false;  // keep plan (chain) order among equals
-        }
-      }
-      if (better) {
-        qecs = candidate;
-        best_estimate = estimate;
-      }
-    }
-    ecs_joined[qecs] = true;
-    node_joined[qg.ecss[qecs].subject_node] = true;
-    node_joined[qg.ecss[qecs].object_node] = true;
-    est_rows = std::max(best_estimate, 1.0);
-    first = false;
-    out.sequence.push_back(qecs);
-    out.running_estimate.push_back(est_rows);
+  // Global ordering over the units: the greedy heuristic (plan order with
+  // Eq. 9 estimates) and, within the DP threshold, the bottom-up DPsize
+  // enumeration — whichever sequence replays cheaper wins (planner.h).
+  // The selection is purely statistics-driven, so the order (and its
+  // running estimates) can be computed without touching the data — which
+  // is what Explain() prints.
+  JoinOrderInput input;
+  input.cost = out.cost;
+  input.mf_s = std::move(mf_s);
+  input.mf_o = std::move(mf_o);
+  input.subject_node.reserve(qg.ecss.size());
+  input.object_node.reserve(qg.ecss.size());
+  for (const QueryEcs& q : qg.ecss) {
+    input.subject_node.push_back(q.subject_node);
+    input.object_node.push_back(q.object_node);
   }
+  input.priority = std::move(priority);
+  input.num_nodes = qg.nodes.size();
+  JoinOrder order = OrderJoins(input, options_.use_planner,
+                               options_.use_dp_planner,
+                               options_.dp_join_threshold);
+  out.sequence = std::move(order.sequence);
+  out.running_estimate = std::move(order.running_estimate);
+  out.total_cost = order.total_cost;
+  out.used_dp = order.used_dp;
   return out;
 }
 
@@ -478,6 +446,18 @@ Result<QueryResult> Executor::Execute(const SelectQuery& query,
 
 Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query,
                                           QueryContext* ctx) const {
+  // Extended surface (OPTIONAL/UNION/FILTER expressions/aggregation/ORDER
+  // BY/OFFSET): compose the shared operators over conjunctive leaves, each
+  // leaf answered by this executor's native chain/star pipeline. The fault
+  // boundary in Execute() covers the whole composition.
+  if (!query.IsConjunctive()) {
+    return EvaluateExtended(
+        query, *dict_,
+        [this](const SelectQuery& leaf, QueryContext* c) {
+          return ExecuteImpl(leaf, c);
+        },
+        ctx);
+  }
   AXON_SPAN("query.execute");
   QueryResult result;
   // One shared context per query: the merging thread checks it between
@@ -715,6 +695,24 @@ Result<std::string> Executor::Explain(const SelectQuery& query) const {
     out += "\n";
   };
 
+  if (!query.IsConjunctive()) {
+    append(
+        "extended query: OPTIONAL/UNION/FILTER/aggregation composed over "
+        "conjunctive leaves");
+    if (query.patterns.empty()) {
+      append("no top-level BGP (leaves live inside UNION/OPTIONAL groups)");
+      append("config: " + options_.ConfigName());
+      return out;
+    }
+    SelectQuery leaf;
+    leaf.patterns = query.patterns;
+    leaf.filters = query.filters;
+    auto rest = Explain(leaf);
+    if (!rest.ok()) return rest;
+    out += rest.value();
+    return out;
+  }
+
   AXON_ASSIGN_OR_RETURN(QueryGraph qg,
                         BuildQueryGraph(query, *dict_, cs_->properties()));
   if (qg.impossible) {
@@ -767,7 +765,9 @@ Result<std::string> Executor::Explain(const SelectQuery& query) const {
   }
   ChainJoinPlan join_plan = ComputeChainJoinPlan(qg, qecs_matches, plan);
   if (!join_plan.sequence.empty()) {
-    std::string line = "join order:";
+    std::string line = "join order (";
+    line += join_plan.used_dp ? "dp" : "greedy";
+    line += ", total cost " + FormatDouble(join_plan.total_cost, 4) + "):";
     for (size_t i = 0; i < join_plan.sequence.size(); ++i) {
       line += " Q" + std::to_string(join_plan.sequence[i]) + " (est " +
               FormatDouble(join_plan.running_estimate[i], 4) + ")";

@@ -33,6 +33,17 @@ struct EngineOptions {
   bool use_hierarchy = true;
   bool use_planner = true;
 
+  /// When the planner is on, also run the bottom-up DPsize enumeration
+  /// over the query ECS units and take the cheaper global join order
+  /// (planner.h OrderJoins). Greedy remains the fallback above
+  /// `dp_join_threshold` units, so planning stays O(n^2) on very large
+  /// queries. Off reproduces the pure greedy ordering.
+  bool use_dp_planner = true;
+
+  /// Maximum number of join units the DP enumerates (2^n subset states);
+  /// larger queries fall back to the greedy order.
+  uint32_t dp_join_threshold = 12;
+
   /// Per-query wall-clock budget in milliseconds; 0 = unlimited. The
   /// paper's evaluation imposes a 30-minute timeout on every engine
   /// (Sec. V.A); this is the engine-level mechanism behind it. Checked
@@ -165,6 +176,8 @@ class Executor {
     std::vector<int> sequence;             // query-ECS indices, join order
     std::vector<double> running_estimate;  // estimated rows after each step
     std::vector<double> cost;              // per-query-ECS eval cardinality
+    double total_cost = 0.0;               // sum of running estimates
+    bool used_dp = false;                  // DP order beat (or tied) greedy
   };
   ChainJoinPlan ComputeChainJoinPlan(
       const QueryGraph& qg, const std::vector<std::set<EcsId>>& qecs_matches,

@@ -1,0 +1,150 @@
+#include "engine/extended_eval.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/operators.h"
+
+namespace axon {
+
+namespace {
+
+/// The single empty row — identity of the natural join; the base for
+/// groups that start with OPTIONAL instead of a BGP.
+BindingTable UnitTable() {
+  BindingTable t;
+  t.SetNullaryRow(true);
+  return t;
+}
+
+Result<BindingTable> EvalGroup(const GroupPattern& g, const Dictionary& dict,
+                               const BgpEvalFn& eval_bgp, QueryContext* ctx,
+                               ExecStats* stats);
+
+Result<BindingTable> EvalUnion(const UnionBlock& u, const Dictionary& dict,
+                               const BgpEvalFn& eval_bgp, QueryContext* ctx,
+                               ExecStats* stats) {
+  BindingTable acc;
+  bool first = true;
+  for (const GroupPattern& branch : u.branches) {
+    auto t = EvalGroup(branch, dict, eval_bgp, ctx, stats);
+    if (!t.ok()) return t;
+    if (first) {
+      acc = std::move(t).ValueOrDie();
+      first = false;
+    } else {
+      acc = UnionAll(acc, t.value(), stats, ctx);
+    }
+  }
+  return acc;
+}
+
+Result<BindingTable> EvalGroup(const GroupPattern& g, const Dictionary& dict,
+                               const BgpEvalFn& eval_bgp, QueryContext* ctx,
+                               ExecStats* stats) {
+  BindingTable base;
+  bool have = false;
+  std::vector<EqualityFilter> deferred_eq;
+  if (!g.patterns.empty()) {
+    SelectQuery leaf;
+    leaf.patterns = g.patterns;
+    // Equality filters on leaf variables push into the native evaluator
+    // (where the indexes turn them into bound-object retrieval); filters
+    // on variables bound elsewhere in the group apply after composition.
+    const std::vector<std::string> leaf_vars = leaf.Variables();
+    for (const EqualityFilter& f : g.eq_filters) {
+      if (std::find(leaf_vars.begin(), leaf_vars.end(), f.var) !=
+          leaf_vars.end()) {
+        leaf.filters.push_back(f);
+      } else {
+        deferred_eq.push_back(f);
+      }
+    }
+    auto r = eval_bgp(leaf, ctx);
+    if (!r.ok()) return r.status();
+    stats->Accumulate(r.value().stats);
+    base = std::move(r.value().table);
+    have = true;
+  } else {
+    deferred_eq = g.eq_filters;
+  }
+  for (const UnionBlock& u : g.unions) {
+    auto ut = EvalUnion(u, dict, eval_bgp, ctx, stats);
+    if (!ut.ok()) return ut;
+    if (!have) {
+      base = std::move(ut).ValueOrDie();
+      have = true;
+    } else {
+      base = CompatJoin(base, ut.value(), stats, ctx);
+    }
+  }
+  for (const GroupPattern& opt : g.optionals) {
+    auto ot = EvalGroup(opt, dict, eval_bgp, ctx, stats);
+    if (!ot.ok()) return ot;
+    if (!have) {
+      base = UnitTable();
+      have = true;
+    }
+    base = LeftOuterJoin(base, ot.value(), stats, ctx);
+  }
+  if (!have) base = UnitTable();
+  for (const EqualityFilter& f : deferred_eq) {
+    auto id = dict.Lookup(f.value);
+    if (!id.has_value()) {
+      base = BindingTable(base.vars());  // unknown term: nothing matches
+    } else {
+      base = FilterEquals(base, f.var, *id, stats);
+    }
+  }
+  for (const FilterExpr& f : g.filters) {
+    base = FilterByExpr(base, f, dict, stats, ctx);
+  }
+  return base;
+}
+
+/// Project() asserts on missing columns; after full group evaluation all
+/// projected variables have columns, but keep release builds safe against
+/// degenerate inputs by substituting an empty result.
+BindingTable SafeProject(const BindingTable& in,
+                         const std::vector<std::string>& vars) {
+  for (const std::string& v : vars) {
+    if (in.ColumnIndex(v) < 0) return BindingTable(vars);
+  }
+  return Project(in, vars);
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateExtended(const SelectQuery& query,
+                                     const Dictionary& dict,
+                                     const BgpEvalFn& eval_bgp,
+                                     QueryContext* ctx) {
+  QueryResult result;
+  GroupPattern top;
+  top.patterns = query.patterns;
+  top.eq_filters = query.filters;
+  top.filters = query.expr_filters;
+  top.optionals = query.optionals;
+  top.unions = query.unions;
+  auto base = EvalGroup(top, dict, eval_bgp, ctx, &result.stats);
+  if (!base.ok()) return base.status();
+  BindingTable table = std::move(base).ValueOrDie();
+
+  if (!query.aggregates.empty() || !query.group_by.empty()) {
+    table = GroupCount(table, query.group_by, query.aggregates, &result.stats,
+                       ctx);
+  }
+  if (!query.order_by.empty()) {
+    table = OrderBy(table, query.order_by, dict, &result.stats, ctx);
+  }
+  const std::vector<std::string> proj = query.EffectiveProjection();
+  if (proj != table.vars()) table = SafeProject(table, proj);
+  if (query.distinct) table = Distinct(table);
+  if (query.offset > 0) table = Offset(table, query.offset);
+  if (query.limit.has_value()) table = Limit(table, *query.limit);
+  result.stats.NotePeakBytes(table.ByteSize());
+  result.table = std::move(table);
+  return result;
+}
+
+}  // namespace axon

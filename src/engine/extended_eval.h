@@ -1,0 +1,50 @@
+// Composition evaluator for the extended (non-conjunctive) SPARQL surface.
+//
+// The index structures of the paper — CS/ECS decomposition, star and chain
+// retrieval — evaluate exactly conjunctive BGPs. Everything above that
+// (OPTIONAL, UNION, general FILTER expressions, GROUP BY/COUNT, ORDER BY,
+// OFFSET) composes over conjunctive *leaves*: each engine plugs its native
+// BGP evaluator in as a callback, and this layer assembles leaf results
+// with the engine-agnostic operators of src/exec/operators.h. All seven
+// engine configurations therefore share one, well-tested composition
+// semantics, and cross-engine result agreement on the extended surface
+// reduces to agreement on conjunctive fragments — the property the
+// differential suites already pin down.
+//
+// Semantics notes (mirrored by the independent naive evaluator in
+// tests/naive_eval.h):
+//  * A group's FILTERs scope over that group only; filters inside an
+//    OPTIONAL see the optional group's bindings, not the outer row.
+//  * Unbound is represented as kInvalidId in BindingTable cells.
+//  * Zero-column (all-bound) groups collapse to at most one empty row.
+
+#ifndef AXON_ENGINE_EXTENDED_EVAL_H_
+#define AXON_ENGINE_EXTENDED_EVAL_H_
+
+#include <functional>
+
+#include "engine/query_engine.h"
+#include "sparql/algebra.h"
+#include "util/cancellation.h"
+
+namespace axon {
+
+/// Evaluates one conjunctive leaf BGP. The query passed to the callback
+/// has only `patterns` and equality `filters` set (empty projection =
+/// SELECT *, no DISTINCT/LIMIT); it must return all pattern variables.
+using BgpEvalFn =
+    std::function<Result<QueryResult>(const SelectQuery&, QueryContext*)>;
+
+/// Evaluates a SelectQuery with extended constructs by composing
+/// `eval_bgp` over its conjunctive leaves, then applying aggregation,
+/// ORDER BY, projection, DISTINCT, OFFSET and LIMIT. `ctx` may be null.
+/// Callers should route IsConjunctive() queries to their native path and
+/// only fall into this for the extended surface.
+Result<QueryResult> EvaluateExtended(const SelectQuery& query,
+                                     const Dictionary& dict,
+                                     const BgpEvalFn& eval_bgp,
+                                     QueryContext* ctx);
+
+}  // namespace axon
+
+#endif  // AXON_ENGINE_EXTENDED_EVAL_H_

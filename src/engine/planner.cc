@@ -1,11 +1,239 @@
 #include "engine/planner.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "util/trace.h"
 
 namespace axon {
+
+namespace {
+
+// The one-step size estimate shared by greedy, DP and replay: entering a
+// unit through an already-joined subject (object) node multiplies the
+// running estimate by mf_s (mf_o); both ends joined can only shrink; no
+// shared node is a cross product scaled by the unit's own cardinality.
+double StepEstimate(const JoinOrderInput& in, int unit, bool first,
+                    double est_rows, bool s_joined, bool o_joined) {
+  if (first) return in.cost[unit];
+  if (s_joined && o_joined) return est_rows;
+  if (s_joined) return est_rows * in.mf_s[unit];
+  if (o_joined) return est_rows * in.mf_o[unit];
+  return est_rows * in.cost[unit];
+}
+
+// A unit may have no chain node on one side (QueryEcs defaults the object
+// to -1 for star-only units); a missing node is never joined.
+bool NodeJoined(const std::vector<bool>& node_joined, int node) {
+  return node >= 0 && node_joined[static_cast<size_t>(node)];
+}
+
+void MarkNodeJoined(std::vector<bool>* node_joined, int node) {
+  if (node >= 0) (*node_joined)[static_cast<size_t>(node)] = true;
+}
+
+}  // namespace
+
+void ReplayJoinOrder(const JoinOrderInput& in, JoinOrder* order) {
+  std::vector<bool> node_joined(in.num_nodes, false);
+  order->running_estimate.clear();
+  order->total_cost = 0.0;
+  double est_rows = 1.0;
+  bool first = true;
+  for (int unit : order->sequence) {
+    const double e =
+        StepEstimate(in, unit, first, est_rows,
+                     NodeJoined(node_joined, in.subject_node[unit]),
+                     NodeJoined(node_joined, in.object_node[unit]));
+    est_rows = std::max(e, 1.0);
+    MarkNodeJoined(&node_joined, in.subject_node[unit]);
+    MarkNodeJoined(&node_joined, in.object_node[unit]);
+    first = false;
+    order->running_estimate.push_back(est_rows);
+    order->total_cost += est_rows;
+  }
+}
+
+JoinOrder OrderJoinsGreedy(const JoinOrderInput& in, bool use_planner) {
+  JoinOrder out;
+  const size_t n = in.cost.size();
+  std::vector<bool> unit_joined(n, false);
+  std::vector<bool> node_joined(in.num_nodes, false);
+  double est_rows = 1.0;
+  bool first = true;
+  for (size_t step = 0; step < in.priority.size(); ++step) {
+    int best = -1;
+    double best_estimate = 0.0;
+    for (int candidate : in.priority) {
+      if (unit_joined[static_cast<size_t>(candidate)]) continue;
+      const bool s_joined = NodeJoined(node_joined, in.subject_node[candidate]);
+      const bool o_joined = NodeJoined(node_joined, in.object_node[candidate]);
+      const bool connected = s_joined || o_joined;
+      const double estimate =
+          StepEstimate(in, candidate, first, est_rows, s_joined, o_joined);
+      bool better;
+      if (best < 0) {
+        better = true;
+      } else {
+        const bool best_connected =
+            first || NodeJoined(node_joined, in.subject_node[best]) ||
+            NodeJoined(node_joined, in.object_node[best]);
+        if (connected != best_connected) {
+          better = connected;
+        } else if (use_planner) {
+          better = estimate < best_estimate;
+        } else {
+          better = false;  // keep priority (chain) order among equals
+        }
+      }
+      if (better) {
+        best = candidate;
+        best_estimate = estimate;
+      }
+    }
+    unit_joined[static_cast<size_t>(best)] = true;
+    MarkNodeJoined(&node_joined, in.subject_node[best]);
+    MarkNodeJoined(&node_joined, in.object_node[best]);
+    est_rows = std::max(best_estimate, 1.0);
+    first = false;
+    out.sequence.push_back(best);
+  }
+  ReplayJoinOrder(in, &out);
+  return out;
+}
+
+std::optional<JoinOrder> OrderJoinsDp(const JoinOrderInput& in,
+                                      size_t max_units) {
+  const size_t n = in.priority.size();
+  // The hard n cap bounds the dp table even when a caller passes an
+  // over-generous threshold (2^16 subsets, each a small Pareto frontier).
+  if (n < 2 || n > max_units || n > 16 || in.num_nodes > 64) {
+    return std::nullopt;
+  }
+  // Rank units by priority position for deterministic tie-breaks; map the
+  // DP's dense indices onto priority order.
+  const std::vector<int>& units = in.priority;
+  const auto node_bit = [](int node) {
+    return node >= 0 ? uint64_t{1} << static_cast<unsigned>(node)
+                     : uint64_t{0};
+  };
+  std::vector<uint64_t> node_mask(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    node_mask[i] = node_bit(in.subject_node[units[i]]) |
+                   node_bit(in.object_node[units[i]]);
+  }
+
+  // The running estimate is path-dependent (which node gets joined first
+  // decides which multiplication factor applies), so one best-cost state
+  // per subset is not Bellman-safe: a costlier prefix with a smaller
+  // running estimate can win downstream. Each subset therefore keeps the
+  // Pareto frontier over (cost, est_rows); a frontier entry records its
+  // predecessor for reconstruction. The joined-node set is determined by
+  // the subset alone, so it is not part of the state.
+  struct State {
+    double cost;
+    double est_rows;
+    int last;    // dense index of the last unit joined
+    int parent;  // index into the frontier of the subset without `last`
+  };
+  const size_t num_subsets = size_t{1} << n;
+  std::vector<std::vector<State>> dp(num_subsets);
+  dp[0].push_back(State{0.0, 1.0, -1, -1});
+
+  for (size_t s = 0; s < num_subsets; ++s) {
+    if (dp[s].empty()) continue;
+    const bool first = s == 0;
+    uint64_t joined_nodes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((s & (size_t{1} << i)) != 0) joined_nodes |= node_mask[i];
+    }
+    // The same cross-product discipline as the greedy: extensions must
+    // touch an already-joined node, unless no pending unit does.
+    bool has_connected = false;
+    if (!first) {
+      for (size_t i = 0; i < n; ++i) {
+        if ((s & (size_t{1} << i)) == 0 &&
+            (joined_nodes & node_mask[i]) != 0) {
+          has_connected = true;
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if ((s & (size_t{1} << i)) != 0) continue;
+      const bool connected = (joined_nodes & node_mask[i]) != 0;
+      if (has_connected && !connected) continue;
+      const int unit = units[i];
+      const bool s_joined =
+          (joined_nodes & node_bit(in.subject_node[unit])) != 0;
+      const bool o_joined =
+          (joined_nodes & node_bit(in.object_node[unit])) != 0;
+      std::vector<State>& next = dp[s | (size_t{1} << i)];
+      // All predecessors of a subset are smaller, so dp[s] is final here
+      // and parent indices into it stay stable; `next` may still be
+      // pruned, but nothing references its entries yet.
+      for (size_t si = 0; si < dp[s].size(); ++si) {
+        const State& cur = dp[s][si];
+        const double est = std::max(
+            StepEstimate(in, unit, first, cur.est_rows, s_joined, o_joined),
+            1.0);
+        const double cost = cur.cost + est;
+        bool dominated = false;
+        for (const State& st : next) {
+          if (st.cost <= cost && st.est_rows <= est) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        next.erase(std::remove_if(next.begin(), next.end(),
+                                  [&](const State& st) {
+                                    return cost <= st.cost &&
+                                           est <= st.est_rows;
+                                  }),
+                   next.end());
+        next.push_back(State{cost, est, static_cast<int>(i),
+                             static_cast<int>(si)});
+      }
+    }
+  }
+
+  // The cheapest full-set state wins (first of equals: the enumeration is
+  // deterministic, so so is the pick); peel back through the parents.
+  const std::vector<State>& full = dp[num_subsets - 1];
+  size_t best = 0;
+  for (size_t i = 1; i < full.size(); ++i) {
+    if (full[i].cost < full[best].cost) best = i;
+  }
+  JoinOrder out;
+  out.used_dp = true;
+  std::vector<int> rev;
+  size_t s = num_subsets - 1;
+  int state_idx = static_cast<int>(best);
+  while (s != 0) {
+    const State& st = dp[s][static_cast<size_t>(state_idx)];
+    rev.push_back(units[static_cast<size_t>(st.last)]);
+    s &= ~(size_t{1} << static_cast<unsigned>(st.last));
+    state_idx = st.parent;
+  }
+  out.sequence.assign(rev.rbegin(), rev.rend());
+  ReplayJoinOrder(in, &out);
+  return out;
+}
+
+JoinOrder OrderJoins(const JoinOrderInput& in, bool use_planner, bool use_dp,
+                     size_t dp_max_units) {
+  JoinOrder greedy = OrderJoinsGreedy(in, use_planner);
+  if (!use_planner || !use_dp) return greedy;
+  std::optional<JoinOrder> dp = OrderJoinsDp(in, dp_max_units);
+  if (!dp.has_value()) return greedy;
+  // Both orders were scored by ReplayJoinOrder; the greedy sequence is in
+  // the DP's search space, so dp->total_cost <= greedy.total_cost always —
+  // the comparison guards the invariant (and the property test asserts it).
+  return dp->total_cost <= greedy.total_cost ? *dp : greedy;
+}
 
 double Planner::PositionCost(const QueryGraph& qg, int query_ecs,
                              const std::vector<EcsId>& matches) const {

@@ -5,6 +5,7 @@
 #ifndef AXON_ENGINE_PLANNER_H_
 #define AXON_ENGINE_PLANNER_H_
 
+#include <optional>
 #include <vector>
 
 #include "ecs/ecs_index.h"
@@ -31,6 +32,62 @@ struct QueryPlan {
   /// input order otherwise).
   std::vector<ChainPlan> chains;
 };
+
+/// Inputs to global join ordering over the query-ECS units: the Eq. 9
+/// statistics the executor aggregates over each unit's matched data ECSs
+/// (eval cardinality plus the two entry-side multiplication factors), the
+/// chain nodes each unit touches, and the chain-plan priority order used
+/// as the deterministic tie-break.
+struct JoinOrderInput {
+  std::vector<double> cost;       // eval cardinality per unit
+  std::vector<double> mf_s;       // multiplication factor, subject entry
+  std::vector<double> mf_o;       // multiplication factor, object entry
+  std::vector<int> subject_node;  // chain node ids per unit
+  std::vector<int> object_node;
+  std::vector<int> priority;      // units in plan order (deduped)
+  size_t num_nodes = 0;
+};
+
+/// A global join order with its estimated intermediate sizes. `total_cost`
+/// is the C_out objective: the sum of the running size estimates, the
+/// quantity both the greedy heuristic and the DP minimize.
+struct JoinOrder {
+  std::vector<int> sequence;
+  std::vector<double> running_estimate;
+  double total_cost = 0.0;
+  bool used_dp = false;
+};
+
+/// Replays `order->sequence` through the shared size-estimate model,
+/// filling running_estimate and total_cost. Both orderings are scored by
+/// this one function, which is what makes "DP cost <= greedy cost" a
+/// provable property rather than an accident of two cost models.
+void ReplayJoinOrder(const JoinOrderInput& in, JoinOrder* order);
+
+/// The greedy ordering (the pre-DP behavior): next is the pending unit
+/// minimizing the estimated joined size, preferring units connected to the
+/// already-joined nodes over cross products. With `use_planner` false the
+/// priority (chain) order is kept among equally-connected candidates.
+JoinOrder OrderJoinsGreedy(const JoinOrderInput& in, bool use_planner);
+
+/// Bottom-up DPsize enumeration over subsets of units: dp[S] holds the
+/// Pareto frontier over (accumulated cost, running estimate) of left-deep
+/// sequences covering S under the shared estimate model — the estimate is
+/// path-dependent, so a single best-cost state per subset would not be
+/// Bellman-safe. Extensions must connect to the joined nodes unless no
+/// pending unit does (the same cross-product discipline as the greedy),
+/// so the greedy sequence is always in the search space and the returned
+/// cost never exceeds the greedy's. Returns nullopt when the instance is
+/// out of range (fewer than 2 units, more than `max_units` units — hard
+/// cap 16 — or more than 64 chain nodes).
+std::optional<JoinOrder> OrderJoinsDp(const JoinOrderInput& in,
+                                      size_t max_units);
+
+/// The planner entry point the executors use: greedy always runs; when
+/// `use_dp` is set and the instance fits, the DP runs too and the cheaper
+/// sequence (under ReplayJoinOrder) wins.
+JoinOrder OrderJoins(const JoinOrderInput& in, bool use_planner, bool use_dp,
+                     size_t dp_max_units);
 
 class Planner {
  public:

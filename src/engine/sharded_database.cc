@@ -7,6 +7,7 @@
 #include "ecs/ecs_extractor.h"
 #include "ecs/ecs_hierarchy.h"
 #include "engine/ecs_matcher.h"
+#include "engine/extended_eval.h"
 #include "engine/planner.h"
 #include "util/cancellation.h"
 #include "util/failpoint.h"
@@ -247,6 +248,17 @@ Result<QueryResult> ShardedDatabase::Execute(const SelectQuery& query,
 
 Result<QueryResult> ShardedDatabase::ExecuteImpl(const SelectQuery& query,
                                                  QueryContext* ctx) const {
+  // Extended surface: compose over conjunctive leaves; each leaf runs the
+  // scatter/gather pipeline below. The coordinator fault boundary in
+  // Execute() covers the composition.
+  if (!query.IsConjunctive()) {
+    return EvaluateExtended(
+        query, dict_,
+        [this](const SelectQuery& leaf, QueryContext* c) {
+          return ExecuteImpl(leaf, c);
+        },
+        ctx);
+  }
   AXON_SPAN("query.execute_sharded");
   QueryResult result;
   std::vector<std::string> proj = query.EffectiveProjection();

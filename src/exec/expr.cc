@@ -1,0 +1,206 @@
+#include "exec/expr.h"
+
+#include <cstdlib>
+
+namespace axon {
+
+namespace {
+
+constexpr char kXsd[] = "http://www.w3.org/2001/XMLSchema#";
+
+bool IsNumericDatatype(const std::string& dt) {
+  if (dt.size() <= sizeof(kXsd) - 1 || dt.compare(0, sizeof(kXsd) - 1, kXsd) != 0) {
+    return false;
+  }
+  const std::string local = dt.substr(sizeof(kXsd) - 1);
+  return local == "integer" || local == "decimal" || local == "double" ||
+         local == "float" || local == "long" || local == "int" ||
+         local == "short" || local == "byte" ||
+         local == "nonNegativeInteger" || local == "positiveInteger" ||
+         local == "negativeInteger" || local == "nonPositiveInteger" ||
+         local == "unsignedLong" || local == "unsignedInt";
+}
+
+bool ParseNumeric(const std::string& lexical, double* out) {
+  if (lexical.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(lexical.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+TermSortKey KeyFromTerm(const Term& t) {
+  TermSortKey k;
+  k.str = t.Canonical();
+  switch (t.kind) {
+    case TermKind::kBlank:
+      k.cls = 1;
+      break;
+    case TermKind::kIri:
+      k.cls = 2;
+      break;
+    case TermKind::kLiteral:
+      k.cls = (IsNumericDatatype(t.datatype) && ParseNumeric(t.value, &k.num))
+                  ? 3
+                  : 4;
+      break;
+  }
+  return k;
+}
+
+}  // namespace
+
+TermSortKey MakeTermSortKey(TermId id, const Dictionary& dict) {
+  TermSortKey k;
+  if (id == kInvalidId) return k;  // cls 0: unbound sorts first
+  if (IsValueId(id)) {
+    const uint32_t v = ValueIdPayload(id);
+    k.cls = 3;
+    k.num = static_cast<double>(v);
+    k.str = "\"" + std::to_string(v) + "\"^^<" + kXsd + "integer>";
+    return k;
+  }
+  auto term = dict.GetTerm(id);
+  if (!term.ok()) {
+    // Out-of-dictionary id: deterministic fallback bucket below everything.
+    k.str = std::to_string(id.value());
+    return k;
+  }
+  return KeyFromTerm(term.value());
+}
+
+int CompareTermSortKeys(const TermSortKey& a, const TermSortKey& b) {
+  if (a.cls != b.cls) return a.cls < b.cls ? -1 : 1;
+  if (a.cls == 3 && a.num != b.num) return a.num < b.num ? -1 : 1;
+  const int c = a.str.compare(b.str);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+FilterEvaluator::FilterEvaluator(const FilterExpr& expr,
+                                 const BindingTable& table,
+                                 const Dictionary& dict)
+    : expr_(expr), table_(table), dict_(dict) {
+  // Resolve variable columns and constant keys once.
+  const auto walk = [this](const FilterExpr& e, const auto& self) -> void {
+    if (e.op == FilterOp::kVar || e.op == FilterOp::kBound) {
+      columns_.emplace(e.var, table_.ColumnIndex(e.var));
+    } else if (e.op == FilterOp::kConst) {
+      const_keys_.emplace(&e, KeyFromTerm(e.value));
+    }
+    for (const FilterExpr& a : e.args) self(a, self);
+  };
+  walk(expr_, walk);
+}
+
+const TermSortKey& FilterEvaluator::KeyForId(TermId id) const {
+  auto it = id_keys_.find(id.value());
+  if (it == id_keys_.end()) {
+    it = id_keys_.emplace(id.value(), MakeTermSortKey(id, dict_)).first;
+  }
+  return it->second;
+}
+
+bool FilterEvaluator::OperandKey(const FilterExpr& e, size_t row,
+                                 const TermSortKey** out) const {
+  if (e.op == FilterOp::kConst) {
+    *out = &const_keys_.at(&e);
+    return true;
+  }
+  if (e.op != FilterOp::kVar) return false;
+  const int col = columns_.at(e.var);
+  if (col < 0) return false;
+  const TermId id = table_.at(row, static_cast<size_t>(col));
+  if (id == kInvalidId) return false;  // comparing unbound is a type error
+  *out = &KeyForId(id);
+  return true;
+}
+
+Ebv FilterEvaluator::Eval(size_t row) const { return EvalNode(expr_, row); }
+
+Ebv FilterEvaluator::EvalNode(const FilterExpr& e, size_t row) const {
+  switch (e.op) {
+    case FilterOp::kBound: {
+      const int col = columns_.at(e.var);
+      const bool bound =
+          col >= 0 && table_.at(row, static_cast<size_t>(col)) != kInvalidId;
+      return bound ? Ebv::kTrue : Ebv::kFalse;
+    }
+    case FilterOp::kNot: {
+      const Ebv v = EvalNode(e.args[0], row);
+      if (v == Ebv::kError) return Ebv::kError;
+      return v == Ebv::kTrue ? Ebv::kFalse : Ebv::kTrue;
+    }
+    case FilterOp::kAnd: {
+      const Ebv a = EvalNode(e.args[0], row);
+      if (a == Ebv::kFalse) return Ebv::kFalse;
+      const Ebv b = EvalNode(e.args[1], row);
+      if (b == Ebv::kFalse) return Ebv::kFalse;
+      if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
+      return Ebv::kTrue;
+    }
+    case FilterOp::kOr: {
+      const Ebv a = EvalNode(e.args[0], row);
+      if (a == Ebv::kTrue) return Ebv::kTrue;
+      const Ebv b = EvalNode(e.args[1], row);
+      if (b == Ebv::kTrue) return Ebv::kTrue;
+      if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
+      return Ebv::kFalse;
+    }
+    case FilterOp::kEq:
+    case FilterOp::kNe:
+    case FilterOp::kLt:
+    case FilterOp::kLe:
+    case FilterOp::kGt:
+    case FilterOp::kGe: {
+      const TermSortKey* a = nullptr;
+      const TermSortKey* b = nullptr;
+      if (!OperandKey(e.args[0], row, &a) || !OperandKey(e.args[1], row, &b)) {
+        return Ebv::kError;
+      }
+      // Value equality: numeric pairs by value ("05" = "5"), everything
+      // else by canonical form within the same term class.
+      const bool both_numeric = a->cls == 3 && b->cls == 3;
+      if (e.op == FilterOp::kEq || e.op == FilterOp::kNe) {
+        const bool eq = both_numeric ? a->num == b->num
+                                     : (a->cls == b->cls && a->str == b->str);
+        return (eq == (e.op == FilterOp::kEq)) ? Ebv::kTrue : Ebv::kFalse;
+      }
+      // Relational comparison is defined for numeric pairs, and within
+      // IRIs / non-numeric literals by canonical form; anything else is a
+      // type error.
+      int c;
+      if (both_numeric) {
+        c = a->num < b->num ? -1 : (a->num > b->num ? 1 : 0);
+      } else if (a->cls == b->cls && (a->cls == 2 || a->cls == 4)) {
+        const int sc = a->str.compare(b->str);
+        c = sc < 0 ? -1 : (sc > 0 ? 1 : 0);
+      } else {
+        return Ebv::kError;
+      }
+      bool keep;
+      switch (e.op) {
+        case FilterOp::kLt:
+          keep = c < 0;
+          break;
+        case FilterOp::kLe:
+          keep = c <= 0;
+          break;
+        case FilterOp::kGt:
+          keep = c > 0;
+          break;
+        default:
+          keep = c >= 0;
+          break;
+      }
+      return keep ? Ebv::kTrue : Ebv::kFalse;
+    }
+    case FilterOp::kVar:
+    case FilterOp::kConst:
+      // A bare term has no effective boolean value in our fragment.
+      return Ebv::kError;
+  }
+  return Ebv::kError;
+}
+
+}  // namespace axon

@@ -1,0 +1,85 @@
+// FILTER expression evaluation and term ordering over dictionary-encoded
+// bindings.
+//
+// Two pieces live here because they share the term-interpretation logic:
+//
+//  * TermSortKey / CompareTermSortKeys — a deterministic total order over
+//    TermIds (including the unbound sentinel and value-tagged aggregate
+//    ids) used by ORDER BY. The order follows SPARQL's: unbound < blank
+//    nodes < IRIs < literals, numeric literals by value before other
+//    literals by canonical form. Because the order depends only on term
+//    *content*, every engine sorts identically regardless of its internal
+//    row order.
+//
+//  * FilterEvaluator — SPARQL three-valued evaluation of a FilterExpr
+//    against one row: comparisons touching an unbound variable are type
+//    errors, errors act as false at the top level but propagate through
+//    &&/|| with the standard truth tables, and bound() observes the
+//    unbound sentinel directly.
+
+#ifndef AXON_EXEC_EXPR_H_
+#define AXON_EXEC_EXPR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/bindings.h"
+#include "rdf/dictionary.h"
+#include "sparql/algebra.h"
+
+namespace axon {
+
+/// Comparable interpretation of one TermId. `cls` ranks term classes
+/// (0 unbound, 1 blank, 2 IRI, 3 numeric literal, 4 other literal); within
+/// a class, numeric literals compare by `num`, everything else by `str`
+/// (the canonical form, which doubles as the total-order tie-break for
+/// equal numeric values like "5" vs "05").
+struct TermSortKey {
+  int cls = 0;
+  double num = 0.0;
+  std::string str;
+};
+
+/// Builds the key for `id`. Handles kInvalidId (unbound) and value-tagged
+/// aggregate ids without touching the dictionary.
+TermSortKey MakeTermSortKey(TermId id, const Dictionary& dict);
+
+/// Total order: negative / zero / positive like strcmp.
+int CompareTermSortKeys(const TermSortKey& a, const TermSortKey& b);
+
+/// Three-valued result of a filter (sub)expression.
+enum class Ebv { kFalse = 0, kTrue = 1, kError = 2 };
+
+/// Evaluates one FilterExpr against rows of one BindingTable. Column
+/// indices and term keys are resolved once and cached, so per-row
+/// evaluation does no dictionary work after warm-up.
+class FilterEvaluator {
+ public:
+  FilterEvaluator(const FilterExpr& expr, const BindingTable& table,
+                  const Dictionary& dict);
+
+  /// The full SPARQL constraint semantics: kError collapses to "row
+  /// dropped", i.e. only kTrue keeps the row.
+  bool Keep(size_t row) const { return Eval(row) == Ebv::kTrue; }
+
+  Ebv Eval(size_t row) const;
+
+ private:
+  Ebv EvalNode(const FilterExpr& e, size_t row) const;
+  /// Resolves a kVar/kConst operand to its sort key; false on unbound or
+  /// non-leaf operands (a SPARQL type error).
+  bool OperandKey(const FilterExpr& e, size_t row, const TermSortKey** out) const;
+  const TermSortKey& KeyForId(TermId id) const;
+
+  const FilterExpr& expr_;
+  const BindingTable& table_;
+  const Dictionary& dict_;
+  std::unordered_map<std::string, int> columns_;
+  std::unordered_map<const FilterExpr*, TermSortKey> const_keys_;
+  mutable std::unordered_map<uint32_t, TermSortKey> id_keys_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_EXEC_EXPR_H_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <numeric>
 #include <set>
 #include <unordered_map>
 
+#include "exec/expr.h"
 #include "util/hash.h"
 #include "util/trace.h"
 
@@ -246,6 +249,375 @@ BindingTable Limit(const BindingTable& in, uint64_t limit) {
   for (uint64_t r = 0; r < n; ++r) out.AppendRow(in.row(r));
   if (in.num_cols() == 0 && in.num_rows() > 0 && limit > 0) {
     out.SetNullaryRow(true);
+  }
+  return out;
+}
+
+BindingTable Offset(const BindingTable& in, uint64_t offset) {
+  BindingTable out(in.vars());
+  if (in.num_cols() == 0) {
+    out.SetNullaryRow(in.num_rows() > offset);
+    return out;
+  }
+  for (uint64_t r = offset; r < in.num_rows(); ++r) out.AppendRow(in.row(r));
+  return out;
+}
+
+BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx) {
+  std::vector<std::string> out_vars = left.vars();
+  for (const std::string& v : right.vars()) {
+    if (std::find(out_vars.begin(), out_vars.end(), v) == out_vars.end()) {
+      out_vars.push_back(v);
+    }
+  }
+  BindingTable out(out_vars);
+  if (out_vars.empty()) {
+    out.SetNullaryRow(left.num_rows() + right.num_rows() > 0);
+    return out;
+  }
+  std::vector<TermId> row(out_vars.size());
+  for (const BindingTable* side : {&left, &right}) {
+    std::vector<int> cols(out_vars.size());
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      cols[i] = side->ColumnIndex(out_vars[i]);
+    }
+    for (size_t r = 0; r < side->num_rows(); ++r) {
+      if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
+      for (size_t i = 0; i < cols.size(); ++i) {
+        row[i] = cols[i] >= 0 ? side->at(r, static_cast<size_t>(cols[i]))
+                              : kInvalidId;
+      }
+      out.AppendRow(row);
+    }
+  }
+  if (stats != nullptr) {
+    stats->intermediate_rows += out.num_rows();
+    stats->NotePeakBytes(out.ByteSize());
+  }
+  return out;
+}
+
+namespace {
+
+// Shared implementation of the compatibility joins: inner (CompatJoin) and
+// left outer (LeftOuterJoin). `outer` controls whether unmatched left rows
+// survive padded with unbound right columns.
+BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
+                            bool outer, ExecStats* stats, QueryContext* ctx) {
+  if (stats != nullptr) ++stats->joins;
+  // Output schema: left columns then right-only columns.
+  std::vector<std::string> out_vars = left.vars();
+  std::vector<int> right_extra;  // right cols not shared with left
+  std::vector<int> left_key;     // shared cols, left side
+  std::vector<int> right_key;    // shared cols, right side
+  for (size_t i = 0; i < right.vars().size(); ++i) {
+    int j = left.ColumnIndex(right.vars()[i]);
+    if (j >= 0) {
+      left_key.push_back(j);
+      right_key.push_back(static_cast<int>(i));
+    } else {
+      out_vars.push_back(right.vars()[i]);
+      right_extra.push_back(static_cast<int>(i));
+    }
+  }
+  BindingTable out(out_vars);
+  if (out_vars.empty()) {
+    // Both sides nullary: the join is pure existence logic.
+    out.SetNullaryRow(left.num_rows() > 0 &&
+                      (outer || right.num_rows() > 0));
+    return out;
+  }
+  if (left.num_cols() == 0 && left.num_rows() == 0) return out;
+
+  // Shared columns holding unbound values (possible after nested
+  // OPTIONAL/UNION) force the compatibility join: unbound agrees with
+  // anything, which a hash on exact key values cannot express.
+  bool has_nulls = false;
+  for (size_t k = 0; k < left_key.size() && !has_nulls; ++k) {
+    for (size_t r = 0; r < left.num_rows() && !has_nulls; ++r) {
+      if (left.at(r, static_cast<size_t>(left_key[k])) == kInvalidId) {
+        has_nulls = true;
+      }
+    }
+    for (size_t r = 0; r < right.num_rows() && !has_nulls; ++r) {
+      if (right.at(r, static_cast<size_t>(right_key[k])) == kInvalidId) {
+        has_nulls = true;
+      }
+    }
+  }
+
+  std::vector<TermId> out_row(out_vars.size());
+  auto emit_match = [&](size_t lr, size_t rr) {
+    for (size_t c = 0; c < left.num_cols(); ++c) {
+      TermId v = left.at(lr, c);
+      if (v == kInvalidId) {
+        // The merged solution takes the right side's binding when the
+        // left one is unbound (compatibility-join semantics).
+        int rc = right.ColumnIndex(left.vars()[c]);
+        if (rc >= 0) v = right.at(rr, static_cast<size_t>(rc));
+      }
+      out_row[c] = v;
+    }
+    for (size_t e = 0; e < right_extra.size(); ++e) {
+      out_row[left.num_cols() + e] =
+          right.at(rr, static_cast<size_t>(right_extra[e]));
+    }
+    out.AppendRow(out_row);
+  };
+  auto emit_unmatched = [&](size_t lr) {
+    for (size_t c = 0; c < left.num_cols(); ++c) out_row[c] = left.at(lr, c);
+    for (size_t e = 0; e < right_extra.size(); ++e) {
+      out_row[left.num_cols() + e] = kInvalidId;
+    }
+    out.AppendRow(out_row);
+  };
+
+  if (!has_nulls) {
+    // Hash path: build on the right, probe with every left row.
+    if (MemoryBudget* budget = BudgetScope::Current()) {
+      budget->Charge(right.num_rows() *
+                     (2 * sizeof(size_t) + right_key.size() * sizeof(TermId)));
+    }
+    std::unordered_map<std::vector<TermId>, std::vector<size_t>, RowKeyHash>
+        table;
+    table.reserve(right.num_rows());
+    std::vector<TermId> key(right_key.size());
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
+      for (size_t k = 0; k < right_key.size(); ++k) {
+        key[k] = right.at(r, static_cast<size_t>(right_key[k]));
+      }
+      table[key].push_back(r);
+    }
+    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+      if (ctx != nullptr && (lr % kStopCheckRows) == 0) ctx->CheckStop();
+      for (size_t k = 0; k < left_key.size(); ++k) {
+        key[k] = left.at(lr, static_cast<size_t>(left_key[k]));
+      }
+      auto it = table.find(key);
+      if (it == table.end()) {
+        if (outer) emit_unmatched(lr);
+        continue;
+      }
+      for (size_t rr : it->second) emit_match(lr, rr);
+    }
+  } else {
+    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+      if (ctx != nullptr && (lr % kStopCheckRows) == 0) ctx->CheckStop();
+      bool matched = false;
+      for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+        if (ctx != nullptr && (rr % kStopCheckRows) == kStopCheckRows - 1) {
+          ctx->CheckStop();
+        }
+        bool compatible = true;
+        for (size_t k = 0; k < left_key.size(); ++k) {
+          TermId lv = left.at(lr, static_cast<size_t>(left_key[k]));
+          TermId rv = right.at(rr, static_cast<size_t>(right_key[k]));
+          if (lv != kInvalidId && rv != kInvalidId && lv != rv) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+        matched = true;
+        emit_match(lr, rr);
+      }
+      if (outer && !matched) emit_unmatched(lr);
+    }
+  }
+  if (stats != nullptr) {
+    stats->intermediate_rows += out.num_rows();
+    stats->NotePeakBytes(out.ByteSize());
+  }
+  return out;
+}
+
+}  // namespace
+
+BindingTable LeftOuterJoin(const BindingTable& left, const BindingTable& right,
+                           ExecStats* stats, QueryContext* ctx) {
+  return CompatJoinImpl(left, right, /*outer=*/true, stats, ctx);
+}
+
+BindingTable CompatJoin(const BindingTable& left, const BindingTable& right,
+                        ExecStats* stats, QueryContext* ctx) {
+  return CompatJoinImpl(left, right, /*outer=*/false, stats, ctx);
+}
+
+BindingTable FilterByExpr(const BindingTable& in, const FilterExpr& expr,
+                          const Dictionary& dict, ExecStats* stats,
+                          QueryContext* ctx) {
+  BindingTable out(in.vars());
+  FilterEvaluator eval(expr, in, dict);
+  if (in.num_cols() == 0) {
+    out.SetNullaryRow(in.num_rows() > 0 && eval.Keep(0));
+    return out;
+  }
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
+    if (eval.Keep(r)) out.AppendRow(in.row(r));
+  }
+  if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+  return out;
+}
+
+BindingTable OrderBy(const BindingTable& in, const std::vector<OrderKey>& keys,
+                     const Dictionary& dict, ExecStats* stats,
+                     QueryContext* ctx) {
+  BindingTable out(in.vars());
+  if (in.num_cols() == 0) {
+    out.SetNullaryRow(in.num_rows() > 0);
+    return out;
+  }
+  if (in.num_rows() == 0) return out;
+  std::vector<std::pair<size_t, bool>> key_cols;  // (column, ascending)
+  for (const OrderKey& k : keys) {
+    int c = in.ColumnIndex(k.var);
+    if (c >= 0) key_cols.emplace_back(static_cast<size_t>(c), k.ascending);
+  }
+  // Rank the distinct ids of the key columns once in term order; rows then
+  // compare by cheap integer ranks. Sorting is a pipeline breaker: charge
+  // the permutation and rank table before building them.
+  std::set<TermId> distinct;
+  for (const auto& [col, asc] : key_cols) {
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
+      distinct.insert(in.at(r, col));
+    }
+  }
+  if (MemoryBudget* budget = BudgetScope::Current()) {
+    budget->Charge(in.num_rows() * sizeof(size_t) +
+                   distinct.size() * (sizeof(TermSortKey) + 64));
+  }
+  std::vector<std::pair<TermSortKey, TermId>> keyed;
+  keyed.reserve(distinct.size());
+  for (TermId id : distinct) keyed.emplace_back(MakeTermSortKey(id, dict), id);
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return CompareTermSortKeys(a.first, b.first) < 0;
+                   });
+  std::unordered_map<uint32_t, size_t> rank;
+  rank.reserve(keyed.size());
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    rank.emplace(keyed[i].second.value(), i);
+  }
+
+  std::vector<size_t> perm(in.num_rows());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    for (const auto& [col, asc] : key_cols) {
+      size_t ra = rank.at(in.at(a, col).value());
+      size_t rb = rank.at(in.at(b, col).value());
+      if (ra != rb) return asc ? ra < rb : ra > rb;
+    }
+    // Deterministic tie-break over the whole row (ids are assigned
+    // identically by every engine building from the same dataset).
+    for (size_t c = 0; c < in.num_cols(); ++c) {
+      TermId av = in.at(a, c);
+      TermId bv = in.at(b, c);
+      if (av != bv) return av < bv;
+    }
+    return false;
+  });
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (ctx != nullptr && (i % kStopCheckRows) == 0) ctx->CheckStop();
+    out.AppendRow(in.row(perm[i]));
+  }
+  if (stats != nullptr) {
+    stats->intermediate_rows += out.num_rows();
+    stats->NotePeakBytes(out.ByteSize());
+  }
+  return out;
+}
+
+BindingTable GroupCount(const BindingTable& in,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<Aggregate>& aggregates,
+                        ExecStats* stats, QueryContext* ctx) {
+  std::vector<std::string> out_vars = group_by;
+  for (const Aggregate& a : aggregates) out_vars.push_back(a.as);
+  BindingTable out(out_vars);
+
+  std::vector<int> key_cols;
+  key_cols.reserve(group_by.size());
+  for (const std::string& v : group_by) key_cols.push_back(in.ColumnIndex(v));
+  std::vector<int> arg_cols;  // -1 = COUNT(*)
+  arg_cols.reserve(aggregates.size());
+  for (const Aggregate& a : aggregates) {
+    arg_cols.push_back(a.var.empty() ? -1 : in.ColumnIndex(a.var));
+  }
+
+  struct GroupState {
+    std::vector<uint64_t> counts;
+    std::vector<std::set<std::vector<TermId>>> distinct;
+  };
+  // std::map keys iterate in id order: the output row order is
+  // deterministic across engines regardless of input row order.
+  std::map<std::vector<TermId>, GroupState> groups;
+
+  std::vector<TermId> key(key_cols.size());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      key[k] = key_cols[k] >= 0 ? in.at(r, static_cast<size_t>(key_cols[k]))
+                                : kInvalidId;
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      if (MemoryBudget* budget = BudgetScope::Current()) {
+        budget->Charge(key.size() * sizeof(TermId) + 64);
+      }
+      it->second.counts.assign(aggregates.size(), 0);
+      it->second.distinct.resize(aggregates.size());
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      if (aggregates[a].distinct) {
+        std::vector<TermId> value;
+        if (arg_cols[a] < 0) {
+          value.assign(in.row(r).begin(), in.row(r).end());
+        } else {
+          TermId v = in.at(r, static_cast<size_t>(arg_cols[a]));
+          if (v == kInvalidId) continue;  // COUNT skips unbound
+          value.push_back(v);
+        }
+        if (it->second.distinct[a].insert(std::move(value)).second) {
+          if (MemoryBudget* budget = BudgetScope::Current()) {
+            budget->Charge((key.size() + 1) * sizeof(TermId) + 48);
+          }
+        }
+      } else {
+        if (arg_cols[a] >= 0 &&
+            in.at(r, static_cast<size_t>(arg_cols[a])) == kInvalidId) {
+          continue;
+        }
+        ++it->second.counts[a];
+      }
+    }
+  }
+  // With no grouping keys, aggregation over an empty input still produces
+  // the single all-zero group (SPARQL: COUNT over zero solutions is 0).
+  if (groups.empty() && group_by.empty()) {
+    GroupState zero;
+    zero.counts.assign(aggregates.size(), 0);
+    zero.distinct.resize(aggregates.size());
+    groups.emplace(std::vector<TermId>{}, std::move(zero));
+  }
+
+  std::vector<TermId> row(out_vars.size());
+  for (const auto& [k, state] : groups) {
+    for (size_t i = 0; i < k.size(); ++i) row[i] = k[i];
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      uint64_t n = aggregates[a].distinct ? state.distinct[a].size()
+                                          : state.counts[a];
+      row[k.size() + a] = MakeValueId(static_cast<uint32_t>(
+          std::min<uint64_t>(n, kValueIdTag - 1)));
+    }
+    out.AppendRow(row);
+  }
+  if (stats != nullptr) {
+    stats->intermediate_rows += out.num_rows();
+    stats->NotePeakBytes(out.ByteSize());
   }
   return out;
 }

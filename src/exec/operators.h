@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "exec/bindings.h"
+#include "rdf/dictionary.h"
 #include "rdf/triple.h"
+#include "sparql/algebra.h"
 #include "util/cancellation.h"
 
 namespace axon {
@@ -108,6 +110,61 @@ BindingTable Distinct(const BindingTable& in);
 
 /// Truncates to at most `limit` rows.
 BindingTable Limit(const BindingTable& in, uint64_t limit);
+
+/// Drops the first `offset` rows (ORDER BY ... OFFSET paging).
+BindingTable Offset(const BindingTable& in, uint64_t offset);
+
+/// Multiset union (UNION): the output schema is the union of both schemas
+/// (left columns first); positions absent on one side fill with kInvalidId
+/// (unbound). Zero-column unions collapse to at most one empty row, the
+/// engine-wide nullary-table convention.
+BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx = nullptr);
+
+/// SPARQL left outer join (OPTIONAL): every left row survives; rows with
+/// compatible right rows extend with their bindings, the rest pad the
+/// right-only columns with kInvalidId. When no shared column holds an
+/// unbound value the join runs as a hash join (build on the right,
+/// budget-charged); otherwise it falls back to a compatibility
+/// nested-loop join, where unbound agrees with anything and the merged
+/// row takes the bound value.
+BindingTable LeftOuterJoin(const BindingTable& left, const BindingTable& right,
+                           ExecStats* stats, QueryContext* ctx = nullptr);
+
+/// Null-aware natural join with SPARQL compatibility semantics: like
+/// HashJoin, but unbound values in shared columns agree with anything and
+/// the merged row takes the bound side's value. Needed when an input can
+/// carry unbound columns (outputs of UNION/OPTIONAL); plain BGP pipelines
+/// keep using HashJoin.
+BindingTable CompatJoin(const BindingTable& left, const BindingTable& right,
+                        ExecStats* stats, QueryContext* ctx = nullptr);
+
+/// Keeps rows satisfying `expr` under SPARQL three-valued semantics
+/// (errors drop the row). Terms are interpreted against `dict`.
+BindingTable FilterByExpr(const BindingTable& in, const FilterExpr& expr,
+                          const Dictionary& dict, ExecStats* stats,
+                          QueryContext* ctx = nullptr);
+
+/// Stable sort by `keys` (ASC/DESC per key) in the content-defined term
+/// order of exec/expr.h, with the full row (by id) as a final tie-break —
+/// so every engine emits the same sequence regardless of its internal row
+/// order. Pipeline breaker: the permutation and rank table are charged to
+/// the memory budget.
+BindingTable OrderBy(const BindingTable& in, const std::vector<OrderKey>& keys,
+                     const Dictionary& dict, ExecStats* stats,
+                     QueryContext* ctx = nullptr);
+
+/// GROUP BY + COUNT aggregation. Output schema: the grouping variables
+/// then one column per aggregate, whose counts bind to value-tagged ids
+/// (rdf/triple.h). With no grouping variables the whole input is one
+/// group and an empty input yields the SPARQL-mandated single zero row;
+/// with grouping variables an empty input yields no rows. COUNT(?v)
+/// counts rows where ?v is bound; DISTINCT deduplicates the counted
+/// values (or whole rows for COUNT(DISTINCT *)).
+BindingTable GroupCount(const BindingTable& in,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<Aggregate>& aggregates,
+                        ExecStats* stats, QueryContext* ctx = nullptr);
 
 }  // namespace axon
 

@@ -25,6 +25,24 @@ struct PropOrdinalTag {};
 using TermId = StrongId<TermIdTag>;
 inline constexpr TermId kInvalidId{0};
 
+/// Aggregate outputs (COUNT) bind variables to integers that need not
+/// exist in the dictionary, which is immutable during query execution.
+/// Ids with the top bit set encode a non-negative integer value directly;
+/// the rendering layers (results_io, Database::Render) turn them back
+/// into xsd:integer literals. Dictionary ids are dense from 1 and never
+/// reach the tag bit in practice (2^31 - 1 distinct terms).
+inline constexpr uint32_t kValueIdTag = 0x80000000u;
+
+inline constexpr TermId MakeValueId(uint32_t v) {
+  return TermId(kValueIdTag | v);
+}
+inline constexpr bool IsValueId(TermId id) {
+  return (id.value() & kValueIdTag) != 0;
+}
+inline constexpr uint32_t ValueIdPayload(TermId id) {
+  return id.value() & ~kValueIdTag;
+}
+
 /// Characteristic-set id. kNoCs marks subjects whose CS has not been
 /// assigned yet, and objects with no outgoing edges ("empty CS").
 using CsId = StrongId<CsIdTag>;

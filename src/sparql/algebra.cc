@@ -1,6 +1,7 @@
 #include "sparql/algebra.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace axon {
 
@@ -12,24 +13,182 @@ std::string TriplePattern::ToString() const {
   return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
 }
 
+// --------------------------------------------------------- FilterExpr
+
+FilterExpr FilterExpr::Variable(std::string name) {
+  FilterExpr e;
+  e.op = FilterOp::kVar;
+  e.var = std::move(name);
+  return e;
+}
+
+FilterExpr FilterExpr::Constant(Term t) {
+  FilterExpr e;
+  e.op = FilterOp::kConst;
+  e.value = std::move(t);
+  return e;
+}
+
+FilterExpr FilterExpr::Bound(std::string name) {
+  FilterExpr e;
+  e.op = FilterOp::kBound;
+  e.var = std::move(name);
+  return e;
+}
+
+FilterExpr FilterExpr::Unary(FilterOp o, FilterExpr a) {
+  FilterExpr e;
+  e.op = o;
+  e.args.push_back(std::move(a));
+  return e;
+}
+
+FilterExpr FilterExpr::Binary(FilterOp o, FilterExpr a, FilterExpr b) {
+  FilterExpr e;
+  e.op = o;
+  e.args.push_back(std::move(a));
+  e.args.push_back(std::move(b));
+  return e;
+}
+
+bool FilterExpr::operator==(const FilterExpr& other) const {
+  return op == other.op && var == other.var && value == other.value &&
+         args == other.args;
+}
+
+void FilterExpr::CollectVars(std::vector<std::string>* out) const {
+  if (op == FilterOp::kVar || op == FilterOp::kBound) {
+    if (std::find(out->begin(), out->end(), var) == out->end()) {
+      out->push_back(var);
+    }
+  }
+  for (const FilterExpr& a : args) a.CollectVars(out);
+}
+
+namespace {
+const char* FilterOpSymbol(FilterOp op) {
+  switch (op) {
+    case FilterOp::kEq:
+      return "=";
+    case FilterOp::kNe:
+      return "!=";
+    case FilterOp::kLt:
+      return "<";
+    case FilterOp::kLe:
+      return "<=";
+    case FilterOp::kGt:
+      return ">";
+    case FilterOp::kGe:
+      return ">=";
+    case FilterOp::kAnd:
+      return "&&";
+    case FilterOp::kOr:
+      return "||";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+std::string FilterExpr::ToString() const {
+  switch (op) {
+    case FilterOp::kVar:
+      return "?" + var;
+    case FilterOp::kConst:
+      return value.Canonical();
+    case FilterOp::kBound:
+      return "bound(?" + var + ")";
+    case FilterOp::kNot:
+      return "!(" + (args.empty() ? std::string() : args[0].ToString()) + ")";
+    default: {
+      std::string l = args.size() > 0 ? args[0].ToString() : std::string();
+      std::string r = args.size() > 1 ? args[1].ToString() : std::string();
+      return "(" + l + " " + FilterOpSymbol(op) + " " + r + ")";
+    }
+  }
+}
+
+// ------------------------------------------------------- GroupPattern
+
+bool GroupPattern::IsSimpleBgp() const {
+  return filters.empty() && optionals.empty() && unions.empty();
+}
+
+namespace {
+void AddVar(std::vector<std::string>* out, const PatternTerm& t) {
+  if (t.is_variable &&
+      std::find(out->begin(), out->end(), t.var) == out->end()) {
+    out->push_back(t.var);
+  }
+}
+}  // namespace
+
+void GroupPattern::CollectVars(std::vector<std::string>* out) const {
+  for (const TriplePattern& tp : patterns) {
+    AddVar(out, tp.s);
+    AddVar(out, tp.p);
+    AddVar(out, tp.o);
+  }
+  for (const UnionBlock& u : unions) {
+    for (const GroupPattern& b : u.branches) b.CollectVars(out);
+  }
+  for (const GroupPattern& opt : optionals) opt.CollectVars(out);
+}
+
+std::string GroupPattern::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s;
+  for (const TriplePattern& tp : patterns) {
+    s += pad + tp.ToString() + "\n";
+  }
+  for (const UnionBlock& u : unions) {
+    for (size_t i = 0; i < u.branches.size(); ++i) {
+      if (i > 0) s += pad + "UNION\n";
+      s += pad + "{\n" + u.branches[i].ToString(indent + 1) + pad + "}\n";
+    }
+  }
+  for (const GroupPattern& opt : optionals) {
+    s += pad + "OPTIONAL {\n" + opt.ToString(indent + 1) + pad + "}\n";
+  }
+  for (const EqualityFilter& f : eq_filters) {
+    s += pad + "FILTER(?" + f.var + " = " + f.value.Canonical() + ")\n";
+  }
+  for (const FilterExpr& f : filters) {
+    s += pad + "FILTER(" + f.ToString() + ")\n";
+  }
+  return s;
+}
+
+// -------------------------------------------------------- SelectQuery
+
 std::vector<std::string> SelectQuery::Variables() const {
   std::vector<std::string> out;
-  auto add = [&out](const PatternTerm& t) {
-    if (t.is_variable &&
-        std::find(out.begin(), out.end(), t.var) == out.end()) {
-      out.push_back(t.var);
-    }
-  };
   for (const TriplePattern& tp : patterns) {
-    add(tp.s);
-    add(tp.p);
-    add(tp.o);
+    AddVar(&out, tp.s);
+    AddVar(&out, tp.p);
+    AddVar(&out, tp.o);
   }
+  for (const UnionBlock& u : unions) {
+    for (const GroupPattern& b : u.branches) b.CollectVars(&out);
+  }
+  for (const GroupPattern& opt : optionals) opt.CollectVars(&out);
   return out;
 }
 
 std::vector<std::string> SelectQuery::EffectiveProjection() const {
-  return projection.empty() ? Variables() : projection;
+  if (!projection.empty()) return projection;
+  if (!aggregates.empty()) {
+    // SELECT * with aggregation projects the grouping keys then the
+    // aggregate outputs.
+    std::vector<std::string> out = group_by;
+    for (const Aggregate& a : aggregates) {
+      if (std::find(out.begin(), out.end(), a.as) == out.end()) {
+        out.push_back(a.as);
+      }
+    }
+    return out;
+  }
+  return Variables();
 }
 
 std::string SelectQuery::ToString() const {
@@ -40,18 +199,42 @@ std::string SelectQuery::ToString() const {
   } else {
     for (size_t i = 0; i < projection.size(); ++i) {
       if (i > 0) s += " ";
-      s += "?" + projection[i];
+      bool is_agg = false;
+      for (const Aggregate& a : aggregates) {
+        if (a.as == projection[i]) {
+          s += "(COUNT(";
+          if (a.distinct) s += "DISTINCT ";
+          s += a.var.empty() ? "*" : "?" + a.var;
+          s += ") AS ?" + a.as + ")";
+          is_agg = true;
+          break;
+        }
+      }
+      if (!is_agg) s += "?" + projection[i];
     }
   }
   s += " WHERE {\n";
-  for (const TriplePattern& tp : patterns) {
-    s += "  " + tp.ToString() + "\n";
-  }
-  for (const EqualityFilter& f : filters) {
-    s += "  FILTER(?" + f.var + " = " + f.value.Canonical() + ")\n";
-  }
+  GroupPattern top;
+  top.patterns = patterns;
+  top.eq_filters = filters;
+  top.filters = expr_filters;
+  top.optionals = optionals;
+  top.unions = unions;
+  s += top.ToString(1);
   s += "}";
+  if (!group_by.empty()) {
+    s += " GROUP BY";
+    for (const std::string& v : group_by) s += " ?" + v;
+  }
+  if (!order_by.empty()) {
+    s += " ORDER BY";
+    for (const OrderKey& k : order_by) {
+      s += k.ascending ? " ASC(?" : " DESC(?";
+      s += k.var + ")";
+    }
+  }
   if (limit.has_value()) s += " LIMIT " + std::to_string(*limit);
+  if (offset > 0) s += " OFFSET " + std::to_string(offset);
   return s;
 }
 

@@ -1,7 +1,11 @@
-// Query algebra for the conjunctive SPARQL fragment axonDB supports
-// (Sec. V.A: "axonDB only supports conjunctive SPARQL queries with
-// equi-joins"): a basic graph pattern of triple patterns, simple equality
-// filters, optional DISTINCT/LIMIT.
+// Query algebra for the SPARQL fragment axonDB supports. The core of the
+// paper (Sec. V.A: "axonDB only supports conjunctive SPARQL queries with
+// equi-joins") is the conjunctive part — a basic graph pattern of triple
+// patterns plus simple equality filters — and every index structure keys
+// off that. On top of it the algebra now carries the composition layer:
+// OPTIONAL (left outer join), UNION, general FILTER expressions
+// (comparisons, &&/||/!, bound), GROUP BY / COUNT aggregation, ORDER BY,
+// OFFSET — evaluated by src/exec/extended_eval.* over conjunctive leaves.
 
 #ifndef AXON_SPARQL_ALGEBRA_H_
 #define AXON_SPARQL_ALGEBRA_H_
@@ -53,7 +57,9 @@ struct TriplePattern {
   std::string ToString() const;
 };
 
-/// FILTER(?var = <term>) — the only filter form of the supported fragment.
+/// FILTER(?var = <term>) — the filter form of the conjunctive fragment,
+/// kept distinct from FilterExpr because the engines push it into index
+/// lookups (bound-object restriction on star retrieval).
 struct EqualityFilter {
   std::string var;
   Term value;
@@ -63,19 +69,130 @@ struct EqualityFilter {
   }
 };
 
+/// Node kinds of a general FILTER expression tree. Leaves are kVar/kConst;
+/// comparisons and logical connectives have their operands in `args`.
+enum class FilterOp {
+  kVar,    // leaf: variable reference
+  kConst,  // leaf: RDF term constant
+  kEq,     // =
+  kNe,     // !=
+  kLt,     // <
+  kLe,     // <=
+  kGt,     // >
+  kGe,     // >=
+  kAnd,    // &&
+  kOr,     // ||
+  kNot,    // !
+  kBound,  // bound(?v)
+};
+
+/// Recursive FILTER expression. Evaluation is SPARQL's three-valued logic:
+/// comparisons touching an unbound variable are errors, errors behave as
+/// false at the row level but short-circuit correctly through &&/|| (see
+/// exec/expr.h).
+struct FilterExpr {
+  FilterOp op = FilterOp::kConst;
+  std::string var;               // kVar / kBound
+  Term value;                    // kConst
+  std::vector<FilterExpr> args;  // operands of interior nodes
+
+  static FilterExpr Variable(std::string name);
+  static FilterExpr Constant(Term t);
+  static FilterExpr Bound(std::string name);
+  static FilterExpr Unary(FilterOp o, FilterExpr a);
+  static FilterExpr Binary(FilterOp o, FilterExpr a, FilterExpr b);
+
+  bool operator==(const FilterExpr& other) const;
+
+  void CollectVars(std::vector<std::string>* out) const;
+  std::string ToString() const;
+};
+
+struct UnionBlock;  // a GroupPattern may hold UNION blocks (defined below)
+
+/// A group graph pattern: a conjunctive BGP plus the group's filters and
+/// any nested OPTIONAL / UNION sub-groups. The top level of a SelectQuery
+/// is itself (a flattened view of) a GroupPattern.
+struct GroupPattern {
+  std::vector<TriplePattern> patterns;
+  std::vector<EqualityFilter> eq_filters;
+  std::vector<FilterExpr> filters;
+  std::vector<GroupPattern> optionals;
+  std::vector<UnionBlock> unions;
+
+  /// True when the group is a bare BGP (+equality filters): exactly the
+  /// fragment the index-backed engines evaluate natively.
+  bool IsSimpleBgp() const;
+
+  void CollectVars(std::vector<std::string>* out) const;
+  std::string ToString(int indent) const;
+};
+
+/// `{ A } UNION { B } UNION ...` — two or more alternative groups. A block
+/// with a single branch is a plain braced sub-group (group join).
+struct UnionBlock {
+  std::vector<GroupPattern> branches;
+};
+
+/// One ORDER BY key; keys are plain variables, optionally wrapped in
+/// ASC()/DESC().
+struct OrderKey {
+  std::string var;
+  bool ascending = true;
+
+  bool operator==(const OrderKey& other) const {
+    return var == other.var && ascending == other.ascending;
+  }
+};
+
+/// `(COUNT(?v) AS ?out)` / `(COUNT(*) AS ?out)`, optionally DISTINCT.
+struct Aggregate {
+  enum class Kind { kCount };
+  Kind kind = Kind::kCount;
+  bool distinct = false;
+  std::string var;  // argument variable; empty means COUNT(*)
+  std::string as;   // output variable name
+
+  bool operator==(const Aggregate& other) const {
+    return kind == other.kind && distinct == other.distinct &&
+           var == other.var && as == other.as;
+  }
+};
+
 struct SelectQuery {
   bool distinct = false;
-  /// Projected variable names; empty means SELECT *.
+  /// Projected variable names; empty means SELECT *. For aggregate queries
+  /// this includes the aggregate output names.
   std::vector<std::string> projection;
   std::vector<TriplePattern> patterns;
   std::vector<EqualityFilter> filters;
   std::optional<uint64_t> limit;
 
-  /// All distinct variable names, in first-appearance order across
-  /// patterns (S, P, O within each pattern).
+  // ----- composition-layer surface (empty on conjunctive queries) -----
+  std::vector<FilterExpr> expr_filters;
+  std::vector<GroupPattern> optionals;
+  std::vector<UnionBlock> unions;
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  std::vector<OrderKey> order_by;
+  uint64_t offset = 0;
+
+  /// True when the query is in the conjunctive fragment the index-backed
+  /// engines evaluate natively (BGP + equality filters + DISTINCT/LIMIT);
+  /// anything else routes through the composition evaluator.
+  bool IsConjunctive() const {
+    return expr_filters.empty() && optionals.empty() && unions.empty() &&
+           group_by.empty() && aggregates.empty() && order_by.empty() &&
+           offset == 0;
+  }
+
+  /// All distinct variable names, in first-appearance order across the
+  /// top-level patterns (S, P, O within each pattern), then nested UNION
+  /// and OPTIONAL groups.
   std::vector<std::string> Variables() const;
 
-  /// The effective projection: `projection`, or Variables() for SELECT *.
+  /// The effective projection: `projection`, or for SELECT * the pattern
+  /// variables (plus aggregate outputs when aggregating).
   std::vector<std::string> EffectiveProjection() const;
 
   std::string ToString() const;

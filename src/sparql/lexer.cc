@@ -12,7 +12,10 @@ namespace {
 bool IsKeywordWord(const std::string& upper) {
   return upper == "SELECT" || upper == "WHERE" || upper == "PREFIX" ||
          upper == "DISTINCT" || upper == "FILTER" || upper == "LIMIT" ||
-         upper == "ASK";
+         upper == "ASK" || upper == "OPTIONAL" || upper == "UNION" ||
+         upper == "ORDER" || upper == "BY" || upper == "ASC" ||
+         upper == "DESC" || upper == "OFFSET" || upper == "GROUP" ||
+         upper == "COUNT" || upper == "AS" || upper == "BOUND";
 }
 
 bool IsPnameChar(char c) {
@@ -52,13 +55,57 @@ Result<std::vector<Token>> TokenizeSparql(std::string_view text) {
       continue;
     }
     if (c == '<') {
-      size_t end = text.find('>', i);
-      if (end == std::string_view::npos) {
-        return LexError(line, "unterminated IRI");
+      // '<' opens an IRI ref but is also the less-than operator in FILTER
+      // expressions. It is an IRI only when a '>' closes it before any
+      // character that cannot appear inside an IRI ref (whitespace, quotes,
+      // braces, a second '<').
+      size_t j = i + 1;
+      while (j < n && text[j] != '>' && text[j] != '<' && text[j] != '"' &&
+             text[j] != '{' && text[j] != '}' &&
+             !std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
       }
-      push(TokenKind::kIriRef, std::string(text.substr(i + 1, end - i - 1)));
-      i = end + 1;
+      if (j < n && text[j] == '>') {
+        push(TokenKind::kIriRef, std::string(text.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        continue;
+      }
+      if (i + 1 < n && text[i + 1] == '=') {
+        push(TokenKind::kPunct, "<=");
+        i += 2;
+      } else {
+        push(TokenKind::kPunct, "<");
+        ++i;
+      }
       continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        push(TokenKind::kPunct, ">=");
+        i += 2;
+      } else {
+        push(TokenKind::kPunct, ">");
+        ++i;
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        push(TokenKind::kPunct, "!=");
+        i += 2;
+      } else {
+        push(TokenKind::kPunct, "!");
+        ++i;
+      }
+      continue;
+    }
+    if (c == '&' || c == '|') {
+      if (i + 1 < n && text[i + 1] == c) {
+        push(TokenKind::kPunct, std::string(2, c));
+        i += 2;
+        continue;
+      }
+      return LexError(line, std::string("expected '") + c + c + "'");
     }
     if (c == '?' || c == '$') {
       size_t end = i + 1;

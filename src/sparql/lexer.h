@@ -12,14 +12,14 @@
 namespace axon {
 
 enum class TokenKind {
-  kKeyword,   // SELECT, WHERE, PREFIX, DISTINCT, FILTER, LIMIT (upper-cased)
+  kKeyword,   // SELECT, WHERE, OPTIONAL, UNION, ORDER, ... (upper-cased)
   kVariable,  // ?name / $name (value excludes the sigil)
   kIriRef,    // <...> (value excludes the angle brackets)
   kPname,     // prefix:local or prefix: (value is the raw text)
   kA,         // the 'a' shorthand for rdf:type
   kString,    // "..." with optional @lang / ^^<iri>, value = canonical form
   kInteger,   // bare integer literal
-  kPunct,     // { } . ; , ( ) = *
+  kPunct,     // { } . ; , ( ) = * plus the operators != < <= > >= ! && ||
   kEof,
 };
 
@@ -31,6 +31,10 @@ struct Token {
   bool Is(TokenKind k) const { return kind == k; }
   bool IsPunct(char c) const {
     return kind == TokenKind::kPunct && value.size() == 1 && value[0] == c;
+  }
+  /// Multi-character punctuation/operators ("<=", "&&", ...).
+  bool IsPunctStr(std::string_view s) const {
+    return kind == TokenKind::kPunct && value == s;
   }
   bool IsKeyword(std::string_view kw) const {
     return kind == TokenKind::kKeyword && value == kw;

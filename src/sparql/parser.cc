@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "sparql/lexer.h"
 
@@ -10,6 +11,10 @@ namespace axon {
 namespace {
 
 constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+// Nesting bound for groups and parenthesized filter expressions; protects
+// the recursive descent from fuzzer-generated `{{{{...` stacks.
+constexpr int kMaxDepth = 64;
 
 class Parser {
  public:
@@ -26,41 +31,23 @@ class Parser {
       q.distinct = true;
       Advance();
     }
-    if (Peek().IsPunct('*')) {
-      Advance();
-    } else {
-      while (Peek().Is(TokenKind::kVariable)) {
-        q.projection.push_back(Peek().value);
-        Advance();
-      }
-      if (q.projection.empty()) {
-        return Error("expected projection variables or *");
-      }
-    }
+    AXON_RETURN_NOT_OK(ParseSelectItems(&q));
     if (!Peek().IsKeyword("WHERE")) return Error("expected WHERE");
     Advance();
     if (!Peek().IsPunct('{')) return Error("expected '{'");
     Advance();
-    AXON_RETURN_NOT_OK(ParseBlock(&q));
+    auto top = ParseGroup();
+    if (!top.ok()) return top.status();
     if (!Peek().IsPunct('}')) return Error("expected '}'");
     Advance();
-    if (Peek().IsKeyword("LIMIT")) {
-      Advance();
-      if (!Peek().Is(TokenKind::kInteger)) {
-        return Error("expected integer after LIMIT");
-      }
-      q.limit = std::stoull(Peek().value);
-      Advance();
-    }
+    q.patterns = std::move(top.value().patterns);
+    q.filters = std::move(top.value().eq_filters);
+    q.expr_filters = std::move(top.value().filters);
+    q.optionals = std::move(top.value().optionals);
+    q.unions = std::move(top.value().unions);
+    AXON_RETURN_NOT_OK(ParseModifiers(&q));
     if (!Peek().Is(TokenKind::kEof)) return Error("trailing tokens");
-    // Validate that projected variables occur in the pattern.
-    auto vars = q.Variables();
-    for (const std::string& v : q.projection) {
-      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
-        return Status::ParseError("projected variable ?" + v +
-                                  " not used in the pattern");
-      }
-    }
+    AXON_RETURN_NOT_OK(Validate(q));
     return q;
   }
 
@@ -73,6 +60,14 @@ class Parser {
   Status Error(const std::string& msg) const {
     return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
                               msg + " (found '" + Peek().value + "')");
+  }
+
+  Status Expect(char c, const std::string& what) {
+    if (!Peek().IsPunct(c)) {
+      return Error("expected '" + std::string(1, c) + "' " + what);
+    }
+    Advance();
+    return Status::OK();
   }
 
   Status ParsePrologue() {
@@ -91,6 +86,58 @@ class Parser {
       }
       prefixes_[pname.substr(0, pname.size() - 1)] = Peek().value;
       Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectItems(SelectQuery* q) {
+    if (Peek().IsPunct('*')) {
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      if (Peek().Is(TokenKind::kVariable)) {
+        q->projection.push_back(Peek().value);
+        Advance();
+        continue;
+      }
+      if (Peek().IsPunct('(')) {
+        Advance();
+        if (!Peek().IsKeyword("COUNT")) {
+          return Error("expected COUNT in aggregate select item");
+        }
+        Advance();
+        AXON_RETURN_NOT_OK(Expect('(', "after COUNT"));
+        Aggregate a;
+        if (Peek().IsKeyword("DISTINCT")) {
+          a.distinct = true;
+          Advance();
+        }
+        if (Peek().IsPunct('*')) {
+          Advance();
+        } else if (Peek().Is(TokenKind::kVariable)) {
+          a.var = Peek().value;
+          Advance();
+        } else {
+          return Error("expected ?var or * inside COUNT");
+        }
+        AXON_RETURN_NOT_OK(Expect(')', "closing COUNT"));
+        if (!Peek().IsKeyword("AS")) return Error("expected AS in aggregate");
+        Advance();
+        if (!Peek().Is(TokenKind::kVariable)) {
+          return Error("expected output variable after AS");
+        }
+        a.as = Peek().value;
+        Advance();
+        AXON_RETURN_NOT_OK(Expect(')', "closing aggregate select item"));
+        q->projection.push_back(a.as);
+        q->aggregates.push_back(std::move(a));
+        continue;
+      }
+      break;
+    }
+    if (q->projection.empty()) {
+      return Error("expected projection variables or *");
     }
     return Status::OK();
   }
@@ -147,29 +194,139 @@ class Parser {
     }
   }
 
-  Status ParseFilter(SelectQuery* q) {
-    Advance();  // FILTER
-    if (!Peek().IsPunct('(')) return Error("expected '(' after FILTER");
-    Advance();
+  // ------------------------------------------------ filter expressions
+
+  Result<FilterExpr> ParseBoundCall() {
+    Advance();  // BOUND
+    AXON_RETURN_NOT_OK(Expect('(', "after bound"));
     if (!Peek().Is(TokenKind::kVariable)) {
-      return Error("FILTER supports only ?var = term");
+      return Error("expected variable inside bound()");
     }
     std::string var = Peek().value;
     Advance();
-    if (!Peek().IsPunct('=')) return Error("expected '=' in FILTER");
-    Advance();
-    auto value = ParseTerm();
-    if (!value.ok()) return value.status();
-    if (value.value().is_variable) {
-      return Error("FILTER right-hand side must be a constant");
+    AXON_RETURN_NOT_OK(Expect(')', "closing bound()"));
+    return FilterExpr::Bound(std::move(var));
+  }
+
+  Result<FilterExpr> ParsePrimaryExpr() {
+    if (Peek().IsPunct('(')) {
+      if (++depth_ > kMaxDepth) return Error("expression nesting too deep");
+      Advance();
+      auto e = ParseExpr();
+      --depth_;
+      if (!e.ok()) return e;
+      AXON_RETURN_NOT_OK(Expect(')', "closing expression"));
+      return e;
     }
-    if (!Peek().IsPunct(')')) return Error("expected ')' closing FILTER");
+    if (Peek().IsKeyword("BOUND")) return ParseBoundCall();
+    auto term = ParseTerm();
+    if (!term.ok()) return term.status();
+    if (term.value().is_variable) {
+      return FilterExpr::Variable(std::move(term.value().var));
+    }
+    return FilterExpr::Constant(std::move(term.value().term));
+  }
+
+  Result<FilterExpr> ParseUnaryExpr() {
+    if (Peek().IsPunctStr("!")) {
+      if (++depth_ > kMaxDepth) return Error("expression nesting too deep");
+      Advance();
+      auto e = ParseUnaryExpr();
+      --depth_;
+      if (!e.ok()) return e;
+      return FilterExpr::Unary(FilterOp::kNot, std::move(e).ValueOrDie());
+    }
+    return ParsePrimaryExpr();
+  }
+
+  bool PeekRelOp(FilterOp* op) const {
+    const Token& t = Peek();
+    if (t.IsPunct('=')) {
+      *op = FilterOp::kEq;
+    } else if (t.IsPunctStr("!=")) {
+      *op = FilterOp::kNe;
+    } else if (t.IsPunct('<')) {
+      *op = FilterOp::kLt;
+    } else if (t.IsPunctStr("<=")) {
+      *op = FilterOp::kLe;
+    } else if (t.IsPunctStr(">")) {
+      *op = FilterOp::kGt;
+    } else if (t.IsPunctStr(">=")) {
+      *op = FilterOp::kGe;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  Result<FilterExpr> ParseRelationalExpr() {
+    auto lhs = ParseUnaryExpr();
+    if (!lhs.ok()) return lhs;
+    FilterOp op;
+    if (!PeekRelOp(&op)) return lhs;
     Advance();
-    q->filters.push_back(EqualityFilter{std::move(var), value.value().term});
+    auto rhs = ParseUnaryExpr();
+    if (!rhs.ok()) return rhs;
+    return FilterExpr::Binary(op, std::move(lhs).ValueOrDie(),
+                              std::move(rhs).ValueOrDie());
+  }
+
+  Result<FilterExpr> ParseAndExpr() {
+    auto e = ParseRelationalExpr();
+    if (!e.ok()) return e;
+    while (Peek().IsPunctStr("&&")) {
+      Advance();
+      auto rhs = ParseRelationalExpr();
+      if (!rhs.ok()) return rhs;
+      e = FilterExpr::Binary(FilterOp::kAnd, std::move(e).ValueOrDie(),
+                             std::move(rhs).ValueOrDie());
+    }
+    return e;
+  }
+
+  Result<FilterExpr> ParseExpr() {
+    auto e = ParseAndExpr();
+    if (!e.ok()) return e;
+    while (Peek().IsPunctStr("||")) {
+      Advance();
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs;
+      e = FilterExpr::Binary(FilterOp::kOr, std::move(e).ValueOrDie(),
+                             std::move(rhs).ValueOrDie());
+    }
+    return e;
+  }
+
+  Status ParseFilter(GroupPattern* g) {
+    Advance();  // FILTER
+    FilterExpr expr;
+    if (Peek().IsKeyword("BOUND")) {
+      auto e = ParseBoundCall();
+      if (!e.ok()) return e.status();
+      expr = std::move(e).ValueOrDie();
+    } else {
+      AXON_RETURN_NOT_OK(Expect('(', "after FILTER"));
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      AXON_RETURN_NOT_OK(Expect(')', "closing FILTER"));
+      expr = std::move(e).ValueOrDie();
+    }
+    // The legacy `?var = constant` shape stays an EqualityFilter so the
+    // index-backed engines can keep pushing it into retrieval.
+    if (expr.op == FilterOp::kEq && expr.args.size() == 2 &&
+        expr.args[0].op == FilterOp::kVar &&
+        expr.args[1].op == FilterOp::kConst) {
+      g->eq_filters.push_back(EqualityFilter{std::move(expr.args[0].var),
+                                             std::move(expr.args[1].value)});
+    } else {
+      g->filters.push_back(std::move(expr));
+    }
     return Status::OK();
   }
 
-  Status ParseTriples(SelectQuery* q) {
+  // --------------------------------------------------- graph patterns
+
+  Status ParseTriples(GroupPattern* g) {
     auto subject = ParseTerm();
     if (!subject.ok()) return subject.status();
     while (true) {
@@ -181,7 +338,7 @@ class Parser {
       while (true) {
         auto object = ParseTerm();
         if (!object.ok()) return object.status();
-        q->patterns.push_back(TriplePattern{
+        g->patterns.push_back(TriplePattern{
             subject.value(), predicate.value(), object.value()});
         if (Peek().IsPunct(',')) {
           Advance();
@@ -201,12 +358,168 @@ class Parser {
     return Status::OK();
   }
 
-  Status ParseBlock(SelectQuery* q) {
+  Result<GroupPattern> ParseBracedGroup() {
+    if (++depth_ > kMaxDepth) return Error("group nesting too deep");
+    AXON_RETURN_NOT_OK(Expect('{', "opening group"));
+    auto g = ParseGroup();
+    --depth_;
+    if (!g.ok()) return g;
+    AXON_RETURN_NOT_OK(Expect('}', "closing group"));
+    return g;
+  }
+
+  Result<GroupPattern> ParseGroup() {
+    GroupPattern g;
     while (!Peek().IsPunct('}') && !Peek().Is(TokenKind::kEof)) {
       if (Peek().IsKeyword("FILTER")) {
-        AXON_RETURN_NOT_OK(ParseFilter(q));
+        AXON_RETURN_NOT_OK(ParseFilter(&g));
+      } else if (Peek().IsKeyword("OPTIONAL")) {
+        Advance();
+        auto sub = ParseBracedGroup();
+        if (!sub.ok()) return sub.status();
+        g.optionals.push_back(std::move(sub).ValueOrDie());
+        if (Peek().IsPunct('.')) Advance();
+      } else if (Peek().IsPunct('{')) {
+        UnionBlock block;
+        auto first = ParseBracedGroup();
+        if (!first.ok()) return first.status();
+        block.branches.push_back(std::move(first).ValueOrDie());
+        while (Peek().IsKeyword("UNION")) {
+          Advance();
+          auto branch = ParseBracedGroup();
+          if (!branch.ok()) return branch.status();
+          block.branches.push_back(std::move(branch).ValueOrDie());
+        }
+        g.unions.push_back(std::move(block));
+        if (Peek().IsPunct('.')) Advance();
       } else {
-        AXON_RETURN_NOT_OK(ParseTriples(q));
+        AXON_RETURN_NOT_OK(ParseTriples(&g));
+      }
+    }
+    if (g.patterns.empty() && g.unions.empty() && g.optionals.empty()) {
+      return Error("empty group pattern");
+    }
+    return g;
+  }
+
+  // -------------------------------------------------- solution modifiers
+
+  Status ParseModifiers(SelectQuery* q) {
+    while (!Peek().Is(TokenKind::kEof)) {
+      if (Peek().IsKeyword("GROUP")) {
+        if (!q->group_by.empty()) return Error("duplicate GROUP BY");
+        Advance();
+        if (!Peek().IsKeyword("BY")) return Error("expected BY after GROUP");
+        Advance();
+        while (Peek().Is(TokenKind::kVariable)) {
+          q->group_by.push_back(Peek().value);
+          Advance();
+        }
+        if (q->group_by.empty()) {
+          return Error("expected variables after GROUP BY");
+        }
+      } else if (Peek().IsKeyword("ORDER")) {
+        if (!q->order_by.empty()) return Error("duplicate ORDER BY");
+        Advance();
+        if (!Peek().IsKeyword("BY")) return Error("expected BY after ORDER");
+        Advance();
+        while (true) {
+          OrderKey key;
+          if (Peek().IsKeyword("ASC") || Peek().IsKeyword("DESC")) {
+            key.ascending = Peek().IsKeyword("ASC");
+            Advance();
+            AXON_RETURN_NOT_OK(Expect('(', "after ASC/DESC"));
+            if (!Peek().Is(TokenKind::kVariable)) {
+              return Error("expected variable in ASC/DESC()");
+            }
+            key.var = Peek().value;
+            Advance();
+            AXON_RETURN_NOT_OK(Expect(')', "closing ASC/DESC"));
+          } else if (Peek().Is(TokenKind::kVariable)) {
+            key.var = Peek().value;
+            Advance();
+          } else {
+            break;
+          }
+          q->order_by.push_back(std::move(key));
+        }
+        if (q->order_by.empty()) {
+          return Error("expected sort keys after ORDER BY");
+        }
+      } else if (Peek().IsKeyword("LIMIT")) {
+        if (q->limit.has_value()) return Error("duplicate LIMIT");
+        Advance();
+        if (!Peek().Is(TokenKind::kInteger)) {
+          return Error("expected integer after LIMIT");
+        }
+        q->limit = std::stoull(Peek().value);
+        Advance();
+      } else if (Peek().IsKeyword("OFFSET")) {
+        if (q->offset > 0) return Error("duplicate OFFSET");
+        Advance();
+        if (!Peek().Is(TokenKind::kInteger)) {
+          return Error("expected integer after OFFSET");
+        }
+        q->offset = std::stoull(Peek().value);
+        Advance();
+      } else {
+        return Error("trailing tokens");
+      }
+    }
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------- validation
+
+  Status Validate(const SelectQuery& q) const {
+    const std::vector<std::string> vars = q.Variables();
+    auto is_pattern_var = [&vars](const std::string& v) {
+      return std::find(vars.begin(), vars.end(), v) != vars.end();
+    };
+    auto is_aggregate_out = [&q](const std::string& v) {
+      for (const Aggregate& a : q.aggregates) {
+        if (a.as == v) return true;
+      }
+      return false;
+    };
+    const bool aggregating = !q.aggregates.empty() || !q.group_by.empty();
+    for (const std::string& v : q.group_by) {
+      if (!is_pattern_var(v)) {
+        return Status::ParseError("GROUP BY variable ?" + v +
+                                  " not used in the pattern");
+      }
+    }
+    for (const Aggregate& a : q.aggregates) {
+      if (!a.var.empty() && !is_pattern_var(a.var)) {
+        return Status::ParseError("aggregated variable ?" + a.var +
+                                  " not used in the pattern");
+      }
+      if (is_pattern_var(a.as)) {
+        return Status::ParseError("aggregate output ?" + a.as +
+                                  " clashes with a pattern variable");
+      }
+    }
+    for (const std::string& v : q.projection) {
+      if (is_aggregate_out(v)) continue;
+      if (!is_pattern_var(v)) {
+        return Status::ParseError("projected variable ?" + v +
+                                  " not used in the pattern");
+      }
+      if (aggregating &&
+          std::find(q.group_by.begin(), q.group_by.end(), v) ==
+              q.group_by.end()) {
+        return Status::ParseError("projected variable ?" + v +
+                                  " is neither grouped nor aggregated");
+      }
+    }
+    for (const OrderKey& k : q.order_by) {
+      bool ok = aggregating ? (is_aggregate_out(k.var) ||
+                               std::find(q.group_by.begin(), q.group_by.end(),
+                                         k.var) != q.group_by.end())
+                            : is_pattern_var(k.var);
+      if (!ok) {
+        return Status::ParseError("ORDER BY variable ?" + k.var +
+                                  " not available in this query");
       }
     }
     return Status::OK();
@@ -214,6 +527,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::map<std::string, std::string> prefixes_;
 };
 

@@ -1,16 +1,26 @@
 // Recursive-descent parser for the supported SPARQL fragment:
 //
-//   query     := prologue SELECT [DISTINCT] (var+ | '*') WHERE '{' block '}'
-//                [LIMIT int]
+//   query     := prologue SELECT [DISTINCT] selectItems WHERE '{' group '}'
+//                modifiers
+//   selectItems := '*' | (var | '(' COUNT '(' [DISTINCT] (var|'*') ')'
+//                          AS var ')')+
 //   prologue  := (PREFIX pname: <iri>)*
-//   block     := (triples | filter)*
+//   group     := (triples | filter | OPTIONAL '{' group '}'
+//                 | '{' group '}' (UNION '{' group '}')*)*
 //   triples   := subject propertyList '.'
 //   propertyList := verb objectList (';' verb objectList)*
 //   objectList   := object (',' object)*
-//   filter    := FILTER '(' var '=' term ')'
+//   filter    := FILTER '(' expr ')' | FILTER BOUND '(' var ')'
+//   expr      := or-expr over comparisons (= != < <= > >=), && || !,
+//                bound(?v), variables and constants
+//   modifiers := (GROUP BY var+ | ORDER BY orderKey+ | LIMIT int
+//                 | OFFSET int)*
+//   orderKey  := var | ASC '(' var ')' | DESC '(' var ')'
 //
 // Prefixed names are expanded against the declared prefixes; the 'a'
-// keyword expands to rdf:type.
+// keyword expands to rdf:type. FILTER constraints of the legacy
+// `?var = constant` shape parse into EqualityFilter (the conjunctive
+// fragment the indexes push down); everything else becomes a FilterExpr.
 
 #ifndef AXON_SPARQL_PARSER_H_
 #define AXON_SPARQL_PARSER_H_

@@ -1,6 +1,7 @@
 #include "sparql/results_io.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "rdf/term.h"
 
@@ -43,6 +44,18 @@ std::string CsvEscape(std::string_view s) {
 
 namespace {
 
+constexpr char kXsdInteger[] = "http://www.w3.org/2001/XMLSchema#integer";
+
+// The term behind a cell id: dictionary terms resolve normally, value-
+// tagged ids materialize as xsd:integer literals. Never called on
+// kInvalidId — each writer handles unbound cells in its own syntax.
+Result<Term> CellTerm(TermId id, const Dictionary& dict) {
+  if (IsValueId(id)) {
+    return Term::Literal(std::to_string(ValueIdPayload(id)), kXsdInteger);
+  }
+  return dict.GetTerm(id);
+}
+
 Result<std::string> WriteTsv(const BindingTable& table,
                              const Dictionary& dict) {
   std::string out;
@@ -54,7 +67,10 @@ Result<std::string> WriteTsv(const BindingTable& table,
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_cols(); ++c) {
       if (c > 0) out += '\t';
-      out += dict.GetCanonical(table.at(r, c));
+      TermId id = table.at(r, c);
+      if (id == kInvalidId) continue;  // unbound: empty field
+      AXON_ASSIGN_OR_RETURN(Term term, CellTerm(id, dict));
+      out += term.Canonical();
     }
     out += '\n';
   }
@@ -72,7 +88,9 @@ Result<std::string> WriteCsv(const BindingTable& table,
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_cols(); ++c) {
       if (c > 0) out += ',';
-      AXON_ASSIGN_OR_RETURN(Term term, dict.GetTerm(table.at(r, c)));
+      TermId id = table.at(r, c);
+      if (id == kInvalidId) continue;  // unbound: empty field
+      AXON_ASSIGN_OR_RETURN(Term term, CellTerm(id, dict));
       out += CsvEscape(term.value);  // bare lexical form, per SPARQL CSV
     }
     out += "\r\n";
@@ -91,9 +109,13 @@ Result<std::string> WriteJson(const BindingTable& table,
   for (size_t r = 0; r < table.num_rows(); ++r) {
     if (r > 0) out += ',';
     out += '{';
+    bool first_binding = true;
     for (size_t c = 0; c < table.num_cols(); ++c) {
-      if (c > 0) out += ',';
-      AXON_ASSIGN_OR_RETURN(Term term, dict.GetTerm(table.at(r, c)));
+      TermId id = table.at(r, c);
+      if (id == kInvalidId) continue;  // unbound: binding absent
+      if (!first_binding) out += ',';
+      first_binding = false;
+      AXON_ASSIGN_OR_RETURN(Term term, CellTerm(id, dict));
       out += "\"" + JsonEscape(table.vars()[c]) + "\":{";
       switch (term.kind) {
         case TermKind::kIri:
@@ -127,11 +149,13 @@ Result<std::string> WriteJson(const BindingTable& table,
 Result<std::string> WriteResults(const BindingTable& table,
                                  const Dictionary& dict,
                                  ResultFormat format) {
-  // Validate ids up front so all formats fail identically.
+  // Validate ids up front so all formats fail identically. Unbound and
+  // value-tagged cells are legitimate; only dangling dictionary ids fail.
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_cols(); ++c) {
       TermId id = table.at(r, c);
-      if (id == kInvalidId || id.value() > dict.size()) {
+      if (id == kInvalidId || IsValueId(id)) continue;
+      if (id.value() > dict.size()) {
         return Status::InvalidArgument("binding holds an invalid term id");
       }
     }
@@ -142,6 +166,98 @@ Result<std::string> WriteResults(const BindingTable& table,
     case ResultFormat::kJson: return WriteJson(table, dict);
   }
   return Status::InvalidArgument("unknown result format");
+}
+
+Result<BindingTable> ReadResultsTsv(std::string_view text,
+                                    const Dictionary& dict) {
+  // Header line: "?a\t?b" (a single empty header = zero columns).
+  size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    return Status::InvalidArgument("results TSV missing header line");
+  }
+  std::string_view header = text.substr(0, eol);
+  std::string_view body = text.substr(eol + 1);
+
+  std::vector<std::string> vars;
+  if (!header.empty()) {
+    size_t start = 0;
+    while (true) {
+      size_t tab = header.find('\t', start);
+      std::string_view field = tab == std::string_view::npos
+                                   ? header.substr(start)
+                                   : header.substr(start, tab - start);
+      if (field.size() < 2 || field[0] != '?') {
+        return Status::InvalidArgument("results TSV header field is not ?var");
+      }
+      vars.emplace_back(field.substr(1));
+      if (tab == std::string_view::npos) break;
+      start = tab + 1;
+    }
+  }
+  BindingTable table(vars);
+
+  std::vector<TermId> row(vars.size());
+  size_t line_no = 1;
+  while (!body.empty()) {
+    ++line_no;
+    size_t line_end = body.find('\n');
+    std::string_view line = line_end == std::string_view::npos
+                                ? body
+                                : body.substr(0, line_end);
+    body = line_end == std::string_view::npos ? std::string_view()
+                                              : body.substr(line_end + 1);
+    if (line.empty() && vars.empty()) {
+      // Zero-column result row ("\n" per row after the empty header).
+      table.SetNullaryRow(true);
+      continue;
+    }
+    size_t col = 0;
+    size_t start = 0;
+    while (true) {
+      size_t tab = line.find('\t', start);
+      std::string_view field = tab == std::string_view::npos
+                                   ? line.substr(start)
+                                   : line.substr(start, tab - start);
+      if (col >= vars.size()) {
+        return Status::InvalidArgument("results TSV row has extra fields");
+      }
+      if (field.empty()) {
+        row[col] = kInvalidId;  // unbound
+      } else {
+        auto id = dict.LookupCanonical(field);
+        if (id.has_value()) {
+          row[col] = *id;
+        } else {
+          // Not in the dictionary: an aggregate count round-trips into a
+          // value-tagged id; everything else is unknown.
+          AXON_ASSIGN_OR_RETURN(Term term, Term::FromCanonical(field));
+          if (term.is_literal() && term.datatype == kXsdInteger) {
+            char* end = nullptr;
+            const unsigned long long v =
+                std::strtoull(term.value.c_str(), &end, 10);
+            if (end != nullptr && *end == '\0' && v < kValueIdTag) {
+              row[col] = MakeValueId(static_cast<uint32_t>(v));
+              ++col;
+              if (tab == std::string_view::npos) break;
+              start = tab + 1;
+              continue;
+            }
+          }
+          return Status::InvalidArgument(
+              "results TSV line " + std::to_string(line_no) +
+              " holds a term not in the dictionary: " + std::string(field));
+        }
+      }
+      ++col;
+      if (tab == std::string_view::npos) break;
+      start = tab + 1;
+    }
+    if (col != vars.size()) {
+      return Status::InvalidArgument("results TSV row has missing fields");
+    }
+    table.AppendRow(row);
+  }
+  return table;
 }
 
 }  // namespace axon

@@ -1,6 +1,13 @@
 // Query-result serialization: renders a BindingTable (through a
 // Dictionary) in the interchange formats downstream tools expect —
 // SPARQL-style TSV/CSV and the W3C "SPARQL 1.1 Query Results JSON" layout.
+//
+// Unbound cells (kInvalidId, produced by OPTIONAL padding and UNION
+// schema fill) serialize as empty TSV/CSV fields and absent JSON
+// bindings; aggregate counts carried as value-tagged ids (rdf/triple.h)
+// serialize as xsd:integer literals. ReadResultsTsv is the exact inverse
+// of the TSV writer over a fixed dictionary, which is what the golden
+// conformance files round-trip through.
 
 #ifndef AXON_SPARQL_RESULTS_IO_H_
 #define AXON_SPARQL_RESULTS_IO_H_
@@ -19,9 +26,17 @@ enum class ResultFormat {
   kJson,  // W3C SPARQL 1.1 Results JSON
 };
 
-/// Serializes `table` in the requested format. Fails on dangling term ids.
+/// Serializes `table` in the requested format. Fails on dangling term ids
+/// (ids past the dictionary); unbound cells and value-tagged ids are fine.
 Result<std::string> WriteResults(const BindingTable& table,
                                  const Dictionary& dict, ResultFormat format);
+
+/// Parses the SPARQL-TSV text the kTsv writer produces back into a
+/// BindingTable over `dict`: empty fields become unbound cells, xsd:integer
+/// literals absent from the dictionary become value-tagged ids, and any
+/// other unknown term is an error.
+Result<BindingTable> ReadResultsTsv(std::string_view text,
+                                    const Dictionary& dict);
 
 /// Escapes a string for a JSON string literal (quotes not included).
 std::string JsonEscape(std::string_view s);

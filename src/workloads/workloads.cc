@@ -18,9 +18,19 @@ constexpr char kGeoPrefix[] =
     "PREFIX geo: <http://www.geonames.org/ontology#>\n"
     "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
 
+constexpr char kSp2bPrefix[] =
+    "PREFIX bench: <http://localhost/vocabulary/bench/>\n"
+    "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+    "PREFIX dcterms: <http://purl.org/dc/terms/>\n"
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+    "PREFIX swrc: <http://swrc.ontoware.org/ontology#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n";
+
 std::string Ub(const std::string& body) { return kUbPrefix + body; }
 std::string Bp(const std::string& body) { return kBpPrefix + body; }
 std::string Geo(const std::string& body) { return kGeoPrefix + body; }
+std::string S2(const std::string& body) { return kSp2bPrefix + body; }
 
 }  // namespace
 
@@ -461,6 +471,93 @@ const Workload& GeonamesWorkload() {
              ?b geo:wikipediaArticle ?w .
              ?b geo:name ?bn .
              ?p geo:name ?pn })"),
+           false},
+      }};
+  return w;
+}
+
+const Workload& Sp2bWorkload() {
+  static const Workload w = {
+      "sp2b",
+      {
+          // Q1: conjunctive baseline — journal articles with titles. The
+          // one pure-BGP query, so the extended queries' leaves have a
+          // directly-benched native reference.
+          {"Q1", S2(R"(SELECT ?article ?journal ?title WHERE {
+             ?article rdf:type bench:Article .
+             ?article swrc:journal ?journal .
+             ?article dc:title ?title })"),
+           true},
+          // Q2: OPTIONAL abstract, deterministic ORDER BY title.
+          {"Q2", S2(R"(SELECT ?article ?title ?abs WHERE {
+             ?article rdf:type bench:Article .
+             ?article dc:title ?title .
+             ?article dcterms:issued ?year .
+             OPTIONAL { ?article bench:abstract ?abs }
+           } ORDER BY ?title)"),
+           true},
+          // Q3: numeric FILTER range over publication years.
+          {"Q3", S2(R"(SELECT ?article ?year WHERE {
+             ?article rdf:type bench:Article .
+             ?article dcterms:issued ?year .
+             FILTER ( ?year >= "1991"^^<http://www.w3.org/2001/XMLSchema#integer> && ?year < "1993"^^<http://www.w3.org/2001/XMLSchema#integer> )
+           })"),
+           true},
+          // Q4: UNION of the two publication kinds, deduplicated.
+          {"Q4", S2(R"(SELECT DISTINCT ?pub ?title WHERE {
+             { ?pub rdf:type bench:Article . ?pub dc:title ?title }
+             UNION
+             { ?pub rdf:type bench:Inproceedings . ?pub dc:title ?title }
+           })"),
+           false},
+          // Q5: publications per author (GROUP BY + COUNT), ordered.
+          {"Q5", S2(R"(SELECT ?person (COUNT(?pub) AS ?n) WHERE {
+             ?pub dc:creator ?person .
+           } GROUP BY ?person ORDER BY ?person)"),
+           false},
+          // Q6: negation-as-failure via OPTIONAL + !bound — publications
+          // without an abstract.
+          {"Q6", S2(R"(SELECT ?pub ?title WHERE {
+             ?pub dc:title ?title .
+             ?pub dcterms:issued ?year .
+             OPTIONAL { ?pub bench:abstract ?abs }
+             FILTER ( ! bound(?abs) )
+           })"),
+           false},
+          // Q7: ORDER BY DESC + tie-break key, LIMIT/OFFSET paging.
+          {"Q7", S2(R"(SELECT ?title ?year WHERE {
+             ?pub rdf:type bench:Article .
+             ?pub dc:title ?title .
+             ?pub dcterms:issued ?year .
+           } ORDER BY DESC(?year) ?title LIMIT 10 OFFSET 5)"),
+           true},
+          // Q8: top-level BGP joined with a UNION block (persons that
+          // edited proceedings or authored anything).
+          {"Q8", S2(R"(SELECT DISTINCT ?name WHERE {
+             ?person foaf:name ?name .
+             { ?proc swrc:editor ?person }
+             UNION
+             { ?pub dc:creator ?person }
+           } ORDER BY ?name)"),
+           false},
+          // Q9: COUNT(*) per publication year.
+          {"Q9", S2(R"(SELECT ?year (COUNT(*) AS ?total) WHERE {
+             ?pub rdf:type bench:Article .
+             ?pub dcterms:issued ?year .
+           } GROUP BY ?year ORDER BY ?year)"),
+           false},
+          // Q10: equality filter + OPTIONAL seeAlso link.
+          {"Q10", S2(R"(SELECT ?pub ?see WHERE {
+             ?pub dc:title ?title .
+             ?pub dcterms:issued ?year .
+             FILTER ( ?year = "1991"^^<http://www.w3.org/2001/XMLSchema#integer> )
+             OPTIONAL { ?pub rdfs:seeAlso ?see }
+           })"),
+           true},
+          // Q11: global COUNT(DISTINCT) — one-row aggregate, no grouping.
+          {"Q11", S2(R"(SELECT (COUNT(DISTINCT ?person) AS ?authors) WHERE {
+             ?pub dc:creator ?person .
+           })"),
            false},
       }};
   return w;

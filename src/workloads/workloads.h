@@ -50,6 +50,13 @@ const Workload& LubmModifiedWorkload();
 const Workload& ReactomeWorkload();
 const Workload& GeonamesWorkload();
 
+/// SP²Bench-inspired publication-graph queries over the sp2b generator
+/// (datagen/sp2b_generator.h). Unlike the four conjunctive workloads
+/// above, these exercise the extended surface end to end: OPTIONAL,
+/// UNION, FILTER expressions (ranges, !bound), DISTINCT, ORDER BY,
+/// LIMIT/OFFSET and GROUP BY / COUNT.
+const Workload& Sp2bWorkload();
+
 }  // namespace axon
 
 #endif  // AXON_WORKLOADS_WORKLOADS_H_

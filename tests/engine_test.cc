@@ -186,13 +186,24 @@ TEST(EngineTest, DuplicateTriplesCollapse) {
   EXPECT_EQ(db.value().build_info().num_triples, 20u);
 }
 
-TEST(EngineTest, RenderRejectsInvalidIds) {
+TEST(EngineTest, RenderHandlesUnboundAndRejectsDanglingIds) {
   Dataset d = Fig1Dataset();
   auto db = Database::Build(d);
   ASSERT_TRUE(db.ok());
-  BindingTable t({"x"});
-  t.AppendRow({kInvalidId});
-  EXPECT_FALSE(db.value().Render(t).ok());
+  // kInvalidId means "unbound" (an OPTIONAL that did not match) and renders
+  // as an empty cell; a tagged value id renders as an integer literal.
+  BindingTable t({"x", "n"});
+  t.AppendRow({kInvalidId, MakeValueId(3)});
+  auto rendered = db.value().Render(t);
+  ASSERT_TRUE(rendered.ok());
+  ASSERT_EQ(rendered.value().size(), 1u);
+  EXPECT_EQ(rendered.value()[0][0], "");
+  EXPECT_EQ(rendered.value()[0][1],
+            "\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  // Ids beyond the dictionary are still a hard error.
+  BindingTable bad({"x"});
+  bad.AppendRow({TermId(999999)});
+  EXPECT_FALSE(db.value().Render(bad).ok());
 }
 
 TEST(EngineTest, SkipRedundantStarRetrievalMatchesDistinctSemantics) {

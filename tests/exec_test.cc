@@ -32,6 +32,12 @@ Triple T(uint32_t s, uint32_t pr, uint32_t o) {
   return Triple{TermId(s), TermId(pr), TermId(o)};
 }
 
+// row() returns a span; materialize it for EXPECT_EQ against vectors.
+std::vector<TermId> RowVec(const BindingTable& t, size_t i) {
+  auto r = t.row(i);
+  return std::vector<TermId>(r.begin(), r.end());
+}
+
 // ---------------------------------------------------------- BindingTable
 
 TEST(BindingTableTest, BasicAccess) {
@@ -211,6 +217,169 @@ TEST(LimitTest, Truncates) {
   EXPECT_EQ(Limit(t, 2).num_rows(), 2u);
   EXPECT_EQ(Limit(t, 0).num_rows(), 0u);
   EXPECT_EQ(Limit(t, 99).num_rows(), 3u);
+}
+
+// ------------------------------------- extended-algebra operators
+
+TEST(OffsetTest, DropsPrefix) {
+  BindingTable t = Table({"x"}, {{1}, {2}, {3}});
+  ExecStats ignored;
+  (void)ignored;
+  BindingTable dropped = Offset(t, 1);
+  ASSERT_EQ(dropped.num_rows(), 2u);
+  EXPECT_EQ(RowVec(dropped, 0), Ids({2}));
+  EXPECT_EQ(Offset(t, 3).num_rows(), 0u);
+  EXPECT_EQ(Offset(t, 99).num_rows(), 0u);
+  EXPECT_EQ(Offset(t, 0).num_rows(), 3u);
+}
+
+TEST(UnionAllTest, AlignsSchemasAndPadsWithUnbound) {
+  BindingTable left = Table({"x", "y"}, {{1, 2}});
+  BindingTable right = Table({"y", "z"}, {{5, 6}});
+  ExecStats stats;
+  BindingTable u = UnionAll(left, right, &stats);
+  ASSERT_EQ(u.vars(), (std::vector<std::string>{"x", "y", "z"}));
+  ASSERT_EQ(u.num_rows(), 2u);
+  EXPECT_EQ(RowVec(u, 0), (std::vector<TermId>{TermId(1), TermId(2), kInvalidId}));
+  EXPECT_EQ(RowVec(u, 1), (std::vector<TermId>{kInvalidId, TermId(5), TermId(6)}));
+}
+
+TEST(UnionAllTest, KeepsDuplicatesAcrossBranches) {
+  BindingTable left = Table({"x"}, {{1}});
+  BindingTable right = Table({"x"}, {{1}});
+  ExecStats stats;
+  EXPECT_EQ(UnionAll(left, right, &stats).num_rows(), 2u);  // multiset union
+}
+
+TEST(LeftOuterJoinTest, UnmatchedLeftRowsPadRightColumns) {
+  BindingTable left = Table({"x"}, {{1}, {2}});
+  BindingTable right = Table({"x", "y"}, {{1, 10}});
+  ExecStats stats;
+  BindingTable j = LeftOuterJoin(left, right, &stats);
+  ASSERT_EQ(j.vars(), (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(j.num_rows(), 2u);
+  auto rows = j.CanonicalRows({"x", "y"});
+  EXPECT_EQ(rows[0], (std::vector<TermId>{TermId(1), TermId(10)}));
+  EXPECT_EQ(rows[1], (std::vector<TermId>{TermId(2), kInvalidId}));
+}
+
+TEST(LeftOuterJoinTest, UnboundSharedColumnUsesCompatibility) {
+  // The left x is unbound (came out of a previous OPTIONAL): it is
+  // compatible with the right row and takes its bound value.
+  BindingTable left({"x"});
+  left.AppendRow({kInvalidId});
+  BindingTable right = Table({"x", "y"}, {{1, 10}});
+  ExecStats stats;
+  BindingTable j = LeftOuterJoin(left, right, &stats);
+  ASSERT_EQ(j.num_rows(), 1u);
+  EXPECT_EQ(j.CanonicalRows({"x", "y"})[0],
+            (std::vector<TermId>{TermId(1), TermId(10)}));
+}
+
+TEST(CompatJoinTest, UnboundAgreesWithAnythingAndTakesBoundValue) {
+  BindingTable left({"x", "y"});
+  left.AppendRow({TermId(1), kInvalidId});
+  left.AppendRow({TermId(2), kInvalidId});
+  BindingTable right = Table({"y"}, {{7}});
+  ExecStats stats;
+  BindingTable j = CompatJoin(left, right, &stats);
+  ASSERT_EQ(j.num_rows(), 2u);
+  auto rows = j.CanonicalRows({"x", "y"});
+  EXPECT_EQ(rows[0], (std::vector<TermId>{TermId(1), TermId(7)}));
+  EXPECT_EQ(rows[1], (std::vector<TermId>{TermId(2), TermId(7)}));
+}
+
+TEST(CompatJoinTest, BoundMismatchStillDrops) {
+  BindingTable left = Table({"x"}, {{1}});
+  BindingTable right = Table({"x"}, {{2}});
+  ExecStats stats;
+  EXPECT_EQ(CompatJoin(left, right, &stats).num_rows(), 0u);
+}
+
+TEST(FilterByExprTest, ThreeValuedSemanticsDropErrorRows) {
+  Dictionary dict;
+  TermId three = dict.Intern(
+      Term::Literal("3", "http://www.w3.org/2001/XMLSchema#integer"));
+  TermId nine = dict.Intern(
+      Term::Literal("9", "http://www.w3.org/2001/XMLSchema#integer"));
+  BindingTable t({"x"});
+  t.AppendRow({three});
+  t.AppendRow({nine});
+  t.AppendRow({kInvalidId});  // comparison error: the row must drop
+  ExecStats stats;
+  FilterExpr lt = FilterExpr::Binary(
+      FilterOp::kLt, FilterExpr::Variable("x"),
+      FilterExpr::Constant(
+          Term::Literal("5", "http://www.w3.org/2001/XMLSchema#integer")));
+  BindingTable filtered = FilterByExpr(t, lt, dict, &stats);
+  ASSERT_EQ(filtered.num_rows(), 1u);
+  EXPECT_EQ(RowVec(filtered, 0), std::vector<TermId>{three});
+
+  // !bound(?x) keeps exactly the unbound row — errors do not escape NOT.
+  FilterExpr not_bound =
+      FilterExpr::Unary(FilterOp::kNot, FilterExpr::Bound("x"));
+  BindingTable unbound_only = FilterByExpr(t, not_bound, dict, &stats);
+  ASSERT_EQ(unbound_only.num_rows(), 1u);
+  EXPECT_EQ(RowVec(unbound_only, 0), std::vector<TermId>{kInvalidId});
+
+  // `error || true` is true: the error row survives a disjunction.
+  FilterExpr err_or_true = FilterExpr::Binary(
+      FilterOp::kOr, lt, FilterExpr::Unary(FilterOp::kNot, FilterExpr::Bound("y")));
+  EXPECT_EQ(FilterByExpr(t, err_or_true, dict, &stats).num_rows(), 3u);
+}
+
+TEST(OrderByTest, NumericOrderAndDescAndUnboundFirst) {
+  Dictionary dict;
+  TermId two = dict.Intern(
+      Term::Literal("2", "http://www.w3.org/2001/XMLSchema#integer"));
+  TermId ten = dict.Intern(
+      Term::Literal("10", "http://www.w3.org/2001/XMLSchema#integer"));
+  BindingTable t({"x"});
+  t.AppendRow({ten});
+  t.AppendRow({kInvalidId});
+  t.AppendRow({two});
+  ExecStats stats;
+  BindingTable asc = OrderBy(t, {{"x", true}}, dict, &stats);
+  // Unbound sorts first; numeric order is by value ("2" < "10"), not by
+  // lexical string order.
+  EXPECT_EQ(RowVec(asc, 0), std::vector<TermId>{kInvalidId});
+  EXPECT_EQ(RowVec(asc, 1), std::vector<TermId>{two});
+  EXPECT_EQ(RowVec(asc, 2), std::vector<TermId>{ten});
+  BindingTable desc = OrderBy(t, {{"x", false}}, dict, &stats);
+  EXPECT_EQ(RowVec(desc, 0), std::vector<TermId>{ten});
+  EXPECT_EQ(RowVec(desc, 2), std::vector<TermId>{kInvalidId});
+}
+
+TEST(GroupCountTest, GroupedCountsSkipUnboundAndDedupeDistinct) {
+  Dictionary dict;
+  BindingTable t({"g", "v"});
+  t.AppendRow({TermId(1), TermId(10)});
+  t.AppendRow({TermId(1), TermId(10)});
+  t.AppendRow({TermId(1), TermId(11)});
+  t.AppendRow({TermId(2), kInvalidId});  // COUNT(?v) must not count this
+  ExecStats stats;
+  Aggregate count_v{Aggregate::Kind::kCount, false, "v", "n"};
+  Aggregate count_distinct_v{Aggregate::Kind::kCount, true, "v", "d"};
+  BindingTable g =
+      GroupCount(t, {"g"}, {count_v, count_distinct_v}, &stats);
+  ASSERT_EQ(g.vars(), (std::vector<std::string>{"g", "n", "d"}));
+  ASSERT_EQ(g.num_rows(), 2u);
+  auto rows = g.CanonicalRows({"g", "n", "d"});
+  EXPECT_EQ(rows[0], (std::vector<TermId>{TermId(1), MakeValueId(3),
+                                          MakeValueId(2)}));
+  EXPECT_EQ(rows[1],
+            (std::vector<TermId>{TermId(2), MakeValueId(0), MakeValueId(0)}));
+}
+
+TEST(GroupCountTest, UngroupedEmptyInputYieldsSingleZeroRow) {
+  BindingTable empty({"v"});
+  ExecStats stats;
+  Aggregate count_star{Aggregate::Kind::kCount, false, "", "n"};
+  BindingTable whole = GroupCount(empty, {}, {count_star}, &stats);
+  ASSERT_EQ(whole.num_rows(), 1u);
+  EXPECT_EQ(RowVec(whole, 0), std::vector<TermId>{MakeValueId(0)});
+  // With grouping variables an empty input has no groups, hence no rows.
+  EXPECT_EQ(GroupCount(empty, {"v"}, {count_star}, &stats).num_rows(), 0u);
 }
 
 }  // namespace

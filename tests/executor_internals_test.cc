@@ -216,7 +216,7 @@ TEST(ExplainTest, DescribesPlanWithoutTouchingData) {
   EXPECT_NE(text.find("query graph:"), std::string::npos);
   EXPECT_NE(text.find("2 query ECSs"), std::string::npos);
   EXPECT_NE(text.find("1 chains"), std::string::npos);
-  EXPECT_NE(text.find("join order:"), std::string::npos);
+  EXPECT_NE(text.find("join order ("), std::string::npos);
   EXPECT_NE(text.find("star retrieval for ?n1"), std::string::npos);
   EXPECT_NE(text.find("config: axonDB+"), std::string::npos);
 }
@@ -257,7 +257,7 @@ TEST(ExplainTest, JoinOrderMatchesPlannerChoice) {
   ASSERT_TRUE(plan.ok());
   // Join order line exists and lists both query ECSs.
   const std::string& text = plan.value();
-  size_t order_pos = text.find("join order:");
+  size_t order_pos = text.find("join order (");
   ASSERT_NE(order_pos, std::string::npos);
   size_t q0 = text.find("Q0", order_pos);
   size_t q1 = text.find("Q1", order_pos);

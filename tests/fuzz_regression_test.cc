@@ -83,6 +83,15 @@ TEST(FuzzRegressionTest, DbFileCorpusReplays) {
   }
 }
 
+void WalkGroup(const GroupPattern& g) {
+  for (const auto& p : g.patterns) (void)p.ToString();
+  for (const auto& f : g.filters) (void)f.ToString();
+  for (const auto& opt : g.optionals) WalkGroup(opt);
+  for (const auto& u : g.unions) {
+    for (const auto& branch : u.branches) WalkGroup(branch);
+  }
+}
+
 TEST(FuzzRegressionTest, SparqlCorpusReplays) {
   std::vector<fs::path> files = InputsIn("sparql");
   ASSERT_FALSE(files.empty()) << "regression corpus missing";
@@ -92,8 +101,21 @@ TEST(FuzzRegressionTest, SparqlCorpusReplays) {
     (void)TokenizeSparql(text);  // must not crash
     auto q = ParseSparql(text);  // must not crash
     if (q.ok()) {
+      // Walk the full extended surface, as the fuzz target does, and
+      // enforce the printer invariant: what the parser accepts, the
+      // printer must render back into parseable text.
       for (const auto& p : q.value().patterns) (void)p.ToString();
+      for (const auto& e : q.value().expr_filters) (void)e.ToString();
+      for (const auto& opt : q.value().optionals) WalkGroup(opt);
+      for (const auto& u : q.value().unions) {
+        for (const auto& branch : u.branches) WalkGroup(branch);
+      }
       (void)q.value().EffectiveProjection();
+      auto again = ParseSparql(q.value().ToString());
+      EXPECT_TRUE(again.ok())
+          << "accepted query printed to unparseable text:\n"
+          << q.value().ToString() << "\n"
+          << again.status().ToString();
     }
   }
 }

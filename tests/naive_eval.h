@@ -1,0 +1,464 @@
+// Independent reference evaluator for the conformance suite.
+//
+// Evaluates SelectQuery — including the full extended surface (OPTIONAL,
+// UNION, FILTER expressions, GROUP BY/COUNT, ORDER BY, DISTINCT,
+// OFFSET/LIMIT) — directly over a Dataset's raw triple vector with
+// map-based solutions, sharing *no* code with src/exec or the engines'
+// composition layer (engine/extended_eval.*). Deliberately slow and
+// obvious: nested-loop pattern matching, per-row recursive filter
+// evaluation, term-level sort keys rebuilt from the documented SPARQL
+// semantics. Cross-checking the seven engine configurations against this
+// evaluator therefore tests the semantics twice from independent
+// implementations.
+//
+// Representation: a solution maps variable name -> TermId; an absent
+// entry means the variable is unbound (the engines' kInvalidId).
+
+#ifndef AXON_TESTS_NAIVE_EVAL_H_
+#define AXON_TESTS_NAIVE_EVAL_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+
+namespace axon {
+namespace testutil {
+
+using NaiveSolution = std::map<std::string, TermId>;
+
+// ------------------------------------------------------------ term order
+// Re-derivation of the documented content order (exec/expr.h): unbound <
+// blank < IRI < numeric literal by value < other literal, ties by
+// canonical form.
+
+struct NaiveKey {
+  int cls = 0;
+  double num = 0.0;
+  std::string str;
+};
+
+inline NaiveKey NaiveKeyForId(TermId id, const Dictionary& dict) {
+  NaiveKey k;
+  if (id == kInvalidId) return k;
+  if (IsValueId(id)) {
+    k.cls = 3;
+    k.num = static_cast<double>(ValueIdPayload(id));
+    k.str = "\"" + std::to_string(ValueIdPayload(id)) +
+            "\"^^<http://www.w3.org/2001/XMLSchema#integer>";
+    return k;
+  }
+  auto term = dict.GetTerm(id);
+  if (!term.ok()) {
+    k.str = std::to_string(id.value());
+    return k;
+  }
+  const Term& t = term.value();
+  k.str = t.Canonical();
+  switch (t.kind) {
+    case TermKind::kBlank:
+      k.cls = 1;
+      break;
+    case TermKind::kIri:
+      k.cls = 2;
+      break;
+    case TermKind::kLiteral: {
+      k.cls = 4;
+      constexpr char kXsd[] = "http://www.w3.org/2001/XMLSchema#";
+      if (t.datatype.rfind(kXsd, 0) == 0) {
+        const std::string local = t.datatype.substr(sizeof(kXsd) - 1);
+        static const char* const kNumeric[] = {
+            "integer",       "decimal",         "double",
+            "float",         "long",            "int",
+            "short",         "byte",            "nonNegativeInteger",
+            "positiveInteger", "negativeInteger", "nonPositiveInteger",
+            "unsignedLong",  "unsignedInt"};
+        for (const char* n : kNumeric) {
+          if (local == n) {
+            char* end = nullptr;
+            const double v = std::strtod(t.value.c_str(), &end);
+            if (end != nullptr && *end == '\0' && !t.value.empty()) {
+              k.cls = 3;
+              k.num = v;
+            }
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return k;
+}
+
+inline int NaiveCompareKeys(const NaiveKey& a, const NaiveKey& b) {
+  if (a.cls != b.cls) return a.cls < b.cls ? -1 : 1;
+  if (a.cls == 3 && a.num != b.num) return a.num < b.num ? -1 : 1;
+  return a.str.compare(b.str);
+}
+
+// ------------------------------------------------------------ filter eval
+
+enum class NaiveEbv { kFalse, kTrue, kError };
+
+inline NaiveEbv NaiveEvalFilter(const FilterExpr& e, const NaiveSolution& sol,
+                                const Dictionary& dict) {
+  auto operand = [&](const FilterExpr& a, NaiveKey* out) -> bool {
+    if (a.op == FilterOp::kConst) {
+      TermId id = dict.Lookup(a.value).value_or(kInvalidId);
+      if (id != kInvalidId) {
+        *out = NaiveKeyForId(id, dict);
+        return true;
+      }
+      // Constant not in the data: key it from the term itself.
+      NaiveKey k;
+      k.str = a.value.Canonical();
+      switch (a.value.kind) {
+        case TermKind::kBlank:
+          k.cls = 1;
+          break;
+        case TermKind::kIri:
+          k.cls = 2;
+          break;
+        case TermKind::kLiteral: {
+          // Reuse the id-based classifier by interning into a scratch dict.
+          Dictionary scratch;
+          *out = NaiveKeyForId(scratch.Intern(a.value), scratch);
+          return true;
+        }
+      }
+      *out = k;
+      return true;
+    }
+    if (a.op != FilterOp::kVar) return false;
+    auto it = sol.find(a.var);
+    if (it == sol.end() || it->second == kInvalidId) return false;
+    *out = NaiveKeyForId(it->second, dict);
+    return true;
+  };
+
+  switch (e.op) {
+    case FilterOp::kBound: {
+      auto it = sol.find(e.var);
+      return (it != sol.end() && it->second != kInvalidId) ? NaiveEbv::kTrue
+                                                           : NaiveEbv::kFalse;
+    }
+    case FilterOp::kNot: {
+      NaiveEbv v = NaiveEvalFilter(e.args[0], sol, dict);
+      if (v == NaiveEbv::kError) return v;
+      return v == NaiveEbv::kTrue ? NaiveEbv::kFalse : NaiveEbv::kTrue;
+    }
+    case FilterOp::kAnd: {
+      NaiveEbv a = NaiveEvalFilter(e.args[0], sol, dict);
+      if (a == NaiveEbv::kFalse) return a;
+      NaiveEbv b = NaiveEvalFilter(e.args[1], sol, dict);
+      if (b == NaiveEbv::kFalse) return b;
+      if (a == NaiveEbv::kError || b == NaiveEbv::kError) {
+        return NaiveEbv::kError;
+      }
+      return NaiveEbv::kTrue;
+    }
+    case FilterOp::kOr: {
+      NaiveEbv a = NaiveEvalFilter(e.args[0], sol, dict);
+      if (a == NaiveEbv::kTrue) return a;
+      NaiveEbv b = NaiveEvalFilter(e.args[1], sol, dict);
+      if (b == NaiveEbv::kTrue) return b;
+      if (a == NaiveEbv::kError || b == NaiveEbv::kError) {
+        return NaiveEbv::kError;
+      }
+      return NaiveEbv::kFalse;
+    }
+    case FilterOp::kEq:
+    case FilterOp::kNe:
+    case FilterOp::kLt:
+    case FilterOp::kLe:
+    case FilterOp::kGt:
+    case FilterOp::kGe: {
+      NaiveKey a, b;
+      if (!operand(e.args[0], &a) || !operand(e.args[1], &b)) {
+        return NaiveEbv::kError;
+      }
+      const bool numeric = a.cls == 3 && b.cls == 3;
+      if (e.op == FilterOp::kEq || e.op == FilterOp::kNe) {
+        const bool eq =
+            numeric ? a.num == b.num : (a.cls == b.cls && a.str == b.str);
+        return (eq == (e.op == FilterOp::kEq)) ? NaiveEbv::kTrue
+                                               : NaiveEbv::kFalse;
+      }
+      int c;
+      if (numeric) {
+        c = a.num < b.num ? -1 : (a.num > b.num ? 1 : 0);
+      } else if (a.cls == b.cls && (a.cls == 2 || a.cls == 4)) {
+        const int sc = a.str.compare(b.str);
+        c = sc < 0 ? -1 : (sc > 0 ? 1 : 0);
+      } else {
+        return NaiveEbv::kError;
+      }
+      bool keep = false;
+      if (e.op == FilterOp::kLt) keep = c < 0;
+      if (e.op == FilterOp::kLe) keep = c <= 0;
+      if (e.op == FilterOp::kGt) keep = c > 0;
+      if (e.op == FilterOp::kGe) keep = c >= 0;
+      return keep ? NaiveEbv::kTrue : NaiveEbv::kFalse;
+    }
+    case FilterOp::kVar:
+    case FilterOp::kConst:
+      return NaiveEbv::kError;
+  }
+  return NaiveEbv::kError;
+}
+
+// -------------------------------------------------------------- evaluator
+
+class NaiveEvaluator {
+ public:
+  /// An RDF graph is a triple *set*; the engines dedupe at build time, so
+  /// the reference evaluates over the deduplicated triples too.
+  explicit NaiveEvaluator(const Dataset& data) : data_(data) {
+    triples_ = data.triples;
+    std::sort(triples_.begin(), triples_.end(),
+              [](const Triple& a, const Triple& b) { return a.Key() < b.Key(); });
+    triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                   triples_.end());
+  }
+
+  /// Rows projected on query.EffectiveProjection(), with unbound cells as
+  /// kInvalidId and COUNT outputs as value-tagged ids. ORDER BY queries
+  /// come back key-sorted (ties in input order); unordered queries in
+  /// evaluation order — canonicalize before comparing those.
+  std::vector<std::vector<TermId>> Eval(const SelectQuery& q) const {
+    GroupPattern top;
+    top.patterns = q.patterns;
+    top.eq_filters = q.filters;
+    top.filters = q.expr_filters;
+    top.optionals = q.optionals;
+    top.unions = q.unions;
+    std::vector<NaiveSolution> sols = EvalGroup(top);
+
+    if (!q.aggregates.empty() || !q.group_by.empty()) {
+      sols = Aggregate(sols, q.group_by, q.aggregates);
+    }
+    if (!q.order_by.empty()) Order(&sols, q.order_by);
+
+    const std::vector<std::string> proj = q.EffectiveProjection();
+    std::vector<std::vector<TermId>> rows;
+    rows.reserve(sols.size());
+    for (const NaiveSolution& s : sols) {
+      std::vector<TermId> row;
+      row.reserve(proj.size());
+      for (const std::string& v : proj) {
+        auto it = s.find(v);
+        row.push_back(it == s.end() ? kInvalidId : it->second);
+      }
+      rows.push_back(std::move(row));
+    }
+    if (q.distinct) {
+      std::set<std::vector<TermId>> seen;
+      std::vector<std::vector<TermId>> dedup;
+      for (auto& r : rows) {
+        if (seen.insert(r).second) dedup.push_back(std::move(r));
+      }
+      rows = std::move(dedup);
+    }
+    if (q.offset > 0) {
+      rows.erase(rows.begin(),
+                 rows.begin() + std::min<size_t>(q.offset, rows.size()));
+    }
+    if (q.limit.has_value() && rows.size() > *q.limit) rows.resize(*q.limit);
+    return rows;
+  }
+
+ private:
+  // All solutions of one triple pattern consistent with `sol`.
+  void MatchPattern(const TriplePattern& p, const NaiveSolution& sol,
+                    std::vector<NaiveSolution>* out) const {
+    for (const Triple& t : triples_) {
+      NaiveSolution next = sol;
+      if (BindPosition(p.s, t.s, &next) && BindPosition(p.p, t.p, &next) &&
+          BindPosition(p.o, t.o, &next)) {
+        out->push_back(std::move(next));
+      }
+    }
+  }
+
+  bool BindPosition(const PatternTerm& pt, TermId id, NaiveSolution* sol) const {
+    if (!pt.is_variable) {
+      auto want = data_.dict.Lookup(pt.term);
+      return want.has_value() && *want == id;
+    }
+    auto it = sol->find(pt.var);
+    if (it != sol->end()) return it->second == id;
+    (*sol)[pt.var] = id;
+    return true;
+  }
+
+  static bool Compatible(const NaiveSolution& a, const NaiveSolution& b) {
+    for (const auto& [var, id] : a) {
+      auto it = b.find(var);
+      if (it != b.end() && it->second != id) return false;
+    }
+    return true;
+  }
+
+  static NaiveSolution Merge(const NaiveSolution& a, const NaiveSolution& b) {
+    NaiveSolution m = a;
+    m.insert(b.begin(), b.end());
+    return m;
+  }
+
+  std::vector<NaiveSolution> Join(const std::vector<NaiveSolution>& left,
+                                  const std::vector<NaiveSolution>& right) const {
+    std::vector<NaiveSolution> out;
+    for (const NaiveSolution& l : left) {
+      for (const NaiveSolution& r : right) {
+        if (Compatible(l, r)) out.push_back(Merge(l, r));
+      }
+    }
+    return out;
+  }
+
+  std::vector<NaiveSolution> LeftJoin(
+      const std::vector<NaiveSolution>& left,
+      const std::vector<NaiveSolution>& right) const {
+    std::vector<NaiveSolution> out;
+    for (const NaiveSolution& l : left) {
+      bool matched = false;
+      for (const NaiveSolution& r : right) {
+        if (Compatible(l, r)) {
+          out.push_back(Merge(l, r));
+          matched = true;
+        }
+      }
+      if (!matched) out.push_back(l);
+    }
+    return out;
+  }
+
+  std::vector<NaiveSolution> EvalGroup(const GroupPattern& g) const {
+    std::vector<NaiveSolution> sols = {NaiveSolution{}};
+    for (const TriplePattern& p : g.patterns) {
+      std::vector<NaiveSolution> next;
+      for (const NaiveSolution& s : sols) MatchPattern(p, s, &next);
+      sols = std::move(next);
+    }
+    for (const UnionBlock& u : g.unions) {
+      std::vector<NaiveSolution> ub;
+      for (const GroupPattern& branch : u.branches) {
+        std::vector<NaiveSolution> bs = EvalGroup(branch);
+        ub.insert(ub.end(), bs.begin(), bs.end());
+      }
+      sols = Join(sols, ub);
+    }
+    for (const GroupPattern& opt : g.optionals) {
+      sols = LeftJoin(sols, EvalGroup(opt));
+    }
+    for (const EqualityFilter& f : g.eq_filters) {
+      auto want = data_.dict.Lookup(f.value);
+      std::vector<NaiveSolution> kept;
+      for (const NaiveSolution& s : sols) {
+        auto it = s.find(f.var);
+        if (want.has_value() && it != s.end() && it->second == *want) {
+          kept.push_back(s);
+        }
+      }
+      sols = std::move(kept);
+    }
+    for (const FilterExpr& f : g.filters) {
+      std::vector<NaiveSolution> kept;
+      for (const NaiveSolution& s : sols) {
+        if (NaiveEvalFilter(f, s, data_.dict) == NaiveEbv::kTrue) {
+          kept.push_back(s);
+        }
+      }
+      sols = std::move(kept);
+    }
+    return sols;
+  }
+
+  std::vector<NaiveSolution> Aggregate(
+      const std::vector<NaiveSolution>& sols,
+      const std::vector<std::string>& group_by,
+      const std::vector<struct Aggregate>& aggs) const {
+    // Keyed by the grouping values in id order — matching the engines'
+    // deterministic group output order.
+    std::map<std::vector<TermId>, std::vector<const NaiveSolution*>> groups;
+    for (const NaiveSolution& s : sols) {
+      std::vector<TermId> key;
+      key.reserve(group_by.size());
+      for (const std::string& v : group_by) {
+        auto it = s.find(v);
+        key.push_back(it == s.end() ? kInvalidId : it->second);
+      }
+      groups[key].push_back(&s);
+    }
+    if (groups.empty() && group_by.empty()) groups[{}] = {};
+
+    std::vector<NaiveSolution> out;
+    for (const auto& [key, members] : groups) {
+      NaiveSolution row;
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (key[i] != kInvalidId) row[group_by[i]] = key[i];
+      }
+      for (const struct Aggregate& a : aggs) {
+        uint64_t count = 0;
+        if (a.distinct) {
+          std::set<NaiveSolution> values;
+          for (const NaiveSolution* m : members) {
+            if (a.var.empty()) {
+              values.insert(*m);  // whole solution
+            } else {
+              auto it = m->find(a.var);
+              if (it != m->end() && it->second != kInvalidId) {
+                values.insert(NaiveSolution{{a.var, it->second}});
+              }
+            }
+          }
+          count = values.size();
+        } else {
+          for (const NaiveSolution* m : members) {
+            if (a.var.empty()) {
+              ++count;
+            } else {
+              auto it = m->find(a.var);
+              if (it != m->end() && it->second != kInvalidId) ++count;
+            }
+          }
+        }
+        row[a.as] = MakeValueId(static_cast<uint32_t>(count));
+      }
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  void Order(std::vector<NaiveSolution>* sols,
+             const std::vector<OrderKey>& keys) const {
+    std::stable_sort(
+        sols->begin(), sols->end(),
+        [&](const NaiveSolution& a, const NaiveSolution& b) {
+          for (const OrderKey& k : keys) {
+            auto ia = a.find(k.var);
+            auto ib = b.find(k.var);
+            NaiveKey ka = NaiveKeyForId(
+                ia == a.end() ? kInvalidId : ia->second, data_.dict);
+            NaiveKey kb = NaiveKeyForId(
+                ib == b.end() ? kInvalidId : ib->second, data_.dict);
+            int c = NaiveCompareKeys(ka, kb);
+            if (c != 0) return k.ascending ? c < 0 : c > 0;
+          }
+          return false;
+        });
+  }
+
+  const Dataset& data_;
+  TripleVec triples_;
+};
+
+}  // namespace testutil
+}  // namespace axon
+
+#endif  // AXON_TESTS_NAIVE_EVAL_H_

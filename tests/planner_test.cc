@@ -3,11 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
 #include "engine/database.h"
 #include "engine/ecs_matcher.h"
 #include "engine/planner.h"
 #include "sparql/parser.h"
 #include "test_util.h"
+#include "util/random.h"
 
 namespace axon {
 namespace {
@@ -135,6 +140,171 @@ TEST_F(PlannerTest, ChainCostFollowsEquation9) {
   const ChainPlan& cp = plan.chains[0];
   // cost = cost(position 0) * mf(position 1) = 3 * 1 = 3.
   EXPECT_DOUBLE_EQ(cp.cost, 3.0);
+}
+
+// ------------------- global join ordering: DP vs greedy property suite
+
+// A random but well-formed JoinOrderInput: 2..8 units over a small chain
+// graph, Eq. 9-style costs and multiplication factors, identity priority.
+JoinOrderInput RandomJoinOrderInstance(Random* rng) {
+  JoinOrderInput in;
+  size_t n = 2 + static_cast<size_t>(rng->Uniform(7));
+  in.num_nodes = 1 + static_cast<size_t>(rng->Uniform(6));
+  for (size_t i = 0; i < n; ++i) {
+    in.cost.push_back(1.0 + static_cast<double>(rng->Uniform(100)));
+    in.mf_s.push_back(0.25 + rng->NextDouble() * 2.75);
+    in.mf_o.push_back(0.25 + rng->NextDouble() * 2.75);
+    in.subject_node.push_back(static_cast<int>(rng->Uniform(in.num_nodes)));
+    // Some units are pure stars with no object-side chain node.
+    in.object_node.push_back(
+        rng->Bernoulli(0.2) ? -1
+                            : static_cast<int>(rng->Uniform(in.num_nodes)));
+    in.priority.push_back(static_cast<int>(i));
+  }
+  return in;
+}
+
+TEST(JoinOrderPropertyTest, DpNeverCostsMoreThanGreedy) {
+  // Both orderings are scored by ReplayJoinOrder, and the greedy sequence
+  // is inside the DP's search space, so DP <= greedy must hold exactly
+  // (up to float noise), on every instance.
+  Random rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    JoinOrderInput in = RandomJoinOrderInstance(&rng);
+    JoinOrder greedy = OrderJoinsGreedy(in, true);
+    std::optional<JoinOrder> dp = OrderJoinsDp(in, 12);
+    ASSERT_TRUE(dp.has_value()) << "trial " << trial;
+    EXPECT_FALSE(greedy.used_dp);
+    EXPECT_TRUE(dp->used_dp);
+    EXPECT_LE(dp->total_cost, greedy.total_cost * (1.0 + 1e-9))
+        << "trial " << trial;
+
+    // The DP sequence is a permutation of the units.
+    std::vector<int> seq = dp->sequence;
+    std::sort(seq.begin(), seq.end());
+    std::vector<int> ids(in.cost.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    EXPECT_EQ(seq, ids) << "trial " << trial;
+
+    // Replaying the DP sequence through the shared model reproduces its
+    // reported cost: the DP scores with the same estimates it returns.
+    JoinOrder replay;
+    replay.sequence = dp->sequence;
+    ReplayJoinOrder(in, &replay);
+    EXPECT_NEAR(replay.total_cost, dp->total_cost,
+                1e-6 * std::max(1.0, dp->total_cost))
+        << "trial " << trial;
+    ASSERT_EQ(replay.running_estimate.size(), replay.sequence.size());
+
+    // The entry point picks the cheaper of the two.
+    JoinOrder chosen = OrderJoins(in, true, true, 12);
+    EXPECT_LE(chosen.total_cost,
+              std::min(greedy.total_cost, dp->total_cost) * (1.0 + 1e-9))
+        << "trial " << trial;
+  }
+}
+
+TEST(JoinOrderPropertyTest, DpDeclinesOutOfRangeInstances) {
+  Random rng(7);
+  JoinOrderInput in = RandomJoinOrderInstance(&rng);
+  // Instance larger than the unit budget.
+  EXPECT_FALSE(OrderJoinsDp(in, in.cost.size() - 1).has_value());
+
+  // A single unit needs no ordering.
+  JoinOrderInput single;
+  single.cost = {4.0};
+  single.mf_s = {1.0};
+  single.mf_o = {1.0};
+  single.subject_node = {0};
+  single.object_node = {-1};
+  single.priority = {0};
+  single.num_nodes = 1;
+  EXPECT_FALSE(OrderJoinsDp(single, 12).has_value());
+
+  // Node count beyond the 64-bit connectivity mask.
+  JoinOrderInput wide = RandomJoinOrderInstance(&rng);
+  wide.num_nodes = 65;
+  EXPECT_FALSE(OrderJoinsDp(wide, 12).has_value());
+
+  // The entry point still returns a usable greedy order for all of them.
+  JoinOrder fallback = OrderJoins(wide, true, true, 12);
+  EXPECT_FALSE(fallback.used_dp);
+  EXPECT_EQ(fallback.sequence.size(), wide.cost.size());
+}
+
+// ------------------------- DP planner end-to-end differential properties
+
+TEST(DpPlannerDifferentialTest, DpAndGreedyReturnIdenticalResults) {
+  // Join order must never change answers: the DP-planned engine and the
+  // greedy-only engine agree on every generated BGP of <= 8 patterns.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Dataset data = testutil::RandomDataset(30, 6, 400, 0.3, seed * 29 + 5);
+    EngineOptions dp_opt;
+    dp_opt.use_dp_planner = true;
+    dp_opt.dp_join_threshold = 12;
+    EngineOptions greedy_opt;
+    greedy_opt.use_dp_planner = false;
+    auto dp_db = Database::Build(data, dp_opt);
+    auto greedy_db = Database::Build(data, greedy_opt);
+    ASSERT_TRUE(dp_db.ok());
+    ASSERT_TRUE(greedy_db.ok());
+
+    testutil::QueryGen gen(seed * 97 + 1, 30, 6);
+    int compared = 0;
+    for (int trial = 0; trial < 80 && compared < 25; ++trial) {
+      std::string sparql = gen.Next();
+      auto q = ParseSparql(sparql);
+      ASSERT_TRUE(q.ok()) << sparql;
+      if (q.value().patterns.size() > 8) continue;
+      ++compared;
+      auto proj = q.value().EffectiveProjection();
+      auto r_dp = dp_db.value().Execute(q.value());
+      auto r_greedy = greedy_db.value().Execute(q.value());
+      ASSERT_TRUE(r_dp.ok()) << sparql;
+      ASSERT_TRUE(r_greedy.ok()) << sparql;
+      EXPECT_EQ(r_dp.value().table.CanonicalRows(proj),
+                r_greedy.value().table.CanonicalRows(proj))
+          << "DP and greedy disagree on:\n"
+          << sparql;
+    }
+    EXPECT_GE(compared, 10) << "seed " << seed;
+  }
+}
+
+TEST(DpPlannerDifferentialTest, ParallelismOneAndAutoAreBitIdentical) {
+  // With the DP planner on, results are bit-identical (same column order,
+  // same row order, same ids) between serial execution and hardware-auto
+  // parallelism — not merely multiset-equal.
+  Dataset data = testutil::RandomDataset(30, 6, 400, 0.3, 99);
+  EngineOptions serial_opt;
+  serial_opt.use_dp_planner = true;
+  serial_opt.parallelism = 1;
+  EngineOptions auto_opt;
+  auto_opt.use_dp_planner = true;
+  auto_opt.parallelism = 0;  // hardware concurrency
+  auto serial = Database::Build(data, serial_opt);
+  auto parallel = Database::Build(data, auto_opt);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+
+  testutil::QueryGen gen(424242, 30, 6);
+  int compared = 0;
+  for (int trial = 0; trial < 60 && compared < 20; ++trial) {
+    std::string sparql = gen.Next();
+    auto q = ParseSparql(sparql);
+    ASSERT_TRUE(q.ok()) << sparql;
+    if (q.value().patterns.size() > 8) continue;
+    ++compared;
+    auto r1 = serial.value().Execute(q.value());
+    auto r2 = parallel.value().Execute(q.value());
+    ASSERT_TRUE(r1.ok()) << sparql;
+    ASSERT_TRUE(r2.ok()) << sparql;
+    EXPECT_EQ(r1.value().table.vars(), r2.value().table.vars()) << sparql;
+    EXPECT_EQ(r1.value().table.flat(), r2.value().table.flat())
+        << "parallelism changed bits on:\n"
+        << sparql;
+  }
+  EXPECT_GE(compared, 10);
 }
 
 }  // namespace

@@ -93,13 +93,77 @@ TEST_F(ResultsIoTest, EmptyTable) {
   EXPECT_NE(json.value().find("\"bindings\":[]"), std::string::npos);
 }
 
-TEST_F(ResultsIoTest, RejectsInvalidIds) {
+TEST_F(ResultsIoTest, RejectsDanglingIds) {
   BindingTable t({"a"});
-  t.AppendRow({kInvalidId});
+  t.AppendRow({TermId(999)});
+  EXPECT_FALSE(WriteResults(t, dict_, ResultFormat::kJson).ok());
   EXPECT_FALSE(WriteResults(t, dict_, ResultFormat::kTsv).ok());
-  BindingTable t2({"a"});
-  t2.AppendRow({TermId(999)});
-  EXPECT_FALSE(WriteResults(t2, dict_, ResultFormat::kJson).ok());
+}
+
+TEST_F(ResultsIoTest, UnboundCellsSerialize) {
+  BindingTable t({"a", "b"});
+  t.AppendRow({TermId(1), kInvalidId});
+  t.AppendRow({kInvalidId, TermId(2)});
+  auto tsv = WriteResults(t, dict_, ResultFormat::kTsv);
+  ASSERT_TRUE(tsv.ok());
+  EXPECT_EQ(tsv.value(),
+            "?a\t?b\n"
+            "<http://x/alice>\t\n"
+            "\t\"plain value\"\n");
+  auto csv = WriteResults(t, dict_, ResultFormat::kCsv);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv.value(), "a,b\r\nhttp://x/alice,\r\n,plain value\r\n");
+  auto json = WriteResults(t, dict_, ResultFormat::kJson);
+  ASSERT_TRUE(json.ok());
+  // The unbound variable's binding is simply absent from the row object.
+  EXPECT_NE(json.value().find("{\"a\":{\"type\":\"uri\"", 0),
+            std::string::npos);
+  EXPECT_EQ(json.value().find("\"b\":{\"type\":\"uri\""), std::string::npos);
+}
+
+TEST_F(ResultsIoTest, ValueTaggedIdsSerializeAsIntegerLiterals) {
+  BindingTable t({"n"});
+  t.AppendRow({MakeValueId(42)});
+  auto tsv = WriteResults(t, dict_, ResultFormat::kTsv);
+  ASSERT_TRUE(tsv.ok());
+  EXPECT_EQ(tsv.value(),
+            "?n\n\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>\n");
+  auto csv = WriteResults(t, dict_, ResultFormat::kCsv);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv.value(), "n\r\n42\r\n");
+}
+
+TEST_F(ResultsIoTest, TsvRoundTripIdentity) {
+  BindingTable t({"s", "o", "n"});
+  t.AppendRow({TermId(1), TermId(2), MakeValueId(7)});
+  t.AppendRow({TermId(5), kInvalidId, MakeValueId(0)});
+  t.AppendRow({kInvalidId, kInvalidId, kInvalidId});
+  auto tsv = WriteResults(t, dict_, ResultFormat::kTsv);
+  ASSERT_TRUE(tsv.ok());
+  auto back = ReadResultsTsv(tsv.value(), dict_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().vars(), t.vars());
+  ASSERT_EQ(back.value().num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      EXPECT_EQ(back.value().at(r, c), t.at(r, c)) << r << "," << c;
+    }
+  }
+  // And the re-serialization is byte-identical.
+  auto tsv2 = WriteResults(back.value(), dict_, ResultFormat::kTsv);
+  ASSERT_TRUE(tsv2.ok());
+  EXPECT_EQ(tsv2.value(), tsv.value());
+}
+
+TEST_F(ResultsIoTest, TsvReadRejectsMalformedInput) {
+  EXPECT_FALSE(ReadResultsTsv("no header newline", dict_).ok());
+  EXPECT_FALSE(ReadResultsTsv("a\tb\n", dict_).ok());  // header not ?vars
+  // Unknown term (not in dict, not an integer literal).
+  EXPECT_FALSE(ReadResultsTsv("?a\n<http://x/unknown>\n", dict_).ok());
+  // Row arity mismatches.
+  EXPECT_FALSE(ReadResultsTsv("?a\t?b\n<http://x/alice>\n", dict_).ok());
+  EXPECT_FALSE(
+      ReadResultsTsv("?a\n<http://x/alice>\t<http://x/alice>\n", dict_).ok());
 }
 
 TEST(EscapeTest, JsonEscapesControlCharacters) {

@@ -140,8 +140,164 @@ TEST(ParserTest, Errors) {
                    .ok());  // projected var unused
   EXPECT_FALSE(ParseSparql(
                    "SELECT ?x WHERE { ?x <http://p> ?o } LIMIT ?x").ok());
-  EXPECT_FALSE(ParseSparql(R"(SELECT ?x WHERE {
-      ?x <http://p> ?o . FILTER(?o = ?x) })").ok());  // var-var filter
+  // Var-var comparisons are legal since the extended filter grammar; they
+  // evaluate as general filter expressions rather than equality pushdowns.
+  EXPECT_TRUE(ParseSparql(R"(SELECT ?x WHERE {
+      ?x <http://p> ?o . FILTER(?o = ?x) })").ok());
+}
+
+// ----------------------------------------------------- extended grammar
+
+TEST(ParserExtendedTest, OptionalBlocksNestAndCarryFilters) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?x ?a ?b WHERE {
+        ?x ex:p ?v .
+        OPTIONAL { ?x ex:a ?a . FILTER ( ?a > 3 )
+                   OPTIONAL { ?a ex:b ?b } }
+      })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().optionals.size(), 1u);
+  const GroupPattern& opt = q.value().optionals[0];
+  EXPECT_EQ(opt.patterns.size(), 1u);
+  EXPECT_EQ(opt.filters.size(), 1u);
+  ASSERT_EQ(opt.optionals.size(), 1u);
+  EXPECT_EQ(opt.optionals[0].patterns.size(), 1u);
+}
+
+TEST(ParserExtendedTest, UnionBranchesAndTopLevelUnionOnly) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?x WHERE {
+        { ?x ex:a ?y } UNION { ?x ex:b ?y } UNION { ?x ex:c ?y }
+      })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q.value().patterns.empty());
+  ASSERT_EQ(q.value().unions.size(), 1u);
+  EXPECT_EQ(q.value().unions[0].branches.size(), 3u);
+}
+
+TEST(ParserExtendedTest, FilterExpressionTreeShape) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?x WHERE {
+        ?x ex:p ?v . ?x ex:q ?w .
+        FILTER ( ( ?v >= 2 && ?v < 9 ) || ! bound(?w) )
+      })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().expr_filters.size(), 1u);
+  const FilterExpr& e = q.value().expr_filters[0];
+  ASSERT_EQ(e.op, FilterOp::kOr);
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0].op, FilterOp::kAnd);
+  EXPECT_EQ(e.args[0].args[0].op, FilterOp::kGe);
+  EXPECT_EQ(e.args[0].args[1].op, FilterOp::kLt);
+  ASSERT_EQ(e.args[1].op, FilterOp::kNot);
+  EXPECT_EQ(e.args[1].args[0].op, FilterOp::kBound);
+  EXPECT_EQ(e.args[1].args[0].var, "w");
+}
+
+TEST(ParserExtendedTest, SimpleEqualityStaysOnLegacyPushdownPath) {
+  // FILTER(?v = const) keeps using the EqualityFilter fast path the BGP
+  // engines push into the scan; everything else becomes a FilterExpr.
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?x WHERE { ?x ex:p ?v . FILTER(?v = ex:thing) })");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().filters.size(), 1u);
+  EXPECT_TRUE(q.value().expr_filters.empty());
+
+  auto q2 = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?x WHERE { ?x ex:p ?v . FILTER ( ?v != ex:thing ) })");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2.value().filters.empty());
+  EXPECT_EQ(q2.value().expr_filters.size(), 1u);
+}
+
+TEST(ParserExtendedTest, SolutionModifiers) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT ?g (COUNT(DISTINCT ?x) AS ?n) WHERE {
+        ?x ex:in ?g .
+      } GROUP BY ?g ORDER BY DESC(?n) ?g LIMIT 5 OFFSET 2)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().group_by, (std::vector<std::string>{"g"}));
+  ASSERT_EQ(q.value().aggregates.size(), 1u);
+  EXPECT_TRUE(q.value().aggregates[0].distinct);
+  EXPECT_EQ(q.value().aggregates[0].var, "x");
+  EXPECT_EQ(q.value().aggregates[0].as, "n");
+  ASSERT_EQ(q.value().order_by.size(), 2u);
+  EXPECT_FALSE(q.value().order_by[0].ascending);
+  EXPECT_EQ(q.value().order_by[0].var, "n");
+  EXPECT_TRUE(q.value().order_by[1].ascending);
+  EXPECT_EQ(q.value().limit, std::optional<uint64_t>(5));
+  EXPECT_EQ(q.value().offset, 2u);
+  EXPECT_EQ(q.value().EffectiveProjection(),
+            (std::vector<std::string>{"g", "n"}));
+}
+
+TEST(ParserExtendedTest, CountStarWithoutGrouping) {
+  auto q = ParseSparql(
+      "SELECT (COUNT(*) AS ?total) WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q.value().group_by.empty());
+  ASSERT_EQ(q.value().aggregates.size(), 1u);
+  EXPECT_TRUE(q.value().aggregates[0].var.empty());
+  EXPECT_EQ(q.value().EffectiveProjection(),
+            (std::vector<std::string>{"total"}));
+}
+
+TEST(ParserExtendedTest, IsConjunctiveRouting) {
+  // The ECS fast path takes conjunctive queries only; anything with the
+  // extended constructs must route through the general evaluator.
+  auto plain = ParseSparql("SELECT ?x WHERE { ?x <http://p> ?o } LIMIT 3");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.value().IsConjunctive());
+  auto opt = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://p> ?o OPTIONAL { ?x <http://q> ?b } }");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_FALSE(opt.value().IsConjunctive());
+  auto agg = ParseSparql(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://p> ?o }");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_FALSE(agg.value().IsConjunctive());
+}
+
+TEST(ParserExtendedTest, ValidationErrors) {
+  // Empty group.
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { }").ok());
+  // ORDER BY a variable that exists nowhere.
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x <http://p> ?o } ORDER BY ?zzz").ok());
+  // Projection outside GROUP BY.
+  EXPECT_FALSE(ParseSparql(R"(SELECT ?o (COUNT(*) AS ?n) WHERE {
+      ?x <http://p> ?o } GROUP BY ?x)").ok());
+  // Aggregate output name collides with a pattern variable.
+  EXPECT_FALSE(ParseSparql(R"(SELECT (COUNT(*) AS ?o) WHERE {
+      ?x <http://p> ?o })").ok());
+  // ORDER BY key not in group_by or aggregate outputs.
+  EXPECT_FALSE(ParseSparql(R"(SELECT ?x (COUNT(*) AS ?n) WHERE {
+      ?x <http://p> ?o } GROUP BY ?x ORDER BY ?o)").ok());
+  // UNION with a single brace group but no UNION keyword is an error.
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { { ?x <http://p> ?o } UNION }").ok());
+}
+
+TEST(ParserExtendedTest, ExtendedToStringRoundTrips) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://e/>
+      SELECT DISTINCT ?x ?t WHERE {
+        ?x ex:p ?v .
+        OPTIONAL { ?x ex:t ?t }
+        { ?x ex:a ?w } UNION { ?x ex:b ?w }
+        FILTER ( ?v > 1 || bound(?t) )
+      } ORDER BY DESC(?x) LIMIT 7 OFFSET 1)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto q2 = ParseSparql(q.value().ToString());
+  ASSERT_TRUE(q2.ok()) << "re-parse failed on:\n"
+                       << q.value().ToString() << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(q2.value().patterns, q.value().patterns);
+  EXPECT_EQ(q2.value().expr_filters, q.value().expr_filters);
+  EXPECT_EQ(q2.value().optionals.size(), q.value().optionals.size());
+  EXPECT_EQ(q2.value().unions.size(), q.value().unions.size());
+  EXPECT_EQ(q2.value().order_by, q.value().order_by);
+  EXPECT_EQ(q2.value().limit, q.value().limit);
+  EXPECT_EQ(q2.value().offset, q.value().offset);
 }
 
 TEST(ParserTest, ErrorsCarryLineNumbers) {

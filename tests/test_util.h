@@ -156,6 +156,69 @@ class QueryGen {
     return q;
   }
 
+  /// Extended-surface generator: a small conjunctive core plus random
+  /// OPTIONAL blocks, UNION branches, comparison/bound() filters,
+  /// aggregation and ORDER BY. No LIMIT/OFFSET: the suites using this
+  /// compare result multisets, and a LIMIT over duplicate sort keys would
+  /// make the kept slice engine-dependent.
+  std::string NextExtended() {
+    patterns_.clear();
+    filters_.clear();
+    next_var_ = 0;
+
+    int hops = 1 + static_cast<int>(rng_.Uniform(2));
+    std::string prev = NodeTerm(true);
+    for (int h = 0; h < hops; ++h) {
+      std::string next = Var();
+      AddPattern(prev, Predicate(), next);
+      prev = next;
+    }
+    MaybeStar(prev);
+
+    std::string body;
+    for (const std::string& p : patterns_) body += p + " . ";
+    if (rng_.Bernoulli(0.5)) {
+      body += "OPTIONAL { ?v0 " + Predicate() + " " + Var() + " } ";
+    }
+    if (rng_.Bernoulli(0.4)) {
+      std::string uv = Var();
+      body += "{ ?v0 " + Predicate() + " " + uv + " } UNION { ?v0 " +
+              Predicate() + " " + uv + " } ";
+    }
+    if (rng_.Bernoulli(0.5)) {
+      // May hit an OPTIONAL variable: exercises unbound-comparison errors.
+      std::string fv = "?v" + std::to_string(rng_.Uniform(next_var_));
+      switch (rng_.Uniform(3)) {
+        case 0:
+          body += "FILTER bound(" + fv + ") ";
+          break;
+        case 1:
+          body += "FILTER ( ! bound(" + fv + ") ) ";
+          break;
+        default: {
+          static const char* kOps[] = {"<", "<=", ">", ">=", "!="};
+          body += "FILTER ( " + fv + " " + kOps[rng_.Uniform(5)] + " " +
+                  BoundNode() + " ) ";
+          break;
+        }
+      }
+    }
+
+    const bool aggregate = rng_.Bernoulli(0.25);
+    std::string q = "SELECT ";
+    if (aggregate) {
+      q += rng_.Bernoulli(0.5) ? "(COUNT(DISTINCT ?v0) AS ?cnt) "
+                               : "(COUNT(*) AS ?cnt) ";
+    } else {
+      q += rng_.Bernoulli(0.3) ? "DISTINCT * " : "* ";
+    }
+    q += "WHERE { " + body + "}";
+    if (!aggregate && rng_.Bernoulli(0.4)) {
+      q += rng_.Bernoulli(0.5) ? " ORDER BY ?v0" : " ORDER BY DESC(?v0)";
+    }
+    return q;
+  }
+
  private:
   std::string Var() { return "?v" + std::to_string(next_var_++); }
   std::string BoundNode() {

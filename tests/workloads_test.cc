@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "datagen/geonames_generator.h"
 #include "datagen/lubm_generator.h"
 #include "datagen/reactome_generator.h"
+#include "datagen/sp2b_generator.h"
 #include "engine/database.h"
 #include "engine/query_graph.h"
 #include "sparql/parser.h"
@@ -157,6 +160,90 @@ TEST(WorkloadShapeTest, ModifiedLubmIsUnboundHeavy) {
       EXPECT_FALSE(tp.p.is_variable) << name;
     }
   }
+}
+
+// --------------------------------------------- SP²Bench-inspired family
+
+TEST(Sp2bWorkloadTest, HasElevenQueriesAndAllParse) {
+  const Workload& w = Sp2bWorkload();
+  EXPECT_EQ(w.queries.size(), 11u);
+  for (const WorkloadQuery& q : w.queries) {
+    auto parsed = ParseSparql(q.sparql);
+    ASSERT_TRUE(parsed.ok())
+        << q.name << ": " << parsed.status().ToString();
+    // Extended queries may put all their patterns inside UNION/OPTIONAL
+    // blocks, but none of them is completely empty.
+    EXPECT_TRUE(!parsed.value().patterns.empty() ||
+                !parsed.value().unions.empty() ||
+                !parsed.value().optionals.empty())
+        << q.name;
+  }
+}
+
+TEST(Sp2bWorkloadTest, FamilyCoversTheExtendedQuerySurface) {
+  // The family exists to exercise the full extended algebra: together the
+  // eleven queries must use every construct at least once.
+  bool optional = false, unions = false, expr_filter = false;
+  bool order_by = false, desc = false, limit = false, offset = false;
+  bool group_by = false, count = false, count_distinct = false;
+  bool distinct = false;
+  for (const WorkloadQuery& wq : Sp2bWorkload().queries) {
+    auto q = ParseSparql(wq.sparql);
+    ASSERT_TRUE(q.ok()) << wq.name;
+    optional |= !q.value().optionals.empty();
+    unions |= !q.value().unions.empty();
+    expr_filter |= !q.value().expr_filters.empty();
+    order_by |= !q.value().order_by.empty();
+    for (const OrderKey& k : q.value().order_by) desc |= !k.ascending;
+    limit |= q.value().limit.has_value();
+    offset |= q.value().offset > 0;
+    group_by |= !q.value().group_by.empty();
+    count |= !q.value().aggregates.empty();
+    for (const Aggregate& a : q.value().aggregates) {
+      count_distinct |= a.distinct;
+    }
+    distinct |= q.value().distinct;
+  }
+  EXPECT_TRUE(optional);
+  EXPECT_TRUE(unions);
+  EXPECT_TRUE(expr_filter);
+  EXPECT_TRUE(order_by);
+  EXPECT_TRUE(desc);
+  EXPECT_TRUE(limit);
+  EXPECT_TRUE(offset);
+  EXPECT_TRUE(group_by);
+  EXPECT_TRUE(count);
+  EXPECT_TRUE(count_distinct);
+  EXPECT_TRUE(distinct);
+}
+
+TEST(Sp2bWorkloadExecutionTest, AllQueriesYieldResults) {
+  Dataset data = GenerateSp2bDataset(Sp2bConfig{});
+  auto db = Database::Build(data);
+  ASSERT_TRUE(db.ok());
+  for (const WorkloadQuery& q : Sp2bWorkload().queries) {
+    auto r = db.value().ExecuteSparql(q.sparql);
+    ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+    EXPECT_GT(r.value().table.num_rows(), 0u) << q.name;
+  }
+}
+
+TEST(Sp2bGeneratorTest, DeterministicInSeedAndScalesWithConfig) {
+  Sp2bConfig cfg;
+  Dataset a = GenerateSp2bDataset(cfg);
+  Dataset b = GenerateSp2bDataset(cfg);
+  ASSERT_EQ(a.triples.size(), b.triples.size());
+  EXPECT_TRUE(std::equal(
+      a.triples.begin(), a.triples.end(), b.triples.begin(),
+      [](const Triple& x, const Triple& y) { return x.Key() == y.Key(); }));
+  Sp2bConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  Dataset c = GenerateSp2bDataset(other);
+  // Same shape, different random choices (authors, optional properties).
+  EXPECT_NE(a.triples.size(), 0u);
+  Sp2bConfig bigger = cfg;
+  bigger.num_years = cfg.num_years * 2;
+  EXPECT_GT(GenerateSp2bDataset(bigger).triples.size(), a.triples.size());
 }
 
 TEST(WorkloadShapeTest, ComplexityOrderingRoughlyIncreases) {
