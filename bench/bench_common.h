@@ -26,6 +26,8 @@
 #include "baselines/vp_engine.h"
 #include "engine/database.h"
 #include "engine/governed_engine.h"
+#include "exec/batch.h"
+#include "exec/exec_mode.h"
 #include "sparql/parser.h"
 #include "util/bench_report.h"
 #include "workloads/workloads.h"
@@ -262,6 +264,80 @@ inline void RunGovernedSection(const EngineFleet& fleet,
       static_cast<unsigned long long>(gov.completed),
       static_cast<unsigned long long>(gov.budget_killed),
       static_cast<unsigned long long>(gov.degraded));
+}
+
+/// Row-vs-batch execution ablation: times the workload twice on `engine`,
+/// flipping the process-wide default execution mode between runs (the
+/// process default is what pool workers read, so parallel plans flip too).
+/// Prints per-query speedups and records one report row per (query, arm)
+/// under section "<section>/batch_ablation" with engine names "exec-row" /
+/// "exec-batch" — both arms land in BENCH_*.json, so bench_diff gates each
+/// against its own baseline.
+///
+/// When AXON_REQUIRE_BATCH_SPEEDUP is set (the nightly full-scale gate;
+/// value = minimum factor, e.g. "1.3"), returns false if the geometric-
+/// mean speedup over the scan-heavy queries falls below it. Scan-heavy =
+/// rows_scanned of at least 8 batches, so the blocked scan loops actually
+/// run; tiny lookups are reported but not gated (their wall time is all
+/// fixed cost). Callers turn false into a nonzero exit AFTER ReportScope
+/// has written the JSON.
+inline bool RunBatchAblationSection(const QueryEngine& engine,
+                                    const Workload& workload,
+                                    const std::string& section,
+                                    int reps = 3) {
+  std::printf("\n== execution ablation: row vs batch (%s) ==\n",
+              engine.name().c_str());
+  std::printf("%-22s%14s%14s%10s%14s\n", "query", "row (s)", "batch (s)",
+              "speedup", "scan-heavy");
+  std::vector<double> speedups;  // scan-heavy queries only
+  for (const WorkloadQuery& wq : workload.queries) {
+    auto q = ParseSparql(wq.sparql);
+    if (!q.ok()) continue;
+    SetDefaultExecMode(ExecMode::kRow);
+    double row_secs = TimeQuery(engine, q.value(), reps);
+    SetDefaultExecMode(ExecMode::kBatch);
+    double batch_secs = TimeQuery(engine, q.value(), reps);
+    auto r = engine.Execute(q.value());
+    if (row_secs < 0 || batch_secs < 0 || !r.ok()) continue;
+    const ExecStats& stats = r.value().stats;
+    bool scan_heavy = stats.rows_scanned >= 8 * kBatchRows;
+    if (scan_heavy && batch_secs > 0) speedups.push_back(row_secs / batch_secs);
+    if (Report* report = Report::Current()) {
+      report->AddRow(ReportRow{section + "/batch_ablation", wq.name,
+                               "exec-row", row_secs, stats.pages_read,
+                               stats.rows_scanned, stats.intermediate_rows,
+                               stats.joins});
+      report->AddRow(ReportRow{section + "/batch_ablation", wq.name,
+                               "exec-batch", batch_secs, stats.pages_read,
+                               stats.rows_scanned, stats.intermediate_rows,
+                               stats.joins});
+    }
+    std::printf("%-22s%14.6f%14.6f%9.2fx%14s\n", wq.name.c_str(), row_secs,
+                batch_secs, batch_secs > 0 ? row_secs / batch_secs : 0.0,
+                scan_heavy ? "yes" : "no");
+  }
+  double gm = GeometricMean(speedups);
+  std::printf("%-22s%52.2fx  (over %zu scan-heavy queries)\n",
+              "GM batch speedup", gm, speedups.size());
+
+  const char* req = std::getenv("AXON_REQUIRE_BATCH_SPEEDUP");
+  if (req != nullptr && *req != '\0') {
+    double min_factor = std::atof(req);
+    if (min_factor <= 0) min_factor = 1.3;
+    if (speedups.empty()) {
+      std::printf("batch-speedup gate: no scan-heavy queries at this scale; "
+                  "gate skipped\n");
+    } else if (gm < min_factor) {
+      std::fprintf(stderr,
+                   "batch-speedup gate FAILED: GM %.2fx < required %.2fx\n",
+                   gm, min_factor);
+      return false;
+    } else {
+      std::printf("batch-speedup gate passed: GM %.2fx >= %.2fx\n", gm,
+                  min_factor);
+    }
+  }
+  return true;
 }
 
 }  // namespace bench

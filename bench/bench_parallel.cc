@@ -14,7 +14,7 @@ namespace axon {
 namespace bench {
 namespace {
 
-void Run() {
+bool Run() {
   std::printf("== Parallel engine: serial vs pooled load & query ==\n\n");
   uint32_t unis = Scaled(8);
   LubmConfig cfg;
@@ -38,7 +38,7 @@ void Run() {
     if (!db.ok()) {
       std::fprintf(stderr, "build failed: %s\n",
                    db.status().ToString().c_str());
-      return;
+      return false;
     }
 
     std::vector<double> times;
@@ -63,6 +63,20 @@ void Run() {
       "\nnote: query speedup is bounded by per-query parallel slack — small"
       " matched ECS sets leave little to scatter; load parallelism (sorts,"
       " extraction, index builds) scales more uniformly.\n");
+
+  // Row-vs-batch ablation on the pooled engine: the process-default mode
+  // flip inside the section covers the scatter/gather workers.
+  EngineOptions opt;
+  opt.use_hierarchy = true;
+  opt.use_planner = true;
+  opt.parallelism = 4;
+  auto db = Database::Build(data, opt);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return false;
+  }
+  return RunBatchAblationSection(db.value(), LubmModifiedWorkload(),
+                                 "parallel");
 }
 
 }  // namespace
@@ -70,7 +84,10 @@ void Run() {
 }  // namespace axon
 
 int main() {
-  axon::bench::ReportScope bench_report("parallel");
-  axon::bench::Run();
-  return 0;
+  bool ok;
+  {
+    axon::bench::ReportScope bench_report("parallel");
+    ok = axon::bench::Run();
+  }
+  return ok ? 0 : 1;
 }

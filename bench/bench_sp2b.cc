@@ -29,6 +29,8 @@ int main() {
               fleet.data.triples.size());
   RunComparisonTable(fleet, Sp2bWorkload());
   RunGovernedSection(fleet, Sp2bWorkload());
+  bool ablation_ok =
+      RunBatchAblationSection(*fleet.axon_plus, Sp2bWorkload(), "sp2b");
 
   // Planner ablation: DPsize join ordering vs the greedy-only heuristic
   // on the same axonDB+ configuration.
@@ -63,5 +65,5 @@ int main() {
       "\npaper shape: the extended constructs stay within the same order"
       " of magnitude across engines; DP ordering never loses to greedy"
       " on estimated cost.\n");
-  return 0;
+  return ablation_ok ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "engine/extended_eval.h"
+#include "exec/batch.h"
+#include "exec/exec_mode.h"
 #include "util/cancellation.h"
 #include "util/failpoint.h"
 #include "util/resource_governor.h"
@@ -13,26 +15,6 @@
 #include "util/trace.h"
 
 namespace axon {
-
-namespace {
-
-// Appends src's rows to dst, mapping columns by name (schemas must contain
-// the same column set, any order).
-void AppendRowsByName(BindingTable* dst, const BindingTable& src) {
-  std::vector<int> mapping(dst->num_cols());
-  for (size_t c = 0; c < dst->num_cols(); ++c) {
-    mapping[c] = src.ColumnIndex(dst->vars()[c]);
-  }
-  std::vector<TermId> row(dst->num_cols());
-  for (size_t r = 0; r < src.num_rows(); ++r) {
-    for (size_t c = 0; c < dst->num_cols(); ++c) {
-      row[c] = mapping[c] < 0 ? kInvalidId : src.at(r, mapping[c]);
-    }
-    dst->AppendRow(row);
-  }
-}
-
-}  // namespace
 
 void Executor::AccountPageReads(const std::vector<RowRange>& sorted_ranges,
                                 ExecStats* stats) {
@@ -152,12 +134,35 @@ void Executor::StarMergeScan(const QueryGraph& qg,
   // Per pattern: list of (p value or 0, o value or 0) matches in the group.
   std::vector<std::vector<std::pair<TermId, TermId>>> matches(k);
   std::vector<TermId> row_buf(out->num_cols());
+  // In batch mode, output rows accumulate in a columnar batch flushed per
+  // kBatchRows (one append/charge per block) and stop checks stretch to
+  // batch granularity; row mode keeps the per-leaf reference behavior.
+  const bool use_batch = CurrentExecMode() == ExecMode::kBatch;
+  const size_t check_rows = use_batch ? kBatchRows : kStopCheckRows;
+  Batch batch;
+  size_t batch_rows = 0;
+  if (use_batch) batch.Reset(out->num_cols());
+  auto emit_row = [&] {
+    if (!use_batch) {
+      out->AppendRow(row_buf);
+      return;
+    }
+    for (size_t c = 0; c < row_buf.size(); ++c) {
+      batch.col(c)[batch_rows] = row_buf[c];
+    }
+    if (++batch_rows == kBatchRows) {
+      batch.set_size(batch_rows);
+      out->AppendBatch(batch);
+      batch.Reset(out->num_cols());
+      batch_rows = 0;
+    }
+  };
   size_t counted = 0;
   size_t i = 0;
   while (i < n) {
-    // Stop check per leaf-sized stretch of consumed rows (a subject group
-    // larger than one leaf delays the check until the group ends).
-    if (i - counted >= kStopCheckRows) {
+    // Stop check per block-sized stretch of consumed rows (a subject group
+    // larger than one block delays the check until the group ends).
+    if (i - counted >= check_rows) {
       AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
       counted = i;
       if (ctx != nullptr) ctx->CheckStop();
@@ -194,7 +199,7 @@ void Executor::StarMergeScan(const QueryGraph& qg,
           if (!p.p_bound() && !p.p_var.empty()) row_buf[col++] = pv;
           if (!p.o_bound() && !p.o_var.empty()) row_buf[col++] = ov;
         }
-        out->AppendRow(row_buf);
+        emit_row();
         // Advance the odometer.
         size_t d = 0;
         for (; d < k; ++d) {
@@ -205,6 +210,10 @@ void Executor::StarMergeScan(const QueryGraph& qg,
       }
     }
     i = j;
+  }
+  if (use_batch && batch_rows > 0) {
+    batch.set_size(batch_rows);
+    out->AppendBatch(batch);
   }
   AXON_COUNTER_ADD("exec.triples_scanned", n - counted);
   // intermediate_rows accounting is the caller's job: it tracks the
@@ -628,6 +637,10 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query,
         // pipeline honors the same shared context the pool workers check:
         // one test per leaf-sized chunk, caught by the post-loop check below.
         star = BindingTable({qg.nodes[node].col});
+        const bool use_batch = CurrentExecMode() == ExecMode::kBatch;
+        std::vector<TermId> subs(use_batch ? kBatchRows : 0);
+        std::vector<SelVector> sel(use_batch ? kBatchRows : 0);
+        Batch batch;
         for (CsId cs : allowed) {
           if (ctx->ShouldStop()) break;
           RowRange range = qg.nodes[node].is_variable
@@ -636,17 +649,42 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query,
           std::span<const Triple> rows = cs_->spo().slice(range);
           size_t counted = 0;
           TermId last = kInvalidId;
-          for (size_t i = 0; i < rows.size(); ++i) {
-            if ((i % kStopCheckRows) == 0) {
-              AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
-              counted = i;
+          if (use_batch) {
+            // Blocked subject dedup: extract the subject column, build a
+            // selection of group starts (subjects are contiguous in SPO
+            // order), gather, append — one stop check per block.
+            for (size_t base = 0; base < rows.size(); base += kBatchRows) {
+              AXON_COUNTER_ADD("exec.triples_scanned", base - counted);
+              counted = base;
               if (ctx->ShouldStop()) break;
+              const size_t bn = std::min(kBatchRows, rows.size() - base);
+              result.stats.rows_scanned += bn;
+              for (size_t i = 0; i < bn; ++i) subs[i] = rows[base + i].s;
+              size_t k = 0;
+              for (size_t i = 0; i < bn; ++i) {
+                sel[k] = static_cast<SelVector>(i);
+                k += subs[i] != last ? 1 : 0;
+                last = subs[i];
+              }
+              if (k == 0) continue;
+              batch.Reset(1);
+              GatherCol(subs.data(), sel.data(), k, batch.col(0));
+              batch.set_size(k);
+              star.AppendBatch(batch);
             }
-            const Triple& t = rows[i];
-            ++result.stats.rows_scanned;
-            if (t.s != last) {
-              star.AppendRow({t.s});
-              last = t.s;
+          } else {
+            for (size_t i = 0; i < rows.size(); ++i) {
+              if ((i % kStopCheckRows) == 0) {
+                AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
+                counted = i;
+                if (ctx->ShouldStop()) break;
+              }
+              const Triple& t = rows[i];
+              ++result.stats.rows_scanned;
+              if (t.s != last) {
+                star.AppendRow({t.s});
+                last = t.s;
+              }
             }
           }
           AXON_COUNTER_ADD("exec.triples_scanned",

@@ -24,21 +24,6 @@ inline uint32_t ShardOf(TermId subject, size_t num_shards) {
   return static_cast<uint32_t>(Mix64(subject.value()) % num_shards);
 }
 
-// Appends src's rows to dst, mapping columns by name.
-void AppendRowsByName(BindingTable* dst, const BindingTable& src) {
-  std::vector<int> mapping(dst->num_cols());
-  for (size_t c = 0; c < dst->num_cols(); ++c) {
-    mapping[c] = src.ColumnIndex(dst->vars()[c]);
-  }
-  std::vector<TermId> row(dst->num_cols());
-  for (size_t r = 0; r < src.num_rows(); ++r) {
-    for (size_t c = 0; c < dst->num_cols(); ++c) {
-      row[c] = mapping[c] < 0 ? kInvalidId : src.at(r, mapping[c]);
-    }
-    dst->AppendRow(row);
-  }
-}
-
 }  // namespace
 
 Result<ShardedDatabase> ShardedDatabase::Build(const Dataset& dataset,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "exec/batch.h"
+#include "exec/exec_mode.h"
 #include "util/resource_governor.h"
 
 namespace axon {
@@ -17,9 +20,13 @@ int BindingTable::ColumnIndex(const std::string& var) const {
 void BindingTable::GrowFor(size_t needed) {
   if (needed <= data_.capacity()) return;
   // Explicit doubling keeps the charged amounts deterministic (independent
-  // of the standard library's growth policy).
+  // of the standard library's growth policy). Capacities always walk the
+  // canonical 64·2^k chain, so the total charged for a table of a given
+  // final size is identical whether it was filled row-at-a-time or in
+  // 1024-row batches — row and batch execution hit the same budget wall
+  // at the same point.
   size_t new_cap = std::max<size_t>(data_.capacity() * 2, 64);
-  new_cap = std::max(new_cap, needed);
+  while (new_cap < needed) new_cap *= 2;
   MemoryBudget* budget = BudgetScope::Current();
   if (budget != nullptr) {
     budget->Charge((new_cap - data_.capacity()) * sizeof(TermId));
@@ -35,6 +42,88 @@ void BindingTable::AppendRow(std::span<const TermId> values) {
   }
   GrowFor(data_.size() + values.size());
   data_.insert(data_.end(), values.begin(), values.end());
+}
+
+void BindingTable::AppendBatch(const Batch& batch) {
+  assert(batch.num_cols() == vars_.size());
+  assert(!vars_.empty() && "zero-column tables use SetNullaryRow");
+  const size_t rows = batch.size();
+  if (rows == 0) return;
+  const size_t cols = vars_.size();
+  const size_t base = data_.size();
+  GrowFor(base + rows * cols);  // one charge per batch
+  data_.resize(base + rows * cols);
+  TermId* out = data_.data() + base;
+  // Column-major -> row-major transpose: contiguous reads per column,
+  // strided writes. Column count is small (query variables), row count is
+  // up to kBatchRows, so the strided side stays cache-resident.
+  for (size_t c = 0; c < cols; ++c) {
+    const TermId* src = batch.col(c);
+    TermId* dst = out + c;
+    for (size_t r = 0; r < rows; ++r) dst[r * cols] = src[r];
+  }
+}
+
+void BindingTable::AppendRows(const BindingTable& src, size_t begin,
+                              size_t end) {
+  assert(src.vars_ == vars_);
+  if (vars_.empty() || begin >= end) return;
+  const size_t cols = vars_.size();
+  const size_t base = data_.size();
+  GrowFor(base + (end - begin) * cols);
+  data_.resize(base + (end - begin) * cols);
+  std::memcpy(data_.data() + base, src.data_.data() + begin * cols,
+              (end - begin) * cols * sizeof(TermId));
+}
+
+void AppendRowsByName(BindingTable* dst, const BindingTable& src) {
+  const size_t rows = src.num_rows();
+  if (rows == 0) return;
+  if (dst->num_cols() == 0) {
+    dst->SetNullaryRow(true);
+    return;
+  }
+  if (CurrentExecMode() != ExecMode::kBatch) {
+    std::vector<int> mapping(dst->num_cols());
+    for (size_t c = 0; c < dst->num_cols(); ++c) {
+      mapping[c] = src.ColumnIndex(dst->vars()[c]);
+    }
+    std::vector<TermId> row(dst->num_cols());
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < dst->num_cols(); ++c) {
+        row[c] = mapping[c] < 0 ? kInvalidId : src.at(r, mapping[c]);
+      }
+      dst->AppendRow(row);
+    }
+    return;
+  }
+  if (dst->vars() == src.vars()) {
+    dst->AppendRows(src, 0, rows);
+    return;
+  }
+  std::vector<int> mapping(dst->num_cols());
+  for (size_t c = 0; c < dst->num_cols(); ++c) {
+    mapping[c] = src.ColumnIndex(dst->vars()[c]);
+  }
+  const size_t cols = dst->num_cols();
+  const size_t scols = src.num_cols();
+  const TermId* f = src.flat().data();
+  Batch batch;
+  for (size_t base = 0; base < rows; base += kBatchRows) {
+    const size_t n = std::min(kBatchRows, rows - base);
+    batch.Reset(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      TermId* d = batch.col(c);
+      if (mapping[c] < 0) {
+        std::fill_n(d, n, kInvalidId);
+        continue;
+      }
+      const TermId* s = f + base * scols + static_cast<size_t>(mapping[c]);
+      for (size_t i = 0; i < n; ++i) d[i] = s[i * scols];
+    }
+    batch.set_size(n);
+    dst->AppendBatch(batch);
+  }
 }
 
 std::vector<std::vector<TermId>> BindingTable::CanonicalRows(

@@ -17,6 +17,8 @@
 
 namespace axon {
 
+class Batch;  // exec/batch.h — columnar 1024-row chunk
+
 class BindingTable {
  public:
   BindingTable() = default;
@@ -48,6 +50,19 @@ class BindingTable {
     AppendRow(std::span<const TermId>(values.begin(), values.size()));
   }
 
+  /// Appends a columnar batch (batch.num_cols() must equal num_cols(),
+  /// which must be nonzero): one capacity check / budget charge for the
+  /// whole batch, then a column-at-a-time transpose into the row-major
+  /// storage. This is how the batch operators emit output — the budget
+  /// and stop machinery runs at batch granularity, not per row.
+  void AppendBatch(const Batch& batch);
+
+  /// Bulk-appends rows [begin, end) of `src`, whose schema must be
+  /// column-for-column identical to this table's. One capacity check,
+  /// then a flat memcpy-style copy of the row-major slab — the fast path
+  /// for Limit/Offset/merge-in-order unions.
+  void AppendRows(const BindingTable& src, size_t begin, size_t end);
+
   /// Bytes held by the row storage (the operator-buffer size the per-query
   /// memory budget accounts for).
   uint64_t ByteSize() const { return data_.size() * sizeof(TermId); }
@@ -78,6 +93,14 @@ class BindingTable {
   std::vector<TermId> data_;
   bool nullary_rows_ = false;
 };
+
+/// Appends src's rows to dst, mapping columns by name (schemas may order
+/// columns differently; columns missing from src fill with kInvalidId).
+/// The scatter/gather merge primitive of the parallel executors. In batch
+/// mode this is a flat slab copy when the schemas match column-for-column,
+/// and a blocked column-at-a-time transpose otherwise; in row mode it is
+/// the per-row reference loop.
+void AppendRowsByName(BindingTable* dst, const BindingTable& src);
 
 }  // namespace axon
 

@@ -1,0 +1,35 @@
+#include "exec/exec_mode.h"
+
+#include <atomic>
+
+namespace axon {
+
+namespace {
+
+std::atomic<int> g_default_mode{static_cast<int>(ExecMode::kBatch)};
+
+// Thread-local override installed by ExecModeScope; -1 = none.
+thread_local int t_override_mode = -1;
+
+}  // namespace
+
+ExecMode DefaultExecMode() {
+  return static_cast<ExecMode>(g_default_mode.load(std::memory_order_relaxed));
+}
+
+void SetDefaultExecMode(ExecMode mode) {
+  g_default_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+ExecMode CurrentExecMode() {
+  int over = t_override_mode;
+  return over >= 0 ? static_cast<ExecMode>(over) : DefaultExecMode();
+}
+
+ExecModeScope::ExecModeScope(ExecMode mode) : prev_(t_override_mode) {
+  t_override_mode = static_cast<int>(mode);
+}
+
+ExecModeScope::~ExecModeScope() { t_override_mode = prev_; }
+
+}  // namespace axon

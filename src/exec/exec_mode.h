@@ -1,0 +1,51 @@
+// Execution-mode switch: row-at-a-time reference vs block-at-a-time
+// columnar batches.
+//
+// Both modes run the same logical operators and are bit-identical in
+// results and ExecStats (proven by the determinism/conformance suites and
+// tests/batch_exec_test); they differ only in the shape of the inner
+// loops. Batch is the production default; row is kept as the executable
+// specification the batch kernels are diffed against, and as the ablation
+// arm of the bench reports.
+//
+// The mode is resolved per operator call: a thread-local ExecModeScope
+// override wins, otherwise the process-wide default applies. Worker pool
+// threads see the process default, so flipping the default covers the
+// parallel and sharded paths too — which is what the bench ablation and
+// the row-vs-batch differential tests rely on.
+
+#ifndef AXON_EXEC_EXEC_MODE_H_
+#define AXON_EXEC_EXEC_MODE_H_
+
+namespace axon {
+
+enum class ExecMode {
+  kRow,    // scalar per-row push/copy loops (reference path)
+  kBatch,  // 1024-row columnar batches, selection vectors (default)
+};
+
+/// Process-wide default mode (kBatch unless overridden).
+ExecMode DefaultExecMode();
+void SetDefaultExecMode(ExecMode mode);
+
+/// The mode operators on this thread resolve right now.
+ExecMode CurrentExecMode();
+
+/// RAII thread-local override, for tests and serial ablations. Scopes
+/// nest; pool workers spawned inside a scope are NOT covered (they read
+/// the process default) — use SetDefaultExecMode for parallel runs.
+class ExecModeScope {
+ public:
+  explicit ExecModeScope(ExecMode mode);
+  ~ExecModeScope();
+
+  ExecModeScope(const ExecModeScope&) = delete;
+  ExecModeScope& operator=(const ExecModeScope&) = delete;
+
+ private:
+  int prev_;  // -1 = no previous override
+};
+
+}  // namespace axon
+
+#endif  // AXON_EXEC_EXEC_MODE_H_

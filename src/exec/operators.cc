@@ -7,24 +7,70 @@
 #include <set>
 #include <unordered_map>
 
+#include "exec/exec_mode.h"
 #include "exec/expr.h"
-#include "util/hash.h"
+#include "exec/operators_impl.h"
 #include "util/trace.h"
+
+// This file holds the row-at-a-time reference implementations (row_ops) and
+// the public entry points, which dispatch between row_ops and the columnar
+// batch_ops (batch_ops.cc) on CurrentExecMode(). The row implementations
+// are the executable semantics spec: the batch engine is required to match
+// their results, ExecStats, and budget charges bit-for-bit, which the
+// differential tests enforce.
 
 namespace axon {
 
-namespace {
+namespace exec_internal {
 
-// Hash of a row key (vector of ids).
-struct RowKeyHash {
-  size_t operator()(const std::vector<TermId>& key) const {
-    uint64_t h = 0x243f6a8885a308d3ULL;
-    for (TermId id : key) h = HashCombine(h, id.value());
-    return static_cast<size_t>(h);
+JoinLayout ComputeJoinLayout(const BindingTable& build,
+                             const BindingTable& probe) {
+  JoinLayout lay;
+  for (size_t i = 0; i < build.vars().size(); ++i) {
+    int j = probe.ColumnIndex(build.vars()[i]);
+    if (j >= 0) {
+      lay.build_key.push_back(static_cast<int>(i));
+      lay.probe_key.push_back(j);
+    }
   }
-};
+  // Output schema: probe columns then build-only columns (order is
+  // irrelevant to correctness; CanonicalRows normalizes for comparison).
+  lay.out_vars = probe.vars();
+  for (size_t i = 0; i < build.vars().size(); ++i) {
+    if (probe.ColumnIndex(build.vars()[i]) < 0) {
+      lay.out_vars.push_back(build.vars()[i]);
+      lay.build_extra.push_back(static_cast<int>(i));
+    }
+  }
+  return lay;
+}
 
-}  // namespace
+CompatLayout ComputeCompatLayout(const BindingTable& left,
+                                 const BindingTable& right) {
+  CompatLayout lay;
+  lay.out_vars = left.vars();
+  for (size_t i = 0; i < right.vars().size(); ++i) {
+    int j = left.ColumnIndex(right.vars()[i]);
+    if (j >= 0) {
+      lay.left_key.push_back(j);
+      lay.right_key.push_back(static_cast<int>(i));
+    } else {
+      lay.out_vars.push_back(right.vars()[i]);
+      lay.right_extra.push_back(static_cast<int>(i));
+    }
+  }
+  return lay;
+}
+
+}  // namespace exec_internal
+
+namespace row_ops {
+
+using exec_internal::CompatLayout;
+using exec_internal::ComputeCompatLayout;
+using exec_internal::ComputeJoinLayout;
+using exec_internal::JoinLayout;
+using exec_internal::RowKeyHash;
 
 BindingTable ScanPattern(std::span<const Triple> triples,
                          const IdPattern& pattern, ExecStats* stats,
@@ -96,28 +142,8 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
   const BindingTable& build = left.num_rows() <= right.num_rows() ? left : right;
   const BindingTable& probe = left.num_rows() <= right.num_rows() ? right : left;
 
-  // Shared columns.
-  std::vector<int> build_key;
-  std::vector<int> probe_key;
-  for (size_t i = 0; i < build.vars().size(); ++i) {
-    int j = probe.ColumnIndex(build.vars()[i]);
-    if (j >= 0) {
-      build_key.push_back(static_cast<int>(i));
-      probe_key.push_back(j);
-    }
-  }
-
-  // Output schema: probe columns then build-only columns (order is
-  // irrelevant to correctness; CanonicalRows normalizes for comparison).
-  std::vector<std::string> out_vars = probe.vars();
-  std::vector<int> build_extra;
-  for (size_t i = 0; i < build.vars().size(); ++i) {
-    if (probe.ColumnIndex(build.vars()[i]) < 0) {
-      out_vars.push_back(build.vars()[i]);
-      build_extra.push_back(static_cast<int>(i));
-    }
-  }
-  BindingTable out(out_vars);
+  JoinLayout lay = ComputeJoinLayout(build, probe);
+  BindingTable out(lay.out_vars);
 
   if (build.num_rows() == 0 || probe.num_rows() == 0) return out;
 
@@ -126,33 +152,33 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
   // taken before the table allocates so an over-budget build never grows.
   if (MemoryBudget* budget = BudgetScope::Current()) {
     budget->Charge(build.num_rows() *
-                   (2 * sizeof(size_t) + build_key.size() * sizeof(TermId)));
+                   (2 * sizeof(size_t) + lay.build_key.size() * sizeof(TermId)));
   }
   std::unordered_map<std::vector<TermId>, std::vector<size_t>, RowKeyHash>
       table;
   table.reserve(build.num_rows());
-  std::vector<TermId> key(build_key.size());
+  std::vector<TermId> key(lay.build_key.size());
   for (size_t r = 0; r < build.num_rows(); ++r) {
     if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
-    for (size_t k = 0; k < build_key.size(); ++k) {
-      key[k] = build.at(r, build_key[k]);
+    for (size_t k = 0; k < lay.build_key.size(); ++k) {
+      key[k] = build.at(r, lay.build_key[k]);
     }
     table[key].push_back(r);
   }
 
-  std::vector<TermId> out_row(out_vars.size());
+  std::vector<TermId> out_row(lay.out_vars.size());
   for (size_t r = 0; r < probe.num_rows(); ++r) {
     if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
-    for (size_t k = 0; k < probe_key.size(); ++k) {
-      key[k] = probe.at(r, probe_key[k]);
+    for (size_t k = 0; k < lay.probe_key.size(); ++k) {
+      key[k] = probe.at(r, lay.probe_key[k]);
     }
     auto it = table.find(key);
     if (it == table.end()) continue;
     for (size_t br : it->second) {
       size_t c = 0;
       for (; c < probe.vars().size(); ++c) out_row[c] = probe.at(r, c);
-      for (size_t e = 0; e < build_extra.size(); ++e) {
-        out_row[c + e] = build.at(br, build_extra[e]);
+      for (size_t e = 0; e < lay.build_extra.size(); ++e) {
+        out_row[c + e] = build.at(br, lay.build_extra[e]);
       }
       out.AppendRow(out_row);
     }
@@ -298,8 +324,6 @@ BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
   return out;
 }
 
-namespace {
-
 // Shared implementation of the compatibility joins: inner (CompatJoin) and
 // left outer (LeftOuterJoin). `outer` controls whether unmatched left rows
 // survive padded with unbound right columns.
@@ -307,22 +331,9 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
                             bool outer, ExecStats* stats, QueryContext* ctx) {
   if (stats != nullptr) ++stats->joins;
   // Output schema: left columns then right-only columns.
-  std::vector<std::string> out_vars = left.vars();
-  std::vector<int> right_extra;  // right cols not shared with left
-  std::vector<int> left_key;     // shared cols, left side
-  std::vector<int> right_key;    // shared cols, right side
-  for (size_t i = 0; i < right.vars().size(); ++i) {
-    int j = left.ColumnIndex(right.vars()[i]);
-    if (j >= 0) {
-      left_key.push_back(j);
-      right_key.push_back(static_cast<int>(i));
-    } else {
-      out_vars.push_back(right.vars()[i]);
-      right_extra.push_back(static_cast<int>(i));
-    }
-  }
-  BindingTable out(out_vars);
-  if (out_vars.empty()) {
+  CompatLayout lay = ComputeCompatLayout(left, right);
+  BindingTable out(lay.out_vars);
+  if (lay.out_vars.empty()) {
     // Both sides nullary: the join is pure existence logic.
     out.SetNullaryRow(left.num_rows() > 0 &&
                       (outer || right.num_rows() > 0));
@@ -334,20 +345,20 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
   // OPTIONAL/UNION) force the compatibility join: unbound agrees with
   // anything, which a hash on exact key values cannot express.
   bool has_nulls = false;
-  for (size_t k = 0; k < left_key.size() && !has_nulls; ++k) {
+  for (size_t k = 0; k < lay.left_key.size() && !has_nulls; ++k) {
     for (size_t r = 0; r < left.num_rows() && !has_nulls; ++r) {
-      if (left.at(r, static_cast<size_t>(left_key[k])) == kInvalidId) {
+      if (left.at(r, static_cast<size_t>(lay.left_key[k])) == kInvalidId) {
         has_nulls = true;
       }
     }
     for (size_t r = 0; r < right.num_rows() && !has_nulls; ++r) {
-      if (right.at(r, static_cast<size_t>(right_key[k])) == kInvalidId) {
+      if (right.at(r, static_cast<size_t>(lay.right_key[k])) == kInvalidId) {
         has_nulls = true;
       }
     }
   }
 
-  std::vector<TermId> out_row(out_vars.size());
+  std::vector<TermId> out_row(lay.out_vars.size());
   auto emit_match = [&](size_t lr, size_t rr) {
     for (size_t c = 0; c < left.num_cols(); ++c) {
       TermId v = left.at(lr, c);
@@ -359,15 +370,15 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
       }
       out_row[c] = v;
     }
-    for (size_t e = 0; e < right_extra.size(); ++e) {
+    for (size_t e = 0; e < lay.right_extra.size(); ++e) {
       out_row[left.num_cols() + e] =
-          right.at(rr, static_cast<size_t>(right_extra[e]));
+          right.at(rr, static_cast<size_t>(lay.right_extra[e]));
     }
     out.AppendRow(out_row);
   };
   auto emit_unmatched = [&](size_t lr) {
     for (size_t c = 0; c < left.num_cols(); ++c) out_row[c] = left.at(lr, c);
-    for (size_t e = 0; e < right_extra.size(); ++e) {
+    for (size_t e = 0; e < lay.right_extra.size(); ++e) {
       out_row[left.num_cols() + e] = kInvalidId;
     }
     out.AppendRow(out_row);
@@ -376,24 +387,24 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
   if (!has_nulls) {
     // Hash path: build on the right, probe with every left row.
     if (MemoryBudget* budget = BudgetScope::Current()) {
-      budget->Charge(right.num_rows() *
-                     (2 * sizeof(size_t) + right_key.size() * sizeof(TermId)));
+      budget->Charge(right.num_rows() * (2 * sizeof(size_t) +
+                                         lay.right_key.size() * sizeof(TermId)));
     }
     std::unordered_map<std::vector<TermId>, std::vector<size_t>, RowKeyHash>
         table;
     table.reserve(right.num_rows());
-    std::vector<TermId> key(right_key.size());
+    std::vector<TermId> key(lay.right_key.size());
     for (size_t r = 0; r < right.num_rows(); ++r) {
       if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
-      for (size_t k = 0; k < right_key.size(); ++k) {
-        key[k] = right.at(r, static_cast<size_t>(right_key[k]));
+      for (size_t k = 0; k < lay.right_key.size(); ++k) {
+        key[k] = right.at(r, static_cast<size_t>(lay.right_key[k]));
       }
       table[key].push_back(r);
     }
     for (size_t lr = 0; lr < left.num_rows(); ++lr) {
       if (ctx != nullptr && (lr % kStopCheckRows) == 0) ctx->CheckStop();
-      for (size_t k = 0; k < left_key.size(); ++k) {
-        key[k] = left.at(lr, static_cast<size_t>(left_key[k]));
+      for (size_t k = 0; k < lay.left_key.size(); ++k) {
+        key[k] = left.at(lr, static_cast<size_t>(lay.left_key[k]));
       }
       auto it = table.find(key);
       if (it == table.end()) {
@@ -411,9 +422,9 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
           ctx->CheckStop();
         }
         bool compatible = true;
-        for (size_t k = 0; k < left_key.size(); ++k) {
-          TermId lv = left.at(lr, static_cast<size_t>(left_key[k]));
-          TermId rv = right.at(rr, static_cast<size_t>(right_key[k]));
+        for (size_t k = 0; k < lay.left_key.size(); ++k) {
+          TermId lv = left.at(lr, static_cast<size_t>(lay.left_key[k]));
+          TermId rv = right.at(rr, static_cast<size_t>(lay.right_key[k]));
           if (lv != kInvalidId && rv != kInvalidId && lv != rv) {
             compatible = false;
             break;
@@ -431,18 +442,6 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
     stats->NotePeakBytes(out.ByteSize());
   }
   return out;
-}
-
-}  // namespace
-
-BindingTable LeftOuterJoin(const BindingTable& left, const BindingTable& right,
-                           ExecStats* stats, QueryContext* ctx) {
-  return CompatJoinImpl(left, right, /*outer=*/true, stats, ctx);
-}
-
-BindingTable CompatJoin(const BindingTable& left, const BindingTable& right,
-                        ExecStats* stats, QueryContext* ctx) {
-  return CompatJoinImpl(left, right, /*outer=*/false, stats, ctx);
 }
 
 BindingTable FilterByExpr(const BindingTable& in, const FilterExpr& expr,
@@ -620,6 +619,110 @@ BindingTable GroupCount(const BindingTable& in,
     stats->NotePeakBytes(out.ByteSize());
   }
   return out;
+}
+
+}  // namespace row_ops
+
+// --------------------------------------------------------------- dispatch
+//
+// The public operators pick the execution flavor per call from
+// CurrentExecMode() (process default, overridable per thread with
+// ExecModeScope). Every engine config — axonDB's chain executor, the
+// extended-algebra evaluator, and all baseline engines — funnels through
+// these entry points, so flipping the mode switches the whole fleet
+// between row and batch execution.
+
+namespace {
+
+inline bool UseBatch() { return CurrentExecMode() == ExecMode::kBatch; }
+
+}  // namespace
+
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx) {
+  return UseBatch() ? batch_ops::ScanPattern(triples, pattern, stats, ctx)
+                    : row_ops::ScanPattern(triples, pattern, stats, ctx);
+}
+
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::HashJoin(left, right, stats, ctx)
+                    : row_ops::HashJoin(left, right, stats, ctx);
+}
+
+BindingTable FilterEquals(const BindingTable& in, const std::string& var,
+                          TermId value, ExecStats* stats) {
+  return UseBatch() ? batch_ops::FilterEquals(in, var, value, stats)
+                    : row_ops::FilterEquals(in, var, value, stats);
+}
+
+BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats) {
+  return UseBatch() ? batch_ops::SemiJoin(left, right, stats)
+                    : row_ops::SemiJoin(left, right, stats);
+}
+
+BindingTable Project(const BindingTable& in,
+                     const std::vector<std::string>& vars) {
+  return UseBatch() ? batch_ops::Project(in, vars) : row_ops::Project(in, vars);
+}
+
+BindingTable Distinct(const BindingTable& in) {
+  return UseBatch() ? batch_ops::Distinct(in) : row_ops::Distinct(in);
+}
+
+BindingTable Limit(const BindingTable& in, uint64_t limit) {
+  return UseBatch() ? batch_ops::Limit(in, limit) : row_ops::Limit(in, limit);
+}
+
+BindingTable Offset(const BindingTable& in, uint64_t offset) {
+  return UseBatch() ? batch_ops::Offset(in, offset)
+                    : row_ops::Offset(in, offset);
+}
+
+BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::UnionAll(left, right, stats, ctx)
+                    : row_ops::UnionAll(left, right, stats, ctx);
+}
+
+BindingTable LeftOuterJoin(const BindingTable& left, const BindingTable& right,
+                           ExecStats* stats, QueryContext* ctx) {
+  return UseBatch()
+             ? batch_ops::CompatJoinImpl(left, right, /*outer=*/true, stats, ctx)
+             : row_ops::CompatJoinImpl(left, right, /*outer=*/true, stats, ctx);
+}
+
+BindingTable CompatJoin(const BindingTable& left, const BindingTable& right,
+                        ExecStats* stats, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::CompatJoinImpl(left, right, /*outer=*/false,
+                                                stats, ctx)
+                    : row_ops::CompatJoinImpl(left, right, /*outer=*/false,
+                                              stats, ctx);
+}
+
+BindingTable FilterByExpr(const BindingTable& in, const FilterExpr& expr,
+                          const Dictionary& dict, ExecStats* stats,
+                          QueryContext* ctx) {
+  return UseBatch() ? batch_ops::FilterByExpr(in, expr, dict, stats, ctx)
+                    : row_ops::FilterByExpr(in, expr, dict, stats, ctx);
+}
+
+BindingTable OrderBy(const BindingTable& in, const std::vector<OrderKey>& keys,
+                     const Dictionary& dict, ExecStats* stats,
+                     QueryContext* ctx) {
+  return UseBatch() ? batch_ops::OrderBy(in, keys, dict, stats, ctx)
+                    : row_ops::OrderBy(in, keys, dict, stats, ctx);
+}
+
+BindingTable GroupCount(const BindingTable& in,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<Aggregate>& aggregates,
+                        ExecStats* stats, QueryContext* ctx) {
+  return UseBatch()
+             ? batch_ops::GroupCount(in, group_by, aggregates, stats, ctx)
+             : row_ops::GroupCount(in, group_by, aggregates, stats, ctx);
 }
 
 }  // namespace axon

@@ -1,0 +1,128 @@
+// Internal: pieces shared between the row-at-a-time reference operators
+// (operators.cc) and the columnar batch operators (batch_ops.cc), plus the
+// per-mode entry points the public dispatchers select between. Not part of
+// the public exec API — include exec/operators.h instead.
+
+#ifndef AXON_EXEC_OPERATORS_IMPL_H_
+#define AXON_EXEC_OPERATORS_IMPL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/bindings.h"
+#include "exec/operators.h"
+#include "util/hash.h"
+
+namespace axon {
+
+namespace exec_internal {
+
+/// Hash of a row key (vector of ids).
+struct RowKeyHash {
+  size_t operator()(const std::vector<TermId>& key) const {
+    uint64_t h = 0x243f6a8885a308d3ULL;
+    for (TermId id : key) h = HashCombine(h, id.value());
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Natural-join column layout: shared key columns plus the output schema
+/// (probe columns first, then build-only columns) — identical between the
+/// row and batch HashJoin so their outputs are bit-identical.
+struct JoinLayout {
+  std::vector<int> build_key;
+  std::vector<int> probe_key;
+  std::vector<std::string> out_vars;
+  std::vector<int> build_extra;
+};
+JoinLayout ComputeJoinLayout(const BindingTable& build,
+                             const BindingTable& probe);
+
+/// Compatibility-join layout: left columns then right-only columns.
+struct CompatLayout {
+  std::vector<std::string> out_vars;
+  std::vector<int> right_extra;  // right cols not shared with left
+  std::vector<int> left_key;     // shared cols, left side
+  std::vector<int> right_key;    // shared cols, right side
+};
+CompatLayout ComputeCompatLayout(const BindingTable& left,
+                                 const BindingTable& right);
+
+}  // namespace exec_internal
+
+// The row-at-a-time reference implementations (operators.cc). These define
+// the engine's semantics; the batch operators must reproduce their output,
+// stats, and budget-charge behavior bit-for-bit.
+namespace row_ops {
+
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx);
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx);
+BindingTable FilterEquals(const BindingTable& in, const std::string& var,
+                          TermId value, ExecStats* stats);
+BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats);
+BindingTable Project(const BindingTable& in,
+                     const std::vector<std::string>& vars);
+BindingTable Distinct(const BindingTable& in);
+BindingTable Limit(const BindingTable& in, uint64_t limit);
+BindingTable Offset(const BindingTable& in, uint64_t offset);
+BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx);
+/// Compatibility join (inner/outer). Also exposed to batch_ops: the batch
+/// engine delegates the rare unbound-key nested-loop case to this
+/// reference implementation.
+BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
+                            bool outer, ExecStats* stats, QueryContext* ctx);
+BindingTable FilterByExpr(const BindingTable& in, const FilterExpr& expr,
+                          const Dictionary& dict, ExecStats* stats,
+                          QueryContext* ctx);
+BindingTable OrderBy(const BindingTable& in, const std::vector<OrderKey>& keys,
+                     const Dictionary& dict, ExecStats* stats,
+                     QueryContext* ctx);
+BindingTable GroupCount(const BindingTable& in,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<Aggregate>& aggregates,
+                        ExecStats* stats, QueryContext* ctx);
+
+}  // namespace row_ops
+
+namespace batch_ops {
+
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx);
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx);
+BindingTable FilterEquals(const BindingTable& in, const std::string& var,
+                          TermId value, ExecStats* stats);
+BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats);
+BindingTable Project(const BindingTable& in,
+                     const std::vector<std::string>& vars);
+BindingTable Distinct(const BindingTable& in);
+BindingTable Limit(const BindingTable& in, uint64_t limit);
+BindingTable Offset(const BindingTable& in, uint64_t offset);
+BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
+                      ExecStats* stats, QueryContext* ctx);
+BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
+                            bool outer, ExecStats* stats, QueryContext* ctx);
+BindingTable FilterByExpr(const BindingTable& in, const FilterExpr& expr,
+                          const Dictionary& dict, ExecStats* stats,
+                          QueryContext* ctx);
+BindingTable OrderBy(const BindingTable& in, const std::vector<OrderKey>& keys,
+                     const Dictionary& dict, ExecStats* stats,
+                     QueryContext* ctx);
+BindingTable GroupCount(const BindingTable& in,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<Aggregate>& aggregates,
+                        ExecStats* stats, QueryContext* ctx);
+
+}  // namespace batch_ops
+
+}  // namespace axon
+
+#endif  // AXON_EXEC_OPERATORS_IMPL_H_

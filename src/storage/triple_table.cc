@@ -96,7 +96,9 @@ Result<TripleTable> TripleTable::FromRaw(std::string_view bytes) {
     // Misaligned mapping (should not happen with aligned sections, but a
     // foreign file might): fall back to an owned copy.
     t.rows_.resize(n);
-    std::memcpy(t.rows_.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) {
+      std::memcpy(t.rows_.data(), bytes.data(), bytes.size());
+    }
   }
   return t;
 }
@@ -108,7 +110,10 @@ Result<TripleTable> TripleTable::FromRawOwned(std::string_view bytes) {
   }
   TripleTable t;
   t.rows_.resize(bytes.size() / sizeof(Triple));
-  std::memcpy(t.rows_.data(), bytes.data(), bytes.size());
+  // memcpy with a null pointer is UB even at size 0 (empty table).
+  if (!bytes.empty()) {
+    std::memcpy(t.rows_.data(), bytes.data(), bytes.size());
+  }
   return t;
 }
 
@@ -124,7 +129,9 @@ Result<TripleTable> TripleTable::Deserialize(std::string_view data,
   }
   TripleTable t;
   t.rows_.resize(n);
-  std::memcpy(t.rows_.data(), p, n * sizeof(Triple));
+  if (n > 0) {
+    std::memcpy(t.rows_.data(), p, n * sizeof(Triple));
+  }
   *pos = (p + n * sizeof(Triple)) - data.data();
   return t;
 }

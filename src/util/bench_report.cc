@@ -257,5 +257,78 @@ Result<BenchDiffResult> DiffBenchReports(const JsonValue& baseline,
   return out;
 }
 
+Result<JsonValue> MergeBenchReports(const std::vector<JsonValue>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("merge: no candidate reports");
+  }
+  for (const JsonValue& doc : candidates) {
+    AXON_RETURN_NOT_OK(ValidateBenchReport(doc));
+    if (doc.GetString("bench") != candidates.front().GetString("bench")) {
+      return Status::InvalidArgument(
+          "merge: candidates are from different benches (" +
+          candidates.front().GetString("bench") + " vs " +
+          doc.GetString("bench") + ")");
+    }
+  }
+  if (candidates.size() == 1) return candidates.front();
+
+  auto key_of = [](const JsonValue& row) {
+    return row.GetString("section") + " / " + row.GetString("query") + " / " +
+           row.GetString("engine");
+  };
+
+  // Union of rows in first-seen order; per row the best (minimum) seconds
+  // and the minimum of each counter across the runs that have the row.
+  std::vector<std::string> order;
+  std::map<std::string, JsonValue> best;
+  for (const JsonValue& doc : candidates) {
+    for (const JsonValue& row : doc.Find("rows")->items()) {
+      std::string key = key_of(row);
+      auto it = best.find(key);
+      if (it == best.end()) {
+        order.push_back(key);
+        best.emplace(key, row);
+        continue;
+      }
+      JsonValue& kept = it->second;
+      if (row.GetDouble("seconds") < kept.GetDouble("seconds")) {
+        kept["seconds"] = row.GetDouble("seconds");
+      }
+      const JsonValue* counters = row.Find("counters");
+      JsonValue& kept_counters = kept["counters"];
+      for (const auto& [name, value] : counters->members()) {
+        double v = value.AsDouble();
+        const JsonValue* prev = kept_counters.Find(name);
+        if (prev == nullptr || v < prev->AsDouble()) {
+          kept_counters[name] = v;
+        }
+      }
+    }
+  }
+
+  JsonValue merged = candidates.front();
+  JsonValue rows = JsonValue::Array();
+  for (const std::string& key : order) {
+    rows.Append(std::move(best.at(key)));
+  }
+  merged["rows"] = std::move(rows);
+
+  // Per-engine build-time minima across the runs that report the engine.
+  JsonValue build = JsonValue::Object();
+  for (const JsonValue& doc : candidates) {
+    const JsonValue* b = doc.Find("build_seconds");
+    if (b == nullptr) continue;
+    for (const auto& [engine, seconds] : b->members()) {
+      double v = seconds.AsDouble();
+      const JsonValue* prev = build.Find(engine);
+      if (prev == nullptr || v < prev->AsDouble()) {
+        build[engine] = v;
+      }
+    }
+  }
+  merged["build_seconds"] = std::move(build);
+  return merged;
+}
+
 }  // namespace bench
 }  // namespace axon

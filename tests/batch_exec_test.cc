@@ -1,0 +1,538 @@
+// Batch execution semantics: the block-at-a-time operators must be
+// bit-identical to the row-at-a-time reference — same rows in the same
+// order, same ExecStats, same memory-budget totals and the same budget
+// wall — across every chunking edge: results landing exactly on a
+// kBatchRows boundary, OFFSET/LIMIT cuts straddling a chunk, zero-row
+// UNION/OPTIONAL inputs, and budget exhaustion mid-batch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/batch.h"
+#include "exec/bindings.h"
+#include "exec/exec_mode.h"
+#include "exec/operators.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/resource_governor.h"
+
+namespace axon {
+namespace {
+
+BindingTable Table(std::vector<std::string> vars,
+                   std::vector<std::vector<uint32_t>> rows) {
+  BindingTable t(std::move(vars));
+  for (const auto& r : rows) {
+    std::vector<TermId> ids;
+    ids.reserve(r.size());
+    for (uint32_t v : r) ids.emplace_back(v);
+    t.AppendRow(ids);
+  }
+  return t;
+}
+
+Triple T(uint32_t s, uint32_t pr, uint32_t o) {
+  return Triple{TermId(s), TermId(pr), TermId(o)};
+}
+
+// Deterministic pseudo-random table: `cols` columns over a small value
+// domain (collisions exercise join/distinct/group paths).
+BindingTable RandTable(std::vector<std::string> vars, size_t rows,
+                       uint32_t domain, uint64_t seed) {
+  BindingTable t(std::move(vars));
+  Random rng(seed);
+  std::vector<TermId> row(t.num_cols());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      row[c] = TermId(1 + static_cast<uint32_t>(rng.Uniform(domain)));
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+void ExpectSameStats(const ExecStats& row, const ExecStats& batch,
+                     const std::string& what) {
+  EXPECT_EQ(row.rows_scanned, batch.rows_scanned) << what;
+  EXPECT_EQ(row.intermediate_rows, batch.intermediate_rows) << what;
+  EXPECT_EQ(row.joins, batch.joins) << what;
+  EXPECT_EQ(row.pages_read, batch.pages_read) << what;
+  EXPECT_EQ(row.budget_bytes_peak, batch.budget_bytes_peak) << what;
+}
+
+void ExpectSameTable(const BindingTable& row, const BindingTable& batch,
+                     const std::string& what) {
+  EXPECT_EQ(row.vars(), batch.vars()) << what;
+  ASSERT_EQ(row.num_rows(), batch.num_rows()) << what;
+  // flat() compares content AND order: batch mode must not reorder rows.
+  EXPECT_TRUE(std::equal(row.flat().begin(), row.flat().end(),
+                         batch.flat().begin(), batch.flat().end()))
+      << what << ": row/batch outputs differ";
+}
+
+// Runs `fn(stats)` once under each mode and asserts the outputs and stats
+// are bit-identical. Returns the batch-mode output for further checks.
+template <typename Fn>
+BindingTable RunBoth(Fn&& fn, const std::string& what) {
+  ExecStats row_stats, batch_stats;
+  BindingTable row_out = [&] {
+    ExecModeScope scope(ExecMode::kRow);
+    return fn(&row_stats);
+  }();
+  BindingTable batch_out = [&] {
+    ExecModeScope scope(ExecMode::kBatch);
+    return fn(&batch_stats);
+  }();
+  ExpectSameTable(row_out, batch_out, what);
+  ExpectSameStats(row_stats, batch_stats, what);
+  return batch_out;
+}
+
+// ------------------------------------------------------------ mode switch
+
+TEST(ExecModeTest, DefaultIsBatchAndScopesNestAndRestore) {
+  EXPECT_EQ(DefaultExecMode(), ExecMode::kBatch);
+  EXPECT_EQ(CurrentExecMode(), ExecMode::kBatch);
+  {
+    ExecModeScope row(ExecMode::kRow);
+    EXPECT_EQ(CurrentExecMode(), ExecMode::kRow);
+    {
+      ExecModeScope batch(ExecMode::kBatch);
+      EXPECT_EQ(CurrentExecMode(), ExecMode::kBatch);
+    }
+    EXPECT_EQ(CurrentExecMode(), ExecMode::kRow);
+  }
+  EXPECT_EQ(CurrentExecMode(), ExecMode::kBatch);
+
+  SetDefaultExecMode(ExecMode::kRow);
+  EXPECT_EQ(CurrentExecMode(), ExecMode::kRow);
+  {
+    // Thread-local override beats the process default.
+    ExecModeScope batch(ExecMode::kBatch);
+    EXPECT_EQ(CurrentExecMode(), ExecMode::kBatch);
+  }
+  SetDefaultExecMode(ExecMode::kBatch);
+  EXPECT_EQ(CurrentExecMode(), ExecMode::kBatch);
+}
+
+// --------------------------------------------------------- Batch plumbing
+
+TEST(BatchTest, AppendBatchTransposesExactly) {
+  for (size_t n : {size_t{1}, size_t{1023}, kBatchRows}) {
+    Batch b;
+    b.Reset(2);
+    for (size_t i = 0; i < n; ++i) {
+      b.col(0)[i] = TermId(static_cast<uint32_t>(i));
+      b.col(1)[i] = TermId(static_cast<uint32_t>(i * 2 + 1));
+    }
+    b.set_size(n);
+    EXPECT_EQ(b.full(), n == kBatchRows);
+    BindingTable t({"x", "y"});
+    t.AppendBatch(b);
+    ASSERT_EQ(t.num_rows(), n);
+    for (size_t i : {size_t{0}, n / 2, n - 1}) {
+      EXPECT_EQ(t.at(i, 0), TermId(static_cast<uint32_t>(i)));
+      EXPECT_EQ(t.at(i, 1), TermId(static_cast<uint32_t>(i * 2 + 1)));
+    }
+  }
+}
+
+// ------------------------------------------------- exact batch boundaries
+
+TEST(BatchBoundaryTest, FilterAtExactBatchSizes) {
+  // Output sizes that land one row before, exactly on, and one row past a
+  // batch boundary — plus multi-batch sizes. All-pass and none-pass
+  // filters cover the full/empty selection-vector extremes.
+  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}, size_t{1025},
+                   size_t{2048}, size_t{2049}, size_t{3000}}) {
+    BindingTable in({"x", "y"});
+    for (size_t i = 0; i < n; ++i) {
+      in.AppendRow({TermId(static_cast<uint32_t>(i % 7)),
+                    TermId(static_cast<uint32_t>(i))});
+    }
+    const std::string what = "FilterEquals n=" + std::to_string(n);
+    BindingTable some = RunBoth(
+        [&](ExecStats* s) { return FilterEquals(in, "x", TermId(3), s); },
+        what);
+    EXPECT_EQ(some.num_rows(), (n + 3) / 7);
+    RunBoth([&](ExecStats* s) { return FilterEquals(in, "x", TermId(99), s); },
+            what + " none-pass");
+    BindingTable all = RunBoth(
+        [&](ExecStats* s) {
+          BindingTable c({"x"});
+          for (size_t i = 0; i < n; ++i) c.AppendRow({TermId(5)});
+          return FilterEquals(c, "x", TermId(5), s);
+        },
+        what + " all-pass");
+    EXPECT_EQ(all.num_rows(), n);
+  }
+}
+
+TEST(BatchBoundaryTest, ScanPatternBlockBoundaries) {
+  // 2061 candidate triples (two full blocks + a 13-row tail): bound-
+  // predicate filtering, repeated-variable equality and a constant output
+  // column together exercise every selection-vector path in the scan.
+  std::vector<Triple> triples;
+  for (uint32_t i = 0; i < 2061; ++i) {
+    triples.push_back(T(i % 50, i % 3 == 0 ? 10 : 11, i % 25));
+  }
+  IdPattern p;
+  p.p = TermId(10);
+  p.s_var = "s";
+  p.o_var = "o";
+  RunBoth([&](ExecStats* s) { return ScanPattern(triples, p, s); },
+          "scan bound predicate");
+
+  IdPattern rep;  // ?x 10 ?x — repeated-variable equality
+  rep.p = TermId(10);
+  rep.s_var = "x";
+  rep.o_var = "x";
+  RunBoth([&](ExecStats* s) { return ScanPattern(triples, rep, s); },
+          "scan repeated var");
+
+  IdPattern named_const;  // bound position that still emits its column
+  named_const.p = TermId(11);
+  named_const.p_var = "p";
+  named_const.s_var = "s";
+  named_const.o_var = "o";
+  RunBoth([&](ExecStats* s) { return ScanPattern(triples, named_const, s); },
+          "scan named constant");
+}
+
+TEST(BatchBoundaryTest, OffsetAndLimitStraddlingChunks) {
+  BindingTable in({"x", "y"});
+  const size_t n = 2600;
+  for (size_t i = 0; i < n; ++i) {
+    in.AppendRow({TermId(static_cast<uint32_t>(i)),
+                  TermId(static_cast<uint32_t>(i + 7))});
+  }
+  for (uint64_t cut : {uint64_t{0}, uint64_t{1}, uint64_t{1023},
+                       uint64_t{1024}, uint64_t{1025}, uint64_t{2048},
+                       uint64_t{2599}, uint64_t{2600}, uint64_t{5000}}) {
+    BindingTable off = RunBoth(
+        [&](ExecStats* s) {
+          (void)s;
+          return Offset(in, cut);
+        },
+        "Offset " + std::to_string(cut));
+    ASSERT_EQ(off.num_rows(), cut >= n ? 0 : n - cut);
+    if (off.num_rows() > 0) {
+      EXPECT_EQ(off.at(0, 0), TermId(static_cast<uint32_t>(cut)));
+    }
+    BindingTable lim = RunBoth(
+        [&](ExecStats* s) {
+          (void)s;
+          return Limit(in, cut);
+        },
+        "Limit " + std::to_string(cut));
+    ASSERT_EQ(lim.num_rows(), std::min<uint64_t>(cut, n));
+    if (lim.num_rows() > 0) {
+      EXPECT_EQ(lim.at(lim.num_rows() - 1, 0),
+                TermId(static_cast<uint32_t>(lim.num_rows() - 1)));
+    }
+  }
+  // Chained OFFSET+LIMIT window fully inside the second chunk.
+  BindingTable window = RunBoth(
+      [&](ExecStats* s) {
+        (void)s;
+        return Limit(Offset(in, 1500), 600);
+      },
+      "Offset+Limit window");
+  ASSERT_EQ(window.num_rows(), 600u);
+  EXPECT_EQ(window.at(0, 0), TermId(1500));
+  EXPECT_EQ(window.at(599, 0), TermId(2099));
+}
+
+TEST(BatchBoundaryTest, JoinsAcrossBoundaries) {
+  BindingTable left = RandTable({"a", "k"}, 1500, 40, 1);
+  BindingTable right = RandTable({"k", "b"}, 1100, 40, 2);
+  RunBoth([&](ExecStats* s) { return HashJoin(left, right, s); },
+          "single-key hash join");
+  RunBoth([&](ExecStats* s) { return SemiJoin(left, right, s); },
+          "single-key semi join");
+
+  BindingTable left2 = RandTable({"a", "k", "m"}, 1300, 12, 3);
+  BindingTable right2 = RandTable({"k", "m", "b"}, 900, 12, 4);
+  RunBoth([&](ExecStats* s) { return HashJoin(left2, right2, s); },
+          "multi-key hash join");
+
+  BindingTable xs = RandTable({"x"}, 60, 100, 5);
+  BindingTable ys = RandTable({"y"}, 50, 100, 6);
+  BindingTable cross = RunBoth(
+      [&](ExecStats* s) { return HashJoin(xs, ys, s); }, "cross product");
+  EXPECT_EQ(cross.num_rows(), 3000u);
+
+  RunBoth([&](ExecStats* s) { return LeftOuterJoin(left, right, s); },
+          "left outer join");
+  RunBoth([&](ExecStats* s) { return CompatJoin(left, right, s); },
+          "compat join no nulls");
+
+  // Unbound values in a shared column force the compatibility nested-loop
+  // fallback; both modes must agree there too (incl. stats->joins counted
+  // exactly once).
+  BindingTable null_left = RandTable({"a", "k"}, 700, 10, 7);
+  null_left.AppendRow({TermId(1), kInvalidId});
+  BindingTable null_right = RandTable({"k", "b"}, 90, 10, 8);
+  RunBoth([&](ExecStats* s) { return CompatJoin(null_left, null_right, s); },
+          "compat join with nulls");
+  RunBoth(
+      [&](ExecStats* s) { return LeftOuterJoin(null_left, null_right, s); },
+      "optional with nulls");
+}
+
+TEST(BatchBoundaryTest, DistinctProjectUnionGroupCount) {
+  BindingTable in = RandTable({"a", "b", "c"}, 2500, 9, 11);
+  RunBoth(
+      [&](ExecStats* s) {
+        (void)s;
+        return Distinct(in);
+      },
+      "distinct");
+  RunBoth(
+      [&](ExecStats* s) {
+        (void)s;
+        return Project(in, {"c", "a"});
+      },
+      "project");
+
+  BindingTable other = RandTable({"b", "d"}, 1024, 9, 12);
+  RunBoth([&](ExecStats* s) { return UnionAll(in, other, s); },
+          "union mixed schema");
+  BindingTable same = RandTable({"a", "b", "c"}, 1025, 9, 13);
+  RunBoth([&](ExecStats* s) { return UnionAll(in, same, s); },
+          "union same schema");
+
+  ExecStats dummy;
+  Aggregate count_star{Aggregate::Kind::kCount, false, "", "n"};
+  Aggregate count_b{Aggregate::Kind::kCount, false, "b", "nb"};
+  Aggregate count_distinct_b{Aggregate::Kind::kCount, true, "b", "db"};
+  (void)dummy;
+  RunBoth(
+      [&](ExecStats* s) {
+        return GroupCount(in, {"a"}, {count_star, count_b, count_distinct_b},
+                          s);
+      },
+      "grouped count");
+  RunBoth(
+      [&](ExecStats* s) {
+        return GroupCount(in, {}, {count_star, count_distinct_b}, s);
+      },
+      "ungrouped count");
+}
+
+TEST(BatchBoundaryTest, FilterByExprAndOrderByOverInternedTerms) {
+  // FilterByExpr/OrderBy interpret ids against the dictionary, so the
+  // random column draws from interned integer literals.
+  Dictionary dict;
+  std::vector<TermId> nums;
+  for (int i = 0; i < 40; ++i) {
+    nums.push_back(dict.Intern(Term::Literal(
+        std::to_string(i), "http://www.w3.org/2001/XMLSchema#integer")));
+  }
+  BindingTable t({"x", "y"});
+  Random rng(21);
+  for (size_t r = 0; r < 2100; ++r) {
+    TermId x = r % 97 == 0 ? kInvalidId : nums[rng.Uniform(nums.size())];
+    t.AppendRow({x, nums[rng.Uniform(nums.size())]});
+  }
+  FilterExpr lt = FilterExpr::Binary(
+      FilterOp::kLt, FilterExpr::Variable("x"),
+      FilterExpr::Constant(
+          Term::Literal("20", "http://www.w3.org/2001/XMLSchema#integer")));
+  RunBoth([&](ExecStats* s) { return FilterByExpr(t, lt, dict, s); },
+          "filter by expr");
+  RunBoth([&](ExecStats* s) { return OrderBy(t, {{"x", true}}, dict, s); },
+          "order by asc");
+  RunBoth(
+      [&](ExecStats* s) {
+        return OrderBy(t, {{"x", false}, {"y", true}}, dict, s);
+      },
+      "order by desc,asc");
+}
+
+// --------------------------------------------------------- zero-row edges
+
+TEST(ZeroRowTest, UnionAndOptionalWithEmptyInputs) {
+  BindingTable empty_ab({"a", "b"});
+  BindingTable empty_bc({"b", "c"});
+  BindingTable rows_ab = Table({"a", "b"}, {{1, 2}, {3, 4}});
+
+  BindingTable u1 = RunBoth(
+      [&](ExecStats* s) { return UnionAll(empty_ab, rows_ab, s); },
+      "union empty left");
+  EXPECT_EQ(u1.num_rows(), 2u);
+  BindingTable u2 = RunBoth(
+      [&](ExecStats* s) { return UnionAll(rows_ab, empty_bc, s); },
+      "union empty right, widened schema");
+  EXPECT_EQ(u2.vars(), (std::vector<std::string>{"a", "b", "c"}));
+  BindingTable u3 = RunBoth(
+      [&](ExecStats* s) { return UnionAll(empty_ab, empty_bc, s); },
+      "union both empty");
+  EXPECT_EQ(u3.num_rows(), 0u);
+
+  BindingTable opt1 = RunBoth(
+      [&](ExecStats* s) { return LeftOuterJoin(rows_ab, empty_bc, s); },
+      "optional empty right");
+  ASSERT_EQ(opt1.num_rows(), 2u);  // every left row survives, padded
+  EXPECT_EQ(opt1.at(0, 2), kInvalidId);
+  BindingTable opt2 = RunBoth(
+      [&](ExecStats* s) { return LeftOuterJoin(empty_ab, rows_ab, s); },
+      "optional empty left");
+  EXPECT_EQ(opt2.num_rows(), 0u);
+
+  RunBoth([&](ExecStats* s) { return HashJoin(rows_ab, empty_bc, s); },
+          "join empty right");
+  RunBoth([&](ExecStats* s) { return SemiJoin(empty_ab, rows_ab, s); },
+          "semijoin empty left");
+
+  // Nullary (zero-column) inputs follow the engine-wide convention: at
+  // most one empty row, the join identity.
+  BindingTable nullary_row(std::vector<std::string>{});
+  nullary_row.SetNullaryRow(true);
+  BindingTable nullary_empty(std::vector<std::string>{});
+  BindingTable nu = RunBoth(
+      [&](ExecStats* s) { return UnionAll(nullary_row, nullary_empty, s); },
+      "nullary union");
+  EXPECT_EQ(nu.num_rows(), 1u);
+  BindingTable nj = RunBoth(
+      [&](ExecStats* s) { return HashJoin(nullary_row, rows_ab, s); },
+      "nullary join identity");
+  EXPECT_EQ(nj.num_rows(), 2u);
+}
+
+// ----------------------------------------------------- budget exhaustion
+
+TEST(BudgetTest, RowAndBatchChargeIdenticalTotals) {
+  // The canonical 64·2^k capacity chain makes the cumulative charge a
+  // function of final table size only — filling row-at-a-time and in
+  // 1024-row batches must charge the same number of bytes.
+  BindingTable in({"x"});
+  for (size_t i = 0; i < 3000; ++i) {
+    in.AppendRow({TermId(static_cast<uint32_t>(i % 2))});
+  }
+  uint64_t charged[2];
+  ExecMode modes[2] = {ExecMode::kRow, ExecMode::kBatch};
+  for (int m = 0; m < 2; ++m) {
+    MemoryBudget budget(0);  // limit 0 = track-only
+    BudgetScope scope(&budget);
+    ExecModeScope mode(modes[m]);
+    ExecStats stats;
+    BindingTable out = FilterEquals(in, "x", TermId(1), &stats);
+    EXPECT_EQ(out.num_rows(), 1500u);
+    charged[m] = budget.charged();
+  }
+  EXPECT_EQ(charged[0], charged[1]);
+  EXPECT_GT(charged[0], 0u);
+}
+
+TEST(BudgetTest, ExhaustionMidBatchTripsAtTheSameWall) {
+  // A limit below the output's final footprint must kill the operator in
+  // BOTH modes, with identical cumulative charges at the point of refusal
+  // — the batch engine's lumpier charges walk the same capacity chain.
+  BindingTable in({"x"});
+  for (size_t i = 0; i < 3000; ++i) {
+    in.AppendRow({TermId(1)});
+  }
+  uint64_t at_refusal[2];
+  ExecMode modes[2] = {ExecMode::kRow, ExecMode::kBatch};
+  for (int m = 0; m < 2; ++m) {
+    MemoryBudget budget(5000);  // final all-pass output needs 4096*4 bytes
+    BudgetScope scope(&budget);
+    ExecModeScope mode(modes[m]);
+    ExecStats stats;
+    EXPECT_THROW(FilterEquals(in, "x", TermId(1), &stats),
+                 BudgetExceededError);
+    EXPECT_TRUE(budget.exceeded());
+    at_refusal[m] = budget.charged();
+  }
+  EXPECT_EQ(at_refusal[0], at_refusal[1]);
+}
+
+TEST(BudgetTest, ScanExhaustionSetsQueryContextCause) {
+  // Budget trip mid-scan under a QueryContext: the thrown error unwinds
+  // the operator and the context maps the stop to kBudget — the sticky
+  // cause the engine's fault boundary turns into ResourceExhausted.
+  std::vector<Triple> triples;
+  for (uint32_t i = 0; i < 5000; ++i) triples.push_back(T(i, 10, i + 1));
+  IdPattern p;
+  p.p = TermId(10);
+  p.s_var = "s";
+  p.o_var = "o";
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    QueryContext ctx(0, 4096);
+    BudgetScope scope(ctx.budget());
+    ExecModeScope exec_mode(mode);
+    ExecStats stats;
+    EXPECT_ANY_THROW(ScanPattern(triples, p, &stats, &ctx));
+    EXPECT_TRUE(ctx.ShouldStop());
+    EXPECT_EQ(ctx.cause(), StopCause::kBudget);
+  }
+}
+
+TEST(CancellationTest, PreCancelledScanThrowsBeforeTheFirstBlock) {
+  std::vector<Triple> triples;
+  for (uint32_t i = 0; i < 5000; ++i) triples.push_back(T(i, 10, i + 1));
+  IdPattern p;
+  p.p = TermId(10);
+  p.s_var = "s";
+  for (ExecMode mode : {ExecMode::kRow, ExecMode::kBatch}) {
+    CancellationToken token;
+    token.Cancel();
+    QueryContext ctx(0, 0, &token);
+    ExecModeScope exec_mode(mode);
+    ExecStats stats;
+    EXPECT_THROW(ScanPattern(triples, p, &stats, &ctx), QueryStopError);
+    EXPECT_EQ(stats.rows_scanned, 0u);
+  }
+}
+
+// ----------------------------------------------------- engine-level merge
+
+TEST(AppendRowsByNameTest, MappedAndIdenticalSchemasMatchRowReference) {
+  BindingTable src = RandTable({"a", "b", "c"}, 2100, 50, 31);
+  for (const auto& dst_vars :
+       {std::vector<std::string>{"a", "b", "c"},    // slab-copy fast path
+        std::vector<std::string>{"c", "a", "d"}}) { // permuted + missing
+    BindingTable row_dst(dst_vars), batch_dst(dst_vars);
+    {
+      ExecModeScope scope(ExecMode::kRow);
+      AppendRowsByName(&row_dst, src);
+    }
+    {
+      ExecModeScope scope(ExecMode::kBatch);
+      AppendRowsByName(&batch_dst, src);
+    }
+    ExpectSameTable(row_dst, batch_dst, "AppendRowsByName");
+  }
+}
+
+TEST(EndToEndTest, Fig1QueryBitIdenticalAcrossModes) {
+  Dataset data = testutil::Fig1Dataset();
+  EngineOptions opt;  // serial: the thread-local scope covers execution
+  auto db = Database::Build(data, opt);
+  ASSERT_TRUE(db.ok());
+  auto q = ParseSparql(testutil::Fig1Query());
+  ASSERT_TRUE(q.ok());
+
+  Result<QueryResult> row_r = Status::Internal("not run");
+  {
+    ExecModeScope scope(ExecMode::kRow);
+    row_r = db.value().Execute(q.value());
+  }
+  Result<QueryResult> batch_r = Status::Internal("not run");
+  {
+    ExecModeScope scope(ExecMode::kBatch);
+    batch_r = db.value().Execute(q.value());
+  }
+  ASSERT_TRUE(row_r.ok());
+  ASSERT_TRUE(batch_r.ok());
+  ExpectSameTable(row_r.value().table, batch_r.value().table, "Fig1");
+  ExpectSameStats(row_r.value().stats, batch_r.value().stats, "Fig1");
+}
+
+}  // namespace
+}  // namespace axon

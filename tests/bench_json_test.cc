@@ -132,11 +132,21 @@ TEST(BenchDiffTest, WithinToleranceChangesPass) {
 }
 
 TEST(BenchDiffTest, SubMillisecondRowsNeverFlagOnTime) {
-  BenchDiffOptions opt;  // min_seconds = 0.005
+  BenchDiffOptions opt;  // min_seconds = 0.02
   auto diff = DiffBenchReports(MakeReport(0.0001, 100),
                                MakeReport(0.004, 100), opt);
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
   EXPECT_TRUE(diff.value().ok());
+}
+
+TEST(BenchDiffTest, RowsUnderTheNoiseFloorNeverFlagOnTime) {
+  BenchDiffOptions opt;  // min_seconds = 0.02
+  auto diff =
+      DiffBenchReports(MakeReport(0.002, 100), MakeReport(0.019, 100), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok())
+      << (diff.value().regressions.empty() ? ""
+                                           : diff.value().regressions[0]);
 }
 
 TEST(BenchDiffTest, MissingRowIsARegression) {
@@ -157,6 +167,92 @@ TEST(BenchDiffTest, NewRowsAreNotesNotRegressions) {
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
   EXPECT_TRUE(diff.value().ok());
   EXPECT_EQ(diff.value().notes.size(), 1u);
+}
+
+// ------------------------------------------------- multi-run merge
+
+TEST(BenchMergeTest, SingleCandidatePassesThrough) {
+  JsonValue run = MakeReport(0.1, 100);
+  auto merged = MergeBenchReports({run});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().ToString(), run.ToString());
+}
+
+TEST(BenchMergeTest, TakesPerRowMinimumSecondsAndCounters) {
+  auto merged = MergeBenchReports({MakeReport(0.12, 90),
+                                   MakeReport(0.08, 110)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const JsonValue& row = merged.value().Find("rows")->items()[0];
+  EXPECT_DOUBLE_EQ(row.GetDouble("seconds"), 0.08);
+  EXPECT_DOUBLE_EQ(row.Find("counters")->GetDouble("pages_read"), 90.0);
+}
+
+TEST(BenchMergeTest, ANoisySpikeInOneRunDoesNotFailTheGate) {
+  // First run breaches the latency gate; the re-run comes back clean. The
+  // merged candidate must pass the diff — this is the CI re-run contract.
+  JsonValue baseline = MakeReport(0.1, 100);
+  auto merged =
+      MergeBenchReports({MakeReport(0.25, 100), MakeReport(0.105, 100)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(baseline, merged.value(), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff.value().ok())
+      << (diff.value().regressions.empty() ? ""
+                                           : diff.value().regressions[0]);
+}
+
+TEST(BenchMergeTest, APersistentRegressionStillFails) {
+  JsonValue baseline = MakeReport(0.1, 100);
+  auto merged =
+      MergeBenchReports({MakeReport(0.2, 100), MakeReport(0.19, 100)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(baseline, merged.value(), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+}
+
+TEST(BenchMergeTest, RowsAreUnionedInFirstSeenOrder) {
+  Report extra("diff");
+  ReportRow a;
+  a.section = "fig6";
+  a.query = "Q1";
+  a.engine = "axonDB+";
+  a.seconds = 0.2;
+  extra.AddRow(a);
+  ReportRow b = a;
+  b.query = "Q2";
+  extra.AddRow(b);
+  auto merged = MergeBenchReports({MakeReport(0.1, 100), extra.ToJson()});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const auto& rows = merged.value().Find("rows")->items();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].GetString("query"), "Q1");
+  EXPECT_DOUBLE_EQ(rows[0].GetDouble("seconds"), 0.1);
+  EXPECT_EQ(rows[1].GetString("query"), "Q2");
+  EXPECT_TRUE(ValidateBenchReport(merged.value()).ok());
+}
+
+TEST(BenchMergeTest, BuildSecondsTakePerEngineMinima) {
+  Report r1("diff");
+  r1.AddBuildSeconds("axonDB+", 2.0);
+  Report r2("diff");
+  r2.AddBuildSeconds("axonDB+", 1.5);
+  r2.AddBuildSeconds("rdf3x", 3.0);
+  auto merged = MergeBenchReports({r1.ToJson(), r2.ToJson()});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const JsonValue* build = merged.value().Find("build_seconds");
+  ASSERT_NE(build, nullptr);
+  EXPECT_DOUBLE_EQ(build->GetDouble("axonDB+"), 1.5);
+  EXPECT_DOUBLE_EQ(build->GetDouble("rdf3x"), 3.0);
+}
+
+TEST(BenchMergeTest, RejectsEmptyAndMismatchedInputs) {
+  EXPECT_FALSE(MergeBenchReports({}).ok());
+  Report other("other-bench");
+  EXPECT_FALSE(
+      MergeBenchReports({MakeReport(0.1, 100), other.ToJson()}).ok());
 }
 
 // ------------------------------------------------- governor section

@@ -17,6 +17,7 @@
 #include "datagen/lubm_generator.h"
 #include "engine/database.h"
 #include "engine/governed_engine.h"
+#include "exec/batch.h"
 #include "engine/sharded_database.h"
 #include "sparql/parser.h"
 #include "test_util.h"
@@ -151,12 +152,12 @@ TEST_F(CancelExecutionTest, PreCancelledShardedScatter) {
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
 }
 
-TEST_F(CancelExecutionTest, MidFlightCancelStopsWithinLeafGranularity) {
+TEST_F(CancelExecutionTest, MidFlightCancelStopsWithinBatchGranularity) {
   // Q11 on 8 universities runs far longer than the few milliseconds we
   // wait before cancelling, so the cancel lands mid-execution. After the
   // cancel, each in-flight scan loop may finish at most its current
-  // 64-row chunk before observing the flag — bounded by kStopCheckRows
-  // per concurrently running loop.
+  // block before observing the flag — bounded by kBatchRows (the batch
+  // engine's stop-check granule) per concurrently running loop.
   auto q = ParseSparql(LubmModifiedWorkload().Get("Q11").sparql);
   ASSERT_TRUE(q.ok());
   EngineOptions opt;
@@ -191,10 +192,11 @@ TEST_F(CancelExecutionTest, MidFlightCancelStopsWithinLeafGranularity) {
 #if AXON_TRACE_ENABLED
   // Counter flushes are per-chunk, so rows scanned after the cancel are
   // bounded by one chunk per in-flight loop: 4 pool workers + the merging
-  // thread, with slack for a flush racing the at_cancel read.
+  // thread, with slack for a flush racing the at_cancel read. In batch
+  // mode a chunk is one kBatchRows block.
   uint64_t after = scanned->value();
-  EXPECT_LE(after - at_cancel, kStopCheckRows * 8)
-      << "post-cancel scan overshoot exceeds leaf granularity";
+  EXPECT_LE(after - at_cancel, kBatchRows * 8)
+      << "post-cancel scan overshoot exceeds batch granularity";
   obs::SetEnabled(false);
 #endif
 }
