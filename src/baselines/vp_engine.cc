@@ -86,6 +86,7 @@ AccessPath VpEngine::MakeAccessPath(const IdPattern& p) const {
     // schema is a function of the pattern alone.
     BindingTable out = ScanPattern({}, p, stats);
     for (const auto& [table, range] : pieces) {
+      if (ctx != nullptr) ctx->CheckStop();
       AccountRangePages(range, stats);
       BindingTable part = ScanPattern(table->slice(range), p, stats, ctx);
       for (size_t r = 0; r < part.num_rows(); ++r) {

@@ -267,6 +267,7 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
     });
     BindingTable acc(cols);
     for (size_t i = 0; i < ranges.size(); ++i) {
+      if (ctx != nullptr) ctx->CheckStop();
       if (stats != nullptr) stats->Accumulate(part_stats[i]);
       AppendRowsByName(&acc, parts[i]);
       // The serial reference accounted the accumulated table after each
@@ -309,6 +310,7 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
     parts[i] = std::move(per_cs);
   });
   for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ctx != nullptr) ctx->CheckStop();
     if (stats != nullptr) stats->Accumulate(part_stats[i]);
     AppendRowsByName(&acc, parts[i]);
   }

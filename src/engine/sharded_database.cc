@@ -178,6 +178,7 @@ BindingTable ShardedDatabase::EvalStarScattered(
     const Shard& shard = *shards_[si];
     BindingTable local(acc.vars());
     for (CsId cs : allowed_cs) {
+      if (ctx != nullptr && ctx->ShouldStop()) return;
       RowRange range = n.is_variable ? shard.cs.RangeOf(cs)
                                      : shard.cs.SubjectRange(cs, n.bound_id);
       if (range.empty()) continue;
@@ -200,6 +201,7 @@ BindingTable ShardedDatabase::EvalStarScattered(
     shard_parts[si] = std::move(local);
   });
   for (size_t si = 0; si < shards_.size(); ++si) {
+    if (ctx != nullptr) ctx->CheckStop();
     if (stats != nullptr) stats->Accumulate(shard_stats[si]);
     AppendRowsByName(&acc, shard_parts[si]);
   }

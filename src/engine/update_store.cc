@@ -4,25 +4,200 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
+#include <tuple>
 
+#include "storage/wal.h"
 #include "util/failpoint.h"
+#include "util/mutex.h"
 
 namespace axon {
 
+// All mutable store state behind one mutex. Public methods lock it and
+// delegate to the *Locked helpers below; the WAL writer is externally
+// synchronized by this same lock (storage/wal.h). Lock order: mu is
+// acquired before the failpoint registry lock (via AXON_FAILPOINT_STATUS
+// inside CompactLocked) and before any trace/metrics lock taken by query
+// execution — it never nests inside another subsystem's lock.
+struct UpdateStoreImpl {
+  Mutex mu;
+
+  // Immutable after Create/OpenDurable returns; unguarded by contract.
+  UpdateOptions options;
+  std::string path;  // empty = in-memory mode
+
+  std::unique_ptr<WalWriter> wal AXON_GUARDED_BY(mu);  // non-null iff durable
+  Dictionary dict AXON_GUARDED_BY(mu);                 // grows monotonically
+  std::set<std::tuple<TermId, TermId, TermId>> live AXON_GUARDED_BY(mu);
+  std::unique_ptr<Database> snapshot AXON_GUARDED_BY(mu);
+  bool dirty AXON_GUARDED_BY(mu) = false;
+  uint64_t pending_ops AXON_GUARDED_BY(mu) = 0;
+};
+
 namespace {
+
 std::string WalPath(const std::string& base) { return base + ".wal"; }
 std::string TmpPath(const std::string& base) { return base + ".tmp"; }
+
+/// Appends one op record ('+'/'-' + N-Triples line) to the WAL and, per
+/// options.sync_writes, fsyncs it.
+Status LogOpLocked(UpdateStoreImpl& im, char op, const TermTriple& triple)
+    AXON_REQUIRES(im.mu) {
+  std::string record;
+  record.push_back(op);
+  record += WriteNTriplesLine(triple);
+  AXON_RETURN_NOT_OK(im.wal->Append(record));
+  if (im.options.sync_writes) {
+    AXON_RETURN_NOT_OK(im.wal->Sync());
+  }
+  return Status::OK();
+}
+
+/// Applies a WAL record to the in-memory state (no logging): recovery.
+Status ApplyLogRecordLocked(UpdateStoreImpl& im, std::string_view record)
+    AXON_REQUIRES(im.mu) {
+  if (record.empty()) return Status::Corruption("wal: empty record");
+  char op = record[0];
+  auto parsed = ParseNTriplesLine(record.substr(1));
+  if (!parsed.ok()) {
+    return Status::Corruption("wal: bad record: " +
+                              parsed.status().message());
+  }
+  const TermTriple& t = parsed.value();
+  if (op == '+') {
+    im.live.insert(
+        {im.dict.Intern(t.s), im.dict.Intern(t.p), im.dict.Intern(t.o)});
+  } else if (op == '-') {
+    auto s = im.dict.Lookup(t.s);
+    auto p = im.dict.Lookup(t.p);
+    auto o = im.dict.Lookup(t.o);
+    if (s.has_value() && p.has_value() && o.has_value()) {
+      im.live.erase({*s, *p, *o});
+    }
+  } else {
+    return Status::Corruption("wal: unknown op byte");
+  }
+  return Status::OK();
+}
+
+Status CompactLocked(UpdateStoreImpl& im) AXON_REQUIRES(im.mu) {
+  AXON_FAILPOINT_STATUS("compact.build");
+  // Rebuild the read-optimized store from the live set. The dictionary is
+  // reused as-is: ids are stable across compactions, so bindings held by
+  // callers keep rendering correctly.
+  Dataset data;
+  data.dict = im.dict;
+  data.triples.reserve(im.live.size());
+  for (const auto& [s, p, o] : im.live) {
+    data.triples.push_back(Triple{s, p, o});
+  }
+  auto built = Database::Build(data, im.options.engine);
+  if (!built.ok()) return built.status();
+  im.snapshot = std::make_unique<Database>(std::move(built).ValueOrDie());
+  if (im.wal != nullptr) {
+    // Fold the delta into the base. Order matters: the new base must be
+    // durably committed (temp + fsync + rename) BEFORE the WAL resets.
+    // Crash windows: before the rename — old base + full WAL, nothing
+    // lost; between rename and reset — new base + stale WAL, whose replay
+    // is idempotent; after reset — new base + empty WAL. On a persist
+    // error we keep dirty so durability is retried, while the rebuilt
+    // in-memory snapshot stays fully queryable.
+    AXON_FAILPOINT_STATUS("compact.persist");
+    Status persisted = im.snapshot->SaveAtomic(im.path);
+    if (!persisted.ok()) return persisted;
+    AXON_RETURN_NOT_OK(im.wal->Reset(WalPath(im.path)));
+  }
+  im.dirty = false;
+  im.pending_ops = 0;
+  return Status::OK();
+}
+
+Status InsertLocked(UpdateStoreImpl& im, const TermTriple& triple)
+    AXON_REQUIRES(im.mu) {
+  if (!triple.s.is_iri() && !triple.s.is_blank()) {
+    return Status::InvalidArgument("subject must be an IRI or blank node");
+  }
+  if (!triple.p.is_iri()) {
+    return Status::InvalidArgument("predicate must be an IRI");
+  }
+  TermId s = im.dict.Intern(triple.s);
+  TermId p = im.dict.Intern(triple.p);
+  TermId o = im.dict.Intern(triple.o);
+  if (im.live.insert({s, p, o}).second) {
+    if (im.wal != nullptr) {
+      Status logged = LogOpLocked(im, '+', triple);
+      if (!logged.ok()) {
+        // Not acknowledged: roll the in-memory effect back so the state
+        // never claims a write durability cannot back.
+        im.live.erase({s, p, o});
+        return logged;
+      }
+    }
+    im.dirty = true;
+    ++im.pending_ops;
+    if (im.options.compaction_threshold > 0 &&
+        im.pending_ops >= im.options.compaction_threshold) {
+      return CompactLocked(im);
+    }
+  }
+  return Status::OK();
+}
+
+Status DeleteLocked(UpdateStoreImpl& im, const TermTriple& triple)
+    AXON_REQUIRES(im.mu) {
+  auto s = im.dict.Lookup(triple.s);
+  auto p = im.dict.Lookup(triple.p);
+  auto o = im.dict.Lookup(triple.o);
+  if (!s.has_value() || !p.has_value() || !o.has_value()) {
+    return Status::OK();  // never seen: nothing to delete
+  }
+  if (im.live.erase({*s, *p, *o}) > 0) {
+    if (im.wal != nullptr) {
+      Status logged = LogOpLocked(im, '-', triple);
+      if (!logged.ok()) {
+        im.live.insert({*s, *p, *o});
+        return logged;
+      }
+    }
+    im.dirty = true;
+    ++im.pending_ops;
+    if (im.options.compaction_threshold > 0 &&
+        im.pending_ops >= im.options.compaction_threshold) {
+      return CompactLocked(im);
+    }
+  }
+  return Status::OK();
+}
+
+Result<const Database*> SnapshotLocked(UpdateStoreImpl& im)
+    AXON_REQUIRES(im.mu) {
+  if (im.dirty || im.snapshot == nullptr) {
+    AXON_RETURN_NOT_OK(CompactLocked(im));
+  }
+  return const_cast<const Database*>(im.snapshot.get());
+}
+
 }  // namespace
+
+UpdatableDatabase::UpdatableDatabase()
+    : impl_(std::make_unique<UpdateStoreImpl>()) {}
+
+UpdatableDatabase::~UpdatableDatabase() = default;
+UpdatableDatabase::UpdatableDatabase(UpdatableDatabase&&) noexcept = default;
+UpdatableDatabase& UpdatableDatabase::operator=(UpdatableDatabase&&) noexcept =
+    default;
 
 Result<UpdatableDatabase> UpdatableDatabase::Create(const Dataset& initial,
                                                     UpdateOptions options) {
   UpdatableDatabase db;
-  db.options_ = options;
-  db.dict_ = initial.dict;
+  UpdateStoreImpl& im = *db.impl_;
+  MutexLock lock(&im.mu);
+  im.options = options;
+  im.dict = initial.dict;
   for (const Triple& t : initial.triples) {
-    db.live_.insert({t.s, t.p, t.o});
+    im.live.insert({t.s, t.p, t.o});
   }
-  AXON_RETURN_NOT_OK(db.Compact());
+  AXON_RETURN_NOT_OK(CompactLocked(im));
   return db;
 }
 
@@ -32,8 +207,10 @@ Result<UpdatableDatabase> UpdatableDatabase::OpenDurable(
     return Status::InvalidArgument("OpenDurable: empty path");
   }
   UpdatableDatabase db;
-  db.options_ = options;
-  db.path_ = path;
+  UpdateStoreImpl& im = *db.impl_;
+  MutexLock lock(&im.mu);
+  im.options = options;
+  im.path = path;
 
   // Recovery step 1: reap the orphaned temp a crash mid-SaveAtomic leaves
   // behind. It was never renamed, so it is not part of the store.
@@ -44,194 +221,114 @@ Result<UpdatableDatabase> UpdatableDatabase::OpenDurable(
   if (::stat(path.c_str(), &st) == 0) {
     auto opened = Database::Open(path, options.engine);
     if (!opened.ok()) return opened.status();  // typed Corruption/IOError
-    db.snapshot_ =
+    im.snapshot =
         std::make_unique<Database>(std::move(opened).ValueOrDie());
-    db.dict_ = db.snapshot_->dict();
-    for (const Triple& t : db.snapshot_->cs_index().spo().rows()) {
-      db.live_.insert({t.s, t.p, t.o});
+    im.dict = im.snapshot->dict();
+    for (const Triple& t : im.snapshot->cs_index().spo().rows()) {
+      im.live.insert({t.s, t.p, t.o});
     }
   }
 
   // Recovery step 3: replay the delta. Idempotent ops make a WAL that was
   // already (partially) folded into the base converge to the same state.
-  auto replayed = ReplayWal(WalPath(path), [&db](std::string_view record) {
-    return db.ApplyLogRecord(record);
+  // The callback runs strictly under the lock held above — AssertHeld
+  // re-establishes that fact inside the lambda for the analysis.
+  auto replayed = ReplayWal(WalPath(path), [&im](std::string_view record) {
+    im.mu.AssertHeld();
+    return ApplyLogRecordLocked(im, record);
   });
   if (!replayed.ok()) return replayed.status();
-  db.dirty_ = replayed.value().records > 0 || db.snapshot_ == nullptr;
-  db.pending_ops_ = replayed.value().records;
+  im.dirty = replayed.value().records > 0 || im.snapshot == nullptr;
+  im.pending_ops = replayed.value().records;
 
   // Recovery step 4: drop a torn tail (never-acknowledged bytes), then
   // arm the log for new writes.
-  db.wal_ = std::make_unique<WalWriter>();
+  im.wal = std::make_unique<WalWriter>();
   AXON_RETURN_NOT_OK(
-      db.wal_->Open(WalPath(path), replayed.value().valid_bytes));
+      im.wal->Open(WalPath(path), replayed.value().valid_bytes));
 
   // A fresh store (no base yet) commits an empty base immediately so a
   // reader never sees "no file" after a successful OpenDurable.
-  if (db.snapshot_ == nullptr) {
-    AXON_RETURN_NOT_OK(db.Compact());
+  if (im.snapshot == nullptr) {
+    AXON_RETURN_NOT_OK(CompactLocked(im));
   }
   return db;
 }
 
-Status UpdatableDatabase::LogOp(char op, const TermTriple& triple) {
-  std::string record;
-  record.push_back(op);
-  record += WriteNTriplesLine(triple);
-  AXON_RETURN_NOT_OK(wal_->Append(record));
-  if (options_.sync_writes) {
-    AXON_RETURN_NOT_OK(wal_->Sync());
-  }
-  return Status::OK();
-}
-
-Status UpdatableDatabase::ApplyLogRecord(std::string_view record) {
-  if (record.empty()) return Status::Corruption("wal: empty record");
-  char op = record[0];
-  auto parsed = ParseNTriplesLine(record.substr(1));
-  if (!parsed.ok()) {
-    return Status::Corruption("wal: bad record: " +
-                              parsed.status().message());
-  }
-  const TermTriple& t = parsed.value();
-  if (op == '+') {
-    live_.insert(
-        {dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)});
-  } else if (op == '-') {
-    auto s = dict_.Lookup(t.s);
-    auto p = dict_.Lookup(t.p);
-    auto o = dict_.Lookup(t.o);
-    if (s.has_value() && p.has_value() && o.has_value()) {
-      live_.erase({*s, *p, *o});
-    }
-  } else {
-    return Status::Corruption("wal: unknown op byte");
-  }
-  return Status::OK();
-}
-
 Status UpdatableDatabase::Insert(const TermTriple& triple) {
-  if (!triple.s.is_iri() && !triple.s.is_blank()) {
-    return Status::InvalidArgument("subject must be an IRI or blank node");
-  }
-  if (!triple.p.is_iri()) {
-    return Status::InvalidArgument("predicate must be an IRI");
-  }
-  TermId s = dict_.Intern(triple.s);
-  TermId p = dict_.Intern(triple.p);
-  TermId o = dict_.Intern(triple.o);
-  if (live_.insert({s, p, o}).second) {
-    if (wal_ != nullptr) {
-      Status logged = LogOp('+', triple);
-      if (!logged.ok()) {
-        // Not acknowledged: roll the in-memory effect back so the state
-        // never claims a write durability cannot back.
-        live_.erase({s, p, o});
-        return logged;
-      }
-    }
-    dirty_ = true;
-    ++pending_ops_;
-    if (options_.compaction_threshold > 0 &&
-        pending_ops_ >= options_.compaction_threshold) {
-      return Compact();
-    }
-  }
-  return Status::OK();
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  return InsertLocked(im, triple);
 }
 
 Status UpdatableDatabase::Delete(const TermTriple& triple) {
-  auto s = dict_.Lookup(triple.s);
-  auto p = dict_.Lookup(triple.p);
-  auto o = dict_.Lookup(triple.o);
-  if (!s.has_value() || !p.has_value() || !o.has_value()) {
-    return Status::OK();  // never seen: nothing to delete
-  }
-  if (live_.erase({*s, *p, *o}) > 0) {
-    if (wal_ != nullptr) {
-      Status logged = LogOp('-', triple);
-      if (!logged.ok()) {
-        live_.insert({*s, *p, *o});
-        return logged;
-      }
-    }
-    dirty_ = true;
-    ++pending_ops_;
-    if (options_.compaction_threshold > 0 &&
-        pending_ops_ >= options_.compaction_threshold) {
-      return Compact();
-    }
-  }
-  return Status::OK();
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  return DeleteLocked(im, triple);
 }
 
 Status UpdatableDatabase::InsertNTriples(std::string_view text) {
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
   Status status = Status::OK();
-  Status parse = ParseNTriples(text, [this, &status](TermTriple t) {
-    if (status.ok()) status = Insert(t);
+  Status parse = ParseNTriples(text, [&im, &status](TermTriple t) {
+    im.mu.AssertHeld();
+    if (status.ok()) status = InsertLocked(im, t);
   });
   AXON_RETURN_NOT_OK(parse);
   return status;
 }
 
+uint64_t UpdatableDatabase::pending_ops() const {
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  return im.pending_ops;
+}
+
+uint64_t UpdatableDatabase::num_triples() const {
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  return im.live.size();
+}
+
+bool UpdatableDatabase::durable() const { return !impl_->path.empty(); }
+
 Status UpdatableDatabase::Compact() {
-  AXON_FAILPOINT_STATUS("compact.build");
-  // Rebuild the read-optimized store from the live set. The dictionary is
-  // reused as-is: ids are stable across compactions, so bindings held by
-  // callers keep rendering correctly.
-  Dataset data;
-  data.dict = dict_;
-  data.triples.reserve(live_.size());
-  for (const auto& [s, p, o] : live_) {
-    data.triples.push_back(Triple{s, p, o});
-  }
-  auto built = Database::Build(data, options_.engine);
-  if (!built.ok()) return built.status();
-  snapshot_ = std::make_unique<Database>(std::move(built).ValueOrDie());
-  if (wal_ != nullptr) {
-    // Fold the delta into the base. Order matters: the new base must be
-    // durably committed (temp + fsync + rename) BEFORE the WAL resets.
-    // Crash windows: before the rename — old base + full WAL, nothing
-    // lost; between rename and reset — new base + stale WAL, whose replay
-    // is idempotent; after reset — new base + empty WAL. On a persist
-    // error we keep dirty_ so durability is retried, while the rebuilt
-    // in-memory snapshot stays fully queryable.
-    AXON_FAILPOINT_STATUS("compact.persist");
-    Status persisted = snapshot_->SaveAtomic(path_);
-    if (!persisted.ok()) return persisted;
-    AXON_RETURN_NOT_OK(wal_->Reset(WalPath(path_)));
-  }
-  dirty_ = false;
-  pending_ops_ = 0;
-  return Status::OK();
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  return CompactLocked(im);
 }
 
 Result<const Database*> UpdatableDatabase::Snapshot() {
-  if (dirty_ || snapshot_ == nullptr) {
-    AXON_RETURN_NOT_OK(Compact());
-  }
-  return const_cast<const Database*>(snapshot_.get());
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  return SnapshotLocked(im);
 }
 
 Result<QueryResult> UpdatableDatabase::Execute(const SelectQuery& query) {
-  AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  AXON_ASSIGN_OR_RETURN(const Database* db, SnapshotLocked(im));
   return db->Execute(query);
 }
 
 Result<QueryResult> UpdatableDatabase::ExecuteSparql(std::string_view text) {
-  AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  AXON_ASSIGN_OR_RETURN(const Database* db, SnapshotLocked(im));
   return db->ExecuteSparql(text);
 }
 
 Result<std::vector<std::string>> UpdatableDatabase::ExportLines() const {
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
   std::vector<std::string> lines;
-  lines.reserve(live_.size());
-  for (const auto& [s, p, o] : live_) {
+  lines.reserve(im.live.size());
+  for (const auto& [s, p, o] : im.live) {
     TermTriple t;
-    AXON_ASSIGN_OR_RETURN(t.s, dict_.GetTerm(s));
-    AXON_ASSIGN_OR_RETURN(t.p, dict_.GetTerm(p));
-    AXON_ASSIGN_OR_RETURN(t.o, dict_.GetTerm(o));
+    AXON_ASSIGN_OR_RETURN(t.s, im.dict.GetTerm(s));
+    AXON_ASSIGN_OR_RETURN(t.p, im.dict.GetTerm(p));
+    AXON_ASSIGN_OR_RETURN(t.o, im.dict.GetTerm(o));
     std::string line = WriteNTriplesLine(t);
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
@@ -244,7 +341,9 @@ Result<std::vector<std::string>> UpdatableDatabase::ExportLines() const {
 
 Result<std::vector<std::vector<std::string>>> UpdatableDatabase::Render(
     const BindingTable& table) {
-  AXON_ASSIGN_OR_RETURN(const Database* db, Snapshot());
+  UpdateStoreImpl& im = *impl_;
+  MutexLock lock(&im.mu);
+  AXON_ASSIGN_OR_RETURN(const Database* db, SnapshotLocked(im));
   return db->Render(table);
 }
 

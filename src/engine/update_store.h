@@ -21,19 +21,33 @@
 // leaves P either the old or the new complete base, and replaying the WAL
 // (idempotent set operations) reconverges — no acknowledged write is ever
 // lost, which tests/chaos_test.cc proves under injected crashes.
+//
+// Thread safety: every method serializes on one internal annotated mutex
+// (state lives behind a pImpl so the handle stays movable), so concurrent
+// Insert/Delete/Compact/Execute calls from multiple threads are safe —
+// including the WAL, which is externally synchronized by this lock
+// (storage/wal.h). The pointer returned by Snapshot() is read-only shared
+// state: it remains valid only until the next mutating call triggers a
+// compaction, exactly as before — concurrent readers holding a snapshot
+// must not race a writer (tests/concurrency_stress_test.cc runs readers
+// against a quiescent store; serializing reads against updates is the
+// caller's contract, Execute()/ExecuteSparql() do it internally).
 
 #ifndef AXON_ENGINE_UPDATE_STORE_H_
 #define AXON_ENGINE_UPDATE_STORE_H_
 
+#include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "engine/database.h"
-#include "storage/wal.h"
 
 namespace axon {
+
+// Private state of UpdatableDatabase (defined in update_store.cc): one
+// annotated Mutex plus the fields it guards.
+struct UpdateStoreImpl;
 
 struct UpdateOptions {
   /// Rebuild the ECS store once the delta reaches this many pending
@@ -63,8 +77,9 @@ class UpdatableDatabase {
   static Result<UpdatableDatabase> OpenDurable(const std::string& path,
                                                UpdateOptions options = {});
 
-  UpdatableDatabase(UpdatableDatabase&&) = default;
-  UpdatableDatabase& operator=(UpdatableDatabase&&) = default;
+  ~UpdatableDatabase();
+  UpdatableDatabase(UpdatableDatabase&&) noexcept;
+  UpdatableDatabase& operator=(UpdatableDatabase&&) noexcept;
 
   /// Inserts one triple. Duplicate inserts are idempotent (RDF set
   /// semantics). Never fails on valid terms in memory mode; in durable
@@ -79,13 +94,13 @@ class UpdatableDatabase {
   Status InsertNTriples(std::string_view text);
 
   /// Number of pending (uncompacted) operations.
-  uint64_t pending_ops() const { return pending_ops_; }
+  uint64_t pending_ops() const;
 
   /// Current triple count (base + delta effects).
-  uint64_t num_triples() const { return live_.size(); }
+  uint64_t num_triples() const;
 
   /// True when backed by a base file + WAL.
-  bool durable() const { return !path_.empty(); }
+  bool durable() const;
 
   /// Forces a rebuild of the ECS store from the current state. Durable
   /// mode: also persists the new base crash-atomically and resets the
@@ -111,23 +126,9 @@ class UpdatableDatabase {
   Result<std::vector<std::string>> ExportLines() const;
 
  private:
-  UpdatableDatabase() = default;
+  UpdatableDatabase();
 
-  /// Appends one op record ('+'/'-' + N-Triples line) to the WAL and, per
-  /// options_.sync_writes, fsyncs it.
-  Status LogOp(char op, const TermTriple& triple);
-
-  /// Applies a WAL record to the in-memory state (no logging): recovery.
-  Status ApplyLogRecord(std::string_view record);
-
-  UpdateOptions options_;
-  std::string path_;                      // empty = in-memory mode
-  std::unique_ptr<WalWriter> wal_;        // non-null iff durable
-  Dictionary dict_;                       // grows monotonically
-  std::set<std::tuple<TermId, TermId, TermId>> live_;  // current triple set
-  std::unique_ptr<Database> snapshot_;
-  bool dirty_ = false;
-  uint64_t pending_ops_ = 0;
+  std::unique_ptr<UpdateStoreImpl> impl_;
 };
 
 }  // namespace axon

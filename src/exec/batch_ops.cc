@@ -274,6 +274,7 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
       return;
     }
     for (size_t off = 0; off < total; off += kBatchRows) {
+      if (ctx != nullptr) ctx->CheckStop();
       const size_t n = std::min(kBatchRows, total - off);
       batch.Reset(ocols);
       for (size_t c = 0; c < pcols; ++c) {
@@ -337,7 +338,7 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
 }
 
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
-                          TermId value, ExecStats* stats) {
+                          TermId value, ExecStats* stats, QueryContext* ctx) {
   int col = in.ColumnIndex(var);
   BindingTable out(in.vars());
   if (col < 0) return out;
@@ -346,6 +347,7 @@ BindingTable FilterEquals(const BindingTable& in, const std::string& var,
   std::vector<SelVector> sel(kBatchRows);
   Batch batch;
   for (size_t base = 0; base < rows; base += kBatchRows) {
+    if (ctx != nullptr) ctx->CheckStop();
     const size_t n = std::min(kBatchRows, rows - base);
     ExtractCol(in, base, n, static_cast<size_t>(col), buf.data());
     const size_t k = SelEquals(buf.data(), n, value, sel.data());
@@ -358,7 +360,7 @@ BindingTable FilterEquals(const BindingTable& in, const std::string& var,
 }
 
 BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats) {
+                      ExecStats* stats, QueryContext* ctx) {
   if (stats != nullptr) ++stats->joins;
   std::vector<int> left_key;
   std::vector<int> right_key;
@@ -395,6 +397,7 @@ BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
     }
     const size_t lk = static_cast<size_t>(left_key[0]);
     for (size_t base = 0; base < rows; base += kBatchRows) {
+      if (ctx != nullptr) ctx->CheckStop();
       const size_t n = std::min(kBatchRows, rows - base);
       ExtractCol(left, base, n, lk, buf.data());
       size_t k = 0;
@@ -417,6 +420,7 @@ BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
       keys.insert(key);
     }
     for (size_t base = 0; base < rows; base += kBatchRows) {
+      if (ctx != nullptr) ctx->CheckStop();
       const size_t n = std::min(kBatchRows, rows - base);
       size_t k = 0;
       for (size_t i = 0; i < n; ++i) {
@@ -436,7 +440,7 @@ BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
 }
 
 BindingTable Project(const BindingTable& in,
-                     const std::vector<std::string>& vars) {
+                     const std::vector<std::string>& vars, QueryContext* ctx) {
   std::vector<int> cols;
   cols.reserve(vars.size());
   for (const std::string& v : vars) {
@@ -452,6 +456,7 @@ BindingTable Project(const BindingTable& in,
   const size_t rows = in.num_rows();
   Batch batch;
   for (size_t base = 0; base < rows; base += kBatchRows) {
+    if (ctx != nullptr) ctx->CheckStop();
     const size_t n = std::min(kBatchRows, rows - base);
     batch.Reset(vars.size());
     for (size_t i = 0; i < vars.size(); ++i) {
@@ -463,7 +468,7 @@ BindingTable Project(const BindingTable& in,
   return out;
 }
 
-BindingTable Distinct(const BindingTable& in) {
+BindingTable Distinct(const BindingTable& in, QueryContext* ctx) {
   BindingTable out(in.vars());
   if (in.num_cols() == 0) {
     out.SetNullaryRow(in.num_rows() > 0);
@@ -477,6 +482,7 @@ BindingTable Distinct(const BindingTable& in) {
   std::vector<SelVector> sel(kBatchRows);
   Batch batch;
   for (size_t base = 0; base < rows; base += kBatchRows) {
+    if (ctx != nullptr) ctx->CheckStop();
     const size_t n = std::min(kBatchRows, rows - base);
     size_t k = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -656,6 +662,7 @@ BindingTable CompatJoinImpl(const BindingTable& left, const BindingTable& right,
   auto flush = [&] {
     const size_t total = m_left.size();
     for (size_t off = 0; off < total; off += kBatchRows) {
+      if (ctx != nullptr) ctx->CheckStop();
       const size_t n = std::min(kBatchRows, total - off);
       batch.Reset(lay.out_vars.size());
       for (size_t c = 0; c < lcols; ++c) {
@@ -989,7 +996,9 @@ BindingTable GroupCount(const BindingTable& in,
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   std::vector<TermId> row(out_vars.size());
+  size_t emitted = 0;
   for (const auto& [k, state] : slots) {
+    if (ctx != nullptr && (emitted++ % kBatchRows) == 0) ctx->CheckStop();
     for (size_t i = 0; i < k.size(); ++i) row[i] = k[i];
     for (size_t a = 0; a < aggregates.size(); ++a) {
       uint64_t n = aggregates[a].distinct ? state.distinct[a].size()

@@ -192,11 +192,12 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
 }
 
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
-                          TermId value, ExecStats* stats) {
+                          TermId value, ExecStats* stats, QueryContext* ctx) {
   int col = in.ColumnIndex(var);
   BindingTable out(in.vars());
   if (col < 0) return out;
   for (size_t r = 0; r < in.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
     if (in.at(r, col) == value) out.AppendRow(in.row(r));
   }
   if (stats != nullptr) stats->intermediate_rows += out.num_rows();
@@ -204,7 +205,7 @@ BindingTable FilterEquals(const BindingTable& in, const std::string& var,
 }
 
 BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats) {
+                      ExecStats* stats, QueryContext* ctx) {
   if (stats != nullptr) ++stats->joins;
   std::vector<int> left_key;
   std::vector<int> right_key;
@@ -219,7 +220,10 @@ BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
   if (left_key.empty()) {
     // No shared columns: left survives iff right is non-empty.
     if (right.num_rows() == 0) return out;
-    for (size_t r = 0; r < left.num_rows(); ++r) out.AppendRow(left.row(r));
+    for (size_t r = 0; r < left.num_rows(); ++r) {
+      if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
+      out.AppendRow(left.row(r));
+    }
     return out;
   }
   std::set<std::vector<TermId>> keys;
@@ -231,6 +235,7 @@ BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
     keys.insert(key);
   }
   for (size_t r = 0; r < left.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
     for (size_t k = 0; k < left_key.size(); ++k) {
       key[k] = left.at(r, left_key[k]);
     }
@@ -241,7 +246,7 @@ BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
 }
 
 BindingTable Project(const BindingTable& in,
-                     const std::vector<std::string>& vars) {
+                     const std::vector<std::string>& vars, QueryContext* ctx) {
   std::vector<int> cols;
   cols.reserve(vars.size());
   for (const std::string& v : vars) {
@@ -252,16 +257,18 @@ BindingTable Project(const BindingTable& in,
   BindingTable out(vars);
   std::vector<TermId> row(vars.size());
   for (size_t r = 0; r < in.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
     for (size_t i = 0; i < cols.size(); ++i) row[i] = in.at(r, cols[i]);
     out.AppendRow(row);
   }
   return out;
 }
 
-BindingTable Distinct(const BindingTable& in) {
+BindingTable Distinct(const BindingTable& in, QueryContext* ctx) {
   BindingTable out(in.vars());
   std::set<std::vector<TermId>> seen;
   for (size_t r = 0; r < in.num_rows(); ++r) {
+    if (ctx != nullptr && (r % kStopCheckRows) == 0) ctx->CheckStop();
     std::vector<TermId> row(in.row(r).begin(), in.row(r).end());
     if (seen.insert(row).second) out.AppendRow(row);
   }
@@ -604,7 +611,9 @@ BindingTable GroupCount(const BindingTable& in,
   }
 
   std::vector<TermId> row(out_vars.size());
+  size_t emitted = 0;
   for (const auto& [k, state] : groups) {
+    if (ctx != nullptr && (emitted++ % kStopCheckRows) == 0) ctx->CheckStop();
     for (size_t i = 0; i < k.size(); ++i) row[i] = k[i];
     for (size_t a = 0; a < aggregates.size(); ++a) {
       uint64_t n = aggregates[a].distinct ? state.distinct[a].size()
@@ -652,24 +661,25 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
 }
 
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
-                          TermId value, ExecStats* stats) {
-  return UseBatch() ? batch_ops::FilterEquals(in, var, value, stats)
-                    : row_ops::FilterEquals(in, var, value, stats);
+                          TermId value, ExecStats* stats, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::FilterEquals(in, var, value, stats, ctx)
+                    : row_ops::FilterEquals(in, var, value, stats, ctx);
 }
 
 BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats) {
-  return UseBatch() ? batch_ops::SemiJoin(left, right, stats)
-                    : row_ops::SemiJoin(left, right, stats);
+                      ExecStats* stats, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::SemiJoin(left, right, stats, ctx)
+                    : row_ops::SemiJoin(left, right, stats, ctx);
 }
 
 BindingTable Project(const BindingTable& in,
-                     const std::vector<std::string>& vars) {
-  return UseBatch() ? batch_ops::Project(in, vars) : row_ops::Project(in, vars);
+                     const std::vector<std::string>& vars, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::Project(in, vars, ctx)
+                    : row_ops::Project(in, vars, ctx);
 }
 
-BindingTable Distinct(const BindingTable& in) {
-  return UseBatch() ? batch_ops::Distinct(in) : row_ops::Distinct(in);
+BindingTable Distinct(const BindingTable& in, QueryContext* ctx) {
+  return UseBatch() ? batch_ops::Distinct(in, ctx) : row_ops::Distinct(in, ctx);
 }
 
 BindingTable Limit(const BindingTable& in, uint64_t limit) {

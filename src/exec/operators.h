@@ -96,17 +96,19 @@ BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
 
 /// Keeps rows where column `var` equals `value`.
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
-                          TermId value, ExecStats* stats);
+                          TermId value, ExecStats* stats,
+                          QueryContext* ctx = nullptr);
 
 /// Semi-join: keeps left rows whose shared columns have a match in `right`.
 BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats);
+                      ExecStats* stats, QueryContext* ctx = nullptr);
 
 /// Projects onto `vars` (missing vars are an error in debug builds).
-BindingTable Project(const BindingTable& in, const std::vector<std::string>& vars);
+BindingTable Project(const BindingTable& in, const std::vector<std::string>& vars,
+                     QueryContext* ctx = nullptr);
 
 /// Removes duplicate rows.
-BindingTable Distinct(const BindingTable& in);
+BindingTable Distinct(const BindingTable& in, QueryContext* ctx = nullptr);
 
 /// Truncates to at most `limit` rows.
 BindingTable Limit(const BindingTable& in, uint64_t limit);

@@ -62,12 +62,12 @@ BindingTable ScanPattern(std::span<const Triple> triples,
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
                       ExecStats* stats, QueryContext* ctx);
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
-                          TermId value, ExecStats* stats);
+                          TermId value, ExecStats* stats, QueryContext* ctx);
 BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats);
+                      ExecStats* stats, QueryContext* ctx);
 BindingTable Project(const BindingTable& in,
-                     const std::vector<std::string>& vars);
-BindingTable Distinct(const BindingTable& in);
+                     const std::vector<std::string>& vars, QueryContext* ctx);
+BindingTable Distinct(const BindingTable& in, QueryContext* ctx);
 BindingTable Limit(const BindingTable& in, uint64_t limit);
 BindingTable Offset(const BindingTable& in, uint64_t offset);
 BindingTable UnionAll(const BindingTable& left, const BindingTable& right,
@@ -98,12 +98,12 @@ BindingTable ScanPattern(std::span<const Triple> triples,
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
                       ExecStats* stats, QueryContext* ctx);
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
-                          TermId value, ExecStats* stats);
+                          TermId value, ExecStats* stats, QueryContext* ctx);
 BindingTable SemiJoin(const BindingTable& left, const BindingTable& right,
-                      ExecStats* stats);
+                      ExecStats* stats, QueryContext* ctx);
 BindingTable Project(const BindingTable& in,
-                     const std::vector<std::string>& vars);
-BindingTable Distinct(const BindingTable& in);
+                     const std::vector<std::string>& vars, QueryContext* ctx);
+BindingTable Distinct(const BindingTable& in, QueryContext* ctx);
 BindingTable Limit(const BindingTable& in, uint64_t limit);
 BindingTable Offset(const BindingTable& in, uint64_t offset);
 BindingTable UnionAll(const BindingTable& left, const BindingTable& right,

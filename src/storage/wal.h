@@ -30,6 +30,11 @@ namespace axon {
 /// Appends checksummed frames to a log file. Usage:
 ///   WalWriter w;  w.Open(path);
 ///   w.Append(record);  w.Sync();   // now the record may be acknowledged
+///
+/// Externally synchronized: WalWriter has no internal lock. Its one owner,
+/// UpdatableDatabase, serializes every call under the store mutex
+/// (UpdateStoreImpl::mu in engine/update_store.cc) — do not share a
+/// WalWriter across threads without equivalent locking.
 class WalWriter {
  public:
   /// Opens `path` for appending (creating it if absent). Any bytes past

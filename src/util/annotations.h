@@ -1,0 +1,71 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// These wrap the attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that locked
+// state can be proven consistent at compile time: every field names the
+// mutex that guards it (AXON_GUARDED_BY), every helper that expects its
+// caller to hold a lock says so (AXON_REQUIRES), and the analysis —
+// enabled tree-wide with -Wthread-safety under Clang, an error in CI —
+// rejects any access path that cannot discharge those obligations.
+//
+// The macros expand to nothing on compilers without the attributes (GCC
+// builds the same tree warning-free), so annotated code stays portable.
+// Use them only through the axon::Mutex / axon::MutexLock / axon::CondVar
+// wrappers in util/mutex.h: std::mutex itself carries no annotations
+// under libstdc++, which is why naked std::mutex use outside that header
+// is additionally rejected by tools/axon_lint.
+//
+// Lock-ordering attributes (AXON_ACQUIRED_BEFORE / AXON_ACQUIRED_AFTER)
+// document the global acquisition order (DESIGN.md §13) and are checked
+// under -Wthread-safety-beta, which CI runs as a non-blocking report.
+
+#ifndef AXON_UTIL_ANNOTATIONS_H_
+#define AXON_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define AXON_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AXON_THREAD_ANNOTATION_(x)  // no-op on GCC and others
+#endif
+
+// Type attributes: a class that is a lock, or an RAII scope holding one.
+#define AXON_CAPABILITY(x) AXON_THREAD_ANNOTATION_(capability(x))
+#define AXON_SCOPED_CAPABILITY AXON_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data attributes: the mutex that guards a field (or, for pointers, the
+// pointed-to data).
+#define AXON_GUARDED_BY(x) AXON_THREAD_ANNOTATION_(guarded_by(x))
+#define AXON_PT_GUARDED_BY(x) AXON_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Declared global acquisition order between two locks.
+#define AXON_ACQUIRED_BEFORE(...) \
+  AXON_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AXON_ACQUIRED_AFTER(...) \
+  AXON_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function attributes: locks the caller must hold / must not hold, and
+// locks the function itself acquires or releases.
+#define AXON_REQUIRES(...) \
+  AXON_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AXON_REQUIRES_SHARED(...) \
+  AXON_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define AXON_ACQUIRE(...) \
+  AXON_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AXON_ACQUIRE_SHARED(...) \
+  AXON_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define AXON_RELEASE(...) \
+  AXON_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AXON_TRY_ACQUIRE(...) \
+  AXON_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define AXON_EXCLUDES(...) AXON_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define AXON_ASSERT_CAPABILITY(x) \
+  AXON_THREAD_ANNOTATION_(assert_capability(x))
+#define AXON_RETURN_CAPABILITY(x) AXON_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch. Policy (enforced in review, see DESIGN.md §13): not used
+// anywhere in the tree today; a new use must carry a comment proving why
+// the analysis cannot model the code.
+#define AXON_NO_THREAD_SAFETY_ANALYSIS \
+  AXON_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AXON_UTIL_ANNOTATIONS_H_

@@ -13,6 +13,9 @@ namespace bench {
 
 namespace {
 
+// Unguarded by contract: ReportScope is constructed in main() before any
+// bench worker thread exists and destroyed after they join, so all
+// cross-thread visibility is ordered by thread creation/join.
 Report* g_current = nullptr;
 
 double EnvScale() {
@@ -25,22 +28,22 @@ double EnvScale() {
 }  // namespace
 
 void Report::AddRow(ReportRow row) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rows_.push_back(std::move(row));
 }
 
 void Report::AddBuildSeconds(const std::string& engine, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   build_seconds_.emplace_back(engine, seconds);
 }
 
 void Report::SetScale(double scale) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   scale_ = scale;
 }
 
 JsonValue Report::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   JsonValue doc = JsonValue::Object();
   doc["schema"] = "axon-bench-v1";
   doc["bench"] = name_;

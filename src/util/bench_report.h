@@ -32,11 +32,11 @@
 #define AXON_UTIL_BENCH_REPORT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace axon {
 namespace bench {
@@ -77,11 +77,16 @@ class Report {
  private:
   friend class ReportScope;
 
-  mutable std::mutex mu_;
-  std::string name_;
-  double scale_ = 1.0;
-  std::vector<ReportRow> rows_;
-  std::vector<std::pair<std::string, double>> build_seconds_;
+  // Lock order: ToJson() holds mu_ while snapshotting the metrics
+  // registry, so Report::mu_ nests OUTSIDE MetricsRegistry::Impl::mu
+  // (DESIGN.md §13). Merge/Diff are pure functions over JSON documents
+  // and take no locks.
+  mutable Mutex mu_;
+  std::string name_;  // immutable after construction
+  double scale_ AXON_GUARDED_BY(mu_) = 1.0;
+  std::vector<ReportRow> rows_ AXON_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, double>> build_seconds_
+      AXON_GUARDED_BY(mu_);
 };
 
 /// RAII: installs Report::Current() for the binary's lifetime and writes

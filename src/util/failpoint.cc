@@ -5,10 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <new>
 #include <thread>
 
+#include "util/mutex.h"
 #include "util/random.h"
 
 namespace axon {
@@ -30,9 +30,9 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, SiteState> sites;
-  uint64_t seed = 0;
+  Mutex mu;
+  std::map<std::string, SiteState> sites AXON_GUARDED_BY(mu);
+  uint64_t seed AXON_GUARDED_BY(mu) = 0;
   std::atomic<bool> env_checked{false};
 };
 
@@ -146,7 +146,7 @@ Status Arm(const std::string& site, const std::string& spec) {
   SiteState state;
   AXON_RETURN_NOT_OK(ParseSpec(site, spec, &state));
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   state.rng_seed = SiteSeed(reg.seed, site);
   state.rng = Random(state.rng_seed);
   auto [it, inserted] = reg.sites.insert_or_assign(site, std::move(state));
@@ -181,7 +181,7 @@ Status ArmFromEnv() {
 
 void Disarm(const std::string& site) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   if (reg.sites.erase(site) > 0) {
     g_armed.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -189,7 +189,7 @@ void Disarm(const std::string& site) {
 
 void DisarmAll() {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   g_armed.fetch_sub(static_cast<uint32_t>(reg.sites.size()),
                     std::memory_order_relaxed);
   reg.sites.clear();
@@ -197,7 +197,7 @@ void DisarmAll() {
 
 void SetSeed(uint64_t seed) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   reg.seed = seed;
   for (auto& [site, state] : reg.sites) {
     state.rng_seed = SiteSeed(seed, site);
@@ -209,14 +209,14 @@ void SetSeed(uint64_t seed) {
 
 uint64_t Hits(const std::string& site) {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::pair<std::string, std::string>> ArmedSites() {
   Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(reg.sites.size());
   for (const auto& [site, state] : reg.sites) {
@@ -241,7 +241,7 @@ Fault Eval(const char* site) {
     }
   }
   if (g_armed.load(std::memory_order_relaxed) == 0) return Fault{};
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return Fault{};
   SiteState& s = it->second;

@@ -3,7 +3,8 @@
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace axon {
 namespace metrics {
@@ -64,10 +65,14 @@ JsonValue Histogram::ToJson() const {
 }
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
-  // std::map: sorted snapshots; unique_ptr: stable addresses across growth.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  mutable Mutex mu;
+  // std::map: sorted snapshots; unique_ptr: stable addresses across growth
+  // (Counter/Histogram themselves are lock-free atomics, so only the maps
+  // need the registry lock).
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      AXON_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      AXON_GUARDED_BY(mu);
 };
 
 MetricsRegistry::Impl* MetricsRegistry::impl() {
@@ -86,7 +91,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(&im->mu);
   auto& slot = im->counters[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -94,7 +99,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(&im->mu);
   auto& slot = im->histograms[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -102,14 +107,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 void MetricsRegistry::ResetAll() {
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(&im->mu);
   for (auto& [name, c] : im->counters) c->Reset();
   for (auto& [name, h] : im->histograms) h->Reset();
 }
 
 JsonValue MetricsRegistry::Snapshot() const {
   const Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(&im->mu);
   JsonValue out = JsonValue::Object();
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, c] : im->counters) {

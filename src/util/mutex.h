@@ -1,0 +1,118 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// std::mutex carries no thread-safety attributes under libstdc++, so code
+// locking it directly is invisible to Clang's -Wthread-safety analysis.
+// Every locked subsystem in the tree therefore locks through these
+// wrappers instead; tools/axon_lint rejects naked std::mutex /
+// std::lock_guard / std::condition_variable anywhere outside this header.
+//
+// Usage pattern (see DESIGN.md §13 for the full conventions):
+//
+//   class Queue {
+//    public:
+//     void Push(Item item) {
+//       MutexLock lock(&mu_);
+//       items_.push_back(std::move(item));
+//       cv_.NotifyOne();
+//     }
+//     Item Pop() {
+//       MutexLock lock(&mu_);
+//       while (items_.empty()) cv_.Wait(&mu_);   // explicit loop — the
+//       ...                                      // analysis cannot see
+//     }                                          // into predicate lambdas
+//    private:
+//     Mutex mu_;
+//     CondVar cv_;
+//     std::deque<Item> items_ AXON_GUARDED_BY(mu_);
+//   };
+//
+// CondVar waits take the Mutex explicitly and are annotated
+// AXON_REQUIRES(mu): the analysis treats the lock as continuously held
+// across the wait, which matches the caller's view — the guarded state
+// may change across a Wait(), hence the mandatory while-loop re-check.
+
+#ifndef AXON_UTIL_MUTEX_H_
+#define AXON_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.h"
+
+namespace axon {
+
+/// An annotated standard mutex. Non-recursive, non-movable; prefer the
+/// RAII MutexLock over manual Lock()/Unlock() pairs.
+class AXON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AXON_ACQUIRE() { mu_.lock(); }
+  void Unlock() AXON_RELEASE() { mu_.unlock(); }
+  bool TryLock() AXON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this mutex is held when it cannot prove it — the
+  /// one sanctioned use is a lambda invoked strictly under the lock (the
+  /// analysis drops lock state at lambda boundaries). No runtime effect;
+  /// the call is a statement of fact the caller must guarantee.
+  void AssertHeld() const AXON_ASSERT_CAPABILITY() {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scope holding a Mutex for its lifetime.
+class AXON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) AXON_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() AXON_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with a Mutex the caller already holds.
+/// The wait methods atomically release the mutex, block, and re-acquire
+/// before returning — annotated AXON_REQUIRES so the analysis (correctly)
+/// sees the lock held on both sides of the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — always re-check
+  /// the predicate in a while-loop).
+  void Wait(Mutex* mu) AXON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until notified or `deadline` passes. Returns false exactly
+  /// when the wait timed out (the mutex is re-held either way).
+  bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
+      AXON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status != std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace axon
+
+#endif  // AXON_UTIL_MUTEX_H_

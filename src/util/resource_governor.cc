@@ -77,7 +77,6 @@ ResourceGovernor::ResourceGovernor(GovernorOptions options)
     : options_(options) {}
 
 void ResourceGovernor::Bump(uint64_t GovernorCounters::* field) {
-  // Caller holds mu_.
   ++(counters_.*field);
   GlobalField(field).fetch_add(1, std::memory_order_relaxed);
 #if AXON_TRACE_ENABLED
@@ -89,8 +88,16 @@ void ResourceGovernor::Bump(uint64_t GovernorCounters::* field) {
 #endif
 }
 
+Status ResourceGovernor::ShedLocked() {
+  Bump(&GovernorCounters::shed);
+  return Status::Unavailable(
+      "engine overloaded: " + std::to_string(running_) + " running, " +
+      std::to_string(queue_.size()) + " queued; retry after ~" +
+      std::to_string(options_.retry_after_millis) + "ms");
+}
+
 Status ResourceGovernor::Admit() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Bump(&GovernorCounters::submitted);
   if (options_.max_concurrent == 0) {
     ++running_;
@@ -102,48 +109,54 @@ Status ResourceGovernor::Admit() {
     Bump(&GovernorCounters::admitted);
     return Status::OK();
   }
-  auto shed_status = [this]() {
-    Bump(&GovernorCounters::shed);
-    return Status::Unavailable(
-        "engine overloaded: " + std::to_string(running_) + " running, " +
-        std::to_string(queue_.size()) + " queued; retry after ~" +
-        std::to_string(options_.retry_after_millis) + "ms");
-  };
-  if (queue_.size() >= options_.max_queue) return shed_status();
+  if (queue_.size() >= options_.max_queue) return ShedLocked();
 
   const uint64_t ticket = next_ticket_++;
   queue_.push_back(ticket);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(options_.queue_wait_millis);
-  bool granted = cv_.wait_until(lock, deadline, [this, ticket] {
-    return !queue_.empty() && queue_.front() == ticket &&
-           running_ < options_.max_concurrent;
-  });
+  // Explicit wait loop (not a predicate lambda — the thread-safety
+  // analysis cannot see lock state inside lambdas). Matches
+  // wait_until(pred) semantics: one final predicate check after a
+  // timed-out wait, so a grant that raced the deadline still wins.
+  bool granted = false;
+  for (;;) {
+    if (!queue_.empty() && queue_.front() == ticket &&
+        running_ < options_.max_concurrent) {
+      granted = true;
+      break;
+    }
+    if (!cv_.WaitUntil(&mu_, deadline)) {
+      granted = !queue_.empty() && queue_.front() == ticket &&
+                running_ < options_.max_concurrent;
+      break;
+    }
+  }
   if (!granted) {
     // Timed out: abandon the queue entry (it may sit anywhere — an earlier
     // waiter at the front keeps FIFO order for the rest).
     queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
     // Our departure may unblock the new front.
-    cv_.notify_all();
-    return shed_status();
+    cv_.NotifyAll();
+    return ShedLocked();
   }
   queue_.pop_front();
   ++running_;
   Bump(&GovernorCounters::admitted);
   Bump(&GovernorCounters::queued);
-  // The next waiter's predicate depends on the new queue front.
-  cv_.notify_all();
+  // The next waiter's wakeup condition depends on the new queue front.
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void ResourceGovernor::Release() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --running_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ResourceGovernor::RecordOutcome(QueryOutcome outcome) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (outcome) {
     case QueryOutcome::kCompleted:
       Bump(&GovernorCounters::completed);
@@ -182,12 +195,12 @@ QueryOutcome ResourceGovernor::OutcomeOf(const Status& status) {
 }
 
 GovernorCounters ResourceGovernor::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 
 uint32_t ResourceGovernor::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 

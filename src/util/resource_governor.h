@@ -30,12 +30,11 @@
 #define AXON_UTIL_RESOURCE_GOVERNOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <new>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace axon {
@@ -185,21 +184,21 @@ class ResourceGovernor {
   /// Blocks until a slot is granted (FIFO among waiters) or the entry's
   /// queue deadline passes. Ok = slot held, caller must Release() and
   /// RecordOutcome() exactly once; Unavailable = shed, no slot held.
-  Status Admit();
+  Status Admit() AXON_EXCLUDES(mu_);
 
   /// Returns the slot taken by a successful Admit().
-  void Release();
+  void Release() AXON_EXCLUDES(mu_);
 
   /// Classifies how an admitted query ended.
-  void RecordOutcome(QueryOutcome outcome);
+  void RecordOutcome(QueryOutcome outcome) AXON_EXCLUDES(mu_);
 
   /// Maps a terminal engine Status to its outcome class.
   static QueryOutcome OutcomeOf(const Status& status);
 
-  GovernorCounters Snapshot() const;
+  GovernorCounters Snapshot() const AXON_EXCLUDES(mu_);
   const GovernorOptions& options() const { return options_; }
   /// Currently running (admitted, not yet released) queries.
-  uint32_t running() const;
+  uint32_t running() const AXON_EXCLUDES(mu_);
 
   /// Process-wide aggregate across every governor instance — what the
   /// bench-report "governor" section serializes.
@@ -207,15 +206,17 @@ class ResourceGovernor {
   static void ResetGlobalForTest();
 
  private:
-  void Bump(uint64_t GovernorCounters::* field);
+  void Bump(uint64_t GovernorCounters::* field) AXON_REQUIRES(mu_);
+  /// Counts the shed and builds its Unavailable status (retry-after hint).
+  Status ShedLocked() AXON_REQUIRES(mu_);
 
   GovernorOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint32_t running_ = 0;
-  uint64_t next_ticket_ = 0;
-  std::deque<uint64_t> queue_;  // FIFO of waiting ticket ids
-  GovernorCounters counters_;   // guarded by mu_
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint32_t running_ AXON_GUARDED_BY(mu_) = 0;
+  uint64_t next_ticket_ AXON_GUARDED_BY(mu_) = 0;
+  std::deque<uint64_t> queue_ AXON_GUARDED_BY(mu_);  // waiting ticket FIFO
+  GovernorCounters counters_ AXON_GUARDED_BY(mu_);
 };
 
 }  // namespace axon

@@ -21,21 +21,21 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     assert(!stop_);
     queue_.push_back(std::move(fn));
     AXON_HISTOGRAM("pool.queue_depth", queue_.size());
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::InWorker() { return t_in_worker; }
@@ -51,8 +51,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -73,50 +73,62 @@ WaitGroup::WaitGroup(ThreadPool* pool)
 WaitGroup::~WaitGroup() {
   // Tasks capture state owned by the waiter; never let the group die with
   // tasks in flight (Wait() may already have run — this is then a no-op).
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) cv_.Wait(&mu_);
 }
 
 void WaitGroup::Run(std::function<void()> fn) {
   if (pool_ == nullptr) {
     // Serial reference path: run inline, but keep the parallel contract —
     // after a failure, remaining tasks are skipped and Wait() rethrows.
-    if (error_ != nullptr) return;
+    // The lock is uncontended here (no tasks in flight) but keeps every
+    // error_ access under mu_ for the thread-safety analysis.
+    {
+      MutexLock lock(&mu_);
+      if (error_ != nullptr) return;
+    }
+    std::exception_ptr err;
     try {
       // Armed "pool.task" faults (delay jitter, oom) hit the inline path
       // too, so the determinism contract is exercised on both schedules.
       AXON_FAILPOINT("pool.task");
       fn();
     } catch (...) {
-      error_ = std::current_exception();
+      err = std::current_exception();
+    }
+    if (err != nullptr) {
+      MutexLock lock(&mu_);
+      if (error_ == nullptr) error_ = err;
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   pool_->Submit([this, fn = std::move(fn)] {
+    std::exception_ptr err;
     try {
       AXON_FAILPOINT("pool.task");
       fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (error_ == nullptr) error_ = std::current_exception();
+      err = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) cv_.notify_all();
+    MutexLock lock(&mu_);
+    if (err != nullptr && error_ == nullptr) error_ = err;
+    if (--pending_ == 0) cv_.NotifyAll();
   });
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
-  if (error_ != nullptr) {
-    std::exception_ptr e = error_;
+  std::exception_ptr e;
+  {
+    MutexLock lock(&mu_);
+    while (pending_ != 0) cv_.Wait(&mu_);
+    e = error_;
     error_ = nullptr;
-    std::rethrow_exception(e);
   }
+  if (e != nullptr) std::rethrow_exception(e);
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,

@@ -23,15 +23,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace axon {
 
@@ -64,10 +64,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AXON_GUARDED_BY(mu_);
+  bool stop_ AXON_GUARDED_BY(mu_) = false;
+  // Written only by the constructor (before workers can observe `this`
+  // escaping) and joined by the destructor; never mutated in between.
   std::vector<std::thread> threads_;
 };
 
@@ -96,10 +98,10 @@ class WaitGroup {
 
  private:
   ThreadPool* pool_;  // nullptr => inline execution
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
-  std::exception_ptr error_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ AXON_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ AXON_GUARDED_BY(mu_);
 };
 
 /// Runs fn(i) for every i in [0, n). Indices are processed in blocks; the

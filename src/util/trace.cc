@@ -5,7 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace axon {
 
@@ -43,20 +44,36 @@ uint64_t NowNs() {
           .count());
 }
 
-struct ThreadBuf {
-  std::mutex mu;
-  std::vector<Span> spans;     // open spans have duration_ns == 0
-  std::vector<int32_t> stack;  // indices of open spans, innermost last
-  uint32_t thread_index = 0;
-  uint64_t epoch = 0;          // bumped by Clear(); stale spans drop
-};
+struct ThreadBuf;
 
 // Process-wide span storage; buffers outlive their threads. Leaked by
 // design: spans may close during static destruction.
+//
+// epoch_ns (the collector's time origin) is atomic, not guarded: it is
+// read on every span open — deliberately without taking Registry::mu on
+// the hot path — while Clear() rewrites it. The original plain uint64_t
+// was a data race (found while annotating this file for -Wthread-safety;
+// regression-tested by TraceTest.ConcurrentSpansAndClearAreSafe under
+// TSan).
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadBuf>> bufs;
-  uint64_t epoch_ns = NowNs();
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs AXON_GUARDED_BY(mu);
+  std::atomic<uint64_t> epoch_ns{NowNs()};
+};
+
+Registry& GlobalRegistry();
+
+// Lock order (checked under -Wthread-safety-beta): Registry::mu is always
+// acquired before any ThreadBuf::mu — CollectSpans/Clear iterate the
+// buffer list under the registry lock and take each buffer lock nested
+// inside it, while the span open/close paths take only the buffer lock.
+struct ThreadBuf {
+  Mutex mu AXON_ACQUIRED_AFTER(GlobalRegistry().mu);
+  std::vector<Span> spans AXON_GUARDED_BY(mu);   // open: duration_ns == 0
+  std::vector<int32_t> stack AXON_GUARDED_BY(mu);  // open spans, innermost
+                                                   // last
+  uint32_t thread_index = 0;  // immutable after registration
+  uint64_t epoch AXON_GUARDED_BY(mu) = 0;  // bumped by Clear()
 };
 
 Registry& GlobalRegistry() {
@@ -68,7 +85,7 @@ ThreadBuf* LocalBufOrRegister() {
   thread_local ThreadBuf* cell = nullptr;
   if (cell == nullptr) {
     Registry& r = GlobalRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(&r.mu);
     r.bufs.push_back(std::make_unique<ThreadBuf>());
     r.bufs.back()->thread_index = static_cast<uint32_t>(r.bufs.size() - 1);
     cell = r.bufs.back().get();
@@ -88,11 +105,12 @@ ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   Registry& r = GlobalRegistry();
   ThreadBuf* buf = LocalBufOrRegister();
   start_ns_ = NowNs();
-  std::lock_guard<std::mutex> lock(buf->mu);
+  uint64_t epoch_ns = r.epoch_ns.load(std::memory_order_relaxed);
+  MutexLock lock(&buf->mu);
   index_ = static_cast<int32_t>(buf->spans.size());
   Span s;
   s.name = name;
-  s.start_ns = start_ns_ - r.epoch_ns;
+  s.start_ns = start_ns_ - epoch_ns;
   s.thread = buf->thread_index;
   s.parent = buf->stack.empty() ? -1 : buf->stack.back();
   buf->spans.push_back(std::move(s));
@@ -107,7 +125,7 @@ ScopedSpan::~ScopedSpan() {
   if (dur == 0) dur = 1;  // 0 marks "open"; a closed span is >= 1 ns
   auto* buf = static_cast<ThreadBuf*>(buf_);
   {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(&buf->mu);
     if (epoch_ == buf->epoch) {
       buf->spans[index_].duration_ns = dur;
       if (!buf->stack.empty() && buf->stack.back() == index_) {
@@ -124,9 +142,10 @@ ScopedSpan::~ScopedSpan() {
 std::vector<Span> Collector::CollectSpans() const {
   Registry& r = GlobalRegistry();
   std::vector<Span> out;
-  std::lock_guard<std::mutex> lock(r.mu);
-  for (const auto& buf : r.bufs) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+  MutexLock lock(&r.mu);
+  for (const auto& owned : r.bufs) {
+    ThreadBuf* buf = owned.get();
+    MutexLock buf_lock(&buf->mu);
     // Map this buffer's completed-span indices into `out`. Parents start
     // before their children, so a parent's remap entry is already set by
     // the time its children are visited.
@@ -145,14 +164,15 @@ std::vector<Span> Collector::CollectSpans() const {
 
 void Collector::Clear() {
   Registry& r = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  for (const auto& buf : r.bufs) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+  MutexLock lock(&r.mu);
+  for (const auto& owned : r.bufs) {
+    ThreadBuf* buf = owned.get();
+    MutexLock buf_lock(&buf->mu);
     buf->spans.clear();
     buf->stack.clear();
     ++buf->epoch;
   }
-  r.epoch_ns = NowNs();
+  r.epoch_ns.store(NowNs(), std::memory_order_relaxed);
 }
 
 JsonValue Collector::ToJson() const {

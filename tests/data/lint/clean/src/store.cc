@@ -1,0 +1,10 @@
+// Fixture: registered instrumentation + a well-behaved append loop.
+void Load(Ctx* ctx, Table* out, const Table& in) {
+  AXON_SPAN("store.load");
+  AXON_FAILPOINT("store.op");
+  for (size_t r = 0; r < in.rows(); ++r) {
+    if (ctx != nullptr) ctx->CheckStop();
+    out->AppendRow(in.row(r));
+  }
+  AXON_COUNTER_ADD("store.rows", in.rows());
+}

@@ -1,0 +1,5 @@
+// Fixture wrapper header: the one sanctioned home for std primitives.
+#include <mutex>
+class Mutex {
+  std::mutex mu_;
+};

@@ -1,0 +1,19 @@
+// Fixture: a nested append loop with no stop/budget token, next to a
+// compliant loop that must not be flagged.
+Table Concat(const Parts& parts) {
+  Table out;
+  for (const Part& p : parts) {
+    for (size_t r = 0; r < p.rows(); ++r) {
+      out.AppendRow(p.row(r));
+    }
+  }
+  return out;
+}
+Table Copy(Ctx* ctx, const Table& in) {
+  Table out;
+  for (size_t r = 0; r < in.rows(); ++r) {
+    if (ctx != nullptr) ctx->CheckStop();
+    out.AppendRow(in.row(r));
+  }
+  return out;
+}

@@ -1,0 +1,10 @@
+// Fixture: locked state the thread-safety analysis cannot see.
+#include <mutex>
+struct Cache {
+  std::mutex mu;
+  int hits = 0;
+};
+void Bump(Cache* c) {
+  std::lock_guard<std::mutex> lock(c->mu);
+  ++c->hits;
+}

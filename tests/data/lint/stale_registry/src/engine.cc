@@ -1,0 +1,3 @@
+// Fixture: the span moved files; DESIGN.md still points at the old one
+// and keeps a row whose site was deleted.
+void Run() { AXON_SPAN("engine.run"); }

@@ -1,0 +1,5 @@
+// Fixture: one registered span, one failpoint missing from DESIGN.md.
+void Sync() {
+  AXON_SPAN("wal.replay");
+  AXON_FAILPOINT("wal.fsync");
+}

@@ -1,0 +1,187 @@
+// Golden-fixture suite for axon_lint (tools/axon_lint/). Each fixture
+// under tests/data/lint/ is a miniature repo root (src/ + DESIGN.md);
+// the tests pin the checker's exact diagnostics so a behavior change is
+// a deliberate golden update, not drift. The suite ends by linting the
+// real tree: the zero-findings bar that CI's axon-lint job enforces.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace axon {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FixtureRoot(const std::string& name) {
+  return std::string(AXON_LINT_DATA_DIR) + "/" + name;
+}
+
+/// Formatted findings of a lint run, in the checker's sorted order.
+std::vector<std::string> Lint(const std::string& root) {
+  LintResult result = RunLint(root);
+  EXPECT_TRUE(result.errors.empty())
+      << "unexpected lint IO error: " << result.errors.front();
+  std::vector<std::string> out;
+  out.reserve(result.findings.size());
+  for (const Finding& f : result.findings) out.push_back(FormatFinding(f));
+  return out;
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot read " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(LintFormat, FindingIsPathLineRuleMessage) {
+  Finding f{"src/a.cc", 42, "checkstop", "loop never stops"};
+  EXPECT_EQ(FormatFinding(f), "src/a.cc:42: [checkstop] loop never stops");
+}
+
+TEST(LintStrip, LineAndBlockCommentsAreBlankedInPlace) {
+  std::string in = "int a; // trailing\n/* one\ntwo */ int b;\n";
+  std::string out = StripCommentsAndStrings(in, /*strip_strings=*/false);
+  // Line structure survives so findings report true line numbers.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("trailing"), std::string::npos);
+  EXPECT_EQ(out.find("two"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, StringContentsKeptForRegistryStrippedForCodeRules) {
+  std::string in = "f(\"std::mutex\");\n";
+  EXPECT_NE(StripCommentsAndStrings(in, false).find("std::mutex"),
+            std::string::npos);
+  EXPECT_EQ(StripCommentsAndStrings(in, true).find("std::mutex"),
+            std::string::npos);
+}
+
+TEST(LintStrip, RawStringsAndCharLiteralsAreHandled) {
+  std::string in =
+      "auto s = R\"x(for (;;) { AppendRow(r); })x\";\n"
+      "char c = '{';\nint live = 1;\n";
+  std::string out = StripCommentsAndStrings(in, /*strip_strings=*/true);
+  EXPECT_EQ(out.find("AppendRow"), std::string::npos);
+  EXPECT_EQ(out.find('{'), std::string::npos);
+  EXPECT_NE(out.find("int live"), std::string::npos);
+}
+
+TEST(LintFixture, CleanTreeHasNoFindings) {
+  EXPECT_TRUE(Lint(FixtureRoot("clean")).empty());
+}
+
+TEST(LintFixture, NakedMutexIsFlaggedPerLine) {
+  std::vector<std::string> expected = {
+      "src/cache.cc:4: [naked-mutex] std::mutex is invisible to "
+      "-Wthread-safety; use axon::Mutex / axon::MutexLock / axon::CondVar "
+      "from util/mutex.h",
+      "src/cache.cc:8: [naked-mutex] std::mutex is invisible to "
+      "-Wthread-safety; use axon::Mutex / axon::MutexLock / axon::CondVar "
+      "from util/mutex.h",
+  };
+  EXPECT_EQ(Lint(FixtureRoot("naked_mutex")), expected);
+}
+
+TEST(LintFixture, UnregisteredFailpointPointsAtTheSite) {
+  std::vector<std::string> expected = {
+      "src/wal.cc:4: [registry] failpoints name `wal.fsync` is not "
+      "registered in DESIGN.md; run `axon_lint --update-design`",
+  };
+  EXPECT_EQ(Lint(FixtureRoot("unregistered_failpoint")), expected);
+}
+
+TEST(LintFixture, StaleRegistryRowsAreFlaggedBothWays) {
+  std::vector<std::string> expected = {
+      "DESIGN.md:11: [registry] spans entry `engine.run` has a stale "
+      "location (now `src/engine.cc`); run `axon_lint --update-design`",
+      "DESIGN.md:12: [registry] spans entry `engine.gone` has no live "
+      "site in src/; run `axon_lint --update-design`",
+  };
+  EXPECT_EQ(Lint(FixtureRoot("stale_registry")), expected);
+}
+
+TEST(LintFixture, AppendLoopWithoutStopTokenIsFlaggedOnce) {
+  // The nested Concat loops yield exactly one finding (anchored at the
+  // append, naming the outermost loop); the compliant Copy loop is quiet.
+  std::vector<std::string> expected = {
+      "src/ops.cc:7: [checkstop] row-append loop (opened at line 5) never "
+      "calls CheckStop or charges a budget; add one or allowlist this file "
+      "in tools/axon_lint/checkstop_allowlist.txt",
+  };
+  EXPECT_EQ(Lint(FixtureRoot("missing_checkstop")), expected);
+}
+
+TEST(LintRegistry, ExtractFindsEverySiteInTheCleanFixture) {
+  std::vector<std::string> errors;
+  Registry reg = ExtractRegistry(FixtureRoot("clean"), &errors);
+  ASSERT_TRUE(errors.empty());
+  ASSERT_EQ(reg.failpoints.size(), 1u);
+  EXPECT_EQ(reg.failpoints[0].name, "store.op");
+  ASSERT_EQ(reg.spans.size(), 1u);
+  EXPECT_EQ(reg.spans[0].name, "store.load");
+  ASSERT_EQ(reg.metrics.size(), 1u);
+  EXPECT_EQ(reg.metrics[0].name, "store.rows");
+  ASSERT_EQ(reg.spans[0].sites.size(), 1u);
+  EXPECT_EQ(reg.spans[0].sites[0].file, "src/store.cc");
+
+  std::string dump = DumpRegistry(reg);
+  EXPECT_NE(dump.find("<!-- BEGIN AXON_REGISTRY: failpoints -->"),
+            std::string::npos);
+  EXPECT_NE(dump.find("| `store.load` | `src/store.cc` |  |"),
+            std::string::npos);
+}
+
+TEST(LintRegistry, UpdateDesignAddsNewSitesAndPreservesNotes) {
+  // Copy the clean fixture to a scratch root, add a second failpoint,
+  // regenerate, and check: new row present, hand-written note intact.
+  fs::path scratch = fs::path(::testing::TempDir()) /
+                     ("axon_lint_update_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::copy(FixtureRoot("clean"), scratch, fs::copy_options::recursive);
+  {
+    std::ofstream add(scratch / "src/extra.cc");
+    add << "void F() { AXON_FAILPOINT(\"extra.op\"); }\n";
+  }
+  std::string error;
+  ASSERT_TRUE(UpdateDesign(scratch.string(), &error)) << error;
+  std::string design = ReadAll(scratch / "DESIGN.md");
+  EXPECT_NE(design.find("| `extra.op` | `src/extra.cc` |  |"),
+            std::string::npos);
+  EXPECT_NE(design.find("| `store.op` | `src/store.cc` | err |"),
+            std::string::npos)
+      << "hand-written Notes must survive regeneration";
+
+  // Regeneration is idempotent and reconciles the lint: zero findings.
+  EXPECT_TRUE(Lint(scratch.string()).empty());
+  std::string again = design;
+  ASSERT_TRUE(UpdateDesign(scratch.string(), &error)) << error;
+  EXPECT_EQ(ReadAll(scratch / "DESIGN.md"), again);
+  fs::remove_all(scratch);
+}
+
+// The bar the axon-lint CI job holds the repository to. If this fails,
+// either fix the finding or (checkstop only, with a written rationale)
+// extend tools/axon_lint/checkstop_allowlist.txt.
+TEST(LintTree, RealTreeIsClean) {
+  LintResult result = RunLint(AXON_SOURCE_ROOT);
+  ASSERT_TRUE(result.errors.empty()) << result.errors.front();
+  std::string joined;
+  for (const Finding& f : result.findings) {
+    joined += FormatFinding(f) + "\n";
+  }
+  EXPECT_TRUE(result.findings.empty()) << joined;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace axon

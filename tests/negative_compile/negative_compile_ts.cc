@@ -1,0 +1,79 @@
+// Negative-compilation cases for the Clang thread-safety annotations
+// (src/util/annotations.h via src/util/mutex.h). Each AXON_NC_TS_* macro
+// selects one misuse that `clang++ -Wthread-safety -Werror=thread-safety`
+// must reject; the control case must build. Compiled only under Clang —
+// on other compilers the attributes expand to nothing and every case is
+// legal C++, so CMake gates these ctest entries on a Clang toolchain.
+
+#include "util/mutex.h"
+
+namespace {
+
+struct Counter {
+  axon::Mutex mu;
+  int value AXON_GUARDED_BY(mu) = 0;
+
+  void IncrementLocked() AXON_REQUIRES(mu) { ++value; }
+
+  int Get() AXON_EXCLUDES(mu) {
+    axon::MutexLock lock(&mu);
+    return value;
+  }
+};
+
+#if defined(AXON_NC_TS_CONTROL)
+// Correct usage of every annotation the failure cases abuse.
+int Use() {
+  Counter c;
+  {
+    axon::MutexLock lock(&c.mu);
+    c.value = 1;
+    c.IncrementLocked();
+  }
+  return c.Get();
+}
+#elif defined(AXON_NC_TS_GUARDED_WRITE_NO_LOCK)
+// Writing GUARDED_BY state without holding its mutex.
+int Use() {
+  Counter c;
+  c.value = 1;
+  return 0;
+}
+#elif defined(AXON_NC_TS_REQUIRES_CALL_NO_LOCK)
+// Calling a REQUIRES(mu) function without the lock.
+int Use() {
+  Counter c;
+  c.IncrementLocked();
+  return 0;
+}
+#elif defined(AXON_NC_TS_DOUBLE_ACQUIRE)
+// Acquiring a mutex already held on this path.
+int Use() {
+  Counter c;
+  c.mu.Lock();
+  c.mu.Lock();
+  c.mu.Unlock();
+  c.mu.Unlock();
+  return 0;
+}
+#elif defined(AXON_NC_TS_MISSING_RELEASE)
+// A path that returns with the mutex still held.
+int Use() {
+  Counter c;
+  c.mu.Lock();
+  return 0;
+}
+#elif defined(AXON_NC_TS_EXCLUDES_VIOLATION)
+// Calling an EXCLUDES(mu) function while holding mu (self-deadlock).
+int Use() {
+  Counter c;
+  axon::MutexLock lock(&c.mu);
+  return c.Get();
+}
+#else
+#error "select exactly one AXON_NC_TS_* case"
+#endif
+
+}  // namespace
+
+int TouchSoTheObjectIsNotEmpty() { return Use(); }

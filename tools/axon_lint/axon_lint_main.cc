@@ -1,0 +1,81 @@
+// CLI for the axondb source-invariant checker (see lint.h).
+//
+//   axon_lint --root <repo-root>             run all rules; exit 1 on findings
+//   axon_lint --root <repo-root> --dump-registry
+//                                            print the canonical tables
+//   axon_lint --root <repo-root> --update-design
+//                                            regenerate DESIGN.md tables
+//                                            (Notes column preserved)
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+
+#include <cstdio>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: axon_lint --root <dir> [--dump-registry] "
+               "[--update-design]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  bool dump_registry = false;
+  bool update_design = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--dump-registry") {
+      dump_registry = true;
+    } else if (arg == "--update-design") {
+      update_design = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (root.empty()) return Usage();
+
+  if (update_design) {
+    std::string error;
+    if (!axon::lint::UpdateDesign(root, &error)) {
+      std::fprintf(stderr, "axon_lint: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("axon_lint: DESIGN.md registry tables regenerated\n");
+    return 0;
+  }
+
+  if (dump_registry) {
+    std::vector<std::string> errors;
+    axon::lint::Registry registry = axon::lint::ExtractRegistry(root, &errors);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "axon_lint: %s\n", e.c_str());
+    }
+    if (!errors.empty()) return 2;
+    std::fputs(axon::lint::DumpRegistry(registry).c_str(), stdout);
+    return 0;
+  }
+
+  axon::lint::LintResult result = axon::lint::RunLint(root);
+  for (const std::string& e : result.errors) {
+    std::fprintf(stderr, "axon_lint: %s\n", e.c_str());
+  }
+  if (!result.errors.empty()) return 2;
+  for (const axon::lint::Finding& f : result.findings) {
+    std::printf("%s\n", axon::lint::FormatFinding(f).c_str());
+  }
+  if (!result.findings.empty()) {
+    std::printf("axon_lint: %zu finding(s)\n", result.findings.size());
+    return 1;
+  }
+  std::printf("axon_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,710 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace axon {
+namespace lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small file/string helpers.
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    std::string::size_type end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string Trim(const std::string& s) {
+  std::string::size_type b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::string::size_type e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs at `pos` on its own word boundary.
+bool TokenAt(const std::string& text, std::string::size_type pos,
+             const std::string& token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  std::string::size_type after = pos + token.size();
+  if (after < text.size() && IsIdentChar(text[after])) return false;
+  return true;
+}
+
+/// Every file under <root>/<dir> with a .h/.cc extension, as root-relative
+/// generic paths, sorted for deterministic output.
+std::vector<std::string> ListSources(const std::string& root,
+                                     const std::vector<std::string>& dirs,
+                                     std::vector<std::string>* errors) {
+  std::vector<std::string> out;
+  for (const std::string& dir : dirs) {
+    fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::exists(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        errors->push_back("walk failed under " + base.string() + ": " +
+                          ec.message());
+        break;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      out.push_back(
+          fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source,
+                                    bool strip_strings) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // )delim" of the active raw string
+  for (std::string::size_type i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(out[i - 1]))) {
+          // R"delim( ... )delim"
+          std::string::size_type open = out.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_terminator =
+                ")" + out.substr(i + 2, open - (i + 2)) + "\"";
+            state = State::kRawString;
+            if (strip_strings) {
+              for (std::string::size_type j = i; j <= open; ++j) {
+                if (out[j] != '\n') out[j] = ' ';
+              }
+            }
+            i = open;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (strip_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (strip_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (out.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          if (strip_strings) {
+            for (std::string::size_type j = i;
+                 j < i + raw_terminator.size(); ++j) {
+              out[j] = ' ';
+            }
+          }
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (strip_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.path << ":" << finding.line << ": [" << finding.rule << "] "
+     << finding.message;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Registry extraction (rule data for [registry]).
+
+namespace {
+
+struct SiteKind {
+  const char* macro;
+  std::vector<RegistryEntry>* entries;
+};
+
+void AddSite(std::vector<RegistryEntry>* entries, const std::string& name,
+             const std::string& file, int line) {
+  for (RegistryEntry& e : *entries) {
+    if (e.name == name) {
+      e.sites.push_back({file, line});
+      return;
+    }
+  }
+  entries->push_back({name, {{file, line}}});
+}
+
+/// Scans one comment-stripped (strings kept) file for `MACRO("name"` and
+/// records each literal name. A macro use without a leading string
+/// literal (the macro's own #define, wrapper forwarding) is skipped.
+void ExtractFromFile(const std::string& text, const std::string& file,
+                     const std::vector<SiteKind>& kinds) {
+  std::vector<std::string> lines = SplitLines(text);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    for (const SiteKind& kind : kinds) {
+      std::string macro = kind.macro;
+      std::string::size_type pos = 0;
+      while ((pos = line.find(macro, pos)) != std::string::npos) {
+        if (!TokenAt(line, pos, macro)) {
+          pos += macro.size();
+          continue;
+        }
+        std::string::size_type p = pos + macro.size();
+        while (p < line.size() && line[p] == ' ') ++p;
+        if (p >= line.size() || line[p] != '(') {
+          pos += macro.size();
+          continue;
+        }
+        ++p;
+        while (p < line.size() && line[p] == ' ') ++p;
+        if (p >= line.size() || line[p] != '"') {
+          pos += macro.size();
+          continue;
+        }
+        std::string::size_type close = line.find('"', p + 1);
+        if (close == std::string::npos) {
+          pos += macro.size();
+          continue;
+        }
+        AddSite(kind.entries, line.substr(p + 1, close - p - 1), file,
+                static_cast<int>(li + 1));
+        pos = close;
+      }
+    }
+  }
+}
+
+void SortEntries(std::vector<RegistryEntry>* entries) {
+  for (RegistryEntry& e : *entries) {
+    std::sort(e.sites.begin(), e.sites.end(),
+              [](const RegistrySite& a, const RegistrySite& b) {
+                return a.file != b.file ? a.file < b.file : a.line < b.line;
+              });
+  }
+  std::sort(entries->begin(), entries->end(),
+            [](const RegistryEntry& a, const RegistryEntry& b) {
+              return a.name < b.name;
+            });
+}
+
+/// The Location cell for an entry: distinct files, first two spelled out.
+std::string LocationOf(const RegistryEntry& entry) {
+  std::vector<std::string> files;
+  for (const RegistrySite& s : entry.sites) {
+    if (files.empty() || files.back() != s.file) files.push_back(s.file);
+  }
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::string out = "`" + files[0] + "`";
+  if (files.size() >= 2) out += ", `" + files[1] + "`";
+  if (files.size() > 2) {
+    out += " (+" + std::to_string(files.size() - 2) + " more)";
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry ExtractRegistry(const std::string& root,
+                         std::vector<std::string>* errors) {
+  Registry registry;
+  // Longest-first so AXON_FAILPOINT never claims its suffixed siblings.
+  std::vector<SiteKind> kinds = {
+      {"AXON_FAILPOINT_STATUS", &registry.failpoints},
+      {"AXON_FAILPOINT_EVAL", &registry.failpoints},
+      {"AXON_FAILPOINT", &registry.failpoints},
+      {"AXON_SPAN", &registry.spans},
+      {"AXON_COUNTER_ADD", &registry.metrics},
+      {"AXON_HISTOGRAM", &registry.metrics},
+  };
+  for (const std::string& rel : ListSources(root, {"src"}, errors)) {
+    std::string text;
+    if (!ReadFile(fs::path(root) / rel, &text)) {
+      errors->push_back("cannot read " + rel);
+      continue;
+    }
+    ExtractFromFile(StripCommentsAndStrings(text, /*strip_strings=*/false),
+                    rel, kinds);
+  }
+  SortEntries(&registry.failpoints);
+  SortEntries(&registry.spans);
+  SortEntries(&registry.metrics);
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// DESIGN.md registry tables.
+
+namespace {
+
+struct TableRow {
+  std::string name;
+  std::string location;
+  std::string note;
+  int line = 0;  // 1-based line in DESIGN.md
+};
+
+struct RegistryKind {
+  const char* id;          // marker id: "failpoints" / "spans" / "metrics"
+  const char* name_column; // header of the first column
+  const std::vector<RegistryEntry>* entries;
+};
+
+std::string BeginMarker(const std::string& id) {
+  return "<!-- BEGIN AXON_REGISTRY: " + id + " -->";
+}
+std::string EndMarker(const std::string& id) {
+  return "<!-- END AXON_REGISTRY: " + id + " -->";
+}
+
+std::string StripBackticks(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != '`') out.push_back(c);
+  }
+  return out;
+}
+
+/// Parses the markdown table between the `id` markers. Returns false when
+/// a marker is missing.
+bool ParseTable(const std::vector<std::string>& lines, const std::string& id,
+                std::vector<TableRow>* rows) {
+  int begin = -1;
+  int end = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (Trim(lines[i]) == BeginMarker(id)) begin = static_cast<int>(i);
+    if (Trim(lines[i]) == EndMarker(id)) end = static_cast<int>(i);
+  }
+  if (begin < 0 || end < 0 || end <= begin) return false;
+  int table_lines = 0;
+  for (int i = begin + 1; i < end; ++i) {
+    std::string line = Trim(lines[i]);
+    if (line.empty() || line[0] != '|') continue;
+    ++table_lines;
+    if (table_lines <= 2) continue;  // header + separator
+    // | `name` | location | note |
+    std::vector<std::string> cells;
+    std::string::size_type pos = 1;
+    while (pos < line.size()) {
+      std::string::size_type next = line.find('|', pos);
+      if (next == std::string::npos) break;
+      cells.push_back(Trim(line.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+    if (cells.size() < 2) continue;
+    TableRow row;
+    row.name = StripBackticks(cells[0]);
+    row.location = cells[1];
+    row.note = cells.size() >= 3 ? cells[2] : "";
+    row.line = i + 1;
+    rows->push_back(row);
+  }
+  return true;
+}
+
+std::string RenderTable(const RegistryKind& kind,
+                        const std::map<std::string, std::string>& notes) {
+  std::ostringstream os;
+  os << "| " << kind.name_column << " | Location | Notes |\n";
+  os << "|---|---|---|\n";
+  for (const RegistryEntry& e : *kind.entries) {
+    auto it = notes.find(e.name);
+    os << "| `" << e.name << "` | " << LocationOf(e) << " | "
+       << (it != notes.end() ? it->second : "") << " |\n";
+  }
+  return os.str();
+}
+
+std::vector<RegistryKind> KindsOf(const Registry& registry) {
+  return {
+      {"failpoints", "Site", &registry.failpoints},
+      {"spans", "Span", &registry.spans},
+      {"metrics", "Metric", &registry.metrics},
+  };
+}
+
+}  // namespace
+
+std::string DumpRegistry(const Registry& registry) {
+  std::ostringstream os;
+  for (const RegistryKind& kind : KindsOf(registry)) {
+    os << BeginMarker(kind.id) << "\n"
+       << RenderTable(kind, {}) << EndMarker(kind.id) << "\n";
+    if (std::string(kind.id) != "metrics") os << "\n";
+  }
+  return os.str();
+}
+
+bool UpdateDesign(const std::string& root, std::string* error) {
+  fs::path design = fs::path(root) / "DESIGN.md";
+  std::string text;
+  if (!ReadFile(design, &text)) {
+    *error = "cannot read " + design.string();
+    return false;
+  }
+  std::vector<std::string> errors;
+  Registry registry = ExtractRegistry(root, &errors);
+  if (!errors.empty()) {
+    *error = errors.front();
+    return false;
+  }
+  for (const RegistryKind& kind : KindsOf(registry)) {
+    std::vector<std::string> lines = SplitLines(text);
+    std::vector<TableRow> rows;
+    if (!ParseTable(lines, kind.id, &rows)) {
+      *error = "DESIGN.md: missing AXON_REGISTRY markers for " +
+               std::string(kind.id);
+      return false;
+    }
+    std::map<std::string, std::string> notes;
+    for (const TableRow& row : rows) notes[row.name] = row.note;
+    std::string::size_type begin = text.find(BeginMarker(kind.id));
+    std::string::size_type end = text.find(EndMarker(kind.id));
+    begin = text.find('\n', begin) + 1;
+    text = text.substr(0, begin) + RenderTable(kind, notes) +
+           text.substr(end);
+  }
+  std::ofstream out(design, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = "cannot write " + design.string();
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The three rules.
+
+namespace {
+
+/// [naked-mutex] Unannotated standard locking primitives outside the
+/// wrapper header.
+void CheckNakedMutex(const std::string& rel,
+                     const std::vector<std::string>& lines,
+                     std::vector<Finding>* findings) {
+  if (rel == "src/util/mutex.h") return;  // the one sanctioned home
+  static const char* kTokens[] = {
+      "std::mutex",        "std::recursive_mutex", "std::timed_mutex",
+      "std::shared_mutex", "std::lock_guard",      "std::unique_lock",
+      "std::scoped_lock",  "std::condition_variable",
+  };
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    for (const char* token : kTokens) {
+      std::string::size_type pos = lines[li].find(token);
+      if (pos == std::string::npos) continue;
+      findings->push_back(
+          {rel, static_cast<int>(li + 1), "naked-mutex",
+           std::string(token) +
+               " is invisible to -Wthread-safety; use axon::Mutex / "
+               "axon::MutexLock / axon::CondVar from util/mutex.h"});
+      break;  // one finding per line
+    }
+  }
+}
+
+/// [checkstop] Row-append loops without a cancellation/budget touchpoint.
+void CheckStopRule(const std::string& rel,
+                   const std::vector<std::string>& lines,
+                   const std::set<std::string>& allowlist,
+                   std::vector<Finding>* findings) {
+  if (allowlist.count(rel) != 0) return;
+  static const char* kAppendTokens[] = {"AppendRowsByName", "AppendRows",
+                                        "AppendRow", "AppendBatch"};
+  static const char* kStopTokens[] = {"CheckStop", "ShouldStop",
+                                      "BudgetScope", "Charge"};
+
+  struct Scope {
+    int open_line;  // 0-based
+    bool is_loop;
+    int append_line = -1;  // first row-append seen in this scope subtree
+  };
+  std::vector<Scope> stack;
+  std::string header;  // statement text accumulated since the last ; { }
+  int paren_depth = 0;  // the ';'s inside a for(;;) header do not end it
+
+  auto header_is_loop = [&header]() {
+    for (const char* kw : {"for", "while", "do"}) {
+      std::string::size_type pos = 0;
+      while ((pos = header.find(kw, pos)) != std::string::npos) {
+        if (TokenAt(header, pos, kw)) return true;
+        pos += std::char_traits<char>::length(kw);
+      }
+    }
+    return false;
+  };
+  auto close_scope = [&](const Scope& scope, int close_line) {
+    if (scope.append_line < 0 || !scope.is_loop) return;
+    // The scope being closed is the OUTERMOST loop around the append
+    // (inner loops forward their append upward, below). Search its whole
+    // body for a stop/budget touchpoint.
+    for (int li = scope.open_line; li <= close_line; ++li) {
+      for (const char* token : kStopTokens) {
+        std::string::size_type pos = 0;
+        while ((pos = lines[li].find(token, pos)) != std::string::npos) {
+          if (TokenAt(lines[li], pos, token)) return;
+          pos += std::char_traits<char>::length(token);
+        }
+      }
+    }
+    findings->push_back(
+        {std::string(), scope.append_line + 1, "checkstop",
+         "row-append loop (opened at line " +
+             std::to_string(scope.open_line + 1) +
+             ") never calls CheckStop or charges a budget; add one or "
+             "allowlist this file in "
+             "tools/axon_lint/checkstop_allowlist.txt"});
+  };
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    for (std::string::size_type i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (c == '{') {
+        stack.push_back({static_cast<int>(li), header_is_loop()});
+        header.clear();
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          Scope scope = stack.back();
+          stack.pop_back();
+          if (scope.append_line >= 0) {
+            // Propagate to an enclosing loop if any; otherwise this was
+            // the outermost loop — judge it now.
+            bool forwarded = false;
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+              if (it->is_loop) {
+                if (it->append_line < 0) it->append_line = scope.append_line;
+                forwarded = true;
+                break;
+              }
+            }
+            if (!forwarded) close_scope(scope, static_cast<int>(li));
+          }
+        }
+        header.clear();
+      } else if (c == ';' && paren_depth == 0) {
+        header.clear();
+      } else {
+        if (c == '(') ++paren_depth;
+        if (c == ')' && paren_depth > 0) --paren_depth;
+        header.push_back(c);
+      }
+      for (const char* token : kAppendTokens) {
+        if (TokenAt(line, i, token)) {
+          std::string::size_type after =
+              i + std::char_traits<char>::length(token);
+          if (after < line.size() && line[after] == '(' && !stack.empty()) {
+            // Attach to the innermost loop scope (forwarded outward on
+            // close); appends outside any loop are fine.
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+              if (it->is_loop) {
+                if (it->append_line < 0) {
+                  it->append_line = static_cast<int>(li);
+                }
+                break;
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (Finding& f : *findings) {
+    if (f.path.empty()) f.path = rel;
+  }
+}
+
+/// [registry] One table block checked against the extracted surface.
+void CheckRegistryKind(const RegistryKind& kind,
+                       const std::vector<std::string>& design_lines,
+                       std::vector<Finding>* findings) {
+  std::vector<TableRow> rows;
+  if (!ParseTable(design_lines, kind.id, &rows)) {
+    findings->push_back({"DESIGN.md", 0, "registry",
+                         "missing AXON_REGISTRY marker block for " +
+                             std::string(kind.id)});
+    return;
+  }
+  std::map<std::string, const TableRow*> by_name;
+  for (const TableRow& row : rows) {
+    if (!by_name.emplace(row.name, &row).second) {
+      findings->push_back({"DESIGN.md", row.line, "registry",
+                           std::string(kind.id) + " entry `" + row.name +
+                               "` is registered more than once"});
+    }
+  }
+  for (const RegistryEntry& e : *kind.entries) {
+    auto it = by_name.find(e.name);
+    if (it == by_name.end()) {
+      findings->push_back(
+          {e.sites.front().file, e.sites.front().line, "registry",
+           std::string(kind.id) + " name `" + e.name +
+               "` is not registered in DESIGN.md; run `axon_lint "
+               "--update-design`"});
+      continue;
+    }
+    if (it->second->location != LocationOf(e)) {
+      findings->push_back(
+          {"DESIGN.md", it->second->line, "registry",
+           std::string(kind.id) + " entry `" + e.name +
+               "` has a stale location (now " + LocationOf(e) +
+               "); run `axon_lint --update-design`"});
+    }
+  }
+  std::set<std::string> live;
+  for (const RegistryEntry& e : *kind.entries) live.insert(e.name);
+  for (const TableRow& row : rows) {
+    if (live.count(row.name) == 0) {
+      findings->push_back({"DESIGN.md", row.line, "registry",
+                           std::string(kind.id) + " entry `" + row.name +
+                               "` has no live site in src/; run `axon_lint "
+                               "--update-design`"});
+    }
+  }
+}
+
+std::set<std::string> LoadAllowlist(const std::string& root) {
+  std::set<std::string> out;
+  std::string text;
+  if (!ReadFile(fs::path(root) / "tools/axon_lint/checkstop_allowlist.txt",
+                &text)) {
+    return out;
+  }
+  for (const std::string& raw : SplitLines(text)) {
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    out.insert(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+LintResult RunLint(const std::string& root) {
+  LintResult result;
+  result.registry = ExtractRegistry(root, &result.errors);
+
+  std::set<std::string> allowlist = LoadAllowlist(root);
+  for (const std::string& rel : ListSources(root, {"src", "tools"},
+                                            &result.errors)) {
+    std::string text;
+    if (!ReadFile(fs::path(root) / rel, &text)) {
+      result.errors.push_back("cannot read " + rel);
+      continue;
+    }
+    std::vector<std::string> lines = SplitLines(
+        StripCommentsAndStrings(text, /*strip_strings=*/true));
+    CheckNakedMutex(rel, lines, &result.findings);
+    CheckStopRule(rel, lines, allowlist, &result.findings);
+  }
+
+  std::string design_text;
+  if (!ReadFile(fs::path(root) / "DESIGN.md", &design_text)) {
+    result.errors.push_back("cannot read DESIGN.md under " + root);
+  } else {
+    std::vector<std::string> design_lines = SplitLines(design_text);
+    for (const RegistryKind& kind : KindsOf(result.registry)) {
+      CheckRegistryKind(kind, design_lines, &result.findings);
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+}  // namespace lint
+}  // namespace axon

@@ -1,0 +1,109 @@
+// axon_lint: source-level invariant checker for the axondb tree.
+//
+// Compilers prove what they can see; these are the project invariants
+// they cannot. Three rules, each a build-breaking CI gate (DESIGN.md
+// §13):
+//
+//   [naked-mutex]  No std::mutex / std::lock_guard / std::unique_lock /
+//                  std::condition_variable outside src/util/mutex.h. The
+//                  annotated wrappers are the only lockable types the
+//                  -Wthread-safety analysis can follow, so a naked
+//                  std::mutex is locked state the analysis silently
+//                  ignores.
+//   [registry]     Every AXON_FAILPOINT* site, AXON_SPAN name and
+//                  AXON_COUNTER_ADD / AXON_HISTOGRAM metric name in src/
+//                  appears exactly once in the marker-delimited registry
+//                  tables of DESIGN.md, with an up-to-date location —
+//                  and every table row still has a live site (no stale
+//                  docs). `axon_lint --update-design` regenerates the
+//                  tables in place, preserving the hand-written Notes
+//                  column.
+//   [checkstop]    A loop that appends rows to a BindingTable must
+//                  contain a CheckStop / budget-charge call somewhere in
+//                  its (outermost) loop body: row-producing loops are
+//                  exactly where cooperative cancellation and memory
+//                  budgets must be honored. Intentional exceptions live
+//                  in tools/axon_lint/checkstop_allowlist.txt with a
+//                  rationale.
+//
+// The checker is deliberately lexical (comment/string-stripped token
+// scanning, not a real parser): it trades soundness at the margins for
+// zero dependencies and sub-second runtime over the whole tree, and the
+// golden-fixture suite in tests/lint_test.cc pins its exact behavior.
+
+#ifndef AXON_TOOLS_AXON_LINT_LINT_H_
+#define AXON_TOOLS_AXON_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace axon {
+namespace lint {
+
+struct Finding {
+  std::string path;  // relative to the lint root
+  int line = 0;      // 1-based; 0 = whole file
+  std::string rule;  // "naked-mutex" | "registry" | "checkstop"
+  std::string message;
+};
+
+/// "path:line: [rule] message" — the stable diagnostic format the golden
+/// tests assert against.
+std::string FormatFinding(const Finding& finding);
+
+/// One instrumentation-site occurrence in the tree.
+struct RegistrySite {
+  std::string file;  // relative path
+  int line = 0;
+};
+
+/// One registered name and every site that uses it.
+struct RegistryEntry {
+  std::string name;
+  std::vector<RegistrySite> sites;  // sorted by (file, line)
+};
+
+/// The extracted instrumentation surface of src/: what DESIGN.md's
+/// generated tables must mirror. Dynamically-composed metric families
+/// (optime.<span>, the governor.* counters built via MetricName()) are
+/// intentionally outside the literal registry; DESIGN.md documents them
+/// in prose.
+struct Registry {
+  std::vector<RegistryEntry> failpoints;  // each sorted by name
+  std::vector<RegistryEntry> spans;
+  std::vector<RegistryEntry> metrics;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;    // sorted by (path, line, message)
+  Registry registry;                // extracted from the tree
+  std::vector<std::string> errors;  // IO/config failures (exit 2)
+};
+
+/// Blanks // and /* */ comments (and, when `strip_strings`, the contents
+/// of string/char/raw-string literals) while preserving the line
+/// structure, so later token scans report true line numbers.
+std::string StripCommentsAndStrings(const std::string& source,
+                                    bool strip_strings);
+
+/// Scans src/ under `root` for every failpoint/span/metric literal.
+Registry ExtractRegistry(const std::string& root,
+                         std::vector<std::string>* errors);
+
+/// The canonical markdown tables for all three registries (what
+/// --dump-registry prints and --update-design splices into DESIGN.md).
+std::string DumpRegistry(const Registry& registry);
+
+/// Runs all three rules over `root` (src/ and tools/ for code rules,
+/// DESIGN.md for the registry rule).
+LintResult RunLint(const std::string& root);
+
+/// Regenerates the marker-delimited registry tables in <root>/DESIGN.md,
+/// preserving the Notes column by name. Returns false and sets *error on
+/// IO/marker failure.
+bool UpdateDesign(const std::string& root, std::string* error);
+
+}  // namespace lint
+}  // namespace axon
+
+#endif  // AXON_TOOLS_AXON_LINT_LINT_H_
