@@ -201,7 +201,8 @@ inline void RunComparisonTable(const EngineFleet& fleet,
         const ExecStats& stats = r.value().stats;
         report->AddRow(ReportRow{workload.name, wq.name, engines[i]->name(),
                                  secs, stats.pages_read, stats.rows_scanned,
-                                 stats.intermediate_rows, stats.joins});
+                                 stats.intermediate_rows, stats.joins,
+                                 stats.pages_evicted});
       }
       std::printf("%22.6f", secs);
     }
@@ -306,11 +307,11 @@ inline bool RunBatchAblationSection(const QueryEngine& engine,
       report->AddRow(ReportRow{section + "/batch_ablation", wq.name,
                                "exec-row", row_secs, stats.pages_read,
                                stats.rows_scanned, stats.intermediate_rows,
-                               stats.joins});
+                               stats.joins, stats.pages_evicted});
       report->AddRow(ReportRow{section + "/batch_ablation", wq.name,
                                "exec-batch", batch_secs, stats.pages_read,
                                stats.rows_scanned, stats.intermediate_rows,
-                               stats.joins});
+                               stats.joins, stats.pages_evicted});
     }
     std::printf("%-22s%14.6f%14.6f%9.2fx%14s\n", wq.name.c_str(), row_secs,
                 batch_secs, batch_secs > 0 ? row_secs / batch_secs : 0.0,

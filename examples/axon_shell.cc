@@ -7,6 +7,7 @@
 //   .delete <s> <p> <o> .      delete one N-Triples statement
 //   .stats                     schema census + storage numbers
 //   .estimate                  toggle printing estimates + query plans
+//   .paged on [pool-kb]|off    rebuild into compressed paged storage
 //   .save <file.axdb>          persist the database (single binary file)
 //   .export <file.nt>          dump the contents as N-Triples
 //   .quit
@@ -36,7 +37,8 @@ void PrintHelp() {
   std::printf(
       ".help | .load <file.nt> | .gen lubm|reactome|geonames <scale> |\n"
       ".insert <triple> . | .delete <triple> . | .stats | .estimate |\n"
-      ".save <file.axdb> | .export <file.nt> | .quit\n"
+      ".paged on [pool-kb]|off | .save <file.axdb> | .export <file.nt> |\n"
+      ".quit\n"
       "anything else: SPARQL, terminated by a line ending in ';'\n");
 }
 
@@ -57,6 +59,16 @@ void PrintStats(UpdatableDatabase& db) {
       static_cast<unsigned long long>(info.num_ecs),
       static_cast<unsigned long long>(info.num_ecs_edges),
       FormatBytes(snap.value()->StorageBytes()).c_str());
+  if (snap.value()->is_paged()) {
+    const BufferManager* buf = snap.value()->buffer_manager();
+    std::printf(
+        "paged storage: frame pool %s, resident %s, "
+        "reads %llu, evictions %llu\n",
+        FormatBytes(buf->options().pool_bytes).c_str(),
+        FormatBytes(buf->resident_bytes()).c_str(),
+        static_cast<unsigned long long>(buf->stats().pages_read),
+        static_cast<unsigned long long>(buf->stats().pages_evicted));
+  }
 }
 
 void RunQuery(UpdatableDatabase& db, const std::string& text,
@@ -100,13 +112,14 @@ void RunQuery(UpdatableDatabase& db, const std::string& text,
     }
   }
   std::printf("%zu rows; scanned %llu, intermediates %llu, joins %llu, "
-              "pages %llu\n",
+              "pages %llu, evicted %llu\n",
               rows.value().size(),
               static_cast<unsigned long long>(r.value().stats.rows_scanned),
               static_cast<unsigned long long>(
                   r.value().stats.intermediate_rows),
               static_cast<unsigned long long>(r.value().stats.joins),
-              static_cast<unsigned long long>(r.value().stats.pages_read));
+              static_cast<unsigned long long>(r.value().stats.pages_read),
+              static_cast<unsigned long long>(r.value().stats.pages_evicted));
 }
 
 bool HandleCommand(UpdatableDatabase& db, const std::string& line,
@@ -175,6 +188,40 @@ bool HandleCommand(UpdatableDatabase& db, const std::string& line,
       st = text.ok() ? WriteStringToFile(path, text.value()) : text.status();
     }
     std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else if (cmd == ".paged") {
+    // Rebuilds the store from its current contents with paged storage
+    // toggled: compressed pages behind the buffer manager (DESIGN.md §14).
+    std::string mode;
+    uint64_t pool_kb = 4096;
+    in >> mode >> pool_kb;
+    if (mode != "on" && mode != "off") {
+      std::printf("usage: .paged on [pool-kb] | .paged off\n");
+      return true;
+    }
+    auto snap = db.Snapshot();
+    auto text = snap.ok() ? snap.value()->ExportNTriples()
+                          : Result<std::string>(snap.status());
+    if (!text.ok()) {
+      std::printf("error: %s\n", text.status().ToString().c_str());
+      return true;
+    }
+    UpdateOptions opts;
+    opts.engine.use_paged_storage = mode == "on";
+    opts.engine.frame_pool_bytes = pool_kb * 1024;
+    auto rebuilt = UpdatableDatabase::Create(Dataset{}, opts);
+    Status st = rebuilt.ok() ? rebuilt.value().InsertNTriples(text.value())
+                             : rebuilt.status();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return true;
+    }
+    db = std::move(rebuilt).ValueOrDie();
+    if (mode == "on") {
+      std::printf("paged storage on (frame pool %s)\n",
+                  FormatBytes(pool_kb * 1024).c_str());
+    } else {
+      std::printf("paged storage off (resident)\n");
+    }
   } else if (cmd == ".insert" || cmd == ".delete") {
     std::string rest = line.substr(cmd.size());
     auto t = ParseNTriplesLine(TrimView(rest));

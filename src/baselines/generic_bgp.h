@@ -33,13 +33,13 @@ Result<std::vector<IdPattern>> BindPatterns(const SelectQuery& query,
 Result<std::vector<std::pair<std::string, TermId>>> BindFilters(
     const SelectQuery& query, const Dictionary& dict, bool* empty_result);
 
-/// Adds the simulated 4 KiB page count of one scanned range to
-/// stats->pages_read (the same disk model the axonDB executor accounts
+/// Adds the simulated page count of one scanned range to stats->pages_read
+/// (kSimulatedPageRows — the same disk model the axonDB executor accounts
 /// with, so simulated-I/O comparisons across engines are like for like).
 inline void AccountRangePages(const RowRange& range, ExecStats* stats) {
   if (stats == nullptr || range.empty()) return;
-  constexpr uint64_t kPageRows = 4096 / sizeof(Triple);
-  stats->pages_read += (range.end - 1) / kPageRows - range.begin / kPageRows + 1;
+  stats->pages_read += (range.end - 1) / kSimulatedPageRows -
+                       range.begin / kSimulatedPageRows + 1;
 }
 
 /// One access path chosen for a pattern: an estimated cardinality and a

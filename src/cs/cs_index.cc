@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/paged_table.h"
 #include "util/trace.h"
 
 namespace axon {
@@ -83,6 +84,9 @@ std::vector<CsId> CsIndex::MatchSupersets(const Bitmap& query) const {
 RowRange CsIndex::SubjectRange(CsId cs, TermId subject) const {
   RowRange range = RangeOf(cs);
   if (range.empty()) return RowRange{};
+  if (paged_spo_ != nullptr) {
+    return paged_spo_->EqualRangeBySubject(range, subject);
+  }
   std::span<const Triple> rows = spo_.slice(range);
   auto lo = std::lower_bound(rows.begin(), rows.end(), subject,
                              [](const Triple& t, TermId s) { return t.s < s; });
@@ -183,6 +187,12 @@ Result<CsIndex> CsIndex::Deserialize(std::string_view data, size_t* pos) {
 
 uint64_t CsIndex::ByteSize() const {
   std::string buf;
+  if (paged_spo_ != nullptr) {
+    // Paged mode: metadata + the compressed page blob (the resident spo_
+    // is empty; the raw table bytes never materialize).
+    SerializeMetaTo(&buf);
+    return buf.size() + paged_spo_->CompressedBytes();
+  }
   SerializeTo(&buf);
   return buf.size();
 }

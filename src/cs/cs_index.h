@@ -18,6 +18,8 @@
 
 namespace axon {
 
+class PagedTripleTable;
+
 class CsIndex {
  public:
   CsIndex() = default;
@@ -79,6 +81,14 @@ class CsIndex {
   /// borrowed mapped view).
   void AttachSpo(TripleTable spo) { spo_ = std::move(spo); }
 
+  /// Paged mode (DESIGN.md §14): points the index at a compressed paged
+  /// SPO table. SubjectRange switches to restart-point row decodes and
+  /// ByteSize to the compressed footprint; the resident spo_ is typically
+  /// dropped (AttachSpo({})) so only compressed bytes stay resident.
+  /// `paged` must outlive this index (Database owns both).
+  void AttachPagedSpo(const PagedTripleTable* paged) { paged_spo_ = paged; }
+  const PagedTripleTable* paged_spo() const { return paged_spo_; }
+
   /// On-disk footprint of the table + index payloads.
   uint64_t ByteSize() const;
 
@@ -88,6 +98,7 @@ class CsIndex {
   std::vector<uint64_t> distinct_subjects_;  // per CS
   std::vector<std::vector<std::pair<TermId, uint64_t>>> predicate_counts_;
   TripleTable spo_;
+  const PagedTripleTable* paged_spo_ = nullptr;
   BPlusTree<CsId, RowRange> ranges_;
   BPlusTree<TermId, CsId> subject_cs_;
 };

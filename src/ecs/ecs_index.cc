@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "storage/paged_table.h"
 #include "util/trace.h"
 
 namespace axon {
@@ -173,6 +174,10 @@ Result<EcsIndex> EcsIndex::Deserialize(std::string_view data, size_t* pos) {
 
 uint64_t EcsIndex::ByteSize() const {
   std::string buf;
+  if (paged_pso_ != nullptr) {
+    SerializeMetaTo(&buf);
+    return buf.size() + paged_pso_->CompressedBytes();
+  }
   SerializeTo(&buf);
   return buf.size();
 }

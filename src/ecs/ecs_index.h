@@ -17,6 +17,8 @@
 
 namespace axon {
 
+class PagedTripleTable;
+
 class EcsIndex {
  public:
   EcsIndex() = default;
@@ -66,11 +68,18 @@ class EcsIndex {
   static Result<EcsIndex> DeserializeMeta(std::string_view data, size_t* pos);
   void AttachPso(TripleTable pso) { pso_ = std::move(pso); }
 
+  /// Paged mode: see CsIndex::AttachPagedSpo. Range lookups here are
+  /// metadata-only (B+-tree plus stored per-property subranges), so the
+  /// only behavioral change is ByteSize reporting the compressed footprint.
+  void AttachPagedPso(const PagedTripleTable* paged) { paged_pso_ = paged; }
+  const PagedTripleTable* paged_pso() const { return paged_pso_; }
+
   uint64_t ByteSize() const;
 
  private:
   std::vector<ExtendedCharacteristicSet> sets_;
   TripleTable pso_;
+  const PagedTripleTable* paged_pso_ = nullptr;
   BPlusTree<EcsId, RowRange> ranges_;
   std::vector<std::vector<std::pair<TermId, RowRange>>> properties_;
   std::vector<EcsId> storage_order_;

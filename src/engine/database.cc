@@ -71,7 +71,50 @@ Result<Database> Database::Build(const Dataset& dataset,
   db.info_.num_ecs_triples = ecs.triples.size();
   db.info_.num_ecs_edges = db.graph_.num_edges();
 
+  if (options.use_paged_storage) {
+    AXON_RETURN_NOT_OK(db.EnablePagedStorage({}, {}, /*borrow=*/false));
+  }
   return db;
+}
+
+Status Database::EnablePagedStorage(std::string_view spo_pages,
+                                    std::string_view pso_pages, bool borrow) {
+  BufferOptions bopts;
+  bopts.pool_bytes = options_.frame_pool_bytes;
+  buffer_ = std::make_shared<BufferManager>(bopts);
+
+  if (spo_pages.empty()) {
+    paged_spo_ = std::make_shared<PagedTripleTable>(PagedTripleTable::Build(
+        cs_index_.spo().rows(), options_.page_size_bytes));
+  } else {
+    AXON_ASSIGN_OR_RETURN(
+        PagedTripleTable t,
+        PagedTripleTable::FromSerialized(spo_pages, /*copy=*/!borrow));
+    if (t.num_rows() != cs_index_.spo().size()) {
+      return Status::Corruption("spo_pages row count does not match cs_meta");
+    }
+    paged_spo_ = std::make_shared<PagedTripleTable>(std::move(t));
+  }
+  paged_spo_->AttachBuffer(buffer_);
+  cs_index_.AttachPagedSpo(paged_spo_.get());
+  cs_index_.AttachSpo(TripleTable());  // drop the resident rows
+
+  if (pso_pages.empty()) {
+    paged_pso_ = std::make_shared<PagedTripleTable>(PagedTripleTable::Build(
+        ecs_index_.pso().rows(), options_.page_size_bytes));
+  } else {
+    AXON_ASSIGN_OR_RETURN(
+        PagedTripleTable t,
+        PagedTripleTable::FromSerialized(pso_pages, /*copy=*/!borrow));
+    if (t.num_rows() != ecs_index_.pso().size()) {
+      return Status::Corruption("pso_pages row count does not match ecs_meta");
+    }
+    paged_pso_ = std::make_shared<PagedTripleTable>(std::move(t));
+  }
+  paged_pso_->AttachBuffer(buffer_);
+  ecs_index_.AttachPagedPso(paged_pso_.get());
+  ecs_index_.AttachPso(TripleTable());
+  return Status::OK();
 }
 
 Status Database::Save(const std::string& path) const {
@@ -87,14 +130,45 @@ Status Database::Save(const std::string& path) const {
   cs_index_.SerializeMetaTo(&buf);
   AXON_RETURN_NOT_OK(writer.AddSection("cs_meta", buf));
   buf.clear();
-  cs_index_.spo().SerializeRaw(&buf);
+  if (paged_spo_ != nullptr) {
+    // Paged mode: the resident table is empty, so reconstruct the raw row
+    // section by streaming a page-by-page decode. Files stay readable in
+    // either mode; resident-mode files are byte-identical to before.
+    TripleTable tmp;
+    tmp.Reserve(paged_spo_->num_rows());
+    AXON_RETURN_NOT_OK(paged_spo_->ForEachPage(
+        [&tmp](std::span<const Triple> rows, uint64_t) {
+          for (const Triple& t : rows) tmp.Append(t);
+        }));
+    tmp.SerializeRaw(&buf);
+  } else {
+    cs_index_.spo().SerializeRaw(&buf);
+  }
   AXON_RETURN_NOT_OK(writer.AddSection("spo_rows", buf));
+  if (paged_spo_ != nullptr) {
+    AXON_RETURN_NOT_OK(writer.AddSection(
+        "spo_pages", std::string(paged_spo_->serialized())));
+  }
   buf.clear();
   ecs_index_.SerializeMetaTo(&buf);
   AXON_RETURN_NOT_OK(writer.AddSection("ecs_meta", buf));
   buf.clear();
-  ecs_index_.pso().SerializeRaw(&buf);
+  if (paged_pso_ != nullptr) {
+    TripleTable tmp;
+    tmp.Reserve(paged_pso_->num_rows());
+    AXON_RETURN_NOT_OK(paged_pso_->ForEachPage(
+        [&tmp](std::span<const Triple> rows, uint64_t) {
+          for (const Triple& t : rows) tmp.Append(t);
+        }));
+    tmp.SerializeRaw(&buf);
+  } else {
+    ecs_index_.pso().SerializeRaw(&buf);
+  }
   AXON_RETURN_NOT_OK(writer.AddSection("pso_rows", buf));
+  if (paged_pso_ != nullptr) {
+    AXON_RETURN_NOT_OK(writer.AddSection(
+        "pso_pages", std::string(paged_pso_->serialized())));
+  }
   buf.clear();
   graph_.SerializeTo(&buf);
   AXON_RETURN_NOT_OK(writer.AddSection("ecs_graph", buf));
@@ -190,6 +264,18 @@ Result<Database> Database::Open(const std::string& path,
     }
   }
 
+  if (options.use_paged_storage) {
+    // Adopt the file's page sections when present (copied: the reader's
+    // mapping dies with this scope); older resident-only files fall back to
+    // repacking the loaded rows.
+    std::string_view spo_pages, pso_pages;
+    Result<std::string_view> sp = reader.GetSection("spo_pages");
+    if (sp.ok()) spo_pages = sp.value();
+    Result<std::string_view> pp = reader.GetSection("pso_pages");
+    if (pp.ok()) pso_pages = pp.value();
+    AXON_RETURN_NOT_OK(
+        db.EnablePagedStorage(spo_pages, pso_pages, /*borrow=*/false));
+  }
   return db;
 }
 
@@ -258,6 +344,18 @@ Result<Database> Database::OpenMapped(const std::string& path,
   }
 
   db.mapped_file_ = std::move(reader);
+  if (options.use_paged_storage) {
+    // Borrow the page bytes straight from the mapping (kept alive by
+    // mapped_file_): compressed pages stay on disk, decoded frames are the
+    // only per-table memory.
+    std::string_view spo_pages, pso_pages;
+    Result<std::string_view> sp = db.mapped_file_->GetSection("spo_pages");
+    if (sp.ok()) spo_pages = sp.value();
+    Result<std::string_view> pp = db.mapped_file_->GetSection("pso_pages");
+    if (pp.ok()) pso_pages = pp.value();
+    const bool borrow = !spo_pages.empty() || !pso_pages.empty();
+    AXON_RETURN_NOT_OK(db.EnablePagedStorage(spo_pages, pso_pages, borrow));
+  }
   return db;
 }
 
@@ -279,15 +377,36 @@ uint64_t Database::StorageBytes() const {
   return cs_index_.ByteSize() + ecs_index_.ByteSize();
 }
 
+Status Database::ForEachTriple(
+    const std::function<void(const Triple&)>& fn) const {
+  if (paged_spo_ != nullptr) {
+    return paged_spo_->ForEachPage(
+        [&fn](std::span<const Triple> rows, uint64_t) {
+          for (const Triple& t : rows) fn(t);
+        });
+  }
+  for (const Triple& t : cs_index_.spo().rows()) fn(t);
+  return Status::OK();
+}
+
 Result<std::string> Database::ExportNTriples() const {
   std::string out;
-  for (const Triple& t : cs_index_.spo().rows()) {
-    AXON_ASSIGN_OR_RETURN(Term s, dict_.GetTerm(t.s));
-    AXON_ASSIGN_OR_RETURN(Term p, dict_.GetTerm(t.p));
-    AXON_ASSIGN_OR_RETURN(Term o, dict_.GetTerm(t.o));
-    out += WriteNTriplesLine(TermTriple{std::move(s), std::move(p),
-                                        std::move(o)});
-  }
+  Status term_st = Status::OK();
+  Status walk = ForEachTriple([&](const Triple& t) {
+    if (!term_st.ok()) return;
+    Result<Term> s = dict_.GetTerm(t.s);
+    Result<Term> p = dict_.GetTerm(t.p);
+    Result<Term> o = dict_.GetTerm(t.o);
+    if (!s.ok() || !p.ok() || !o.ok()) {
+      term_st = !s.ok() ? s.status() : (!p.ok() ? p.status() : o.status());
+      return;
+    }
+    out += WriteNTriplesLine(TermTriple{std::move(s).ValueOrDie(),
+                                        std::move(p).ValueOrDie(),
+                                        std::move(o).ValueOrDie()});
+  });
+  AXON_RETURN_NOT_OK(walk);
+  AXON_RETURN_NOT_OK(term_st);
   return out;
 }
 

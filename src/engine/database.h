@@ -28,6 +28,8 @@
 #include "engine/executor.h"
 #include "engine/query_engine.h"
 #include "sparql/parser.h"
+#include "storage/buffer_manager.h"
+#include "storage/paged_table.h"
 
 namespace axon {
 
@@ -76,6 +78,18 @@ class Database : public QueryEngine {
 
   /// True when the triple tables are served from a memory-mapped file.
   bool is_mapped() const { return mapped_file_ != nullptr; }
+
+  /// True when the SPO/PSO tables are compressed paged tables behind the
+  /// buffer manager (EngineOptions::use_paged_storage, DESIGN.md §14).
+  bool is_paged() const { return buffer_ != nullptr; }
+  /// The buffer manager behind paged tables (null in resident mode);
+  /// exposes the real pages_read / pages_evicted counters.
+  const BufferManager* buffer_manager() const { return buffer_.get(); }
+
+  /// Streams every triple in SPO order: the resident row array, or a
+  /// sequential page-by-page decode in paged mode (bounded residency; no
+  /// frame pool involved). Backs ExportNTriples and update-store recovery.
+  Status ForEachTriple(const std::function<void(const Triple&)>& fn) const;
 
   // QueryEngine interface.
   std::string name() const override { return options_.ConfigName(); }
@@ -131,8 +145,17 @@ class Database : public QueryEngine {
   // the serial path) is shared across concurrent Execute() calls.
   Executor MakeExecutor() const {
     return Executor(&dict_, &cs_index_, &ecs_index_, &graph_, &stats_,
-                    options_, pool_.get());
+                    options_, pool_.get(), buffer_.get());
   }
+
+  /// Switches the SPO/PSO tables to compressed paged storage: builds (or
+  /// adopts, when `spo_pages`/`pso_pages` hold serialized sections) the
+  /// paged tables, attaches them to a fresh buffer manager sized by
+  /// options_.frame_pool_bytes, and drops the resident row arrays so only
+  /// compressed bytes plus bounded frames stay in memory. `borrow` serves
+  /// page bytes straight from the mapping (OpenMapped path).
+  Status EnablePagedStorage(std::string_view spo_pages,
+                            std::string_view pso_pages, bool borrow);
 
   Dictionary dict_;
   CsIndex cs_index_;
@@ -145,6 +168,13 @@ class Database : public QueryEngine {
   // Worker pool behind EngineOptions::parallelism (null = serial path);
   // used by Build() for extraction/index tasks and by every Execute().
   std::shared_ptr<ThreadPool> pool_;
+  // Paged mode (null otherwise). shared_ptrs keep the paged tables and the
+  // buffer manager at stable addresses across Database moves — the indexes
+  // hold raw pointers to the tables and the buffer's registered loaders
+  // capture them.
+  std::shared_ptr<BufferManager> buffer_;
+  std::shared_ptr<PagedTripleTable> paged_spo_;
+  std::shared_ptr<PagedTripleTable> paged_pso_;
   // Keeps the mapping alive for borrowed (OpenMapped) tables.
   std::shared_ptr<DbFileReader> mapped_file_;
 };

@@ -19,12 +19,11 @@ namespace axon {
 void Executor::AccountPageReads(const std::vector<RowRange>& sorted_ranges,
                                 ExecStats* stats) {
   if (stats == nullptr) return;
-  constexpr uint64_t kPageRows = 4096 / sizeof(Triple);
   uint64_t last_page = UINT64_MAX;
   for (const RowRange& r : sorted_ranges) {
     if (r.empty()) continue;
-    uint64_t first = r.begin / kPageRows;
-    uint64_t last = (r.end - 1) / kPageRows;
+    uint64_t first = r.begin / kSimulatedPageRows;
+    uint64_t last = (r.end - 1) / kSimulatedPageRows;
     stats->pages_read += last - first + 1;
     if (first == last_page) --stats->pages_read;  // shared page boundary
     last_page = last;
@@ -75,14 +74,25 @@ BindingTable Executor::EvalQueryEcs(const QueryGraph& qg, int query_ecs,
     // Scan each range as a pool task (inline when serial), then merge the
     // partial tables in range order — the same row order the serial single
     // loop produces. Stats are task-local and summed in range order.
+    const TripleSource pso = PsoSource();
     std::vector<BindingTable> parts(ranges.size());
     std::vector<ExecStats> part_stats(ranges.size());
     ParallelFor(pool_, ranges.size(), [&](size_t i) {
       // Worker thread: install the query's budget and honor its stops.
       BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
       if (ctx != nullptr && ctx->ShouldStop()) return;
-      parts[i] =
-          ScanPattern(ecs_->pso().slice(ranges[i]), p, &part_stats[i], ctx);
+      if (!pso.paged()) {
+        parts[i] =
+            ScanPattern(pso.ResidentSlice(ranges[i]), p, &part_stats[i], ctx);
+        return;
+      }
+      // Paged: feed the scan one pinned page at a time. Chunk-invariant:
+      // same rows, stats and charges as the contiguous slice above.
+      PatternScanner scanner(p);
+      pso.Scan(ranges[i], [&](std::span<const Triple> chunk, uint64_t) {
+        scanner.Feed(chunk, &part_stats[i], ctx);
+      });
+      parts[i] = scanner.Finish(&part_stats[i]);
     });
     BindingTable link = ScanPattern({}, p, nullptr);  // empty, right schema
     for (size_t i = 0; i < ranges.size(); ++i) {
@@ -220,6 +230,47 @@ void Executor::StarMergeScan(const QueryGraph& qg,
   // *accumulated* output table, which per-partition tasks cannot see.
 }
 
+void Executor::StarMergeScanSource(const QueryGraph& qg,
+                                   const std::vector<int>& star_patterns,
+                                   const TripleSource& src,
+                                   const RowRange& range, BindingTable* out,
+                                   ExecStats* stats, QueryContext* ctx) const {
+  if (!src.paged()) {
+    StarMergeScan(qg, star_patterns, src.ResidentSlice(range), out, stats,
+                  ctx);
+    return;
+  }
+  // Paged: a subject group can straddle pages, so carry the trailing
+  // incomplete group across chunks and flush only whole-group prefixes.
+  // Groups are independent and arrive in order, so the concatenation of
+  // flushes emits exactly the contiguous scan's rows; rows_scanned and
+  // budget charges are chunk-invariant.
+  std::vector<Triple> carry;
+  src.Scan(range, [&](std::span<const Triple> chunk, uint64_t) {
+    if (chunk.empty()) return;
+    if (!carry.empty() && carry.back().s == chunk.front().s) {
+      size_t take = 0;
+      while (take < chunk.size() && chunk[take].s == carry.back().s) ++take;
+      carry.insert(carry.end(), chunk.begin(), chunk.begin() + take);
+      chunk = chunk.subspan(take);
+      if (chunk.empty()) return;  // group may continue into the next page
+    }
+    if (!carry.empty()) {  // the carried group is now complete
+      StarMergeScan(qg, star_patterns, carry, out, stats, ctx);
+      carry.clear();
+    }
+    // Flush the chunk's whole-group prefix; carry its trailing group.
+    size_t tail = chunk.size();
+    const TermId last_s = chunk.back().s;
+    while (tail > 0 && chunk[tail - 1].s == last_s) --tail;
+    StarMergeScan(qg, star_patterns, chunk.subspan(0, tail), out, stats, ctx);
+    carry.assign(chunk.begin() + tail, chunk.end());
+  });
+  if (!carry.empty()) {
+    StarMergeScan(qg, star_patterns, carry, out, stats, ctx);
+  }
+}
+
 BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
                                     const std::vector<CsId>& allowed_cs,
                                     const std::vector<int>& star_patterns,
@@ -256,14 +307,15 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
       if (!p.o_bound() && !p.o_var.empty()) cols.push_back(p.o_var);
     }
     // One merge-scan task per partition, gathered in partition order.
+    const TripleSource spo = SpoSource();
     std::vector<BindingTable> parts(ranges.size());
     std::vector<ExecStats> part_stats(ranges.size());
     ParallelFor(pool_, ranges.size(), [&](size_t i) {
       BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
       if (ctx != nullptr && ctx->ShouldStop()) return;
       parts[i] = BindingTable(cols);
-      StarMergeScan(qg, star_patterns, cs_->spo().slice(ranges[i]),
-                    &parts[i], &part_stats[i], ctx);
+      StarMergeScanSource(qg, star_patterns, spo, ranges[i], &parts[i],
+                          &part_stats[i], ctx);
     });
     BindingTable acc(cols);
     for (size_t i = 0; i < ranges.size(); ++i) {
@@ -289,16 +341,29 @@ BindingTable Executor::EvalStarNode(const QueryGraph& qg, int node,
                    nullptr);
   }
   // One scan+join pipeline task per partition, gathered in partition order.
+  const TripleSource spo = SpoSource();
   std::vector<BindingTable> parts(ranges.size());
   std::vector<ExecStats> part_stats(ranges.size());
   ParallelFor(pool_, ranges.size(), [&](size_t i) {
     BudgetScope budget_scope(ctx != nullptr ? ctx->budget() : nullptr);
     if (ctx != nullptr && ctx->ShouldStop()) return;
-    std::span<const Triple> rows = cs_->spo().slice(ranges[i]);
     BindingTable per_cs;
     bool first = true;
     for (int pi : star_patterns) {
-      BindingTable t = ScanPattern(rows, qg.patterns[pi], &part_stats[i], ctx);
+      // Paged: re-scan the range per pattern (pages stay cache-warm across
+      // patterns), preserving the resident path's early break on an empty
+      // join and its per-pattern stats exactly.
+      BindingTable t;
+      if (!spo.paged()) {
+        t = ScanPattern(spo.ResidentSlice(ranges[i]), qg.patterns[pi],
+                        &part_stats[i], ctx);
+      } else {
+        PatternScanner scanner(qg.patterns[pi]);
+        spo.Scan(ranges[i], [&](std::span<const Triple> chunk, uint64_t) {
+          scanner.Feed(chunk, &part_stats[i], ctx);
+        });
+        t = scanner.Finish(&part_stats[i]);
+      }
       if (first) {
         per_cs = std::move(t);
         first = false;
@@ -442,9 +507,24 @@ Result<QueryResult> Executor::Execute(const SelectQuery& query,
   // query overrunning memory must not take the server down.
   try {
     AXON_FAILPOINT("exec.query");
-    return ExecuteImpl(query, ctx);
+    // Paged mode: report the *real* per-query frame traffic by differencing
+    // the buffer manager's monotonic counters around the query. Concurrent
+    // queries blur attribution (shared pool), which is inherent to real
+    // buffer caches; the differential tests run queries serially.
+    BufferStats before;
+    if (buffer_ != nullptr) before = buffer_->stats();
+    Result<QueryResult> r = ExecuteImpl(query, ctx);
+    if (buffer_ != nullptr && r.ok()) {
+      BufferStats after = buffer_->stats();
+      r.value().stats.pages_read = after.pages_read - before.pages_read;
+      r.value().stats.pages_evicted =
+          after.pages_evicted - before.pages_evicted;
+    }
+    return r;
   } catch (const QueryStopError&) {
     return ctx->StopStatus();
+  } catch (const PagedIoError& e) {
+    return e.status();
   } catch (const BudgetExceededError&) {
     return Status::ResourceExhausted(
         "query exceeded memory budget of " +
@@ -640,6 +720,7 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query,
         // one test per leaf-sized chunk, caught by the post-loop check below.
         star = BindingTable({qg.nodes[node].col});
         const bool use_batch = CurrentExecMode() == ExecMode::kBatch;
+        const TripleSource spo = SpoSource();
         std::vector<TermId> subs(use_batch ? kBatchRows : 0);
         std::vector<SelVector> sel(use_batch ? kBatchRows : 0);
         Batch batch;
@@ -648,49 +729,59 @@ Result<QueryResult> Executor::ExecuteImpl(const SelectQuery& query,
           RowRange range = qg.nodes[node].is_variable
                                ? cs_->RangeOf(cs)
                                : cs_->SubjectRange(cs, qg.nodes[node].bound_id);
-          std::span<const Triple> rows = cs_->spo().slice(range);
-          size_t counted = 0;
-          TermId last = kInvalidId;
-          if (use_batch) {
-            // Blocked subject dedup: extract the subject column, build a
-            // selection of group starts (subjects are contiguous in SPO
-            // order), gather, append — one stop check per block.
-            for (size_t base = 0; base < rows.size(); base += kBatchRows) {
-              AXON_COUNTER_ADD("exec.triples_scanned", base - counted);
-              counted = base;
-              if (ctx->ShouldStop()) break;
-              const size_t bn = std::min(kBatchRows, rows.size() - base);
-              result.stats.rows_scanned += bn;
-              for (size_t i = 0; i < bn; ++i) subs[i] = rows[base + i].s;
-              size_t k = 0;
-              for (size_t i = 0; i < bn; ++i) {
-                sel[k] = static_cast<SelVector>(i);
-                k += subs[i] != last ? 1 : 0;
-                last = subs[i];
-              }
-              if (k == 0) continue;
-              batch.Reset(1);
-              GatherCol(subs.data(), sel.data(), k, batch.col(0));
-              batch.set_size(k);
-              star.AppendBatch(batch);
-            }
-          } else {
-            for (size_t i = 0; i < rows.size(); ++i) {
-              if ((i % kStopCheckRows) == 0) {
-                AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
-                counted = i;
+          TermId last = kInvalidId;  // reset per range, carried across chunks
+          // The scan body over one chunk of the range. Resident mode calls
+          // it once on the whole slice (the reference behavior); paged mode
+          // once per pinned page, with `last` carrying the subject dedup
+          // across page boundaries — same output rows, same rows_scanned.
+          auto scan_rows = [&](std::span<const Triple> rows, uint64_t) {
+            size_t counted = 0;
+            if (use_batch) {
+              // Blocked subject dedup: extract the subject column, build a
+              // selection of group starts (subjects are contiguous in SPO
+              // order), gather, append — one stop check per block.
+              for (size_t base = 0; base < rows.size(); base += kBatchRows) {
+                AXON_COUNTER_ADD("exec.triples_scanned", base - counted);
+                counted = base;
                 if (ctx->ShouldStop()) break;
+                const size_t bn = std::min(kBatchRows, rows.size() - base);
+                result.stats.rows_scanned += bn;
+                for (size_t i = 0; i < bn; ++i) subs[i] = rows[base + i].s;
+                size_t k = 0;
+                for (size_t i = 0; i < bn; ++i) {
+                  sel[k] = static_cast<SelVector>(i);
+                  k += subs[i] != last ? 1 : 0;
+                  last = subs[i];
+                }
+                if (k == 0) continue;
+                batch.Reset(1);
+                GatherCol(subs.data(), sel.data(), k, batch.col(0));
+                batch.set_size(k);
+                star.AppendBatch(batch);
               }
-              const Triple& t = rows[i];
-              ++result.stats.rows_scanned;
-              if (t.s != last) {
-                star.AppendRow({t.s});
-                last = t.s;
+            } else {
+              for (size_t i = 0; i < rows.size(); ++i) {
+                if ((i % kStopCheckRows) == 0) {
+                  AXON_COUNTER_ADD("exec.triples_scanned", i - counted);
+                  counted = i;
+                  if (ctx->ShouldStop()) break;
+                }
+                const Triple& t = rows[i];
+                ++result.stats.rows_scanned;
+                if (t.s != last) {
+                  star.AppendRow({t.s});
+                  last = t.s;
+                }
               }
             }
+            AXON_COUNTER_ADD("exec.triples_scanned",
+                             ctx->ShouldStop() ? 0 : rows.size() - counted);
+          };
+          if (!spo.paged()) {
+            scan_rows(spo.ResidentSlice(range), range.begin);
+          } else {
+            spo.Scan(range, scan_rows);
           }
-          AXON_COUNTER_ADD("exec.triples_scanned",
-                           ctx->ShouldStop() ? 0 : rows.size() - counted);
         }
       } else {
         star = EvalStarNode(qg, static_cast<int>(node), allowed, needed,

@@ -24,6 +24,7 @@
 #include "engine/planner.h"
 #include "engine/query_engine.h"
 #include "engine/query_graph.h"
+#include "storage/paged_table.h"
 #include "util/thread_pool.h"
 
 namespace axon {
@@ -71,6 +72,21 @@ struct EngineOptions {
   /// (bench_micro_ablation measures the difference).
   bool use_star_merge_scan = true;
 
+  /// Paged storage (DESIGN.md §14): the SPO/PSO tables are stored as
+  /// compressed pages behind a pin/unpin buffer manager instead of resident
+  /// row arrays, so datasets larger than the frame pool load and query.
+  /// Results, ExecStats (minus the real pages_read/pages_evicted counters)
+  /// and budget charges are bit-identical to resident mode
+  /// (paged_exec_test). Default off: the resident path is the reference.
+  bool use_paged_storage = false;
+
+  /// Frame-pool soft target in bytes for paged mode (decoded pages resident
+  /// at once; eviction starts above this).
+  uint64_t frame_pool_bytes = 4ull << 20;
+
+  /// Serialized page size target for paged mode.
+  uint32_t page_size_bytes = 4096;
+
   /// When false, star patterns that are pure existence checks (bound
   /// predicate, object variable that is neither projected, shared, bound
   /// nor filtered) are not retrieved at all — their existence is already
@@ -90,10 +106,13 @@ class Executor {
  public:
   /// `pool` may be null (serial reference path) and must outlive the
   /// executor; it is shared by concurrent Execute() calls.
+  /// `buffer` (paged mode) is the buffer manager behind the indexes' paged
+  /// tables; it supplies the real pages_read/pages_evicted deltas per query
+  /// and must outlive the executor. Null in resident mode.
   Executor(const Dictionary* dict, const CsIndex* cs_index,
            const EcsIndex* ecs_index, const EcsGraph* graph,
            const EcsStatistics* stats, EngineOptions options,
-           ThreadPool* pool = nullptr)
+           ThreadPool* pool = nullptr, const BufferManager* buffer = nullptr)
       : dict_(dict),
         cs_(cs_index),
         ecs_(ecs_index),
@@ -101,6 +120,7 @@ class Executor {
         stats_(stats),
         options_(options),
         pool_(pool),
+        buffer_(buffer),
         matcher_(cs_index, ecs_index, graph),
         planner_(ecs_index, stats) {}
 
@@ -162,6 +182,28 @@ class Executor {
                      std::span<const Triple> rows, BindingTable* out,
                      ExecStats* stats, QueryContext* ctx) const;
 
+  /// StarMergeScan over a chunked TripleSource: buffers rows only until a
+  /// subject group completes, then flushes whole-group prefixes through
+  /// StarMergeScan — so decoded residency stays one page + one carry group
+  /// and the output is bit-identical to the contiguous scan (groups are
+  /// independent and arrive in order).
+  void StarMergeScanSource(const QueryGraph& qg,
+                           const std::vector<int>& star_patterns,
+                           const TripleSource& src, const RowRange& range,
+                           BindingTable* out, ExecStats* stats,
+                           QueryContext* ctx) const;
+
+  /// The SPO / PSO read seams: paged sources when the indexes carry paged
+  /// tables (options_.use_paged_storage), resident otherwise.
+  TripleSource SpoSource() const {
+    return cs_->paged_spo() != nullptr ? TripleSource(cs_->paged_spo())
+                                       : TripleSource(&cs_->spo());
+  }
+  TripleSource PsoSource() const {
+    return ecs_->paged_pso() != nullptr ? TripleSource(ecs_->paged_pso())
+                                        : TripleSource(&ecs_->pso());
+  }
+
   /// Merges ranges that are adjacent/overlapping in storage order when the
   /// hierarchy optimization is on (extended range scans, Sec. IV.D).
   std::vector<RowRange> PlanScanRanges(std::vector<RowRange> ranges) const;
@@ -189,7 +231,8 @@ class Executor {
   const EcsGraph* graph_;
   const EcsStatistics* stats_;
   EngineOptions options_;
-  ThreadPool* pool_;  // null => serial reference path
+  ThreadPool* pool_;             // null => serial reference path
+  const BufferManager* buffer_ = nullptr;  // null => resident mode
   EcsMatcher matcher_;
   Planner planner_;
 };

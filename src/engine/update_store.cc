@@ -224,9 +224,12 @@ Result<UpdatableDatabase> UpdatableDatabase::OpenDurable(
     im.snapshot =
         std::make_unique<Database>(std::move(opened).ValueOrDie());
     im.dict = im.snapshot->dict();
-    for (const Triple& t : im.snapshot->cs_index().spo().rows()) {
+    // Streaming walk: in paged snapshots the rows decode page by page
+    // instead of materializing the whole table.
+    AXON_RETURN_NOT_OK(im.snapshot->ForEachTriple([&im](const Triple& t) {
+      im.mu.AssertHeld();  // callback runs under the lock held above
       im.live.insert({t.s, t.p, t.o});
-    }
+    }));
   }
 
   // Recovery step 3: replay the delta. Idempotent ops make a WAL that was

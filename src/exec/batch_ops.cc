@@ -84,21 +84,11 @@ void GatherRows(const BindingTable& t, size_t base, const SelVector* sel,
 
 }  // namespace
 
-BindingTable ScanPattern(std::span<const Triple> triples,
-                         const IdPattern& pattern, ExecStats* stats,
-                         QueryContext* ctx) {
-  // Output columns: distinct named variables in S, P, O order (same rule
-  // as the row scan).
-  std::vector<std::string> vars;
-  auto add_var = [&vars](const std::string& v) {
-    if (!v.empty() && std::find(vars.begin(), vars.end(), v) == vars.end()) {
-      vars.push_back(v);
-    }
-  };
-  if (!pattern.s_bound()) add_var(pattern.s_var);
-  if (!pattern.p_bound()) add_var(pattern.p_var);
-  if (!pattern.o_bound()) add_var(pattern.o_var);
-  BindingTable out(vars);
+void ScanPatternInto(std::span<const Triple> triples, const IdPattern& pattern,
+                     BindingTable* out_table, uint64_t* nullary_matches_acc,
+                     ExecStats* stats, QueryContext* ctx) {
+  BindingTable& out = *out_table;
+  const std::vector<std::string>& vars = out.vars();
 
   // Compile the pattern into position space (0=S, 1=P, 2=O): which
   // positions each output column reads from, which position pairs must be
@@ -194,7 +184,16 @@ BindingTable ScanPattern(std::span<const Triple> triples,
     out.AppendBatch(batch);
   }
   AXON_COUNTER_ADD("exec.triples_scanned", triples.size() - counted);
-  if (vars.empty() && nullary_matches > 0) out.SetNullaryRow(true);
+  if (nullary_matches_acc != nullptr) *nullary_matches_acc += nullary_matches;
+}
+
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx) {
+  BindingTable out(exec_internal::PatternVars(pattern));
+  uint64_t nullary_matches = 0;
+  ScanPatternInto(triples, pattern, &out, &nullary_matches, stats, ctx);
+  if (out.num_cols() == 0 && nullary_matches > 0) out.SetNullaryRow(true);
   if (stats != nullptr) {
     stats->intermediate_rows += out.num_rows();
     stats->NotePeakBytes(out.ByteSize());

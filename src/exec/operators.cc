@@ -23,6 +23,20 @@ namespace axon {
 
 namespace exec_internal {
 
+std::vector<std::string> PatternVars(const IdPattern& pattern) {
+  // Distinct named variables in S, P, O order.
+  std::vector<std::string> vars;
+  auto add_var = [&vars](const std::string& v) {
+    if (!v.empty() && std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  if (!pattern.s_bound()) add_var(pattern.s_var);
+  if (!pattern.p_bound()) add_var(pattern.p_var);
+  if (!pattern.o_bound()) add_var(pattern.o_var);
+  return vars;
+}
+
 JoinLayout ComputeJoinLayout(const BindingTable& build,
                              const BindingTable& probe) {
   JoinLayout lay;
@@ -72,21 +86,11 @@ using exec_internal::ComputeJoinLayout;
 using exec_internal::JoinLayout;
 using exec_internal::RowKeyHash;
 
-BindingTable ScanPattern(std::span<const Triple> triples,
-                         const IdPattern& pattern, ExecStats* stats,
-                         QueryContext* ctx) {
-  // Output columns: distinct named variables in S, P, O order.
-  std::vector<std::string> vars;
-  auto add_var = [&vars](const std::string& v) {
-    if (!v.empty() && std::find(vars.begin(), vars.end(), v) == vars.end()) {
-      vars.push_back(v);
-    }
-  };
-  if (!pattern.s_bound()) add_var(pattern.s_var);
-  if (!pattern.p_bound()) add_var(pattern.p_var);
-  if (!pattern.o_bound()) add_var(pattern.o_var);
-
-  BindingTable out(vars);
+void ScanPatternInto(std::span<const Triple> triples, const IdPattern& pattern,
+                     BindingTable* out_table, uint64_t* /*nullary_matches*/,
+                     ExecStats* stats, QueryContext* ctx) {
+  BindingTable& out = *out_table;
+  const std::vector<std::string>& vars = out.vars();
   std::vector<TermId> row(vars.size());
   // The triples-scanned counter is flushed per leaf-sized chunk (not once
   // up front) so a stopped scan reports only the rows it actually visited —
@@ -128,6 +132,13 @@ BindingTable ScanPattern(std::span<const Triple> triples,
     out.AppendRow(row);
   }
   AXON_COUNTER_ADD("exec.triples_scanned", triples.size() - counted);
+}
+
+BindingTable ScanPattern(std::span<const Triple> triples,
+                         const IdPattern& pattern, ExecStats* stats,
+                         QueryContext* ctx) {
+  BindingTable out(exec_internal::PatternVars(pattern));
+  ScanPatternInto(triples, pattern, &out, nullptr, stats, ctx);
   if (stats != nullptr) {
     stats->intermediate_rows += out.num_rows();
     stats->NotePeakBytes(out.ByteSize());
@@ -652,6 +663,34 @@ BindingTable ScanPattern(std::span<const Triple> triples,
                          QueryContext* ctx) {
   return UseBatch() ? batch_ops::ScanPattern(triples, pattern, stats, ctx)
                     : row_ops::ScanPattern(triples, pattern, stats, ctx);
+}
+
+PatternScanner::PatternScanner(const IdPattern& pattern)
+    : pattern_(pattern),
+      // Latch the mode once: a scan must not switch engines between chunks.
+      use_batch_(UseBatch()),
+      out_(exec_internal::PatternVars(pattern)) {}
+
+void PatternScanner::Feed(std::span<const Triple> chunk, ExecStats* stats,
+                          QueryContext* ctx) {
+  if (use_batch_) {
+    batch_ops::ScanPatternInto(chunk, pattern_, &out_, &nullary_matches_,
+                               stats, ctx);
+  } else {
+    row_ops::ScanPatternInto(chunk, pattern_, &out_, &nullary_matches_, stats,
+                             ctx);
+  }
+}
+
+BindingTable PatternScanner::Finish(ExecStats* stats) {
+  if (use_batch_ && out_.num_cols() == 0 && nullary_matches_ > 0) {
+    out_.SetNullaryRow(true);
+  }
+  if (stats != nullptr) {
+    stats->intermediate_rows += out_.num_rows();
+    stats->NotePeakBytes(out_.ByteSize());
+  }
+  return std::move(out_);
 }
 
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,

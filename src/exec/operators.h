@@ -25,17 +25,29 @@
 
 namespace axon {
 
+/// Rows per page of the simulated 4 KiB disk model behind resident-mode
+/// pages_read. The single definition keeps the axonDB executor and the
+/// baseline engines accounting with the same page size, so simulated-I/O
+/// comparisons across engines stay like for like.
+inline constexpr uint64_t kSimulatedPageRows = 4096 / sizeof(Triple);
+
 /// Execution counters for instrumentation (intermediate-result accounting
 /// shown in the benches).
 struct ExecStats {
   uint64_t rows_scanned = 0;       // triples read from storage
   uint64_t intermediate_rows = 0;  // rows materialized between operators
   uint64_t joins = 0;              // join operator invocations
-  /// Simulated storage pages touched by range scans (4 KiB pages over the
-  /// on-disk triple layout). Wall time on the in-memory substrate cannot
-  /// show the disk locality the ECS-hierarchy layout buys; this metric can
-  /// (fewer distinct pages when matched ECS families are stored adjacent).
+  /// Storage pages touched by range scans. Resident mode: the simulated
+  /// 4 KiB-page model over the on-disk triple layout (wall time on the
+  /// in-memory substrate cannot show the disk locality the ECS-hierarchy
+  /// layout buys; this metric can — fewer distinct pages when matched ECS
+  /// families are stored adjacent). Paged mode: the *real* frame loads the
+  /// buffer manager performed for this query, which depend on cache state.
   uint64_t pages_read = 0;
+  /// Frames the buffer manager evicted during this query. Always 0 in
+  /// resident mode; nonzero in paged mode once the working set exceeds the
+  /// frame pool (the scale-smoke gate asserts this).
+  uint64_t pages_evicted = 0;
   /// 1 when this result was answered by the baseline fallback engine after
   /// the primary failed (GovernedEngine); summed across sub-results.
   uint64_t degraded_to_baseline = 0;
@@ -49,6 +61,7 @@ struct ExecStats {
     intermediate_rows += other.intermediate_rows;
     joins += other.joins;
     pages_read += other.pages_read;
+    pages_evicted += other.pages_evicted;
     degraded_to_baseline += other.degraded_to_baseline;
     budget_bytes_peak = std::max(budget_bytes_peak, other.budget_bytes_peak);
   }
@@ -85,6 +98,29 @@ struct IdPattern {
 BindingTable ScanPattern(std::span<const Triple> triples,
                          const IdPattern& pattern, ExecStats* stats,
                          QueryContext* ctx = nullptr);
+
+/// Incremental ScanPattern over a chunked triple source (the paged read
+/// path, where a range arrives one pinned page at a time). Feed() appends
+/// the chunk's solutions; Finish() applies the end-of-scan accounting
+/// (intermediate_rows, peak bytes, the nullary-row flag) and returns the
+/// table. One Feed over the whole range is exactly ScanPattern: results,
+/// ExecStats, and budget charges are chunking-invariant (BindingTable's
+/// canonical capacity chain makes charge totals depend only on cumulative
+/// rows — the same property the batch engine relies on).
+class PatternScanner {
+ public:
+  explicit PatternScanner(const IdPattern& pattern);
+
+  void Feed(std::span<const Triple> chunk, ExecStats* stats,
+            QueryContext* ctx = nullptr);
+  BindingTable Finish(ExecStats* stats);
+
+ private:
+  IdPattern pattern_;
+  bool use_batch_;
+  BindingTable out_;
+  uint64_t nullary_matches_ = 0;
+};
 
 /// Natural join on all shared columns (hash join, smaller side builds).
 /// With no shared columns this degrades to a cross product. With a

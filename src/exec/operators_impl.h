@@ -49,6 +49,11 @@ struct CompatLayout {
 CompatLayout ComputeCompatLayout(const BindingTable& left,
                                  const BindingTable& right);
 
+/// Output schema of a pattern scan: the distinct named variables in
+/// S, P, O order — shared by the row scan, the batch scan and
+/// PatternScanner so all three agree on column order.
+std::vector<std::string> PatternVars(const IdPattern& pattern);
+
 }  // namespace exec_internal
 
 // The row-at-a-time reference implementations (operators.cc). These define
@@ -59,6 +64,14 @@ namespace row_ops {
 BindingTable ScanPattern(std::span<const Triple> triples,
                          const IdPattern& pattern, ExecStats* stats,
                          QueryContext* ctx);
+/// The scan body without schema setup or end-of-scan accounting: appends
+/// `triples`' solutions to `out` (schema = PatternVars(pattern)). Backs
+/// both ScanPattern and the chunk-fed PatternScanner. `nullary_matches` is
+/// ignored here (the row engine's AppendRow tracks nullary rows itself)
+/// but kept for signature symmetry with batch_ops.
+void ScanPatternInto(std::span<const Triple> triples, const IdPattern& pattern,
+                     BindingTable* out, uint64_t* nullary_matches,
+                     ExecStats* stats, QueryContext* ctx);
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
                       ExecStats* stats, QueryContext* ctx);
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,
@@ -95,6 +108,12 @@ namespace batch_ops {
 BindingTable ScanPattern(std::span<const Triple> triples,
                          const IdPattern& pattern, ExecStats* stats,
                          QueryContext* ctx);
+/// Columnar scan body; see row_ops::ScanPatternInto. `nullary_matches`
+/// accumulates zero-column matches across chunks (the batch engine defers
+/// the nullary-row flag to end of scan).
+void ScanPatternInto(std::span<const Triple> triples, const IdPattern& pattern,
+                     BindingTable* out, uint64_t* nullary_matches,
+                     ExecStats* stats, QueryContext* ctx);
 BindingTable HashJoin(const BindingTable& left, const BindingTable& right,
                       ExecStats* stats, QueryContext* ctx);
 BindingTable FilterEquals(const BindingTable& in, const std::string& var,

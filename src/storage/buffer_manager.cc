@@ -1,0 +1,227 @@
+#include "storage/buffer_manager.h"
+
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/trace.h"
+
+namespace axon {
+
+/// One decoded page. Pointer-stable (held by unique_ptr in the frame map)
+/// so pins can reference it across map rehashes. All fields are guarded by
+/// the owning BufferManager's mu_ — the nested-struct relationship is not
+/// expressible with AXON_GUARDED_BY, so the discipline is documented here
+/// and enforced by the TSan stress test. `rows` is safe to read without
+/// the lock *while pinned*: it is written only by the loading thread
+/// before the frame is published (loading -> false under mu_) and never
+/// mutated afterwards.
+struct PinnedPage::Frame {
+  uint64_t key = 0;       // (table_id << 32) | page_no
+  std::vector<Triple> rows;
+  uint64_t bytes = 0;     // decoded bytes charged to the pool budget
+  uint32_t pins = 0;
+  bool loading = false;   // a thread is running the loader for this frame
+  bool failed = false;    // last load attempt errored; next Pin retries
+  bool ref = false;       // clock second-chance bit
+};
+
+std::span<const Triple> PinnedPage::rows() const {
+  if (frame_ == nullptr) return {};
+  return {frame_->rows.data(), frame_->rows.size()};
+}
+
+void PinnedPage::Release() {
+  if (manager_ != nullptr && frame_ != nullptr) {
+    manager_->Unpin(frame_);
+  }
+  manager_ = nullptr;
+  frame_ = nullptr;
+}
+
+namespace {
+uint64_t FrameKey(uint32_t table_id, uint32_t page_no) {
+  return (static_cast<uint64_t>(table_id) << 32) | page_no;
+}
+}  // namespace
+
+BufferManager::BufferManager(BufferOptions options)
+    : options_(options), budget_(options.hard_limit_bytes) {}
+
+BufferManager::~BufferManager() = default;
+
+uint32_t BufferManager::RegisterTable(PageLoader loader) {
+  MutexLock lock(&mu_);
+  loaders_.push_back(std::move(loader));
+  return static_cast<uint32_t>(loaders_.size() - 1);
+}
+
+Result<PinnedPage> BufferManager::Pin(uint32_t table_id, uint32_t page_no) {
+  const uint64_t key = FrameKey(table_id, page_no);
+  Frame* frame = nullptr;
+  PageLoader loader;
+  {
+    MutexLock lock(&mu_);
+    for (;;) {
+      auto it = frames_.find(key);
+      if (it == frames_.end()) break;
+      Frame* f = it->second.get();
+      if (f->loading) {
+        // Another thread is loading this page: park until it publishes or
+        // fails. The frame cannot be erased while loading, so re-finding
+        // after the wait is only defensive against a failed->erased race
+        // (failed frames are kept, never erased, precisely so waiters can
+        // retake them).
+        cv_.Wait(&mu_);
+        continue;
+      }
+      if (f->failed) {
+        // Take ownership of the retry: transient faults (injected
+        // page.read errors, once-armed failpoints) heal on the next pin.
+        f->loading = true;
+        f->failed = false;
+        frame = f;
+        break;
+      }
+      ++f->pins;
+      f->ref = true;
+      ++stats_.pin_hits;
+      return PinnedPage(this, f);
+    }
+    if (frame == nullptr) {
+      auto owned = std::make_unique<Frame>();
+      owned->key = key;
+      owned->loading = true;
+      frame = owned.get();
+      frames_.emplace(key, std::move(owned));
+      clock_keys_.push_back(key);
+    }
+    if (table_id >= loaders_.size()) {
+      frame->loading = false;
+      frame->failed = true;
+      cv_.NotifyAll();
+      return Status::InvalidArgument("buffer: unregistered table id");
+    }
+    loader = loaders_[table_id];
+  }
+
+  // Load outside the lock: decode cost and failpoint delays must not
+  // serialize unrelated pins. The page.read fault is handled inline (not
+  // via AXON_FAILPOINT_STATUS, whose early return would strand the
+  // loading frame with waiters parked on it forever).
+  std::vector<Triple> rows;
+  Status st = Status::OK();
+  const failpoint::Fault fault = AXON_FAILPOINT_EVAL("page.read");
+  if (fault) {
+    failpoint::Execute("page.read", fault);
+    if (fault.action == failpoint::Action::kError) {
+      st = failpoint::InjectedError("page.read");
+    }
+  }
+  if (st.ok()) st = loader(page_no, &rows);
+  if (st.ok() && rows.empty()) {
+    st = Status::Corruption("buffer: loader produced an empty page");
+  }
+  const uint64_t bytes = rows.size() * sizeof(Triple);
+
+  MutexLock lock(&mu_);
+  if (!st.ok()) {
+    frame->loading = false;
+    frame->failed = true;
+    cv_.NotifyAll();
+    return st;
+  }
+  EvictForLocked(bytes);
+  if (!budget_.TryCharge(bytes)) {
+    // Hard cap: one more sweep, then give up. Pinned frames are the only
+    // thing that can hold bytes at this point, and they must not be torn
+    // down under a reader.
+    while (EvictOneLocked()) {
+      if (budget_.TryCharge(bytes)) break;
+    }
+    if (budget_.exceeded()) {
+      frame->loading = false;
+      frame->failed = true;
+      cv_.NotifyAll();
+      return Status::ResourceExhausted("buffer: frame pool hard limit");
+    }
+  }
+  frame->rows = std::move(rows);
+  frame->bytes = bytes;
+  frame->loading = false;
+  frame->pins = 1;
+  frame->ref = true;
+  resident_bytes_ += bytes;
+  ++stats_.pages_read;
+  AXON_COUNTER_ADD("buffer.pages_read", 1);
+  cv_.NotifyAll();
+  return PinnedPage(this, frame);
+}
+
+void BufferManager::Unpin(Frame* frame) {
+  MutexLock lock(&mu_);
+  --frame->pins;
+}
+
+bool BufferManager::EvictOneLocked() {
+  if (clock_keys_.empty()) return false;
+  // Two full sweeps: the first may only clear ref bits, the second then
+  // finds a victim. If every frame is pinned or loading, give up.
+  const size_t max_steps = clock_keys_.size() * 2;
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (clock_hand_ >= clock_keys_.size()) clock_hand_ = 0;
+    const uint64_t key = clock_keys_[clock_hand_];
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+      // Stale clock entry (frame evicted earlier): compact in place.
+      clock_keys_[clock_hand_] = clock_keys_.back();
+      clock_keys_.pop_back();
+      continue;
+    }
+    Frame* f = it->second.get();
+    if (f->loading || f->pins > 0 || f->bytes == 0) {
+      ++clock_hand_;
+      continue;
+    }
+    if (f->ref) {
+      f->ref = false;
+      ++clock_hand_;
+      continue;
+    }
+    resident_bytes_ -= f->bytes;
+    budget_.Refund(f->bytes);
+    frames_.erase(it);
+    clock_keys_[clock_hand_] = clock_keys_.back();
+    clock_keys_.pop_back();
+    ++stats_.pages_evicted;
+    AXON_COUNTER_ADD("buffer.pages_evicted", 1);
+    return true;
+  }
+  return false;
+}
+
+void BufferManager::EvictForLocked(uint64_t incoming) {
+  while (resident_bytes_ + incoming > options_.pool_bytes) {
+    if (!EvictOneLocked()) break;
+  }
+}
+
+BufferStats BufferManager::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+uint64_t BufferManager::resident_bytes() const {
+  MutexLock lock(&mu_);
+  return resident_bytes_;
+}
+
+uint64_t BufferManager::pinned_frames() const {
+  MutexLock lock(&mu_);
+  uint64_t n = 0;
+  for (const auto& [key, f] : frames_) {
+    if (f->pins > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace axon

@@ -1,0 +1,170 @@
+// Buffer manager: a bounded pool of decoded triple-page frames with
+// pin/unpin reference counting and clock (second-chance) eviction.
+//
+// Paged tables (storage/paged_table.h) keep their compressed page bytes
+// resident (owned or mmapped) but decode rows on demand: Pin() returns a
+// frame holding the decoded rows of one page, loading it through the
+// table's registered PageLoader on a miss. Pinned frames are never
+// evicted; unpinned frames are reclaimed by a clock sweep whenever decoded
+// residency exceeds the pool target. Frame allocation is charged to a
+// pool-level MemoryBudget (charged on load, refunded on eviction), so
+// decoded residency is observable — and, with a hard limit, enforceable —
+// through the same accounting primitive the per-query budgets use.
+//
+// Contracts (DESIGN.md §14):
+//   * Pin discipline: every Pin() is balanced by exactly one unpin (the
+//     PinnedPage destructor). Holding a pin keeps the frame's row span
+//     valid and the frame ineligible for eviction.
+//   * Lock order: mu_ is a leaf lock — no callback (loader, budget) runs
+//     under it; page loads execute outside the lock with waiters parked
+//     on cv_. Never acquire another lock while holding mu_.
+//   * Eviction invariants: only frames with pins == 0 and loading == false
+//     are evicted; resident_bytes_ always equals the sum of loaded frame
+//     bytes; a failed load leaves a zero-byte tombstone frame that the
+//     next Pin() retries (transient faults heal).
+//
+// Thread-safe. Failpoint site "page.read" fires on every frame load.
+
+#ifndef AXON_STORAGE_BUFFER_MANAGER_H_
+#define AXON_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+#include "util/resource_governor.h"
+#include "util/status.h"
+
+namespace axon {
+
+class BufferManager;
+
+struct BufferOptions {
+  /// Target bound on decoded frame bytes. The clock sweep evicts unpinned
+  /// frames past this; concurrently pinned working sets may transiently
+  /// exceed it (correctness over strictness — a query must be able to pin
+  /// the page it is scanning).
+  uint64_t pool_bytes = 4ull << 20;
+  /// Hard cap enforced through the pool MemoryBudget; 0 = track only.
+  /// With a cap set, a Pin() that cannot evict its way under the cap
+  /// fails with ResourceExhausted instead of overshooting.
+  uint64_t hard_limit_bytes = 0;
+};
+
+/// Monotonic counters (never reset). pages_read counts frame loads
+/// (misses), pin_hits counts pins served from a resident frame.
+struct BufferStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_evicted = 0;
+  uint64_t pin_hits = 0;
+};
+
+/// RAII pin on one decoded page frame. The row span stays valid exactly
+/// as long as the pin is held. Move-only.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(PinnedPage&& other) noexcept
+      : manager_(other.manager_), frame_(other.frame_) {
+    other.manager_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  PinnedPage& operator=(PinnedPage&& other) noexcept {
+    if (this != &other) {
+      Release();
+      manager_ = other.manager_;
+      frame_ = other.frame_;
+      other.manager_ = nullptr;
+      other.frame_ = nullptr;
+    }
+    return *this;
+  }
+  ~PinnedPage() { Release(); }
+
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  std::span<const Triple> rows() const;
+
+ private:
+  friend class BufferManager;
+  struct Frame;
+  PinnedPage(BufferManager* manager, Frame* frame)
+      : manager_(manager), frame_(frame) {}
+  void Release();
+
+  BufferManager* manager_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
+class BufferManager {
+ public:
+  /// Fills `rows` with the decoded rows of page `page_no`.
+  using PageLoader =
+      std::function<Status(uint32_t page_no, std::vector<Triple>* rows)>;
+
+  explicit BufferManager(BufferOptions options = {});
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+  ~BufferManager();
+
+  /// Registers a table's page loader; the returned id names the table in
+  /// Pin(). Loaders must be thread-safe (they run outside the pool lock,
+  /// possibly concurrently for different pages).
+  uint32_t RegisterTable(PageLoader loader) AXON_EXCLUDES(mu_);
+
+  /// Pins page `page_no` of table `table_id`, loading (and possibly
+  /// evicting) on a miss. The returned pin keeps the decoded rows alive
+  /// until destroyed. Errors: the loader's status (checksum/decode
+  /// failures, injected page.read faults) or ResourceExhausted when a
+  /// hard-capped pool cannot fit the frame.
+  Result<PinnedPage> Pin(uint32_t table_id, uint32_t page_no)
+      AXON_EXCLUDES(mu_);
+
+  BufferStats stats() const AXON_EXCLUDES(mu_);
+  /// Decoded bytes currently resident (loaded frames, pinned or not).
+  uint64_t resident_bytes() const AXON_EXCLUDES(mu_);
+  /// Frames with at least one pin (for tests and invariant checks).
+  uint64_t pinned_frames() const AXON_EXCLUDES(mu_);
+  /// The pool-level budget: charged() == resident decoded bytes.
+  const MemoryBudget& budget() const { return budget_; }
+  const BufferOptions& options() const { return options_; }
+
+ private:
+  friend class PinnedPage;
+  using Frame = PinnedPage::Frame;
+
+  void Unpin(Frame* frame) AXON_EXCLUDES(mu_);
+  /// Clock sweep: evicts one unpinned loaded frame. False when none is
+  /// evictable (all pinned or loading).
+  bool EvictOneLocked() AXON_REQUIRES(mu_);
+  /// Evicts until `incoming` more bytes fit under the pool target (or
+  /// nothing more is evictable).
+  void EvictForLocked(uint64_t incoming) AXON_REQUIRES(mu_);
+
+  const BufferOptions options_;
+  /// Pool-level accounting: charged on frame load, refunded on eviction.
+  MemoryBudget budget_;
+
+  mutable Mutex mu_;
+  CondVar cv_;  // signaled when a load completes (either way)
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_
+      AXON_GUARDED_BY(mu_);
+  std::vector<uint64_t> clock_keys_ AXON_GUARDED_BY(mu_);
+  size_t clock_hand_ AXON_GUARDED_BY(mu_) = 0;
+  uint64_t resident_bytes_ AXON_GUARDED_BY(mu_) = 0;
+  std::vector<PageLoader> loaders_ AXON_GUARDED_BY(mu_);
+  BufferStats stats_ AXON_GUARDED_BY(mu_);
+};
+
+}  // namespace axon
+
+#endif  // AXON_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,104 @@
+// Page codec: fixed-size compressed leaf pages of triple rows.
+//
+// The paged storage mode (DESIGN.md §14) stores the CS (SPO) and ECS (PSO)
+// tables as a sequence of independently decodable leaf pages instead of one
+// flat row array, in the spirit of RDF-3X's FactsSegment leaves. Rows are
+// delta-encoded against their predecessor with zigzag varints — partitions
+// are sorted, so deltas are small, but partition boundaries can step
+// *backwards*, hence the signed encoding. Every kRestartInterval-th row is
+// a restart point holding absolute component values, so a seek decodes at
+// most kRestartInterval-1 rows instead of the whole page, and a corrupt
+// tail cannot poison earlier runs.
+//
+// Serialized page layout (everything little-endian):
+//
+//   fixed32   checksum — FNV-1a 64 of all following bytes, folded to 32
+//   varint32  num_rows            (> 0; empty pages are never written)
+//   varint32  num_restarts        (== ceil(num_rows / kRestartInterval))
+//   varint32  restart_off[i] - restart_off[i-1]   (payload-relative, i
+//             ascending, restart_off[0] == 0)
+//   payload   per restart run: 3 varint32 absolute components for the
+//             restart row, then 3 zigzag-varint component deltas per row
+//
+// Decoding is strict: every varint is bounds-checked, restart offsets must
+// match the decode cursor exactly, components must fit in 32 bits, and the
+// payload must be consumed exactly — hostile bytes yield Corruption, never
+// undefined behavior (fuzz_page drives this contract).
+
+#ifndef AXON_STORAGE_PAGE_CODEC_H_
+#define AXON_STORAGE_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace axon {
+namespace pagecodec {
+
+/// Rows between restart points. A seek decodes at most this many rows.
+inline constexpr uint32_t kRestartInterval = 16;
+
+/// Default serialized page size target in bytes (a classic 4 KiB leaf).
+inline constexpr uint32_t kDefaultPageBytes = 4096;
+
+/// Smallest page size the builder accepts — below this a single
+/// worst-case row (15 varint bytes) plus the header would not fit.
+inline constexpr uint32_t kMinPageBytes = 64;
+
+/// Incremental encoder for one page. Add rows until TryAdd refuses, then
+/// Finish() the page and keep going with the next row.
+class PageBuilder {
+ public:
+  explicit PageBuilder(uint32_t page_bytes = kDefaultPageBytes);
+
+  /// Appends `t` if the serialized page stays within the size target.
+  /// The first row of a page always fits (oversized targets degrade to
+  /// one-row pages, never to failure). Returns false when full.
+  bool TryAdd(const Triple& t);
+
+  uint32_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Serializes the page (layout above) and resets the builder for the
+  /// next page. Precondition: !empty().
+  std::string Finish();
+
+ private:
+  uint32_t page_bytes_;
+  uint32_t num_rows_ = 0;
+  Triple prev_{};
+  std::string payload_;
+  std::vector<uint32_t> restarts_;      // payload-relative byte offsets
+  uint32_t restart_table_bytes_ = 0;    // encoded size of the offset deltas
+};
+
+/// Parsed page header: validated checksum, row count, restart offsets and
+/// the payload view (pointing into the caller's page bytes).
+struct PageView {
+  uint32_t num_rows = 0;
+  std::vector<uint32_t> restarts;  // payload-relative, restarts[0] == 0
+  std::string_view payload;
+};
+
+/// Verifies the checksum and parses the header. Corruption on any
+/// malformed input. Failpoint site "page.decode": err injects an IOError,
+/// bitflip flips one bit of a copy of the page before verification (the
+/// checksum must reject it — the torn-page / bitrot drill).
+Status ParsePage(std::string_view page, PageView* view);
+
+/// Appends all rows of a parsed page to `out`. Strict: restart offsets
+/// must match the decode cursor and the payload must be consumed exactly.
+Status DecodeRows(const PageView& view, std::vector<Triple>* out);
+
+/// Decodes the single row at `slot` (< num_rows) via its restart run —
+/// at most kRestartInterval rows of work, no allocation.
+Status DecodeRowAt(const PageView& view, uint32_t slot, Triple* out);
+
+}  // namespace pagecodec
+}  // namespace axon
+
+#endif  // AXON_STORAGE_PAGE_CODEC_H_

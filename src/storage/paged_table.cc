@@ -1,0 +1,231 @@
+#include "storage/paged_table.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace axon {
+
+PagedTripleTable PagedTripleTable::Build(std::span<const Triple> rows,
+                                         uint32_t page_bytes) {
+  PagedTripleTable t;
+  t.page_bytes_ = std::max(page_bytes, pagecodec::kMinPageBytes);
+
+  std::vector<std::string> pages;
+  std::vector<uint32_t> rows_per_page;
+  pagecodec::PageBuilder builder(t.page_bytes_);
+  for (const Triple& row : rows) {
+    if (!builder.TryAdd(row)) {
+      rows_per_page.push_back(builder.num_rows());
+      pages.push_back(builder.Finish());
+      builder.TryAdd(row);  // first row of a fresh page always fits
+    }
+  }
+  if (!builder.empty()) {
+    rows_per_page.push_back(builder.num_rows());
+    pages.push_back(builder.Finish());
+  }
+
+  std::string blob;
+  PutVarint64(&blob, rows.size());
+  PutVarint32(&blob, static_cast<uint32_t>(pages.size()));
+  PutVarint32(&blob, t.page_bytes_);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    PutVarint32(&blob, static_cast<uint32_t>(pages[i].size()));
+    PutVarint32(&blob, rows_per_page[i]);
+  }
+  t.pages_base_ = blob.size();
+  for (const std::string& page : pages) blob += page;
+
+  t.owned_ = std::move(blob);
+  t.blob_ = t.owned_;
+  t.num_rows_ = rows.size();
+  t.page_rows_ = std::move(rows_per_page);
+  t.page_off_.reserve(pages.size() + 1);
+  t.first_row_.reserve(pages.size() + 1);
+  uint64_t off = 0;
+  uint64_t row = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    t.page_off_.push_back(off);
+    t.first_row_.push_back(row);
+    off += pages[i].size();
+    row += t.page_rows_[i];
+  }
+  t.page_off_.push_back(off);
+  t.first_row_.push_back(row);
+  return t;
+}
+
+Result<PagedTripleTable> PagedTripleTable::FromSerialized(
+    std::string_view bytes, bool copy) {
+  PagedTripleTable t;
+  if (copy) {
+    t.owned_.assign(bytes.data(), bytes.size());
+    t.blob_ = t.owned_;
+  } else {
+    t.blob_ = bytes;
+  }
+  const char* base = t.blob_.data();
+  const char* p = base;
+  const char* limit = base + t.blob_.size();
+  uint32_t num_pages = 0;
+  p = GetVarint64(p, limit, &t.num_rows_);
+  if (p != nullptr) p = GetVarint32(p, limit, &num_pages);
+  if (p != nullptr) p = GetVarint32(p, limit, &t.page_bytes_);
+  if (p == nullptr) return Status::Corruption("paged table: truncated header");
+  // A non-empty page holds at least one row and an empty table has no
+  // pages, so these bounds block hostile directory sizes before any
+  // allocation happens.
+  if (static_cast<uint64_t>(num_pages) > t.num_rows_ ||
+      (num_pages == 0) != (t.num_rows_ == 0)) {
+    return Status::Corruption("paged table: implausible page count");
+  }
+  t.page_off_.reserve(num_pages + 1);
+  t.page_rows_.reserve(num_pages);
+  t.first_row_.reserve(num_pages + 1);
+  uint64_t off = 0;
+  uint64_t row = 0;
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    uint32_t len = 0;
+    uint32_t rows = 0;
+    p = GetVarint32(p, limit, &len);
+    if (p != nullptr) p = GetVarint32(p, limit, &rows);
+    if (p == nullptr || len == 0 || rows == 0) {
+      return Status::Corruption("paged table: bad directory entry");
+    }
+    t.page_off_.push_back(off);
+    t.first_row_.push_back(row);
+    off += len;
+    row += rows;
+    t.page_rows_.push_back(rows);
+  }
+  t.page_off_.push_back(off);
+  t.first_row_.push_back(row);
+  t.pages_base_ = static_cast<size_t>(p - base);
+  if (row != t.num_rows_) {
+    return Status::Corruption("paged table: directory row count mismatch");
+  }
+  if (off != t.blob_.size() - t.pages_base_) {
+    return Status::Corruption("paged table: page bytes do not match directory");
+  }
+  return t;
+}
+
+void PagedTripleTable::AttachBuffer(std::shared_ptr<BufferManager> buffer) {
+  buffer_ = std::move(buffer);
+  table_id_ = buffer_->RegisterTable(
+      [this](uint32_t page, std::vector<Triple>* rows) {
+        return LoadPage(page, rows);
+      });
+}
+
+uint32_t PagedTripleTable::PageOf(uint64_t row) const {
+  // upper_bound over the cumulative row starts: the last page whose
+  // first_row_ <= row.
+  auto it = std::upper_bound(first_row_.begin(), first_row_.end() - 1, row);
+  return static_cast<uint32_t>(it - first_row_.begin() - 1);
+}
+
+std::string_view PagedTripleTable::PageImage(uint32_t page) const {
+  return blob_.substr(pages_base_ + page_off_[page],
+                      page_off_[page + 1] - page_off_[page]);
+}
+
+Status PagedTripleTable::LoadPage(uint32_t page,
+                                  std::vector<Triple>* rows) const {
+  pagecodec::PageView view;
+  AXON_RETURN_NOT_OK(pagecodec::ParsePage(PageImage(page), &view));
+  if (view.num_rows != page_rows_[page]) {
+    return Status::Corruption("paged table: page row count disagrees with "
+                              "directory");
+  }
+  rows->clear();
+  return pagecodec::DecodeRows(view, rows);
+}
+
+Result<PinnedPage> PagedTripleTable::PinPage(uint32_t page) const {
+  if (buffer_ == nullptr) {
+    return Status::Internal("paged table: no buffer manager attached");
+  }
+  return buffer_->Pin(table_id_, page);
+}
+
+Status PagedTripleTable::RowAt(uint64_t row, Triple* out) const {
+  if (row >= num_rows_) {
+    return Status::OutOfRange("paged table: row index out of range");
+  }
+  const uint32_t page = PageOf(row);
+  pagecodec::PageView view;
+  AXON_RETURN_NOT_OK(pagecodec::ParsePage(PageImage(page), &view));
+  if (view.num_rows != page_rows_[page]) {
+    return Status::Corruption("paged table: page row count disagrees with "
+                              "directory");
+  }
+  return pagecodec::DecodeRowAt(
+      view, static_cast<uint32_t>(row - first_row_[page]), out);
+}
+
+void PagedTripleTable::Scan(
+    const RowRange& range,
+    const std::function<void(std::span<const Triple>, uint64_t)>& fn) const {
+  if (range.empty()) return;
+  if (buffer_ == nullptr) {
+    throw PagedIoError(
+        Status::Internal("paged table: no buffer manager attached"));
+  }
+  for (uint32_t page = PageOf(range.begin);
+       page < num_pages() && first_row_[page] < range.end; ++page) {
+    Result<PinnedPage> pin = buffer_->Pin(table_id_, page);
+    if (!pin.ok()) throw PagedIoError(pin.status());
+    const std::span<const Triple> rows = pin.value().rows();
+    const uint64_t page_first = first_row_[page];
+    const uint64_t lo = std::max(range.begin, page_first);
+    const uint64_t hi = std::min(range.end, page_first + rows.size());
+    fn(rows.subspan(lo - page_first, hi - lo), lo);
+  }
+}
+
+Status PagedTripleTable::ForEachPage(
+    const std::function<void(std::span<const Triple>, uint64_t)>& fn) const {
+  std::vector<Triple> rows;
+  for (uint32_t page = 0; page < num_pages(); ++page) {
+    AXON_RETURN_NOT_OK(LoadPage(page, &rows));
+    fn(std::span<const Triple>(rows), first_row_[page]);
+  }
+  return Status::OK();
+}
+
+RowRange PagedTripleTable::EqualRangeBySubject(const RowRange& within,
+                                               TermId subject) const {
+  auto subject_at = [this](uint64_t row) {
+    Triple t;
+    Status st = RowAt(row, &t);
+    if (!st.ok()) throw PagedIoError(std::move(st));
+    return t.s;
+  };
+  // lower_bound / upper_bound over row indices (rows of `within` are
+  // subject-sorted — a CS partition's (S, P, O) order).
+  uint64_t lo = within.begin;
+  uint64_t hi = within.end;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (subject_at(mid) < subject) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const uint64_t first = lo;
+  hi = within.end;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (subject < subject_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return RowRange{first, lo};
+}
+
+}  // namespace axon

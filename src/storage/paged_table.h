@@ -1,0 +1,209 @@
+// Paged triple tables: a sorted triple table stored as compressed leaf
+// pages (storage/page_codec.h) plus a page directory, decoded on demand
+// through a pin/unpin buffer manager (storage/buffer_manager.h).
+//
+// This is the secondary-storage substrate of DESIGN.md §14: the CS (SPO)
+// and ECS (PSO) tables keep only their *compressed* bytes resident (an
+// owned blob or a borrowed mmapped db-file section); row access pins one
+// page at a time, so the decoded working set is bounded by the buffer
+// manager's frame pool and datasets larger than the pool still load and
+// query. Point lookups (the binary searches behind CsIndex::SubjectRange)
+// decode single rows straight from the compressed bytes via restart
+// points, bypassing the pool entirely.
+//
+// Serialized layout (the "spo_pages"/"pso_pages" db-file sections):
+//
+//   varint64  num_rows
+//   varint32  num_pages
+//   varint32  page_bytes          (builder's size target, for round-trips)
+//   per page: varint32 page_len, varint32 page_rows
+//   pages     concatenated page images (page_codec layout, checksummed)
+//
+// TripleSource unifies the resident and paged read paths behind one
+// chunked-scan interface so executor code branches once per scan, not per
+// row. Paged I/O errors (checksum mismatch, injected faults, frame-pool
+// exhaustion) surface as PagedIoError, caught at the query fault boundary.
+
+#ifndef AXON_STORAGE_PAGED_TABLE_H_
+#define AXON_STORAGE_PAGED_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/page_codec.h"
+#include "storage/triple_table.h"
+
+namespace axon {
+
+/// A paged-storage failure thrown from deep scan code (which returns
+/// tables, not Statuses) and translated back to its Status at the query
+/// fault boundary (Executor::Execute) — the same pattern as
+/// QueryStopError.
+class PagedIoError : public std::runtime_error {
+ public:
+  explicit PagedIoError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// One compressed, paged triple table. Not mutable: built once from a
+/// sorted row array (or parsed from a serialized blob) and read forever.
+/// Thread-safe for concurrent reads after AttachBuffer(). Must not be
+/// moved after AttachBuffer() — the registered page loader captures
+/// `this` (hold it behind a stable pointer, as Database does).
+class PagedTripleTable {
+ public:
+  PagedTripleTable() = default;
+  // Moves must re-point blob_ when it views the owned backing string (a
+  // small-string move relocates the inline bytes).
+  PagedTripleTable(PagedTripleTable&& other) noexcept {
+    *this = std::move(other);
+  }
+  PagedTripleTable& operator=(PagedTripleTable&& other) noexcept {
+    if (this == &other) return *this;
+    const bool self_backed = other.blob_.data() == other.owned_.data();
+    owned_ = std::move(other.owned_);
+    blob_ = self_backed ? std::string_view(owned_) : other.blob_;
+    num_rows_ = other.num_rows_;
+    page_bytes_ = other.page_bytes_;
+    pages_base_ = other.pages_base_;
+    page_off_ = std::move(other.page_off_);
+    page_rows_ = std::move(other.page_rows_);
+    first_row_ = std::move(other.first_row_);
+    buffer_ = std::move(other.buffer_);
+    table_id_ = other.table_id_;
+    return *this;
+  }
+  PagedTripleTable(const PagedTripleTable&) = delete;
+  PagedTripleTable& operator=(const PagedTripleTable&) = delete;
+
+  /// Packs `rows` (already sorted in table order) into pages of at most
+  /// `page_bytes` serialized bytes each. Deterministic: same rows, same
+  /// blob.
+  static PagedTripleTable Build(
+      std::span<const Triple> rows,
+      uint32_t page_bytes = pagecodec::kDefaultPageBytes);
+
+  /// Parses a Build()-serialized blob. With copy=false the table borrows
+  /// `bytes` (mmapped section; caller keeps it alive), otherwise it owns a
+  /// copy. Strict: a malformed directory is Corruption. Page payloads are
+  /// *not* decoded here — their checksums are verified lazily on first
+  /// pin, so opening a database stays O(directory).
+  static Result<PagedTripleTable> FromSerialized(std::string_view bytes,
+                                                 bool copy);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(page_rows_.size()); }
+  uint32_t page_bytes() const { return page_bytes_; }
+  /// The full serialized blob (directory + pages) — what Save() writes.
+  std::string_view serialized() const { return blob_; }
+  /// Compressed footprint in bytes (== serialized().size()).
+  uint64_t CompressedBytes() const { return blob_.size(); }
+
+  /// Registers this table with `buffer` for pinned-page access. Scan() and
+  /// PinPage() require an attached buffer.
+  void AttachBuffer(std::shared_ptr<BufferManager> buffer);
+  bool attached() const { return buffer_ != nullptr; }
+  const BufferManager* buffer() const { return buffer_.get(); }
+
+  /// The page containing `row` (row < num_rows()).
+  uint32_t PageOf(uint64_t row) const;
+  /// Rows [begin, end) stored in `page`.
+  RowRange PageRows(uint32_t page) const {
+    return RowRange{first_row_[page], first_row_[page + 1]};
+  }
+
+  /// Pins page `page` through the attached buffer manager.
+  Result<PinnedPage> PinPage(uint32_t page) const;
+
+  /// Decodes the single row at index `row` straight from the compressed
+  /// bytes (restart-point seek; no buffer, no frame allocation).
+  Status RowAt(uint64_t row, Triple* out) const;
+
+  /// Calls `fn(chunk, first_row)` for each maximal same-page run of rows
+  /// in `range`, pinning one page at a time. Chunks arrive in row order.
+  /// Throws PagedIoError on a load/decode failure.
+  void Scan(const RowRange& range,
+            const std::function<void(std::span<const Triple>, uint64_t)>& fn)
+      const;
+
+  /// Sequentially decodes every page (no buffer needed) — the streaming
+  /// full-table read behind Save()/ExportNTriples/update-store recovery.
+  Status ForEachPage(
+      const std::function<void(std::span<const Triple>, uint64_t)>& fn) const;
+
+  /// Binary-searches the rows of `within` (which must be sorted by
+  /// subject, as CS partitions are) for the subrange with subject ==
+  /// `subject`. Throws PagedIoError on a decode failure.
+  RowRange EqualRangeBySubject(const RowRange& within, TermId subject) const;
+
+ private:
+  /// Serialized bytes of one page image.
+  std::string_view PageImage(uint32_t page) const;
+  /// Buffer-manager loader: parse + strictly decode one page, cross-checked
+  /// against the directory's row count. Failpoint site "page.decode" fires
+  /// inside ParsePage.
+  Status LoadPage(uint32_t page, std::vector<Triple>* rows) const;
+
+  std::string owned_;       // backing bytes when not borrowed
+  std::string_view blob_;   // full blob (== owned_ unless borrowed)
+  uint64_t num_rows_ = 0;
+  uint32_t page_bytes_ = pagecodec::kDefaultPageBytes;
+  size_t pages_base_ = 0;              // blob offset of the first page
+  std::vector<uint64_t> page_off_;     // per page: offset from pages_base_
+  std::vector<uint32_t> page_rows_;    // per page: row count (directory)
+  std::vector<uint64_t> first_row_;    // cumulative rows, num_pages + 1
+  std::shared_ptr<BufferManager> buffer_;
+  uint32_t table_id_ = 0;
+};
+
+/// A read seam over either a resident TripleTable or a PagedTripleTable,
+/// so scan loops are written once. Non-owning; both referents must
+/// outlive the source (executor-call lifetime).
+class TripleSource {
+ public:
+  explicit TripleSource(const TripleTable* resident) : resident_(resident) {}
+  explicit TripleSource(const PagedTripleTable* paged) : paged_(paged) {}
+
+  bool paged() const { return paged_ != nullptr; }
+  uint64_t size() const {
+    return paged_ != nullptr ? paged_->num_rows() : resident_->size();
+  }
+
+  /// Resident fast path: the zero-copy span the existing operators take.
+  /// Precondition: !paged().
+  std::span<const Triple> ResidentSlice(const RowRange& r) const {
+    return resident_->slice(r);
+  }
+
+  /// Chunked scan of `r` in row order: one chunk (the whole slice) when
+  /// resident, one chunk per pinned page when paged.
+  void Scan(const RowRange& r,
+            const std::function<void(std::span<const Triple>, uint64_t)>& fn)
+      const {
+    if (r.empty()) return;
+    if (paged_ != nullptr) {
+      paged_->Scan(r, fn);
+    } else {
+      fn(resident_->slice(r), r.begin);
+    }
+  }
+
+ private:
+  const TripleTable* resident_ = nullptr;
+  const PagedTripleTable* paged_ = nullptr;
+};
+
+}  // namespace axon
+
+#endif  // AXON_STORAGE_PAGED_TABLE_H_

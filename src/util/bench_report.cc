@@ -62,6 +62,7 @@ JsonValue Report::ToJson() const {
     row["seconds"] = r.seconds;
     JsonValue counters = JsonValue::Object();
     counters["pages_read"] = r.pages_read;
+    counters["pages_evicted"] = r.pages_evicted;
     counters["rows_scanned"] = r.rows_scanned;
     counters["intermediate_rows"] = r.intermediate_rows;
     counters["joins"] = r.joins;

@@ -13,8 +13,9 @@
 //     "scale": <AXON_BENCH_SCALE multiplier>,
 //     "build_seconds": {"<engine>": <seconds>, ...},
 //     "rows": [{"section", "query", "engine", "seconds",
-//               "counters": {"pages_read", "rows_scanned",
-//                            "intermediate_rows", "joins"}}, ...],
+//               "counters": {"pages_read", "pages_evicted",
+//                            "rows_scanned", "intermediate_rows",
+//                            "joins"}}, ...],
 //     "metrics": {...},  // registry snapshot, when observability is on
 //     "governor": {...}  // admission/outcome counters, when governed
 //                        // execution ran in this process
@@ -50,6 +51,9 @@ struct ReportRow {
   uint64_t rows_scanned = 0;
   uint64_t intermediate_rows = 0;
   uint64_t joins = 0;
+  // Buffer-manager evictions (nonzero only under paged storage). Kept last:
+  // harness call sites construct rows positionally.
+  uint64_t pages_evicted = 0;
 };
 
 /// Accumulates one bench binary's rows; thread-safe.

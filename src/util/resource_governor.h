@@ -93,8 +93,21 @@ class MemoryBudget {
     }
   }
 
+  /// Returns `bytes` of a previous charge, for *pool-style* budgets whose
+  /// tracked allocations are released and reused (the buffer manager's
+  /// frame pool). charged() then tracks residency, not cumulative traffic.
+  /// A refund re-opens an exceeded budget so the pool can retry after
+  /// evicting. Per-query operator budgets never refund — their sticky
+  /// exceeded flag is what makes one denial kill the whole query.
+  void Refund(uint64_t bytes) {
+    if (bytes == 0) return;
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+    exceeded_.store(false, std::memory_order_relaxed);
+  }
+
   uint64_t limit() const { return limit_; }
-  /// Total bytes of accepted charges (cumulative, never exceeds limit()).
+  /// Total bytes of accepted charges (cumulative, never exceeds limit()),
+  /// minus any refunds (pool-style budgets only).
   uint64_t charged() const { return charged_.load(std::memory_order_relaxed); }
   /// The largest single accepted charge — the "operator-buffer granule" by
   /// which an enforcement race could transiently overshoot.

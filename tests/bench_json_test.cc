@@ -35,6 +35,7 @@ JsonValue GoldenReportJson() {
   row.rows_scanned = 3456;
   row.intermediate_rows = 78;
   row.joins = 2;
+  row.pages_evicted = 5;
   r.AddRow(row);
   ReportRow micro;
   micro.section = "micro";
@@ -83,7 +84,8 @@ TEST(BenchReportTest, ValidateRejectsMalformedReports) {
   EXPECT_FALSE(ValidateBenchReport(bad_row).ok());
 }
 
-JsonValue MakeReport(double seconds, uint64_t pages) {
+JsonValue MakeReport(double seconds, uint64_t pages,
+                     uint64_t evicted = 0) {
   Report r("diff");
   ReportRow row;
   row.section = "fig6";
@@ -91,6 +93,7 @@ JsonValue MakeReport(double seconds, uint64_t pages) {
   row.engine = "axonDB+";
   row.seconds = seconds;
   row.pages_read = pages;
+  row.pages_evicted = evicted;
   r.AddRow(row);
   return r.ToJson();
 }
@@ -121,6 +124,19 @@ TEST(BenchDiffTest, TwentyPercentCounterRegressionIsFlagged) {
   EXPECT_FALSE(diff.value().ok());
   ASSERT_EQ(diff.value().regressions.size(), 1u);
   EXPECT_NE(diff.value().regressions[0].find("pages_read"), std::string::npos);
+}
+
+TEST(BenchDiffTest, EvictionLeakIntoAZeroBaselineIsFlagged) {
+  // Resident-mode baselines carry pages_evicted = 0; any eviction showing
+  // up in the gated configuration is a storage-path change, not noise.
+  BenchDiffOptions opt;
+  auto diff = DiffBenchReports(MakeReport(0.1, 100, 0),
+                               MakeReport(0.1, 100, 1), opt);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_FALSE(diff.value().ok());
+  ASSERT_EQ(diff.value().regressions.size(), 1u);
+  EXPECT_NE(diff.value().regressions[0].find("pages_evicted"),
+            std::string::npos);
 }
 
 TEST(BenchDiffTest, WithinToleranceChangesPass) {

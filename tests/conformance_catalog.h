@@ -1,0 +1,178 @@
+// The shared conformance query catalog: the SP²B workload plus crafted
+// cases pinning each extended-SPARQL construct and its edge cases. Used by
+// conformance_test (cross-engine agreement + goldens) and paged_exec_test
+// (resident-vs-paged differential) so both suites cover exactly the same
+// query surface.
+
+#ifndef AXON_TESTS_CONFORMANCE_CATALOG_H_
+#define AXON_TESTS_CONFORMANCE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/workloads.h"
+
+namespace axon {
+namespace testutil {
+
+struct ConfQuery {
+  std::string name;
+  std::string sparql;
+};
+
+inline std::string S2(const std::string& body) {
+  return
+      "PREFIX bench: <http://localhost/vocabulary/bench/>\n"
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+      "PREFIX dcterms: <http://purl.org/dc/terms/>\n"
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "PREFIX swrc: <http://swrc.ontoware.org/ontology#>\n"
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n" +
+      body;
+}
+
+inline const std::vector<ConfQuery>& ConformanceCatalog() {
+  static const std::vector<ConfQuery>* catalog = [] {
+    auto* qs = new std::vector<ConfQuery>;
+    // The full SP²B workload runs as conformance cases too.
+    for (const WorkloadQuery& wq : Sp2bWorkload().queries) {
+      qs->push_back({"sp2b_" + wq.name, wq.sparql});
+    }
+    auto add = [qs](const char* name, const std::string& body) {
+      qs->push_back({name, S2(body)});
+    };
+    // --- conjunctive baselines (native index paths vs naive) ---
+    add("c01_bgp_star", R"(SELECT ?pub ?title ?year WHERE {
+        ?pub a bench:Article . ?pub dc:title ?title .
+        ?pub dcterms:issued ?year })");
+    add("c02_select_star", R"(SELECT * WHERE {
+        ?j a bench:Journal . ?j dcterms:issued ?year })");
+    add("c03_distinct", R"(SELECT DISTINCT ?person WHERE {
+        ?pub dc:creator ?person })");
+    // --- OPTIONAL ---
+    add("c04_optional_basic", R"(SELECT ?pub ?abs WHERE {
+        ?pub a bench:Article . OPTIONAL { ?pub bench:abstract ?abs } })");
+    add("c05_optional_never_matches", R"(SELECT ?pub ?j WHERE {
+        ?pub a bench:Inproceedings . OPTIONAL { ?pub swrc:journal ?j } })");
+    add("c06_two_optionals", R"(SELECT ?pub ?abs ?see WHERE {
+        ?pub a bench:Article .
+        OPTIONAL { ?pub bench:abstract ?abs }
+        OPTIONAL { ?pub rdfs:seeAlso ?see } })");
+    add("c07_nested_optional", R"(SELECT ?pub ?proc ?ed WHERE {
+        ?pub a bench:Inproceedings .
+        OPTIONAL { ?pub swrc:booktitle ?proc .
+                   OPTIONAL { ?proc swrc:editor ?ed } } })");
+    add("c08_optional_inner_filter", R"(SELECT ?pub ?abs WHERE {
+        ?pub a bench:Article .
+        OPTIONAL { ?pub bench:abstract ?abs . FILTER ( ?abs != "none" ) } })");
+    // --- UNION ---
+    add("c09_union_basic", R"(SELECT ?pub WHERE {
+        { ?pub a bench:Article } UNION { ?pub a bench:Inproceedings } })");
+    add("c10_union_three_branches", R"(SELECT ?x WHERE {
+        { ?x a bench:Journal } UNION { ?x a bench:Proceedings }
+        UNION { ?x a foaf:Person } })");
+    add("c11_union_disjoint_schemas", R"(SELECT ?a ?b WHERE {
+        { ?a swrc:journal ?j } UNION { ?b swrc:booktitle ?p } })");
+    add("c12_union_joined_with_bgp", R"(SELECT ?person ?x WHERE {
+        ?person a foaf:Person .
+        { ?x swrc:editor ?person } UNION { ?x dc:creator ?person } })");
+    // --- FILTER expressions ---
+    add("c13_filter_lt", R"(SELECT ?pub ?year WHERE {
+        ?pub dcterms:issued ?year . FILTER ( ?year < 1991 ) })");
+    add("c14_filter_range_and", R"(SELECT ?pub WHERE {
+        ?pub dcterms:issued ?year .
+        FILTER ( ?year >= 1990 && ?year <= 1991 ) })");
+    add("c15_filter_or", R"(SELECT ?pub ?year WHERE {
+        ?pub a bench:Article . ?pub dcterms:issued ?year .
+        FILTER ( ?year = 1990 || ?year = 1992 ) })");
+    add("c16_filter_ne", R"(SELECT ?pub WHERE {
+        ?pub a bench:Article . ?pub dcterms:issued ?year .
+        FILTER ( ?year != 1991 ) })");
+    add("c17_filter_string_lt", R"(SELECT ?p ?name WHERE {
+        ?p foaf:name ?name . FILTER ( ?name < "Person3" ) })");
+    add("c18_filter_bound", R"(SELECT ?pub WHERE {
+        ?pub a bench:Article . OPTIONAL { ?pub bench:abstract ?abs }
+        FILTER bound(?abs) })");
+    add("c19_filter_not_bound", R"(SELECT ?pub WHERE {
+        ?pub a bench:Article . OPTIONAL { ?pub bench:abstract ?abs }
+        FILTER ( ! bound(?abs) ) })");
+    add("c20_filter_var_var", R"(SELECT ?a ?b WHERE {
+        ?a swrc:pages ?pa . ?b swrc:pages ?pb . FILTER ( ?pa < ?pb ) })");
+    add("c21_filter_error_drops_unbound", R"(SELECT ?pub WHERE {
+        ?pub a bench:Article . OPTIONAL { ?pub rdfs:seeAlso ?see }
+        FILTER ( ?see != ?pub ) })");
+    add("c22_filter_error_or_true", R"(SELECT ?pub ?year WHERE {
+        ?pub dcterms:issued ?year . OPTIONAL { ?pub bench:abstract ?abs }
+        FILTER ( ?abs = "zzz" || ?year > 1989 ) })");
+    add("c23_eq_filter_iri", R"(SELECT ?pub ?j WHERE {
+        ?pub swrc:journal ?j .
+        FILTER ( ?j = <http://localhost/publications/journals/Journal1990-0> )
+        })");
+    add("c44_eq_filter_unknown_term", R"(SELECT ?pub WHERE {
+        ?pub dcterms:issued ?year . FILTER ( ?year = 2050 ) })");
+    add("c45_filter_type_error_all_rows", R"(SELECT ?pub WHERE {
+        ?pub a bench:Article . FILTER ( ?pub > 5 ) })");
+    // --- ORDER BY / OFFSET / LIMIT ---
+    add("c24_order_asc", R"(SELECT ?name WHERE {
+        ?p foaf:name ?name } ORDER BY ?name)");
+    add("c25_order_desc", R"(SELECT ?year ?title WHERE {
+        ?pub a bench:Journal . ?pub dcterms:issued ?year .
+        ?pub dc:title ?title } ORDER BY DESC(?year))");
+    add("c26_order_two_keys", R"(SELECT ?year ?title WHERE {
+        ?pub dc:title ?title . ?pub dcterms:issued ?year }
+        ORDER BY ?year ?title)");
+    add("c27_order_unbound_first", R"(SELECT ?see ?pub WHERE {
+        ?pub a bench:Article . OPTIONAL { ?pub rdfs:seeAlso ?see } }
+        ORDER BY ?see ?pub)");
+    add("c28_order_limit", R"(SELECT ?title WHERE {
+        ?pub dc:title ?title } ORDER BY ?title LIMIT 5)");
+    add("c29_order_offset_limit", R"(SELECT ?title WHERE {
+        ?pub dc:title ?title } ORDER BY ?title OFFSET 3 LIMIT 4)");
+    add("c30_offset_past_end", R"(SELECT ?j WHERE {
+        ?j a bench:Journal } OFFSET 100)");
+    add("c31_limit_zero", R"(SELECT ?j WHERE { ?j a bench:Journal } LIMIT 0)");
+    add("c32_distinct_union", R"(SELECT DISTINCT ?person WHERE {
+        { ?x swrc:editor ?person } UNION { ?x dc:creator ?person } })");
+    // --- aggregation ---
+    add("c33_group_count_star", R"(SELECT ?year (COUNT(*) AS ?n) WHERE {
+        ?pub dcterms:issued ?year } GROUP BY ?year ORDER BY ?year)");
+    add("c34_count_skips_unbound", R"(SELECT ?year (COUNT(?abs) AS ?n) WHERE {
+        ?pub a bench:Article . ?pub dcterms:issued ?year .
+        OPTIONAL { ?pub bench:abstract ?abs } }
+        GROUP BY ?year ORDER BY ?year)");
+    add("c35_count_distinct", R"(SELECT (COUNT(DISTINCT ?person) AS ?n)
+        WHERE { ?pub dc:creator ?person })");
+    add("c36_count_empty_is_zero_row", R"(SELECT (COUNT(?x) AS ?n) WHERE {
+        ?x a bench:Journal . ?x swrc:pages ?p })");
+    add("c37_grouped_empty_no_rows", R"(SELECT ?j (COUNT(*) AS ?n) WHERE {
+        ?j a bench:Journal . ?j swrc:pages ?p } GROUP BY ?j)");
+    add("c38_group_by_no_aggregate", R"(SELECT ?year WHERE {
+        ?pub dcterms:issued ?year } GROUP BY ?year)");
+    add("c39_order_by_aggregate_output",
+        R"(SELECT ?person (COUNT(?pub) AS ?n) WHERE {
+        ?pub dc:creator ?person } GROUP BY ?person ORDER BY ?n ?person)");
+    // --- degenerate group shapes ---
+    add("c40_union_only", R"(SELECT ?x WHERE {
+        { ?x a bench:Journal } UNION { ?x a bench:Proceedings } })");
+    add("c41_optional_only", R"(SELECT ?x WHERE {
+        OPTIONAL { ?x a bench:Journal } })");
+    add("c42_var_predicate", R"(SELECT ?p WHERE {
+        <http://localhost/persons/Person0> ?p ?o })");
+    add("c43_bound_subject_optional", R"(SELECT ?title ?abs WHERE {
+        <http://localhost/publications/articles/Article1990-0-0>
+            dc:title ?title .
+        OPTIONAL { <http://localhost/publications/articles/Article1990-0-0>
+            bench:abstract ?abs } })");
+    add("c46_union_inside_optional", R"(SELECT ?pub ?x WHERE {
+        ?pub a bench:Article .
+        OPTIONAL { { ?pub bench:abstract ?x }
+                   UNION { ?pub rdfs:seeAlso ?x } } })");
+    return qs;
+  }();
+  return *catalog;
+}
+
+}  // namespace testutil
+}  // namespace axon
+
+#endif  // AXON_TESTS_CONFORMANCE_CATALOG_H_

@@ -1,0 +1,341 @@
+// Paging differential suite (DESIGN.md §14): the full conformance catalog
+// runs against a resident database and a paged database built from the
+// same SP²B dataset, with the frame pool sized to ~10% of the decoded data
+// so clock eviction fires mid-query. Results, ExecStats (minus the
+// cache-state-dependent page counters) and budget charge behavior must be
+// bit-identical; cumulative pages_read / pages_evicted must be real and
+// nonzero. A chaos pass arms the page.read / page.decode failpoints
+// (injected I/O error + torn-page bitflip) — every query must return a
+// clean error or the correct answer, never crash, and heal after disarm.
+// The scale smoke (CI job at AXON_SCALE_FACTOR=4, frame pool 25%) reruns
+// the differential on a 4x dataset.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/sp2b_generator.h"
+#include "engine/database.h"
+#include "conformance_catalog.h"
+#include "sparql/parser.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
+
+namespace axon {
+namespace {
+
+using testutil::ConfQuery;
+
+int ScaleFactor() {
+  const char* env = std::getenv("AXON_SCALE_FACTOR");
+  if (env == nullptr) return 1;
+  int f = std::atoi(env);
+  return f >= 1 ? f : 1;
+}
+
+// Dataset + resident reference + paged databases, built once. The frame
+// pool is deliberately tiny relative to the decoded data (10% at scale 1,
+// 25% at AXON_SCALE_FACTOR>=2 — the CI scale-smoke setting) so queries
+// must page.
+class PagedFixture {
+ public:
+  static const PagedFixture& Get() {
+    static const PagedFixture* fx = new PagedFixture();
+    return *fx;
+  }
+
+  const Dataset& data() const { return data_; }
+  const Database& resident() const { return *resident_; }
+  const Database& paged() const { return *paged_; }
+  const Database& paged_parallel() const { return *paged_parallel_; }
+  uint64_t frame_pool_bytes() const { return frame_pool_bytes_; }
+
+ private:
+  PagedFixture() {
+    const int scale = ScaleFactor();
+    Sp2bConfig config;
+    config.num_years = 3;
+    config.journals_per_year = 1;
+    config.articles_per_journal = 4 * scale;
+    config.proceedings_per_year = 1;
+    config.inproceedings_per_proc = 3 * scale;
+    config.num_persons = 12 * scale;
+    config.seed = 42;
+    GenerateSp2b(config, &data_);
+
+    // Decoded footprint of both paged tables (SPO + PSO are each at most
+    // one row per triple); the pool gets a sliver of it.
+    const uint64_t decoded = 2 * data_.triples.size() * sizeof(Triple);
+    frame_pool_bytes_ =
+        std::max<uint64_t>(512, decoded * (scale > 1 ? 25 : 10) / 100);
+
+    EngineOptions serial;
+    serial.parallelism = 1;
+    resident_ = std::make_unique<Database>(
+        std::move(Database::Build(data_, serial)).ValueOrDie());
+
+    EngineOptions paged_opt = serial;
+    paged_opt.use_paged_storage = true;
+    paged_opt.frame_pool_bytes = frame_pool_bytes_;
+    paged_opt.page_size_bytes = 256;  // many pages even at scale 1
+    paged_ = std::make_unique<Database>(
+        std::move(Database::Build(data_, paged_opt)).ValueOrDie());
+
+    EngineOptions paged_par = paged_opt;
+    paged_par.parallelism = 3;
+    paged_parallel_ = std::make_unique<Database>(
+        std::move(Database::Build(data_, paged_par)).ValueOrDie());
+  }
+
+  Dataset data_;
+  uint64_t frame_pool_bytes_ = 0;
+  std::unique_ptr<Database> resident_;
+  std::unique_ptr<Database> paged_;
+  std::unique_ptr<Database> paged_parallel_;
+};
+
+using Rows = std::vector<std::vector<TermId>>;
+
+Rows Sorted(Rows rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Rows SequenceRows(const BindingTable& table,
+                  const std::vector<std::string>& proj) {
+  std::vector<int> cols;
+  cols.reserve(proj.size());
+  for (const std::string& v : proj) cols.push_back(table.ColumnIndex(v));
+  Rows out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<TermId> row;
+    row.reserve(cols.size());
+    for (int c : cols) {
+      row.push_back(c < 0 ? kInvalidId : table.at(r, static_cast<size_t>(c)));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+class PagedDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PagedDifferentialTest, PagedModeIsBitIdenticalToResident) {
+  const ConfQuery& cq = testutil::ConformanceCatalog()[GetParam()];
+  const PagedFixture& fx = PagedFixture::Get();
+  ASSERT_FALSE(fx.resident().is_paged());
+  ASSERT_TRUE(fx.paged().is_paged());
+
+  auto q = ParseSparql(cq.sparql);
+  ASSERT_TRUE(q.ok()) << cq.name << "\n" << q.status().ToString();
+  const std::vector<std::string> proj = q.value().EffectiveProjection();
+
+  auto rr = fx.resident().Execute(q.value());
+  ASSERT_TRUE(rr.ok()) << cq.name << ": " << rr.status().ToString();
+  const Rows expect_seq = SequenceRows(rr.value().table, proj);
+  const ExecStats& rs = rr.value().stats;
+  EXPECT_EQ(rs.pages_evicted, 0u) << "resident mode never evicts";
+
+  for (const Database* db : {&fx.paged(), &fx.paged_parallel()}) {
+    const char* mode = db == &fx.paged() ? "paged" : "paged-parallel";
+    auto pr = db->Execute(q.value());
+    ASSERT_TRUE(pr.ok()) << mode << " failed on " << cq.name << ": "
+                         << pr.status().ToString();
+    // Results are bit-identical — the *sequence* for ordered queries, the
+    // multiset otherwise (parallel partitioning may reorder unsorted
+    // output, exactly as in resident mode).
+    Rows seq = SequenceRows(pr.value().table, proj);
+    if (!q.value().order_by.empty() || db == &fx.paged()) {
+      EXPECT_EQ(seq, expect_seq) << mode << " sequence differs on " << cq.name;
+    } else {
+      EXPECT_EQ(Sorted(seq), Sorted(expect_seq))
+          << mode << " multiset differs on " << cq.name;
+    }
+    // ExecStats agree field by field except the page counters, which in
+    // paged mode report real (cache-state-dependent) buffer traffic. The
+    // comparison is serial-vs-serial: at parallelism > 1 partition counts
+    // legitimately change per-operator tallies like `joins`, exactly as in
+    // resident mode.
+    const ExecStats& ps = pr.value().stats;
+    EXPECT_EQ(ps.degraded_to_baseline, rs.degraded_to_baseline);
+    if (db == &fx.paged()) {
+      EXPECT_EQ(ps.rows_scanned, rs.rows_scanned) << mode << " " << cq.name;
+      EXPECT_EQ(ps.joins, rs.joins) << mode << " " << cq.name;
+      // The chunk-fed scan path must charge the query budget identically
+      // to the resident span path (the chunk-equivalence invariant): same
+      // intermediate rows, same peak bytes.
+      EXPECT_EQ(ps.intermediate_rows, rs.intermediate_rows)
+          << mode << " " << cq.name;
+      EXPECT_EQ(ps.budget_bytes_peak, rs.budget_bytes_peak)
+          << mode << " " << cq.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, PagedDifferentialTest,
+    ::testing::Range(size_t{0}, testutil::ConformanceCatalog().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return testutil::ConformanceCatalog()[info.param].name;
+    });
+
+// The pool is ~10% of the data: after the whole catalog has run, the
+// buffer manager must have actually paged (real counters, not the
+// simulated model), and its accounting invariants must hold.
+TEST(PagedExecTest, EvictionFiredAndAccountingHolds) {
+  const PagedFixture& fx = PagedFixture::Get();
+  // Run a full-scan-ish query to guarantee traffic even if this test runs
+  // before the differential suite.
+  auto r = fx.paged().ExecuteSparql(
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().stats.pages_read, 0u)
+      << "paged mode must report real frame loads";
+
+  const BufferManager* bm = fx.paged().buffer_manager();
+  ASSERT_NE(bm, nullptr);
+  BufferStats s = bm->stats();
+  EXPECT_GT(s.pages_read, 0u);
+  EXPECT_GT(s.pages_evicted, 0u)
+      << "frame pool of " << fx.frame_pool_bytes()
+      << " bytes should be far smaller than the decoded data";
+  EXPECT_EQ(bm->pinned_frames(), 0u) << "no pin may outlive its query";
+  EXPECT_EQ(bm->resident_bytes(), bm->budget().charged())
+      << "pool budget must equal decoded residency";
+}
+
+// A per-query memory budget trips identically in both modes: same outcome,
+// same stop cause. The paged scan path must not dodge or double the
+// charges the resident path records.
+TEST(PagedExecTest, QueryBudgetTripsIdentically) {
+  const PagedFixture& fx = PagedFixture::Get();
+  const std::string sparql =
+      testutil::S2("SELECT ?a ?b WHERE { ?a swrc:pages ?pa . "
+                   "?b swrc:pages ?pb . FILTER ( ?pa < ?pb ) }");
+  auto q = ParseSparql(sparql);
+  ASSERT_TRUE(q.ok());
+
+  auto peek = fx.resident().Execute(q.value());
+  ASSERT_TRUE(peek.ok());
+  const uint64_t peak = peek.value().stats.budget_bytes_peak;
+  ASSERT_GT(peak, 16u) << "need a query that materializes something";
+
+  for (uint64_t limit : {peak, peak / 2}) {
+    QueryContext rctx(0, limit);
+    QueryContext pctx(0, limit);
+    auto rr = fx.resident().Execute(q.value(), &rctx);
+    auto pr = fx.paged().Execute(q.value(), &pctx);
+    ASSERT_EQ(rr.ok(), pr.ok()) << "budget " << limit;
+    if (!rr.ok()) {
+      EXPECT_EQ(rr.status().code(), pr.status().code()) << "budget " << limit;
+    } else {
+      EXPECT_EQ(pr.value().table.num_rows(), rr.value().table.num_rows());
+    }
+  }
+}
+
+// Persistence: a paged database round-trips through Save/Open/OpenMapped
+// (page sections adopted, not rebuilt) and answers like the resident one.
+TEST(PagedExecTest, SaveOpenOpenMappedRoundTrip) {
+  const PagedFixture& fx = PagedFixture::Get();
+  const std::string path = ::testing::TempDir() + "/axon_paged_exec_" +
+                           std::to_string(::getpid()) + ".axdb";
+  ASSERT_TRUE(fx.paged().Save(path).ok());
+
+  EngineOptions opt;
+  opt.parallelism = 1;
+  opt.use_paged_storage = true;
+  opt.frame_pool_bytes = fx.frame_pool_bytes();
+  opt.page_size_bytes = 256;
+
+  const std::string sparql = testutil::S2(
+      "SELECT ?pub ?year WHERE { ?pub dcterms:issued ?year } "
+      "ORDER BY ?year ?pub");
+  auto q = ParseSparql(sparql);
+  ASSERT_TRUE(q.ok());
+  auto expect = fx.resident().Execute(q.value());
+  ASSERT_TRUE(expect.ok());
+  const std::vector<std::string> proj = q.value().EffectiveProjection();
+  const Rows expect_rows = SequenceRows(expect.value().table, proj);
+
+  auto opened = Database::Open(path, opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened.value().is_paged());
+  auto r1 = opened.value().Execute(q.value());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(SequenceRows(r1.value().table, proj), expect_rows);
+
+  auto mapped = Database::OpenMapped(path, opt);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().is_paged());
+  EXPECT_TRUE(mapped.value().is_mapped());
+  auto r2 = mapped.value().Execute(q.value());
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(SequenceRows(r2.value().table, proj), expect_rows);
+
+  std::remove(path.c_str());
+}
+
+// Chaos cycle over the paged read path: with page.read I/O errors and
+// page.decode torn-page bitflips armed, every catalog query either
+// returns the correct answer or a clean non-OK Status — never a crash,
+// never a wrong answer. After disarming, the tables heal (failed frames
+// are tombstones, not cached errors).
+TEST(PagedChaosTest, InjectedPageFaultsSalvageOrError) {
+  if (!failpoint::CompiledIn()) GTEST_SKIP() << "failpoints not compiled in";
+  const PagedFixture& fx = PagedFixture::Get();
+
+  failpoint::SetSeed(20260808);
+  ASSERT_TRUE(failpoint::Arm("page.read", "err@0.2").ok());
+  ASSERT_TRUE(failpoint::Arm("page.decode", "bitflip@0.2").ok());
+
+  uint64_t failures = 0, successes = 0;
+  for (const ConfQuery& cq : testutil::ConformanceCatalog()) {
+    auto q = ParseSparql(cq.sparql);
+    ASSERT_TRUE(q.ok()) << cq.name;
+    const std::vector<std::string> proj = q.value().EffectiveProjection();
+    auto pr = fx.paged().Execute(q.value());
+    if (!pr.ok()) {
+      // A clean error: injected fault or checksum rejection of the
+      // flipped page — both are acceptable salvage outcomes.
+      EXPECT_TRUE(failpoint::IsInjected(pr.status()) ||
+                  pr.status().code() == StatusCode::kCorruption ||
+                  pr.status().code() == StatusCode::kIOError)
+          << cq.name << ": unexpected failure class "
+          << pr.status().ToString();
+      ++failures;
+      continue;
+    }
+    ++successes;
+    // When the query survives the fault storm, the answer must be right.
+    auto rr = fx.resident().Execute(q.value());
+    ASSERT_TRUE(rr.ok());
+    EXPECT_EQ(Sorted(SequenceRows(pr.value().table, proj)),
+              Sorted(SequenceRows(rr.value().table, proj)))
+        << cq.name << ": wrong answer under injected page faults";
+  }
+  EXPECT_GT(failpoint::Hits("page.read") + failpoint::Hits("page.decode"), 0u);
+  EXPECT_GT(failures, 0u) << "fault rate 0.2 should fail some queries";
+  failpoint::DisarmAll();
+
+  // Heal check: with faults gone, the whole catalog is green again.
+  for (const ConfQuery& cq : testutil::ConformanceCatalog()) {
+    auto q = ParseSparql(cq.sparql);
+    ASSERT_TRUE(q.ok());
+    auto pr = fx.paged().Execute(q.value());
+    EXPECT_TRUE(pr.ok()) << cq.name << " did not heal after disarm: "
+                         << pr.status().ToString();
+  }
+  (void)successes;
+}
+
+}  // namespace
+}  // namespace axon
