@@ -1,0 +1,294 @@
+// HTTP front-end benchmark — end-to-end round-trip latency through the
+// hardened SPARQL-over-HTTP server (src/server), the perf gate for the
+// service layer the way bench_sp2b gates the extended query layer.
+//
+// Three sections land in BENCH_server.json:
+//   * "server"            — per-query GET round-trips (TSV), best of N,
+//                           over a live loopback socket: parse + dispatch
+//                           + governed execution + serialization + write
+//                           path, everything a real client pays.
+//   * "server/json"       — the same queries as POST with a JSON Accept,
+//                           gating the other format/method path.
+//   * "server/throughput" — 4 concurrent keep-alive clients hammering the
+//                           mixed workload; the row's `seconds` is mean
+//                           wall time per request, so a lost pipeline or
+//                           an accidental serialization point shows up as
+//                           a latency cliff bench_diff catches.
+//
+// ExecStats counters are not observable across the socket, so rows carry
+// zero counters and the latency tolerance is the whole gate here.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.h"
+#include "datagen/lubm_generator.h"
+#include "server/server.h"
+
+namespace axon {
+namespace bench {
+namespace {
+
+std::string PercentEncode(const std::string& raw) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size() * 3);
+  for (unsigned char c : raw) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+/// Minimal blocking keep-alive HTTP client, just enough framing awareness
+/// (Content-Length / chunked) to know when one response ends so the next
+/// request can be timed on the same connection.
+class BenchClient {
+ public:
+  explicit BenchClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (fd_ >= 0 &&
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  BenchClient(const BenchClient&) = delete;
+  BenchClient& operator=(const BenchClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// One full request/response round-trip. Returns the HTTP status, or -1
+  /// on any transport or framing failure.
+  int RoundTrip(const std::string& request) {
+    if (!SendAll(request)) return -1;
+    // Read status line + headers.
+    size_t hdr_end;
+    while ((hdr_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!ReadMore()) return -1;
+    }
+    std::string head = buf_.substr(0, hdr_end + 4);
+    buf_.erase(0, hdr_end + 4);
+    int status = -1;
+    if (head.size() > 12 && head.compare(0, 5, "HTTP/") == 0) {
+      status = std::atoi(head.c_str() + 9);
+    }
+    // Drain the body so the connection is clean for the next request.
+    size_t clen_pos = head.find("content-length:");
+    if (clen_pos == std::string::npos) clen_pos = head.find("Content-Length:");
+    if (clen_pos != std::string::npos) {
+      size_t len = std::strtoull(head.c_str() + clen_pos + 15, nullptr, 10);
+      while (buf_.size() < len) {
+        if (!ReadMore()) return -1;
+      }
+      buf_.erase(0, len);
+      return status;
+    }
+    if (head.find("chunked") != std::string::npos) {
+      return DrainChunked() ? status : -1;
+    }
+    return status;  // no body (or connection-close framing; bench avoids it)
+  }
+
+ private:
+  bool SendAll(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+  bool ReadMore() {
+    char tmp[16384];
+    ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<size_t>(n));
+    return true;
+  }
+  bool DrainChunked() {
+    for (;;) {
+      size_t eol;
+      while ((eol = buf_.find("\r\n")) == std::string::npos) {
+        if (!ReadMore()) return false;
+      }
+      size_t chunk = std::strtoull(buf_.c_str(), nullptr, 16);
+      buf_.erase(0, eol + 2);
+      while (buf_.size() < chunk + 2) {
+        if (!ReadMore()) return false;
+      }
+      buf_.erase(0, chunk + 2);
+      if (chunk == 0) return true;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string GetRequest(const std::string& sparql) {
+  return "GET /sparql?query=" + PercentEncode(sparql) +
+         " HTTP/1.1\r\nHost: bench\r\n\r\n";
+}
+
+std::string PostRequest(const std::string& sparql, bool json) {
+  std::string req = "POST /sparql HTTP/1.1\r\nHost: bench\r\n"
+                    "Content-Type: application/sparql-query\r\n";
+  if (json) req += "Accept: application/sparql-results+json\r\n";
+  req += "Content-Length: " + std::to_string(sparql.size()) + "\r\n\r\n";
+  req += sparql;
+  return req;
+}
+
+/// Best-of-reps round-trip seconds for one prebuilt request, or -1.
+double TimeRoundTrip(BenchClient& client, const std::string& request,
+                     int reps = 3) {
+  double best = -1.0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    if (client.RoundTrip(request) != 200) return -1.0;
+    double secs = t.Seconds();
+    if (best < 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace axon
+
+int main() {
+  axon::bench::ReportScope bench_report("server");
+  using namespace axon;
+  using namespace axon::bench;
+
+  std::printf("== HTTP front-end: end-to-end round-trip latency ==\n\n");
+  LubmConfig cfg;
+  cfg.num_universities = Scaled(4);
+  Dataset data = GenerateLubmDataset(cfg);
+  auto built = Database::Build(data);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  Database db = std::move(built).ValueOrDie();
+  std::printf("dataset: LUBM-like, %zu triples\n\n", data.triples.size());
+
+  GovernedOptions gov_opts;
+  gov_opts.admission.max_concurrent = 4;
+  GovernedEngine engine(&db, nullptr, gov_opts);
+
+  server::ServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 4;
+  server::SparqlHttpServer server(&engine, &db.dict(), opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  const Workload workload = LubmOriginalWorkload();
+  Report* report = Report::Current();
+
+  // Section 1 + 2: per-query latency, GET/TSV and POST/JSON, on one
+  // keep-alive connection each (connection setup is not the number under
+  // test).
+  std::printf("%-22s%22s%22s\n", "query", "GET tsv (s)", "POST json (s)");
+  BenchClient get_client(server.port());
+  BenchClient post_client(server.port());
+  if (!get_client.ok() || !post_client.ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  for (const WorkloadQuery& wq : workload.queries) {
+    double get_secs = TimeRoundTrip(get_client, GetRequest(wq.sparql));
+    double post_secs =
+        TimeRoundTrip(post_client, PostRequest(wq.sparql, /*json=*/true));
+    if (get_secs < 0 || post_secs < 0) {
+      std::fprintf(stderr, "ERROR non-200 round-trip on %s\n",
+                   wq.name.c_str());
+      continue;
+    }
+    if (report != nullptr) {
+      report->AddRow(ReportRow{"server", wq.name, "http-get-tsv", get_secs,
+                               0, 0, 0, 0, 0});
+      report->AddRow(ReportRow{"server/json", wq.name, "http-post-json",
+                               post_secs, 0, 0, 0, 0, 0});
+    }
+    std::printf("%-22s%22.6f%22.6f\n", wq.name.c_str(), get_secs, post_secs);
+  }
+
+  // Section 3: sustained throughput — 4 keep-alive clients, the mixed
+  // workload round-robin, mean seconds per request.
+  constexpr int kClients = 4;
+  const uint64_t requests_per_client = 32;
+  std::vector<std::string> requests;
+  for (const WorkloadQuery& wq : workload.queries) {
+    requests.push_back(GetRequest(wq.sparql));
+  }
+  std::atomic<uint64_t> failures{0};
+  Timer wall;
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        BenchClient client(server.port());
+        if (!client.ok()) {
+          failures.fetch_add(requests_per_client);
+          return;
+        }
+        for (uint64_t i = 0; i < requests_per_client; ++i) {
+          const std::string& req =
+              requests[(static_cast<uint64_t>(c) + i) % requests.size()];
+          if (client.RoundTrip(req) != 200) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  double total_secs = wall.Seconds();
+  const uint64_t total = kClients * requests_per_client;
+  double per_request = total_secs / static_cast<double>(total);
+  std::printf(
+      "\nthroughput: %llu requests over %d clients in %.3fs "
+      "(%.0f req/s, %llu failures)\n",
+      static_cast<unsigned long long>(total), kClients, total_secs,
+      total / total_secs, static_cast<unsigned long long>(failures.load()));
+  if (report != nullptr) {
+    report->AddRow(ReportRow{"server/throughput", "mixed_keepalive",
+                             "http-get-tsv", per_request, 0, 0, 0, 0, 0});
+  }
+
+  server.Shutdown();
+  const server::ServerStats& stats = server.stats();
+  std::printf(
+      "server: %llu accepted, %llu requests, %llu ok, %llu client-error\n",
+      static_cast<unsigned long long>(stats.accepted.load()),
+      static_cast<unsigned long long>(stats.requests_received.load()),
+      static_cast<unsigned long long>(stats.responses_ok.load()),
+      static_cast<unsigned long long>(stats.responses_client_error.load()));
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -39,7 +39,9 @@ void PrintHelp() {
       ".insert <triple> . | .delete <triple> . | .stats | .estimate |\n"
       ".paged on [pool-kb]|off | .save <file.axdb> | .export <file.nt> |\n"
       ".quit\n"
-      "anything else: SPARQL, terminated by a line ending in ';'\n");
+      "anything else: SPARQL, terminated by a line ending in ';'\n"
+      ".server: to serve queries over HTTP, use the axon_httpd binary\n"
+      "  (axon_httpd --db store.axdb --port 8080; see README quickstart)\n");
 }
 
 void PrintStats(UpdatableDatabase& db) {
@@ -71,12 +73,16 @@ void PrintStats(UpdatableDatabase& db) {
   }
 }
 
-void RunQuery(UpdatableDatabase& db, const std::string& text,
+// Returns false on any query failure. Diagnostics go to stderr so piped /
+// scripted use can separate results from errors, and the caller turns a
+// failure into a non-zero exit code — a query that dies mid-stream must
+// not look like success to a shell pipeline.
+bool RunQuery(UpdatableDatabase& db, const std::string& text,
               bool print_estimates) {
   auto q = ParseSparql(text);
   if (!q.ok()) {
-    std::printf("parse error: %s\n", q.status().ToString().c_str());
-    return;
+    std::fprintf(stderr, "parse error: %s\n", q.status().ToString().c_str());
+    return false;
   }
   if (print_estimates) {
     auto snap = db.Snapshot();
@@ -89,13 +95,14 @@ void RunQuery(UpdatableDatabase& db, const std::string& text,
   }
   auto r = db.Execute(q.value());
   if (!r.ok()) {
-    std::printf("error: %s\n", r.status().ToString().c_str());
-    return;
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    return false;
   }
   auto rows = db.Render(r.value().table);
   if (!rows.ok()) {
-    std::printf("render error: %s\n", rows.status().ToString().c_str());
-    return;
+    std::fprintf(stderr, "render error: %s\n",
+                 rows.status().ToString().c_str());
+    return false;
   }
   // Header.
   for (const std::string& v : r.value().table.vars()) {
@@ -120,6 +127,7 @@ void RunQuery(UpdatableDatabase& db, const std::string& text,
               static_cast<unsigned long long>(r.value().stats.joins),
               static_cast<unsigned long long>(r.value().stats.pages_read),
               static_cast<unsigned long long>(r.value().stats.pages_evicted));
+  return true;
 }
 
 bool HandleCommand(UpdatableDatabase& db, const std::string& line,
@@ -130,6 +138,11 @@ bool HandleCommand(UpdatableDatabase& db, const std::string& line,
   if (cmd == ".quit" || cmd == ".exit") return false;
   if (cmd == ".help") {
     PrintHelp();
+  } else if (cmd == ".server") {
+    std::printf(
+        "this shell is single-user; to serve SPARQL over HTTP use\n"
+        "  axon_httpd --db store.axdb --port 8080\n"
+        "(.save the database first; see the README quickstart)\n");
   } else if (cmd == ".stats") {
     PrintStats(db);
   } else if (cmd == ".estimate") {
@@ -252,6 +265,7 @@ int main() {
   std::printf("axon_shell — ECS-indexed RDF store. .help for commands.\n");
   std::string line;
   std::string query_buffer;
+  bool any_query_failed = false;
   while (true) {
     std::printf(query_buffer.empty() ? "axon> " : "  ... ");
     std::fflush(stdout);
@@ -267,9 +281,13 @@ int main() {
       // Strip the terminator and run.
       size_t pos = query_buffer.rfind(';');
       query_buffer.erase(pos);
-      RunQuery(db, query_buffer, print_estimates);
+      if (!RunQuery(db, query_buffer, print_estimates)) {
+        any_query_failed = true;
+      }
       query_buffer.clear();
     }
   }
-  return 0;
+  // Scripted runs (queries piped on stdin) must see failures in the exit
+  // code, not only in interleaved output.
+  return any_query_failed ? 1 : 0;
 }

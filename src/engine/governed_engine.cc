@@ -35,13 +35,18 @@ Result<QueryResult> GovernedEngine::Execute(const SelectQuery& query,
 }
 
 Result<QueryResult> GovernedEngine::ExecuteCancellable(
-    const SelectQuery& query, const CancellationToken* cancel) const {
-  return Run(query, cancel);
+    const SelectQuery& query, const CancellationToken* cancel,
+    uint64_t timeout_millis_override) const {
+  return Run(query, cancel, timeout_millis_override);
 }
 
 Result<QueryResult> GovernedEngine::Run(
-    const SelectQuery& query, const CancellationToken* cancel) const {
+    const SelectQuery& query, const CancellationToken* cancel,
+    uint64_t timeout_millis_override) const {
   AXON_SPAN("query.execute_governed");
+  const uint64_t timeout_millis = timeout_millis_override != 0
+                                      ? timeout_millis_override
+                                      : options_.timeout_millis;
   Status admitted = governor_.Admit();
   if (!admitted.ok()) return admitted;  // shed: no slot held
 
@@ -57,8 +62,7 @@ Result<QueryResult> GovernedEngine::Run(
     return Status::Cancelled("query cancelled by caller");
   }
 
-  QueryContext ctx(options_.timeout_millis, options_.memory_budget_bytes,
-                   cancel);
+  QueryContext ctx(timeout_millis, options_.memory_budget_bytes, cancel);
   Result<QueryResult> primary = primary_->Execute(query, &ctx);
   if (primary.ok()) {
     governor_.RecordOutcome(QueryOutcome::kCompleted);
@@ -85,7 +89,7 @@ Result<QueryResult> GovernedEngine::Run(
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
     if (cancel != nullptr && cancel->cancelled()) break;
-    QueryContext fb_ctx(options_.timeout_millis,
+    QueryContext fb_ctx(timeout_millis,
                         options_.fallback_memory_budget_bytes, cancel);
     Result<QueryResult> fb = fallback_->Execute(query, &fb_ctx);
     if (fb.ok()) {

@@ -70,16 +70,20 @@ class GovernedEngine : public QueryEngine {
 
   /// Execute with a caller-held cancel token: Cancel() stops the query at
   /// the next leaf-granularity check (even while it waits in the admission
-  /// queue, the pre-run check sees it).
-  Result<QueryResult> ExecuteCancellable(const SelectQuery& query,
-                                         const CancellationToken* cancel) const;
+  /// queue, the pre-run check sees it). `timeout_millis_override` != 0
+  /// replaces options().timeout_millis for this call only — the HTTP
+  /// front-end maps a per-request deadline through it.
+  Result<QueryResult> ExecuteCancellable(
+      const SelectQuery& query, const CancellationToken* cancel,
+      uint64_t timeout_millis_override = 0) const;
 
   ResourceGovernor& governor() const { return governor_; }
   const GovernedOptions& options() const { return options_; }
 
  private:
   Result<QueryResult> Run(const SelectQuery& query,
-                          const CancellationToken* cancel) const;
+                          const CancellationToken* cancel,
+                          uint64_t timeout_millis_override = 0) const;
 
   const QueryEngine* primary_;
   const QueryEngine* fallback_;  // may be null

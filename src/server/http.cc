@@ -1,0 +1,358 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace axon {
+namespace http {
+
+namespace {
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters (enough for methods and header names).
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Case-insensitive ASCII comparison for header values like "Keep-Alive".
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PercentDecode(std::string_view in, std::string* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '+') {
+      out->push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;  // truncated escape
+      int hi = HexVal(in[i + 1]);
+      int lo = HexVal(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+const std::string* Request::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool Request::QueryParam(std::string_view name, std::string* out) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    size_t amp = rest.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    size_t eq = pair.find('=');
+    std::string_view key = eq == std::string_view::npos ? pair
+                                                        : pair.substr(0, eq);
+    if (key != name) continue;
+    std::string_view raw =
+        eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1);
+    return PercentDecode(raw, out);
+  }
+  return false;
+}
+
+ParseResult RequestParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return ParseResult::kError;
+}
+
+bool RequestParser::FinishRequestLine(std::string_view line) {
+  // METHOD SP request-target SP HTTP-version
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  for (char c : method) {
+    if (!IsTokenChar(c)) return false;
+  }
+  if (target.empty() || target.front() != '/') return false;
+  for (char c : target) {
+    if (static_cast<unsigned char>(c) <= ' ' ||
+        static_cast<unsigned char>(c) == 0x7f) {
+      return false;
+    }
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    // Syntactically a version? Then it's a version we don't speak.
+    if (version.rfind("HTTP/", 0) == 0) {
+      error_status_ = 505;
+      error_reason_ = "only HTTP/1.0 and HTTP/1.1 are supported";
+      return false;
+    }
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  request_.http11 = version == "HTTP/1.1";
+  request_.keep_alive = request_.http11;  // 1.0 defaults to close
+  size_t qmark = target.find('?');
+  request_.path = std::string(target.substr(0, qmark));
+  request_.query = qmark == std::string_view::npos
+                       ? std::string()
+                       : std::string(target.substr(qmark + 1));
+  return true;
+}
+
+bool RequestParser::FinishHeaderLine(std::string_view line) {
+  // "Name: value" — obsolete line folding (leading whitespace) rejected.
+  if (line.front() == ' ' || line.front() == '\t') return false;
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view name = line.substr(0, colon);
+  for (char c : name) {
+    if (!IsTokenChar(c)) return false;
+  }
+  request_.headers.emplace_back(ToLower(name),
+                                std::string(Trim(line.substr(colon + 1))));
+  return true;
+}
+
+bool RequestParser::FinishHeaders() {
+  if (const std::string* conn = request_.FindHeader("connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) request_.keep_alive = false;
+    if (EqualsIgnoreCase(*conn, "keep-alive")) request_.keep_alive = true;
+  }
+  request_.content_length = 0;
+  if (const std::string* cl = request_.FindHeader("content-length")) {
+    if (cl->empty() || cl->size() > 18) return false;
+    uint64_t n = 0;
+    for (char c : *cl) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    request_.content_length = n;
+  }
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    // Inbound chunked bodies are out of scope; reject rather than desync.
+    error_status_ = 411;
+    error_reason_ = "chunked request bodies are not supported";
+    return false;
+  }
+  return true;
+}
+
+ParseResult RequestParser::Feed(std::string_view in, size_t* consumed) {
+  *consumed = 0;
+  if (state_ == State::kError) return ParseResult::kError;
+  if (state_ == State::kDone) return ParseResult::kDone;
+
+  while (*consumed < in.size() || state_ == State::kBody) {
+    if (state_ == State::kBody) {
+      if (request_.content_length > limits_.max_body_bytes) {
+        return Fail(413, "request body exceeds " +
+                             std::to_string(limits_.max_body_bytes) +
+                             " bytes");
+      }
+      size_t want = static_cast<size_t>(request_.content_length) -
+                    request_.body.size();
+      size_t take = std::min(want, in.size() - *consumed);
+      request_.body.append(in.substr(*consumed, take));
+      *consumed += take;
+      if (request_.body.size() == request_.content_length) {
+        state_ = State::kDone;
+        return ParseResult::kDone;
+      }
+      return ParseResult::kNeedMore;
+    }
+
+    // Accumulate one line (up to '\n'; tolerant of a missing '\r').
+    size_t nl = in.find('\n', *consumed);
+    size_t take = (nl == std::string_view::npos ? in.size() : nl + 1) -
+                  *consumed;
+    const uint64_t line_cap = state_ == State::kRequestLine
+                                  ? limits_.max_request_line_bytes
+                                  : limits_.max_header_bytes;
+    if (line_.size() + take > line_cap ||
+        (state_ == State::kHeaders &&
+         header_bytes_ + line_.size() + take > limits_.max_header_bytes)) {
+      return state_ == State::kRequestLine
+                 ? Fail(414, "request line exceeds " +
+                                 std::to_string(line_cap) + " bytes")
+                 : Fail(431, "header section exceeds " +
+                                 std::to_string(limits_.max_header_bytes) +
+                                 " bytes");
+    }
+    line_.append(in.substr(*consumed, take));
+    *consumed += take;
+    if (nl == std::string_view::npos) return ParseResult::kNeedMore;
+
+    // Strip the terminator.
+    line_.pop_back();
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+
+    if (state_ == State::kRequestLine) {
+      if (line_.empty()) {
+        // Tolerate stray CRLFs before the request line (RFC 7230
+        // robustness); the server's read-buffer cap bounds the abuse.
+        continue;
+      }
+      error_status_ = 0;
+      if (!FinishRequestLine(line_)) {
+        if (error_status_ != 0) {
+          return Fail(error_status_, std::move(error_reason_));
+        }
+        return Fail(400, "malformed request line: " + line_);
+      }
+      line_.clear();
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      header_bytes_ += line_.size() + 2;
+      if (line_.empty()) {
+        error_status_ = 0;
+        if (!FinishHeaders()) {
+          if (error_status_ != 0) {
+            return Fail(error_status_, std::move(error_reason_));
+          }
+          return Fail(400, "malformed Content-Length header");
+        }
+        if (request_.content_length > 0) {
+          state_ = State::kBody;
+          continue;
+        }
+        state_ = State::kDone;
+        return ParseResult::kDone;
+      }
+      if (request_.headers.size() >= limits_.max_headers) {
+        return Fail(431, "more than " + std::to_string(limits_.max_headers) +
+                             " headers");
+      }
+      if (!FinishHeaderLine(line_)) {
+        return Fail(400, "malformed header line: " + line_);
+      }
+      line_.clear();
+    }
+  }
+  return ParseResult::kNeedMore;
+}
+
+void RequestParser::Reset() {
+  state_ = State::kRequestLine;
+  line_.clear();
+  header_bytes_ = 0;
+  request_ = Request{};
+  error_status_ = 0;
+  error_reason_.clear();
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 415: return "Unsupported Media Type";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string ChunkBody(std::string_view body, size_t chunk_bytes) {
+  if (chunk_bytes == 0) chunk_bytes = body.size() + 1;
+  std::string out;
+  out.reserve(body.size() + 64);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t n = std::min(chunk_bytes, body.size() - pos);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%zx\r\n", n);
+    out += hex;
+    out.append(body.substr(pos, n));
+    out += "\r\n";
+    pos += n;
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(StatusReason(response.status)) + "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  if (response.close) out += "Connection: close\r\n";
+  if (response.chunked) {
+    out += "Transfer-Encoding: chunked\r\n\r\n";
+    out += ChunkBody(response.body, 16 * 1024);
+  } else {
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n\r\n";
+    out += response.body;
+  }
+  return out;
+}
+
+}  // namespace http
+}  // namespace axon

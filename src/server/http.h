@@ -1,0 +1,133 @@
+// Minimal, hostile-input-hardened HTTP/1.1 subset for the SPARQL endpoint.
+//
+// The surface is deliberately narrow — exactly what the SPARQL protocol
+// needs over a trusted-ish network edge: GET with a percent-encoded
+// `?query=` target, POST with an `application/sparql-query` body, named
+// headers, keep-alive and pipelining, Content-Length bodies (no inbound
+// chunked decoding — request bodies are bounded and buffered), and
+// chunked or Content-Length response framing. Everything else is rejected
+// with a precise status code, never undefined behavior: the parser is
+// incremental (feed it bytes as they arrive), enforces hard limits on
+// request-line/header/body sizes at every state, and is fuzzed
+// (fuzz/fuzz_http.cc) plus pinned by a hostile-input table in
+// tests/server_http_test.cc.
+//
+// Error philosophy: a malformed request yields (status, reason) for a
+// final response; the connection always closes after an error response so
+// framing desync can never poison a pipelined successor.
+
+#ifndef AXON_SERVER_HTTP_H_
+#define AXON_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace axon {
+namespace http {
+
+/// Decodes %XX escapes (and '+' as space, per form-urlencoded query
+/// strings). Returns false on a truncated or non-hex escape.
+bool PercentDecode(std::string_view in, std::string* out);
+
+/// One parsed request. Header names are lower-cased at parse time; values
+/// keep their bytes (trimmed of surrounding whitespace).
+struct Request {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // raw request target ("/sparql?query=...")
+  std::string path;     // target up to '?' (undecoded)
+  std::string query;    // target after '?' (undecoded, may be empty)
+  bool http11 = true;   // false = HTTP/1.0
+  bool keep_alive = true;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  uint64_t content_length = 0;
+
+  /// First header with this (lower-case) name, or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// Percent-decoded value of `name` in the query string, or empty+false.
+  bool QueryParam(std::string_view name, std::string* out) const;
+};
+
+/// Parser limits; exceeding one maps to a specific 4xx.
+struct ParserLimits {
+  uint64_t max_request_line_bytes = 8192;   // 414 URI Too Long
+  uint64_t max_header_bytes = 16384;        // 431 Header Fields Too Large
+  uint32_t max_headers = 64;                // 431
+  uint64_t max_body_bytes = 1 << 20;        // 413 Payload Too Large
+};
+
+enum class ParseResult {
+  kNeedMore,  // consumed everything offered; feed more bytes
+  kDone,      // one complete request parsed; more bytes may remain
+  kError,     // protocol violation; error_status()/error_reason() set
+};
+
+/// Incremental request parser. Feed() consumes from the front of `in` and
+/// reports how many bytes it took; after kDone, Reset() rearms it for the
+/// next pipelined request. After kError the parser stays in the error
+/// state until Reset().
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  ParseResult Feed(std::string_view in, size_t* consumed);
+
+  const Request& request() const { return request_; }
+  Request& mutable_request() { return request_; }
+
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// True once any bytes of the current request have been consumed (a
+  /// reaper uses this to distinguish idle from mid-request timeouts).
+  bool mid_request() const { return state_ != State::kRequestLine ||
+                                    !line_.empty(); }
+
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kDone, kError };
+
+  ParseResult Fail(int status, std::string reason);
+  bool FinishRequestLine(std::string_view line);
+  bool FinishHeaderLine(std::string_view line);
+  bool FinishHeaders();
+
+  ParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string line_;          // partial line being accumulated
+  uint64_t header_bytes_ = 0; // running header-section size
+  Request request_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// One outgoing response. Body framing: `chunked` uses Transfer-Encoding:
+/// chunked (HTTP/1.1 only); otherwise Content-Length.
+struct Response {
+  int status = 200;
+  std::string content_type;  // empty = no body headers
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool chunked = false;
+  bool close = false;  // emit "Connection: close"
+};
+
+/// Canonical reason phrase for the status codes this server emits.
+std::string_view StatusReason(int status);
+
+/// Serializes status line + headers + framed body into wire bytes.
+std::string SerializeResponse(const Response& response);
+
+/// Splits `body` into `chunk_bytes`-sized chunked-coding frames plus the
+/// terminal 0-chunk (exposed for tests; SerializeResponse uses it).
+std::string ChunkBody(std::string_view body, size_t chunk_bytes);
+
+}  // namespace http
+}  // namespace axon
+
+#endif  // AXON_SERVER_HTTP_H_

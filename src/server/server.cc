@@ -1,0 +1,740 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "server/socket.h"
+#include "sparql/parser.h"
+#include "sparql/results_io.h"
+
+namespace axon {
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point After(uint64_t millis) {
+  return Clock::now() + std::chrono::milliseconds(millis);
+}
+
+// Retry-After carries whole seconds; round the millisecond hint up so a
+// compliant client never retries before the hinted instant.
+uint64_t RetryAfterSeconds(uint64_t millis) {
+  return std::max<uint64_t>(1, (millis + 999) / 1000);
+}
+
+}  // namespace
+
+/// All fields owned by the loop thread. A connection is in exactly one of
+/// the states the deadlines encode: idle / mid-request (reading),
+/// executing (a worker owns the request), or flushing (outbuf pending).
+struct SparqlHttpServer::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+
+  http::RequestParser parser;
+  std::string inbuf;  // bytes received but not yet fed to the parser
+
+  std::string outbuf;  // serialized response bytes not yet written
+  size_t out_off = 0;
+  bool close_after_flush = false;
+
+  bool executing = false;
+  std::shared_ptr<CancellationToken> token;  // set while executing
+
+  Clock::time_point read_deadline;
+  Clock::time_point write_deadline;  // meaningful while outbuf pending
+  Clock::time_point exec_backstop;   // meaningful while executing
+  bool backstop_fired = false;
+
+  size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+SparqlHttpServer::SparqlHttpServer(const GovernedEngine* engine,
+                                   const Dictionary* dict,
+                                   ServerOptions options)
+    : engine_(engine), dict_(dict), options_(std::move(options)) {}
+
+SparqlHttpServer::~SparqlHttpServer() { Shutdown(); }
+
+Status SparqlHttpServer::Start() {
+  {
+    MutexLock lock(&mu_);
+    if (started_) return Status::Internal("server already started");
+    started_ = true;
+    draining_ = false;
+  }
+  AXON_ASSIGN_OR_RETURN(listen_fd_,
+                        net::ListenTcp(options_.host, options_.port, 128));
+  auto port = net::LocalPort(listen_fd_);
+  if (!port.ok()) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = port.value();
+  if (::pipe(wake_fds_) != 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("pipe() failed");
+  }
+  // Both ends nonblocking: the loop drains the read end until EAGAIN, and
+  // Wake() must never stall a worker if the pipe is full.
+  for (int fd : wake_fds_) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<uint32_t>(1, options_.num_workers));
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  return Status::OK();
+}
+
+void SparqlHttpServer::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    if (!started_) return;
+    draining_ = true;
+  }
+  Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop exited with jobs_in_flight_ == 0, so the pool queue is empty;
+  // destroying it only joins idle workers.
+  pool_.reset();
+  if (wake_fds_[0] >= 0) {
+    ::close(wake_fds_[0]);
+    ::close(wake_fds_[1]);
+    wake_fds_[0] = wake_fds_[1] = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  MutexLock lock(&mu_);
+  started_ = false;
+}
+
+void SparqlHttpServer::Wake() {
+  if (wake_fds_[1] < 0) return;
+  char b = 0;
+  // A full pipe already guarantees a pending wakeup; the byte can drop.
+  [[maybe_unused]] ssize_t ignored = ::write(wake_fds_[1], &b, 1);
+}
+
+int SparqlHttpServer::NextTimeoutMillis() const {
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const auto& [id, conn] : conns_) {
+    if (conn->executing) {
+      if (!conn->backstop_fired) {
+        earliest = std::min(earliest, conn->exec_backstop);
+      }
+    } else if (conn->pending_out() > 0) {
+      earliest = std::min(earliest, conn->write_deadline);
+    } else {
+      earliest = std::min(earliest, conn->read_deadline);
+    }
+  }
+  if (earliest == Clock::time_point::max()) return 500;
+  auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   earliest - Clock::now())
+                   .count();
+  return static_cast<int>(std::clamp<long long>(delta, 10, 500));
+}
+
+void SparqlHttpServer::LoopMain() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // conn id per pollfd (0 = listener/wake)
+  bool drain_seen = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    bool draining;
+    {
+      MutexLock lock(&mu_);
+      draining = draining_;
+    }
+    if (draining && !drain_seen) {
+      drain_seen = true;
+      drain_deadline = After(options_.drain_timeout_millis);
+      if (listen_fd_ >= 0) {
+        net::CloseFd(listen_fd_);
+        listen_fd_ = -1;
+      }
+    }
+    if (drain_seen) {
+      // Close everything with no response in flight; past the drain
+      // deadline, cancel in-flight queries and drop undrained writers.
+      std::vector<uint64_t> doomed;
+      const bool expired = Clock::now() >= drain_deadline;
+      for (auto& [id, conn] : conns_) {
+        if (conn->executing) {
+          if (expired && conn->token != nullptr) conn->token->Cancel();
+          continue;
+        }
+        if (conn->pending_out() > 0 && !expired) continue;
+        doomed.push_back(id);
+      }
+      for (uint64_t id : doomed) CloseConnection(id);
+      if (conns_.empty() && jobs_in_flight_ == 0) break;
+    }
+
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    fd_conn.push_back(0);
+    // Polled even at the connection cap: DoAccept sheds over-cap arrivals
+    // with an immediate close, which beats leaving them to rot (and time
+    // out client-side) in the listen backlog.
+    if (listen_fd_ >= 0) {
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (conn->pending_out() > 0) {
+        events |= POLLOUT;  // flushing: no reads until drained
+      } else if (conn->inbuf.size() < options_.max_pipeline_buffer_bytes) {
+        // Reading — also while executing, to catch disconnects and park
+        // pipelined bytes. Note POLLIN also reports EOF.
+        events |= POLLIN;
+      }
+      if (events == 0) continue;  // fully backpressured
+      fds.push_back(pollfd{conn->fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    ::poll(fds.data(), fds.size(), NextTimeoutMillis());
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Completions first: they free write capacity and governor slots.
+    for (;;) {
+      Completion done;
+      {
+        MutexLock lock(&mu_);
+        if (completions_.empty()) break;
+        done = std::move(completions_.front());
+        completions_.pop_front();
+      }
+      HandleCompletion(std::move(done));
+    }
+
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == listen_fd_) {
+        DoAccept();
+        continue;
+      }
+      auto it = conns_.find(fd_conn[i]);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      Connection* conn = it->second.get();
+      if (fds[i].revents & (POLLERR | POLLNVAL)) {
+        if (conn->executing && conn->token != nullptr) {
+          conn->token->Cancel();
+          stats_.cancels_disconnect.fetch_add(1, std::memory_order_relaxed);
+        }
+        CloseConnection(conn->id);
+        continue;
+      }
+      if (fds[i].revents & POLLOUT) {
+        FlushWrites(conn);
+        it = conns_.find(fd_conn[i]);
+        if (it == conns_.end()) continue;
+        // A drained response may unblock a parked pipelined request.
+        AdvanceParser(it->second.get());
+        it = conns_.find(fd_conn[i]);
+        if (it == conns_.end()) continue;
+        conn = it->second.get();
+      }
+      if (fds[i].revents & (POLLIN | POLLHUP)) HandleReadable(conn);
+    }
+
+    CheckDeadlines();
+  }
+
+  // Loop exit: every connection closed, every job accounted.
+  for (auto& [id, conn] : conns_) {
+    net::CloseFd(conn->fd);
+    stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void SparqlHttpServer::DoAccept() {
+  // Accept in a burst until the listener runs dry or the table fills.
+  for (;;) {
+    if (conns_.size() >= options_.max_connections) {
+      // Over capacity: take and drop the next pending connection so the
+      // backlog does not hold dead sockets (counted, never served).
+      auto fd = net::AcceptConn(listen_fd_, 0);
+      if (fd.ok() && fd.value() >= 0) {
+        net::CloseFd(fd.value());
+        stats_.conns_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    auto fd = net::AcceptConn(listen_fd_, options_.send_buffer_bytes);
+    if (!fd.ok()) {
+      // Transient accept failure (EMFILE or an armed sock.accept): count
+      // and keep serving existing connections.
+      stats_.accept_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (fd.value() < 0) return;  // backlog drained
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd.value();
+    conn->id = next_conn_id_++;
+    conn->parser = http::RequestParser(options_.limits);
+    conn->read_deadline = After(options_.idle_timeout_millis);
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    uint64_t id = conn->id;
+    conns_.emplace(id, std::move(conn));
+  }
+}
+
+void SparqlHttpServer::HandleReadable(Connection* conn) {
+  // Bounded burst per readiness event so one firehose client cannot
+  // starve the loop; level-triggered poll re-reports leftovers.
+  constexpr size_t kReadChunk = 16 * 1024;
+  constexpr size_t kMaxPerEvent = 4 * kReadChunk;
+  size_t taken = 0;
+  bool eof = false, error = false;
+  char buf[kReadChunk];
+  while (taken < kMaxPerEvent &&
+         conn->inbuf.size() < options_.max_pipeline_buffer_bytes) {
+    net::IoResult r = net::ReadSome(conn->fd, buf, sizeof(buf));
+    if (r.kind == net::IoResult::Kind::kOk) {
+      conn->inbuf.append(buf, r.bytes);
+      taken += r.bytes;
+      continue;
+    }
+    if (r.kind == net::IoResult::Kind::kWouldBlock) break;
+    if (r.kind == net::IoResult::Kind::kEof) eof = true;
+    if (r.kind == net::IoResult::Kind::kError) error = true;
+    break;
+  }
+
+  if (eof || error) {
+    if (conn->executing) {
+      // Disconnect mid-execution: cancel the query and reclaim the
+      // connection now; the worker's completion is dropped (abandoned).
+      if (conn->token != nullptr) {
+        conn->token->Cancel();
+        stats_.cancels_disconnect.fetch_add(1, std::memory_order_relaxed);
+      }
+      CloseConnection(conn->id);
+      return;
+    }
+    // Premature EOF mid-request, or a clean close between requests.
+    // Nothing to respond to either way (no complete request exists).
+    CloseConnection(conn->id);
+    return;
+  }
+
+  if (!conn->executing && conn->pending_out() == 0) AdvanceParser(conn);
+}
+
+void SparqlHttpServer::AdvanceParser(Connection* conn) {
+  // One request at a time per connection: pipelined successors stay
+  // parked in inbuf until the current response has fully drained. The
+  // loop re-looks the connection up each round because dispatching a
+  // request (or flushing its response) may close and free it.
+  const uint64_t id = conn->id;
+  for (;;) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // closed during dispatch/flush
+    conn = it->second.get();
+    if (conn->executing || conn->pending_out() > 0 || conn->inbuf.empty()) {
+      break;
+    }
+    size_t consumed = 0;
+    http::ParseResult r = conn->parser.Feed(conn->inbuf, &consumed);
+    conn->inbuf.erase(0, consumed);
+    if (r == http::ParseResult::kNeedMore) break;
+
+    stats_.requests_received.fetch_add(1, std::memory_order_relaxed);
+    if (r == http::ParseResult::kError) {
+      http::Response resp;
+      resp.status = conn->parser.error_status();
+      resp.content_type = "text/plain";
+      resp.body = conn->parser.error_reason() + "\n";
+      resp.close = true;
+      EnqueueResponse(conn, resp, ResponseClass::kClientError);
+      return;  // framing may be desynced; close after flush
+    }
+    http::Request request = std::move(conn->parser.mutable_request());
+    conn->parser.Reset();
+    DispatchRequest(conn, request);
+  }
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  conn = it->second.get();
+  if (!conn->executing && conn->pending_out() == 0) {
+    conn->read_deadline = After(conn->parser.mid_request()
+                                    ? options_.read_timeout_millis
+                                    : options_.idle_timeout_millis);
+  }
+}
+
+void SparqlHttpServer::DispatchRequest(Connection* conn,
+                                       const http::Request& request) {
+  auto reject = [&](int status, const std::string& why) {
+
+    http::Response resp;
+    resp.status = status;
+    resp.content_type = "text/plain";
+    resp.body = why + "\n";
+    resp.close = true;
+    if (status == 405) resp.headers.emplace_back("Allow", "GET, POST");
+    EnqueueResponse(conn, resp, ResponseClass::kClientError);
+  };
+
+  if (request.path == "/healthz") {
+    http::Response resp;
+    resp.content_type = "text/plain";
+    resp.body = "ok\n";
+    resp.close = !request.keep_alive;
+    EnqueueResponse(conn, resp, ResponseClass::kOk);
+    return;
+  }
+  if (request.path != "/sparql") {
+    reject(404, "no such endpoint (try /sparql)");
+    return;
+  }
+
+  std::string query_text;
+  if (request.method == "GET") {
+    if (!request.QueryParam("query", &query_text)) {
+      reject(400, "missing or undecodable 'query' parameter");
+      return;
+    }
+  } else if (request.method == "POST") {
+    const std::string* ct = request.FindHeader("content-type");
+    if (ct == nullptr ||
+        ct->rfind("application/sparql-query", 0) != 0) {
+      reject(415, "POST requires Content-Type: application/sparql-query");
+      return;
+    }
+    query_text = request.body;
+  } else {
+    reject(405, "only GET and POST are supported");
+    return;
+  }
+  if (query_text.empty()) {
+    reject(400, "empty query");
+    return;
+  }
+
+  uint64_t timeout = options_.request_timeout_millis;
+  if (const std::string* hdr = request.FindHeader("x-axon-timeout-millis")) {
+    uint64_t v = 0;
+    if (hdr->empty() || hdr->size() > 9) {
+      reject(400, "bad X-Axon-Timeout-Millis");
+      return;
+    }
+    for (char c : *hdr) {
+      if (c < '0' || c > '9') {
+        reject(400, "bad X-Axon-Timeout-Millis");
+        return;
+      }
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    timeout = std::min(std::max<uint64_t>(v, 1),
+                       options_.max_request_timeout_millis);
+  }
+
+  const std::string* accept = request.FindHeader("accept");
+  bool want_json =
+      accept != nullptr &&
+      accept->find("application/sparql-results+json") != std::string::npos;
+
+  conn->executing = true;
+  conn->token = std::make_shared<CancellationToken>();
+  // Backstop: the engine's own deadline should fire first; this catches a
+  // worker that wedges past it (grace on top of the effective timeout).
+  uint64_t effective = timeout != 0 ? timeout : engine_->options().timeout_millis;
+  conn->exec_backstop =
+      effective != 0
+          ? After(effective + options_.deadline_grace_millis)
+          : Clock::time_point::max();
+  conn->backstop_fired = false;
+  ++jobs_in_flight_;
+  ExecuteJob(conn->id, std::move(query_text), want_json, request.keep_alive,
+             request.http11, timeout, conn->token);
+}
+
+void SparqlHttpServer::ExecuteJob(uint64_t conn_id, std::string query_text,
+                                  bool want_json, bool keep_alive, bool http11,
+                                  uint64_t timeout_millis,
+                                  std::shared_ptr<CancellationToken> token) {
+  pool_->Submit([this, conn_id, query_text = std::move(query_text), want_json,
+                 keep_alive, http11, timeout_millis,
+                 token = std::move(token)] {
+    Completion done;
+    done.conn_id = conn_id;
+
+    http::Response resp;
+    resp.content_type = "text/plain";
+    resp.close = true;
+    try {
+      auto parsed = ParseSparql(query_text);
+      if (!parsed.ok()) {
+        resp.status = 400;
+        resp.body = "parse error: " + parsed.status().ToString() + "\n";
+        done.klass = ResponseClass::kClientError;
+      } else {
+        auto result = engine_->ExecuteCancellable(parsed.value(), token.get(),
+                                                  timeout_millis);
+        if (result.ok()) {
+          auto body = WriteResults(result.value().table, *dict_,
+                                   want_json ? ResultFormat::kJson
+                                             : ResultFormat::kTsv);
+          if (body.ok()) {
+            resp.status = 200;
+            resp.content_type = want_json
+                                    ? "application/sparql-results+json"
+                                    : "text/tab-separated-values";
+            resp.body = std::move(body).ValueOrDie();
+            resp.chunked =
+                http11 && resp.body.size() > options_.chunk_threshold_bytes;
+            resp.close = !keep_alive;
+            done.klass = ResponseClass::kOk;
+          } else {
+            resp.status = 500;
+            resp.body = "serialization failed: " +
+                        body.status().ToString() + "\n";
+            done.klass = ResponseClass::kServerError;
+          }
+        } else {
+          const Status& st = result.status();
+          switch (st.code()) {
+            case StatusCode::kCancelled:
+              // Client gone (or drain): no one to respond to.
+              done.klass = ResponseClass::kNone;
+              break;
+            case StatusCode::kUnavailable: {
+              resp.status = 503;
+              uint64_t hint = RetryAfterHintMillis(
+                  st, engine_->governor().options().retry_after_millis);
+              resp.headers.emplace_back(
+                  "Retry-After", std::to_string(RetryAfterSeconds(hint)));
+              resp.body = st.ToString() + "\n";
+              done.klass = ResponseClass::kShed;
+              break;
+            }
+            case StatusCode::kDeadlineExceeded:
+              resp.status = 504;
+              resp.body = st.ToString() + "\n";
+              done.klass = ResponseClass::kTimeout;
+              break;
+            case StatusCode::kResourceExhausted:
+              resp.status = 500;
+              resp.body = st.ToString() + "\n";
+              done.klass = ResponseClass::kServerError;
+              break;
+            default:
+              resp.status = 500;
+              resp.body = st.ToString() + "\n";
+              done.klass = ResponseClass::kServerError;
+              break;
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      // Last-ditch fault boundary: a worker must never take the pool down.
+      resp.status = 500;
+      resp.content_type = "text/plain";
+      resp.body = std::string("internal error: ") + e.what() + "\n";
+      resp.close = true;
+      done.klass = ResponseClass::kServerError;
+    }
+    if (done.klass != ResponseClass::kNone) {
+      done.bytes = http::SerializeResponse(resp);
+      done.close_after = resp.close;
+    }
+    {
+      MutexLock lock(&mu_);
+      completions_.push_back(std::move(done));
+    }
+    Wake();
+
+  });
+}
+
+void SparqlHttpServer::HandleCompletion(Completion done) {
+  --jobs_in_flight_;
+
+  auto it = conns_.find(done.conn_id);
+  if (it == conns_.end()) {
+    // The connection died while the query ran (disconnect or drain):
+    // the response has no recipient.
+    stats_.requests_abandoned.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Connection* conn = it->second.get();
+  conn->executing = false;
+  conn->token.reset();
+  if (done.klass == ResponseClass::kNone) {
+    // Cancelled with the client still connected (deadline backstop or
+    // drain): nothing correct to send — resolve with a clean close.
+    stats_.requests_abandoned.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn->id);
+    return;
+  }
+  CountResponse(done.klass);
+  const uint64_t id = conn->id;
+  AppendOutput(conn, std::move(done.bytes), done.close_after);
+  // If the response flushed inline and the client already pipelined its
+  // next request, pick it up now (no readiness event will fire for it).
+  auto it2 = conns_.find(id);
+  if (it2 != conns_.end()) AdvanceParser(it2->second.get());
+}
+
+void SparqlHttpServer::EnqueueResponse(Connection* conn,
+                                       const http::Response& response,
+                                       ResponseClass klass) {
+  CountResponse(klass);
+  AppendOutput(conn, http::SerializeResponse(response), response.close);
+}
+
+void SparqlHttpServer::CountResponse(ResponseClass klass) {
+  switch (klass) {
+    case ResponseClass::kOk:
+      stats_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseClass::kClientError:
+      stats_.responses_client_error.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseClass::kShed:
+      stats_.responses_shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseClass::kTimeout:
+      stats_.responses_timeout.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseClass::kServerError:
+      stats_.responses_server_error.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseClass::kNone:
+      break;
+  }
+}
+
+void SparqlHttpServer::AppendOutput(Connection* conn, std::string bytes,
+                                    bool close_after) {
+  if (conn->pending_out() + bytes.size() >
+      options_.write_buffer_limit_bytes) {
+    // Slow-client shed: the peer cannot drain what it has asked for.
+    stats_.overcap_closed.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn->id);
+    return;
+  }
+  if (conn->outbuf.empty()) {
+    conn->outbuf = std::move(bytes);
+    conn->out_off = 0;
+  } else {
+    conn->outbuf.append(bytes);
+  }
+  conn->close_after_flush = conn->close_after_flush || close_after;
+  conn->write_deadline = After(options_.write_timeout_millis);
+  FlushWrites(conn);
+}
+
+void SparqlHttpServer::FlushWrites(Connection* conn) {
+  while (conn->pending_out() > 0) {
+    net::IoResult r = net::WriteSome(conn->fd, conn->outbuf.data() +
+                                                   conn->out_off,
+                                     conn->pending_out());
+    if (r.kind == net::IoResult::Kind::kOk) {
+      conn->out_off += r.bytes;
+      conn->write_deadline = After(options_.write_timeout_millis);
+      continue;
+    }
+    if (r.kind == net::IoResult::Kind::kWouldBlock) return;
+    // kError (reset, or an armed sock.write): the response cannot be
+    // delivered; reclaim the connection.
+    CloseConnection(conn->id);
+    return;
+  }
+  // Fully drained. A parked pipelined successor is picked up by the
+  // caller (AdvanceParser's loop, or the POLLOUT/completion handlers) —
+  // never from here, so flush/parse cannot recurse.
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  if (conn->close_after_flush) {
+    CloseConnection(conn->id);
+    return;
+  }
+  conn->read_deadline = After(options_.idle_timeout_millis);
+}
+
+void SparqlHttpServer::CheckDeadlines() {
+  const auto now = Clock::now();
+  std::vector<uint64_t> doomed_idle, doomed_slow, doomed_midreq;
+  for (auto& [id, conn] : conns_) {
+    if (conn->executing) {
+      if (!conn->backstop_fired && now >= conn->exec_backstop &&
+          conn->token != nullptr) {
+        conn->backstop_fired = true;
+        conn->token->Cancel();  // completion resolves it (504-less close)
+      }
+      continue;
+    }
+    if (conn->pending_out() > 0) {
+      if (now >= conn->write_deadline) doomed_slow.push_back(id);
+      continue;
+    }
+    if (now >= conn->read_deadline) {
+      if (conn->parser.mid_request()) {
+        doomed_midreq.push_back(id);
+      } else {
+        doomed_idle.push_back(id);
+      }
+    }
+  }
+  for (uint64_t id : doomed_idle) {
+    stats_.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(id);
+  }
+  for (uint64_t id : doomed_slow) {
+    stats_.slow_closed.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(id);
+  }
+  for (uint64_t id : doomed_midreq) {
+    // The request never completed; it resolves as a counted 408.
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    stats_.requests_received.fetch_add(1, std::memory_order_relaxed);
+    http::Response resp;
+    resp.status = 408;
+    resp.content_type = "text/plain";
+    resp.body = "request incomplete after read timeout\n";
+    resp.close = true;
+    EnqueueResponse(it->second.get(), resp, ResponseClass::kClientError);
+  }
+}
+
+void SparqlHttpServer::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // An in-flight job's completion finds the id gone and counts itself
+  // abandoned there — exactly once, in HandleCompletion.
+  net::CloseFd(it->second->fd);
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  conns_.erase(it);
+}
+
+}  // namespace server
+}  // namespace axon

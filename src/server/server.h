@@ -1,0 +1,236 @@
+// SparqlHttpServer — the hardened SPARQL-over-HTTP front-end.
+//
+// Threading model (the whole design hangs off this):
+//
+//   * One event-loop thread owns *all* connection state. It runs a
+//     level-triggered poll(2) readiness loop over the listener, a self-
+//     wake pipe and every client socket; no other thread ever touches a
+//     Connection. That single-writer discipline is what keeps the server
+//     TSan-clean without per-connection locks.
+//   * A fixed ThreadPool (util/thread_pool) executes queries. A worker
+//     gets copies of everything it needs (query text, format, conn id, a
+//     shared CancellationToken) — never a Connection pointer — runs the
+//     query through GovernedEngine, serializes the *complete* response to
+//     bytes, and hands them back through a mutex-guarded completion queue
+//     plus a wake-pipe byte. Responses are therefore atomic: the loop
+//     either enqueues a whole response for a live connection or drops the
+//     completion for a dead one. Partial results are never half-written.
+//
+// Robustness contract per connection:
+//   * read deadlines — an idle keep-alive connection is reaped after
+//     idle_timeout_millis; a connection stuck mid-request gets 408 after
+//     read_timeout_millis.
+//   * per-request deadline — request_timeout_millis (optionally lowered by
+//     an `X-Axon-Timeout-Millis` request header, capped by
+//     max_request_timeout_millis) maps into the engine's QueryContext;
+//     expiry surfaces as 504. A loop-side backstop cancels the token if a
+//     worker overruns the deadline by a grace period.
+//   * disconnect cancellation — the loop keeps polling an executing
+//     connection; EOF/reset cancels the query's token, closes the socket
+//     and drops the eventual completion (counted requests_abandoned).
+//   * backpressure — while a response is draining the loop stops reading
+//     (pipelined bytes park in a bounded buffer); a client that cannot
+//     drain write_buffer_limit_bytes is shed with a close, and one that
+//     drains too slowly trips write_timeout_millis.
+//   * overload — governor sheds surface as 503 with a Retry-After header
+//     derived from the jittered hint (util/resource_governor).
+//   * graceful drain — Shutdown() stops accepting, lets in-flight work
+//     finish within drain_timeout_millis, then cancels stragglers and
+//     force-closes; the loop exits only after every dispatched job has
+//     been accounted, so ServerStats balances exactly.
+//
+// Accounting identity (asserted by tools/chaos_run --server):
+//   requests_received == responses_ok + responses_client_error +
+//                        responses_shed + responses_timeout +
+//                        responses_server_error + requests_abandoned
+//   accepted == closed (after Shutdown)
+
+#ifndef AXON_SERVER_SERVER_H_
+#define AXON_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "engine/governed_engine.h"
+#include "rdf/dictionary.h"
+#include "server/http.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace axon {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; port() reports the bound port
+  uint32_t num_workers = 4;
+  uint32_t max_connections = 256;
+
+  /// Reap a keep-alive connection idle (between requests) this long.
+  uint64_t idle_timeout_millis = 30'000;
+  /// 408 a connection stuck mid-request (bytes consumed, request
+  /// incomplete) this long.
+  uint64_t read_timeout_millis = 5'000;
+  /// Close a connection whose response has not fully drained this long
+  /// after the last successful write.
+  uint64_t write_timeout_millis = 10'000;
+  /// Per-request execution deadline mapped into QueryContext; 0 = the
+  /// engine's own GovernedOptions::timeout_millis.
+  uint64_t request_timeout_millis = 0;
+  /// Upper bound on a client-supplied X-Axon-Timeout-Millis header.
+  uint64_t max_request_timeout_millis = 60'000;
+  /// Grace past the request deadline before the loop-side backstop
+  /// cancels a still-running worker.
+  uint64_t deadline_grace_millis = 1'000;
+
+  /// Pending (unflushed) response bytes a connection may hold; beyond it
+  /// the client is shed with a close. Responses larger than this cap are
+  /// themselves shed — size it above the largest expected result.
+  uint64_t write_buffer_limit_bytes = 8ull << 20;
+  /// Bytes of pipelined follow-up requests parked while a response is in
+  /// flight; beyond it the loop stops reading until the pipeline drains.
+  uint64_t max_pipeline_buffer_bytes = 64 * 1024;
+  /// Bodies above this are framed Transfer-Encoding: chunked (HTTP/1.1).
+  uint64_t chunk_threshold_bytes = 64 * 1024;
+
+  /// Drain window for Shutdown(): in-flight queries may finish this long
+  /// before being cancelled.
+  uint64_t drain_timeout_millis = 2'000;
+
+  /// SO_SNDBUF for accepted sockets; 0 = kernel default. Tests shrink it
+  /// to make slow-client backpressure deterministic.
+  int send_buffer_bytes = 0;
+
+  http::ParserLimits limits;
+};
+
+/// Monotonic counters, written by the loop thread (and workers, for
+/// nothing — workers only report through completions) and readable from
+/// any thread. See the accounting identity in the file comment.
+struct ServerStats {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> conns_rejected{0};   // over max_connections
+  std::atomic<uint64_t> accept_failures{0};  // transient accept(2) errors
+
+  std::atomic<uint64_t> requests_received{0};
+  std::atomic<uint64_t> responses_ok{0};            // 2xx
+  std::atomic<uint64_t> responses_client_error{0};  // 4xx
+  std::atomic<uint64_t> responses_shed{0};          // 503 (+Retry-After)
+  std::atomic<uint64_t> responses_timeout{0};       // 504
+  std::atomic<uint64_t> responses_server_error{0};  // 500
+  std::atomic<uint64_t> requests_abandoned{0};      // resolved by a close
+
+  std::atomic<uint64_t> cancels_disconnect{0};  // token fired by peer EOF
+  std::atomic<uint64_t> idle_reaped{0};
+  std::atomic<uint64_t> slow_closed{0};     // write deadline expired
+  std::atomic<uint64_t> overcap_closed{0};  // write buffer over cap
+};
+
+class SparqlHttpServer {
+ public:
+  /// `engine` executes the queries; `dict` renders result terms. Both are
+  /// borrowed and must outlive the server.
+  SparqlHttpServer(const GovernedEngine* engine, const Dictionary* dict,
+                   ServerOptions options);
+  ~SparqlHttpServer();
+
+  SparqlHttpServer(const SparqlHttpServer&) = delete;
+  SparqlHttpServer& operator=(const SparqlHttpServer&) = delete;
+
+  /// Binds, spawns the worker pool and the event-loop thread. Idempotence:
+  /// a second Start() on a running server is an error.
+  Status Start();
+
+  /// Graceful drain (see file comment). Blocks until the loop exits and
+  /// every dispatched job is accounted. Safe to call more than once and
+  /// from signal-driven shutdown paths (but not from a signal handler —
+  /// flag the request and call this from the main thread).
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound listen port (valid after Start()).
+  uint16_t port() const { return port_; }
+  const ServerStats& stats() const { return stats_; }
+  /// Live connections owned by the loop (0 after Shutdown()).
+  uint64_t active_connections() const {
+    return stats_.accepted.load(std::memory_order_relaxed) +
+           stats_.conns_rejected.load(std::memory_order_relaxed) -
+           stats_.closed.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  /// How a finished request resolved, for the stats breakdown.
+  enum class ResponseClass : uint8_t {
+    kOk,           // 2xx
+    kClientError,  // 4xx
+    kShed,         // 503
+    kTimeout,      // 504
+    kServerError,  // 500
+    kNone,         // cancelled — no response, clean close
+  };
+
+  /// A worker's finished request: complete response bytes for conn_id.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;        // empty iff klass == kNone
+    bool close_after = false;
+    ResponseClass klass = ResponseClass::kNone;
+  };
+
+  void LoopMain();
+  void DoAccept();
+  void HandleReadable(Connection* conn);
+  void AdvanceParser(Connection* conn);
+  void DispatchRequest(Connection* conn, const http::Request& request);
+  void ExecuteJob(uint64_t conn_id, std::string query_text, bool want_json,
+                  bool keep_alive, bool http11, uint64_t timeout_millis,
+                  std::shared_ptr<CancellationToken> token);
+  void HandleCompletion(Completion done);
+  void EnqueueResponse(Connection* conn, const http::Response& response,
+                       ResponseClass klass);
+  void AppendOutput(Connection* conn, std::string bytes, bool close_after);
+  void FlushWrites(Connection* conn);
+  void CheckDeadlines();
+  void CloseConnection(uint64_t conn_id);
+  void CountResponse(ResponseClass klass);
+  void Wake();
+  /// Milliseconds until the nearest connection deadline (poll timeout).
+  int NextTimeoutMillis() const;
+
+  const GovernedEngine* engine_;
+  const Dictionary* dict_;
+  ServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+
+  Mutex mu_;
+  bool draining_ AXON_GUARDED_BY(mu_) = false;
+  bool started_ AXON_GUARDED_BY(mu_) = false;
+  std::deque<Completion> completions_ AXON_GUARDED_BY(mu_);
+
+  // ---- Loop-thread-only state (no lock: single owner) ----
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  uint64_t jobs_in_flight_ = 0;
+
+  ServerStats stats_;
+};
+
+}  // namespace server
+}  // namespace axon
+
+#endif  // AXON_SERVER_SERVER_H_

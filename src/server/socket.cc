@@ -1,0 +1,202 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace axon {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + " failed: " +
+                         std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = ErrnoStatus("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) < 0) {
+    Status st = ErrnoStatus("listen");
+    ::close(fd);
+    return st;
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> AcceptConn(int listen_fd, int send_buffer_bytes) {
+  // err here models a transient accept(2) failure (EMFILE, ECONNABORTED):
+  // the loop counts it and keeps serving; delay models a slow accept path.
+  const auto fp = AXON_FAILPOINT_EVAL("sock.accept");
+  if (fp) {
+    failpoint::Execute("sock.accept", fp);
+    if (fp.action == failpoint::Action::kError) {
+      return failpoint::InjectedError("sock.accept");
+    }
+  }
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return -1;  // nothing pending / already-gone peer: not an error
+    }
+    return ErrnoStatus("accept");
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (send_buffer_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &send_buffer_bytes,
+                 sizeof(send_buffer_bytes));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+IoResult ReadSome(int fd, char* buf, size_t cap) {
+  size_t limit = cap;
+  const auto fp = AXON_FAILPOINT_EVAL("sock.read");
+  if (fp) {
+    failpoint::Execute("sock.read", fp);
+    if (fp.action == failpoint::Action::kError) {
+      return {IoResult::Kind::kError, 0};  // torn connection mid-read
+    }
+    if (fp.action == failpoint::Action::kShortIo) {
+      // Trickle: the kernel hands over fewer bytes than asked for.
+      limit = std::min(limit, std::max<size_t>(1, fp.arg));
+    }
+  }
+  ssize_t n = ::read(fd, buf, limit);
+  if (n > 0) {
+    if (fp.action == failpoint::Action::kBitflip) {
+      // Corrupted inbound bytes; the HTTP parser must reject, not crash.
+      size_t bit = static_cast<size_t>(fp.arg) %
+                   (8 * static_cast<size_t>(n));
+      buf[bit / 8] = static_cast<char>(
+          buf[bit / 8] ^ static_cast<char>(1u << (bit % 8)));
+    }
+    return {IoResult::Kind::kOk, static_cast<size_t>(n)};
+  }
+  if (n == 0) return {IoResult::Kind::kEof, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoResult::Kind::kWouldBlock, 0};
+  }
+  return {IoResult::Kind::kError, 0};
+}
+
+IoResult WriteSome(int fd, const char* buf, size_t len) {
+  size_t limit = len;
+  std::string corrupted;  // bitflip needs a mutable copy
+  const auto fp = AXON_FAILPOINT_EVAL("sock.write");
+  if (fp) {
+    failpoint::Execute("sock.write", fp);
+    if (fp.action == failpoint::Action::kError) {
+      return {IoResult::Kind::kError, 0};  // peer reset mid-response
+    }
+    if (fp.action == failpoint::Action::kShortIo) {
+      // Full send queue: only a prefix leaves; the caller must retain the
+      // tail and resume on writability — exactly the backpressure path.
+      limit = std::min(limit, std::max<size_t>(1, fp.arg));
+    }
+    if (fp.action == failpoint::Action::kBitflip && len > 0) {
+      corrupted.assign(buf, len);
+      size_t bit = static_cast<size_t>(fp.arg) % (8 * len);
+      corrupted[bit / 8] = static_cast<char>(
+          corrupted[bit / 8] ^ static_cast<char>(1u << (bit % 8)));
+      buf = corrupted.data();
+    }
+  }
+  ssize_t n = ::send(fd, buf, limit, MSG_NOSIGNAL);
+  if (n >= 0) return {IoResult::Kind::kOk, static_cast<size_t>(n)};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoResult::Kind::kWouldBlock, 0};
+  }
+  return {IoResult::Kind::kError, 0};
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // err is swallowed by design — close(2) failure cannot be retried and
+  // the fd is released either way; delay models a lingering close.
+  const auto fp = AXON_FAILPOINT_EVAL("sock.close");
+  if (fp) failpoint::Execute("sock.close", fp);
+  ::close(fd);
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad connect address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = ErrnoStatus("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace net
+}  // namespace axon

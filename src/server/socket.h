@@ -1,0 +1,60 @@
+// Thin POSIX TCP wrappers — the only place the server touches socket
+// syscalls, so every byte in or out of the process passes a failpoint
+// site: `sock.accept` (err/delay), `sock.read` and `sock.write`
+// (err/short/delay/bitflip) and `sock.close` (err/delay). The chaos soak
+// (tools/chaos_run --server) arms these to prove the event loop survives
+// transient syscall failures, truncated transfers and corrupted bytes
+// without crashing or leaking connections.
+//
+// All fds are nonblocking; Read/Write report would-block explicitly so
+// the readiness loop never stalls on a slow peer.
+
+#ifndef AXON_SERVER_SOCKET_H_
+#define AXON_SERVER_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace axon {
+namespace net {
+
+/// Outcome of one nonblocking read/write attempt.
+struct IoResult {
+  enum class Kind { kOk, kWouldBlock, kEof, kError };
+  Kind kind = Kind::kOk;
+  size_t bytes = 0;  // transferred (kOk only)
+};
+
+/// Creates a nonblocking listener bound to host:port (port 0 = ephemeral)
+/// with SO_REUSEADDR. Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+/// Accepts one pending connection as a nonblocking fd. kWouldBlock-like
+/// outcomes return -1 with an OK status; real failures return a Status.
+/// `send_buffer_bytes` > 0 shrinks SO_SNDBUF (tests force backpressure).
+Result<int> AcceptConn(int listen_fd, int send_buffer_bytes);
+
+/// Nonblocking read of up to `cap` bytes into `buf`.
+IoResult ReadSome(int fd, char* buf, size_t cap);
+
+/// Nonblocking write of up to `len` bytes from `buf`; short writes are
+/// normal (kOk with bytes < len).
+IoResult WriteSome(int fd, const char* buf, size_t len);
+
+/// close(2); errors are swallowed (the fd is gone either way).
+void CloseFd(int fd);
+
+/// The port a bound socket actually listens on (for port 0 binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Client-side helper for tests/tools: blocking connect to host:port,
+/// returns a *blocking* fd (client code reads/writes directly).
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace net
+}  // namespace axon
+
+#endif  // AXON_SERVER_SOCKET_H_

@@ -74,7 +74,7 @@ BudgetScope::~BudgetScope() { t_budget = prev_; }
 MemoryBudget* BudgetScope::Current() { return t_budget; }
 
 ResourceGovernor::ResourceGovernor(GovernorOptions options)
-    : options_(options) {}
+    : options_(options), retry_jitter_(options.retry_jitter_seed) {}
 
 void ResourceGovernor::Bump(uint64_t GovernorCounters::* field) {
   ++(counters_.*field);
@@ -90,10 +90,20 @@ void ResourceGovernor::Bump(uint64_t GovernorCounters::* field) {
 
 Status ResourceGovernor::ShedLocked() {
   Bump(&GovernorCounters::shed);
+  // Jitter the hint ±25% so shed clients that retry exactly on the hint
+  // spread out instead of arriving as a second synchronized burst. The
+  // stream is deterministic in retry_jitter_seed, so equal seeds with
+  // equal shed sequences reproduce identical hints.
+  uint64_t hint = options_.retry_after_millis;
+  if (hint > 0) {
+    const uint64_t lo = hint - hint / 4;
+    const uint64_t hi = hint + hint / 4;
+    hint = retry_jitter_.Range(lo, hi);
+  }
   return Status::Unavailable(
       "engine overloaded: " + std::to_string(running_) + " running, " +
       std::to_string(queue_.size()) + " queued; retry after ~" +
-      std::to_string(options_.retry_after_millis) + "ms");
+      std::to_string(hint) + "ms");
 }
 
 Status ResourceGovernor::Admit() {
@@ -218,6 +228,25 @@ GovernorCounters ResourceGovernor::GlobalSnapshot() {
   out.degraded = g.degraded.load(std::memory_order_relaxed);
   out.failed = g.failed.load(std::memory_order_relaxed);
   return out;
+}
+
+uint64_t RetryAfterHintMillis(const Status& status, uint64_t fallback_millis) {
+  const std::string& msg = status.message();
+  static constexpr char kMarker[] = "retry after ~";
+  size_t at = msg.rfind(kMarker);
+  if (at == std::string::npos) return fallback_millis;
+  at += sizeof(kMarker) - 1;
+  uint64_t value = 0;
+  bool any = false;
+  while (at < msg.size() && msg[at] >= '0' && msg[at] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(msg[at] - '0');
+    any = true;
+    ++at;
+  }
+  // Only trust the number if the "ms" unit follows (guards against a hint
+  // embedded in an unrelated message shape).
+  if (!any || msg.compare(at, 2, "ms") != 0) return fallback_millis;
+  return value;
 }
 
 void ResourceGovernor::ResetGlobalForTest() {

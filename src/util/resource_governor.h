@@ -35,6 +35,7 @@
 #include <new>
 
 #include "util/mutex.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace axon {
@@ -166,8 +167,14 @@ struct GovernorOptions {
   /// Per-entry queue deadline: a waiter not admitted within this window is
   /// shed with Unavailable.
   uint64_t queue_wait_millis = 1000;
-  /// Retry-after hint embedded in shed Unavailable messages.
+  /// Retry-after hint embedded in shed Unavailable messages. Each shed
+  /// jitters the hint ±25% (deterministic in retry_jitter_seed) so a
+  /// synchronized burst of shed clients does not thundering-herd back at
+  /// the same instant.
   uint64_t retry_after_millis = 50;
+  /// Seed for the retry-after jitter stream: equal seeds + equal shed
+  /// sequences reproduce identical hints.
+  uint64_t retry_jitter_seed = 0;
 };
 
 /// Snapshot of the admission/outcome counters. The accounting identity —
@@ -230,7 +237,13 @@ class ResourceGovernor {
   uint64_t next_ticket_ AXON_GUARDED_BY(mu_) = 0;
   std::deque<uint64_t> queue_ AXON_GUARDED_BY(mu_);  // waiting ticket FIFO
   GovernorCounters counters_ AXON_GUARDED_BY(mu_);
+  Random retry_jitter_ AXON_GUARDED_BY(mu_);  // hint jitter stream
 };
+
+/// Extracts the "retry after ~Nms" hint a shed Unavailable status carries,
+/// or `fallback_millis` when `status` has no parseable hint. The HTTP
+/// front-end maps this onto the Retry-After header.
+uint64_t RetryAfterHintMillis(const Status& status, uint64_t fallback_millis);
 
 }  // namespace axon
 

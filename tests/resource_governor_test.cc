@@ -205,13 +205,93 @@ TEST(ResourceGovernorTest, FullQueueShedsImmediatelyWithRetryHint) {
   ASSERT_FALSE(shed.ok());
   EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
   EXPECT_NE(shed.message().find("retry"), std::string::npos);
-  EXPECT_NE(shed.message().find("75"), std::string::npos);
+  // The hint is jittered ±25% around retry_after_millis.
+  uint64_t hint = RetryAfterHintMillis(shed, 0);
+  EXPECT_GE(hint, 75u - 75u / 4);
+  EXPECT_LE(hint, 75u + 75u / 4);
   g.RecordOutcome(QueryOutcome::kCompleted);
   g.Release();
   GovernorCounters c = g.Snapshot();
   EXPECT_EQ(c.submitted, 2u);
   EXPECT_EQ(c.admitted, 1u);
   EXPECT_EQ(c.shed, 1u);
+}
+
+// Jittered retry hints spread out synchronized retry bursts; the jitter is
+// seeded so overload incidents replay deterministically.
+TEST(ResourceGovernorTest, RetryHintJitterStaysWithinQuarterBounds) {
+  GovernorOptions opt;
+  opt.max_concurrent = 1;
+  opt.max_queue = 0;
+  opt.retry_after_millis = 1000;
+  opt.retry_jitter_seed = 42;
+  ResourceGovernor g(opt);
+  ASSERT_TRUE(g.Admit().ok());
+  bool saw_off_center = false;
+  for (int i = 0; i < 64; ++i) {
+    Status shed = g.Admit();
+    ASSERT_EQ(shed.code(), StatusCode::kUnavailable);
+    uint64_t hint = RetryAfterHintMillis(shed, 0);
+    EXPECT_GE(hint, 750u);
+    EXPECT_LE(hint, 1250u);
+    if (hint != 1000u) saw_off_center = true;
+  }
+  // 64 draws from a 501-value range: all landing on the center would mean
+  // the jitter is not actually applied.
+  EXPECT_TRUE(saw_off_center);
+  g.RecordOutcome(QueryOutcome::kCompleted);
+  g.Release();
+}
+
+TEST(ResourceGovernorTest, EqualSeedsReproduceIdenticalHintSequences) {
+  auto shed_hints = [](uint64_t seed) {
+    GovernorOptions opt;
+    opt.max_concurrent = 1;
+    opt.max_queue = 0;
+    opt.retry_after_millis = 400;
+    opt.retry_jitter_seed = seed;
+    ResourceGovernor g(opt);
+    EXPECT_TRUE(g.Admit().ok());
+    std::vector<uint64_t> hints;
+    for (int i = 0; i < 16; ++i) {
+      hints.push_back(RetryAfterHintMillis(g.Admit(), 0));
+    }
+    g.RecordOutcome(QueryOutcome::kCompleted);
+    g.Release();
+    return hints;
+  };
+  std::vector<uint64_t> a = shed_hints(7);
+  std::vector<uint64_t> b = shed_hints(7);
+  std::vector<uint64_t> c = shed_hints(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide across 16 draws
+}
+
+TEST(ResourceGovernorTest, RetryAfterHintParsesAndFallsBack) {
+  EXPECT_EQ(RetryAfterHintMillis(
+                Status::Unavailable("overloaded; retry after ~120ms"), 50),
+            120u);
+  // No marker, digits without the ms unit, or empty hint: fall back.
+  EXPECT_EQ(RetryAfterHintMillis(Status::Unavailable("overloaded"), 50), 50u);
+  EXPECT_EQ(RetryAfterHintMillis(
+                Status::Unavailable("retry after ~99 seconds"), 50),
+            50u);
+  EXPECT_EQ(RetryAfterHintMillis(Status::Unavailable("retry after ~ms"), 50),
+            50u);
+  EXPECT_EQ(RetryAfterHintMillis(Status::OK(), 50), 50u);
+}
+
+TEST(ResourceGovernorTest, ZeroRetryAfterMillisStaysZero) {
+  GovernorOptions opt;
+  opt.max_concurrent = 1;
+  opt.max_queue = 0;
+  opt.retry_after_millis = 0;  // operator disabled the hint: never jitter up
+  ResourceGovernor g(opt);
+  ASSERT_TRUE(g.Admit().ok());
+  Status shed = g.Admit();
+  EXPECT_EQ(RetryAfterHintMillis(shed, 999), 0u);
+  g.RecordOutcome(QueryOutcome::kCompleted);
+  g.Release();
 }
 
 TEST(ResourceGovernorTest, QueueWaitDeadlineShedsTheWaiter) {

@@ -1,0 +1,336 @@
+// Hostile-input coverage for the HTTP front door (src/server/http).
+//
+// The centerpiece is a table of malformed wire inputs pinning the EXACT
+// status code each one must produce — truncated request lines, oversized
+// headers, bad percent-encoding, framing attacks — so a parser refactor
+// that silently reclassifies an error (or worse, starts accepting it)
+// fails loudly here. The rest exercises the incremental surface:
+// byte-at-a-time feeding, pipelining with leftover bytes, percent
+// decoding, and response framing.
+
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace axon {
+namespace http {
+namespace {
+
+// Feeds the whole input, re-feeding as the parser consumes, the way the
+// server drains its connection buffer.
+ParseResult ParseAll(RequestParser* p, std::string in, size_t* leftover) {
+  ParseResult r = ParseResult::kNeedMore;
+  while (!in.empty()) {
+    size_t consumed = 0;
+    r = p->Feed(in, &consumed);
+    in.erase(0, consumed);
+    if (r != ParseResult::kNeedMore) break;
+    if (consumed == 0) break;  // parser wants bytes we don't have
+  }
+  if (leftover != nullptr) *leftover = in.size();
+  return r;
+}
+
+// ------------------------------------------------------- hostile inputs
+
+struct HostileCase {
+  const char* name;
+  std::string wire;        // raw bytes as they would arrive on the socket
+  int want_status;         // exact status the server must answer with
+  ParserLimits limits = {};
+};
+
+std::vector<HostileCase> HostileTable() {
+  std::vector<HostileCase> cases;
+  auto add = [&cases](const char* name, std::string wire, int status,
+                      ParserLimits limits = {}) {
+    cases.push_back(HostileCase{name, std::move(wire), status, limits});
+  };
+
+  // Request-line shapes.
+  add("missing_target", "GET HTTP/1.1\r\n\r\n", 400);
+  add("missing_version", "GET /sparql\r\n\r\n", 400);
+  add("double_space_gap", "GET  /sparql HTTP/1.1\r\n\r\n", 400);
+  add("leading_space", " GET /sparql HTTP/1.1\r\n\r\n", 400);
+  add("relative_target", "GET sparql HTTP/1.1\r\n\r\n", 400);
+  add("control_in_target", std::string("GET /spa\trql HTTP/1.1\r\n\r\n"),
+      400);
+  add("nul_in_target", std::string("GET /spa\0rql HTTP/1.1\r\n\r\n", 25),
+      400);
+  add("method_not_token", "G@T /sparql HTTP/1.1\r\n\r\n", 400);
+  add("http2_version", "GET /sparql HTTP/2.0\r\n\r\n", 505);
+  add("http09_version", "GET /sparql HTTP/0.9\r\n\r\n", 505);
+  add("garbage_version", "GET /sparql FTP/1.1\r\n\r\n", 400);
+  // A TLS ClientHello knocking on a plaintext port (NULs included, so the
+  // explicit length matters).
+  add("binary_garbage",
+      std::string("\x16\x03\x01\x02\x00\x01\x00\r\n\r\n", 10), 400);
+
+  // Header shapes.
+  add("header_no_colon", "GET /x HTTP/1.1\r\nHost\r\n\r\n", 400);
+  add("header_empty_name", "GET /x HTTP/1.1\r\n: v\r\n\r\n", 400);
+  add("header_space_in_name", "GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n", 400);
+  add("obsolete_line_fold", "GET /x HTTP/1.1\r\nA: b\r\n c\r\n\r\n", 400);
+  add("content_length_alpha",
+      "POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400);
+  add("content_length_negative",
+      "POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400);
+  add("content_length_overflow",
+      "POST /x HTTP/1.1\r\nContent-Length: 9999999999999999999999\r\n\r\n",
+      400);
+  add("transfer_encoding_chunked",
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 411);
+
+  // Limit violations (small limits make the cases cheap).
+  {
+    ParserLimits tiny;
+    tiny.max_request_line_bytes = 64;
+    add("request_line_too_long",
+        "GET /" + std::string(128, 'a') + " HTTP/1.1\r\n\r\n", 414, tiny);
+  }
+  {
+    ParserLimits tiny;
+    tiny.max_header_bytes = 64;
+    add("header_section_too_big",
+        "GET /x HTTP/1.1\r\nA: " + std::string(128, 'b') + "\r\n\r\n", 431,
+        tiny);
+  }
+  {
+    ParserLimits tiny;
+    tiny.max_headers = 4;
+    std::string wire = "GET /x HTTP/1.1\r\n";
+    for (int i = 0; i < 8; ++i) {
+      wire += "H" + std::to_string(i) + ": v\r\n";
+    }
+    wire += "\r\n";
+    add("too_many_headers", std::move(wire), 431, tiny);
+  }
+  {
+    ParserLimits tiny;
+    tiny.max_body_bytes = 16;
+    add("body_over_cap",
+        "POST /x HTTP/1.1\r\nContent-Length: 64\r\n\r\n" +
+            std::string(64, 'q'),
+        413, tiny);
+  }
+  return cases;
+}
+
+TEST(HostileInputTest, EveryCaseYieldsItsPinnedStatus) {
+  for (const HostileCase& c : HostileTable()) {
+    SCOPED_TRACE(c.name);
+    RequestParser p(c.limits);
+    size_t leftover = 0;
+    ParseResult r = ParseAll(&p, c.wire, &leftover);
+    ASSERT_EQ(r, ParseResult::kError) << "accepted hostile input";
+    EXPECT_EQ(p.error_status(), c.want_status);
+    EXPECT_FALSE(p.error_reason().empty());
+  }
+}
+
+TEST(HostileInputTest, ErrorStateIsStickyUntilReset) {
+  RequestParser p;
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed("BAD\r\n\r\n", &consumed), ParseResult::kError);
+  // More bytes cannot resurrect a poisoned connection's parser...
+  EXPECT_EQ(p.Feed("GET /x HTTP/1.1\r\n\r\n", &consumed), ParseResult::kError);
+  EXPECT_EQ(consumed, 0u);
+  // ...but Reset rearms it (the server only does this on a fresh request).
+  p.Reset();
+  EXPECT_EQ(p.Feed("GET /x HTTP/1.1\r\n\r\n", &consumed), ParseResult::kDone);
+}
+
+TEST(HostileInputTest, TruncatedRequestsAreNeedMoreNotErrors) {
+  // A torn read must never be mistaken for a protocol violation: every
+  // proper prefix of a valid request parses to kNeedMore.
+  const std::string full =
+      "POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\n"
+      "Content-Length: 5\r\n\r\nhello";
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    SCOPED_TRACE(cut);
+    RequestParser p;
+    size_t leftover = 0;
+    EXPECT_EQ(ParseAll(&p, full.substr(0, cut), &leftover),
+              ParseResult::kNeedMore);
+  }
+}
+
+// ------------------------------------------------------ incremental feed
+
+TEST(RequestParserTest, ByteAtATimeMatchesOneShot) {
+  const std::string wire =
+      "GET /sparql?query=SELECT%20*%20WHERE%7B%3Fs%20%3Fp%20%3Fo%7D "
+      "HTTP/1.1\r\nHost: x\r\nAccept: application/sparql-results+json\r\n"
+      "\r\n";
+  RequestParser p;
+  ParseResult r = ParseResult::kNeedMore;
+  for (char c : wire) {
+    size_t consumed = 0;
+    r = p.Feed(std::string_view(&c, 1), &consumed);
+    if (r == ParseResult::kDone) break;
+    ASSERT_EQ(r, ParseResult::kNeedMore);
+    ASSERT_EQ(consumed, 1u);
+  }
+  ASSERT_EQ(r, ParseResult::kDone);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().path, "/sparql");
+  EXPECT_TRUE(p.request().http11);
+  EXPECT_TRUE(p.request().keep_alive);
+  std::string q;
+  ASSERT_TRUE(p.request().QueryParam("query", &q));
+  EXPECT_EQ(q, "SELECT * WHERE{?s ?p ?o}");
+  ASSERT_NE(p.request().FindHeader("accept"), nullptr);  // lower-cased
+  EXPECT_EQ(*p.request().FindHeader("accept"),
+            "application/sparql-results+json");
+}
+
+TEST(RequestParserTest, PipelinedRequestsLeaveSuccessorBytes) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nleftover";
+  RequestParser p;
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed(wire, &consumed), ParseResult::kDone);
+  EXPECT_EQ(p.request().path, "/a");
+  std::string rest = wire.substr(consumed);
+  p.Reset();
+  ASSERT_EQ(p.Feed(rest, &consumed), ParseResult::kDone);
+  EXPECT_EQ(p.request().path, "/b");
+  EXPECT_EQ(rest.substr(consumed), "leftover");
+}
+
+TEST(RequestParserTest, PostBodySplitAcrossFeeds) {
+  RequestParser p;
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed("POST /sparql HTTP/1.1\r\nContent-Length: 11\r\n\r\nSELE",
+                   &consumed),
+            ParseResult::kNeedMore);
+  ASSERT_EQ(p.Feed("CT ?s {", &consumed), ParseResult::kDone);
+  EXPECT_EQ(p.request().body, "SELECT ?s {");
+  EXPECT_EQ(p.request().content_length, 11u);
+}
+
+TEST(RequestParserTest, Http10DefaultsToCloseAndKeepAliveOptsIn) {
+  RequestParser p;
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed("GET /x HTTP/1.0\r\n\r\n", &consumed), ParseResult::kDone);
+  EXPECT_FALSE(p.request().http11);
+  EXPECT_FALSE(p.request().keep_alive);
+  p.Reset();
+  ASSERT_EQ(p.Feed("GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+                   &consumed),
+            ParseResult::kDone);
+  EXPECT_TRUE(p.request().keep_alive);
+  p.Reset();
+  ASSERT_EQ(p.Feed("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n", &consumed),
+            ParseResult::kDone);
+  EXPECT_FALSE(p.request().keep_alive);
+}
+
+TEST(RequestParserTest, BareLfLineEndingsAreTolerated) {
+  RequestParser p;
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed("GET /x HTTP/1.1\nHost: y\n\n", &consumed),
+            ParseResult::kDone);
+  EXPECT_EQ(p.request().path, "/x");
+  ASSERT_NE(p.request().FindHeader("host"), nullptr);
+}
+
+TEST(RequestParserTest, StrayCrlfBeforeRequestLineIsSkipped) {
+  RequestParser p;
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed("\r\n\r\nGET /x HTTP/1.1\r\n\r\n", &consumed),
+            ParseResult::kDone);
+  EXPECT_EQ(p.request().path, "/x");
+}
+
+TEST(RequestParserTest, MidRequestDistinguishesIdleFromTorn) {
+  RequestParser p;
+  EXPECT_FALSE(p.mid_request());  // brand new: idle
+  size_t consumed = 0;
+  ASSERT_EQ(p.Feed("GET /x HT", &consumed), ParseResult::kNeedMore);
+  EXPECT_TRUE(p.mid_request());  // torn request line: the 408 case
+}
+
+// -------------------------------------------------------- percent decode
+
+TEST(PercentDecodeTest, DecodesEscapesAndPlus) {
+  std::string out;
+  ASSERT_TRUE(PercentDecode("a%20b+c%3f%3F", &out));
+  EXPECT_EQ(out, "a b c??");
+  ASSERT_TRUE(PercentDecode("", &out));
+  EXPECT_EQ(out, "");
+}
+
+TEST(PercentDecodeTest, RejectsTruncatedAndNonHexEscapes) {
+  std::string out;
+  EXPECT_FALSE(PercentDecode("abc%", &out));
+  EXPECT_FALSE(PercentDecode("abc%2", &out));
+  EXPECT_FALSE(PercentDecode("abc%zz", &out));
+  EXPECT_FALSE(PercentDecode("%g0", &out));
+}
+
+TEST(PercentDecodeTest, QueryParamSurfacesDecodeFailureAsMissing) {
+  Request r;
+  r.query = "query=SELECT%2";  // truncated escape
+  std::string out;
+  EXPECT_FALSE(r.QueryParam("query", &out));
+  r.query = "other=1&query=ok";
+  ASSERT_TRUE(r.QueryParam("query", &out));
+  EXPECT_EQ(out, "ok");
+  EXPECT_FALSE(r.QueryParam("absent", &out));
+}
+
+// ------------------------------------------------------ response framing
+
+TEST(ResponseTest, ContentLengthFraming) {
+  Response resp;
+  resp.status = 200;
+  resp.content_type = "text/tab-separated-values";
+  resp.body = "?s\n<a>\n";
+  std::string wire = SerializeResponse(resp);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Transfer-Encoding"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 7), "?s\n<a>\n");
+}
+
+TEST(ResponseTest, ChunkedFramingRoundTrips) {
+  std::string body(40000, 'x');
+  std::string framed = ChunkBody(body, 16 * 1024);
+  // Decode the chunked framing back and compare.
+  std::string decoded;
+  size_t pos = 0;
+  for (;;) {
+    size_t crlf = framed.find("\r\n", pos);
+    ASSERT_NE(crlf, std::string::npos);
+    size_t n = std::stoul(framed.substr(pos, crlf - pos), nullptr, 16);
+    pos = crlf + 2;
+    if (n == 0) break;
+    decoded += framed.substr(pos, n);
+    pos += n;
+    ASSERT_EQ(framed.substr(pos, 2), "\r\n");
+    pos += 2;
+  }
+  EXPECT_EQ(decoded, body);
+  EXPECT_EQ(framed.substr(framed.size() - 4), "\r\n\r\n");
+}
+
+TEST(ResponseTest, ErrorResponsesCarryCloseAndRetryAfterSurvives) {
+  Response resp;
+  resp.status = 503;
+  resp.content_type = "text/plain";
+  resp.headers.emplace_back("Retry-After", "2");
+  resp.body = "overloaded\n";
+  resp.close = true;
+  std::string wire = SerializeResponse(resp);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace http
+}  // namespace axon

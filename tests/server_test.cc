@@ -1,0 +1,550 @@
+// Live-socket tests for the SPARQL-over-HTTP server (src/server/server).
+//
+// Each test boots a real server on an ephemeral port and talks to it over
+// real TCP through small blocking clients, pinning the connection-lifecycle
+// contract end to end: keep-alive pipelining, overload shedding with a
+// Retry-After hint, mid-execution disconnect cancellation, the idle and
+// mid-request reapers, slow-client write caps, graceful drain, and the
+// stats accounting identity
+//   requests_received == ok + 4xx + shed + timeout + 5xx + abandoned
+// plus accepted == closed after every shutdown. The suite is run under
+// TSan in CI: the loop-thread ownership model must hold under the real
+// worker/loop handoff, not just in review.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <chrono>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/lubm_generator.h"
+#include "engine/database.h"
+#include "engine/governed_engine.h"
+#include "server/socket.h"
+#include "util/failpoint.h"
+
+namespace axon {
+namespace server {
+namespace {
+
+// One LUBM build shared by every test; each test wraps it in its own
+// GovernedEngine so admission state never leaks between tests.
+const Database* TestDb() {
+  static const Database* db = [] {
+    LubmConfig cfg;
+    cfg.num_universities = 1;
+    auto built = Database::Build(GenerateLubmDataset(cfg));
+    EXPECT_TRUE(built.ok());
+    return new Database(std::move(built).ValueOrDie());
+  }();
+  return db;
+}
+
+constexpr char kTypeQuery[] =
+    "SELECT ?x ?y WHERE { ?x "
+    "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?y }";
+constexpr char kTypeQueryEncoded[] =
+    "SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20"
+    "%3Chttp%3A%2F%2Fwww.w3.org%2F1999%2F02%2F22-rdf-syntax-ns%23type%3E"
+    "%20%3Fy%20%7D";
+
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* Header(const std::string& name) const {
+    for (const auto& [k, v] : headers) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// Minimal blocking HTTP client. A 5 s receive timeout turns a server hang
+// into a test failure instead of a suite hang.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    auto r = net::ConnectTcp("127.0.0.1", port);
+    fd_ = r.ok() ? r.value() : -1;
+    if (fd_ >= 0) {
+      struct timeval tv = {5, 0};
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+  }
+  ~Client() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) net::CloseFd(fd_);
+    fd_ = -1;
+  }
+
+  bool SendAll(std::string_view bytes) {
+    while (!bytes.empty()) {
+      ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      bytes.remove_prefix(static_cast<size_t>(n));
+    }
+    return true;
+  }
+
+  bool Get(const std::string& target, const std::string& extra_headers = "") {
+    return SendAll("GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                   extra_headers + "\r\n");
+  }
+
+  // Reads exactly one response (Content-Length, chunked, or read-to-EOF
+  // framing). Returns false on timeout or a torn response.
+  bool ReadResponse(HttpResponse* out) {
+    size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!FillSome()) return false;
+    }
+    std::string head = buf_.substr(0, header_end);
+    buf_.erase(0, header_end + 4);
+    out->headers.clear();
+    out->body.clear();
+    size_t line_end = head.find("\r\n");
+    std::string status_line = head.substr(0, line_end);
+    if (status_line.size() < 12 ||
+        status_line.compare(0, 5, "HTTP/") != 0) {
+      return false;
+    }
+    out->status = std::atoi(status_line.c_str() + 9);
+    size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      std::string line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string value = line.substr(colon + 1);
+      size_t at = value.find_first_not_of(' ');
+      out->headers.emplace_back(
+          line.substr(0, colon),
+          at == std::string::npos ? "" : value.substr(at));
+    }
+    const std::string* te = out->Header("Transfer-Encoding");
+    if (te != nullptr && *te == "chunked") return ReadChunkedBody(out);
+    if (const std::string* cl = out->Header("Content-Length")) {
+      size_t want = std::stoul(*cl);
+      while (buf_.size() < want) {
+        if (!FillSome()) return false;
+      }
+      out->body = buf_.substr(0, want);
+      buf_.erase(0, want);
+      return true;
+    }
+    while (FillSome()) {  // no framing: body runs to EOF
+    }
+    out->body = std::move(buf_);
+    buf_.clear();
+    return true;
+  }
+
+  // Drains until EOF; returns true iff the peer closed (vs timeout).
+  bool ReadUntilEof() {
+    char tmp[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  bool FillSome() {
+    char tmp[16384];
+    ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<size_t>(n));
+    return true;
+  }
+
+  bool ReadChunkedBody(HttpResponse* out) {
+    for (;;) {
+      size_t eol;
+      while ((eol = buf_.find("\r\n")) == std::string::npos) {
+        if (!FillSome()) return false;
+      }
+      size_t n = std::stoul(buf_.substr(0, eol), nullptr, 16);
+      buf_.erase(0, eol + 2);
+      while (buf_.size() < n + 2) {
+        if (!FillSome()) return false;
+      }
+      out->body.append(buf_, 0, n);
+      buf_.erase(0, n + 2);
+      if (n == 0) return true;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+bool WaitFor(const std::function<bool()>& cond, int timeout_millis = 5000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_millis);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+uint64_t ResponsesTotal(const ServerStats& s) {
+  return s.responses_ok.load() + s.responses_client_error.load() +
+         s.responses_shed.load() + s.responses_timeout.load() +
+         s.responses_server_error.load() + s.requests_abandoned.load();
+}
+
+// Every test must leave the server with balanced books.
+void ExpectAccountingClean(const SparqlHttpServer& server) {
+  const ServerStats& s = server.stats();
+  EXPECT_EQ(s.accepted.load(), s.closed.load());
+  EXPECT_EQ(s.requests_received.load(), ResponsesTotal(s));
+}
+
+struct Harness {
+  explicit Harness(GovernedOptions gov = {}, ServerOptions opts = {}) {
+    if (gov.admission.max_concurrent == 0) gov.admission.max_concurrent = 4;
+    if (gov.timeout_millis == 0) gov.timeout_millis = 10'000;
+    engine = std::make_unique<GovernedEngine>(TestDb(), nullptr, gov);
+    opts.port = 0;
+    opts.num_workers = 2;
+    server = std::make_unique<SparqlHttpServer>(engine.get(),
+                                                &TestDb()->dict(), opts);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  std::unique_ptr<GovernedEngine> engine;
+  std::unique_ptr<SparqlHttpServer> server;
+};
+
+// ------------------------------------------------------------ happy path
+
+TEST(ServerTest, QueryRoundTripsInBothFormatsAndMethods) {
+  Harness h;
+  Client c(h.server->port());
+  ASSERT_TRUE(c.connected());
+
+  // GET, TSV default.
+  ASSERT_TRUE(c.Get(std::string("/sparql?query=") + kTypeQueryEncoded));
+  HttpResponse r;
+  ASSERT_TRUE(c.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200);
+  ASSERT_NE(r.Header("Content-Type"), nullptr);
+  EXPECT_NE(r.Header("Content-Type")->find("tab-separated"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("?x\t?y"), std::string::npos);
+  EXPECT_NE(r.body.find("University"), std::string::npos);
+
+  // POST body, JSON via Accept — same connection (keep-alive).
+  std::string q = kTypeQuery;
+  ASSERT_TRUE(c.SendAll(
+      "POST /sparql HTTP/1.1\r\nHost: t\r\n"
+      "Content-Type: application/sparql-query\r\n"
+      "Accept: application/sparql-results+json\r\n"
+      "Content-Length: " +
+      std::to_string(q.size()) + "\r\n\r\n" + q));
+  HttpResponse r2;
+  ASSERT_TRUE(c.ReadResponse(&r2));
+  EXPECT_EQ(r2.status, 200);
+  EXPECT_NE(r2.Header("Content-Type")->find("sparql-results+json"),
+            std::string::npos);
+  EXPECT_EQ(r2.body.front(), '{');
+  EXPECT_NE(r2.body.find("\"bindings\""), std::string::npos);
+
+  // Both responses answered on one accepted connection.
+  EXPECT_EQ(h.server->stats().accepted.load(), 1u);
+  EXPECT_EQ(h.server->stats().responses_ok.load(), 2u);
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+TEST(ServerTest, PipelinedRequestsAnswerInOrder) {
+  Harness h;
+  Client c(h.server->port());
+  ASSERT_TRUE(c.connected());
+  // Three requests in one burst; responses must come back in order, on
+  // one connection, each individually framed.
+  ASSERT_TRUE(c.SendAll(
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /sparql?query=" + std::string(kTypeQueryEncoded) +
+      " HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  HttpResponse a, b, d;
+  ASSERT_TRUE(c.ReadResponse(&a));
+  ASSERT_TRUE(c.ReadResponse(&b));
+  ASSERT_TRUE(c.ReadResponse(&d));
+  EXPECT_EQ(a.status, 200);
+  EXPECT_EQ(a.body, "ok\n");
+  EXPECT_EQ(b.status, 200);
+  EXPECT_NE(b.body.find("University"), std::string::npos);
+  EXPECT_EQ(d.body, "ok\n");
+  EXPECT_EQ(h.server->stats().accepted.load(), 1u);
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+TEST(ServerTest, LargeResponsesAreChunked) {
+  ServerOptions opts;
+  opts.chunk_threshold_bytes = 1024;  // force chunking for this dataset
+  Harness h({}, opts);
+  Client c(h.server->port());
+  ASSERT_TRUE(c.Get(std::string("/sparql?query=") + kTypeQueryEncoded));
+  HttpResponse r;
+  ASSERT_TRUE(c.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200);
+  ASSERT_NE(r.Header("Transfer-Encoding"), nullptr);
+  EXPECT_EQ(*r.Header("Transfer-Encoding"), "chunked");
+  EXPECT_NE(r.body.find("University"), std::string::npos);
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+// --------------------------------------------------------- hostile wire
+
+TEST(ServerTest, WireErrorsGetPinnedStatusesAndClose) {
+  struct Case {
+    const char* name;
+    std::string wire;
+    int want;
+  };
+  const Case cases[] = {
+      {"not_an_endpoint", "GET /nope HTTP/1.1\r\n\r\n", 404},
+      {"missing_query_param", "GET /sparql HTTP/1.1\r\n\r\n", 400},
+      {"undecodable_query", "GET /sparql?query=%2 HTTP/1.1\r\n\r\n", 400},
+      {"sparql_parse_error", "GET /sparql?query=NOT+SPARQL HTTP/1.1\r\n\r\n",
+       400},
+      {"wrong_method", "DELETE /sparql HTTP/1.1\r\n\r\n", 405},
+      {"wrong_content_type",
+       "POST /sparql HTTP/1.1\r\nContent-Type: text/plain\r\n"
+       "Content-Length: 1\r\n\r\nx",
+       415},
+      {"garbage_request_line", "]]]]\r\n\r\n", 400},
+      {"http2", "GET /sparql HTTP/2.0\r\n\r\n", 505},
+      {"chunked_body",
+       "POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 411},
+  };
+  Harness h;
+  for (const Case& tc : cases) {
+    SCOPED_TRACE(tc.name);
+    Client c(h.server->port());
+    ASSERT_TRUE(c.connected());
+    ASSERT_TRUE(c.SendAll(tc.wire));
+    HttpResponse r;
+    ASSERT_TRUE(c.ReadResponse(&r));
+    EXPECT_EQ(r.status, tc.want);
+    if (tc.want == 405) {
+      ASSERT_NE(r.Header("Allow"), nullptr);
+      EXPECT_EQ(*r.Header("Allow"), "GET, POST");
+    }
+    // Error responses always close so framing desync cannot poison a
+    // pipelined successor.
+    EXPECT_TRUE(c.ReadUntilEof());
+  }
+  h.server->Shutdown();
+  const ServerStats& s = h.server->stats();
+  EXPECT_EQ(s.responses_client_error.load(), std::size(cases));
+  ExpectAccountingClean(*h.server);
+}
+
+// ----------------------------------------------------- overload shedding
+
+TEST(ServerTest, OverloadShedsAs503WithRetryAfter) {
+  GovernedOptions gov;
+  gov.admission.max_concurrent = 1;
+  gov.admission.max_queue = 0;
+  gov.admission.retry_after_millis = 1500;
+  Harness h(gov);
+  // Occupy the only slot from outside so the HTTP request sheds
+  // deterministically.
+  ASSERT_TRUE(h.engine->governor().Admit().ok());
+  Client c(h.server->port());
+  ASSERT_TRUE(c.Get(std::string("/sparql?query=") + kTypeQueryEncoded));
+  HttpResponse r;
+  ASSERT_TRUE(c.ReadResponse(&r));
+  EXPECT_EQ(r.status, 503);
+  ASSERT_NE(r.Header("Retry-After"), nullptr);
+  // 1500 ms jittered ±25% then rounded up to whole seconds: 2 always.
+  EXPECT_EQ(*r.Header("Retry-After"), "2");
+  EXPECT_TRUE(c.ReadUntilEof());
+  h.engine->governor().RecordOutcome(QueryOutcome::kCompleted);
+  h.engine->governor().Release();
+  h.server->Shutdown();
+  EXPECT_EQ(h.server->stats().responses_shed.load(), 1u);
+  ExpectAccountingClean(*h.server);
+}
+
+// ----------------------------------------- disconnects and cancellation
+
+TEST(ServerTest, DisconnectMidExecutionCancelsTheQuery) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "needs the delay failpoint to hold a query in flight";
+  }
+  failpoint::SetSeed(1);
+  ASSERT_TRUE(failpoint::ArmFromSpec("exec.query=delay:300ms").ok());
+  Harness h;
+  {
+    Client c(h.server->port());
+    ASSERT_TRUE(c.Get(std::string("/sparql?query=") + kTypeQueryEncoded));
+    // Give the request time to reach the worker, then vanish.
+    ASSERT_TRUE(WaitFor([&] {
+      return h.server->stats().requests_received.load() == 1;
+    }));
+    c.Close();
+  }
+  EXPECT_TRUE(WaitFor([&] {
+    return h.server->stats().cancels_disconnect.load() == 1 &&
+           h.server->stats().requests_abandoned.load() == 1;
+  }));
+  failpoint::DisarmAll();
+  // The server must still be fully alive for the next client.
+  Client again(h.server->port());
+  ASSERT_TRUE(again.Get("/healthz"));
+  HttpResponse r;
+  ASSERT_TRUE(again.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200);
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+TEST(ServerTest, PerRequestDeadlineMapsTo504) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "needs the delay failpoint to outlast the deadline";
+  }
+  failpoint::SetSeed(1);
+  ASSERT_TRUE(failpoint::ArmFromSpec("exec.query=delay:200ms").ok());
+  Harness h;
+  Client c(h.server->port());
+  ASSERT_TRUE(c.Get(std::string("/sparql?query=") + kTypeQueryEncoded,
+                    "X-Axon-Timeout-Millis: 20\r\n"));
+  HttpResponse r;
+  ASSERT_TRUE(c.ReadResponse(&r));
+  failpoint::DisarmAll();
+  EXPECT_EQ(r.status, 504);
+  h.server->Shutdown();
+  EXPECT_EQ(h.server->stats().responses_timeout.load(), 1u);
+  ExpectAccountingClean(*h.server);
+}
+
+// ------------------------------------------------------------- reapers
+
+TEST(ServerTest, IdleConnectionsAreReaped) {
+  ServerOptions opts;
+  opts.idle_timeout_millis = 100;
+  Harness h({}, opts);
+  Client c(h.server->port());
+  ASSERT_TRUE(c.connected());
+  EXPECT_TRUE(c.ReadUntilEof());  // server hangs up on the idler
+  EXPECT_TRUE(WaitFor([&] {
+    return h.server->stats().idle_reaped.load() == 1;
+  }));
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+TEST(ServerTest, TornRequestTimesOutAs408) {
+  ServerOptions opts;
+  opts.read_timeout_millis = 100;
+  Harness h({}, opts);
+  Client c(h.server->port());
+  ASSERT_TRUE(c.SendAll("GET /sparql?query="));  // never finishes the line
+  HttpResponse r;
+  ASSERT_TRUE(c.ReadResponse(&r));
+  EXPECT_EQ(r.status, 408);
+  EXPECT_TRUE(c.ReadUntilEof());
+  h.server->Shutdown();
+  EXPECT_EQ(h.server->stats().responses_client_error.load(), 1u);
+  ExpectAccountingClean(*h.server);
+}
+
+TEST(ServerTest, SlowClientOverWriteCapIsDisconnected) {
+  ServerOptions opts;
+  opts.write_buffer_limit_bytes = 1024;  // far below this query's response
+  Harness h({}, opts);
+  Client c(h.server->port());
+  ASSERT_TRUE(c.Get(std::string("/sparql?query=") + kTypeQueryEncoded));
+  // The response exceeds the write cap at enqueue time: the connection is
+  // dropped rather than letting one slow reader pin megabytes.
+  EXPECT_TRUE(c.ReadUntilEof());
+  EXPECT_TRUE(WaitFor([&] {
+    return h.server->stats().overcap_closed.load() == 1;
+  }));
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+// --------------------------------------------------------------- drain
+
+TEST(ServerTest, GracefulDrainAnswersInFlightAndCloses) {
+  if (failpoint::CompiledIn()) failpoint::DisarmAll();
+  Harness h;
+  Client idle(h.server->port());  // idler: drain just closes it
+  ASSERT_TRUE(idle.connected());
+  Client busy(h.server->port());
+  ASSERT_TRUE(busy.Get(std::string("/sparql?query=") + kTypeQueryEncoded));
+  ASSERT_TRUE(WaitFor([&] {
+    return h.server->stats().requests_received.load() == 1;
+  }));
+  h.server->Shutdown();
+  // The in-flight response was delivered before the connection closed.
+  HttpResponse r;
+  ASSERT_TRUE(busy.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("University"), std::string::npos);
+  EXPECT_TRUE(idle.ReadUntilEof());
+  EXPECT_TRUE(busy.ReadUntilEof());
+  const ServerStats& s = h.server->stats();
+  EXPECT_EQ(s.accepted.load(), 2u);
+  EXPECT_EQ(s.closed.load(), 2u);
+  ExpectAccountingClean(*h.server);
+  // New connections are refused after drain.
+  Client late(h.server->port());
+  HttpResponse dead;
+  EXPECT_FALSE(late.connected() && late.Get("/healthz") &&
+               late.ReadResponse(&dead));
+}
+
+TEST(ServerTest, ConnectionCapRejectsTheOverflowConnection) {
+  ServerOptions opts;
+  opts.max_connections = 2;
+  Harness h({}, opts);
+  Client a(h.server->port()), b(h.server->port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  // Make sure both are accepted before the third knocks.
+  ASSERT_TRUE(WaitFor([&] { return h.server->stats().accepted.load() == 2; }));
+  Client c(h.server->port());
+  // The overflow connection is accepted and immediately closed, so the
+  // client sees EOF rather than a stuck SYN.
+  EXPECT_TRUE(c.connected());
+  EXPECT_TRUE(c.ReadUntilEof());
+  EXPECT_TRUE(WaitFor([&] {
+    return h.server->stats().conns_rejected.load() == 1;
+  }));
+  // The two capacity holders still work.
+  ASSERT_TRUE(a.Get("/healthz"));
+  HttpResponse r;
+  ASSERT_TRUE(a.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200);
+  h.server->Shutdown();
+  ExpectAccountingClean(*h.server);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace axon

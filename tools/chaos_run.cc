@@ -26,10 +26,28 @@
 //     resolves to an allowed status and that the governor's accounting
 //     identity covers all M queries exactly. Exit code 1 on violations.
 //
+//   chaos_run --server [--clients=N] [--queries=M] [--max-concurrent=K]
+//             [--seed=S] [--failpoints=SPEC]
+//     End-to-end HTTP soak: boots a real SparqlHttpServer on an ephemeral
+//     port and fires M requests from N seeded client threads mixing
+//     normal GET/POST queries (LUBM + SP2B workloads), pipelined bursts,
+//     torn requests, mid-execution disconnects, slow readers, and raw
+//     garbage — optionally with sock.*/exec.* failpoints armed. Asserts
+//     the server never wedges or leaks connections, every request
+//     resolves to a complete response / 4xx / 503+Retry-After / clean
+//     close, and both the server's response accounting identity and the
+//     governor's outcome identity balance exactly. Exit code 1 on
+//     violations.
+//
 // Without -DAXON_FAILPOINTS=ON the fault schedules degrade to clean
 // cycles; the tool says so rather than pretending to inject.
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +62,8 @@
 #include "engine/database.h"
 #include "engine/governed_engine.h"
 #include "engine/update_store.h"
+#include "server/server.h"
+#include "server/socket.h"
 #include "storage/db_file.h"
 #include "util/failpoint.h"
 #include "util/mmap_file.h"
@@ -63,6 +83,7 @@ struct Args {
   bool no_crashes = false;
   bool verbose = false;
   bool overload = false;
+  bool server = false;
   uint64_t clients = 8;
   uint64_t queries = 200;
   uint64_t max_concurrent = 2;
@@ -98,6 +119,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->max_concurrent = std::strtoull(v.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--overload") == 0) {
       args->overload = true;
+    } else if (std::strcmp(argv[i], "--server") == 0) {
+      args->server = true;
     } else if (std::strcmp(argv[i], "--no-crashes") == 0) {
       args->no_crashes = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -456,6 +479,461 @@ int RunOverload(const Args& args) {
   return 1;
 }
 
+// --------------------------------------------------- HTTP server soak
+
+std::string PercentEncode(std::string_view in) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(in.size() * 3);
+  for (char c : in) {
+    const bool plain = std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '-' || c == '_' || c == '.' || c == '~';
+    if (plain) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(hex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(hex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+// What one client/request interaction resolved to. Anything else (a
+// malformed status line, a receive timeout = wedged server) is a
+// violation.
+enum class SoakOutcome { kComplete, kClientError, kShed, kCleanClose,
+                         kViolation };
+
+// Minimal blocking client for the soak. Receive timeout 10 s: all server
+// deadlines in this mode are well under that, so hitting it means the
+// server wedged — the core regression this soak exists to catch.
+class SoakClient {
+ public:
+  explicit SoakClient(uint16_t port) {
+    auto r = net::ConnectTcp("127.0.0.1", port);
+    fd_ = r.ok() ? r.value() : -1;
+    if (fd_ >= 0) {
+      struct timeval tv = {10, 0};
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+  }
+  ~SoakClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) net::CloseFd(fd_);
+    fd_ = -1;
+  }
+
+  bool SendAll(std::string_view bytes) {
+    while (!bytes.empty()) {
+      ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      bytes.remove_prefix(static_cast<size_t>(n));
+    }
+    return true;
+  }
+
+  // Reads one response; `slow` throttles to small sips so the server's
+  // write buffering (not the kernel's) absorbs the body. Returns the
+  // status code, 0 for EOF-before-status (clean close), -2 for EOF
+  // mid-response (a torn response — expected only when sock.write faults
+  // are armed), -1 for timeout or an unparseable status line.
+  int ReadResponse(bool slow, bool* saw_retry_after) {
+    *saw_retry_after = false;
+    size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      int got = Fill(slow);
+      if (got == 0) return buf_.empty() ? 0 : -2;  // torn headers
+      if (got < 0) return -1;
+    }
+    std::string head = buf_.substr(0, header_end);
+    buf_.erase(0, header_end + 4);
+    if (head.compare(0, 5, "HTTP/") != 0 || head.size() < 12) return -1;
+    const int status = std::atoi(head.c_str() + 9);
+    if (status < 100 || status > 599) return -1;
+    *saw_retry_after = head.find("\r\nRetry-After:") != std::string::npos;
+    if (status == 503 && !*saw_retry_after) {
+      std::fprintf(stderr, "DBG 503 head: %s\n", head.c_str());
+    }
+
+    // Drain the body by its framing.
+    size_t cl_at = head.find("\r\nContent-Length: ");
+    if (head.find("\r\nTransfer-Encoding: chunked") != std::string::npos) {
+      int drained = DrainChunked(slow);
+      return drained > 0 ? status : drained == 0 ? -2 : -1;
+    }
+    if (cl_at != std::string::npos) {
+      size_t want = std::strtoull(head.c_str() + cl_at + 18, nullptr, 10);
+      while (buf_.size() < want) {
+        int got = Fill(slow);
+        if (got == 0) return -2;  // torn body
+        if (got < 0) return -1;
+      }
+      buf_.erase(0, want);
+      return status;
+    }
+    while (Fill(slow) > 0) {  // unframed: read to EOF
+    }
+    buf_.clear();
+    return status;
+  }
+
+ private:
+  int Fill(bool slow) {
+    char tmp[16 * 1024];
+    const size_t cap = slow ? 512 : sizeof(tmp);
+    ssize_t n = ::recv(fd_, tmp, cap, 0);
+    if (n > 0) {
+      buf_.append(tmp, static_cast<size_t>(n));
+      if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // An abortive close (RST: the server closed with our bytes still
+    // unread, e.g. after an injected sock.read error) terminates the
+    // connection just as finally as FIN does — fold it into EOF. Only a
+    // receive timeout (EAGAIN from SO_RCVTIMEO) stays negative: that is
+    // the wedged-server signal this soak exists to catch.
+    if (n < 0 && errno == ECONNRESET) return 0;
+    return static_cast<int>(n);
+  }
+
+  // 1 = body fully drained, 0 = EOF mid-body (torn), -1 = timeout.
+  int DrainChunked(bool slow) {
+    for (;;) {
+      size_t eol;
+      while ((eol = buf_.find("\r\n")) == std::string::npos) {
+        int got = Fill(slow);
+        if (got <= 0) return got;
+      }
+      size_t n = std::strtoull(buf_.c_str(), nullptr, 16);
+      buf_.erase(0, eol + 2);
+      while (buf_.size() < n + 2) {
+        int got = Fill(slow);
+        if (got <= 0) return got;
+      }
+      buf_.erase(0, n + 2);
+      if (n == 0) return 1;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+int RunServerSoak(const Args& args) {
+  if (!args.failpoints.empty()) {
+    if (!failpoint::CompiledIn()) {
+      std::printf(
+          "note: failpoint sites are compiled out (-DAXON_FAILPOINTS=OFF); "
+          "the spec arms but injects nothing\n");
+    }
+    failpoint::SetSeed(args.seed);
+    Status armed = failpoint::ArmFromSpec(args.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --failpoints: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+    std::printf("armed sites (seed %llu):\n",
+                static_cast<unsigned long long>(args.seed));
+    for (const auto& [site, spec] : failpoint::ArmedSites()) {
+      std::printf("  %-28s %s\n", site.c_str(), spec.c_str());
+    }
+  }
+
+  LubmConfig cfg;
+  cfg.num_universities = 1;
+  Dataset data = GenerateLubmDataset(cfg);
+  auto built = Database::Build(data);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 2;
+  }
+  Database db = std::move(built).ValueOrDie();
+
+  GovernedOptions gov_opts;
+  gov_opts.admission.max_concurrent =
+      static_cast<uint32_t>(args.max_concurrent);
+  gov_opts.admission.max_queue = 4;
+  gov_opts.admission.queue_wait_millis = 250;
+  gov_opts.admission.retry_after_millis = 20;
+  gov_opts.admission.retry_jitter_seed = args.seed;
+  gov_opts.timeout_millis = 5000;
+  gov_opts.seed = args.seed;
+  GovernedEngine engine(&db, nullptr, gov_opts);
+
+  server::ServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 4;
+  opts.idle_timeout_millis = 500;
+  opts.read_timeout_millis = 300;
+  opts.write_timeout_millis = 2000;
+  opts.drain_timeout_millis = 3000;
+  server::SparqlHttpServer server(&engine, &db.dict(), opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 2;
+  }
+  const uint16_t port = server.port();
+  std::printf("soaking http://127.0.0.1:%u/sparql: %llu requests, "
+              "%llu clients, %llu slots\n",
+              port, static_cast<unsigned long long>(args.queries),
+              static_cast<unsigned long long>(args.clients),
+              static_cast<unsigned long long>(args.max_concurrent));
+
+  // Query pool mixes both workloads; SP2B queries return empty results on
+  // the LUBM dataset, which is exactly what a mixed-tenant front end sees.
+  std::vector<std::string> pool;
+  for (const WorkloadQuery& wq : LubmOriginalWorkload().queries) {
+    pool.push_back(wq.sparql);
+  }
+  for (const WorkloadQuery& wq : Sp2bWorkload().queries) {
+    pool.push_back(wq.sparql);
+  }
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> completes{0}, client_errors{0}, sheds{0},
+      clean_closes{0}, shed_without_retry_after{0};
+  const uint64_t clients = args.clients == 0 ? 1 : args.clients;
+
+  // Torn responses (EOF mid-response) are a close, not a violation, when
+  // write faults are armed: an injected sock.write error forces the
+  // server to abort the connection mid-flush, and that is exactly the
+  // degraded-but-clean outcome the fault run exists to exercise. In a
+  // fault-free run a torn response stays a violation.
+  const bool write_faults_armed =
+      args.failpoints.find("sock.write") != std::string::npos;
+  std::atomic<uint64_t> v_timeout{0}, v_torn{0}, v_status{0};
+  auto classify = [&](int status, bool retry_after) {
+    if (status == -1) {
+      v_timeout.fetch_add(1);
+      return SoakOutcome::kViolation;
+    }
+    if (status == -2) {
+      if (write_faults_armed) return SoakOutcome::kCleanClose;
+      v_torn.fetch_add(1);
+      return SoakOutcome::kViolation;
+    }
+    if (status == 0) return SoakOutcome::kCleanClose;
+    if (status == 200) return SoakOutcome::kComplete;
+    if (status == 503) {
+      if (!retry_after) shed_without_retry_after.fetch_add(1);
+      return SoakOutcome::kShed;
+    }
+    if (status >= 400 && status < 500) return SoakOutcome::kClientError;
+    if (status == 500 || status == 504) return SoakOutcome::kComplete;
+    v_status.fetch_add(1);
+    return SoakOutcome::kViolation;  // a status this server never emits
+  };
+  auto count = [&](SoakOutcome o) {
+    switch (o) {
+      case SoakOutcome::kComplete: completes.fetch_add(1); break;
+      case SoakOutcome::kClientError: client_errors.fetch_add(1); break;
+      case SoakOutcome::kShed: sheds.fetch_add(1); break;
+      case SoakOutcome::kCleanClose: clean_closes.fetch_add(1); break;
+      case SoakOutcome::kViolation: violations.fetch_add(1); break;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Random rng(args.seed * 7919 + c);
+      for (;;) {
+        if (next.fetch_add(1) >= args.queries) return;
+        SoakClient cl(port);
+        if (!cl.connected()) {
+          // Accept backlog shed under sock.accept faults: a clean refusal.
+          clean_closes.fetch_add(1);
+          continue;
+        }
+        const std::string& q = pool[rng.Uniform(pool.size())];
+        const uint64_t behavior = rng.Uniform(10);
+        bool retry_after = false;
+        switch (behavior) {
+          case 0: case 1: case 2: {  // plain GET
+            if (!cl.SendAll("GET /sparql?query=" + PercentEncode(q) +
+                            " HTTP/1.1\r\nHost: s\r\n\r\n")) {
+              clean_closes.fetch_add(1);
+              break;
+            }
+            const int status = cl.ReadResponse(false, &retry_after);
+            count(classify(status, retry_after));
+            break;
+          }
+          case 3: case 4: {  // POST, sometimes asking for JSON
+            std::string accept = (behavior == 4)
+                ? "Accept: application/sparql-results+json\r\n" : "";
+            if (!cl.SendAll("POST /sparql HTTP/1.1\r\nHost: s\r\n" + accept +
+                            "Content-Type: application/sparql-query\r\n"
+                            "Content-Length: " + std::to_string(q.size()) +
+                            "\r\n\r\n" + q)) {
+              clean_closes.fetch_add(1);
+              break;
+            }
+            const int status = cl.ReadResponse(false, &retry_after);
+            count(classify(status, retry_after));
+            break;
+          }
+          case 5: {  // pipelined pair on one connection (counts as one)
+            if (!cl.SendAll("GET /healthz HTTP/1.1\r\nHost: s\r\n\r\n"
+                            "GET /sparql?query=" + PercentEncode(q) +
+                            " HTTP/1.1\r\nHost: s\r\n\r\n")) {
+              clean_closes.fetch_add(1);
+              break;
+            }
+            const int first_status = cl.ReadResponse(false, &retry_after);
+            SoakOutcome first = classify(first_status, retry_after);
+            if (first == SoakOutcome::kComplete) {
+              const int second = cl.ReadResponse(false, &retry_after);
+              count(classify(second, retry_after));
+            } else {
+              count(first);
+            }
+            break;
+          }
+          case 6: {  // torn request: the read reaper answers 408 or EOF
+            (void)cl.SendAll("GET /sparql?query=SELECT");
+            const int status = cl.ReadResponse(false, &retry_after);
+            count(classify(status, retry_after));
+            break;
+          }
+          case 7: {  // mid-execution disconnect
+            (void)cl.SendAll("GET /sparql?query=" + PercentEncode(q) +
+                             " HTTP/1.1\r\nHost: s\r\n\r\n");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(rng.Uniform(5)));
+            cl.Close();
+            clean_closes.fetch_add(1);  // our own choice: a clean close
+            break;
+          }
+          case 8: {  // slow reader
+            if (!cl.SendAll("GET /sparql?query=" + PercentEncode(q) +
+                            " HTTP/1.1\r\nHost: s\r\n\r\n")) {
+              clean_closes.fetch_add(1);
+              break;
+            }
+            const int status = cl.ReadResponse(true, &retry_after);
+            count(classify(status, retry_after));
+            break;
+          }
+          default: {  // raw garbage
+            if (!cl.SendAll("\x16\x03\x01 not http at all\r\n\r\n")) {
+              clean_closes.fetch_add(1);
+              break;
+            }
+            const int status = cl.ReadResponse(false, &retry_after);
+            count(classify(status, retry_after));
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (!args.failpoints.empty()) {
+    std::printf("\nper-site hits:\n");
+    for (const auto& [site, spec] : failpoint::ArmedSites()) {
+      std::printf("  %-28s %llu\n", site.c_str(),
+                  static_cast<unsigned long long>(failpoint::Hits(site)));
+    }
+    failpoint::DisarmAll();
+  }
+
+  server.Shutdown();
+
+  const server::ServerStats& s = server.stats();
+  const GovernorCounters gov = engine.governor().Snapshot();
+  std::printf(
+      "\nclient view: complete=%llu 4xx=%llu shed=%llu clean_close=%llu "
+      "violations: timeout=%llu torn=%llu bad_status=%llu\n"
+      "server view: accepted=%llu closed=%llu requests=%llu ok=%llu "
+      "4xx=%llu shed=%llu timeout=%llu 5xx=%llu abandoned=%llu "
+      "cancels=%llu idle_reaped=%llu\n"
+      "governor:    submitted=%llu shed=%llu completed=%llu cancelled=%llu "
+      "deadline=%llu failed=%llu\n",
+      static_cast<unsigned long long>(completes.load()),
+      static_cast<unsigned long long>(client_errors.load()),
+      static_cast<unsigned long long>(sheds.load()),
+      static_cast<unsigned long long>(clean_closes.load()),
+      static_cast<unsigned long long>(v_timeout.load()),
+      static_cast<unsigned long long>(v_torn.load()),
+      static_cast<unsigned long long>(v_status.load()),
+      static_cast<unsigned long long>(s.accepted.load()),
+      static_cast<unsigned long long>(s.closed.load()),
+      static_cast<unsigned long long>(s.requests_received.load()),
+      static_cast<unsigned long long>(s.responses_ok.load()),
+      static_cast<unsigned long long>(s.responses_client_error.load()),
+      static_cast<unsigned long long>(s.responses_shed.load()),
+      static_cast<unsigned long long>(s.responses_timeout.load()),
+      static_cast<unsigned long long>(s.responses_server_error.load()),
+      static_cast<unsigned long long>(s.requests_abandoned.load()),
+      static_cast<unsigned long long>(s.cancels_disconnect.load()),
+      static_cast<unsigned long long>(s.idle_reaped.load()),
+      static_cast<unsigned long long>(gov.submitted),
+      static_cast<unsigned long long>(gov.shed),
+      static_cast<unsigned long long>(gov.completed),
+      static_cast<unsigned long long>(gov.cancelled),
+      static_cast<unsigned long long>(gov.deadline_expired),
+      static_cast<unsigned long long>(gov.failed));
+
+  int bad = static_cast<int>(violations.load());
+  if (shed_without_retry_after.load() != 0) {
+    std::fprintf(stderr, "VIOLATION: %llu 503s without Retry-After\n",
+                 static_cast<unsigned long long>(
+                     shed_without_retry_after.load()));
+    ++bad;
+  }
+  if (s.accepted.load() != s.closed.load()) {
+    std::fprintf(stderr, "VIOLATION: connection leak: accepted %llu != "
+                 "closed %llu\n",
+                 static_cast<unsigned long long>(s.accepted.load()),
+                 static_cast<unsigned long long>(s.closed.load()));
+    ++bad;
+  }
+  if (server.active_connections() != 0) {
+    std::fprintf(stderr, "VIOLATION: %zu connections survived shutdown\n",
+                 server.active_connections());
+    ++bad;
+  }
+  const uint64_t responses = s.responses_ok.load() +
+                             s.responses_client_error.load() +
+                             s.responses_shed.load() +
+                             s.responses_timeout.load() +
+                             s.responses_server_error.load() +
+                             s.requests_abandoned.load();
+  if (s.requests_received.load() != responses) {
+    std::fprintf(stderr,
+                 "VIOLATION: %llu requests != %llu resolved responses\n",
+                 static_cast<unsigned long long>(s.requests_received.load()),
+                 static_cast<unsigned long long>(responses));
+    ++bad;
+  }
+  const uint64_t gov_resolved = gov.shed + gov.completed + gov.budget_killed +
+                                gov.cancelled + gov.deadline_expired +
+                                gov.degraded + gov.failed;
+  if (gov_resolved != gov.submitted) {
+    std::fprintf(stderr,
+                 "VIOLATION: governor outcomes %llu != %llu submitted\n",
+                 static_cast<unsigned long long>(gov_resolved),
+                 static_cast<unsigned long long>(gov.submitted));
+    ++bad;
+  }
+  if (bad == 0) {
+    std::printf("all %llu requests accounted for; no violations\n",
+                static_cast<unsigned long long>(args.queries));
+    return 0;
+  }
+  std::fprintf(stderr, "%d violation(s)\n", bad);
+  return 1;
+}
+
 // ------------------------------------------------------------ main mode
 
 int RunSchedule(const Args& args) {
@@ -504,6 +982,7 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return 2;
   if (!args.corpus_dir.empty()) return WriteDbfileCorpus(args.corpus_dir);
   if (args.overload) return RunOverload(args);
+  if (args.server) return RunServerSoak(args);
   ::system(("mkdir -p '" + args.dir + "'").c_str());
   if (!args.failpoints.empty()) return RunExplicitSpec(args);
   return RunSchedule(args);
